@@ -1,0 +1,91 @@
+"""Ablation: input-alphabet width (DESIGN.md §5.2).
+
+The paper folds bytes onto 32 symbols, which buys three things at once:
+8x smaller STT rows (more states per tile), the single-SIMD-shift offset
+trick (symbols < 64 keep ``symbol << 2`` inside its byte lane), and fewer
+cache... local-store bytes touched.  We sweep widths 16..256 and measure
+tile capacity and kernel speed; at width > 64 the kernel needs a
+per-stream shift and slows down.
+"""
+
+import pytest
+
+from repro.analysis import ascii_table
+from repro.core import DFATile, plan_tile
+from repro.core.stt import STTImage
+from repro.core.kernels import KernelBuilder
+from repro.dfa import AhoCorasick
+from repro.workloads import random_signatures, streams_for_tile
+
+WIDTHS = [16, 32, 64, 128, 256]
+
+
+@pytest.fixture(scope="module")
+def results():
+    out = {}
+    for width in WIDTHS:
+        patterns = random_signatures(6, 3, 6, alphabet_size=width, seed=40)
+        dfa = AhoCorasick(patterns, width).to_dfa()
+        plan = plan_tile(alphabet_size=width)
+        tile = DFATile(dfa, plan=plan)
+        streams = streams_for_tile(96, patterns, alphabet_size=width,
+                                   seed=41)
+        result = tile.run_streams(streams, version=4)
+        out[width] = (plan, result, tile)
+    return out
+
+
+def test_alphabet_report(results, report):
+    rows = []
+    for width, (plan, result, tile) in results.items():
+        packed = tile._builder.packed_offsets
+        rows.append([
+            width,
+            plan.stride,
+            plan.max_states,
+            "yes" if packed else "no",
+            round(result.cycles_per_transition, 2),
+            round(result.throughput_gbps(), 2),
+        ])
+    text = ascii_table(
+        ["alphabet", "row bytes", "max states", "SIMD-shift trick",
+         "cyc/tr", "Gbps"],
+        rows, title="Ablation - alphabet width (paper's choice: 32)")
+    report("ablation_alphabet", text)
+
+
+def test_capacity_scales_inversely_with_width(results):
+    states = {w: plan.max_states for w, (plan, _, _) in results.items()}
+    assert states[16] > states[32] > states[64] > states[128] > states[256]
+    assert states[32] / states[256] == pytest.approx(8, rel=0.05)
+
+
+def test_packed_trick_available_up_to_64(results):
+    for width, (_, _, tile) in results.items():
+        assert tile._builder.packed_offsets == (width <= 64)
+
+
+def test_wide_alphabet_kernel_slower(results):
+    """The per-stream shift costs one even-pipe slot per transition."""
+    narrow = results[32][1].cycles_per_transition
+    wide = results[256][1].cycles_per_transition
+    assert wide > narrow
+
+
+def test_paper_choice_is_on_the_knee(results):
+    """Width 32 keeps >= 1500 states AND the fast kernel — wider loses
+    capacity, 16 loses alphabet coverage (26 letters don't fit)."""
+    plan32 = results[32][0]
+    assert plan32.max_states >= 1500
+    assert 16 < 26 <= 32  # a 16-wide alphabet cannot hold A-Z
+
+
+def test_benchmark_stt_encoding(benchmark):
+    patterns = random_signatures(100, 4, 10, seed=42)
+    dfa = AhoCorasick(patterns, 32).to_dfa()
+
+    def encode():
+        return STTImage.from_dfa(dfa, base=0x8800)
+
+    img = benchmark(encode)
+    assert img.num_states == dfa.num_states

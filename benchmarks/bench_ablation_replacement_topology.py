@@ -1,0 +1,98 @@
+"""Ablation: replacement topology (DESIGN.md §5.3).
+
+The paper's §6 deploys dynamic STT replacement as P parallel SPEs *each*
+cycling through all n slices — throughput P·5.11/(2(n−1)).  An
+alternative spends SPEs on *series* chains that keep slices resident
+(k ≤ 2 per SPE needs no DMA cycling at all).  ``plan_topology`` optimizes
+over the spectrum; this bench maps where each strategy wins.
+
+Finding (and shape assertion): for dictionaries beyond ~P slices the
+series-distributed layout dominates the paper's formula, by a growing
+factor — an observation the paper's evaluation does not explore.
+"""
+
+import pytest
+
+from repro.analysis import ascii_table
+from repro.core.replacement import (
+    chain_gbps,
+    effective_gbps,
+    plan_topology,
+)
+
+SPES = 8
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    out = {}
+    for n in range(1, 17):
+        paper = effective_gbps(n, num_spes=SPES)
+        best = plan_topology(n, SPES)
+        out[n] = (paper, best)
+    return out
+
+
+def test_topology_report(sweep, report):
+    rows = []
+    for n, (paper, best) in sweep.items():
+        rows.append([
+            n,
+            round(paper, 2),
+            round(best.gbps, 2),
+            best.slices_per_spe,
+            f"{best.parallel_chains}x{best.chain_length}",
+            round(best.gbps / paper, 2),
+        ])
+    text = ascii_table(
+        ["slices", "paper Gbps", "best Gbps", "slices/SPE", "chains",
+         "gain"],
+        rows, title=f"Ablation - replacement topology on {SPES} SPEs "
+                    f"(paper: every SPE cycles all slices)")
+    report("ablation_replacement_topology", text)
+
+
+def test_small_dictionaries_agree(sweep):
+    """Up to one slice per SPE both strategies coincide (fully parallel,
+    fully resident)."""
+    paper, best = sweep[1]
+    assert best.gbps == pytest.approx(paper)
+    assert best.slices_per_spe == 1
+
+
+def test_series_wins_for_large_dictionaries(sweep):
+    for n in (8, 12, 16):
+        paper, best = sweep[n]
+        assert best.gbps > paper
+    # The advantage grows with dictionary size.
+    gains = [sweep[n][1].gbps / sweep[n][0] for n in (8, 12, 16)]
+    assert gains[0] < gains[-1]
+
+
+def test_best_never_below_paper(sweep):
+    """The paper's strategy is inside the search space, so the optimum
+    can never be worse."""
+    for n, (paper, best) in sweep.items():
+        assert best.gbps >= paper - 1e-9
+
+
+def test_resident_chain_throughput_model():
+    assert chain_gbps(1) == pytest.approx(5.11)
+    assert chain_gbps(2) == pytest.approx(5.11 / 2)
+    assert chain_gbps(3) == pytest.approx(5.11 / 4)
+    with pytest.raises(Exception):
+        chain_gbps(0)
+
+
+def test_plan_describe_mentions_strategy(sweep):
+    _, best = sweep[16]
+    assert "Gbps" in best.describe()
+
+
+def test_benchmark_planner(benchmark):
+    def plan_all():
+        return [plan_topology(n, p)
+                for n in range(1, 33) for p in (1, 2, 4, 8)]
+
+    plans = benchmark(plan_all)
+    assert len(plans) == 32 * 4

@@ -1,0 +1,91 @@
+"""Ablation: unroll factor and pipeline depth beyond the paper's sweep.
+
+DESIGN.md §5.1: the register file caps useful unrolling.  We sweep unroll
+factors 1–4 at several software-pipeline depths, print the surface, and
+verify the paper's qualitative findings: deeper pipelining helps until the
+even-pipe issue bound (~5 cycles/transition), and the spilled variant is
+always worse than its unspilled sibling.
+"""
+
+import pytest
+
+from repro.analysis import ascii_table
+from repro.core import DFATile
+from repro.core import kernels as K
+from repro.dfa import AhoCorasick
+from repro.workloads import random_signatures, streams_for_tile
+
+PATTERNS = random_signatures(8, 3, 7, seed=70)
+
+
+@pytest.fixture(scope="module")
+def tile():
+    return DFATile(AhoCorasick(PATTERNS, 32).to_dfa())
+
+
+def run_spec(tile, unroll, depth, admit, spill=False):
+    """Temporarily install a custom spec as version 2 and measure it."""
+    saved = K.KERNEL_SPECS[2]
+    K.KERNEL_SPECS[2] = K.KernelSpec(2, True, unroll, depth, spill,
+                                     "ablation", admit=admit)
+    try:
+        tile._kernel_cache.clear()
+        streams = streams_for_tile(192, PATTERNS, seed=71)
+        result = tile.run_streams(streams, version=2)
+        return result.cycles_per_transition, result.stats
+    finally:
+        K.KERNEL_SPECS[2] = saved
+        tile._kernel_cache.clear()
+
+
+def test_unroll_depth_surface(tile, report):
+    rows = []
+    surface = {}
+    for unroll in (1, 2, 3, 4):
+        for depth in (3, 6, 9, 12, 16):
+            cpt, stats = run_spec(tile, unroll, depth, admit=2)
+            surface[(unroll, depth)] = cpt
+            rows.append([unroll, depth, round(cpt, 2),
+                         round(stats.stall_pct, 1),
+                         round(stats.dual_issue_pct, 1),
+                         stats.registers_used])
+    text = ascii_table(
+        ["unroll", "depth", "cyc/tr", "stall%", "dual%", "regs"],
+        rows, title="Ablation - unroll factor x pipeline depth "
+                    "(version-2 kernel skeleton)")
+    report("ablation_unroll", text)
+    # Depth helps at every unroll factor.
+    for unroll in (1, 2, 3, 4):
+        assert surface[(unroll, 16)] <= surface[(unroll, 3)]
+    # Unrolling amortizes the loop fill/drain bubble.
+    assert surface[(3, 16)] < surface[(1, 16)]
+
+
+def test_even_pipe_issue_bound(tile):
+    """No configuration beats ~5 cycles/transition: 5 even-pipe
+    instructions per transition bound the kernel."""
+    best = min(run_spec(tile, u, 16, admit=3)[0] for u in (2, 3, 4))
+    assert best >= 5.0
+
+
+def test_spill_always_regresses(tile):
+    for unroll in (3, 4):
+        clean, _ = run_spec(tile, unroll, 16, admit=3, spill=False)
+        spilled, _ = run_spec(tile, unroll, 16, admit=3, spill=True)
+        assert spilled > clean
+
+
+def test_register_demand_grows_with_depth(tile):
+    _, shallow = run_spec(tile, 2, 3, admit=1)
+    _, deep = run_spec(tile, 2, 16, admit=1)
+    assert deep.registers_used > shallow.registers_used
+
+
+def test_benchmark_kernel_build(benchmark, tile):
+    builder = tile._builder
+
+    def build():
+        return builder.build(4, 16368)  # largest unroll-3 block in 16 KB
+
+    kernel = benchmark.pedantic(build, rounds=3, iterations=1)
+    assert kernel.transitions == 16368

@@ -1,0 +1,110 @@
+"""Engine comparison: the vectorized DFA engine vs the classic baselines.
+
+Not a paper table — this is the library's own value proposition: measure
+MB/s of the numpy lockstep engine against Aho–Corasick (pure Python),
+Wu–Manber, Boyer–Moore and the Bloom scanner on the same planted workload,
+plus the adversarial robustness gap (§1's argument, quantified).
+"""
+
+import time
+
+import pytest
+
+from repro.analysis import ascii_table
+from repro.baselines import (
+    BloomMatcher,
+    BoyerMooreMatcher,
+    CommentzWalterMatcher,
+    KMPMatcher,
+    WuManberMatcher,
+)
+from repro.core.engine import VectorDFAEngine
+from repro.dfa import AhoCorasick, build_dfa
+from repro.workloads import adversarial_payload, plant_matches, \
+    random_payload, random_signatures
+
+PATTERNS = random_signatures(25, 4, 10, seed=50)
+BLOCK = plant_matches(random_payload(400_000, seed=51), PATTERNS, 200,
+                      seed=52)
+
+
+def mb_per_s(fn, data):
+    t0 = time.perf_counter()
+    fn(data)
+    dt = time.perf_counter() - t0
+    return len(data) / dt / 1e6
+
+
+def test_engine_comparison_report(report):
+    dfa = build_dfa(PATTERNS, 32)
+    engine = VectorDFAEngine(dfa)
+    ac = AhoCorasick(PATTERNS, 32)
+    small = BLOCK[:60_000]  # pure-Python matchers get a smaller slice
+    entries = [
+        ("numpy lockstep DFA", lambda d: engine.count_block(d), BLOCK),
+        ("Aho-Corasick (py)", lambda d: ac.count(d), small),
+        ("Wu-Manber", WuManberMatcher(PATTERNS).count, small),
+        ("Boyer-Moore", BoyerMooreMatcher(PATTERNS).count, small),
+        ("Commentz-Walter", CommentzWalterMatcher(PATTERNS).count, small),
+        ("Bloom scanner", BloomMatcher(PATTERNS).count, small),
+        ("KMP", KMPMatcher(PATTERNS).count, small),
+    ]
+    rows = []
+    for name, fn, data in entries:
+        rows.append([name, len(data) // 1000, round(mb_per_s(fn, data), 2)])
+    text = ascii_table(["engine", "input KB", "MB/s"], rows,
+                       title="Engine throughput on planted traffic "
+                             "(25 signatures)")
+    report("engines", text)
+
+
+def test_vector_engine_is_fastest_python_path():
+    dfa = build_dfa(PATTERNS, 32)
+    engine = VectorDFAEngine(dfa)
+    ac = AhoCorasick(PATTERNS, 32)
+    small = BLOCK[:60_000]
+    v = mb_per_s(lambda d: engine.count_block(d), BLOCK)
+    a = mb_per_s(lambda d: ac.count(d), small)
+    assert v > a
+
+
+def test_all_engines_agree_on_the_block():
+    small = BLOCK[:60_000]
+    expected = len(AhoCorasick(PATTERNS, 32).find_all(small))
+    for matcher in (WuManberMatcher(PATTERNS), BloomMatcher(PATTERNS),
+                    BoyerMooreMatcher(PATTERNS)):
+        assert matcher.count(small) == expected
+
+
+def test_adversarial_gap_quantified(report):
+    """DFA cost flat; skip-based matchers degrade on hostile input."""
+    target = min(PATTERNS, key=len)
+    wm = WuManberMatcher([target])
+    n = 300_000
+    friendly = bytes([0]) * n
+    hostile = adversarial_payload(target, n, mismatch_at_end=False)
+    w_f = wm.scan_work(friendly)
+    w_h = wm.scan_work(hostile)
+    dfa = build_dfa([target], 32)
+    engine = VectorDFAEngine(dfa)
+    t_f = mb_per_s(lambda d: engine.count_block(d), friendly)
+    t_h = mb_per_s(lambda d: engine.count_block(d), hostile)
+    text = ascii_table(
+        ["engine", "friendly", "hostile", "degradation"],
+        [["Wu-Manber (inspections)", w_f, w_h, round(w_h / w_f, 2)],
+         ["DFA engine (MB/s)", round(t_f, 1), round(t_h, 1),
+          round(t_f / t_h, 2)]],
+        title="Adversarial input sensitivity (paper §1 argument)")
+    report("adversarial_gap", text)
+    assert w_h > w_f                 # heuristics degrade
+    assert t_f / t_h < 1.5           # DFA stays (nearly) flat
+
+
+def test_benchmark_vector_engine(benchmark):
+    engine = VectorDFAEngine(build_dfa(PATTERNS, 32))
+
+    def scan():
+        return engine.count_block(BLOCK)
+
+    count = benchmark.pedantic(scan, rounds=3, iterations=1)
+    assert count >= 200

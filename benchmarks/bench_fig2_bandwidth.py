@@ -1,0 +1,91 @@
+"""Figure 2: aggregate main-memory bandwidth vs SPE count and block size.
+
+The paper's figure shows four curves (64/128/256/512+ byte blocks) rising
+with the number of SPEs and saturating near the arbiter's heavy-traffic
+limit; only blocks ≥ 256 B get close to the peak.  We reproduce the series
+from the bandwidth model and verify the MFC's actual per-transfer timing
+agrees with it.
+"""
+
+import pytest
+
+from repro.analysis import ascii_chart, ascii_table
+from repro.cell.local_store import LocalStore
+from repro.cell.memory import BandwidthModel, HEAVY_TRAFFIC_AGGREGATE, \
+    MainMemory
+from repro.cell.mfc import MFC
+
+BLOCK_SIZES = [64, 128, 256, 512, 4096]
+SPE_COUNTS = [1, 2, 3, 4, 5, 6, 7, 8]
+
+
+@pytest.fixture(scope="module")
+def series():
+    bw = BandwidthModel()
+    return {
+        bs: [bw.aggregate(p, bs) / 1e9 for p in SPE_COUNTS]
+        for bs in BLOCK_SIZES
+    }
+
+
+def test_figure2_report(series, report):
+    rows = []
+    for bs, values in series.items():
+        label = f"{bs} B" if bs < 512 else f"{bs} B (≥512)"
+        rows.append([label] + [round(v, 2) for v in values])
+    table = ascii_table(
+        ["block size"] + [f"{p} SPE" for p in SPE_COUNTS], rows,
+        title="Figure 2 - aggregate memory bandwidth (GB/s) vs SPEs")
+    chart = ascii_chart(
+        [(f"{bs}B", SPE_COUNTS, values) for bs, values in series.items()],
+        title="Figure 2 shape", x_label="SPEs", y_label="GB/s")
+    report("fig2_bandwidth", table + "\n\n" + chart)
+
+
+def test_large_blocks_saturate_at_heavy_traffic(series):
+    assert series[4096][-1] == pytest.approx(
+        HEAVY_TRAFFIC_AGGREGATE / 1e9)
+    assert series[512][-1] == pytest.approx(
+        HEAVY_TRAFFIC_AGGREGATE / 1e9)
+
+
+def test_256_byte_blocks_close_to_peak(series):
+    """Paper: 'close to the peak only when blocks are at least 256 B'."""
+    assert series[256][-1] > 0.85 * HEAVY_TRAFFIC_AGGREGATE / 1e9
+    assert series[128][-1] < 0.85 * HEAVY_TRAFFIC_AGGREGATE / 1e9
+
+
+def test_small_blocks_never_saturate(series):
+    assert series[64][-1] < 0.6 * HEAVY_TRAFFIC_AGGREGATE / 1e9
+
+
+def test_monotone_in_spes(series):
+    for values in series.values():
+        assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))
+
+
+def test_monotone_in_block_size(series):
+    for p_idx in range(len(SPE_COUNTS)):
+        col = [series[bs][p_idx] for bs in BLOCK_SIZES]
+        assert all(b >= a - 1e-9 for a, b in zip(col, col[1:]))
+
+
+def test_mfc_timing_agrees_with_model(series):
+    """The DMA engine's per-command durations implement the same curve."""
+    mem = MainMemory(1 << 20)
+    mfc = MFC(LocalStore(), mem, num_contending=8)
+    for bs in (64, 256, 4096):
+        cmd = mfc.get(0, 0, bs, tag=0)
+        expected = BandwidthModel().transfer_seconds(bs, 8, bs)
+        assert cmd.duration_s == pytest.approx(expected)
+
+
+def test_benchmark_bandwidth_model(benchmark):
+    bw = BandwidthModel()
+
+    def sweep():
+        return [bw.aggregate(p, bs)
+                for p in SPE_COUNTS for bs in BLOCK_SIZES]
+
+    values = benchmark(sweep)
+    assert len(values) == len(SPE_COUNTS) * len(BLOCK_SIZES)

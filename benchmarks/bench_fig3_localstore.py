@@ -1,0 +1,81 @@
+"""Figure 3: local-store usage of the three tile configurations.
+
+Case 1: 2×16 KB buffers -> 190 KB STT -> 1520 states
+Case 2: 2× 8 KB buffers -> 206 KB STT -> 1648 states
+Case 3: 2× 4 KB buffers -> 214 KB STT -> 1712 states
+
+These are exact arithmetic identities of the layout, so unlike the timing
+figures they are asserted to the digit.
+"""
+
+import pytest
+
+from repro.analysis import ascii_table
+from repro.cell.local_store import LocalStore
+from repro.core import DFATile, FIGURE3_CASES, plan_tile
+from repro.dfa import AhoCorasick
+from repro.workloads import signatures_for_states
+
+PAPER_CASES = [
+    # (buffer KB, STT KB, states)
+    (16, 190, 1520),
+    (8, 206, 1648),
+    (4, 214, 1712),
+]
+
+
+def test_figure3_report(report):
+    rows = []
+    for i, (plan, (buf_kb, stt_kb, states)) in enumerate(
+            zip(FIGURE3_CASES, PAPER_CASES), start=1):
+        rows.append([
+            f"case {i}",
+            f"2 x {plan.buffer_bytes // 1024} KB",
+            round(plan.stt_capacity / 1024, 1),
+            stt_kb,
+            plan.max_states,
+            states,
+        ])
+    text = ascii_table(
+        ["config", "input buffers", "STT KB", "paper", "max states",
+         "paper"],
+        rows, title="Figure 3 - SPE local store usage (34 KB code+stack)")
+    report("fig3_localstore", text)
+
+
+@pytest.mark.parametrize("case,expected", list(zip(FIGURE3_CASES,
+                                                   PAPER_CASES)))
+def test_exact_paper_numbers(case, expected):
+    buf_kb, stt_kb, states = expected
+    assert case.buffer_bytes == buf_kb * 1024
+    assert case.stt_capacity == stt_kb * 1024
+    assert case.max_states == states
+
+
+def test_each_case_actually_hosts_a_full_tile():
+    """Build a maximal DFA for each layout and install it for real."""
+    for plan in FIGURE3_CASES:
+        patterns = signatures_for_states(plan.max_states - 15, seed=9)
+        dfa = AhoCorasick(patterns, 32).to_dfa()
+        assert dfa.num_states <= plan.max_states
+        tile = DFATile(dfa, plan=plan)
+        ls = tile.local_store
+        assert ls.region("stt").size == plan.stt_capacity
+        assert ls.bytes_free >= 0
+
+
+def test_smaller_buffers_more_states():
+    states = [plan.max_states for plan in FIGURE3_CASES]
+    assert states[0] < states[1] < states[2]
+
+
+def test_benchmark_tile_installation(benchmark):
+    """Time a full tile build+install (DFA -> STT image -> local store)."""
+    patterns = signatures_for_states(800, seed=10)
+    dfa = AhoCorasick(patterns, 32).to_dfa()
+
+    def install():
+        return DFATile(dfa, plan=plan_tile())
+
+    tile = benchmark.pedantic(install, rounds=3, iterations=1)
+    assert tile.num_states == dfa.num_states

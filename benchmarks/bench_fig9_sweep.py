@@ -1,0 +1,98 @@
+"""Figure 9: throughput of dynamic STT replacement vs aggregate STT size.
+
+The paper plots T(n) = P × 5.11 / (2(n−1)) Gbps for P = 1, 2, 4, 8 SPEs
+against the aggregate table size n × 95 KB, out to ~600 KB.  We regenerate
+all four series, chart them, verify the hyperbolic shape and the P-scaling,
+and cross-check a few points against a functional replacement matcher
+whose slice count is derived from a real partitioned dictionary.
+"""
+
+import pytest
+
+from repro.analysis import ascii_chart, ascii_table
+from repro.core.replacement import HALF_TILE_STT_BYTES, \
+    ReplacementMatcher, effective_gbps
+from repro.dfa import partition_patterns
+from repro.workloads import signatures_for_states
+
+SPE_COUNTS = [1, 2, 4, 8]
+SLICE_COUNTS = list(range(1, 8))   # aggregate size up to ~630 KB
+
+
+def aggregate_kb(n: int) -> float:
+    return n * HALF_TILE_STT_BYTES / 1024
+
+
+@pytest.fixture(scope="module")
+def series():
+    return {
+        p: [effective_gbps(n, num_spes=p) for n in SLICE_COUNTS]
+        for p in SPE_COUNTS
+    }
+
+
+def test_figure9_report(series, report):
+    rows = []
+    for n in SLICE_COUNTS:
+        rows.append([n, round(aggregate_kb(n), 0)] + [
+            round(series[p][n - 1], 2) for p in SPE_COUNTS
+        ])
+    table = ascii_table(
+        ["slices", "agg. STT KB"] + [f"{p} SPE" for p in SPE_COUNTS],
+        rows, title="Figure 9 - dynamic STT replacement throughput "
+                    "(Gbps), T = P * 5.11 / (2(n-1))")
+    chart = ascii_chart(
+        [(f"{p} SPE", [aggregate_kb(n) for n in SLICE_COUNTS], series[p])
+         for p in SPE_COUNTS],
+        title="Figure 9 shape", x_label="aggregate STT size (KB)",
+        y_label="Gbps")
+    report("fig9_sweep", table + "\n\n" + chart)
+
+
+def test_left_edge_matches_parallel_composition(series):
+    """n = 1 (everything resident) is just the parallel configuration."""
+    assert series[1][0] == pytest.approx(5.11)
+    assert series[8][0] == pytest.approx(40.88)
+
+
+def test_hyperbolic_decay(series):
+    for p in SPE_COUNTS:
+        values = series[p]
+        assert all(a > b for a, b in zip(values, values[1:]))
+        # T(n) * (n-1) constant for n >= 2: the 1/(n-1) law.
+        products = [v * (n - 1) for v, n in zip(values[1:],
+                                                SLICE_COUNTS[1:])]
+        assert max(products) == pytest.approx(min(products))
+
+
+def test_spe_scaling_is_linear(series):
+    for i, n in enumerate(SLICE_COUNTS):
+        assert series[8][i] == pytest.approx(8 * series[1][i])
+        assert series[4][i] == pytest.approx(4 * series[1][i])
+
+
+def test_paper_anchor_points(series):
+    """Spot values stated or directly derivable from §6."""
+    assert series[1][1] == pytest.approx(5.11 / 2)     # n=2
+    assert series[1][2] == pytest.approx(5.11 / 4)     # n=3
+    assert series[8][6] == pytest.approx(8 * 5.11 / 12)  # n=7
+
+
+def test_slice_count_from_real_dictionary():
+    """A dictionary sized for ~3 half-tiles really partitions into 3-4
+    slices, tying the x-axis to actual dictionaries."""
+    patterns = signatures_for_states(2300, seed=61)
+    part = partition_patterns(patterns, max_states=800)
+    assert 3 <= part.num_slices <= 4
+    matcher = ReplacementMatcher(part)
+    assert matcher.modelled_gbps() == \
+        pytest.approx(effective_gbps(part.num_slices))
+
+
+def test_benchmark_sweep(benchmark):
+    def sweep():
+        return [effective_gbps(n, num_spes=p)
+                for p in SPE_COUNTS for n in SLICE_COUNTS]
+
+    values = benchmark(sweep)
+    assert len(values) == len(SPE_COUNTS) * len(SLICE_COUNTS)

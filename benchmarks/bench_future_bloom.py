@@ -1,0 +1,104 @@
+"""Future work (§7): Bloom-filter string matching on the Cell.
+
+The paper closes by announcing Bloom-filter exploration.  This bench
+builds that system at model level and quantifies the trade the FPGA
+literature (refs [7, 13, 14]) describes:
+
+* **capacity** — the DFA tile's 190 KB STT holds ~1500 states; the same
+  bytes as Bloom bits hold >100k signatures at a 1 % false-positive rate;
+* **throughput** — the Bloom scan pays per *distinct pattern length* and
+  degrades with the verification rate (hits + false positives), while the
+  DFA's cost is one transition per byte, flat;
+* **exactness** — Bloom screening plus verification finds exactly the DFA
+  engine's matches (no false negatives; fp filtered).
+"""
+
+import pytest
+
+from repro.analysis import ascii_table
+from repro.core.bloom_tile import BloomTile, bloom_capacity
+from repro.core.planner import plan_tile
+from repro.dfa import AhoCorasick
+from repro.workloads import plant_matches, random_payload, \
+    random_signatures
+
+
+@pytest.fixture(scope="module")
+def dictionaries():
+    uniform = [bytes(p) for p in random_signatures(50, 8, 8, seed=80)]
+    spread = random_signatures(50, 4, 16, seed=81)
+    return uniform, spread
+
+
+def test_future_bloom_report(dictionaries, report):
+    uniform, spread = dictionaries
+    plan = plan_tile()
+    rows = []
+    for name, patterns in (("uniform length (8)", uniform),
+                           ("lengths 4..16", spread)):
+        tile = BloomTile(patterns, plan=plan)
+        block = plant_matches(random_payload(30_000, seed=82), patterns,
+                              60, seed=83)
+        result = tile.scan(block)
+        rows.append([
+            name,
+            tile.num_length_groups,
+            round(tile.cycles_per_byte(), 1),
+            round(result.modelled_gbps, 2),
+            result.total_matches,
+            result.false_positives,
+        ])
+    capacity = bloom_capacity(plan.stt_capacity * 8, 0.01)
+    header = (f"Future work (§7): Bloom tile on a {plan.stt_capacity // 1024}"
+              f" KB budget — capacity {capacity} signatures @1% fp "
+              f"(DFA tile: {plan.max_states} states)")
+    text = ascii_table(
+        ["dictionary", "length groups", "cyc/byte", "Gbps", "matches",
+         "false pos"],
+        rows, title=header)
+    report("future_bloom", text)
+
+
+def test_capacity_headline(dictionaries):
+    plan = plan_tile()
+    assert bloom_capacity(plan.stt_capacity * 8, 0.01) > 100 * \
+        plan.max_states
+
+
+def test_throughput_penalty_for_length_spread(dictionaries):
+    """More distinct lengths -> more filters probed per byte -> slower."""
+    uniform, spread = dictionaries
+    t_uniform = BloomTile(uniform)
+    t_spread = BloomTile(spread)
+    assert t_spread.num_length_groups > t_uniform.num_length_groups
+    assert t_spread.modelled_gbps() < t_uniform.modelled_gbps()
+
+
+def test_bloom_slower_than_dfa_tile_on_spread_dictionaries(dictionaries):
+    """With a realistic length spread the Bloom scan's per-byte cost
+    exceeds the DFA kernel's ~5.5 cycles."""
+    _, spread = dictionaries
+    tile = BloomTile(spread)
+    assert tile.cycles_per_byte() > 5.5
+
+
+def test_exactness_against_dfa(dictionaries):
+    uniform, _ = dictionaries
+    tile = BloomTile(uniform)
+    block = plant_matches(random_payload(20_000, seed=84), uniform, 40,
+                          seed=85)
+    ac = AhoCorasick(uniform, 32)
+    assert tile.scan(block).events == ac.find_all(block)
+
+
+def test_benchmark_bloom_scan(dictionaries, benchmark):
+    uniform, _ = dictionaries
+    tile = BloomTile(uniform)
+    block = plant_matches(random_payload(40_000, seed=86), uniform, 40,
+                          seed=87)
+
+    def scan():
+        return tile.scan(block)
+
+    result = benchmark.pedantic(scan, rounds=3, iterations=1)
+    assert result.total_matches >= 40 // 2

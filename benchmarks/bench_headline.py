@@ -1,0 +1,67 @@
+"""The paper's headline numbers (§1, §5, abstract).
+
+* one tile: 5.11 Gbps with ~1500 states;
+* two SPEs filter a 10 Gbps link in real time;
+* 8 SPEs (one chip): 40.88 Gbps; a dual-Cell blade: 81.76 Gbps.
+
+Measured counterparts come from this repository's simulator; the report
+prints both columns and the ratio.
+"""
+
+import pytest
+
+from repro.analysis import (
+    PAPER_BLADE_GBPS,
+    PAPER_CHIP_GBPS,
+    PAPER_TILE_GBPS,
+    comparison_table,
+    parallel_gbps,
+    spes_for_line_rate,
+)
+from repro.core import DFATile
+from repro.dfa import AhoCorasick
+from repro.workloads import signatures_for_states, streams_for_tile
+
+
+@pytest.fixture(scope="module")
+def measured_tile_gbps():
+    patterns = signatures_for_states(1500, seed=88)
+    tile = DFATile(AhoCorasick(patterns, 32).to_dfa())
+    streams = streams_for_tile(384, patterns, seed=89)
+    return tile.run_streams(streams, version=4).throughput_gbps()
+
+
+def test_headline_report(measured_tile_gbps, report):
+    m = measured_tile_gbps
+    text = comparison_table([
+        ("single tile Gbps", PAPER_TILE_GBPS, m),
+        ("2 SPEs (10 GbE filter) Gbps", 2 * PAPER_TILE_GBPS, 2 * m),
+        ("8 SPEs / chip Gbps", PAPER_CHIP_GBPS, 8 * m),
+        ("dual-Cell blade Gbps", PAPER_BLADE_GBPS, 16 * m),
+    ], title="Headline throughput: paper vs this reproduction")
+    report("headline", text)
+
+
+def test_tile_within_band(measured_tile_gbps):
+    assert measured_tile_gbps == pytest.approx(PAPER_TILE_GBPS, rel=0.15)
+
+
+def test_two_spes_exceed_10gbps_modelled():
+    assert spes_for_line_rate(10.0, PAPER_TILE_GBPS) == 2
+
+
+def test_chip_and_blade_scaling():
+    assert parallel_gbps(8) == pytest.approx(PAPER_CHIP_GBPS)
+    assert 2 * parallel_gbps(8) == pytest.approx(PAPER_BLADE_GBPS)
+
+
+def test_benchmark_tile_run(measured_tile_gbps, benchmark):
+    patterns = signatures_for_states(300, seed=90)
+    tile = DFATile(AhoCorasick(patterns, 32).to_dfa())
+    streams = streams_for_tile(96, patterns, seed=91)
+
+    def run():
+        return tile.run_streams(streams, version=4, verify=False)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.transitions == 96 * 16

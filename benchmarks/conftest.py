@@ -1,0 +1,31 @@
+"""Benchmark-harness plumbing.
+
+Every bench reproduces one table or figure of the paper: it computes the
+measured numbers on this repository's simulator/engines, renders a
+paper-vs-measured report, asserts the *shape* (ordering, ratios,
+crossovers — not absolute values), and times a representative operation
+with pytest-benchmark.
+
+Reports are printed and also written to ``benchmarks/results/<name>.txt``
+so they survive pytest's output capture; EXPERIMENTS.md summarizes them.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Callable fixture: ``report(name, text)`` prints and persists."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _report(name: str, text: str) -> None:
+        print(f"\n{text}\n")
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _report

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Network-intrusion-detection scenario: filter a synthetic packet stream.
+
+This is the workload the paper's introduction motivates: a NIDS inspecting
+every payload byte against a signature dictionary at wire speed.  The
+example
+
+1. generates a signature dictionary and a burst of packets, a fraction of
+   which carry planted malicious content;
+2. scans the stream with the DFA matcher (content-independent cost);
+3. compares against a heuristic baseline (Wu–Manber) on friendly *and*
+   adversarial traffic, demonstrating the overload-attack argument of §1;
+4. reports the modelled Cell-BE deployment for a 10 Gbps link — the
+   paper's headline: two SPEs suffice.
+
+Run:  python examples/nids_filter.py
+"""
+
+import time
+
+from repro import CellStringMatcher, case_fold_32
+from repro.analysis import spes_for_line_rate
+from repro.baselines import WuManberMatcher
+from repro.workloads import (
+    adversarial_payload,
+    ascii_keywords,
+    packet_stream,
+)
+
+
+def main() -> None:
+    fold = case_fold_32()
+    signatures = ascii_keywords(60, seed=42)
+
+    # -- 1. traffic: raw ASCII payloads with planted signatures ------------
+    packets = packet_stream(400, min_size=200, max_size=1500,
+                            alphabet_size=256, patterns=signatures,
+                            match_fraction=0.15, seed=7)
+    total_bytes = sum(len(p) for p in packets)
+    print(f"traffic    : {len(packets)} packets, "
+          f"{total_bytes / 1024:.1f} KB payload")
+
+    # -- 2. DFA scan --------------------------------------------------------
+    matcher = CellStringMatcher(signatures)
+    flagged = 0
+    matches = 0
+    t0 = time.perf_counter()
+    for packet in packets:
+        count = matcher.scan(packet).total_matches
+        if count:
+            flagged += 1
+            matches += count
+    elapsed = time.perf_counter() - t0
+    print(f"DFA scan   : {flagged} packets flagged, {matches} signature "
+          f"hits, {total_bytes / elapsed / 1e6:.1f} MB/s in-Python")
+    print(f"deployment : {matcher.configuration}")
+    print(f"modelled   : {matcher.modelled_gbps:.2f} Gbps per config, "
+          f"{spes_for_line_rate(10.0)} SPE(s) needed for a 10 Gbps link")
+
+    # -- 3. adversarial robustness (in folded symbol space) ------------------
+    target = min((fold.fold_bytes(s) for s in signatures), key=len)
+    wm = WuManberMatcher([target])
+    n = 200_000
+    friendly = bytes([0]) * n     # symbol 0 never occurs in signatures
+    hostile = adversarial_payload(target, n, mismatch_at_end=False)
+    w_friendly = wm.scan_work(friendly)
+    w_hostile = wm.scan_work(hostile)
+    print("\nadversarial-input sensitivity (window inspections per "
+          f"{n // 1000} kB):")
+    print(f"  Wu-Manber  friendly={w_friendly:>8}  hostile={w_hostile:>8} "
+          f"({w_hostile / w_friendly:.1f}x more work)")
+    print(f"  DFA        friendly={n:>8}  hostile={n:>8} (1.0x — "
+          f"content-independent)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+"""Analysis helpers: the paper's reference numbers, analytic throughput
+models, and plain-text reporting for the benchmark harness."""
+
+from .models import (PAPER_BLADE_GBPS, PAPER_CHIP_GBPS,
+                     PAPER_COMPUTE_PERIOD_US, PAPER_TABLE1, PAPER_TILE_GBPS,
+                     PAPER_TRANSFER_US, PAPER_WORST_CASE_SPE_BW, Table1Row,
+                     cycles_per_transition_from_gbps,
+                     gbps_from_cycles_per_transition, parallel_gbps,
+                     replacement_gbps, spes_for_line_rate)
+from .calibration import (CalibrationError, CalibrationSample,
+                          fit_bandwidth_model)
+from .report import ascii_chart, ascii_table, comparison_table, format_si
+
+__all__ = [
+    "PAPER_BLADE_GBPS",
+    "PAPER_CHIP_GBPS",
+    "PAPER_COMPUTE_PERIOD_US",
+    "PAPER_TABLE1",
+    "PAPER_TILE_GBPS",
+    "PAPER_TRANSFER_US",
+    "PAPER_WORST_CASE_SPE_BW",
+    "Table1Row",
+    "cycles_per_transition_from_gbps",
+    "gbps_from_cycles_per_transition",
+    "parallel_gbps",
+    "replacement_gbps",
+    "spes_for_line_rate",
+    "CalibrationError",
+    "CalibrationSample",
+    "fit_bandwidth_model",
+    "ascii_chart",
+    "ascii_table",
+    "comparison_table",
+    "format_si",
+]

@@ -1,0 +1,95 @@
+"""Bandwidth-model calibration: fit Figure-2 parameters from measurements.
+
+The memory model has three parameters — per-transfer setup time, per-SPE
+link rate, and the contended aggregate cap.  The defaults are calibrated
+to the paper's figure, but a user porting the models to other hardware (or
+to refined Cell measurements) can re-fit them from observed
+(block_size, num_spes, bandwidth) samples.
+
+The per-SPE law is ``bs / (setup + bs / link)``; rearranged per sample,
+``bs / bw = setup + bs / link`` is *linear* in (1, bs), so the fit is an
+ordinary least-squares on uncapped samples.  The aggregate cap is read off
+the saturated samples directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..cell.memory import BandwidthModel
+
+__all__ = ["CalibrationSample", "fit_bandwidth_model", "CalibrationError"]
+
+
+class CalibrationError(Exception):
+    """Raised when the samples cannot constrain the model."""
+
+
+@dataclass(frozen=True)
+class CalibrationSample:
+    """One measurement: aggregate bandwidth at (num_spes, block_size)."""
+
+    num_spes: int
+    block_size: int
+    aggregate_bytes_per_s: float
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.num_spes <= 8:
+            raise CalibrationError("num_spes must be 1..8")
+        if self.block_size <= 0:
+            raise CalibrationError("block_size must be positive")
+        if self.aggregate_bytes_per_s <= 0:
+            raise CalibrationError("bandwidth must be positive")
+
+
+def fit_bandwidth_model(samples: Sequence[CalibrationSample],
+                        saturation_tolerance: float = 0.02
+                        ) -> BandwidthModel:
+    """Least-squares fit of (setup, link, aggregate cap) from samples.
+
+    Saturated samples (several SPE counts yielding the same aggregate for
+    a block size, within ``saturation_tolerance``) define the cap; the
+    rest constrain the linear per-SPE law.  Needs at least two uncapped
+    samples at distinct block sizes.
+    """
+    if len(samples) < 3:
+        raise CalibrationError("need at least three samples")
+
+    values = sorted(s.aggregate_bytes_per_s for s in samples)
+    cap = values[-1]
+    # Saturated = within tolerance of the maximum observed aggregate.
+    uncapped = [s for s in samples
+                if s.aggregate_bytes_per_s < cap * (1 - saturation_tolerance)]
+    capped = [s for s in samples if s not in uncapped]
+    if len(capped) < 1:
+        raise CalibrationError("no saturated sample to define the cap")
+
+    # Per-SPE rate of uncapped samples: aggregate / P = bs/(setup+bs/link)
+    # -> bs * P / aggregate = setup + bs / link.
+    rows = []
+    rhs = []
+    block_sizes = set()
+    for s in uncapped:
+        per_spe = s.aggregate_bytes_per_s / s.num_spes
+        rows.append([1.0, s.block_size])
+        rhs.append(s.block_size / per_spe)
+        block_sizes.add(s.block_size)
+    if len(block_sizes) < 2:
+        raise CalibrationError(
+            "need uncapped samples at two or more block sizes to separate "
+            "setup time from link rate")
+    coeffs, *_ = np.linalg.lstsq(np.asarray(rows), np.asarray(rhs),
+                                 rcond=None)
+    setup, inv_link = float(coeffs[0]), float(coeffs[1])
+    if setup <= 0 or inv_link <= 0:
+        raise CalibrationError(
+            f"fit produced non-physical parameters (setup={setup:.3g}s, "
+            f"1/link={inv_link:.3g}); check the samples")
+    return BandwidthModel(
+        heavy_traffic_aggregate=cap,
+        spe_link=1.0 / inv_link,
+        setup_s=setup,
+    )

@@ -1,0 +1,128 @@
+"""Analytic performance models and the paper's reference numbers.
+
+Everything the evaluation section states numerically lives here, so the
+benchmarks can print paper-vs-measured side by side and the tests can pin
+the analytic laws:
+
+* Table 1 — the five implementation versions;
+* Figure 2 — bandwidth operating points (via :mod:`repro.cell.memory`);
+* Figure 3 — the local-store cases (via :mod:`repro.core.planner`);
+* Figure 5 — the 16 KB double-buffering periods;
+* §5 — composition throughput (5.11 × tiles, 40.88 Gbps per chip,
+  81.76 Gbps per blade);
+* §6 / Figure 9 — the replacement law 5.11/(2(n−1)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..cell.spu import CLOCK_HZ
+
+__all__ = [
+    "Table1Row",
+    "PAPER_TABLE1",
+    "PAPER_TILE_GBPS",
+    "PAPER_CHIP_GBPS",
+    "PAPER_BLADE_GBPS",
+    "PAPER_COMPUTE_PERIOD_US",
+    "PAPER_TRANSFER_US",
+    "PAPER_WORST_CASE_SPE_BW",
+    "gbps_from_cycles_per_transition",
+    "cycles_per_transition_from_gbps",
+    "parallel_gbps",
+    "replacement_gbps",
+    "spes_for_line_rate",
+]
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One column of the paper's Table 1."""
+
+    version: int
+    simd: bool
+    unroll: Optional[int]
+    total_cycles: int
+    transitions: int
+    cycles_per_transition: float
+    throughput_mtps: float          # million transitions / second
+    throughput_gbps: float
+    cpi: float
+    dual_issue_pct: float
+    stall_pct: float
+    registers: Optional[int]        # None = "spill"
+    speedup: float
+
+
+#: Table 1 of the paper, verbatim.
+PAPER_TABLE1: Dict[int, Table1Row] = {
+    1: Table1Row(1, False, None, 311316, 16384, 19.00, 168.41, 1.35,
+                 2.60, 0.0, 63.2, 4, 1.00),
+    2: Table1Row(2, True, None, 123976, 16384, 7.57, 422.89, 3.38,
+                 0.67, 43.8, 7.4, 40, 2.51),
+    3: Table1Row(3, True, 2, 90200, 16384, 5.51, 581.25, 4.65,
+                 0.63, 48.3, 0.0, 81, 3.45),
+    4: Table1Row(4, True, 3, 82182, 16416, 5.01, 639.21, 5.11,
+                 0.64, 48.7, 0.0, 124, 3.79),
+    5: Table1Row(5, True, 4, 91833, 16384, 5.61, 570.91, 4.57,
+                 0.62, 48.6, 0.6, None, 3.39),
+}
+
+#: Peak single-tile throughput (Table 1, version 4).
+PAPER_TILE_GBPS = 5.11
+
+#: One chip, 8 SPEs in parallel (§5).
+PAPER_CHIP_GBPS = 40.88
+
+#: A dual-Cell blade (§5).
+PAPER_BLADE_GBPS = 81.76
+
+#: Figure 5's compute period for a 16 KB block at 5.11 Gbps.
+PAPER_COMPUTE_PERIOD_US = 25.64
+
+#: Figure 5's transfer time for 16 KB at the worst-case per-SPE bandwidth.
+PAPER_TRANSFER_US = 5.94
+
+#: Worst-case per-SPE main-memory bandwidth (22.05 GB/s ÷ 8).
+PAPER_WORST_CASE_SPE_BW = 2.76e9
+
+
+def gbps_from_cycles_per_transition(cpt: float,
+                                    clock_hz: float = CLOCK_HZ) -> float:
+    """One byte per transition: Gbps = 8 × clock / cpt / 1e9."""
+    if cpt <= 0:
+        raise ValueError("cycles per transition must be positive")
+    return 8.0 * clock_hz / cpt / 1e9
+
+
+def cycles_per_transition_from_gbps(gbps: float,
+                                    clock_hz: float = CLOCK_HZ) -> float:
+    if gbps <= 0:
+        raise ValueError("throughput must be positive")
+    return 8.0 * clock_hz / (gbps * 1e9)
+
+
+def parallel_gbps(num_tiles: int, per_tile_gbps: float = PAPER_TILE_GBPS
+                  ) -> float:
+    """§5: parallel tiles multiply throughput (embarrassingly parallel)."""
+    if num_tiles < 1:
+        raise ValueError("need at least one tile")
+    return num_tiles * per_tile_gbps
+
+
+def replacement_gbps(num_slices: int, num_spes: int = 1,
+                     per_tile_gbps: float = PAPER_TILE_GBPS) -> float:
+    """§6's law (re-exported for symmetry with the other models)."""
+    from ..core.replacement import effective_gbps
+    return effective_gbps(num_slices, per_tile_gbps, num_spes)
+
+
+def spes_for_line_rate(line_gbps: float,
+                       per_tile_gbps: float = PAPER_TILE_GBPS) -> int:
+    """SPEs needed to filter a link in real time — the paper's headline:
+    two SPEs suffice for a 10 Gbps link."""
+    if line_gbps <= 0:
+        raise ValueError("line rate must be positive")
+    return max(1, -(-int(line_gbps * 1000) // int(per_tile_gbps * 1000)))

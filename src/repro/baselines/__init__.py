@@ -1,0 +1,24 @@
+"""Baseline string-matching algorithms (paper §1's comparison set).
+
+All baselines share the occurrence semantics of
+:meth:`repro.dfa.AhoCorasick.find_all` — one event per (pattern,
+end-position) pair — so every engine in the repository can be cross-
+validated against every other.
+"""
+
+from .bloom import BloomFilter, BloomMatcher
+from .boyer_moore import BoyerMooreMatcher
+from .commentz_walter import CommentzWalterMatcher
+from .kmp import KMPMatcher
+from .naive import NaiveMatcher
+from .wu_manber import WuManberMatcher
+
+__all__ = [
+    "BloomFilter",
+    "BloomMatcher",
+    "BoyerMooreMatcher",
+    "CommentzWalterMatcher",
+    "KMPMatcher",
+    "NaiveMatcher",
+    "WuManberMatcher",
+]

@@ -1,0 +1,136 @@
+"""Bloom-filter string scanning (paper refs [2, 7, 13, 14]; §7 future work).
+
+The FPGA literature the paper cites screens traffic with Bloom filters: one
+filter per pattern length holds the hashes of all dictionary entries of
+that length; a sliding window queries the filter at every offset, and only
+filter *hits* are verified against the exact dictionary.  Negatives are
+certain (no false negatives); positives are probabilistic and cost a
+verification, so throughput degrades with the false-positive rate — the
+trade-off the bench quantifies.
+
+The implementation uses k hash functions derived from two independent
+rolling (Rabin–Karp) hashes, so sliding the window one byte costs O(k)
+regardless of pattern length.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Set, Tuple
+
+from ..dfa.automaton import MatchEvent
+
+__all__ = ["BloomFilter", "BloomMatcher"]
+
+_MOD1 = (1 << 61) - 1
+_BASE1 = 263
+_MOD2 = (1 << 31) - 1
+_BASE2 = 101
+
+
+class BloomFilter:
+    """Plain bit-array Bloom filter with ``k`` hash functions."""
+
+    def __init__(self, expected_items: int, fp_rate: float = 0.01) -> None:
+        if expected_items <= 0:
+            raise ValueError("expected_items must be positive")
+        if not 0 < fp_rate < 1:
+            raise ValueError("fp_rate must be in (0, 1)")
+        m = max(8, int(-expected_items * math.log(fp_rate)
+                       / (math.log(2) ** 2)))
+        self.num_bits = m
+        self.num_hashes = max(1, round(m / expected_items * math.log(2)))
+        self._bits = bytearray((m + 7) // 8)
+        self.items_added = 0
+
+    def _positions(self, h1: int, h2: int):
+        for i in range(self.num_hashes):
+            yield (h1 + i * h2 + i * i) % self.num_bits
+
+    def add_hash(self, h1: int, h2: int) -> None:
+        for pos in self._positions(h1, h2):
+            self._bits[pos >> 3] |= 1 << (pos & 7)
+        self.items_added += 1
+
+    def query_hash(self, h1: int, h2: int) -> bool:
+        return all(self._bits[pos >> 3] & (1 << (pos & 7))
+                   for pos in self._positions(h1, h2))
+
+    @property
+    def fill_ratio(self) -> float:
+        ones = sum(bin(b).count("1") for b in self._bits)
+        return ones / self.num_bits
+
+    def theoretical_fp_rate(self) -> float:
+        """Expected false-positive probability at the current fill."""
+        k = self.num_hashes
+        return (1 - (1 - 1 / self.num_bits)
+                ** (k * self.items_added)) ** k
+
+
+def _hash_pair(data: bytes) -> Tuple[int, int]:
+    h1 = 0
+    h2 = 0
+    for b in data:
+        h1 = (h1 * _BASE1 + b + 1) % _MOD1
+        h2 = (h2 * _BASE2 + b + 1) % _MOD2
+    return h1, h2
+
+
+class BloomMatcher:
+    """Multi-pattern scanner: one Bloom filter + rolling hash per length."""
+
+    def __init__(self, patterns: Sequence[bytes],
+                 fp_rate: float = 0.01) -> None:
+        if not patterns:
+            raise ValueError("at least one pattern required")
+        self.patterns = [bytes(p) for p in patterns]
+        for i, p in enumerate(self.patterns):
+            if not p:
+                raise ValueError(f"pattern {i} is empty")
+        self.by_length: Dict[int, Dict[bytes, List[int]]] = {}
+        for pid, p in enumerate(self.patterns):
+            self.by_length.setdefault(len(p), {}).setdefault(p, []).append(
+                pid)
+        self.filters: Dict[int, BloomFilter] = {}
+        for length, exact in self.by_length.items():
+            bf = BloomFilter(len(exact), fp_rate)
+            for p in exact:
+                bf.add_hash(*_hash_pair(p))
+            self.filters[length] = bf
+        self.verifications = 0
+        self.false_positives = 0
+
+    def find_all(self, text: bytes) -> List[MatchEvent]:
+        events: List[MatchEvent] = []
+        n = len(text)
+        for length, bf in self.filters.items():
+            if n < length:
+                continue
+            exact = self.by_length[length]
+            pow1 = pow(_BASE1, length - 1, _MOD1)
+            pow2 = pow(_BASE2, length - 1, _MOD2)
+            h1, h2 = _hash_pair(text[:length])
+            pos = 0
+            while True:
+                if bf.query_hash(h1, h2):
+                    self.verifications += 1
+                    window = text[pos:pos + length]
+                    pids = exact.get(window)
+                    if pids is None:
+                        self.false_positives += 1
+                    else:
+                        for pid in pids:
+                            events.append(MatchEvent(pos + length, pid))
+                if pos + length >= n:
+                    break
+                out = text[pos] + 1
+                inc = text[pos + length] + 1
+                h1 = ((h1 - out * pow1) * _BASE1 + inc) % _MOD1
+                h2 = ((h2 - out * pow2) * _BASE2 + inc) % _MOD2
+                pos += 1
+        events.sort(key=lambda e: (e.end, e.pattern))
+        return events
+
+    def count(self, text: bytes) -> int:
+        return len(self.find_all(text))

@@ -1,0 +1,67 @@
+"""Knuth–Morris–Pratt string search (paper ref [12]).
+
+One of the classic single-pattern algorithms the paper's §1 surveys.  Like
+the other heuristic-free baselines it does O(1) work per input symbol, but
+a multi-pattern dictionary needs one pass per pattern — which is exactly
+the argument for the Aho–Corasick DFA the paper builds on.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..dfa.automaton import MatchEvent
+
+__all__ = ["KMPMatcher", "failure_function"]
+
+
+def failure_function(pattern: bytes) -> List[int]:
+    """KMP failure (border) table: ``fail[i]`` is the length of the longest
+    proper border of ``pattern[:i+1]``."""
+    if not pattern:
+        raise ValueError("pattern must be non-empty")
+    fail = [0] * len(pattern)
+    k = 0
+    for i in range(1, len(pattern)):
+        while k > 0 and pattern[i] != pattern[k]:
+            k = fail[k - 1]
+        if pattern[i] == pattern[k]:
+            k += 1
+        fail[i] = k
+    return fail
+
+
+class KMPMatcher:
+    """Multi-pattern wrapper: one KMP scan per dictionary entry."""
+
+    def __init__(self, patterns: Sequence[bytes]) -> None:
+        if not patterns:
+            raise ValueError("at least one pattern required")
+        self.patterns = [bytes(p) for p in patterns]
+        self._fails = [failure_function(p) for p in self.patterns]
+
+    def _find_one(self, text: bytes, pid: int) -> List[MatchEvent]:
+        pattern = self.patterns[pid]
+        fail = self._fails[pid]
+        events: List[MatchEvent] = []
+        k = 0
+        m = len(pattern)
+        for i, b in enumerate(text):
+            while k > 0 and b != pattern[k]:
+                k = fail[k - 1]
+            if b == pattern[k]:
+                k += 1
+            if k == m:
+                events.append(MatchEvent(i + 1, pid))
+                k = fail[k - 1]
+        return events
+
+    def find_all(self, text: bytes) -> List[MatchEvent]:
+        events: List[MatchEvent] = []
+        for pid in range(len(self.patterns)):
+            events.extend(self._find_one(text, pid))
+        events.sort(key=lambda e: (e.end, e.pattern))
+        return events
+
+    def count(self, text: bytes) -> int:
+        return len(self.find_all(text))

@@ -1,0 +1,45 @@
+"""Naive multi-pattern search: the correctness anchor for every other
+matcher in this repository.
+
+Semantics: an *occurrence* is a (pattern, end-position) pair; the count of
+occurrences equals the number of Aho–Corasick match events (a position
+where two different patterns end contributes two occurrences).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..dfa.automaton import MatchEvent
+
+__all__ = ["NaiveMatcher"]
+
+
+class NaiveMatcher:
+    """Quadratic reference matcher (use only on small inputs/tests)."""
+
+    def __init__(self, patterns: Sequence[bytes]) -> None:
+        if not patterns:
+            raise ValueError("at least one pattern required")
+        self.patterns = [bytes(p) for p in patterns]
+        for i, p in enumerate(self.patterns):
+            if not p:
+                raise ValueError(f"pattern {i} is empty")
+
+    def find_all(self, text: bytes) -> List[MatchEvent]:
+        """All occurrences, sorted by end position then pattern id."""
+        events: List[MatchEvent] = []
+        for pid, pattern in enumerate(self.patterns):
+            start = 0
+            m = len(pattern)
+            while True:
+                pos = text.find(pattern, start)
+                if pos < 0:
+                    break
+                events.append(MatchEvent(pos + m, pid))
+                start = pos + 1
+        events.sort(key=lambda e: (e.end, e.pattern))
+        return events
+
+    def count(self, text: bytes) -> int:
+        return len(self.find_all(text))

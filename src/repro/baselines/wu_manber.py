@@ -1,0 +1,97 @@
+"""Wu–Manber multi-pattern search (paper ref [18]).
+
+The classic block-based shift algorithm behind ``agrep``: a SHIFT table
+indexed by the last ``B`` bytes of the scan window says how far the window
+can safely jump; a HASH table maps zero-shift blocks to the candidate
+patterns, which are then verified exactly.
+
+Like Boyer–Moore, its speed depends on the input — the shift degenerates
+on adversarial data — which is the paper's stated reason security
+appliances prefer DFAs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..dfa.automaton import MatchEvent
+
+__all__ = ["WuManberMatcher"]
+
+
+class WuManberMatcher:
+    """Wu–Manber with block size ``B`` (default 2)."""
+
+    def __init__(self, patterns: Sequence[bytes], block: int = 2) -> None:
+        if not patterns:
+            raise ValueError("at least one pattern required")
+        if block < 1:
+            raise ValueError("block size must be >= 1")
+        self.patterns = [bytes(p) for p in patterns]
+        for i, p in enumerate(self.patterns):
+            if not p:
+                raise ValueError(f"pattern {i} is empty")
+        self.block = block
+        # m = length of the shortest pattern; the scan window is m bytes.
+        self.m = min(len(p) for p in self.patterns)
+        if self.m < block:
+            # Degenerate dictionaries fall back to block 1.
+            self.block = block = 1
+        self._build()
+
+    def _key(self, chunk: bytes) -> bytes:
+        return bytes(chunk)
+
+    def _build(self) -> None:
+        B, m = self.block, self.m
+        default = m - B + 1
+        self.default_shift = default
+        self.shift: Dict[bytes, int] = {}
+        self.hash: Dict[bytes, List[int]] = {}
+        for pid, pattern in enumerate(self.patterns):
+            prefix = pattern[:m]
+            for j in range(B - 1, m):
+                chunk = self._key(prefix[j - B + 1:j + 1])
+                shift = m - 1 - j
+                if shift < self.shift.get(chunk, default):
+                    self.shift[chunk] = shift
+                if shift == 0:
+                    self.hash.setdefault(chunk, []).append(pid)
+
+    def find_all(self, text: bytes) -> List[MatchEvent]:
+        B, m = self.block, self.m
+        n = len(text)
+        events: List[MatchEvent] = []
+        pos = m - 1
+        while pos < n:
+            chunk = self._key(text[pos - B + 1:pos + 1])
+            shift = self.shift.get(chunk, self.default_shift)
+            if shift:
+                pos += shift
+                continue
+            window_start = pos - m + 1
+            for pid in self.hash.get(chunk, ()):
+                pattern = self.patterns[pid]
+                end = window_start + len(pattern)
+                if end <= n and text[window_start:end] == pattern:
+                    events.append(MatchEvent(end, pid))
+            pos += 1
+        events.sort(key=lambda e: (e.end, e.pattern))
+        return events
+
+    def count(self, text: bytes) -> int:
+        return len(self.find_all(text))
+
+    def scan_work(self, text: bytes) -> int:
+        """Number of window inspections — the input-dependence metric the
+        adversarial-workload bench reports."""
+        B, m = self.block, self.m
+        n = len(text)
+        inspections = 0
+        pos = m - 1
+        while pos < n:
+            inspections += 1
+            chunk = self._key(text[pos - B + 1:pos + 1])
+            shift = self.shift.get(chunk, self.default_shift)
+            pos += shift if shift else 1
+        return inspections

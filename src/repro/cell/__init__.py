@@ -1,0 +1,53 @@
+"""Cell Broadband Engine simulator substrate.
+
+An instruction-level SPU model (functional 128-bit SIMD execution plus an
+in-order dual-issue timing model), the 256 KB local store, the MFC DMA
+engine, the EIB/main-memory bandwidth model, and the chip assembly.
+
+This package substitutes for the paper's IBM DD3 Cell blade and the SDK 1.1
+full-system simulator (see DESIGN.md §2 for the substitution argument).
+"""
+
+from .blade import BIF_BANDWIDTH, CellBlade
+from .eib import EIB
+from .isa import Instruction, from_words, splat_word, word
+from .local_store import LS_SIZE, LocalStore, LocalStoreError, Region
+from .memory import BandwidthModel, MainMemory
+from .mfc import DMACommand, DMAError, MAX_DMA_SIZE, MFC
+from .ppe import PPE
+from .processor import NUM_SPES, CellProcessor
+from .program import Asm, AssemblyError, Program
+from .spe import SPE
+from .spu import BRANCH_PENALTY, CLOCK_HZ, SPU, SPUError, SPUStats
+
+__all__ = [
+    "BIF_BANDWIDTH",
+    "CellBlade",
+    "EIB",
+    "Instruction",
+    "from_words",
+    "splat_word",
+    "word",
+    "LS_SIZE",
+    "LocalStore",
+    "LocalStoreError",
+    "Region",
+    "BandwidthModel",
+    "MainMemory",
+    "DMACommand",
+    "DMAError",
+    "MAX_DMA_SIZE",
+    "MFC",
+    "PPE",
+    "NUM_SPES",
+    "CellProcessor",
+    "Asm",
+    "AssemblyError",
+    "Program",
+    "SPE",
+    "BRANCH_PENALTY",
+    "CLOCK_HZ",
+    "SPU",
+    "SPUError",
+    "SPUStats",
+]

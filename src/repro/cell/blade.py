@@ -1,0 +1,72 @@
+"""The dual-Cell blade (paper §5: "a Cell Blade hosting two processors
+can reach 81.76 Gbps").
+
+Two Cell BE chips share a coherent memory space over the BIF (broadband
+interface); each contributes 8 SPEs.  For the matching workload the blade
+is simply a larger parallel budget — string matching needs no inter-chip
+communication — but cross-chip traffic rides the BIF, whose bandwidth is
+lower than on-chip EIB transfers, so the model accounts for which side of
+the boundary a transfer crosses.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .memory import BandwidthModel, MainMemory
+from .processor import CellProcessor, NUM_SPES
+
+__all__ = ["CellBlade", "BIF_BANDWIDTH"]
+
+#: Sustained BIF (inter-chip) bandwidth, bytes/second.  The coherent BIF
+#: link runs at 20 GB/s in the QS20-era blades.
+BIF_BANDWIDTH = 20e9
+
+
+class CellBlade:
+    """Two Cell BE processors with shared main memory."""
+
+    def __init__(self, memory_size: int = 64 * 1024 * 1024,
+                 bandwidth: BandwidthModel = BandwidthModel()) -> None:
+        self.memory = MainMemory(memory_size, bandwidth)
+        self.chips: List[CellProcessor] = []
+        for _ in range(2):
+            chip = CellProcessor(bandwidth=bandwidth)
+            # Both chips address the same coherent memory image.
+            chip.memory = self.memory
+            for spe in chip.spes:
+                spe.memory = self.memory
+                spe.mfc.memory = self.memory
+            self.chips.append(chip)
+
+    @property
+    def num_spes(self) -> int:
+        return 2 * NUM_SPES
+
+    def spe(self, index: int):
+        """Blade-global SPE index 0..15."""
+        if not 0 <= index < self.num_spes:
+            raise ValueError(f"SPE index {index} outside 0..15")
+        return self.chips[index // NUM_SPES].spe(index % NUM_SPES)
+
+    def chip_of(self, spe_index: int) -> int:
+        if not 0 <= spe_index < self.num_spes:
+            raise ValueError(f"SPE index {spe_index} outside 0..15")
+        return spe_index // NUM_SPES
+
+    def ls_transfer_seconds(self, src_spe: int, dst_spe: int,
+                            size: int) -> float:
+        """LS-to-LS transfer time; crossing chips pays the BIF rate."""
+        if size <= 0:
+            raise ValueError("transfer size must be positive")
+        same_chip = self.chip_of(src_spe) == self.chip_of(dst_spe)
+        if same_chip:
+            return self.chips[0].eib.ls_to_ls_seconds(size)
+        return size / BIF_BANDWIDTH
+
+    def aggregate_gbps(self, per_tile_gbps: float = 5.11,
+                       tiles: int = 16) -> float:
+        """Parallel-matching throughput of ``tiles`` blade SPEs."""
+        if not 1 <= tiles <= self.num_spes:
+            raise ValueError(f"tiles must be 1..{self.num_spes}")
+        return tiles * per_tile_gbps

@@ -1,0 +1,75 @@
+"""Element Interconnect Bus model.
+
+The EIB is the Cell's on-chip interconnect: four 16-byte data rings (two per
+direction) running at half the 3.2 GHz core clock, for a peak of
+204.8 GB/s.  Intra-chip (LS-to-LS) transfers can approach that peak;
+transfers touching main memory are bounded by the 25.6 GB/s MIC and, under
+contention, by the data arbiter (see :mod:`repro.cell.memory`).
+
+The model here answers the two questions the paper's schedules need:
+
+* how long does an LS↔LS transfer take (ring bandwidth, hop-free model);
+* how is main-memory bandwidth shared among concurrent DMA streams
+  (fair-share split of the arbiter's aggregate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from .memory import BandwidthModel
+
+__all__ = ["EIB", "RING_COUNT", "EIB_PEAK"]
+
+#: Number of 16-byte data rings.
+RING_COUNT = 4
+
+#: Peak aggregate EIB bandwidth: 204.8 GB/s (Kistler, Perrone & Petrini).
+EIB_PEAK = 204.8e9
+
+#: Bus clock: half the 3.2 GHz core clock.
+BUS_CLOCK_HZ = 1.6e9
+
+#: Each ring moves 16 bytes per bus cycle.
+RING_BYTES_PER_CYCLE = 16
+
+#: Each ring sustains up to two non-overlapping transfers concurrently,
+#: which is how 4 rings reach the documented 204.8 GB/s aggregate.
+CONCURRENT_PER_RING = 2
+
+
+@dataclass
+class EIB:
+    """Bandwidth-level model of the element interconnect bus."""
+
+    bandwidth: BandwidthModel = field(default_factory=BandwidthModel)
+
+    @property
+    def peak(self) -> float:
+        """Aggregate peak: rings × 2 transfers × 16 B × 1.6 GHz = 204.8
+        GB/s (Kistler, Perrone & Petrini)."""
+        return (RING_COUNT * CONCURRENT_PER_RING * RING_BYTES_PER_CYCLE
+                * BUS_CLOCK_HZ)
+
+    def ls_to_ls_seconds(self, size: int, concurrent: int = 1) -> float:
+        """Duration of an intra-chip LS-to-LS transfer.
+
+        Each transfer rides one ring slot at 16 B × 1.6 GHz = 25.6 GB/s;
+        up to eight (4 rings × 2 slots) proceed at full speed, beyond that
+        they share slots fairly.
+        """
+        if size <= 0:
+            raise ValueError("transfer size must be positive")
+        if concurrent < 1:
+            raise ValueError("concurrent must be >= 1")
+        ring_rate = RING_BYTES_PER_CYCLE * BUS_CLOCK_HZ
+        slots = RING_COUNT * CONCURRENT_PER_RING
+        share = min(1.0, slots / concurrent)
+        return size / (ring_rate * share)
+
+    def memory_seconds(self, size: int, num_contending: int = 8,
+                       block_size: int = 16 * 1024) -> float:
+        """Duration of a main-memory transfer under contention (Fig. 2)."""
+        return self.bandwidth.transfer_seconds(size, num_contending,
+                                               block_size)

@@ -1,0 +1,508 @@
+"""Instruction-set architecture subset of the Cell BE Synergistic Processing Unit.
+
+The SPU is a RISC-style, in-order, dual-issue core with 128 registers of 128
+bits each.  Instructions are statically assigned to one of two execution
+pipelines:
+
+* the **even** pipeline executes fixed-point arithmetic, logical operations,
+  word shifts/rotates, compares and immediate loads;
+* the **odd** pipeline executes loads/stores, quadword byte rotates, shuffles,
+  and branches.
+
+Two adjacent instructions can issue in the same cycle when they target
+different pipelines and their operands are ready ("dual issue").
+
+This module defines the subset of the SPU ISA used by the DFA-matching kernels
+of Scarpazza, Villa & Petrini (IPPS 2007), together with:
+
+* a functional semantic for each opcode, operating on 128-bit register values
+  (represented as Python ints, big-endian: byte 0 is the most significant
+  byte, word 0 — the *preferred slot* — occupies bits 96..127);
+* timing metadata (pipeline assignment and result latency) taken from the
+  *Cell Broadband Engine Programming Handbook*.
+
+Deviations from the hardware ISA (documented per-opcode below) are limited to
+assembler conveniences: immediates are not range-encoded, and ``lqd``/``stqd``
+displacements are given in bytes rather than quadwords.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+__all__ = [
+    "EVEN",
+    "ODD",
+    "OpSpec",
+    "OPCODES",
+    "Instruction",
+    "MASK128",
+    "word",
+    "from_words",
+    "splat_word",
+    "to_bytes16",
+    "from_bytes16",
+]
+
+EVEN = "even"
+ODD = "odd"
+
+MASK128 = (1 << 128) - 1
+_MASK32 = 0xFFFFFFFF
+
+
+# ---------------------------------------------------------------------------
+# 128-bit register value helpers
+# ---------------------------------------------------------------------------
+
+def word(value: int, slot: int) -> int:
+    """Extract 32-bit word ``slot`` (0..3) from a 128-bit register value.
+
+    Word 0 is the SPU *preferred slot*: scalar operands (addresses, branch
+    conditions, rotate counts) are taken from it.
+    """
+    return (value >> (96 - 32 * slot)) & _MASK32
+
+
+def from_words(w0: int, w1: int = 0, w2: int = 0, w3: int = 0) -> int:
+    """Build a 128-bit register value from four 32-bit words."""
+    return (
+        ((w0 & _MASK32) << 96)
+        | ((w1 & _MASK32) << 64)
+        | ((w2 & _MASK32) << 32)
+        | (w3 & _MASK32)
+    )
+
+
+def splat_word(w: int) -> int:
+    """Replicate a 32-bit word into all four word slots."""
+    w &= _MASK32
+    return from_words(w, w, w, w)
+
+
+def to_bytes16(value: int) -> bytes:
+    """Render a 128-bit register value as its 16 bytes (byte 0 first)."""
+    return value.to_bytes(16, "big")
+
+
+def from_bytes16(data: bytes) -> int:
+    """Build a 128-bit register value from 16 bytes (byte 0 first)."""
+    if len(data) != 16:
+        raise ValueError(f"register image must be 16 bytes, got {len(data)}")
+    return int.from_bytes(data, "big")
+
+
+def _per_word(value: int, fn: Callable[[int], int]) -> int:
+    return from_words(*(fn(word(value, i)) for i in range(4)))
+
+
+def _per_word2(a: int, b: int, fn: Callable[[int, int], int]) -> int:
+    return from_words(*(fn(word(a, i), word(b, i)) for i in range(4)))
+
+
+def _sext10(imm: int) -> int:
+    """Sign-extend a 10-bit immediate to 32 bits (assembler accepts wider)."""
+    imm &= 0x3FF
+    if imm & 0x200:
+        imm -= 0x400
+    return imm & _MASK32
+
+
+# ---------------------------------------------------------------------------
+# Instruction container
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Instruction:
+    """One assembled SPU instruction.
+
+    ``rt`` is the target register, ``ra``/``rb``/``rc`` the sources, ``imm``
+    an immediate operand and ``target`` a label name for branches.  ``hinted``
+    marks a branch covered by a branch hint (``hbr``): a correctly hinted
+    taken branch pays no flush penalty.
+    """
+
+    op: str
+    rt: Optional[int] = None
+    ra: Optional[int] = None
+    rb: Optional[int] = None
+    rc: Optional[int] = None
+    imm: Optional[int] = None
+    target: Optional[str] = None
+    hinted: bool = False
+    comment: str = ""
+    # Resolved by Program.finalize(): instruction index of the branch target.
+    target_index: Optional[int] = None
+
+    @property
+    def spec(self) -> "OpSpec":
+        return OPCODES[self.op]
+
+    def sources(self) -> Tuple[int, ...]:
+        """Registers read by this instruction (for hazard tracking)."""
+        regs = [r for r in (self.ra, self.rb, self.rc) if r is not None]
+        # Stores read their "target" register as data.
+        if self.op in ("stqd", "stqx") and self.rt is not None:
+            regs.append(self.rt)
+        # Conditional branches read the condition register.
+        if self.op in ("brz", "brnz") and self.rt is not None:
+            regs.append(self.rt)
+        return tuple(regs)
+
+    def destination(self) -> Optional[int]:
+        """Register written by this instruction, or ``None``."""
+        if self.op in ("stqd", "stqx", "br", "brz", "brnz", "nop", "lnop",
+                       "stop", "hbr"):
+            return None
+        return self.rt
+
+    def render(self) -> str:
+        """Textual assembly rendering (for disassembly/debugging)."""
+        parts = []
+        for r, pre in ((self.rt, "r"), (self.ra, "r"), (self.rb, "r"),
+                       (self.rc, "r")):
+            if r is not None:
+                parts.append(f"{pre}{r}")
+        if self.imm is not None:
+            parts.append(str(self.imm))
+        if self.target is not None:
+            parts.append(self.target)
+        text = f"{self.op:<8s} {', '.join(parts)}"
+        if self.comment:
+            text = f"{text:<40s} ; {self.comment}"
+        return text
+
+
+# ---------------------------------------------------------------------------
+# Opcode table
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class OpSpec:
+    """Static properties of an opcode: pipeline, latency and semantics.
+
+    ``latency`` is the number of cycles before the result becomes available
+    to a dependent instruction.  ``execute`` performs the functional update;
+    it receives the executing core (anything exposing ``regs`` — a list of
+    128 ints — and ``ls`` — a bytearray local store) and the instruction.
+    """
+
+    name: str
+    pipe: str
+    latency: int
+    execute: Callable[["object", Instruction], None]
+    is_branch: bool = False
+
+
+OPCODES: Dict[str, OpSpec] = {}
+
+
+def _op(name: str, pipe: str, latency: int, is_branch: bool = False):
+    def wrap(fn: Callable[["object", Instruction], None]) -> None:
+        OPCODES[name] = OpSpec(name, pipe, latency, fn, is_branch)
+    return wrap
+
+
+# -- even pipeline: immediate loads ----------------------------------------
+
+@_op("il", EVEN, 2)
+def _exec_il(core, inst: Instruction) -> None:
+    """Immediate load word: sign-extended 16-bit immediate in each word."""
+    imm = inst.imm & 0xFFFF
+    if imm & 0x8000:
+        imm -= 0x10000
+    core.regs[inst.rt] = splat_word(imm & _MASK32)
+
+
+@_op("ila", EVEN, 2)
+def _exec_ila(core, inst: Instruction) -> None:
+    """Immediate load address: 18-bit unsigned immediate in each word."""
+    core.regs[inst.rt] = splat_word(inst.imm & 0x3FFFF)
+
+
+@_op("ilhu", EVEN, 2)
+def _exec_ilhu(core, inst: Instruction) -> None:
+    """Immediate load halfword upper."""
+    core.regs[inst.rt] = splat_word((inst.imm & 0xFFFF) << 16)
+
+
+@_op("iohl", EVEN, 2)
+def _exec_iohl(core, inst: Instruction) -> None:
+    """Immediate OR halfword lower (pairs with ``ilhu`` for 32-bit consts)."""
+    core.regs[inst.rt] = _per_word(core.regs[inst.rt],
+                                   lambda w: w | (inst.imm & 0xFFFF))
+
+
+# -- even pipeline: word arithmetic -----------------------------------------
+
+@_op("a", EVEN, 2)
+def _exec_a(core, inst: Instruction) -> None:
+    """Add word: rt = ra + rb, per 32-bit slot."""
+    core.regs[inst.rt] = _per_word2(core.regs[inst.ra], core.regs[inst.rb],
+                                    lambda x, y: (x + y) & _MASK32)
+
+
+@_op("ai", EVEN, 2)
+def _exec_ai(core, inst: Instruction) -> None:
+    """Add word immediate (10-bit sign-extended)."""
+    imm = _sext10(inst.imm)
+    core.regs[inst.rt] = _per_word(core.regs[inst.ra],
+                                   lambda w: (w + imm) & _MASK32)
+
+
+@_op("sf", EVEN, 2)
+def _exec_sf(core, inst: Instruction) -> None:
+    """Subtract from: rt = rb - ra (note the operand order)."""
+    core.regs[inst.rt] = _per_word2(core.regs[inst.ra], core.regs[inst.rb],
+                                    lambda x, y: (y - x) & _MASK32)
+
+
+# -- even pipeline: logicals -------------------------------------------------
+
+@_op("and_", EVEN, 2)
+def _exec_and(core, inst: Instruction) -> None:
+    core.regs[inst.rt] = core.regs[inst.ra] & core.regs[inst.rb]
+
+
+@_op("andc", EVEN, 2)
+def _exec_andc(core, inst: Instruction) -> None:
+    """AND with complement: rt = ra & ~rb."""
+    core.regs[inst.rt] = core.regs[inst.ra] & (~core.regs[inst.rb] & MASK128)
+
+
+@_op("or_", EVEN, 2)
+def _exec_or(core, inst: Instruction) -> None:
+    core.regs[inst.rt] = core.regs[inst.ra] | core.regs[inst.rb]
+
+
+@_op("xor_", EVEN, 2)
+def _exec_xor(core, inst: Instruction) -> None:
+    core.regs[inst.rt] = core.regs[inst.ra] ^ core.regs[inst.rb]
+
+
+@_op("andi", EVEN, 2)
+def _exec_andi(core, inst: Instruction) -> None:
+    imm = _sext10(inst.imm)
+    core.regs[inst.rt] = _per_word(core.regs[inst.ra], lambda w: w & imm)
+
+
+@_op("ori", EVEN, 2)
+def _exec_ori(core, inst: Instruction) -> None:
+    imm = _sext10(inst.imm)
+    core.regs[inst.rt] = _per_word(core.regs[inst.ra], lambda w: w | imm)
+
+
+@_op("andbi", EVEN, 2)
+def _exec_andbi(core, inst: Instruction) -> None:
+    """AND byte immediate: each of the 16 bytes ANDed with an 8-bit imm."""
+    imm = inst.imm & 0xFF
+    mask = int.from_bytes(bytes([imm] * 16), "big")
+    core.regs[inst.rt] = core.regs[inst.ra] & mask
+
+
+# -- even pipeline: compares -------------------------------------------------
+
+@_op("ceq", EVEN, 2)
+def _exec_ceq(core, inst: Instruction) -> None:
+    core.regs[inst.rt] = _per_word2(
+        core.regs[inst.ra], core.regs[inst.rb],
+        lambda x, y: _MASK32 if x == y else 0)
+
+
+@_op("ceqi", EVEN, 2)
+def _exec_ceqi(core, inst: Instruction) -> None:
+    imm = _sext10(inst.imm)
+    core.regs[inst.rt] = _per_word(
+        core.regs[inst.ra], lambda w: _MASK32 if w == imm else 0)
+
+
+@_op("cgt", EVEN, 2)
+def _exec_cgt(core, inst: Instruction) -> None:
+    def signed(w: int) -> int:
+        return w - 0x100000000 if w & 0x80000000 else w
+    core.regs[inst.rt] = _per_word2(
+        core.regs[inst.ra], core.regs[inst.rb],
+        lambda x, y: _MASK32 if signed(x) > signed(y) else 0)
+
+
+@_op("cgti", EVEN, 2)
+def _exec_cgti(core, inst: Instruction) -> None:
+    imm = _sext10(inst.imm)
+    simm = imm - 0x100000000 if imm & 0x80000000 else imm
+
+    def signed(w: int) -> int:
+        return w - 0x100000000 if w & 0x80000000 else w
+
+    core.regs[inst.rt] = _per_word(
+        core.regs[inst.ra], lambda w: _MASK32 if signed(w) > simm else 0)
+
+
+# -- even pipeline: word shifts/rotates (4-cycle class) ----------------------
+
+@_op("shli", EVEN, 4)
+def _exec_shli(core, inst: Instruction) -> None:
+    """Shift left word immediate (amount 0..63; >=32 yields zero)."""
+    amt = inst.imm & 0x3F
+    if amt >= 32:
+        core.regs[inst.rt] = 0
+    else:
+        core.regs[inst.rt] = _per_word(core.regs[inst.ra],
+                                       lambda w: (w << amt) & _MASK32)
+
+
+@_op("rotmi", EVEN, 4)
+def _exec_rotmi(core, inst: Instruction) -> None:
+    """Rotate-and-mask (logical shift right) word immediate.
+
+    Hardware encodes the shift count as a negative immediate; this assembler
+    accepts a *positive* right-shift amount for readability.
+    """
+    amt = inst.imm & 0x3F
+    if amt >= 32:
+        core.regs[inst.rt] = 0
+    else:
+        core.regs[inst.rt] = _per_word(core.regs[inst.ra], lambda w: w >> amt)
+
+
+@_op("roti", EVEN, 4)
+def _exec_roti(core, inst: Instruction) -> None:
+    """Rotate word left immediate."""
+    amt = inst.imm & 0x1F
+    core.regs[inst.rt] = _per_word(
+        core.regs[inst.ra],
+        lambda w: ((w << amt) | (w >> (32 - amt))) & _MASK32 if amt else w)
+
+
+@_op("nop", EVEN, 1)
+def _exec_nop(core, inst: Instruction) -> None:
+    pass
+
+
+@_op("stop", EVEN, 1)
+def _exec_stop(core, inst: Instruction) -> None:
+    core.halted = True
+
+
+# -- odd pipeline: loads and stores ------------------------------------------
+
+def _ls_addr(core, base: int, offset: int) -> int:
+    addr = (base + offset) & 0x3FFFF
+    return addr & ~0xF  # quadword accesses are force-aligned
+
+
+@_op("lqd", ODD, 6)
+def _exec_lqd(core, inst: Instruction) -> None:
+    """Load quadword (d-form).  ``imm`` is a byte displacement here
+    (hardware encodes quadword units); it must be 16-byte aligned."""
+    addr = _ls_addr(core, word(core.regs[inst.ra], 0), inst.imm or 0)
+    core.regs[inst.rt] = from_bytes16(bytes(core.ls[addr:addr + 16]))
+
+
+@_op("lqx", ODD, 6)
+def _exec_lqx(core, inst: Instruction) -> None:
+    """Load quadword (x-form): address = preferred slots of ra + rb."""
+    addr = _ls_addr(core, word(core.regs[inst.ra], 0),
+                    word(core.regs[inst.rb], 0))
+    core.regs[inst.rt] = from_bytes16(bytes(core.ls[addr:addr + 16]))
+
+
+@_op("stqd", ODD, 6)
+def _exec_stqd(core, inst: Instruction) -> None:
+    addr = _ls_addr(core, word(core.regs[inst.ra], 0), inst.imm or 0)
+    core.ls[addr:addr + 16] = to_bytes16(core.regs[inst.rt])
+
+
+@_op("stqx", ODD, 6)
+def _exec_stqx(core, inst: Instruction) -> None:
+    addr = _ls_addr(core, word(core.regs[inst.ra], 0),
+                    word(core.regs[inst.rb], 0))
+    core.ls[addr:addr + 16] = to_bytes16(core.regs[inst.rt])
+
+
+# -- odd pipeline: quadword byte manipulation ---------------------------------
+
+@_op("shufb", ODD, 4)
+def _exec_shufb(core, inst: Instruction) -> None:
+    """Shuffle bytes: rt[i] selected by pattern byte rc[i].
+
+    Pattern semantics follow the hardware: 0x00..0x0F select bytes of ra,
+    0x10..0x1F bytes of rb; 0x80.. patterns produce the special constants
+    0x00, 0xFF, 0x80 for the (10xxxxxx, 110xxxxx, 111xxxxx) classes.
+    """
+    src = to_bytes16(core.regs[inst.ra]) + to_bytes16(core.regs[inst.rb])
+    pat = to_bytes16(core.regs[inst.rc])
+    out = bytearray(16)
+    for i, p in enumerate(pat):
+        if p & 0x80:
+            if (p & 0xC0) == 0x80:
+                out[i] = 0x00
+            elif (p & 0xE0) == 0xC0:
+                out[i] = 0xFF
+            else:
+                out[i] = 0x80
+        else:
+            out[i] = src[p & 0x1F]
+    core.regs[inst.rt] = from_bytes16(bytes(out))
+
+
+@_op("rotqby", ODD, 4)
+def _exec_rotqby(core, inst: Instruction) -> None:
+    """Rotate quadword left by (rb preferred slot mod 16) bytes."""
+    amt = (word(core.regs[inst.rb], 0) % 16) * 8
+    v = core.regs[inst.ra]
+    core.regs[inst.rt] = ((v << amt) | (v >> (128 - amt))) & MASK128 \
+        if amt else v
+
+
+@_op("rotqbyi", ODD, 4)
+def _exec_rotqbyi(core, inst: Instruction) -> None:
+    """Rotate quadword left by an immediate byte count."""
+    amt = (inst.imm % 16) * 8
+    v = core.regs[inst.ra]
+    core.regs[inst.rt] = ((v << amt) | (v >> (128 - amt))) & MASK128 \
+        if amt else v
+
+
+@_op("orx", ODD, 4)
+def _exec_orx(core, inst: Instruction) -> None:
+    """OR words across: preferred slot receives OR of ra's 4 words."""
+    w0 = word(core.regs[inst.ra], 0) | word(core.regs[inst.ra], 1) \
+        | word(core.regs[inst.ra], 2) | word(core.regs[inst.ra], 3)
+    core.regs[inst.rt] = from_words(w0, 0, 0, 0)
+
+
+@_op("lnop", ODD, 1)
+def _exec_lnop(core, inst: Instruction) -> None:
+    pass
+
+
+# -- odd pipeline: control flow -----------------------------------------------
+
+@_op("br", ODD, 1, is_branch=True)
+def _exec_br(core, inst: Instruction) -> None:
+    core.branch_to = inst.target_index
+
+
+@_op("brz", ODD, 1, is_branch=True)
+def _exec_brz(core, inst: Instruction) -> None:
+    """Branch if the preferred-slot word of rt is zero."""
+    if word(core.regs[inst.rt], 0) == 0:
+        core.branch_to = inst.target_index
+
+
+@_op("brnz", ODD, 1, is_branch=True)
+def _exec_brnz(core, inst: Instruction) -> None:
+    """Branch if the preferred-slot word of rt is non-zero."""
+    if word(core.regs[inst.rt], 0) != 0:
+        core.branch_to = inst.target_index
+
+
+@_op("hbr", ODD, 1)
+def _exec_hbr(core, inst: Instruction) -> None:
+    """Branch hint: free the named branch from its misprediction penalty.
+
+    Modelled as a marker; the assembler sets ``hinted`` on the target branch.
+    Occupies an odd-pipe issue slot like the hardware instruction.
+    """
+    pass

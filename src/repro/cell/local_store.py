@@ -1,0 +1,118 @@
+"""The SPE local store: a 256 KB software-managed scratchpad.
+
+SPU loads and stores can only touch the local store; main-memory data must be
+staged in and out through explicit MFC DMA commands.  This module provides the
+byte store itself plus a simple region allocator used to lay out the DFA
+tile's contents (state-transition table, input buffers, code and stack) the
+way Figure 3 of the paper does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+__all__ = ["LS_SIZE", "Region", "LocalStore", "LocalStoreError"]
+
+#: Local-store capacity of every SPE in the Cell BE: 256 KB.
+LS_SIZE = 256 * 1024
+
+
+class LocalStoreError(Exception):
+    """Raised on out-of-bounds access or allocation failure."""
+
+
+@dataclass(frozen=True)
+class Region:
+    """A named, aligned slice of the local store."""
+
+    name: str
+    start: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        return self.start + self.size
+
+    def __contains__(self, addr: int) -> bool:
+        return self.start <= addr < self.end
+
+
+class LocalStore:
+    """Byte-addressable 256 KB store with a bump allocator.
+
+    The underlying ``bytearray`` is exposed as :attr:`data` so the SPU core
+    and the MFC can access it directly (the simulator's hot paths slice it
+    without per-access bounds checks, matching hardware semantics where LS
+    addresses simply wrap).
+    """
+
+    def __init__(self, size: int = LS_SIZE) -> None:
+        if size <= 0 or size % 16:
+            raise LocalStoreError("local store size must be a positive "
+                                  "multiple of 16")
+        self.size = size
+        self.data = bytearray(size)
+        self._regions: Dict[str, Region] = {}
+        self._next_free = 0
+
+    # -- allocation ----------------------------------------------------------
+
+    def alloc(self, name: str, size: int, align: int = 16) -> Region:
+        """Reserve ``size`` bytes aligned to ``align``; returns the region.
+
+        Alignment matters to the algorithm: the STT base must be aligned so
+        the low bits of row pointers are zero and can carry the final-state
+        flag (paper §4).
+        """
+        if name in self._regions:
+            raise LocalStoreError(f"region {name!r} already allocated")
+        if align <= 0 or (align & (align - 1)):
+            raise LocalStoreError(f"alignment must be a power of two, "
+                                  f"got {align}")
+        start = (self._next_free + align - 1) & ~(align - 1)
+        if start + size > self.size:
+            raise LocalStoreError(
+                f"allocating {size} bytes for {name!r} exceeds the "
+                f"{self.size}-byte local store ({self.size - start} free)")
+        region = Region(name, start, size)
+        self._regions[name] = region
+        self._next_free = start + size
+        return region
+
+    def region(self, name: str) -> Region:
+        try:
+            return self._regions[name]
+        except KeyError:
+            raise LocalStoreError(f"no region named {name!r}") from None
+
+    def regions(self) -> List[Region]:
+        return sorted(self._regions.values(), key=lambda r: r.start)
+
+    @property
+    def bytes_free(self) -> int:
+        return self.size - self._next_free
+
+    # -- raw access ------------------------------------------------------------
+
+    def write(self, addr: int, payload: bytes) -> None:
+        if addr < 0 or addr + len(payload) > self.size:
+            raise LocalStoreError(
+                f"write of {len(payload)} bytes at {addr:#x} out of bounds")
+        self.data[addr:addr + len(payload)] = payload
+
+    def read(self, addr: int, length: int) -> bytes:
+        if addr < 0 or addr + length > self.size:
+            raise LocalStoreError(
+                f"read of {length} bytes at {addr:#x} out of bounds")
+        return bytes(self.data[addr:addr + length])
+
+    def usage_map(self) -> str:
+        """ASCII rendering of the layout, in the style of Figure 3."""
+        lines = [f"local store ({self.size // 1024} KB)"]
+        for region in self.regions():
+            lines.append(
+                f"  {region.start:#08x}..{region.end:#08x}  "
+                f"{region.size / 1024:7.1f} KB  {region.name}")
+        lines.append(f"  free: {self.bytes_free / 1024:.1f} KB")
+        return "\n".join(lines)

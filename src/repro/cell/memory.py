@@ -1,0 +1,107 @@
+"""Main memory (XDR) and the memory-interface bandwidth model.
+
+The Cell's memory interface controller (MIC) has a 25.6 GB/s peak.  What a
+set of SPEs actually achieves depends, above all, on the transferred block
+size (bus-negotiation overhead is amortized over the block) and on contention
+(the data arbiter sustains about 22.05 GB/s aggregate under heavy traffic —
+the figure the paper uses for its worst-case schedule in Figure 5).
+
+The model here reproduces the shape of the paper's Figure 2:
+
+* per-SPE effective rate ``bs / (setup + bs / link)`` — small blocks pay the
+  fixed negotiation overhead, large blocks approach the 7 GB/s per-SPE link;
+* aggregate capped by the arbiter's heavy-traffic throughput, 22.05 GB/s;
+* blocks of 256 bytes and larger get close to the cap with 8 SPEs, in
+  agreement with the paper's guidance to transfer at medium-large
+  granularity only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MainMemory", "BandwidthModel", "MemoryError_"]
+
+#: Peak bandwidth of the memory interface controller (bytes/second).
+MIC_PEAK = 25.6e9
+
+#: Aggregate bandwidth sustained by the data arbiter under heavy traffic
+#: (all SPEs transferring at once) — the paper's measured 22.05 GB/s.
+HEAVY_TRAFFIC_AGGREGATE = 22.05e9
+
+#: Peak per-SPE link rate for main-memory transfers.
+SPE_LINK = 7.0e9
+
+#: Fixed per-transfer bus-negotiation overhead.
+TRANSFER_SETUP_S = 50e-9
+
+
+class MemoryError_(Exception):
+    """Raised on out-of-bounds main-memory access."""
+
+
+@dataclass(frozen=True)
+class BandwidthModel:
+    """Block-size- and contention-aware effective-bandwidth calculator."""
+
+    mic_peak: float = MIC_PEAK
+    heavy_traffic_aggregate: float = HEAVY_TRAFFIC_AGGREGATE
+    spe_link: float = SPE_LINK
+    setup_s: float = TRANSFER_SETUP_S
+
+    def per_spe_uncontended(self, block_size: int) -> float:
+        """Effective rate of one SPE streaming blocks of ``block_size``."""
+        if block_size <= 0:
+            raise ValueError("block size must be positive")
+        return block_size / (self.setup_s + block_size / self.spe_link)
+
+    def aggregate(self, num_spes: int, block_size: int) -> float:
+        """Aggregate bandwidth of ``num_spes`` concurrent streams (Fig. 2)."""
+        if not 1 <= num_spes <= 8:
+            raise ValueError("the Cell BE has 1..8 SPEs")
+        demand = num_spes * self.per_spe_uncontended(block_size)
+        return min(demand, self.heavy_traffic_aggregate, self.mic_peak)
+
+    def per_spe(self, num_spes: int, block_size: int) -> float:
+        """Fair-share per-SPE bandwidth under ``num_spes``-way contention.
+
+        With all 8 SPEs moving large blocks this is 22.05/8 = 2.76 GB/s —
+        the worst-case figure the paper's double-buffering schedule assumes.
+        """
+        return self.aggregate(num_spes, block_size) / num_spes
+
+    def transfer_seconds(self, size: int, num_contending: int = 8,
+                         block_size: int = 16 * 1024) -> float:
+        """Worst-case time to move ``size`` bytes from/to main memory.
+
+        ``num_contending`` is the number of SPEs assumed to be hammering the
+        bus at the same time; the paper's schedules use the most pessimistic
+        value, 8.
+        """
+        if size <= 0:
+            raise ValueError("transfer size must be positive")
+        return size / self.per_spe(num_contending, min(block_size, size))
+
+
+class MainMemory:
+    """Flat main-memory image reachable only through MFC DMA."""
+
+    def __init__(self, size: int = 64 * 1024 * 1024,
+                 bandwidth: BandwidthModel = BandwidthModel()) -> None:
+        if size <= 0:
+            raise MemoryError_("memory size must be positive")
+        self.size = size
+        self.data = bytearray(size)
+        self.bandwidth = bandwidth
+
+    def write(self, addr: int, payload: bytes) -> None:
+        if addr < 0 or addr + len(payload) > self.size:
+            raise MemoryError_(
+                f"write of {len(payload)} bytes at {addr:#x} out of bounds")
+        self.data[addr:addr + len(payload)] = payload
+
+    def read(self, addr: int, length: int) -> bytes:
+        if addr < 0 or addr + length > self.size:
+            raise MemoryError_(
+                f"read of {length} bytes at {addr:#x} out of bounds")
+        return bytes(self.data[addr:addr + length])

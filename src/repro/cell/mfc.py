@@ -1,0 +1,165 @@
+"""Memory Flow Controller: the SPE's DMA engine.
+
+Every SPE owns an MFC that moves data between its local store and main
+memory (or another SPE's local store) asynchronously, while the SPU keeps
+computing.  Software issues *get* (memory → LS) and *put* (LS → memory)
+commands tagged with a 5-bit tag group, then waits on tags.
+
+This model is functionally eager (bytes are copied when the command is
+issued) but temporally explicit: each command is given a start time and a
+duration from the bandwidth model, so schedulers — the double-buffering and
+STT-replacement engines in :mod:`repro.core.schedule` — can reason about
+when a transfer *would* complete and verify overlap invariants.
+
+Hardware limits enforced: 16-byte alignment of both addresses, sizes of at
+most 16 KB per command (larger requests are expressed as DMA lists via
+:meth:`MFC.get_list` / :meth:`MFC.put_list`), and a 16-entry command queue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .local_store import LocalStore
+from .memory import MainMemory
+
+__all__ = ["MFC", "DMACommand", "DMAError", "MAX_DMA_SIZE", "QUEUE_DEPTH"]
+
+#: Largest single DMA command the MFC accepts.
+MAX_DMA_SIZE = 16 * 1024
+
+#: MFC command-queue depth.
+QUEUE_DEPTH = 16
+
+#: Number of tag groups.
+NUM_TAGS = 32
+
+
+class DMAError(Exception):
+    """Raised for malformed DMA commands (alignment, size, queue overflow)."""
+
+
+@dataclass
+class DMACommand:
+    """One issued DMA command with its modelled timing."""
+
+    kind: str               # "get" or "put"
+    ls_addr: int
+    ea: int                 # main-memory effective address
+    size: int
+    tag: int
+    start_s: float
+    duration_s: float
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.duration_s
+
+
+class MFC:
+    """DMA engine of one SPE."""
+
+    def __init__(self, local_store: LocalStore, memory: MainMemory,
+                 num_contending: int = 8) -> None:
+        self.local_store = local_store
+        self.memory = memory
+        #: Contention assumption used for durations (paper worst case: 8).
+        self.num_contending = num_contending
+        self._pending: List[DMACommand] = []
+        self.history: List[DMACommand] = []
+        self.bytes_transferred = 0
+
+    # -- validation ------------------------------------------------------------
+
+    def _check(self, ls_addr: int, ea: int, size: int, tag: int) -> None:
+        if size <= 0 or size > MAX_DMA_SIZE:
+            raise DMAError(
+                f"DMA size {size} outside 1..{MAX_DMA_SIZE}; use a DMA list")
+        if ls_addr % 16 or ea % 16:
+            raise DMAError(
+                f"DMA addresses must be 16-byte aligned "
+                f"(ls={ls_addr:#x}, ea={ea:#x})")
+        if not 0 <= tag < NUM_TAGS:
+            raise DMAError(f"tag {tag} outside 0..{NUM_TAGS - 1}")
+        if len(self._pending) >= QUEUE_DEPTH:
+            raise DMAError("MFC command queue full (16 entries)")
+
+    def _duration(self, size: int) -> float:
+        return self.memory.bandwidth.transfer_seconds(
+            size, self.num_contending, block_size=size)
+
+    # -- single commands -------------------------------------------------------
+
+    def get(self, ls_addr: int, ea: int, size: int, tag: int,
+            start_s: float = 0.0) -> DMACommand:
+        """memory → local store."""
+        self._check(ls_addr, ea, size, tag)
+        payload = self.memory.read(ea, size)
+        self.local_store.write(ls_addr, payload)
+        cmd = DMACommand("get", ls_addr, ea, size, tag, start_s,
+                         self._duration(size))
+        self._pending.append(cmd)
+        self.history.append(cmd)
+        self.bytes_transferred += size
+        return cmd
+
+    def put(self, ls_addr: int, ea: int, size: int, tag: int,
+            start_s: float = 0.0) -> DMACommand:
+        """local store → memory."""
+        self._check(ls_addr, ea, size, tag)
+        payload = self.local_store.read(ls_addr, size)
+        self.memory.write(ea, payload)
+        cmd = DMACommand("put", ls_addr, ea, size, tag, start_s,
+                         self._duration(size))
+        self._pending.append(cmd)
+        self.history.append(cmd)
+        self.bytes_transferred += size
+        return cmd
+
+    # -- DMA lists -------------------------------------------------------------
+
+    def get_list(self, ls_addr: int, ea: int, size: int, tag: int,
+                 start_s: float = 0.0) -> List[DMACommand]:
+        """memory → LS for sizes beyond 16 KB, split into list elements.
+
+        Elements are chained back-to-back in time, as a hardware DMA list
+        would be processed.
+        """
+        cmds: List[DMACommand] = []
+        t = start_s
+        offset = 0
+        while offset < size:
+            chunk = min(MAX_DMA_SIZE, size - offset)
+            cmd = self.get(ls_addr + offset, ea + offset, chunk, tag, t)
+            cmds.append(cmd)
+            t = cmd.end_s
+            offset += chunk
+        return cmds
+
+    def put_list(self, ls_addr: int, ea: int, size: int, tag: int,
+                 start_s: float = 0.0) -> List[DMACommand]:
+        """LS → memory counterpart of :meth:`get_list`."""
+        cmds: List[DMACommand] = []
+        t = start_s
+        offset = 0
+        while offset < size:
+            chunk = min(MAX_DMA_SIZE, size - offset)
+            cmd = self.put(ls_addr + offset, ea + offset, chunk, tag, t)
+            cmds.append(cmd)
+            t = cmd.end_s
+            offset += chunk
+        return cmds
+
+    # -- completion --------------------------------------------------------------
+
+    def wait_tag(self, tag: int) -> float:
+        """Drain all pending commands in ``tag``; return the latest end time."""
+        done = [c for c in self._pending if c.tag == tag]
+        self._pending = [c for c in self._pending if c.tag != tag]
+        return max((c.end_s for c in done), default=0.0)
+
+    def pending(self, tag: Optional[int] = None) -> List[DMACommand]:
+        if tag is None:
+            return list(self._pending)
+        return [c for c in self._pending if c.tag == tag]

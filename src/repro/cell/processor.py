@@ -1,0 +1,42 @@
+"""The Cell Broadband Engine chip: 1 PPE + 8 SPEs + EIB + main memory."""
+
+from __future__ import annotations
+
+from typing import List
+
+from .eib import EIB
+from .memory import BandwidthModel, MainMemory
+from .ppe import PPE
+from .spe import SPE
+
+__all__ = ["CellProcessor", "NUM_SPES"]
+
+#: SPEs per Cell BE chip.
+NUM_SPES = 8
+
+
+class CellProcessor:
+    """A whole Cell BE.
+
+    ``num_contending`` sets the bus-contention assumption baked into every
+    SPE's MFC timing (the paper's schedules assume the worst case, all 8
+    SPEs transferring at once).
+    """
+
+    def __init__(self, memory_size: int = 64 * 1024 * 1024,
+                 num_contending: int = NUM_SPES,
+                 bandwidth: BandwidthModel = BandwidthModel()) -> None:
+        self.memory = MainMemory(memory_size, bandwidth)
+        self.eib = EIB(bandwidth)
+        self.ppe = PPE()
+        self.spes: List[SPE] = [
+            SPE(i, self.memory, num_contending) for i in range(NUM_SPES)
+        ]
+
+    def spe(self, index: int) -> SPE:
+        if not 0 <= index < NUM_SPES:
+            raise ValueError(f"SPE index {index} outside 0..{NUM_SPES - 1}")
+        return self.spes[index]
+
+    def __repr__(self) -> str:
+        return f"CellProcessor(spes={NUM_SPES})"

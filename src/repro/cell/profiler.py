@@ -1,0 +1,97 @@
+"""Kernel profiling: instruction mix, pipe balance, hot spots.
+
+The paper's Table 1 analysis rests on exactly these quantities — how many
+instructions go to each pipeline, where the issue slots are spent, which
+instructions dominate.  :func:`profile` runs a program with per-instruction
+execution counting and distills:
+
+* dynamic opcode histogram and even/odd pipe balance;
+* the hottest instructions (with their source comments), i.e. the loop
+  body vs. prologue/epilogue split;
+* the theoretical issue bound implied by the pipe balance, next to the
+  measured cycles — the gap is stalls + fill/drain, the quantity the
+  paper's unrolling attacks.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .isa import EVEN, ODD
+from .program import Program
+from .spu import SPU, SPUStats
+
+__all__ = ["KernelProfile", "profile"]
+
+
+@dataclass
+class KernelProfile:
+    """Digest of one profiled run."""
+
+    stats: SPUStats
+    opcode_counts: Dict[str, int]
+    pipe_counts: Dict[str, int]
+    hot: List[Tuple[int, int, str]]   # (index, count, rendering)
+
+    @property
+    def dynamic_instructions(self) -> int:
+        return sum(self.opcode_counts.values())
+
+    @property
+    def even_fraction(self) -> float:
+        total = self.pipe_counts[EVEN] + self.pipe_counts[ODD]
+        return self.pipe_counts[EVEN] / total if total else 0.0
+
+    @property
+    def issue_bound_cycles(self) -> int:
+        """Lower bound on cycles from pipe balance alone: the busier
+        pipeline must issue every one of its instructions."""
+        return max(self.pipe_counts[EVEN], self.pipe_counts[ODD])
+
+    @property
+    def schedule_efficiency(self) -> float:
+        """issue bound / measured cycles — 1.0 means the kernel is purely
+        issue-bound (no stalls, perfect pairing on the critical pipe)."""
+        if self.stats.cycles == 0:
+            return 0.0
+        return self.issue_bound_cycles / self.stats.cycles
+
+    def render(self, top: int = 8) -> str:
+        lines = [
+            f"dynamic instructions : {self.dynamic_instructions}",
+            f"cycles               : {self.stats.cycles} "
+            f"(issue bound {self.issue_bound_cycles}, efficiency "
+            f"{self.schedule_efficiency:.2f})",
+            f"pipe balance         : even {self.pipe_counts[EVEN]} / "
+            f"odd {self.pipe_counts[ODD]} "
+            f"({self.even_fraction * 100:.0f}% even)",
+            "opcode mix:",
+        ]
+        total = self.dynamic_instructions or 1
+        for op, count in sorted(self.opcode_counts.items(),
+                                key=lambda kv: -kv[1]):
+            lines.append(f"  {op:<10s} {count:>10d}  "
+                         f"{100 * count / total:5.1f}%")
+        lines.append(f"hottest {min(top, len(self.hot))} instructions:")
+        for index, count, text in self.hot[:top]:
+            lines.append(f"  #{index:<5d} x{count:<8d} {text}")
+        return "\n".join(lines)
+
+
+def profile(spu: SPU, program: Program, **run_kwargs) -> KernelProfile:
+    """Execute ``program`` with profiling and digest the counts."""
+    stats = spu.run(program, profile=True, **run_kwargs)
+    counts = stats.execution_counts or {}
+    opcode_counts: Counter = Counter()
+    pipe_counts = {EVEN: 0, ODD: 0}
+    hot: List[Tuple[int, int, str]] = []
+    for index, count in counts.items():
+        inst = program.instructions[index]
+        opcode_counts[inst.op] += count
+        pipe_counts[inst.spec.pipe] += count
+        hot.append((index, count, inst.render()))
+    hot.sort(key=lambda item: -item[1])
+    return KernelProfile(stats=stats, opcode_counts=dict(opcode_counts),
+                         pipe_counts=pipe_counts, hot=hot)

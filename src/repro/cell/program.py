@@ -1,0 +1,244 @@
+"""SPU program container and assembler.
+
+A :class:`Program` is an ordered list of :class:`~repro.cell.isa.Instruction`
+plus a label table.  The :class:`Asm` builder offers one method per opcode so
+kernels read like assembly listings::
+
+    asm = Asm()
+    asm.label("loop")
+    asm.lqx(10, 1, 2, comment="load input quadword")
+    asm.ai(2, 2, 16)
+    asm.brnz(3, "loop")
+    asm.stop()
+    program = asm.finish()
+
+Branch hints (``hbr``) are attached by name: ``asm.hbr("loop")`` marks every
+branch targeting ``loop`` as hinted, so the timing model charges it no flush
+penalty — mirroring how the paper's hand-tuned kernels use hint-for-branch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from .isa import EVEN, ODD, Instruction, OPCODES
+
+__all__ = ["Program", "Asm", "AssemblyError"]
+
+
+class AssemblyError(Exception):
+    """Raised for malformed programs: bad registers, unresolved labels."""
+
+
+@dataclass
+class Program:
+    """A finalized instruction stream with resolved branch targets."""
+
+    instructions: List[Instruction] = field(default_factory=list)
+    labels: Dict[str, int] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self):
+        return iter(self.instructions)
+
+    def registers_used(self) -> int:
+        """Number of distinct architectural registers the program touches."""
+        regs: Set[int] = set()
+        for inst in self.instructions:
+            for r in (inst.rt, inst.ra, inst.rb, inst.rc):
+                if r is not None:
+                    regs.add(r)
+        return len(regs)
+
+    def pipe_mix(self) -> Dict[str, int]:
+        """Static count of instructions per pipeline."""
+        mix = {EVEN: 0, ODD: 0}
+        for inst in self.instructions:
+            mix[inst.spec.pipe] += 1
+        return mix
+
+    def listing(self) -> str:
+        """Human-readable assembly listing with labels and pipe tags."""
+        by_index: Dict[int, List[str]] = {}
+        for name, idx in self.labels.items():
+            by_index.setdefault(idx, []).append(name)
+        lines = []
+        for i, inst in enumerate(self.instructions):
+            for name in by_index.get(i, []):
+                lines.append(f"{name}:")
+            tag = "e" if inst.spec.pipe == EVEN else "o"
+            lines.append(f"  {i:5d} [{tag}] {inst.render()}")
+        return "\n".join(lines)
+
+
+class Asm:
+    """Incremental assembler producing a :class:`Program`.
+
+    Register operands are plain ints 0..127.  Every opcode in
+    :data:`repro.cell.isa.OPCODES` is exposed as a method; signatures follow
+    the operand order of the textual syntax (rt first).
+    """
+
+    def __init__(self) -> None:
+        self._instructions: List[Instruction] = []
+        self._labels: Dict[str, int] = {}
+        self._hints: Set[str] = set()
+
+    # -- structure ---------------------------------------------------------
+
+    def label(self, name: str) -> None:
+        if name in self._labels:
+            raise AssemblyError(f"duplicate label {name!r}")
+        self._labels[name] = len(self._instructions)
+
+    def hbr(self, target: str, comment: str = "") -> None:
+        """Emit a branch hint for all branches to ``target``."""
+        self._hints.add(target)
+        self._emit(Instruction("hbr", target=target, comment=comment))
+
+    def raw(self, inst: Instruction) -> None:
+        """Append a pre-built instruction."""
+        self._emit(inst)
+
+    def _emit(self, inst: Instruction) -> None:
+        if inst.op not in OPCODES:
+            raise AssemblyError(f"unknown opcode {inst.op!r}")
+        for r in (inst.rt, inst.ra, inst.rb, inst.rc):
+            if r is not None and not (0 <= r < 128):
+                raise AssemblyError(f"register r{r} out of range in {inst.op}")
+        self._instructions.append(inst)
+
+    # -- even pipe -----------------------------------------------------------
+
+    def il(self, rt: int, imm: int, comment: str = "") -> None:
+        self._emit(Instruction("il", rt=rt, imm=imm, comment=comment))
+
+    def ila(self, rt: int, imm: int, comment: str = "") -> None:
+        self._emit(Instruction("ila", rt=rt, imm=imm, comment=comment))
+
+    def ilhu(self, rt: int, imm: int, comment: str = "") -> None:
+        self._emit(Instruction("ilhu", rt=rt, imm=imm, comment=comment))
+
+    def iohl(self, rt: int, imm: int, comment: str = "") -> None:
+        self._emit(Instruction("iohl", rt=rt, imm=imm, comment=comment))
+
+    def a(self, rt: int, ra: int, rb: int, comment: str = "") -> None:
+        self._emit(Instruction("a", rt=rt, ra=ra, rb=rb, comment=comment))
+
+    def ai(self, rt: int, ra: int, imm: int, comment: str = "") -> None:
+        self._emit(Instruction("ai", rt=rt, ra=ra, imm=imm, comment=comment))
+
+    def sf(self, rt: int, ra: int, rb: int, comment: str = "") -> None:
+        self._emit(Instruction("sf", rt=rt, ra=ra, rb=rb, comment=comment))
+
+    def and_(self, rt: int, ra: int, rb: int, comment: str = "") -> None:
+        self._emit(Instruction("and_", rt=rt, ra=ra, rb=rb, comment=comment))
+
+    def andc(self, rt: int, ra: int, rb: int, comment: str = "") -> None:
+        self._emit(Instruction("andc", rt=rt, ra=ra, rb=rb, comment=comment))
+
+    def or_(self, rt: int, ra: int, rb: int, comment: str = "") -> None:
+        self._emit(Instruction("or_", rt=rt, ra=ra, rb=rb, comment=comment))
+
+    def xor_(self, rt: int, ra: int, rb: int, comment: str = "") -> None:
+        self._emit(Instruction("xor_", rt=rt, ra=ra, rb=rb, comment=comment))
+
+    def andi(self, rt: int, ra: int, imm: int, comment: str = "") -> None:
+        self._emit(Instruction("andi", rt=rt, ra=ra, imm=imm, comment=comment))
+
+    def ori(self, rt: int, ra: int, imm: int, comment: str = "") -> None:
+        self._emit(Instruction("ori", rt=rt, ra=ra, imm=imm, comment=comment))
+
+    def andbi(self, rt: int, ra: int, imm: int, comment: str = "") -> None:
+        self._emit(Instruction("andbi", rt=rt, ra=ra, imm=imm,
+                               comment=comment))
+
+    def ceq(self, rt: int, ra: int, rb: int, comment: str = "") -> None:
+        self._emit(Instruction("ceq", rt=rt, ra=ra, rb=rb, comment=comment))
+
+    def ceqi(self, rt: int, ra: int, imm: int, comment: str = "") -> None:
+        self._emit(Instruction("ceqi", rt=rt, ra=ra, imm=imm, comment=comment))
+
+    def cgt(self, rt: int, ra: int, rb: int, comment: str = "") -> None:
+        self._emit(Instruction("cgt", rt=rt, ra=ra, rb=rb, comment=comment))
+
+    def cgti(self, rt: int, ra: int, imm: int, comment: str = "") -> None:
+        self._emit(Instruction("cgti", rt=rt, ra=ra, imm=imm, comment=comment))
+
+    def shli(self, rt: int, ra: int, imm: int, comment: str = "") -> None:
+        self._emit(Instruction("shli", rt=rt, ra=ra, imm=imm, comment=comment))
+
+    def rotmi(self, rt: int, ra: int, imm: int, comment: str = "") -> None:
+        self._emit(Instruction("rotmi", rt=rt, ra=ra, imm=imm,
+                               comment=comment))
+
+    def roti(self, rt: int, ra: int, imm: int, comment: str = "") -> None:
+        self._emit(Instruction("roti", rt=rt, ra=ra, imm=imm, comment=comment))
+
+    def nop(self, comment: str = "") -> None:
+        self._emit(Instruction("nop", comment=comment))
+
+    def stop(self, comment: str = "") -> None:
+        self._emit(Instruction("stop", comment=comment))
+
+    # -- odd pipe ------------------------------------------------------------
+
+    def lqd(self, rt: int, ra: int, imm: int = 0, comment: str = "") -> None:
+        if imm % 16:
+            raise AssemblyError("lqd displacement must be 16-byte aligned")
+        self._emit(Instruction("lqd", rt=rt, ra=ra, imm=imm, comment=comment))
+
+    def lqx(self, rt: int, ra: int, rb: int, comment: str = "") -> None:
+        self._emit(Instruction("lqx", rt=rt, ra=ra, rb=rb, comment=comment))
+
+    def stqd(self, rt: int, ra: int, imm: int = 0, comment: str = "") -> None:
+        if imm % 16:
+            raise AssemblyError("stqd displacement must be 16-byte aligned")
+        self._emit(Instruction("stqd", rt=rt, ra=ra, imm=imm, comment=comment))
+
+    def stqx(self, rt: int, ra: int, rb: int, comment: str = "") -> None:
+        self._emit(Instruction("stqx", rt=rt, ra=ra, rb=rb, comment=comment))
+
+    def shufb(self, rt: int, ra: int, rb: int, rc: int,
+              comment: str = "") -> None:
+        self._emit(Instruction("shufb", rt=rt, ra=ra, rb=rb, rc=rc,
+                               comment=comment))
+
+    def rotqby(self, rt: int, ra: int, rb: int, comment: str = "") -> None:
+        self._emit(Instruction("rotqby", rt=rt, ra=ra, rb=rb, comment=comment))
+
+    def rotqbyi(self, rt: int, ra: int, imm: int, comment: str = "") -> None:
+        self._emit(Instruction("rotqbyi", rt=rt, ra=ra, imm=imm,
+                               comment=comment))
+
+    def orx(self, rt: int, ra: int, comment: str = "") -> None:
+        self._emit(Instruction("orx", rt=rt, ra=ra, comment=comment))
+
+    def lnop(self, comment: str = "") -> None:
+        self._emit(Instruction("lnop", comment=comment))
+
+    def br(self, target: str, comment: str = "") -> None:
+        self._emit(Instruction("br", target=target, comment=comment))
+
+    def brz(self, rt: int, target: str, comment: str = "") -> None:
+        self._emit(Instruction("brz", rt=rt, target=target, comment=comment))
+
+    def brnz(self, rt: int, target: str, comment: str = "") -> None:
+        self._emit(Instruction("brnz", rt=rt, target=target, comment=comment))
+
+    # -- finalization ---------------------------------------------------------
+
+    def finish(self) -> Program:
+        """Resolve labels and hints; return an executable :class:`Program`."""
+        for inst in self._instructions:
+            if inst.spec.is_branch:
+                if inst.target not in self._labels:
+                    raise AssemblyError(
+                        f"unresolved branch target {inst.target!r}")
+                inst.target_index = self._labels[inst.target]
+                if inst.target in self._hints:
+                    inst.hinted = True
+        return Program(list(self._instructions), dict(self._labels))

@@ -1,0 +1,35 @@
+"""Synergistic Processing Element: SPU core + local store + MFC."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .local_store import LocalStore
+from .memory import MainMemory
+from .mfc import MFC
+from .spu import SPU
+
+__all__ = ["SPE"]
+
+
+class SPE:
+    """One of the Cell BE's eight synergistic processing elements.
+
+    Bundles the three per-element resources the paper's DFA tile uses: the
+    SPU (compute), the 256 KB local store (holds the STT, input buffers,
+    code and stack) and the MFC (streams input blocks and STT slices in
+    from main memory).
+    """
+
+    def __init__(self, index: int, memory: MainMemory,
+                 num_contending: int = 8) -> None:
+        if not 0 <= index < 8:
+            raise ValueError("SPE index must be 0..7")
+        self.index = index
+        self.local_store = LocalStore()
+        self.spu = SPU(self.local_store)
+        self.mfc = MFC(self.local_store, memory, num_contending)
+        self.memory = memory
+
+    def __repr__(self) -> str:
+        return f"SPE(index={self.index})"

@@ -1,0 +1,252 @@
+"""Synergistic Processing Unit: functional + timing simulator.
+
+The SPU model executes :class:`~repro.cell.program.Program` instruction
+streams over a 128-entry register file of 128-bit values and a local store,
+and simultaneously accounts cycles with the issue rules that drive Table 1 of
+the paper:
+
+* **in-order issue** — an instruction whose source operands are still in
+  flight stalls the pipeline (dependency stall);
+* **dual issue** — two adjacent instructions issue in the same cycle when
+  they target different pipelines (one even, one odd), the second one's
+  operands are ready, and the first is not a taken branch;
+* **result latency** — a register written by an instruction becomes readable
+  ``latency`` cycles later (2 for simple fixed point, 4 for shifts/shuffles,
+  6 for local-store loads);
+* **branch penalty** — a taken branch without a branch hint flushes the
+  fetch pipeline (18 cycles); correctly hinted branches are free.
+
+The statistics the run produces — cycles per transition, CPI, dual-issue
+percentage, stall percentage, register count — are exactly the columns of
+Table 1.
+
+Simplifications vs. hardware (documented deviations): no instruction-fetch
+starvation modelling, no address-based issue-slot alignment (any even/odd
+adjacent pair may dual-issue), and stores complete immediately (the SPU's
+store queue is not a source of stalls in these kernels).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .isa import EVEN, ODD, Instruction
+from .local_store import LocalStore
+from .program import Program
+
+__all__ = ["SPU", "SPUStats", "SPUError", "CLOCK_HZ", "BRANCH_PENALTY"]
+
+#: SPU clock frequency of the Cell BE: 3.2 GHz.
+CLOCK_HZ = 3.2e9
+
+#: Flush penalty, in cycles, for a taken branch not covered by a hint.
+BRANCH_PENALTY = 18
+
+
+class SPUError(Exception):
+    """Raised on runaway programs or malformed execution state."""
+
+
+@dataclass
+class SPUStats:
+    """Cycle-accounting results of one program run.
+
+    The derived properties mirror the rows of Table 1 in the paper.
+    """
+
+    cycles: int = 0
+    instructions: int = 0
+    dual_issue_cycles: int = 0
+    single_issue_cycles: int = 0
+    stall_cycles: int = 0
+    branch_penalty_cycles: int = 0
+    branches_taken: int = 0
+    registers_used: int = 0
+    #: Per-instruction-index execution counts (only when profiling).
+    execution_counts: Optional[Dict[int, int]] = None
+
+    @property
+    def cpi(self) -> float:
+        """Average clock cycles per instruction."""
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+    @property
+    def dual_issue_pct(self) -> float:
+        """Percentage of issue cycles that issued two instructions."""
+        issue = self.dual_issue_cycles + self.single_issue_cycles
+        return 100.0 * self.dual_issue_cycles / issue if issue else 0.0
+
+    @property
+    def stall_pct(self) -> float:
+        """Percentage of total cycles lost to dependency stalls."""
+        return 100.0 * self.stall_cycles / self.cycles if self.cycles else 0.0
+
+    def cycles_per(self, actions: int) -> float:
+        """Cycles per action (e.g. per DFA state transition)."""
+        if actions <= 0:
+            raise ValueError("actions must be positive")
+        return self.cycles / actions
+
+    def seconds(self, clock_hz: float = CLOCK_HZ) -> float:
+        """Wall-clock duration of the run at the given clock."""
+        return self.cycles / clock_hz
+
+    def actions_per_second(self, actions: int,
+                           clock_hz: float = CLOCK_HZ) -> float:
+        """Actions per second (e.g. DFA transitions/s) at the given clock."""
+        return actions / self.seconds(clock_hz)
+
+
+class SPU:
+    """One synergistic processing unit attached to a local store."""
+
+    NUM_REGS = 128
+
+    def __init__(self, local_store: Optional[LocalStore] = None) -> None:
+        self.local_store = local_store if local_store is not None \
+            else LocalStore()
+        #: Raw local-store bytes; opcode handlers index this directly.
+        self.ls = self.local_store.data
+        self.regs: List[int] = [0] * self.NUM_REGS
+        self.halted = False
+        self.branch_to: Optional[int] = None
+
+    # -- register access -------------------------------------------------------
+
+    def set_reg(self, index: int, value: int) -> None:
+        if not 0 <= index < self.NUM_REGS:
+            raise SPUError(f"register r{index} out of range")
+        self.regs[index] = value & ((1 << 128) - 1)
+
+    def get_reg(self, index: int) -> int:
+        if not 0 <= index < self.NUM_REGS:
+            raise SPUError(f"register r{index} out of range")
+        return self.regs[index]
+
+    def reset(self) -> None:
+        """Clear registers and execution flags (the local store persists)."""
+        self.regs = [0] * self.NUM_REGS
+        self.halted = False
+        self.branch_to = None
+
+    # -- execution ----------------------------------------------------------
+
+    def run(self, program: Program, max_cycles: int = 500_000_000,
+            max_instructions: int = 100_000_000,
+            profile: bool = False) -> SPUStats:
+        """Execute ``program`` until ``stop``; return timing statistics.
+
+        With ``profile=True`` the result carries per-instruction execution
+        counts (see :mod:`repro.cell.profiler` for reporting).
+        """
+        insts = program.instructions
+        if not insts:
+            raise SPUError("cannot run an empty program")
+
+        self.halted = False
+        self.branch_to = None
+        regs_ready = [0] * self.NUM_REGS
+
+        cycle = 0
+        pc = 0
+        n_inst = 0
+        exec_counts: Optional[Dict[int, int]] = {} if profile else None
+        dual = 0
+        single = 0
+        stall = 0
+        penalty_total = 0
+        branches_taken = 0
+        n = len(insts)
+
+        while not self.halted:
+            if pc >= n:
+                raise SPUError(f"program counter fell off the end (pc={pc})")
+            if cycle > max_cycles or n_inst > max_instructions:
+                raise SPUError(
+                    f"runaway program: {cycle} cycles / {n_inst} "
+                    f"instructions without stop")
+
+            inst1 = insts[pc]
+            spec1 = inst1.spec
+
+            # Wait for inst1's operands.
+            need = 0
+            for src in inst1.sources():
+                t = regs_ready[src]
+                if t > need:
+                    need = t
+            if need > cycle:
+                stall += need - cycle
+                cycle = need
+
+            # Issue inst1.
+            self.branch_to = None
+            spec1.execute(self, inst1)
+            n_inst += 1
+            if exec_counts is not None:
+                exec_counts[pc] = exec_counts.get(pc, 0) + 1
+            dest1 = inst1.destination()
+            if dest1 is not None:
+                regs_ready[dest1] = cycle + spec1.latency
+
+            taken1 = self.branch_to is not None
+            if taken1:
+                branches_taken += 1
+                next_pc = self.branch_to
+            else:
+                next_pc = pc + 1
+
+            # Attempt dual issue of the following instruction.
+            issued_two = False
+            if (not taken1 and not self.halted and next_pc < n):
+                inst2 = insts[next_pc]
+                spec2 = inst2.spec
+                if spec2.pipe != spec1.pipe:
+                    ready2 = all(regs_ready[s] <= cycle
+                                 for s in inst2.sources())
+                    dest2 = inst2.destination()
+                    waw = dest1 is not None and dest1 == dest2
+                    if ready2 and not waw:
+                        self.branch_to = None
+                        spec2.execute(self, inst2)
+                        n_inst += 1
+                        if exec_counts is not None:
+                            exec_counts[next_pc] = \
+                                exec_counts.get(next_pc, 0) + 1
+                        if dest2 is not None:
+                            regs_ready[dest2] = cycle + spec2.latency
+                        issued_two = True
+                        taken2 = self.branch_to is not None
+                        if taken2:
+                            branches_taken += 1
+                            next_pc = self.branch_to
+                            if not inst2.hinted:
+                                penalty_total += BRANCH_PENALTY
+                                cycle += BRANCH_PENALTY
+                        else:
+                            next_pc = next_pc + 1
+
+            if issued_two:
+                dual += 1
+            else:
+                single += 1
+
+            if taken1 and not inst1.hinted:
+                penalty_total += BRANCH_PENALTY
+                cycle += BRANCH_PENALTY
+
+            pc = next_pc
+            cycle += 1
+
+        return SPUStats(
+            cycles=cycle,
+            instructions=n_inst,
+            dual_issue_cycles=dual,
+            single_issue_cycles=single,
+            stall_cycles=stall,
+            branch_penalty_cycles=penalty_total,
+            branches_taken=branches_taken,
+            registers_used=program.registers_used(),
+            execution_counts=exec_counts,
+        )

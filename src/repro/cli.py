@@ -1,0 +1,217 @@
+"""Command-line interface.
+
+Four subcommands mirror the library's main entry points::
+
+    python -m repro scan --pattern virus --pattern worm --text "a Virus!"
+    python -m repro scan --patterns-file sigs.txt traffic.bin
+    python -m repro plan --states 5000 --spes 8
+    python -m repro table1 --transitions 4096
+    python -m repro info
+
+``scan`` matches (exact strings or, with ``--regex``, regexes) and reports
+counts, events and the modelled Cell deployment.  ``plan`` sizes a
+dictionary against the tile budget and prints the deployment the library
+would choose, including the replacement-topology optimum.  ``table1``
+re-runs the paper's kernel comparison at a configurable scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DFA-based string matching on the (simulated) Cell "
+                    "processor — IPPS 2007 reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    scan = sub.add_parser("scan", help="match a dictionary against input")
+    scan.add_argument("input", nargs="?", help="input file (binary)")
+    scan.add_argument("--text", help="inline input text instead of a file")
+    scan.add_argument("--pattern", action="append", default=[],
+                      help="dictionary entry (repeatable)")
+    scan.add_argument("--patterns-file",
+                      help="file with one pattern per line")
+    scan.add_argument("--regex", action="store_true",
+                      help="treat patterns as regular expressions")
+    scan.add_argument("--events", action="store_true",
+                      help="list individual match events")
+
+    plan = sub.add_parser("plan", help="size a dictionary deployment")
+    group = plan.add_mutually_exclusive_group(required=True)
+    group.add_argument("--states", type=int,
+                       help="dictionary size in DFA states")
+    group.add_argument("--patterns-file",
+                       help="derive the size from a pattern file")
+    plan.add_argument("--spes", type=int, default=8,
+                      help="SPE budget (default 8)")
+
+    table1 = sub.add_parser("table1",
+                            help="run the Table-1 kernel comparison")
+    table1.add_argument("--transitions", type=int, default=2048,
+                        help="transitions per version (default 2048; the "
+                             "paper used 16384)")
+
+    sub.add_parser("info", help="print the paper's reference numbers")
+    return parser
+
+
+def _load_patterns(args) -> List[str]:
+    patterns = list(args.pattern)
+    if getattr(args, "patterns_file", None):
+        with open(args.patterns_file, "r", encoding="utf-8") as fh:
+            patterns.extend(line.rstrip("\n") for line in fh
+                            if line.strip())
+    return patterns
+
+
+def _cmd_scan(args) -> int:
+    from .core.matcher import CellStringMatcher
+
+    patterns = _load_patterns(args)
+    if not patterns:
+        print("error: no patterns given (use --pattern/--patterns-file)",
+              file=sys.stderr)
+        return 2
+    if args.text is not None:
+        data: bytes = args.text.encode()
+    elif args.input:
+        with open(args.input, "rb") as fh:
+            data = fh.read()
+    else:
+        print("error: provide an input file or --text", file=sys.stderr)
+        return 2
+
+    matcher = CellStringMatcher(patterns, regex=args.regex)
+    report = matcher.scan(data, with_events=args.events)
+    print(f"patterns      : {matcher.num_patterns}"
+          f"{' (regex)' if args.regex else ''}")
+    print(f"input         : {report.bytes_scanned} bytes")
+    print(f"matches       : {report.total_matches}")
+    print(f"deployment    : {report.configuration}")
+    print(f"modelled rate : {report.modelled_gbps:.2f} Gbps on "
+          f"{report.spes_used} SPE(s)")
+    if args.events and report.events:
+        for event in report.events:
+            label = patterns[event.pattern] if event.pattern < \
+                len(patterns) else f"#{event.pattern}"
+            print(f"  end={event.end:<8d} pattern[{event.pattern}] "
+                  f"{label!r}")
+    return 0
+
+
+def _cmd_plan(args) -> int:
+    from .core.planner import plan_tile
+    from .core.replacement import HALF_TILE_STATES, effective_gbps, \
+        plan_topology
+    from .dfa.alphabet import case_fold_32
+    from .dfa.partition import trie_states
+
+    if args.patterns_file:
+        fold = case_fold_32()
+        with open(args.patterns_file, "r", encoding="utf-8") as fh:
+            patterns = [fold.fold_bytes(line.strip().encode())
+                        for line in fh if line.strip()]
+        states = trie_states(patterns)
+    else:
+        states = args.states
+    if states < 2:
+        print("error: dictionary needs at least 2 states",
+              file=sys.stderr)
+        return 2
+
+    tile = plan_tile()
+    print(f"dictionary    : {states} DFA states")
+    print(f"tile budget   : {tile.max_states} states "
+          f"({tile.stt_capacity // 1024} KB STT)")
+    if states <= tile.max_states:
+        ways = args.spes
+        print(f"deployment    : resident, up to {ways} parallel tiles = "
+              f"{ways * 5.11:.2f} Gbps")
+        return 0
+    resident_slices = -(-states // tile.max_states)
+    if resident_slices <= args.spes:
+        print(f"deployment    : {resident_slices} series tiles "
+              f"(5.11 Gbps), {args.spes // resident_slices} parallel "
+              f"group(s) = "
+              f"{(args.spes // resident_slices) * 5.11:.2f} Gbps")
+        return 0
+    slices = -(-states // HALF_TILE_STATES)
+    paper = effective_gbps(slices, num_spes=args.spes)
+    best = plan_topology(slices, args.spes)
+    print(f"deployment    : dynamic STT replacement, {slices} half-tile "
+          f"slices")
+    print(f"paper policy  : {paper:.2f} Gbps (every SPE cycles all "
+          f"slices)")
+    print(f"best topology : {best.describe()}")
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    from .analysis import PAPER_TABLE1, ascii_table
+    from .core import DFATile, KERNEL_SPECS
+    from .dfa import AhoCorasick
+    from .workloads import signatures_for_states, streams_for_tile
+
+    transitions = max(192, args.transitions)
+    patterns = signatures_for_states(600, seed=7)
+    tile = DFATile(AhoCorasick(patterns, 32).to_dfa())
+    rows = []
+    for version, spec in sorted(KERNEL_SPECS.items()):
+        if version == 1:
+            streams = streams_for_tile(transitions, patterns,
+                                       num_streams=1, seed=1)
+        else:
+            per = -(-(transitions // 16) // spec.unroll) * spec.unroll
+            streams = streams_for_tile(max(per, 12 * spec.unroll),
+                                       patterns, seed=2)
+        result = tile.run_streams(streams, version=version)
+        paper = PAPER_TABLE1[version]
+        rows.append([
+            f"v{version}",
+            spec.label,
+            round(result.cycles_per_transition, 2),
+            paper.cycles_per_transition,
+            round(result.throughput_gbps(), 2),
+            paper.throughput_gbps,
+        ])
+    print(ascii_table(
+        ["ver", "kernel", "cyc/tr", "paper", "Gbps", "paper"], rows,
+        title=f"Table 1 at {transitions} transitions/version"))
+    return 0
+
+
+def _cmd_info(args) -> int:
+    from .analysis import (PAPER_BLADE_GBPS, PAPER_CHIP_GBPS,
+                           PAPER_TABLE1, PAPER_TILE_GBPS)
+    print("Scarpazza, Villa & Petrini, IPPS 2007 — reference numbers")
+    print(f"  peak tile throughput : {PAPER_TILE_GBPS} Gbps "
+          f"(version 4, unroll 3)")
+    print(f"  one chip (8 SPEs)    : {PAPER_CHIP_GBPS} Gbps")
+    print(f"  dual-Cell blade      : {PAPER_BLADE_GBPS} Gbps")
+    print("  Table 1 cycles/transition:",
+          ", ".join(f"v{v}={r.cycles_per_transition}"
+                    for v, r in sorted(PAPER_TABLE1.items())))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "scan": _cmd_scan,
+        "plan": _cmd_plan,
+        "table1": _cmd_table1,
+        "info": _cmd_info,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,114 @@
+"""Filter packs: serialize compiled dictionaries for deployment.
+
+A NIDS appliance does not rebuild its automata on every boot — rule sets
+are compiled once and shipped to the data plane.  A *filter pack* is this
+repository's deployable artifact: the fold table, the dense transition
+table, final markings and per-state outputs, in a versioned, checksummed
+binary format.
+
+Format (all integers big-endian, like the STT cells):
+
+====== ======================= =====================================
+offset field                   notes
+====== ======================= =====================================
+0      magic ``RPRO``          4 bytes
+4      format version (u16)    currently 1
+6      alphabet width (u16)
+8      num states (u32)
+12     start state (u32)
+16     num outputs (u32)       total (state, pattern) pairs
+20     fold table              256 bytes
+276    transitions             num_states × width × u32
+...    final bitmap            ceil(num_states / 8) bytes
+...    outputs                 num_outputs × (state u32, pattern u32)
+...    CRC32 (u32)             over everything before it
+====== ======================= =====================================
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..dfa.alphabet import FoldMap
+from ..dfa.automaton import DFA, DFAError
+
+__all__ = ["pack_filter", "unpack_filter", "ArtifactError",
+           "FORMAT_VERSION", "MAGIC"]
+
+MAGIC = b"RPRO"
+FORMAT_VERSION = 1
+
+
+class ArtifactError(Exception):
+    """Raised for malformed or corrupted filter packs."""
+
+
+def pack_filter(dfa: DFA, fold: FoldMap) -> bytes:
+    """Serialize a compiled dictionary into a filter pack."""
+    if fold.width != dfa.alphabet_size:
+        raise ArtifactError(
+            f"fold width {fold.width} != DFA alphabet "
+            f"{dfa.alphabet_size}")
+    out = bytearray()
+    outputs = [(s, p) for s, pats in sorted(dfa.outputs.items())
+               for p in pats]
+    out += MAGIC
+    out += struct.pack(">HHIII", FORMAT_VERSION, dfa.alphabet_size,
+                       dfa.num_states, dfa.start, len(outputs))
+    out += bytes(fold.table)
+    out += dfa.transitions.astype(">u4").tobytes()
+    final_bitmap = bytearray((dfa.num_states + 7) // 8)
+    for s in dfa.finals:
+        final_bitmap[s >> 3] |= 1 << (s & 7)
+    out += bytes(final_bitmap)
+    for s, p in outputs:
+        out += struct.pack(">II", s, p)
+    out += struct.pack(">I", zlib.crc32(bytes(out)))
+    return bytes(out)
+
+
+def unpack_filter(blob: bytes) -> Tuple[DFA, FoldMap]:
+    """Deserialize a filter pack; verifies magic, version and checksum."""
+    if len(blob) < 24:
+        raise ArtifactError("blob too short to be a filter pack")
+    if blob[:4] != MAGIC:
+        raise ArtifactError("bad magic: not a filter pack")
+    stored_crc = struct.unpack(">I", blob[-4:])[0]
+    if zlib.crc32(blob[:-4]) != stored_crc:
+        raise ArtifactError("checksum mismatch: corrupted filter pack")
+    version, width, num_states, start, num_outputs = struct.unpack(
+        ">HHIII", blob[4:20])
+    if version != FORMAT_VERSION:
+        raise ArtifactError(f"unsupported format version {version}")
+    pos = 20
+    fold_table = tuple(blob[pos:pos + 256])
+    pos += 256
+    table_bytes = num_states * width * 4
+    expected = pos + table_bytes + (num_states + 7) // 8 \
+        + num_outputs * 8 + 4
+    if len(blob) != expected:
+        raise ArtifactError(
+            f"size mismatch: {len(blob)} bytes, header implies {expected}")
+    transitions = np.frombuffer(
+        blob, dtype=">u4", count=num_states * width,
+        offset=pos).reshape(num_states, width).astype(np.int32)
+    pos += table_bytes
+    bitmap = blob[pos:pos + (num_states + 7) // 8]
+    pos += len(bitmap)
+    finals = [s for s in range(num_states) if bitmap[s >> 3] & (1 << (s & 7))]
+    outputs: dict = {}
+    for _ in range(num_outputs):
+        s, p = struct.unpack(">II", blob[pos:pos + 8])
+        outputs.setdefault(s, []).append(p)
+        pos += 8
+    outputs = {s: tuple(pats) for s, pats in outputs.items()}
+    try:
+        fold = FoldMap(fold_table, width)
+        dfa = DFA(transitions, finals, start=start, outputs=outputs)
+    except (ValueError, DFAError) as exc:
+        raise ArtifactError(f"pack contents invalid: {exc}") from exc
+    return dfa, fold

@@ -1,0 +1,158 @@
+"""Bloom-filter scanning on an SPE — the paper's §7 future work.
+
+The conclusions announce "exploring the potentials of the Cell BE when
+implementing probabilistic string matching algorithms like Bloom filters"
+(the FPGA literature the paper cites [7, 13, 14] screens traffic this
+way).  This module builds that system at the same level of fidelity as the
+DFA tile's analytic models:
+
+* **capacity** — the local-store space a DFA tile spends on the STT is
+  spent on bit arrays instead; with k ≈ m/n·ln2 hash functions the same
+  190 KB holds *hundreds of thousands* of signatures at a 1 % false-
+  positive rate, versus ~1500 DFA states;
+* **throughput model** — per input byte the scanner updates one rolling
+  hash and probes k bits *per distinct pattern length*; probe cost is
+  dominated by dependent local-store loads, so the cycle model mirrors
+  the DFA kernel's load-bound structure.  Hits (true or false) pay an
+  exact verification;
+* **functional scanning** — backed by :class:`repro.baselines.BloomMatcher`
+  (no false negatives; false positives filtered by verification), so
+  counts agree exactly with the DFA engines.
+
+The resulting trade-off — huge dictionaries, length-set-sensitive and
+input-sensitive throughput, versus the DFA's flat cost — is quantified in
+``benchmarks/bench_future_bloom.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..baselines.bloom import BloomFilter, BloomMatcher
+from ..cell.spu import CLOCK_HZ
+from ..dfa.automaton import MatchEvent
+from .planner import TilePlan, plan_tile
+
+__all__ = ["BloomTile", "BloomTileError", "bloom_capacity"]
+
+
+class BloomTileError(Exception):
+    """Raised when the filter does not fit the local store."""
+
+
+#: Modelled cycles per rolling-hash update (two multiplies-by-constant
+#: folded into shifts/adds, per the SPU's fixed-point unit).
+HASH_UPDATE_CYCLES = 6
+
+#: Modelled cycles per Bloom probe: dependent LS load (6) + rotate (4) +
+#: mask/test (2).
+PROBE_CYCLES = 12
+
+#: Modelled cycles to exactly verify one candidate window (byte compare
+#: loop over the window, amortized).
+VERIFY_CYCLES = 64
+
+
+def bloom_capacity(bits: int, fp_rate: float) -> int:
+    """Signatures a ``bits``-bit filter holds at ``fp_rate``:
+    n = -m (ln 2)^2 / ln p."""
+    if bits <= 0:
+        raise BloomTileError("bit budget must be positive")
+    if not 0 < fp_rate < 1:
+        raise BloomTileError("fp_rate must be in (0, 1)")
+    return int(-bits * (math.log(2) ** 2) / math.log(fp_rate))
+
+
+@dataclass
+class BloomScanResult:
+    """Outcome of one Bloom-tile scan."""
+
+    events: List[MatchEvent]
+    verifications: int
+    false_positives: int
+    modelled_gbps: float
+
+    @property
+    def total_matches(self) -> int:
+        return len(self.events)
+
+
+class BloomTile:
+    """A Bloom-filter scanner sized for one SPE local store."""
+
+    def __init__(self, patterns: Sequence[bytes],
+                 plan: Optional[TilePlan] = None,
+                 fp_rate: float = 0.01) -> None:
+        if not patterns:
+            raise BloomTileError("at least one pattern required")
+        self.plan = plan if plan is not None else plan_tile()
+        self.fp_rate = fp_rate
+        self.matcher = BloomMatcher(patterns, fp_rate)
+        bits_needed = sum(f.num_bits for f in self.matcher.filters.values())
+        budget_bits = self.plan.stt_capacity * 8
+        if bits_needed > budget_bits:
+            raise BloomTileError(
+                f"filters need {bits_needed} bits; the layout offers "
+                f"{budget_bits} (lower fp_rate or shrink the dictionary)")
+        self.bits_used = bits_needed
+        self.patterns = [bytes(p) for p in patterns]
+
+    # -- capacity ---------------------------------------------------------------
+
+    @property
+    def num_length_groups(self) -> int:
+        return len(self.matcher.filters)
+
+    @property
+    def capacity_signatures(self) -> int:
+        """How many signatures this layout could hold at the same rate."""
+        return bloom_capacity(self.plan.stt_capacity * 8, self.fp_rate)
+
+    # -- throughput model -----------------------------------------------------------
+
+    def cycles_per_byte(self, hit_rate: float = 0.0) -> float:
+        """Modelled scan cost per input byte.
+
+        ``hit_rate`` is the fraction of windows whose filter probe comes
+        back positive (true matches + false positives) and must be
+        verified.  The per-byte cost scales with the number of *distinct
+        pattern lengths* — the known weakness of Bloom scanning versus
+        the DFA's single transition per byte.
+        """
+        if not 0 <= hit_rate <= 1:
+            raise BloomTileError("hit_rate must be in [0, 1]")
+        cycles = 0.0
+        for length, bf in self.matcher.filters.items():
+            cycles += HASH_UPDATE_CYCLES
+            cycles += bf.num_hashes * PROBE_CYCLES
+        cycles += hit_rate * VERIFY_CYCLES
+        return cycles
+
+    def modelled_gbps(self, hit_rate: float = 0.0,
+                      clock_hz: float = CLOCK_HZ) -> float:
+        return 8.0 * clock_hz / self.cycles_per_byte(hit_rate) / 1e9
+
+    # -- functional scan --------------------------------------------------------------
+
+    def scan(self, block: bytes) -> BloomScanResult:
+        """Exact scan (Bloom screen + verification) with cost modelling."""
+        before_v = self.matcher.verifications
+        before_fp = self.matcher.false_positives
+        events = self.matcher.find_all(block)
+        verifications = self.matcher.verifications - before_v
+        false_positives = self.matcher.false_positives - before_fp
+        windows = max(1, len(block))
+        hit_rate = verifications / windows
+        return BloomScanResult(
+            events=events,
+            verifications=verifications,
+            false_positives=false_positives,
+            modelled_gbps=self.modelled_gbps(hit_rate),
+        )
+
+    def __repr__(self) -> str:
+        return (f"BloomTile(patterns={len(self.patterns)}, "
+                f"length_groups={self.num_length_groups}, "
+                f"bits={self.bits_used}, fp={self.fp_rate})")

@@ -1,0 +1,177 @@
+"""Compressed state-transition tables — an ablation of the paper's §4
+choice of a *complete* table.
+
+The paper deliberately spends local store on a dense row per state because
+a transition must cost exactly one load.  The classic alternative
+(default-transition compression, the idea behind D2FA and the original
+Aho–Corasick failure function) stores, per state, only the transitions
+that *differ* from a default state's row and falls back otherwise:
+
+* memory shrinks dramatically (security DFAs are failure-closed, so most
+  rows differ from their failure state in a handful of symbols);
+* but one input symbol may now take several fallback hops — the per-byte
+  cost becomes input-dependent, surrendering exactly the overload-attack
+  immunity the paper's §1 demands.
+
+:class:`CompressedSTT` implements the representation functionally (counts
+must equal the dense DFA's), reports the compression ratio, and measures
+the fallback-hop distribution so the ablation bench can show both sides of
+the trade.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..dfa.automaton import DFA, DFAError
+from .stt import CELL_BYTES
+
+__all__ = ["CompressedSTT", "CompressionStats"]
+
+
+@dataclass(frozen=True)
+class CompressionStats:
+    """Footprint and run-time characteristics of one compressed table."""
+
+    num_states: int
+    dense_bytes: int
+    compressed_bytes: int
+    stored_transitions: int
+    max_chain_length: int
+
+    @property
+    def ratio(self) -> float:
+        """compressed / dense — smaller is better."""
+        return self.compressed_bytes / self.dense_bytes
+
+
+class CompressedSTT:
+    """Default-transition-compressed transition table.
+
+    Each state stores a sparse exception list plus a default state; a
+    lookup follows defaults until an exception (or the root, which is
+    stored densely) answers.  Defaults are the Aho–Corasick failure links
+    when provided, else state 0 — both guarantee acyclic default chains
+    ending at the root.
+    """
+
+    def __init__(self, dfa: DFA,
+                 defaults: Optional[Sequence[int]] = None) -> None:
+        self.dfa = dfa
+        n = dfa.num_states
+        W = dfa.alphabet_size
+        if defaults is None:
+            # Without structural knowledge the start state is the only
+            # universally sound default; build via
+            # :meth:`from_aho_corasick` for failure-link defaults.
+            defaults = [dfa.start] * n
+        defaults = list(defaults)
+        if len(defaults) != n:
+            raise DFAError("one default per state required")
+        self._check_acyclic(defaults, dfa.start)
+        self.defaults = defaults
+
+        # Root row stays dense (every chain terminates there with an
+        # answer); other states keep exceptions only.
+        self.root_row = dfa.transitions[dfa.start].copy()
+        self.exceptions: List[Dict[int, int]] = []
+        stored = 0
+        for s in range(n):
+            if s == dfa.start:
+                self.exceptions.append({})
+                continue
+            d = defaults[s]
+            exc = {
+                c: int(dfa.transitions[s, c])
+                for c in range(W)
+                if dfa.transitions[s, c] != dfa.transitions[d, c]
+            }
+            self.exceptions.append(exc)
+            stored += len(exc)
+
+        # Footprint model: dense = n*W cells; compressed = root row +
+        # per-state (default pointer + count) + per-exception
+        # (symbol, target) packed in one cell.
+        dense = n * W * CELL_BYTES
+        compressed = W * CELL_BYTES + n * 2 * CELL_BYTES \
+            + stored * CELL_BYTES
+        self.stats = CompressionStats(
+            num_states=n,
+            dense_bytes=dense,
+            compressed_bytes=compressed,
+            stored_transitions=stored,
+            max_chain_length=self._max_chain(defaults, dfa.start),
+        )
+
+    # -- construction helpers ---------------------------------------------------
+
+    @classmethod
+    def from_aho_corasick(cls, ac) -> "CompressedSTT":
+        """Build with the AC failure links as defaults — the classic
+        result: state s's dense row differs from fail(s)'s row exactly at
+        s's goto edges, so the exception count collapses to the number of
+        trie edges (n − 1)."""
+        dfa = ac.to_dfa()
+        return cls(dfa, defaults=[int(f) for f in ac.fail])
+
+    @staticmethod
+    def _check_acyclic(defaults: Sequence[int], root: int) -> None:
+        for s in range(len(defaults)):
+            seen = set()
+            cur = s
+            while cur != root:
+                if cur in seen:
+                    raise DFAError("default chain contains a cycle")
+                seen.add(cur)
+                cur = defaults[cur]
+
+    @staticmethod
+    def _max_chain(defaults: Sequence[int], root: int) -> int:
+        longest = 0
+        for s in range(len(defaults)):
+            hops = 0
+            cur = s
+            while cur != root:
+                cur = defaults[cur]
+                hops += 1
+            longest = max(longest, hops)
+        return longest
+
+    # -- lookup -------------------------------------------------------------------
+
+    def step(self, state: int, symbol: int) -> Tuple[int, int]:
+        """One transition; returns (next_state, fallback_hops)."""
+        if not 0 <= symbol < self.dfa.alphabet_size:
+            raise DFAError(f"symbol {symbol} outside alphabet")
+        hops = 0
+        cur = state
+        while cur != self.dfa.start:
+            nxt = self.exceptions[cur].get(symbol)
+            if nxt is not None:
+                return nxt, hops
+            cur = self.defaults[cur]
+            hops += 1
+        return int(self.root_row[symbol]), hops
+
+    def count_matches(self, symbols: bytes) -> Tuple[int, int]:
+        """Counting scan; returns (matches, total_fallback_hops)."""
+        state = self.dfa.start
+        final = self.dfa.final_mask
+        count = 0
+        hops_total = 0
+        for sym in symbols:
+            state, hops = self.step(state, sym)
+            hops_total += hops
+            if final[state]:
+                count += 1
+        return count, hops_total
+
+    def average_hops(self, symbols: bytes) -> float:
+        """Fallback hops per input byte — the input-dependence metric."""
+        if not symbols:
+            return 0.0
+        _, hops = self.count_matches(symbols)
+        return hops / len(symbols)

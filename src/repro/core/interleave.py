@@ -1,0 +1,100 @@
+"""Stream interleaving (paper §4).
+
+The SIMD kernels maintain 16 independent DFAs, one per byte lane of the
+128-bit quadword: "the input streams are interleaved such that each quadword
+of the input contains at position i-th a byte from the i-th stream".
+Interleaving is "reasonably inexpensive" and runs on the PPE.
+
+Two usage modes:
+
+* genuinely distinct streams (e.g. 16 TCP flows) — :func:`interleave_streams`;
+* one large block split into 16 consecutive chunks that *become* the
+  streams — :func:`block_to_streams` / :func:`interleave_block` (how a
+  single packet capture is fed to one tile).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+__all__ = [
+    "interleave_streams",
+    "deinterleave",
+    "block_to_streams",
+    "interleave_block",
+    "InterleaveError",
+]
+
+
+class InterleaveError(Exception):
+    """Raised on ragged or ill-sized stream sets."""
+
+
+def interleave_streams(streams: Sequence[bytes]) -> bytes:
+    """Byte-interleave equal-length streams.
+
+    ``out[t * n + i] == streams[i][t]`` — with ``n == 16`` every quadword of
+    the output carries one byte of each stream, which is exactly the layout
+    the SIMD kernel consumes.
+    """
+    if not streams:
+        raise InterleaveError("at least one stream required")
+    length = len(streams[0])
+    for i, s in enumerate(streams):
+        if len(s) != length:
+            raise InterleaveError(
+                f"stream {i} has {len(s)} bytes, expected {length}; "
+                f"pad streams to a common length first")
+    if length == 0:
+        return b""
+    matrix = np.empty((len(streams), length), dtype=np.uint8)
+    for i, s in enumerate(streams):
+        matrix[i] = np.frombuffer(s, dtype=np.uint8)
+    return matrix.T.tobytes()
+
+
+def deinterleave(data: bytes, num_streams: int) -> List[bytes]:
+    """Inverse of :func:`interleave_streams`."""
+    if num_streams <= 0:
+        raise InterleaveError("num_streams must be positive")
+    if len(data) % num_streams:
+        raise InterleaveError(
+            f"{len(data)} bytes do not divide into {num_streams} streams")
+    arr = np.frombuffer(data, dtype=np.uint8)
+    matrix = arr.reshape(-1, num_streams).T
+    return [matrix[i].tobytes() for i in range(num_streams)]
+
+
+def block_to_streams(block: bytes, num_streams: int = 16,
+                     pad_symbol: int = 0) -> List[bytes]:
+    """Split one contiguous block into ``num_streams`` consecutive chunks.
+
+    The chunks are padded with ``pad_symbol`` to a common length that is a
+    multiple of 16 bytes so the kernel's quadword loop lines up.  Note that
+    matches crossing chunk boundaries are lost — callers that care use an
+    overlap (see :mod:`repro.core.composition`), exactly as the paper's
+    parallel tiles do for their input slices.
+    """
+    if num_streams <= 0:
+        raise InterleaveError("num_streams must be positive")
+    if not 0 <= pad_symbol < 256:
+        raise InterleaveError("pad symbol must be a byte value")
+    per = (len(block) + num_streams - 1) // num_streams
+    per = (per + 15) & ~15  # round up to quadword multiple
+    per = max(per, 16)
+    chunks = []
+    for i in range(num_streams):
+        chunk = block[i * per:(i + 1) * per]
+        if len(chunk) < per:
+            chunk = chunk + bytes([pad_symbol]) * (per - len(chunk))
+        chunks.append(chunk)
+    return chunks
+
+
+def interleave_block(block: bytes, num_streams: int = 16,
+                     pad_symbol: int = 0) -> bytes:
+    """Convenience: split a block into streams and interleave them."""
+    return interleave_streams(block_to_streams(block, num_streams,
+                                               pad_symbol))

@@ -1,0 +1,273 @@
+"""High-level public API: build a dictionary, plan a Cell configuration,
+scan traffic.
+
+:class:`CellStringMatcher` is what a downstream user touches first.  It
+folds the dictionary and the input through the paper's 32-symbol reduction,
+compiles the dictionary (exact strings via Aho–Corasick, or regexes via the
+NFA pipeline), sizes it against the tile budget, and picks the paper's
+deployment shape automatically:
+
+* fits one tile → parallel tiles for throughput (Figure 6a);
+* needs several tiles → series / mixed composition (Figures 6b, 7);
+* exceeds eight tiles → dynamic STT replacement (§6).
+
+Scanning is exact (counts and match events agree with a monolithic
+reference scan); the report also carries the *modelled* Cell throughput of
+the chosen configuration, so experiments can ask "what would this
+dictionary cost on the machine the paper used?".
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..cell.processor import NUM_SPES
+from ..dfa.aho_corasick import AhoCorasick
+from ..dfa.alphabet import FoldMap, case_fold_32
+from ..dfa.automaton import DFA, MatchEvent
+from ..dfa.partition import partition_patterns
+from ..dfa.regex import compile_patterns
+from .composition import TileComposition
+from .planner import TilePlan, plan_tile
+from .replacement import HALF_TILE_STATES, ReplacementMatcher, effective_gbps
+
+__all__ = ["CellStringMatcher", "ScanReport", "MatcherError",
+           "PAPER_TILE_GBPS"]
+
+#: The paper's peak single-tile throughput (Table 1, version 4).
+PAPER_TILE_GBPS = 5.11
+
+Pattern = Union[str, bytes]
+
+
+class MatcherError(Exception):
+    """Raised for unusable dictionaries or configurations."""
+
+
+@dataclass
+class ScanReport:
+    """Outcome of one scan."""
+
+    total_matches: int
+    events: Optional[List[MatchEvent]]     # end positions + pattern ids
+    bytes_scanned: int
+    configuration: str
+    spes_used: int
+    modelled_gbps: float
+    #: Occurrences per (global) pattern id; patterns with zero hits are
+    #: omitted.
+    pattern_counts: Optional[Dict[int, int]] = None
+
+    def modelled_seconds(self) -> float:
+        """Time the modelled Cell configuration would need for this scan."""
+        if self.modelled_gbps <= 0:
+            return float("inf")
+        return self.bytes_scanned * 8 / (self.modelled_gbps * 1e9)
+
+
+class CellStringMatcher:
+    """Multi-pattern scanner with automatic Cell-BE deployment planning."""
+
+    def __init__(self, patterns: Sequence[Pattern],
+                 fold: Optional[FoldMap] = None,
+                 regex: bool = False,
+                 target_gbps: float = PAPER_TILE_GBPS,
+                 per_tile_gbps: float = PAPER_TILE_GBPS,
+                 max_spes: int = NUM_SPES,
+                 plan: Optional[TilePlan] = None) -> None:
+        if not patterns:
+            raise MatcherError("dictionary must contain at least one "
+                               "pattern")
+        self.fold = fold if fold is not None else case_fold_32()
+        self.regex = regex
+        self.per_tile_gbps = per_tile_gbps
+        self.max_spes = max_spes
+        self.plan = plan if plan is not None \
+            else plan_tile(alphabet_size=self.fold.width)
+        if self.plan.alphabet_size != self.fold.width:
+            raise MatcherError(
+                f"tile plan alphabet {self.plan.alphabet_size} != fold "
+                f"width {self.fold.width}")
+
+        self._raw_patterns = [p.encode() if isinstance(p, str) else bytes(p)
+                              for p in patterns]
+
+        if regex:
+            self._init_regex([p.decode("latin-1")
+                              for p in self._raw_patterns])
+        else:
+            self._init_exact(target_gbps)
+
+    # -- construction ------------------------------------------------------------
+
+    def _init_exact(self, target_gbps: float) -> None:
+        folded = [self.fold.fold_bytes(p) for p in self._raw_patterns]
+        for i, p in enumerate(folded):
+            if not p:
+                raise MatcherError(f"pattern {i} is empty")
+        tile_budget = self.plan.max_states
+        partition = partition_patterns(folded, tile_budget, self.fold.width)
+        self._acs = [AhoCorasick(partition.slice_patterns(i),
+                                 self.fold.width)
+                     for i in range(partition.num_slices)]
+        self.partition = partition
+        slices = partition.num_slices
+
+        if slices <= self.max_spes:
+            import math
+            ways_needed = max(1, math.ceil(target_gbps
+                                           / self.per_tile_gbps))
+            ways = max(1, min(self.max_spes // slices, ways_needed))
+            self.composition: Optional[TileComposition] = TileComposition(
+                partition.dfas, ways=ways, max_spes=self.max_spes)
+            self.replacement: Optional[ReplacementMatcher] = None
+            kind = "parallel" if slices == 1 and ways > 1 else \
+                ("series" if ways == 1 and slices > 1 else
+                 ("mixed" if slices > 1 else "single tile"))
+            self.configuration = (
+                f"{kind}: {ways} way(s) × {slices} slice(s) "
+                f"({self.composition.spes_used} SPEs)")
+            self.spes_used = self.composition.spes_used
+            self.modelled_gbps = self.composition.throughput_gbps(
+                self.per_tile_gbps)
+        else:
+            # Too many slices for resident tiles: dynamic STT replacement
+            # with half-size slots.
+            half_budget = min(HALF_TILE_STATES, tile_budget)
+            partition = partition_patterns(folded, half_budget,
+                                           self.fold.width)
+            self._acs = [AhoCorasick(partition.slice_patterns(i),
+                                     self.fold.width)
+                         for i in range(partition.num_slices)]
+            self.partition = partition
+            self.composition = None
+            self.replacement = ReplacementMatcher(partition)
+            self.spes_used = self.max_spes
+            self.modelled_gbps = effective_gbps(
+                partition.num_slices, self.per_tile_gbps, self.max_spes)
+            self.configuration = (
+                f"dynamic STT replacement: {partition.num_slices} slices "
+                f"cycling on {self.max_spes} SPE(s)")
+
+    def _init_regex(self, patterns: List[str]) -> None:
+        """Greedy bin-packing of regexes into tile-sized DFA slices.
+
+        Each slice is one multi-pattern DFA within the state budget; a
+        single regex exceeding the budget alone is rejected.  Slices
+        deploy like exact-dictionary slices: series tiles while they fit
+        the SPE budget, dynamic STT replacement beyond that.
+        """
+        budget = self.plan.max_states
+        slices: List[Tuple[object, List[int]]] = []   # (dfa, global ids)
+        current_ids: List[int] = []
+        current_pats: List[str] = []
+        compiled = None
+        for i, pattern in enumerate(patterns):
+            trial = compile_patterns(current_pats + [pattern], self.fold)
+            if trial.num_states <= budget:
+                current_ids.append(i)
+                current_pats.append(pattern)
+                compiled = trial
+                continue
+            if not current_pats:
+                raise MatcherError(
+                    f"regex {pattern!r} alone needs {trial.num_states} "
+                    f"states, tile budget is {budget}")
+            slices.append((compiled, current_ids))
+            solo = compile_patterns([pattern], self.fold)
+            if solo.num_states > budget:
+                raise MatcherError(
+                    f"regex {pattern!r} alone needs {solo.num_states} "
+                    f"states, tile budget is {budget}")
+            current_ids = [i]
+            current_pats = [pattern]
+            compiled = solo
+        if current_pats:
+            slices.append((compiled, current_ids))
+
+        self._regex_slices = slices
+        self._acs = []
+        self.partition = None
+        self.replacement = None
+        num_slices = len(slices)
+        if num_slices <= self.max_spes:
+            self.composition = TileComposition(
+                [dfa for dfa, _ in slices], ways=1, overlap=0,
+                max_spes=self.max_spes)
+            self.spes_used = num_slices
+            self.modelled_gbps = self.per_tile_gbps
+            kind = "single regex tile" if num_slices == 1                 else f"{num_slices} series regex tiles"
+            total_states = sum(d.num_states for d, _ in slices)
+            self.configuration = f"{kind} ({total_states} states)"
+        else:
+            self.composition = None
+            self.spes_used = self.max_spes
+            self.modelled_gbps = effective_gbps(
+                num_slices, self.per_tile_gbps, self.max_spes)
+            self.configuration = (
+                f"dynamic STT replacement: {num_slices} regex slices "
+                f"cycling on {self.max_spes} SPE(s)")
+
+    # -- scanning -----------------------------------------------------------------
+
+    def scan(self, data: Union[str, bytes],
+             with_events: bool = False) -> ScanReport:
+        """Scan one contiguous buffer; returns counts (and, optionally,
+        the full list of match events with end positions)."""
+        raw = data.encode() if isinstance(data, str) else bytes(data)
+        folded = self.fold.fold_bytes(raw)
+        all_events: List[MatchEvent] = []
+        if self.regex:
+            for dfa, ids in self._regex_slices:
+                for ev in dfa.match_events(folded):
+                    all_events.append(MatchEvent(ev.end, ids[ev.pattern]))
+        else:
+            for si, ac in enumerate(self._acs):
+                for ev in ac.find_all(folded):
+                    all_events.append(MatchEvent(
+                        ev.end,
+                        self.partition.global_pattern_id(si, ev.pattern)))
+        all_events.sort(key=lambda e: (e.end, e.pattern))
+        counts = dict(Counter(e.pattern for e in all_events))
+        return self._report(len(all_events),
+                            all_events if with_events else None,
+                            len(raw), counts)
+
+    def scan_streams(self, streams: Sequence[bytes]) -> ScanReport:
+        """Scan independent streams (counts only)."""
+        total = 0
+        bytes_scanned = 0
+        for s in streams:
+            report = self.scan(s)
+            total += report.total_matches
+            bytes_scanned += len(s)
+        return self._report(total, None, bytes_scanned)
+
+    def count(self, data: Union[str, bytes]) -> int:
+        """Shortcut: total dictionary occurrences in ``data``."""
+        return self.scan(data).total_matches
+
+    def _report(self, total: int, events: Optional[List[MatchEvent]],
+                nbytes: int,
+                counts: Optional[Dict[int, int]] = None) -> ScanReport:
+        return ScanReport(
+            total_matches=total,
+            events=events,
+            bytes_scanned=nbytes,
+            configuration=self.configuration,
+            spes_used=self.spes_used,
+            modelled_gbps=self.modelled_gbps,
+            pattern_counts=counts,
+        )
+
+    # -- introspection ---------------------------------------------------------------
+
+    @property
+    def num_patterns(self) -> int:
+        return len(self._raw_patterns)
+
+    def __repr__(self) -> str:
+        return (f"CellStringMatcher(patterns={self.num_patterns}, "
+                f"config={self.configuration!r})")

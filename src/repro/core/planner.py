@@ -1,0 +1,148 @@
+"""Local-store layout planner (paper Figure 3).
+
+A DFA tile must fit everything into the SPE's 256 KB local store: code and
+stack (the paper reserves 34 KB), two input buffers (double buffering), and
+the state-transition table, which takes whatever is left.  The trade-off is
+buffer size vs. dictionary size:
+
+=======  ================  ==========  ===========
+Case     input buffers     STT space   max states
+=======  ================  ==========  ===========
+1        2 × 16 KB         190 KB      1520
+2        2 × 8 KB          206 KB      1648
+3        2 × 4 KB          214 KB      1712
+=======  ================  ==========  ===========
+
+(32-symbol alphabet, 128-byte rows.)  :func:`plan_tile` computes the layout
+for any buffer size and alphabet width; :data:`FIGURE3_CASES` are the three
+configurations of the figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..cell.local_store import LS_SIZE, LocalStore
+from .stt import row_stride
+
+__all__ = ["TilePlan", "plan_tile", "FIGURE3_CASES", "PlanError",
+           "CODE_STACK_BYTES", "COUNTER_AREA_BYTES", "STATE_AREA_BYTES"]
+
+#: Local-store bytes the paper reserves for code and stack.
+CODE_STACK_BYTES = 34 * 1024
+
+#: Per-stream counter slots (16 streams × 16 bytes), carved out of the
+#: code/stack reservation.
+COUNTER_AREA_BYTES = 256
+
+#: Per-stream saved-state slots (16 × 16 bytes): DFA state pointers persist
+#: here between input blocks so matches spanning block boundaries are kept.
+STATE_AREA_BYTES = 256
+
+
+class PlanError(Exception):
+    """Raised when a requested layout cannot fit the local store."""
+
+
+@dataclass(frozen=True)
+class TilePlan:
+    """A concrete local-store layout for one DFA tile.
+
+    Addresses are absolute local-store offsets.  The STT base is aligned to
+    the row stride so state pointers have zero low bits (the flag trick).
+    """
+
+    alphabet_size: int
+    buffer_bytes: int
+    num_buffers: int
+    code_stack_bytes: int
+    counters_base: int
+    states_base: int
+    stt_base: int
+    stt_capacity: int
+    buffer_bases: Tuple[int, ...]
+
+    @property
+    def max_states(self) -> int:
+        """Largest DFA this layout can hold."""
+        return self.stt_capacity // row_stride(self.alphabet_size)
+
+    @property
+    def stride(self) -> int:
+        return row_stride(self.alphabet_size)
+
+    def describe(self) -> str:
+        """ASCII rendering in the style of Figure 3."""
+        lines = [
+            f"tile layout ({self.alphabet_size}-symbol alphabet, "
+            f"{self.stride}-byte rows)",
+            f"  code+stack : {self.code_stack_bytes / 1024:6.1f} KB "
+            f"(counters at {self.counters_base:#x})",
+            f"  STT        : {self.stt_capacity / 1024:6.1f} KB at "
+            f"{self.stt_base:#x} -> max {self.max_states} states",
+        ]
+        for i, base in enumerate(self.buffer_bases):
+            lines.append(f"  buffer {i}   : {self.buffer_bytes / 1024:6.1f}"
+                         f" KB at {base:#x}")
+        return "\n".join(lines)
+
+    def apply(self, local_store: LocalStore) -> None:
+        """Reserve the planned regions on an actual local store."""
+        local_store.alloc("code_stack", self.code_stack_bytes)
+        local_store.alloc("stt", self.stt_capacity, align=self.stride)
+        for i, base in enumerate(self.buffer_bases):
+            region = local_store.alloc(f"buffer{i}", self.buffer_bytes)
+            if region.start != base:
+                raise PlanError(
+                    f"buffer {i} landed at {region.start:#x}, plan says "
+                    f"{base:#x}")
+
+
+def plan_tile(buffer_bytes: int = 16 * 1024, num_buffers: int = 2,
+              alphabet_size: int = 32,
+              code_stack_bytes: int = CODE_STACK_BYTES,
+              ls_size: int = LS_SIZE) -> TilePlan:
+    """Compute a tile layout: code+stack, then the STT (taking all the
+    space the buffers leave), then the input buffers."""
+    if buffer_bytes <= 0 or buffer_bytes % 16:
+        raise PlanError("buffer size must be a positive multiple of 16")
+    if num_buffers < 1:
+        raise PlanError("at least one input buffer required")
+    if code_stack_bytes < COUNTER_AREA_BYTES + STATE_AREA_BYTES:
+        raise PlanError("code/stack region too small for the counter and "
+                        "state-save areas")
+    stride = row_stride(alphabet_size)
+    stt_base = code_stack_bytes
+    if stt_base % stride:
+        stt_base = (stt_base + stride - 1) & ~(stride - 1)
+    buffers_total = num_buffers * buffer_bytes
+    stt_capacity = ls_size - stt_base - buffers_total
+    stt_capacity -= stt_capacity % stride
+    if stt_capacity < stride:
+        raise PlanError(
+            f"{num_buffers}×{buffer_bytes}-byte buffers leave no room for "
+            f"an STT in the {ls_size}-byte local store")
+    buffer_bases = tuple(stt_base + stt_capacity + i * buffer_bytes
+                         for i in range(num_buffers))
+    counters_base = code_stack_bytes - COUNTER_AREA_BYTES
+    states_base = counters_base - STATE_AREA_BYTES
+    return TilePlan(
+        alphabet_size=alphabet_size,
+        buffer_bytes=buffer_bytes,
+        num_buffers=num_buffers,
+        code_stack_bytes=code_stack_bytes,
+        counters_base=counters_base,
+        states_base=states_base,
+        stt_base=stt_base,
+        stt_capacity=stt_capacity,
+        buffer_bases=buffer_bases,
+    )
+
+
+#: The three local-store configurations of Figure 3.
+FIGURE3_CASES: List[TilePlan] = [
+    plan_tile(buffer_bytes=16 * 1024),
+    plan_tile(buffer_bytes=8 * 1024),
+    plan_tile(buffer_bytes=4 * 1024),
+]

@@ -1,0 +1,176 @@
+"""Compute/transfer overlap schedules (paper Figures 5 and 8).
+
+The SPU keeps running while its MFC moves data, so a tile hides transfer
+latency with double buffering: while the kernel chews on buffer 0, the DMA
+engine fills buffer 1.  With a 16 KB block the paper's numbers are 25.64 µs
+of compute against 5.94 µs of transfer — every transfer except the very
+first is completely hidden.
+
+This module is a small discrete-event scheduler over two resources (the SPU
+and the MFC) plus buffer-occupancy constraints.  It produces explicit
+interval timelines that the tests check for the paper's invariants (no
+buffer is simultaneously computed on and written by DMA; transfers after
+the first are hidden whenever compute time ≥ transfer time) and that the
+benchmarks render as ASCII Gantt charts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["Interval", "Schedule", "double_buffer_schedule", "ScheduleError"]
+
+
+class ScheduleError(Exception):
+    """Raised for infeasible schedule requests."""
+
+
+@dataclass(frozen=True)
+class Interval:
+    """One busy interval on one resource."""
+
+    resource: str          # "compute" or "dma"
+    start: float
+    end: float
+    label: str
+    buffer: Optional[int] = None   # input-buffer index touched, if any
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def overlaps(self, other: "Interval") -> bool:
+        return self.start < other.end and other.start < self.end
+
+
+@dataclass
+class Schedule:
+    """A timeline of compute and DMA intervals."""
+
+    intervals: List[Interval] = field(default_factory=list)
+
+    def add(self, interval: Interval) -> None:
+        if interval.start < 0 or interval.end < interval.start:
+            raise ScheduleError(f"malformed interval {interval}")
+        self.intervals.append(interval)
+
+    # -- queries --------------------------------------------------------------
+
+    def on(self, resource: str) -> List[Interval]:
+        return sorted((iv for iv in self.intervals
+                       if iv.resource == resource),
+                      key=lambda iv: iv.start)
+
+    @property
+    def makespan(self) -> float:
+        return max((iv.end for iv in self.intervals), default=0.0)
+
+    def busy_time(self, resource: str) -> float:
+        return sum(iv.duration for iv in self.on(resource))
+
+    def utilization(self, resource: str) -> float:
+        span = self.makespan
+        return self.busy_time(resource) / span if span else 0.0
+
+    def exposed_transfer_time(self) -> float:
+        """Transfer time *not* overlapped by computation — the cost double
+        buffering is supposed to eliminate."""
+        compute = self.on("compute")
+        exposed = 0.0
+        for t in self.on("dma"):
+            covered = 0.0
+            for c in compute:
+                lo = max(t.start, c.start)
+                hi = min(t.end, c.end)
+                if hi > lo:
+                    covered += hi - lo
+            exposed += t.duration - covered
+        return exposed
+
+    # -- invariants -------------------------------------------------------------
+
+    def verify(self) -> None:
+        """Check structural sanity: no resource double-booked; no buffer
+        simultaneously computed on and DMA-written."""
+        for resource in ("compute", "dma"):
+            ivs = self.on(resource)
+            for a, b in zip(ivs, ivs[1:]):
+                if a.end > b.start + 1e-12:
+                    raise ScheduleError(
+                        f"{resource} double-booked: {a.label!r} overlaps "
+                        f"{b.label!r}")
+        for c in self.on("compute"):
+            if c.buffer is None:
+                continue
+            for t in self.on("dma"):
+                if t.buffer == c.buffer and c.overlaps(t):
+                    raise ScheduleError(
+                        f"buffer {c.buffer} written by {t.label!r} while "
+                        f"computed on by {c.label!r}")
+
+    # -- rendering --------------------------------------------------------------
+
+    def render(self, width: int = 72) -> str:
+        """ASCII Gantt chart in the spirit of Figures 5 and 8."""
+        span = self.makespan
+        if span <= 0:
+            return "(empty schedule)"
+        lines = [f"makespan {span * 1e6:.2f} us   "
+                 f"(compute {self.utilization('compute') * 100:.0f}% busy, "
+                 f"dma {self.utilization('dma') * 100:.0f}% busy)"]
+        for resource in ("compute", "dma"):
+            row = [" "] * width
+            for iv in self.on(resource):
+                lo = int(iv.start / span * (width - 1))
+                hi = max(lo + 1, int(iv.end / span * (width - 1)))
+                ch = "#" if resource == "compute" else "="
+                for x in range(lo, min(hi, width)):
+                    row[x] = ch
+            lines.append(f"{resource:>8s} |{''.join(row)}|")
+        for resource in ("compute", "dma"):
+            for iv in self.on(resource):
+                buf = f" buf{iv.buffer}" if iv.buffer is not None else ""
+                lines.append(
+                    f"  {resource:>8s} {iv.start * 1e6:9.2f}-"
+                    f"{iv.end * 1e6:9.2f} us{buf}  {iv.label}")
+        return "\n".join(lines)
+
+
+def double_buffer_schedule(num_blocks: int, compute_s: float,
+                           transfer_s: float) -> Schedule:
+    """Figure 5's schedule: block *i+1* streams into one buffer while the
+    kernel processes block *i* from the other.
+
+    Returns the full timeline; when ``compute_s >= transfer_s`` every
+    transfer except the first is hidden and the steady-state period equals
+    ``compute_s`` (the paper's 25.64 µs for a 16 KB block at 5.11 Gbps).
+    """
+    if num_blocks <= 0:
+        raise ScheduleError("need at least one block")
+    if compute_s <= 0 or transfer_s <= 0:
+        raise ScheduleError("durations must be positive")
+
+    sched = Schedule()
+    dma_free = 0.0
+    compute_free = 0.0
+    buffer_free = [0.0, 0.0]
+    loaded_at = [0.0, 0.0]
+
+    for i in range(num_blocks):
+        buf = i % 2
+        start = max(dma_free, buffer_free[buf])
+        end = start + transfer_s
+        sched.add(Interval("dma", start, end, f"load block {i}", buf))
+        dma_free = end
+        loaded_at[buf] = end
+
+        cstart = max(compute_free, loaded_at[buf])
+        cend = cstart + compute_s
+        sched.add(Interval("compute", cstart, cend,
+                           f"process block {i}", buf))
+        compute_free = cend
+        buffer_free[buf] = cend
+
+    sched.verify()
+    return sched

@@ -1,0 +1,129 @@
+"""State-transition-table layout (paper §4).
+
+The paper's optimized DFA representation:
+
+* the STT is a **complete table of words**: one row per state, one 4-byte
+  cell per input symbol;
+* the **current state is a pointer to its row**, so a transition is a
+  single indexed load: ``next = *(state + (symbol << 2))``;
+* the table base is aligned and the row stride is a power of two, so the
+  low bits of every row pointer are zero — **bit 0 is reused to flag final
+  states** ("plus other frugal output values if needed").
+
+:class:`STTImage` builds the byte image of a DFA for a given local-store
+base address and provides the encode/decode helpers the kernels, tests and
+the numpy engine share.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..dfa.automaton import DFA, DFAError
+
+__all__ = ["STTImage", "CELL_BYTES", "row_stride", "STTError"]
+
+#: Bytes per STT cell (a 32-bit next-state pointer with flag bits).
+CELL_BYTES = 4
+
+#: Bit 0 of a state pointer encodes "destination state is final".
+FINAL_FLAG = 0x1
+
+
+class STTError(Exception):
+    """Raised for layouts violating the pointer-tag preconditions."""
+
+
+def row_stride(alphabet_size: int) -> int:
+    """Bytes per STT row; the alphabet width must be a power of two so the
+    stride is one (paper §4: 'choose an input set width which is a power
+    of two')."""
+    if alphabet_size <= 0 or alphabet_size & (alphabet_size - 1):
+        raise STTError(
+            f"alphabet size must be a power of two, got {alphabet_size}")
+    return alphabet_size * CELL_BYTES
+
+
+@dataclass(frozen=True)
+class STTImage:
+    """A DFA rendered as an in-memory state-transition table.
+
+    Attributes
+    ----------
+    base:
+        Address the table is (to be) loaded at.  Must be aligned to the row
+        stride so row pointers have zero low bits.
+    payload:
+        The raw table bytes (``num_states × stride``).
+    """
+
+    base: int
+    num_states: int
+    alphabet_size: int
+    start_state: int
+    payload: bytes
+
+    @classmethod
+    def from_dfa(cls, dfa: DFA, base: int) -> "STTImage":
+        """Encode ``dfa`` for loading at local-store address ``base``."""
+        stride = row_stride(dfa.alphabet_size)
+        if base % stride:
+            raise STTError(
+                f"STT base {base:#x} not aligned to the {stride}-byte row "
+                f"stride; pointer low bits would not be free for flags")
+        # Vectorized encode: cell = base + dest*stride | final(dest).
+        dest = dfa.transitions.astype(np.uint32)
+        cells = base + dest * np.uint32(stride)
+        cells |= dfa.final_mask[dest].astype(np.uint32)
+        payload = cells.astype(">u4").tobytes()
+        return cls(base=base, num_states=dfa.num_states,
+                   alphabet_size=dfa.alphabet_size,
+                   start_state=dfa.start, payload=payload)
+
+    # -- geometry -------------------------------------------------------------
+
+    @property
+    def stride(self) -> int:
+        return row_stride(self.alphabet_size)
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.payload)
+
+    @property
+    def start_pointer(self) -> int:
+        """Row pointer of the start state (flag-free by construction)."""
+        return self.state_to_pointer(self.start_state)
+
+    def state_to_pointer(self, state: int) -> int:
+        if not 0 <= state < self.num_states:
+            raise STTError(f"state {state} out of range")
+        return self.base + state * self.stride
+
+    def pointer_to_state(self, pointer: int) -> Tuple[int, bool]:
+        """Decode a (possibly flag-tagged) cell value → (state, is_final)."""
+        final = bool(pointer & FINAL_FLAG)
+        clean = pointer & ~FINAL_FLAG
+        offset = clean - self.base
+        if offset < 0 or offset % self.stride:
+            raise STTError(f"pointer {pointer:#x} does not address a row "
+                           f"of this table")
+        state = offset // self.stride
+        if state >= self.num_states:
+            raise STTError(f"pointer {pointer:#x} beyond the last state")
+        return state, final
+
+    def cell(self, state: int, symbol: int) -> int:
+        """Raw cell value (tagged pointer) at (state, symbol)."""
+        if not 0 <= symbol < self.alphabet_size:
+            raise STTError(f"symbol {symbol} outside alphabet")
+        off = state * self.stride + symbol * CELL_BYTES
+        return struct.unpack_from(">I", self.payload, off)[0]
+
+    def lookup(self, state: int, symbol: int) -> Tuple[int, bool]:
+        """Decoded transition: (next_state, next_is_final)."""
+        return self.pointer_to_state(self.cell(state, symbol))

@@ -1,0 +1,252 @@
+"""The DFA tile: one DFA acceptor mapped onto one SPE (paper §3–§4).
+
+A tile bundles a local-store layout (:class:`~repro.core.planner.TilePlan`),
+an encoded state-transition table, and the matching kernels.  Its job:
+consume input streams at peak speed and count dictionary matches.
+
+Two execution paths share the tile:
+
+* :meth:`DFATile.run_streams` / :meth:`DFATile.run_block` execute the real
+  SPU instruction streams on the cycle-accounting simulator — this is what
+  the Table 1 and throughput benchmarks measure, and the match counts are
+  (optionally) verified against the reference DFA on every run;
+* :meth:`DFATile.reference_counts` is the pure-Python ground truth.
+
+Inputs are *folded* symbol streams (byte values < alphabet width); fold raw
+bytes first with a :class:`~repro.dfa.alphabet.FoldMap` (on the PPE, as the
+paper prescribes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..cell.local_store import LocalStore
+from ..cell.spu import CLOCK_HZ, SPU, SPUStats
+from ..dfa.automaton import DFA
+from .interleave import block_to_streams, interleave_streams
+from .kernels import BuiltKernel, KernelBuilder, KernelError, KERNEL_SPECS, \
+    SIMD_LANES
+from .planner import TilePlan, plan_tile
+from .stt import STTImage
+
+__all__ = ["DFATile", "TileRunResult", "TileError", "merge_stats"]
+
+
+class TileError(Exception):
+    """Raised for tile configuration or verification failures."""
+
+
+def merge_stats(parts: Sequence[SPUStats]) -> SPUStats:
+    """Sum cycle-accounting statistics across several kernel runs."""
+    total = SPUStats()
+    for p in parts:
+        total.cycles += p.cycles
+        total.instructions += p.instructions
+        total.dual_issue_cycles += p.dual_issue_cycles
+        total.single_issue_cycles += p.single_issue_cycles
+        total.stall_cycles += p.stall_cycles
+        total.branch_penalty_cycles += p.branch_penalty_cycles
+        total.branches_taken += p.branches_taken
+        total.registers_used = max(total.registers_used, p.registers_used)
+    return total
+
+
+@dataclass
+class TileRunResult:
+    """Outcome of matching one batch of input on a tile."""
+
+    counts: List[int]            # matches per stream
+    transitions: int             # DFA transitions executed
+    stats: SPUStats              # merged cycle accounting
+    version: int
+
+    @property
+    def total_matches(self) -> int:
+        return sum(self.counts)
+
+    @property
+    def cycles_per_transition(self) -> float:
+        return self.stats.cycles_per(self.transitions)
+
+    def throughput_transitions_per_s(self, clock_hz: float = CLOCK_HZ) -> float:
+        return self.stats.actions_per_second(self.transitions, clock_hz)
+
+    def throughput_gbps(self, clock_hz: float = CLOCK_HZ) -> float:
+        """Filtered bits per second: one byte consumed per transition."""
+        return self.throughput_transitions_per_s(clock_hz) * 8 / 1e9
+
+
+class DFATile:
+    """A DFA acceptor installed on one SPE-equivalent local store."""
+
+    def __init__(self, dfa: DFA, plan: Optional[TilePlan] = None,
+                 version: int = 4,
+                 local_store: Optional[LocalStore] = None) -> None:
+        if plan is None:
+            plan = plan_tile(alphabet_size=dfa.alphabet_size)
+        if dfa.alphabet_size != plan.alphabet_size:
+            raise TileError(
+                f"DFA alphabet {dfa.alphabet_size} != plan alphabet "
+                f"{plan.alphabet_size}")
+        if dfa.num_states > plan.max_states:
+            raise TileError(
+                f"DFA has {dfa.num_states} states; this layout holds at "
+                f"most {plan.max_states} (partition the dictionary, compose "
+                f"tiles in series, or use dynamic STT replacement)")
+        if version not in KERNEL_SPECS:
+            raise TileError(f"unknown kernel version {version}")
+        self.dfa = dfa
+        self.plan = plan
+        self.version = version
+        self.local_store = local_store if local_store is not None \
+            else LocalStore()
+        plan.apply(self.local_store)
+        self.stt = STTImage.from_dfa(dfa, plan.stt_base)
+        self.local_store.write(plan.stt_base, self.stt.payload)
+        self.spu = SPU(self.local_store)
+        self._builder = KernelBuilder(
+            self.stt,
+            input_base=plan.buffer_bases[0],
+            counters_base=plan.counters_base,
+            states_base=plan.states_base,
+            input_capacity=plan.buffer_bytes,
+        )
+        self._kernel_cache: Dict[Tuple[int, int], BuiltKernel] = {}
+
+    # -- kernel management -------------------------------------------------------
+
+    def kernel_for(self, transitions: int,
+                   version: Optional[int] = None) -> BuiltKernel:
+        """Build (or fetch) the kernel for a block of ``transitions``."""
+        v = self.version if version is None else version
+        key = (v, transitions)
+        kernel = self._kernel_cache.get(key)
+        if kernel is None:
+            kernel = self._builder.build(v, transitions)
+            self._kernel_cache[key] = kernel
+        return kernel
+
+    # -- execution ----------------------------------------------------------------
+
+    def run_streams(self, streams: Sequence[bytes],
+                    version: Optional[int] = None,
+                    verify: bool = True) -> TileRunResult:
+        """Match ``SIMD_LANES`` equal-length folded streams (versions 2–5)
+        or a single stream (version 1)."""
+        v = self.version if version is None else version
+        spec = KERNEL_SPECS[v]
+        if len(streams) != spec.streams:
+            raise TileError(
+                f"version {v} expects {spec.streams} stream(s), "
+                f"got {len(streams)}")
+        length = len(streams[0])
+        if any(len(s) != length for s in streams):
+            raise TileError("streams must have equal length")
+        if length == 0:
+            raise TileError("streams must be non-empty")
+        self._check_symbols(streams)
+
+        if spec.simd:
+            per_iter = spec.transitions_per_iteration
+            if (length * spec.streams) % per_iter:
+                pad = -length % (per_iter // SIMD_LANES)
+                raise TileError(
+                    f"stream length {length} is not a multiple of the "
+                    f"version-{v} unroll granularity; pad by {pad} bytes")
+            payload = interleave_streams(streams)
+        else:
+            payload = bytes(streams[0])
+
+        counts = [0] * spec.streams
+        stats_parts: List[SPUStats] = []
+        transitions_total = 0
+        chunk_bytes = self.plan.buffer_bytes
+        # Keep chunks aligned to whole iterations.
+        iter_bytes = spec.transitions_per_iteration
+        chunk_bytes -= chunk_bytes % iter_bytes
+
+        # Reset the persistent per-stream DFA states once per batch;
+        # subsequent chunks resume from the saved states, so matches
+        # spanning buffer boundaries are preserved.
+        self.kernel_for(min(len(payload), chunk_bytes),
+                        v).write_start_states(self.local_store)
+
+        for off in range(0, len(payload), chunk_bytes):
+            chunk = payload[off:off + chunk_bytes]
+            kernel = self.kernel_for(len(chunk), v)
+            if kernel.transitions != len(chunk):
+                raise TileError(
+                    f"internal: kernel padded {len(chunk)} to "
+                    f"{kernel.transitions} transitions")
+            self.local_store.write(kernel.input_base, chunk)
+            self.spu.reset()
+            stats_parts.append(self.spu.run(kernel.program))
+            chunk_counts = kernel.read_counts(self.local_store)
+            for i, c in enumerate(chunk_counts):
+                counts[i] += c
+            transitions_total += kernel.transitions
+
+        result = TileRunResult(counts, transitions_total,
+                               merge_stats(stats_parts), v)
+        if verify:
+            expected = self.reference_counts(streams)
+            if expected != result.counts:
+                raise TileError(
+                    f"kernel/DFA mismatch: kernel counted {result.counts}, "
+                    f"reference says {expected}")
+        return result
+
+    def run_block(self, block: bytes, version: Optional[int] = None,
+                  verify: bool = True) -> TileRunResult:
+        """Match one contiguous folded block.
+
+        For SIMD versions the block is split into 16 chunk-streams (padded
+        with symbol 0); matches crossing chunk boundaries are not seen —
+        compose tiles with overlap (§5) when that matters.
+        """
+        v = self.version if version is None else version
+        spec = KERNEL_SPECS[v]
+        if spec.simd:
+            per_stream_multiple = spec.unroll * 16
+            streams = block_to_streams(block, SIMD_LANES)
+            # Pad stream length up to the unroll granularity.
+            length = len(streams[0])
+            target = -(-length // per_stream_multiple) * per_stream_multiple
+            if target != length:
+                streams = [s + bytes(target - length) for s in streams]
+        else:
+            streams = [block]
+        return self.run_streams(streams, v, verify)
+
+    # -- reference ---------------------------------------------------------------
+
+    def reference_counts(self, streams: Sequence[bytes]) -> List[int]:
+        """Ground-truth per-stream match counts from the reference DFA."""
+        return [self.dfa.count_matches(s) for s in streams]
+
+    def _check_symbols(self, streams: Sequence[bytes]) -> None:
+        width = self.dfa.alphabet_size
+        for i, s in enumerate(streams):
+            arr = memoryview(s)
+            for b in arr:
+                if b >= width:
+                    raise TileError(
+                        f"stream {i} contains symbol {b} outside the "
+                        f"{width}-symbol alphabet; fold inputs first")
+
+    # -- reporting ----------------------------------------------------------------
+
+    @property
+    def num_states(self) -> int:
+        return self.dfa.num_states
+
+    @property
+    def stt_bytes(self) -> int:
+        return self.stt.size_bytes
+
+    def __repr__(self) -> str:
+        return (f"DFATile(states={self.num_states}, "
+                f"version={self.version}, "
+                f"buffer={self.plan.buffer_bytes // 1024}KB)")

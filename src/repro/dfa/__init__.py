@@ -1,0 +1,25 @@
+"""DFA construction substrate: alphabet folding, Aho–Corasick, regex
+compilation, minimization, and dictionary partitioning."""
+
+from .aho_corasick import AhoCorasick, build_dfa
+from .alphabet import FoldMap, case_fold_32, fold_from_classes, identity_fold
+from .automaton import DFA, DFAError, MatchEvent
+from .partition import PartitionedDictionary, partition_patterns, trie_states
+from .regex import compile_patterns, compile_regex
+
+__all__ = [
+    "AhoCorasick",
+    "build_dfa",
+    "FoldMap",
+    "case_fold_32",
+    "fold_from_classes",
+    "identity_fold",
+    "DFA",
+    "DFAError",
+    "MatchEvent",
+    "PartitionedDictionary",
+    "partition_patterns",
+    "trie_states",
+    "compile_patterns",
+    "compile_regex",
+]

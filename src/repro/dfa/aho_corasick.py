@@ -1,0 +1,160 @@
+"""Aho–Corasick multi-pattern matching (paper §1, ref [1]).
+
+The classic dictionary-matching automaton: a trie of the patterns, failure
+links computed breadth-first, and output sets merged along failure chains.
+Two uses in this repository:
+
+* :meth:`AhoCorasick.to_dfa` produces the dense, failure-free DFA the
+  paper's kernels execute — δ(s, c) is fully resolved so every input symbol
+  costs exactly one table lookup, the content-independence property that
+  makes DFA matching immune to overload attacks;
+* :meth:`AhoCorasick.find_all` is itself the reference multi-pattern
+  searcher the engines are validated against.
+
+Patterns are byte strings over an already-folded alphabet: byte values must
+be < ``alphabet_size``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .automaton import DFA, DFAError, MatchEvent
+
+__all__ = ["AhoCorasick", "build_dfa"]
+
+
+class AhoCorasick:
+    """Aho–Corasick automaton over a ``alphabet_size``-symbol alphabet."""
+
+    def __init__(self, patterns: Sequence[bytes],
+                 alphabet_size: int = 32) -> None:
+        if alphabet_size <= 0 or alphabet_size > 256:
+            raise DFAError("alphabet size must be in 1..256")
+        if not patterns:
+            raise DFAError("dictionary must contain at least one pattern")
+        self.alphabet_size = alphabet_size
+        self.patterns: Tuple[bytes, ...] = tuple(bytes(p) for p in patterns)
+        for i, p in enumerate(self.patterns):
+            if not p:
+                raise DFAError(f"pattern {i} is empty")
+            bad = [b for b in p if b >= alphabet_size]
+            if bad:
+                raise DFAError(
+                    f"pattern {i} contains symbol {bad[0]} outside the "
+                    f"{alphabet_size}-symbol alphabet; fold it first")
+        self._build()
+
+    # -- construction ----------------------------------------------------------
+
+    def _build(self) -> None:
+        W = self.alphabet_size
+        # Trie as parallel arrays; -1 marks "no edge".
+        goto: List[np.ndarray] = [np.full(W, -1, dtype=np.int32)]
+        out: List[List[int]] = [[]]
+        depth: List[int] = [0]
+
+        for idx, pattern in enumerate(self.patterns):
+            state = 0
+            for sym in pattern:
+                nxt = int(goto[state][sym])
+                if nxt == -1:
+                    goto.append(np.full(W, -1, dtype=np.int32))
+                    out.append([])
+                    depth.append(depth[state] + 1)
+                    nxt = len(goto) - 1
+                    goto[state][sym] = nxt
+                state = nxt
+            out[state].append(idx)
+
+        n = len(goto)
+        fail = np.zeros(n, dtype=np.int32)
+
+        # BFS from the root: compute failure links and resolve the complete
+        # transition function in place (goto becomes the dense δ).
+        queue: deque = deque()
+        for c in range(W):
+            s = int(goto[0][c])
+            if s == -1:
+                goto[0][c] = 0
+            else:
+                fail[s] = 0
+                queue.append(s)
+        while queue:
+            r = queue.popleft()
+            # Merge outputs reachable through the failure link.
+            f = int(fail[r])
+            if out[f]:
+                out[r] = out[r] + out[f]
+            for c in range(W):
+                s = int(goto[r][c])
+                if s == -1:
+                    goto[r][c] = goto[int(fail[r])][c]
+                else:
+                    fail[s] = goto[int(fail[r])][c]
+                    queue.append(s)
+
+        self.num_states = n
+        self.transitions = np.vstack(goto)
+        self.fail = fail
+        self.depth = np.asarray(depth, dtype=np.int32)
+        self.outputs: Dict[int, Tuple[int, ...]] = {
+            s: tuple(sorted(pats)) for s, pats in enumerate(out) if pats
+        }
+
+    # -- searching ----------------------------------------------------------------
+
+    def find_all(self, text: bytes) -> List[MatchEvent]:
+        """All dictionary occurrences in ``text`` (end position, pattern)."""
+        state = 0
+        table = self.transitions
+        events: List[MatchEvent] = []
+        for pos, sym in enumerate(text):
+            if sym >= self.alphabet_size:
+                raise DFAError(
+                    f"input symbol {sym} at offset {pos} outside alphabet")
+            state = int(table[state, sym])
+            for pat in self.outputs.get(state, ()):
+                events.append(MatchEvent(pos + 1, pat))
+        return events
+
+    def count(self, text: bytes) -> int:
+        """Occurrence count (== len(find_all)); the semantics shared with
+        the :mod:`repro.baselines` matchers."""
+        return len(self.find_all(text))
+
+    def count_final_entries(self, text: bytes) -> int:
+        """Counting semantics matching the paper's kernels: +1 per entry
+        into a state with a non-empty output set."""
+        state = 0
+        table = self.transitions
+        count = 0
+        for sym in text:
+            state = int(table[state, sym])
+            if state in self.outputs:
+                count += 1
+        return count
+
+    # -- export --------------------------------------------------------------------
+
+    def to_dfa(self) -> DFA:
+        """Dense failure-free DFA with per-state outputs."""
+        finals = list(self.outputs.keys())
+        return DFA(self.transitions, finals, start=0,
+                   outputs=dict(self.outputs))
+
+    @property
+    def max_pattern_length(self) -> int:
+        return max(len(p) for p in self.patterns)
+
+    def __repr__(self) -> str:
+        return (f"AhoCorasick(patterns={len(self.patterns)}, "
+                f"states={self.num_states}, alphabet={self.alphabet_size})")
+
+
+def build_dfa(patterns: Sequence[bytes], alphabet_size: int = 32) -> DFA:
+    """Convenience: dictionary → dense Aho–Corasick DFA."""
+    return AhoCorasick(patterns, alphabet_size).to_dfa()

@@ -1,0 +1,203 @@
+"""Deterministic finite automata used as string acceptors (paper §3).
+
+A DFA here is the quintuple (Σ, S, s0, δ, F): ``alphabet_size`` symbols, a
+dense transition table δ of shape (|S|, |Σ|), a start state, and a final-
+state marking.  Final states may carry *outputs* — the dictionary patterns
+recognized on entering them — so the same object serves as a counting
+acceptor (the paper's kernels) and as a full match reporter (the baselines
+and the numpy engine).
+
+The reference interpreter :meth:`DFA.count_matches` defines the ground-truth
+semantics every other engine in this repository is tested against: one match
+event per input position whose destination state is final.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["DFA", "DFAError", "MatchEvent"]
+
+
+class DFAError(Exception):
+    """Raised for malformed automata."""
+
+
+@dataclass(frozen=True)
+class MatchEvent:
+    """A recognized dictionary entry: ``end`` is the index one past the
+    last matched symbol; ``pattern`` the dictionary index."""
+
+    end: int
+    pattern: int
+
+
+class DFA:
+    """Dense deterministic finite automaton.
+
+    Parameters
+    ----------
+    transitions:
+        Array-like of shape (num_states, alphabet_size); entry [s, c] is the
+        destination state of δ(s, c).  Must be a *complete* table (the paper
+        requires content-independent workload: every state consumes every
+        symbol in exactly one step).
+    finals:
+        Iterable of final state ids.
+    start:
+        Initial state s0.
+    outputs:
+        Optional mapping state → tuple of dictionary-pattern indices that
+        end at this state.
+    """
+
+    def __init__(self, transitions: Sequence[Sequence[int]],
+                 finals: Iterable[int], start: int = 0,
+                 outputs: Optional[Dict[int, Tuple[int, ...]]] = None) -> None:
+        table = np.asarray(transitions, dtype=np.int32)
+        if table.ndim != 2:
+            raise DFAError("transition table must be 2-D (states × symbols)")
+        self.transitions = table
+        self.num_states, self.alphabet_size = table.shape
+        if self.num_states == 0 or self.alphabet_size == 0:
+            raise DFAError("DFA needs at least one state and one symbol")
+        if not 0 <= start < self.num_states:
+            raise DFAError(f"start state {start} out of range")
+        if table.min() < 0 or table.max() >= self.num_states:
+            raise DFAError("transition table references unknown states")
+        self.start = int(start)
+        finals = frozenset(int(f) for f in finals)
+        for f in finals:
+            if not 0 <= f < self.num_states:
+                raise DFAError(f"final state {f} out of range")
+        self.finals = finals
+        self.final_mask = np.zeros(self.num_states, dtype=bool)
+        for f in finals:
+            self.final_mask[f] = True
+        self.outputs: Dict[int, Tuple[int, ...]] = dict(outputs or {})
+        for s in self.outputs:
+            if s not in self.finals:
+                raise DFAError(f"output attached to non-final state {s}")
+
+    # -- reference interpreter ----------------------------------------------------
+
+    def step(self, state: int, symbol: int) -> int:
+        """One application of δ."""
+        if not 0 <= symbol < self.alphabet_size:
+            raise DFAError(f"symbol {symbol} outside alphabet "
+                           f"[0, {self.alphabet_size})")
+        return int(self.transitions[state, symbol])
+
+    def count_matches(self, symbols: bytes) -> int:
+        """Ground-truth counting semantics: +1 per final-state entry.
+
+        This is exactly what the paper's kernels compute ("counts the number
+        of occurrences of dictionary entries in the given block").
+        """
+        state = self.start
+        table = self.transitions
+        final = self.final_mask
+        count = 0
+        for sym in symbols:
+            state = table[state, sym]
+            if final[state]:
+                count += 1
+        return count
+
+    def run(self, symbols: bytes) -> int:
+        """Consume ``symbols``; return the final state reached."""
+        state = self.start
+        table = self.transitions
+        for sym in symbols:
+            state = table[state, sym]
+        return int(state)
+
+    def match_events(self, symbols: bytes) -> List[MatchEvent]:
+        """Full reporting semantics using per-state outputs."""
+        state = self.start
+        table = self.transitions
+        events: List[MatchEvent] = []
+        for pos, sym in enumerate(symbols):
+            state = int(table[state, sym])
+            for pat in self.outputs.get(state, ()):
+                events.append(MatchEvent(pos + 1, pat))
+        return events
+
+    def state_trace(self, symbols: bytes) -> List[int]:
+        """Sequence of states visited (excluding the start state)."""
+        state = self.start
+        table = self.transitions
+        trace = []
+        for sym in symbols:
+            state = int(table[state, sym])
+            trace.append(state)
+        return trace
+
+    # -- structural queries ------------------------------------------------------
+
+    def is_complete(self) -> bool:
+        """A dense int table is complete by construction; kept for API
+        symmetry with sparse representations."""
+        return True
+
+    def reachable_states(self) -> np.ndarray:
+        """Boolean mask of states reachable from the start state."""
+        seen = np.zeros(self.num_states, dtype=bool)
+        stack = [self.start]
+        seen[self.start] = True
+        while stack:
+            s = stack.pop()
+            for t in np.unique(self.transitions[s]):
+                if not seen[t]:
+                    seen[t] = True
+                    stack.append(int(t))
+        return seen
+
+    def trim(self) -> "DFA":
+        """Drop unreachable states (renumbering the rest)."""
+        mask = self.reachable_states()
+        if mask.all():
+            return self
+        old_to_new = -np.ones(self.num_states, dtype=np.int32)
+        old_to_new[mask] = np.arange(int(mask.sum()), dtype=np.int32)
+        table = old_to_new[self.transitions[mask]]
+        finals = [int(old_to_new[f]) for f in self.finals if mask[f]]
+        outputs = {int(old_to_new[s]): pats
+                   for s, pats in self.outputs.items() if mask[s]}
+        return DFA(table, finals, int(old_to_new[self.start]), outputs)
+
+    def memory_bytes(self, cell_bytes: int = 4) -> int:
+        """Footprint of the dense STT at ``cell_bytes`` per entry."""
+        return self.num_states * self.alphabet_size * cell_bytes
+
+    def __repr__(self) -> str:
+        return (f"DFA(states={self.num_states}, "
+                f"alphabet={self.alphabet_size}, finals={len(self.finals)})")
+
+    # -- equivalence (for tests) ----------------------------------------------------
+
+    def equivalent_to(self, other: "DFA", max_depth: int = 10_000) -> bool:
+        """Language equivalence by synchronized BFS over the product."""
+        if self.alphabet_size != other.alphabet_size:
+            return False
+        seen = set()
+        frontier = [(self.start, other.start)]
+        seen.add((self.start, other.start))
+        steps = 0
+        while frontier:
+            a, b = frontier.pop()
+            if self.final_mask[a] != other.final_mask[b]:
+                return False
+            for c in range(self.alphabet_size):
+                pair = (int(self.transitions[a, c]),
+                        int(other.transitions[b, c]))
+                if pair not in seen:
+                    seen.add(pair)
+                    frontier.append(pair)
+            steps += 1
+            if steps > max_depth:
+                raise DFAError("equivalence check exceeded max_depth")
+        return True

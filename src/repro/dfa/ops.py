@@ -1,0 +1,110 @@
+"""DFA algebra: product constructions over complete automata.
+
+Security filters compose: "alert if the payload matches *any* signature"
+(union), "matches signature A *and* policy B" (intersection), "matches A
+but is whitelisted by W" (difference).  All three are instances of the
+product construction δ((a,b), c) = (δ_A(a,c), δ_B(b,c)) with a final-set
+predicate; complement flips the final marking of a complete DFA.
+
+Outputs are combined so union products still report which side (and which
+pattern) matched: pattern ids of ``b`` are shifted by ``a``'s pattern
+count (the same global-id convention the partitioner uses).
+
+Reachable-state-only construction keeps products small; results are
+optionally Hopcroft-minimized.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .automaton import DFA, DFAError
+
+__all__ = ["union", "intersection", "difference", "complement", "product"]
+
+
+def _num_patterns(dfa: DFA) -> int:
+    return 1 + max((max(p) for p in dfa.outputs.values() if p),
+                   default=-1)
+
+
+def product(a: DFA, b: DFA,
+            final_rule: Callable[[bool, bool], bool],
+            combine_outputs: bool = False,
+            minimal: bool = False) -> DFA:
+    """Reachable product of two complete DFAs over the same alphabet.
+
+    ``final_rule(a_final, b_final)`` decides finality of a product state;
+    with ``combine_outputs`` the product carries both sides' outputs,
+    ``b``'s pattern ids shifted past ``a``'s.
+    """
+    if a.alphabet_size != b.alphabet_size:
+        raise DFAError(
+            f"alphabet mismatch: {a.alphabet_size} vs {b.alphabet_size}")
+    W = a.alphabet_size
+    shift = _num_patterns(a) if combine_outputs else 0
+
+    index: Dict[Tuple[int, int], int] = {(a.start, b.start): 0}
+    order: List[Tuple[int, int]] = [(a.start, b.start)]
+    rows: List[np.ndarray] = []
+    finals: List[int] = []
+    outputs: Dict[int, Tuple[int, ...]] = {}
+
+    i = 0
+    while i < len(order):
+        sa, sb = order[i]
+        row = np.zeros(W, dtype=np.int32)
+        for c in range(W):
+            nxt = (int(a.transitions[sa, c]), int(b.transitions[sb, c]))
+            j = index.get(nxt)
+            if j is None:
+                j = len(order)
+                index[nxt] = j
+                order.append(nxt)
+            row[c] = j
+        rows.append(row)
+        fa = bool(a.final_mask[sa])
+        fb = bool(b.final_mask[sb])
+        if final_rule(fa, fb):
+            finals.append(i)
+            if combine_outputs:
+                pats = tuple(a.outputs.get(sa, ())) + tuple(
+                    p + shift for p in b.outputs.get(sb, ()))
+                if pats:
+                    outputs[i] = tuple(sorted(pats))
+        i += 1
+
+    result = DFA(np.vstack(rows), finals, start=0, outputs=outputs)
+    if minimal:
+        from .regex.minimize import minimize
+        result = minimize(result)
+    return result
+
+
+def union(a: DFA, b: DFA, minimal: bool = False) -> DFA:
+    """Accept where either side accepts; outputs report both sides."""
+    return product(a, b, lambda fa, fb: fa or fb, combine_outputs=True,
+                   minimal=minimal)
+
+
+def intersection(a: DFA, b: DFA, minimal: bool = False) -> DFA:
+    """Accept where both sides accept simultaneously."""
+    return product(a, b, lambda fa, fb: fa and fb, minimal=minimal)
+
+
+def difference(a: DFA, b: DFA, minimal: bool = False) -> DFA:
+    """Accept where ``a`` accepts and ``b`` does not (whitelisting)."""
+    return product(a, b, lambda fa, fb: fa and not fb, minimal=minimal)
+
+
+def complement(a: DFA) -> DFA:
+    """Flip final/non-final (complete DFAs only, which ours always are).
+
+    Note the *acceptor* semantics: the complement is final exactly at
+    positions where the original is not; outputs are dropped (there is no
+    meaningful pattern id for "nothing matched here").
+    """
+    finals = [s for s in range(a.num_states) if s not in a.finals]
+    return DFA(a.transitions.copy(), finals, start=a.start)

@@ -1,0 +1,147 @@
+"""Dictionary partitioning for series tiles and dynamic STT replacement.
+
+A single DFA tile holds roughly 1500 states (Figure 3); a half-size
+replacement slice roughly 800 (§6).  Larger dictionaries must be split into
+groups of patterns whose individual automata respect a state budget; each
+group becomes one STT placed on its own tile ("in series", §5) or streamed
+through a tile cyclically (§6).
+
+The Aho–Corasick automaton's state count equals its trie node count, so the
+partitioner packs patterns greedily by *exact* incremental trie growth —
+no estimation slack — and guarantees every group fits the budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from .aho_corasick import AhoCorasick
+from .automaton import DFA, DFAError
+
+__all__ = ["PartitionedDictionary", "partition_patterns", "trie_states"]
+
+
+class _TrieCounter:
+    """Incremental trie-size tracker (exact AC state counts)."""
+
+    def __init__(self) -> None:
+        self.children: List[Dict[int, int]] = [{}]
+
+    @property
+    def num_states(self) -> int:
+        return len(self.children)
+
+    def added_states(self, pattern: bytes) -> int:
+        """How many new states inserting ``pattern`` would create."""
+        node = 0
+        for i, sym in enumerate(pattern):
+            nxt = self.children[node].get(sym)
+            if nxt is None:
+                return len(pattern) - i
+            node = nxt
+        return 0
+
+    def insert(self, pattern: bytes) -> None:
+        node = 0
+        for sym in pattern:
+            nxt = self.children[node].get(sym)
+            if nxt is None:
+                self.children.append({})
+                nxt = len(self.children) - 1
+                self.children[node][sym] = nxt
+            node = nxt
+
+
+def trie_states(patterns: Sequence[bytes]) -> int:
+    """Exact Aho–Corasick state count for a pattern set."""
+    trie = _TrieCounter()
+    for p in patterns:
+        trie.insert(bytes(p))
+    return trie.num_states
+
+
+@dataclass
+class PartitionedDictionary:
+    """A dictionary split into state-budgeted groups.
+
+    ``groups[i]`` lists the (original) pattern indices of slice ``i``;
+    ``dfas[i]`` is that slice's dense Aho–Corasick DFA.  Pattern ids in each
+    DFA's outputs are *local* to the group; :meth:`global_pattern_id` maps
+    them back.
+    """
+
+    patterns: Tuple[bytes, ...]
+    groups: Tuple[Tuple[int, ...], ...]
+    dfas: Tuple[DFA, ...]
+    max_states: int
+
+    @property
+    def num_slices(self) -> int:
+        return len(self.groups)
+
+    def global_pattern_id(self, slice_index: int, local_id: int) -> int:
+        return self.groups[slice_index][local_id]
+
+    def slice_patterns(self, slice_index: int) -> List[bytes]:
+        return [self.patterns[i] for i in self.groups[slice_index]]
+
+    def total_states(self) -> int:
+        return sum(d.num_states for d in self.dfas)
+
+    def validate(self) -> None:
+        """Check the partition invariants (used by tests)."""
+        seen = [i for group in self.groups for i in group]
+        if sorted(seen) != list(range(len(self.patterns))):
+            raise DFAError("partition does not cover every pattern exactly "
+                           "once")
+        for i, dfa in enumerate(self.dfas):
+            if dfa.num_states > self.max_states:
+                raise DFAError(
+                    f"slice {i} has {dfa.num_states} states "
+                    f"> budget {self.max_states}")
+
+
+def partition_patterns(patterns: Sequence[bytes], max_states: int,
+                       alphabet_size: int = 32) -> PartitionedDictionary:
+    """Greedy first-fit packing of patterns into state-budgeted slices.
+
+    Patterns are packed in the given order; a pattern that does not fit the
+    current slice closes it and opens the next.  A single pattern whose own
+    trie exceeds the budget is rejected — it can never fit any tile.
+    """
+    if max_states < 2:
+        raise DFAError("state budget must allow at least the root plus one "
+                       "state")
+    pats = [bytes(p) for p in patterns]
+    if not pats:
+        raise DFAError("dictionary must contain at least one pattern")
+
+    groups: List[List[int]] = []
+    current: List[int] = []
+    trie = _TrieCounter()
+    for idx, pattern in enumerate(pats):
+        if len(pattern) + 1 > max_states:
+            raise DFAError(
+                f"pattern {idx} needs {len(pattern) + 1} states by itself, "
+                f"more than the {max_states}-state budget")
+        if trie.num_states + trie.added_states(pattern) > max_states:
+            groups.append(current)
+            current = []
+            trie = _TrieCounter()
+        trie.insert(pattern)
+        current.append(idx)
+    if current:
+        groups.append(current)
+
+    dfas = []
+    for group in groups:
+        ac = AhoCorasick([pats[i] for i in group], alphabet_size)
+        dfas.append(ac.to_dfa())
+
+    return PartitionedDictionary(
+        patterns=tuple(pats),
+        groups=tuple(tuple(g) for g in groups),
+        dfas=tuple(dfas),
+        max_states=max_states,
+    )

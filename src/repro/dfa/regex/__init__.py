@@ -1,0 +1,56 @@
+"""Regex → DFA pipeline: parse → Thompson NFA → subset construction →
+Hopcroft minimization.
+
+High-level entry points:
+
+* :func:`compile_regex` — one pattern → minimal scanner DFA;
+* :func:`compile_patterns` — many patterns → one multi-pattern DFA whose
+  outputs report which pattern matched (the construction the paper's
+  reference [4] assumes for regex dictionaries).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..alphabet import FoldMap, identity_fold
+from ..automaton import DFA
+from .determinize import determinize
+from .minimize import minimize
+from .nfa import NFA, build_nfa, combine
+from .parser import Node, RegexError, parse
+
+__all__ = [
+    "RegexError",
+    "Node",
+    "NFA",
+    "parse",
+    "build_nfa",
+    "combine",
+    "determinize",
+    "minimize",
+    "compile_regex",
+    "compile_patterns",
+]
+
+
+def compile_regex(pattern: str, fold: Optional[FoldMap] = None,
+                  unanchored: bool = True, minimal: bool = True) -> DFA:
+    """Compile a single regex into a (minimal) scanner DFA."""
+    if fold is None:
+        fold = identity_fold()
+    ast = parse(pattern, fold)
+    nfa = build_nfa(ast, fold.width, unanchored=unanchored)
+    dfa = determinize(nfa)
+    return minimize(dfa) if minimal else dfa
+
+
+def compile_patterns(patterns: Sequence[str], fold: Optional[FoldMap] = None,
+                     unanchored: bool = True, minimal: bool = True) -> DFA:
+    """Compile several regexes into one multi-pattern scanner DFA."""
+    if fold is None:
+        fold = identity_fold()
+    asts = [parse(p, fold) for p in patterns]
+    nfa = combine(asts, fold.width, unanchored=unanchored)
+    dfa = determinize(nfa)
+    return minimize(dfa) if minimal else dfa

@@ -1,0 +1,60 @@
+"""Subset construction: NFA → dense DFA.
+
+Produces the complete transition table the paper's kernels need: every
+(state, symbol) pair resolved, final states carrying the set of pattern ids
+they accept.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Tuple
+
+import numpy as np
+
+from ..automaton import DFA
+from .nfa import NFA
+
+__all__ = ["determinize"]
+
+#: Safety valve against exponential blow-up; the paper's tiles top out at
+#: ~1712 states, so anything far beyond that indicates a pathological regex.
+MAX_DFA_STATES = 200_000
+
+
+class DeterminizeError(Exception):
+    """Raised when subset construction exceeds the state budget."""
+
+
+def determinize(nfa: NFA) -> DFA:
+    """Classic subset construction over the dense symbol alphabet."""
+    W = nfa.alphabet_size
+    start_set = nfa.epsilon_closure({nfa.start})
+    index: Dict[FrozenSet[int], int] = {start_set: 0}
+    order: List[FrozenSet[int]] = [start_set]
+    rows: List[np.ndarray] = []
+    outputs: Dict[int, Tuple[int, ...]] = {}
+
+    i = 0
+    while i < len(order):
+        current = order[i]
+        row = np.zeros(W, dtype=np.int32)
+        for sym in range(W):
+            nxt = nfa.epsilon_closure(nfa.move(current, sym))
+            j = index.get(nxt)
+            if j is None:
+                j = len(order)
+                if j >= MAX_DFA_STATES:
+                    raise DeterminizeError(
+                        f"subset construction exceeded {MAX_DFA_STATES} "
+                        f"states; simplify the pattern set")
+                index[nxt] = j
+                order.append(nxt)
+            row[sym] = j
+        rows.append(row)
+        pats = nfa.accepted_patterns(current)
+        if pats:
+            outputs[i] = pats
+        i += 1
+
+    table = np.vstack(rows)
+    return DFA(table, list(outputs.keys()), start=0, outputs=outputs)

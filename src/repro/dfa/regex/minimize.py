@@ -1,0 +1,122 @@
+"""Hopcroft DFA minimization.
+
+Shrinks the determinized automaton before it is laid out as an STT — every
+state removed saves a 128-byte table row of precious local store.  The
+initial partition distinguishes states by their *output signature* (which
+pattern ids they report), not merely final/non-final, so minimization never
+merges states that would conflate two dictionary entries.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Set, Tuple
+
+import numpy as np
+
+from ..automaton import DFA
+
+__all__ = ["minimize"]
+
+
+def minimize(dfa: DFA) -> DFA:
+    """Return an equivalent DFA with the minimal number of states."""
+    dfa = dfa.trim()
+    n = dfa.num_states
+    W = dfa.alphabet_size
+    table = dfa.transitions
+
+    # Initial partition: group states by output signature.
+    signature: Dict[int, Tuple[int, ...]] = {
+        s: dfa.outputs.get(s, ()) if s in dfa.finals else None  # type: ignore
+        for s in range(n)
+    }
+    # Non-final states get signature None; final states their outputs (an
+    # empty tuple is a distinct signature from None).
+    groups: Dict[object, Set[int]] = defaultdict(set)
+    for s in range(n):
+        key = ("F", signature[s]) if s in dfa.finals else ("N",)
+        groups[key].add(s)
+
+    partitions: List[Set[int]] = [g for g in groups.values() if g]
+    # Hopcroft worklist: (partition index) refined per symbol.
+    # We track membership via an array for O(1) lookup.
+    part_of = np.zeros(n, dtype=np.int64)
+    for idx, block in enumerate(partitions):
+        for s in block:
+            part_of[s] = idx
+
+    # Precompute inverse transitions: for each symbol, state -> predecessors.
+    preds: List[Dict[int, List[int]]] = []
+    for c in range(W):
+        inv: Dict[int, List[int]] = defaultdict(list)
+        col = table[:, c]
+        for s in range(n):
+            inv[int(col[s])].append(s)
+        preds.append(inv)
+
+    worklist: Set[Tuple[int, int]] = {
+        (idx, c) for idx in range(len(partitions)) for c in range(W)
+    }
+
+    while worklist:
+        a_idx, c = worklist.pop()
+        splitter = partitions[a_idx]
+        # X = states with a c-transition into the splitter.
+        inv = preds[c]
+        x: Set[int] = set()
+        for t in splitter:
+            x.update(inv.get(t, ()))
+        if not x:
+            continue
+        # Refine every block crossed by X.
+        touched: Dict[int, Set[int]] = defaultdict(set)
+        for s in x:
+            touched[int(part_of[s])].add(s)
+        for b_idx, inter in touched.items():
+            block = partitions[b_idx]
+            if len(inter) == len(block):
+                continue
+            diff = block - inter
+            # Replace block with the smaller half; append the larger.
+            new_idx = len(partitions)
+            if len(inter) <= len(diff):
+                partitions[b_idx] = diff
+                partitions.append(inter)
+                moved = inter
+            else:
+                partitions[b_idx] = inter
+                partitions.append(diff)
+                moved = diff
+            for s in moved:
+                part_of[s] = new_idx
+            for sym in range(W):
+                if (b_idx, sym) in worklist:
+                    worklist.add((new_idx, sym))
+                else:
+                    # Add the smaller of the two halves.
+                    if len(partitions[new_idx]) <= len(partitions[b_idx]):
+                        worklist.add((new_idx, sym))
+                    else:
+                        worklist.add((b_idx, sym))
+
+    # Rebuild the quotient automaton; keep the start state's block first.
+    old_start_block = int(part_of[dfa.start])
+    order = [old_start_block] + [i for i in range(len(partitions))
+                                 if i != old_start_block and partitions[i]]
+    renumber = {blk: i for i, blk in enumerate(order)}
+
+    m = len(order)
+    new_table = np.zeros((m, W), dtype=np.int32)
+    new_outputs: Dict[int, Tuple[int, ...]] = {}
+    new_finals: List[int] = []
+    for blk, new_id in renumber.items():
+        rep = next(iter(partitions[blk]))
+        for c in range(W):
+            new_table[new_id, c] = renumber[int(part_of[table[rep, c]])]
+        if rep in dfa.finals:
+            new_finals.append(new_id)
+            pats = dfa.outputs.get(rep, ())
+            if pats:
+                new_outputs[new_id] = pats
+    return DFA(new_table, new_finals, start=0, outputs=new_outputs)

@@ -1,0 +1,167 @@
+"""Thompson construction: regex AST → nondeterministic finite automaton.
+
+States are integers; transitions are either ε-edges or labelled with a
+symbol set.  Multiple regexes combine into one NFA whose accepting states
+are tagged with the pattern index, so the determinized DFA can report which
+dictionary entry matched — the multi-pattern construction the paper's
+reference [4] (Chang & Paige) assumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from .parser import Alt, Concat, Empty, Node, RegexError, Repeat, SymbolSet
+
+__all__ = ["NFA", "build_nfa", "combine"]
+
+
+@dataclass
+class NFA:
+    """ε-NFA with symbol-set-labelled edges.
+
+    ``edges[s]`` is a list of (symbol_set | None, destination); ``None``
+    labels an ε-edge.  ``accepts`` maps accepting states to pattern ids.
+    """
+
+    num_states: int = 0
+    edges: List[List[Tuple[Optional[FrozenSet[int]], int]]] = \
+        field(default_factory=list)
+    start: int = 0
+    accepts: Dict[int, int] = field(default_factory=dict)
+    alphabet_size: int = 32
+
+    def new_state(self) -> int:
+        self.edges.append([])
+        self.num_states += 1
+        return self.num_states - 1
+
+    def add_edge(self, src: int, label: Optional[FrozenSet[int]],
+                 dst: int) -> None:
+        self.edges[src].append((label, dst))
+
+    # -- analysis -------------------------------------------------------------
+
+    def epsilon_closure(self, states: Set[int]) -> FrozenSet[int]:
+        """All states reachable from ``states`` through ε-edges alone."""
+        closure = set(states)
+        stack = list(states)
+        while stack:
+            s = stack.pop()
+            for label, dst in self.edges[s]:
+                if label is None and dst not in closure:
+                    closure.add(dst)
+                    stack.append(dst)
+        return frozenset(closure)
+
+    def move(self, states: FrozenSet[int], symbol: int) -> Set[int]:
+        """States reachable by consuming ``symbol`` (before ε-closure)."""
+        out: Set[int] = set()
+        for s in states:
+            for label, dst in self.edges[s]:
+                if label is not None and symbol in label:
+                    out.add(dst)
+        return out
+
+    def accepted_patterns(self, states: FrozenSet[int]) -> Tuple[int, ...]:
+        """Sorted pattern ids accepted by any state in the set."""
+        return tuple(sorted({self.accepts[s] for s in states
+                             if s in self.accepts}))
+
+
+def _build_fragment(nfa: NFA, node: Node) -> Tuple[int, int]:
+    """Compile ``node`` into ``nfa``; return (entry, exit) states."""
+    if isinstance(node, Empty):
+        s = nfa.new_state()
+        t = nfa.new_state()
+        nfa.add_edge(s, None, t)
+        return s, t
+    if isinstance(node, SymbolSet):
+        s = nfa.new_state()
+        t = nfa.new_state()
+        nfa.add_edge(s, node.symbols, t)
+        return s, t
+    if isinstance(node, Concat):
+        entry, cur = _build_fragment(nfa, node.parts[0])
+        for part in node.parts[1:]:
+            nxt_entry, nxt_exit = _build_fragment(nfa, part)
+            nfa.add_edge(cur, None, nxt_entry)
+            cur = nxt_exit
+        return entry, cur
+    if isinstance(node, Alt):
+        s = nfa.new_state()
+        t = nfa.new_state()
+        for option in node.options:
+            entry, exit_ = _build_fragment(nfa, option)
+            nfa.add_edge(s, None, entry)
+            nfa.add_edge(exit_, None, t)
+        return s, t
+    if isinstance(node, Repeat):
+        return _build_repeat(nfa, node)
+    raise RegexError(f"unknown AST node {type(node).__name__}")
+
+
+def _build_repeat(nfa: NFA, node: Repeat) -> Tuple[int, int]:
+    """Expand {lo,hi} by chaining copies; hi=None adds a Kleene tail."""
+    s = nfa.new_state()
+    cur = s
+    # Mandatory copies.
+    for _ in range(node.lo):
+        entry, exit_ = _build_fragment(nfa, node.child)
+        nfa.add_edge(cur, None, entry)
+        cur = exit_
+    t = nfa.new_state()
+    if node.hi is None:
+        # Kleene star/plus tail: loop on one more copy.
+        entry, exit_ = _build_fragment(nfa, node.child)
+        nfa.add_edge(cur, None, entry)
+        nfa.add_edge(exit_, None, entry)
+        nfa.add_edge(exit_, None, t)
+        nfa.add_edge(cur, None, t)
+    else:
+        # Optional copies lo..hi.
+        nfa.add_edge(cur, None, t)
+        for _ in range(node.hi - node.lo):
+            entry, exit_ = _build_fragment(nfa, node.child)
+            nfa.add_edge(cur, None, entry)
+            nfa.add_edge(exit_, None, t)
+            cur = exit_
+    return s, t
+
+
+def build_nfa(node: Node, alphabet_size: int, pattern_id: int = 0,
+              unanchored: bool = True) -> NFA:
+    """Compile one AST into an NFA scanner.
+
+    ``unanchored=True`` prepends an implicit ``.*`` self-loop so the
+    automaton recognizes the pattern starting at *any* stream offset —
+    the acceptor semantics of paper §3 ("strings of different lengths
+    starting at arbitrary locations in the packet payload").
+    """
+    nfa = NFA(alphabet_size=alphabet_size)
+    start = nfa.new_state()
+    if unanchored:
+        nfa.add_edge(start, frozenset(range(alphabet_size)), start)
+    entry, exit_ = _build_fragment(nfa, node)
+    nfa.add_edge(start, None, entry)
+    nfa.start = start
+    nfa.accepts[exit_] = pattern_id
+    return nfa
+
+
+def combine(nodes: Sequence[Node], alphabet_size: int,
+            unanchored: bool = True) -> NFA:
+    """Union of several patterns into a single multi-pattern scanner NFA."""
+    if not nodes:
+        raise RegexError("at least one pattern required")
+    nfa = NFA(alphabet_size=alphabet_size)
+    start = nfa.new_state()
+    if unanchored:
+        nfa.add_edge(start, frozenset(range(alphabet_size)), start)
+    nfa.start = start
+    for pid, node in enumerate(nodes):
+        entry, exit_ = _build_fragment(nfa, node)
+        nfa.add_edge(start, None, entry)
+        nfa.accepts[exit_] = pid
+    return nfa

@@ -1,0 +1,297 @@
+"""Regular-expression parser.
+
+The paper (§1, ref [4]) notes that when the dictionary is a set of regular
+expressions, a single DFA recognizing all of them can be generated.  This
+module parses a practical regex subset into an AST over *symbol sets* of the
+folded alphabet:
+
+* literals (folded through the active :class:`~repro.dfa.alphabet.FoldMap`);
+* ``.`` — any symbol;
+* character classes ``[abc]``, ranges ``[a-z]``, negation ``[^...]``;
+* escapes ``\\xHH``, ``\\d``, ``\\w``, ``\\s`` and escaped metacharacters;
+* alternation ``|``, grouping ``(...)``;
+* quantifiers ``*``, ``+``, ``?``, ``{m}``, ``{m,}``, ``{m,n}``.
+
+Classes and escapes are expanded to byte sets *before* folding, so e.g.
+``[a-c]`` over the 32-symbol case fold becomes the symbol set {A,B,C}.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Tuple, Union
+
+from ..alphabet import FoldMap, identity_fold
+
+__all__ = [
+    "RegexError",
+    "Node",
+    "SymbolSet",
+    "Concat",
+    "Alt",
+    "Repeat",
+    "Empty",
+    "parse",
+]
+
+
+class RegexError(Exception):
+    """Raised on malformed patterns."""
+
+
+class Node:
+    """Base class of AST nodes."""
+
+
+@dataclass(frozen=True)
+class Empty(Node):
+    """Matches the empty string (ε)."""
+
+
+@dataclass(frozen=True)
+class SymbolSet(Node):
+    """Matches exactly one symbol drawn from ``symbols``."""
+
+    symbols: FrozenSet[int]
+
+    def __post_init__(self) -> None:
+        if not self.symbols:
+            raise RegexError("empty symbol set can never match")
+
+
+@dataclass(frozen=True)
+class Concat(Node):
+    parts: Tuple[Node, ...]
+
+
+@dataclass(frozen=True)
+class Alt(Node):
+    options: Tuple[Node, ...]
+
+
+@dataclass(frozen=True)
+class Repeat(Node):
+    """``child`` repeated between ``lo`` and ``hi`` times (hi=None → ∞)."""
+
+    child: Node
+    lo: int
+    hi: Optional[int]
+
+    def __post_init__(self) -> None:
+        if self.lo < 0:
+            raise RegexError("repeat lower bound must be >= 0")
+        if self.hi is not None and self.hi < self.lo:
+            raise RegexError(f"repeat bounds inverted: {{{self.lo},{self.hi}}}")
+
+
+_METACHARS = set("\\.[]()|*+?{}^$")
+
+_ESCAPE_CLASSES = {
+    "d": set(range(ord("0"), ord("9") + 1)),
+    "w": (set(range(ord("a"), ord("z") + 1))
+          | set(range(ord("A"), ord("Z") + 1))
+          | set(range(ord("0"), ord("9") + 1)) | {ord("_")}),
+    "s": {ord(" "), ord("\t"), ord("\n"), ord("\r"), 0x0B, 0x0C},
+    "n": {ord("\n")},
+    "t": {ord("\t")},
+    "r": {ord("\r")},
+}
+
+
+class _Parser:
+    """Recursive-descent parser; one instance per pattern."""
+
+    def __init__(self, pattern: str, fold: FoldMap) -> None:
+        self.pattern = pattern
+        self.fold = fold
+        self.pos = 0
+
+    # -- byte-set helpers ---------------------------------------------------------
+
+    def _fold_set(self, byte_values) -> FrozenSet[int]:
+        syms = frozenset(self.fold.table[b] for b in byte_values)
+        return syms
+
+    def _any_symbol(self) -> FrozenSet[int]:
+        return frozenset(range(self.fold.width))
+
+    # -- scanning -------------------------------------------------------------------
+
+    def _peek(self) -> Optional[str]:
+        return self.pattern[self.pos] if self.pos < len(self.pattern) else None
+
+    def _next(self) -> str:
+        if self.pos >= len(self.pattern):
+            raise RegexError(f"unexpected end of pattern {self.pattern!r}")
+        ch = self.pattern[self.pos]
+        self.pos += 1
+        return ch
+
+    def _expect(self, ch: str) -> None:
+        got = self._next()
+        if got != ch:
+            raise RegexError(
+                f"expected {ch!r} at offset {self.pos - 1} of "
+                f"{self.pattern!r}, found {got!r}")
+
+    # -- grammar ----------------------------------------------------------------
+
+    def parse(self) -> Node:
+        node = self._alternation()
+        if self.pos != len(self.pattern):
+            raise RegexError(
+                f"trailing characters at offset {self.pos} of "
+                f"{self.pattern!r}")
+        return node
+
+    def _alternation(self) -> Node:
+        options = [self._concat()]
+        while self._peek() == "|":
+            self._next()
+            options.append(self._concat())
+        if len(options) == 1:
+            return options[0]
+        return Alt(tuple(options))
+
+    def _concat(self) -> Node:
+        parts: List[Node] = []
+        while True:
+            ch = self._peek()
+            if ch is None or ch in "|)":
+                break
+            parts.append(self._repeat())
+        if not parts:
+            return Empty()
+        if len(parts) == 1:
+            return parts[0]
+        return Concat(tuple(parts))
+
+    def _repeat(self) -> Node:
+        atom = self._atom()
+        while True:
+            ch = self._peek()
+            if ch == "*":
+                self._next()
+                atom = Repeat(atom, 0, None)
+            elif ch == "+":
+                self._next()
+                atom = Repeat(atom, 1, None)
+            elif ch == "?":
+                self._next()
+                atom = Repeat(atom, 0, 1)
+            elif ch == "{":
+                atom = Repeat(atom, *self._braces())
+            else:
+                return atom
+
+    def _braces(self) -> Tuple[int, Optional[int]]:
+        self._expect("{")
+        lo = self._number()
+        ch = self._next()
+        if ch == "}":
+            return lo, lo
+        if ch != ",":
+            raise RegexError(f"malformed {{m,n}} in {self.pattern!r}")
+        if self._peek() == "}":
+            self._next()
+            return lo, None
+        hi = self._number()
+        self._expect("}")
+        return lo, hi
+
+    def _number(self) -> int:
+        digits = ""
+        while self._peek() is not None and self._peek().isdigit():
+            digits += self._next()
+        if not digits:
+            raise RegexError(f"expected number at offset {self.pos} of "
+                             f"{self.pattern!r}")
+        return int(digits)
+
+    def _atom(self) -> Node:
+        ch = self._next()
+        if ch == "(":
+            node = self._alternation()
+            self._expect(")")
+            return node
+        if ch == ".":
+            return SymbolSet(self._any_symbol())
+        if ch == "[":
+            return self._char_class()
+        if ch == "\\":
+            return SymbolSet(self._fold_set(self._escape_bytes()))
+        if ch in "*+?{":
+            raise RegexError(f"quantifier {ch!r} with nothing to repeat in "
+                             f"{self.pattern!r}")
+        if ch in ")|]":
+            raise RegexError(f"unexpected {ch!r} at offset {self.pos - 1} "
+                             f"of {self.pattern!r}")
+        return SymbolSet(self._fold_set({ord(ch)}))
+
+    def _escape_bytes(self) -> set:
+        ch = self._next()
+        if ch == "x":
+            hex_digits = self._next() + self._next()
+            try:
+                return {int(hex_digits, 16)}
+            except ValueError:
+                raise RegexError(
+                    f"bad hex escape \\x{hex_digits} in {self.pattern!r}"
+                ) from None
+        if ch in _ESCAPE_CLASSES:
+            return set(_ESCAPE_CLASSES[ch])
+        if ch in _METACHARS or not ch.isalnum():
+            return {ord(ch)}
+        raise RegexError(f"unknown escape \\{ch} in {self.pattern!r}")
+
+    def _char_class(self) -> Node:
+        negate = False
+        if self._peek() == "^":
+            self._next()
+            negate = True
+        byte_values: set = set()
+        first = True
+        while True:
+            ch = self._peek()
+            if ch is None:
+                raise RegexError(f"unterminated class in {self.pattern!r}")
+            if ch == "]" and not first:
+                self._next()
+                break
+            first = False
+            ch = self._next()
+            if ch == "\\":
+                members = self._escape_bytes()
+                byte_values |= members
+                continue
+            lo = ord(ch)
+            if self._peek() == "-" and self.pos + 1 < len(self.pattern) \
+                    and self.pattern[self.pos + 1] != "]":
+                self._next()
+                hi_ch = self._next()
+                if hi_ch == "\\":
+                    members = self._escape_bytes()
+                    if len(members) != 1:
+                        raise RegexError("class escape cannot end a range")
+                    hi = next(iter(members))
+                else:
+                    hi = ord(hi_ch)
+                if hi < lo:
+                    raise RegexError(
+                        f"inverted range {chr(lo)}-{chr(hi)} in "
+                        f"{self.pattern!r}")
+                byte_values |= set(range(lo, hi + 1))
+            else:
+                byte_values.add(lo)
+        if negate:
+            byte_values = set(range(256)) - byte_values
+        if not byte_values:
+            raise RegexError(f"empty character class in {self.pattern!r}")
+        return SymbolSet(self._fold_set(byte_values))
+
+
+def parse(pattern: str, fold: Optional[FoldMap] = None) -> Node:
+    """Parse ``pattern`` into an AST over the folded symbol alphabet."""
+    if fold is None:
+        fold = identity_fold()
+    return _Parser(pattern, fold).parse()

@@ -1,0 +1,97 @@
+"""Automaton visualization: Graphviz DOT export.
+
+Debugging a dictionary automaton is far easier on a picture.  These
+helpers render a :class:`~repro.dfa.automaton.DFA` as DOT text (pipe it
+through ``dot -Tsvg``); transitions are grouped by destination so the
+32-symbol alphabet doesn't explode into 32 parallel edges, and symbols
+can be labelled through a :class:`~repro.dfa.alphabet.FoldMap` so edges
+read "A-C" instead of "1-3".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .alphabet import FoldMap
+from .automaton import DFA
+
+__all__ = ["to_dot", "symbol_labels"]
+
+
+def symbol_labels(fold: FoldMap) -> List[str]:
+    """Human-readable label per symbol: the printable byte(s) folding
+    onto it, or the symbol number."""
+    labels = []
+    for sym in range(fold.width):
+        pre = [b for b in fold.preimage(sym)
+               if 0x21 <= b < 0x7F]
+        if pre:
+            # Prefer an uppercase letter if one maps here.
+            letters = [b for b in pre if ord("A") <= b <= ord("Z")]
+            pick = letters[0] if letters else pre[0]
+            labels.append(chr(pick))
+        else:
+            labels.append(str(sym))
+    return labels
+
+
+def _group_edges(dfa: DFA, state: int) -> Dict[int, List[int]]:
+    """destination -> sorted list of symbols."""
+    groups: Dict[int, List[int]] = {}
+    for sym in range(dfa.alphabet_size):
+        dst = int(dfa.transitions[state, sym])
+        groups.setdefault(dst, []).append(sym)
+    return groups
+
+
+def _ranges(symbols: Sequence[int]) -> List[Tuple[int, int]]:
+    """Collapse a sorted symbol list into inclusive ranges."""
+    out: List[Tuple[int, int]] = []
+    for sym in symbols:
+        if out and sym == out[-1][1] + 1:
+            out[-1] = (out[-1][0], sym)
+        else:
+            out.append((sym, sym))
+    return out
+
+
+def to_dot(dfa: DFA, fold: Optional[FoldMap] = None,
+           max_states: int = 200, skip_to_start: bool = True,
+           name: str = "dfa") -> str:
+    """Render ``dfa`` as Graphviz DOT.
+
+    ``skip_to_start`` suppresses edges returning to the start state (the
+    overwhelming majority in a security DFA — the picture is unreadable
+    with them).  Automata beyond ``max_states`` are rejected; visualize a
+    slice instead.
+    """
+    if dfa.num_states > max_states:
+        raise ValueError(
+            f"{dfa.num_states} states is too many to draw (limit "
+            f"{max_states}); visualize one dictionary slice instead")
+    labels = symbol_labels(fold) if fold is not None else [
+        str(s) for s in range(dfa.alphabet_size)]
+
+    lines = [f"digraph {name} {{", "  rankdir=LR;",
+             "  node [shape=circle];",
+             f"  start [shape=point];",
+             f"  start -> s{dfa.start};"]
+    for s in dfa.finals:
+        lines.append(f"  s{s} [shape=doublecircle];")
+    for s, pats in sorted(dfa.outputs.items()):
+        plist = ",".join(str(p) for p in pats)
+        lines.append(f'  s{s} [xlabel="out:{plist}"];')
+    for s in range(dfa.num_states):
+        for dst, symbols in sorted(_group_edges(dfa, s).items()):
+            if skip_to_start and dst == dfa.start:
+                continue
+            parts = []
+            for lo, hi in _ranges(symbols):
+                if lo == hi:
+                    parts.append(labels[lo])
+                else:
+                    parts.append(f"{labels[lo]}-{labels[hi]}")
+            label = ",".join(parts)
+            lines.append(f'  s{s} -> s{dst} [label="{label}"];')
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,22 @@
+"""Workload generators: synthetic dictionaries and traffic."""
+
+from .corpora import english_like, http_requests, log_lines
+from .dictionary import (ascii_keywords, prefix_heavy_signatures,
+                         random_signatures, signatures_for_states)
+from .traffic import (adversarial_payload, packet_stream, plant_matches,
+                      random_payload, streams_for_tile)
+
+__all__ = [
+    "english_like",
+    "http_requests",
+    "log_lines",
+    "ascii_keywords",
+    "prefix_heavy_signatures",
+    "random_signatures",
+    "signatures_for_states",
+    "adversarial_payload",
+    "packet_stream",
+    "plant_matches",
+    "random_payload",
+    "streams_for_tile",
+]

@@ -1,0 +1,153 @@
+"""Dictionary (signature set) generators.
+
+The paper evaluates with dictionaries sized to the tile budget (~800–1712
+states).  Since the original signature sets (Snort-era rules) are not
+shipped, these generators produce synthetic dictionaries with controllable
+statistics: count, length distribution, shared-prefix density (which
+drives trie/state growth), and alphabet.
+
+All generators emit *folded* patterns (symbols < alphabet width) unless
+asked for raw ASCII; determinism comes from the caller's seed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..dfa.partition import trie_states
+
+__all__ = [
+    "random_signatures",
+    "signatures_for_states",
+    "prefix_heavy_signatures",
+    "ascii_keywords",
+]
+
+#: Security-flavoured ASCII keywords for realistic-looking dictionaries.
+_KEYWORD_STEMS = [
+    "ATTACK", "BACKDOOR", "BOTNET", "BUFFER", "CMDEXE", "DOWNLOAD",
+    "EXPLOIT", "FORMAT", "GETROOT", "INJECT", "KEYLOG", "MALWARE",
+    "OVERFLOW", "PASSWD", "PAYLOAD", "PHISH", "ROOTKIT", "SCRIPT",
+    "SHELLCODE", "SPYWARE", "TROJAN", "VIRUS", "WORM", "XPLOIT",
+]
+
+
+def random_signatures(count: int, min_len: int = 4, max_len: int = 12,
+                      alphabet_size: int = 32,
+                      seed: Optional[int] = None,
+                      avoid_symbol: Optional[int] = 0) -> List[bytes]:
+    """Uniform random folded signatures, distinct, never empty.
+
+    ``avoid_symbol`` (default 0, the fold's "everything else" bucket) is
+    excluded so signatures cannot match runs of unmapped bytes by accident;
+    pass ``None`` to allow the full range.
+    """
+    if count <= 0:
+        raise ValueError("count must be positive")
+    if not 1 <= min_len <= max_len:
+        raise ValueError("need 1 <= min_len <= max_len")
+    rng = np.random.default_rng(seed)
+    lo = 1 if avoid_symbol == 0 else 0
+    if alphabet_size - lo < 1:
+        raise ValueError("alphabet too small")
+    seen = set()
+    out: List[bytes] = []
+    attempts = 0
+    while len(out) < count:
+        attempts += 1
+        if attempts > 100 * count:
+            raise ValueError(
+                f"cannot generate {count} distinct signatures with these "
+                f"parameters")
+        n = int(rng.integers(min_len, max_len + 1))
+        sig = bytes(rng.integers(lo, alphabet_size, n, dtype=np.uint8))
+        if avoid_symbol is not None and avoid_symbol != 0 \
+                and avoid_symbol in sig:
+            continue
+        if sig not in seen:
+            seen.add(sig)
+            out.append(sig)
+    return out
+
+
+def signatures_for_states(target_states: int, min_len: int = 4,
+                          max_len: int = 12, alphabet_size: int = 32,
+                          seed: Optional[int] = None) -> List[bytes]:
+    """Grow a dictionary until its Aho–Corasick automaton has at least
+    ``target_states`` states (overshooting by at most ``max_len``) — used
+    to build tiles at the paper's 800/1520/1648/1712-state operating
+    points.  The trie is grown incrementally, so this is O(total states)."""
+    if target_states < 2:
+        raise ValueError("target_states must be >= 2")
+    if not 1 <= min_len <= max_len:
+        raise ValueError("need 1 <= min_len <= max_len")
+    rng = np.random.default_rng(seed)
+    from ..dfa.partition import _TrieCounter
+    trie = _TrieCounter()
+    sigs: List[bytes] = []
+    seen = set()
+    attempts = 0
+    while trie.num_states < target_states:
+        attempts += 1
+        if attempts > 100 * target_states:
+            raise ValueError(
+                "cannot reach the requested state count with these "
+                "parameters")
+        n = int(rng.integers(min_len, max_len + 1))
+        sig = bytes(rng.integers(1, alphabet_size, n, dtype=np.uint8))
+        if sig in seen or trie.added_states(sig) == 0:
+            continue
+        seen.add(sig)
+        sigs.append(sig)
+        trie.insert(sig)
+    return sigs
+
+
+def prefix_heavy_signatures(count: int, prefix_len: int = 6,
+                            suffix_len: int = 4, num_prefixes: int = 4,
+                            alphabet_size: int = 32,
+                            seed: Optional[int] = None) -> List[bytes]:
+    """Signatures sharing a few long prefixes: stresses trie sharing (many
+    patterns, few states) — the dense end of the dictionary spectrum."""
+    if count <= 0 or num_prefixes <= 0:
+        raise ValueError("count and num_prefixes must be positive")
+    rng = np.random.default_rng(seed)
+    prefixes = [bytes(rng.integers(1, alphabet_size, prefix_len,
+                                   dtype=np.uint8))
+                for _ in range(num_prefixes)]
+    seen = set()
+    out: List[bytes] = []
+    attempts = 0
+    while len(out) < count:
+        attempts += 1
+        if attempts > 100 * count:
+            raise ValueError("cannot generate enough distinct signatures")
+        pre = prefixes[int(rng.integers(0, num_prefixes))]
+        suf = bytes(rng.integers(1, alphabet_size, suffix_len,
+                                 dtype=np.uint8))
+        sig = pre + suf
+        if sig not in seen:
+            seen.add(sig)
+            out.append(sig)
+    return out
+
+
+def ascii_keywords(count: int, seed: Optional[int] = None) -> List[bytes]:
+    """Realistic-looking ASCII signatures built from security keyword
+    stems (fold them with :func:`repro.dfa.case_fold_32` before use)."""
+    if count <= 0:
+        raise ValueError("count must be positive")
+    rng = np.random.default_rng(seed)
+    out: List[bytes] = []
+    seen = set()
+    while len(out) < count:
+        stem = _KEYWORD_STEMS[int(rng.integers(0, len(_KEYWORD_STEMS)))]
+        suffix = "".join(chr(ord("A") + int(c))
+                         for c in rng.integers(0, 26, 3))
+        word = (stem + suffix).encode()
+        if word not in seen:
+            seen.add(word)
+            out.append(word)
+    return out

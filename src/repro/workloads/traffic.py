@@ -1,0 +1,131 @@
+"""Synthetic network-traffic generators.
+
+The paper filters live multi-gigabit links; offline we synthesize payloads
+with the properties that matter to the engines under test:
+
+* **uniform noise** — content-independent workloads (what a DFA sees is
+  irrelevant, which is the paper's point);
+* **planted matches** — payloads with a controlled density of dictionary
+  hits, so counting paths are exercised end to end;
+* **adversarial payloads** — inputs crafted to degrade heuristic skippers
+  (Boyer–Moore/Wu–Manber), demonstrating the overload-attack argument of
+  §1 while the DFA's cost stays flat.
+
+Everything is deterministic under a caller-provided seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "random_payload",
+    "plant_matches",
+    "packet_stream",
+    "adversarial_payload",
+    "streams_for_tile",
+]
+
+
+def random_payload(length: int, alphabet_size: int = 32,
+                   seed: Optional[int] = None) -> bytes:
+    """Uniform random folded payload."""
+    if length < 0:
+        raise ValueError("length must be non-negative")
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, alphabet_size, length, dtype=np.uint8).tobytes()
+
+
+def plant_matches(payload: bytes, patterns: Sequence[bytes], count: int,
+                  seed: Optional[int] = None) -> bytes:
+    """Overwrite ``count`` random positions with random dictionary entries.
+
+    Plants may overlap each other or create accidental extra matches, so
+    the *exact* match count must come from a reference scan, not from
+    ``count`` — tests rely on this honesty.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if not patterns:
+        raise ValueError("at least one pattern required")
+    longest = max(len(p) for p in patterns)
+    if longest > len(payload):
+        raise ValueError("payload shorter than the longest pattern")
+    rng = np.random.default_rng(seed)
+    buf = bytearray(payload)
+    for _ in range(count):
+        p = patterns[int(rng.integers(0, len(patterns)))]
+        pos = int(rng.integers(0, len(buf) - len(p) + 1))
+        buf[pos:pos + len(p)] = p
+    return bytes(buf)
+
+
+def packet_stream(num_packets: int, min_size: int = 64,
+                  max_size: int = 1500, alphabet_size: int = 32,
+                  patterns: Optional[Sequence[bytes]] = None,
+                  match_fraction: float = 0.1,
+                  seed: Optional[int] = None) -> List[bytes]:
+    """A burst of packet payloads, a fraction of which carry one planted
+    dictionary entry — the NIDS steady state where most traffic is clean."""
+    if num_packets <= 0:
+        raise ValueError("num_packets must be positive")
+    if not 0 <= match_fraction <= 1:
+        raise ValueError("match_fraction must be in [0, 1]")
+    if not 1 <= min_size <= max_size:
+        raise ValueError("need 1 <= min_size <= max_size")
+    rng = np.random.default_rng(seed)
+    packets: List[bytes] = []
+    for _ in range(num_packets):
+        size = int(rng.integers(min_size, max_size + 1))
+        payload = rng.integers(0, alphabet_size, size,
+                               dtype=np.uint8).tobytes()
+        if patterns and rng.random() < match_fraction:
+            p = patterns[int(rng.integers(0, len(patterns)))]
+            if len(p) <= size:
+                pos = int(rng.integers(0, size - len(p) + 1))
+                buf = bytearray(payload)
+                buf[pos:pos + len(p)] = p
+                payload = bytes(buf)
+        packets.append(payload)
+    return packets
+
+
+def adversarial_payload(pattern: bytes, length: int,
+                        mismatch_at_end: bool = True) -> bytes:
+    """Worst-case input for skip-based matchers: endless almost-matches.
+
+    Repeats the pattern with its last byte corrupted, so Boyer–Moore-style
+    scanners walk nearly the whole window at every offset while a DFA still
+    spends exactly one transition per byte.
+    """
+    if not pattern:
+        raise ValueError("pattern must be non-empty")
+    if length <= 0:
+        raise ValueError("length must be positive")
+    block = bytearray(pattern)
+    idx = -1 if mismatch_at_end else 0
+    block[idx] = (block[idx] + 1) % 32
+    reps = -(-length // len(block))
+    return bytes(block * reps)[:length]
+
+
+def streams_for_tile(length: int, patterns: Sequence[bytes],
+                     matches_per_stream: int = 3,
+                     alphabet_size: int = 32, num_streams: int = 16,
+                     seed: Optional[int] = None) -> List[bytes]:
+    """Sixteen equal-length folded streams with planted matches — the
+    exact input shape one DFA tile consumes."""
+    if length <= 0:
+        raise ValueError("length must be positive")
+    rng = np.random.default_rng(seed)
+    streams = []
+    for i in range(num_streams):
+        payload = rng.integers(0, alphabet_size, length,
+                               dtype=np.uint8).tobytes()
+        payload = plant_matches(payload, patterns, matches_per_stream,
+                                seed=int(rng.integers(0, 2 ** 31)))
+        streams.append(payload)
+    return streams

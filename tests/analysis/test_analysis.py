@@ -1,0 +1,125 @@
+"""Analytic models, paper reference data, and report rendering."""
+
+import pytest
+
+from repro.analysis import (
+    PAPER_BLADE_GBPS,
+    PAPER_CHIP_GBPS,
+    PAPER_TABLE1,
+    PAPER_TILE_GBPS,
+    ascii_chart,
+    ascii_table,
+    comparison_table,
+    cycles_per_transition_from_gbps,
+    format_si,
+    gbps_from_cycles_per_transition,
+    parallel_gbps,
+    replacement_gbps,
+    spes_for_line_rate,
+)
+
+
+class TestPaperData:
+    def test_table1_has_five_versions(self):
+        assert sorted(PAPER_TABLE1) == [1, 2, 3, 4, 5]
+
+    def test_table1_internal_consistency(self):
+        """cycles/transitions ≈ cycles-per-transition column."""
+        for row in PAPER_TABLE1.values():
+            assert row.total_cycles / row.transitions == pytest.approx(
+                row.cycles_per_transition, rel=0.01)
+
+    def test_table1_throughput_consistency(self):
+        """Gbps column == 8 bits × M transitions/s."""
+        for row in PAPER_TABLE1.values():
+            assert row.throughput_mtps * 8 / 1000 == pytest.approx(
+                row.throughput_gbps, abs=0.02)
+
+    def test_version4_is_peak(self):
+        best = max(PAPER_TABLE1.values(), key=lambda r: r.throughput_gbps)
+        assert best.version == 4
+        assert best.throughput_gbps == PAPER_TILE_GBPS
+
+    def test_speedups_relative_to_version1(self):
+        base = PAPER_TABLE1[1].cycles_per_transition
+        for row in PAPER_TABLE1.values():
+            assert base / row.cycles_per_transition == pytest.approx(
+                row.speedup, abs=0.02)
+
+
+class TestModels:
+    def test_gbps_cpt_roundtrip(self):
+        for cpt in (5.01, 7.57, 19.0):
+            gbps = gbps_from_cycles_per_transition(cpt)
+            assert cycles_per_transition_from_gbps(gbps) == \
+                pytest.approx(cpt)
+
+    def test_paper_anchor(self):
+        """5.01 cycles/transition at 3.2 GHz is 5.11 Gbps."""
+        assert gbps_from_cycles_per_transition(5.01) == \
+            pytest.approx(5.11, abs=0.01)
+
+    def test_parallel_chip_and_blade(self):
+        assert parallel_gbps(8) == pytest.approx(PAPER_CHIP_GBPS)
+        assert 2 * parallel_gbps(8) == pytest.approx(PAPER_BLADE_GBPS)
+
+    def test_replacement_law_reexport(self):
+        assert replacement_gbps(3) == pytest.approx(5.11 / 4)
+
+    def test_spes_for_10gbps_is_two(self):
+        """The headline: two SPEs filter a 10 Gbps link."""
+        assert spes_for_line_rate(10.0) == 2
+
+    def test_spes_for_other_rates(self):
+        assert spes_for_line_rate(5.0) == 1
+        assert spes_for_line_rate(40.0) == 8
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            gbps_from_cycles_per_transition(0)
+        with pytest.raises(ValueError):
+            parallel_gbps(0)
+        with pytest.raises(ValueError):
+            spes_for_line_rate(-1)
+
+
+class TestRendering:
+    def test_ascii_table_alignment(self):
+        text = ascii_table(["name", "value"],
+                           [["a", 1], ["long-name", 2.5]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert set(lines[2]) == {"-"}
+
+    def test_ascii_table_rejects_ragged(self):
+        with pytest.raises(ValueError):
+            ascii_table(["a", "b"], [[1]])
+
+    def test_ascii_table_none_cells(self):
+        text = ascii_table(["x"], [[None]])
+        assert "-" in text
+
+    def test_comparison_table_ratio(self):
+        text = comparison_table([("cpt", 5.01, 5.55)])
+        assert "1.11" in text
+
+    def test_ascii_chart_contains_markers(self):
+        text = ascii_chart([
+            ("one", [0, 1, 2], [0, 1, 4]),
+            ("two", [0, 1, 2], [4, 1, 0]),
+        ], title="chart")
+        assert "o" in text and "x" in text
+        assert "one" in text and "two" in text
+
+    def test_ascii_chart_rejects_ragged_series(self):
+        with pytest.raises(ValueError):
+            ascii_chart([("s", [1, 2], [1])])
+
+    def test_ascii_chart_empty(self):
+        assert "empty" in ascii_chart([])
+
+    def test_format_si(self):
+        assert format_si(5.11e9, "bps") == "5.11 Gbps"
+        assert format_si(2500, "B") == "2.50 kB"
+        assert format_si(3.2, "x") == "3.20 x"

@@ -1,0 +1,68 @@
+"""Bandwidth-model calibration."""
+
+import pytest
+
+from repro.analysis.calibration import (
+    CalibrationError,
+    CalibrationSample,
+    fit_bandwidth_model,
+)
+from repro.cell.memory import BandwidthModel
+
+
+def samples_from(model, spes=(1, 2, 4, 8), blocks=(64, 256, 1024, 16384)):
+    return [
+        CalibrationSample(p, bs, model.aggregate(p, bs))
+        for p in spes for bs in blocks
+    ]
+
+
+class TestRoundTrip:
+    def test_recovers_default_model(self):
+        truth = BandwidthModel()
+        fitted = fit_bandwidth_model(samples_from(truth))
+        assert fitted.setup_s == pytest.approx(truth.setup_s, rel=1e-6)
+        assert fitted.spe_link == pytest.approx(truth.spe_link, rel=1e-6)
+        assert fitted.heavy_traffic_aggregate == pytest.approx(
+            truth.heavy_traffic_aggregate, rel=1e-6)
+
+    def test_recovers_custom_model(self):
+        truth = BandwidthModel(heavy_traffic_aggregate=12e9,
+                               spe_link=4e9, setup_s=120e-9)
+        fitted = fit_bandwidth_model(samples_from(truth))
+        assert fitted.setup_s == pytest.approx(truth.setup_s, rel=1e-6)
+        assert fitted.spe_link == pytest.approx(truth.spe_link, rel=1e-6)
+        assert fitted.heavy_traffic_aggregate == pytest.approx(12e9)
+
+    def test_fitted_model_predicts(self):
+        truth = BandwidthModel()
+        fitted = fit_bandwidth_model(samples_from(truth))
+        for p in (1, 3, 8):
+            for bs in (128, 512, 8192):
+                assert fitted.aggregate(p, bs) == pytest.approx(
+                    truth.aggregate(p, bs), rel=1e-6)
+
+
+class TestValidation:
+    def test_sample_bounds(self):
+        with pytest.raises(CalibrationError):
+            CalibrationSample(0, 64, 1e9)
+        with pytest.raises(CalibrationError):
+            CalibrationSample(1, 0, 1e9)
+        with pytest.raises(CalibrationError):
+            CalibrationSample(1, 64, 0)
+
+    def test_too_few_samples(self):
+        truth = BandwidthModel()
+        with pytest.raises(CalibrationError, match="three"):
+            fit_bandwidth_model(samples_from(truth, spes=(1,),
+                                             blocks=(64, 128))[:2])
+
+    def test_single_block_size_insufficient(self):
+        truth = BandwidthModel()
+        samples = samples_from(truth, spes=(1, 2, 8), blocks=(64,))
+        # Add one saturated sample so the cap exists.
+        samples.append(CalibrationSample(
+            8, 16384, truth.aggregate(8, 16384)))
+        with pytest.raises(CalibrationError, match="block sizes"):
+            fit_bandwidth_model(samples)

@@ -1,0 +1,203 @@
+"""Baseline matchers: every algorithm must agree with the naive reference
+on occurrence events, plus algorithm-specific behaviours."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import (
+    BloomFilter,
+    BloomMatcher,
+    BoyerMooreMatcher,
+    CommentzWalterMatcher,
+    KMPMatcher,
+    NaiveMatcher,
+    WuManberMatcher,
+)
+from repro.baselines.boyer_moore import bad_character_table, \
+    good_suffix_table
+from repro.baselines.kmp import failure_function
+from repro.dfa import AhoCorasick
+from repro.workloads import adversarial_payload, plant_matches, \
+    random_payload, random_signatures
+
+ALL_MATCHERS = [KMPMatcher, BoyerMooreMatcher, WuManberMatcher,
+                CommentzWalterMatcher, BloomMatcher, AhoCorasick]
+
+
+def build(cls, patterns):
+    if cls is AhoCorasick:
+        return cls(patterns, 256)
+    return cls(patterns)
+
+
+def sym_pattern():
+    return st.binary(min_size=1, max_size=7).map(
+        lambda b: bytes(x % 31 + 1 for x in b))
+
+
+class TestAgreementWithNaive:
+    @pytest.mark.parametrize("cls", ALL_MATCHERS)
+    def test_planted_workload(self, cls):
+        patterns = random_signatures(10, 2, 8, seed=4)
+        text = plant_matches(random_payload(3000, seed=5), patterns, 25,
+                             seed=6)
+        ref = NaiveMatcher(patterns).find_all(text)
+        assert build(cls, patterns).find_all(text) == ref
+
+    @pytest.mark.parametrize("cls", ALL_MATCHERS)
+    def test_overlapping_self_repeating_pattern(self, cls):
+        patterns = [bytes([1, 1]), bytes([1, 1, 1])]
+        text = bytes([1] * 10)
+        ref = NaiveMatcher(patterns).find_all(text)
+        assert build(cls, patterns).find_all(text) == ref
+
+    @pytest.mark.parametrize("cls", ALL_MATCHERS)
+    def test_match_at_start_and_end(self, cls):
+        patterns = [bytes([5, 6, 7])]
+        text = bytes([5, 6, 7, 0, 0, 5, 6, 7])
+        ref = NaiveMatcher(patterns).find_all(text)
+        got = build(cls, patterns).find_all(text)
+        assert got == ref
+        assert {e.end for e in got} == {3, 8}
+
+    @pytest.mark.parametrize("cls", ALL_MATCHERS)
+    def test_no_match(self, cls):
+        patterns = [bytes([9, 9, 9])]
+        assert build(cls, patterns).count(bytes([1, 2, 3] * 50)) == 0
+
+    @pytest.mark.parametrize("cls", ALL_MATCHERS)
+    def test_empty_text(self, cls):
+        patterns = [bytes([1, 2])]
+        assert build(cls, patterns).find_all(b"") == []
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(sym_pattern(), min_size=1, max_size=5, unique=True),
+           st.binary(min_size=0, max_size=250).map(
+               lambda b: bytes(x % 32 for x in b)))
+    def test_all_matchers_agree_property(self, patterns, text):
+        ref = NaiveMatcher(patterns).find_all(text)
+        for cls in (KMPMatcher, BoyerMooreMatcher, WuManberMatcher,
+                    CommentzWalterMatcher, BloomMatcher):
+            assert cls(patterns).find_all(text) == ref, cls.__name__
+
+
+class TestConstructionErrors:
+    @pytest.mark.parametrize("cls", [NaiveMatcher, KMPMatcher,
+                                     BoyerMooreMatcher, WuManberMatcher,
+                                     CommentzWalterMatcher, BloomMatcher])
+    def test_empty_dictionary(self, cls):
+        with pytest.raises(ValueError):
+            cls([])
+
+    @pytest.mark.parametrize("cls", [NaiveMatcher, WuManberMatcher,
+                                     CommentzWalterMatcher, BloomMatcher])
+    def test_empty_pattern(self, cls):
+        with pytest.raises(ValueError):
+            cls([b""])
+
+
+class TestKMPInternals:
+    def test_failure_function_classic(self):
+        assert failure_function(b"ababaca") == [0, 0, 1, 2, 3, 0, 1]
+
+    def test_failure_function_no_borders(self):
+        assert failure_function(b"abcd") == [0, 0, 0, 0]
+
+
+class TestBoyerMooreInternals:
+    def test_bad_character_rightmost(self):
+        table = bad_character_table(b"abcab")
+        assert table[ord("a")] == 3
+        assert table[ord("b")] == 4
+        assert table[ord("c")] == 2
+
+    def test_good_suffix_table_length(self):
+        assert len(good_suffix_table(b"abc")) == 4
+
+
+class TestInputDependence:
+    """The paper's §1 argument: heuristic matchers degrade on adversarial
+    input while DFA work stays flat."""
+
+    def test_wu_manber_adversarial_inspections(self):
+        patterns = [bytes([1, 2, 3, 4, 5, 6, 7, 8])]
+        wm = WuManberMatcher(patterns)
+        n = 4000
+        friendly = bytes([20] * n)          # always max shift
+        # Corrupting the FIRST byte keeps every window suffix looking like
+        # the pattern, defeating the shift table at the window end.
+        hostile = adversarial_payload(patterns[0], n,
+                                      mismatch_at_end=False)
+        assert wm.scan_work(hostile) > 1.5 * wm.scan_work(friendly)
+
+    def test_dfa_work_is_content_independent(self):
+        patterns = [bytes([1, 2, 3, 4, 5, 6, 7, 8])]
+        ac = AhoCorasick(patterns, 32)
+        n = 4000
+        friendly = bytes([20] * n)
+        hostile = adversarial_payload(patterns[0], n)
+        # Same number of transitions either way: n.
+        assert len(ac.to_dfa().state_trace(friendly)) == n
+        assert len(ac.to_dfa().state_trace(hostile)) == n
+
+
+class TestBloom:
+    def test_filter_no_false_negatives(self):
+        bf = BloomFilter(100, 0.01)
+        from repro.baselines.bloom import _hash_pair
+        items = [bytes([i, i + 1, i + 2]) for i in range(50)]
+        for item in items:
+            bf.add_hash(*_hash_pair(item))
+        assert all(bf.query_hash(*_hash_pair(i)) for i in items)
+
+    def test_filter_rejects_most_nonmembers(self):
+        bf = BloomFilter(100, 0.01)
+        from repro.baselines.bloom import _hash_pair
+        for i in range(100):
+            bf.add_hash(*_hash_pair(bytes([i % 256, i // 256, 7])))
+        fp = sum(
+            1 for i in range(1000)
+            if bf.query_hash(*_hash_pair(bytes([9, 9, i % 256, i // 256]))))
+        assert fp < 100  # far below 10%
+
+    def test_theoretical_fp_rate_reasonable(self):
+        bf = BloomFilter(1000, 0.01)
+        from repro.baselines.bloom import _hash_pair
+        for i in range(1000):
+            bf.add_hash(*_hash_pair(i.to_bytes(4, "big")))
+        assert 0 < bf.theoretical_fp_rate() < 0.05
+
+    def test_fill_ratio_grows(self):
+        bf = BloomFilter(64, 0.05)
+        from repro.baselines.bloom import _hash_pair
+        assert bf.fill_ratio == 0
+        bf.add_hash(*_hash_pair(b"abc"))
+        assert bf.fill_ratio > 0
+
+    def test_matcher_counts_verifications(self):
+        patterns = random_signatures(8, 3, 6, seed=10)
+        bm = BloomMatcher(patterns)
+        text = plant_matches(random_payload(2000, seed=11), patterns, 15,
+                             seed=12)
+        found = bm.find_all(text)
+        assert bm.verifications >= len(found)
+
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            BloomFilter(0)
+        with pytest.raises(ValueError):
+            BloomFilter(10, 1.5)
+
+
+class TestWuManberSpecifics:
+    def test_short_pattern_falls_back_to_block_1(self):
+        wm = WuManberMatcher([bytes([1])], block=2)
+        assert wm.block == 1
+        assert wm.count(bytes([0, 1, 0, 1])) == 2
+
+    def test_mixed_lengths(self):
+        patterns = [bytes([1, 2]), bytes([1, 2, 3, 4, 5])]
+        wm = WuManberMatcher(patterns)
+        text = bytes([1, 2, 3, 4, 5])
+        assert len(wm.find_all(text)) == 2

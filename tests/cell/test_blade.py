@@ -1,0 +1,60 @@
+"""The dual-Cell blade model."""
+
+import pytest
+
+from repro.cell.blade import BIF_BANDWIDTH, CellBlade
+
+
+@pytest.fixture
+def blade():
+    return CellBlade(memory_size=4 << 20)
+
+
+class TestStructure:
+    def test_sixteen_spes(self, blade):
+        assert blade.num_spes == 16
+        assert blade.spe(15) is blade.chips[1].spe(7)
+
+    def test_index_bounds(self, blade):
+        with pytest.raises(ValueError):
+            blade.spe(16)
+        with pytest.raises(ValueError):
+            blade.chip_of(-1)
+
+    def test_chips_share_memory(self, blade):
+        blade.memory.write(0x1000, b"coherent!.......")
+        blade.spe(0).mfc.get(0, 0x1000, 16, tag=0)
+        blade.spe(15).mfc.get(0, 0x1000, 16, tag=0)
+        assert blade.spe(0).local_store.read(0, 16) == \
+            blade.spe(15).local_store.read(0, 16) == b"coherent!......."
+
+    def test_chip_of(self, blade):
+        assert blade.chip_of(0) == 0
+        assert blade.chip_of(7) == 0
+        assert blade.chip_of(8) == 1
+
+
+class TestTransfers:
+    def test_cross_chip_slower_than_on_chip(self, blade):
+        on = blade.ls_transfer_seconds(0, 1, 16 * 1024)
+        cross = blade.ls_transfer_seconds(0, 8, 16 * 1024)
+        assert cross > on
+
+    def test_cross_chip_uses_bif_rate(self, blade):
+        t = blade.ls_transfer_seconds(3, 12, 1 << 20)
+        assert t == pytest.approx((1 << 20) / BIF_BANDWIDTH)
+
+    def test_invalid_size(self, blade):
+        with pytest.raises(ValueError):
+            blade.ls_transfer_seconds(0, 1, 0)
+
+
+class TestHeadline:
+    def test_blade_reaches_81_76_gbps(self, blade):
+        """Paper §5: a dual-Cell blade reaches 81.76 Gbps."""
+        assert blade.aggregate_gbps() == pytest.approx(81.76)
+
+    def test_partial_deployments(self, blade):
+        assert blade.aggregate_gbps(tiles=8) == pytest.approx(40.88)
+        with pytest.raises(ValueError):
+            blade.aggregate_gbps(tiles=17)

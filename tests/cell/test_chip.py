@@ -1,0 +1,99 @@
+"""EIB, PPE, SPE and the chip assembly."""
+
+import pytest
+
+from repro.cell.eib import EIB, EIB_PEAK
+from repro.cell.memory import MainMemory
+from repro.cell.ppe import PPE
+from repro.cell.processor import CellProcessor, NUM_SPES
+from repro.cell.spe import SPE
+from repro.dfa import case_fold_32
+
+
+class TestEIB:
+    def test_peak_is_204_8_gbs(self):
+        eib = EIB()
+        assert eib.peak == pytest.approx(204.8e9)
+        assert eib.peak == pytest.approx(EIB_PEAK)
+
+    def test_ls_to_ls_faster_than_memory(self):
+        eib = EIB()
+        assert eib.ls_to_ls_seconds(16 * 1024) \
+            < eib.memory_seconds(16 * 1024)
+
+    def test_ring_sharing_beyond_eight_slots(self):
+        eib = EIB()
+        t8 = eib.ls_to_ls_seconds(4096, concurrent=8)
+        t16 = eib.ls_to_ls_seconds(4096, concurrent=16)
+        assert t8 == pytest.approx(eib.ls_to_ls_seconds(4096, concurrent=1))
+        assert t16 == pytest.approx(2 * t8)
+
+    def test_invalid_args(self):
+        eib = EIB()
+        with pytest.raises(ValueError):
+            eib.ls_to_ls_seconds(0)
+        with pytest.raises(ValueError):
+            eib.ls_to_ls_seconds(64, concurrent=0)
+
+
+class TestPPE:
+    def test_fold_applies_table(self):
+        ppe = PPE()
+        fold = case_fold_32()
+        out = ppe.fold(b"aAzZ@", fold.table)
+        assert out == fold.fold_bytes(b"aAzZ@")
+
+    def test_fold_rejects_bad_table(self):
+        with pytest.raises(ValueError):
+            PPE().fold(b"x", [0] * 10)
+
+    def test_interleave_matches_core_function(self):
+        from repro.core.interleave import interleave_streams
+        streams = [bytes([i] * 8) for i in range(16)]
+        assert PPE().interleave(streams) == interleave_streams(streams)
+
+    def test_slice_input_overlap(self):
+        ppe = PPE()
+        data = bytes(range(100))
+        slices = ppe.slice_input(data, parts=4, overlap=5)
+        assert len(slices) == 4
+        assert slices[0] == data[:25]
+        assert slices[1] == data[20:50]   # 5 bytes of lead-in
+        assert slices[3][-1] == data[-1]
+
+    def test_slice_input_errors(self):
+        ppe = PPE()
+        with pytest.raises(ValueError):
+            ppe.slice_input(b"abc", 0, 0)
+        with pytest.raises(ValueError):
+            ppe.slice_input(b"abc", 2, -1)
+
+    def test_cost_model_and_can_feed(self):
+        ppe = PPE()
+        assert ppe.seconds_for(0) == 0
+        assert ppe.seconds_for(12_800_000_000) == pytest.approx(1.0)
+        # 4 B/cycle * 3.2 GHz * 8 = 102.4 Gbps >= one chip's 40.88.
+        assert ppe.can_feed(40.88)
+        assert not ppe.can_feed(200.0)
+
+
+class TestChip:
+    def test_has_eight_spes(self):
+        chip = CellProcessor()
+        assert len(chip.spes) == NUM_SPES == 8
+        assert chip.spe(7).index == 7
+
+    def test_spe_index_bounds(self):
+        chip = CellProcessor()
+        with pytest.raises(ValueError):
+            chip.spe(8)
+        with pytest.raises(ValueError):
+            SPE(9, MainMemory(1 << 16))
+
+    def test_spes_share_main_memory(self):
+        chip = CellProcessor()
+        chip.memory.write(0x1000, b"shared datum....")
+        chip.spe(0).mfc.get(0, 0x1000, 16, tag=0)
+        chip.spe(5).mfc.get(0, 0x1000, 16, tag=0)
+        assert chip.spe(0).local_store.read(0, 16) == \
+            chip.spe(5).local_store.read(0, 16) == b"shared datum...."

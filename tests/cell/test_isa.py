@@ -1,0 +1,287 @@
+"""Functional semantics of the SPU instruction subset."""
+
+import pytest
+
+from repro.cell.isa import (
+    Instruction,
+    MASK128,
+    from_bytes16,
+    from_words,
+    splat_word,
+    to_bytes16,
+    word,
+)
+from repro.cell.local_store import LocalStore
+from repro.cell.spu import SPU
+
+
+def exec_one(spu, op, **kwargs):
+    inst = Instruction(op, **kwargs)
+    inst.spec.execute(spu, inst)
+    return inst
+
+
+@pytest.fixture
+def spu():
+    return SPU(LocalStore())
+
+
+# -- register value helpers ---------------------------------------------------
+
+
+class TestValueHelpers:
+    def test_word_extraction(self):
+        v = from_words(0x11111111, 0x22222222, 0x33333333, 0x44444444)
+        assert word(v, 0) == 0x11111111
+        assert word(v, 1) == 0x22222222
+        assert word(v, 2) == 0x33333333
+        assert word(v, 3) == 0x44444444
+
+    def test_from_words_masks(self):
+        v = from_words(0x1_FFFF_FFFF)  # overflowing word is masked
+        assert word(v, 0) == 0xFFFFFFFF
+
+    def test_splat(self):
+        v = splat_word(0xDEADBEEF)
+        assert all(word(v, i) == 0xDEADBEEF for i in range(4))
+
+    def test_bytes_roundtrip(self):
+        data = bytes(range(16))
+        assert to_bytes16(from_bytes16(data)) == data
+
+    def test_bytes16_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            from_bytes16(b"short")
+
+    def test_byte0_is_most_significant(self):
+        v = from_bytes16(bytes([0xAB] + [0] * 15))
+        assert word(v, 0) == 0xAB000000
+
+
+# -- immediate loads -----------------------------------------------------------
+
+
+class TestImmediates:
+    def test_il_sign_extends(self, spu):
+        exec_one(spu, "il", rt=1, imm=-5 & 0xFFFF)
+        assert word(spu.regs[1], 0) == 0xFFFFFFFB
+        assert word(spu.regs[1], 3) == 0xFFFFFFFB
+
+    def test_il_positive(self, spu):
+        exec_one(spu, "il", rt=1, imm=1234)
+        assert all(word(spu.regs[1], i) == 1234 for i in range(4))
+
+    def test_ila_unsigned_18bit(self, spu):
+        exec_one(spu, "ila", rt=1, imm=0x3FFFF)
+        assert word(spu.regs[1], 0) == 0x3FFFF
+
+    def test_ilhu_iohl_build_32bit(self, spu):
+        exec_one(spu, "ilhu", rt=1, imm=0xDEAD)
+        exec_one(spu, "iohl", rt=1, imm=0xBEEF)
+        assert word(spu.regs[1], 0) == 0xDEADBEEF
+
+
+# -- arithmetic and logicals ------------------------------------------------------
+
+
+class TestArithmetic:
+    def test_a_per_word(self, spu):
+        spu.regs[1] = from_words(1, 2, 3, 0xFFFFFFFF)
+        spu.regs[2] = from_words(10, 20, 30, 1)
+        exec_one(spu, "a", rt=3, ra=1, rb=2)
+        assert [word(spu.regs[3], i) for i in range(4)] == [11, 22, 33, 0]
+
+    def test_ai_sign_extended(self, spu):
+        spu.regs[1] = splat_word(100)
+        exec_one(spu, "ai", rt=2, ra=1, imm=-1)
+        assert word(spu.regs[2], 0) == 99
+
+    def test_sf_subtract_from(self, spu):
+        spu.regs[1] = splat_word(3)
+        spu.regs[2] = splat_word(10)
+        exec_one(spu, "sf", rt=3, ra=1, rb=2)  # rt = rb - ra
+        assert word(spu.regs[3], 0) == 7
+
+    def test_and_or_xor_andc(self, spu):
+        spu.regs[1] = splat_word(0b1100)
+        spu.regs[2] = splat_word(0b1010)
+        exec_one(spu, "and_", rt=3, ra=1, rb=2)
+        exec_one(spu, "or_", rt=4, ra=1, rb=2)
+        exec_one(spu, "xor_", rt=5, ra=1, rb=2)
+        exec_one(spu, "andc", rt=6, ra=1, rb=2)
+        assert word(spu.regs[3], 0) == 0b1000
+        assert word(spu.regs[4], 0) == 0b1110
+        assert word(spu.regs[5], 0) == 0b0110
+        assert word(spu.regs[6], 0) == 0b0100
+
+    def test_andi_clears_flag_bit(self, spu):
+        """The kernel's `andi rt, ra, -2` strips the final-state tag."""
+        spu.regs[1] = splat_word(0x00012345)
+        exec_one(spu, "andi", rt=2, ra=1, imm=-2)
+        assert word(spu.regs[2], 0) == 0x00012344
+
+    def test_andi_extracts_flag_bit(self, spu):
+        spu.regs[1] = splat_word(0x00012345)
+        exec_one(spu, "andi", rt=2, ra=1, imm=1)
+        assert word(spu.regs[2], 0) == 1
+
+    def test_andbi_per_byte(self, spu):
+        spu.regs[1] = from_bytes16(bytes(range(16)))
+        exec_one(spu, "andbi", rt=2, ra=1, imm=0x0E)
+        assert to_bytes16(spu.regs[2]) == bytes(b & 0x0E for b in range(16))
+
+
+class TestCompares:
+    def test_ceq(self, spu):
+        spu.regs[1] = from_words(5, 6, 7, 8)
+        spu.regs[2] = from_words(5, 0, 7, 0)
+        exec_one(spu, "ceq", rt=3, ra=1, rb=2)
+        assert [word(spu.regs[3], i) for i in range(4)] == \
+            [0xFFFFFFFF, 0, 0xFFFFFFFF, 0]
+
+    def test_ceqi(self, spu):
+        spu.regs[1] = from_words(5, 3, 5, 5)
+        exec_one(spu, "ceqi", rt=2, ra=1, imm=5)
+        assert word(spu.regs[2], 1) == 0
+
+    def test_cgt_signed(self, spu):
+        spu.regs[1] = from_words(1, 0xFFFFFFFF, 5, 0)   # 1, -1, 5, 0
+        spu.regs[2] = from_words(0, 0, 5, 0xFFFFFFFF)   # 0, 0, 5, -1
+        exec_one(spu, "cgt", rt=3, ra=1, rb=2)
+        assert [word(spu.regs[3], i) for i in range(4)] == \
+            [0xFFFFFFFF, 0, 0, 0xFFFFFFFF]
+
+    def test_cgti(self, spu):
+        spu.regs[1] = splat_word(4)
+        exec_one(spu, "cgti", rt=2, ra=1, imm=3)
+        assert word(spu.regs[2], 0) == 0xFFFFFFFF
+
+
+class TestShifts:
+    def test_shli(self, spu):
+        spu.regs[1] = splat_word(0x13)
+        exec_one(spu, "shli", rt=2, ra=1, imm=2)
+        assert word(spu.regs[2], 0) == 0x4C
+
+    def test_shli_large_amount_zeroes(self, spu):
+        spu.regs[1] = splat_word(0xFFFFFFFF)
+        exec_one(spu, "shli", rt=2, ra=1, imm=32)
+        assert spu.regs[2] == 0
+
+    def test_shli_packed_offsets_no_cross_byte_garbage(self, spu):
+        """The Figure-4 trick: symbols < 32 shifted left 2 stay inside
+        their byte lanes."""
+        syms = bytes([31, 0, 17, 5] * 4)
+        spu.regs[1] = from_bytes16(syms)
+        exec_one(spu, "shli", rt=2, ra=1, imm=2)
+        assert to_bytes16(spu.regs[2]) == bytes(s << 2 for s in syms)
+
+    def test_rotmi_shifts_right(self, spu):
+        spu.regs[1] = splat_word(0xAB000000)
+        exec_one(spu, "rotmi", rt=2, ra=1, imm=24)
+        assert word(spu.regs[2], 0) == 0xAB
+
+    def test_roti_rotates(self, spu):
+        spu.regs[1] = splat_word(0x80000001)
+        exec_one(spu, "roti", rt=2, ra=1, imm=1)
+        assert word(spu.regs[2], 0) == 0x00000003
+
+
+# -- odd pipe: loads, stores, shuffles -----------------------------------------------
+
+
+class TestLoadsStores:
+    def test_lqd_aligned(self, spu):
+        spu.local_store.write(0x100, bytes(range(16)))
+        spu.regs[1] = splat_word(0x100)
+        exec_one(spu, "lqd", rt=2, ra=1, imm=0)
+        assert to_bytes16(spu.regs[2]) == bytes(range(16))
+
+    def test_lqd_displacement(self, spu):
+        spu.local_store.write(0x110, b"B" * 16)
+        spu.regs[1] = splat_word(0x100)
+        exec_one(spu, "lqd", rt=2, ra=1, imm=16)
+        assert to_bytes16(spu.regs[2]) == b"B" * 16
+
+    def test_lqx_force_aligns(self, spu):
+        spu.local_store.write(0x100, bytes(range(16)))
+        spu.regs[1] = splat_word(0x0FC)
+        spu.regs[2] = splat_word(0x00B)  # 0xFC + 0xB = 0x107 -> 0x100
+        exec_one(spu, "lqx", rt=3, ra=1, rb=2)
+        assert to_bytes16(spu.regs[3]) == bytes(range(16))
+
+    def test_stqd_roundtrip(self, spu):
+        spu.regs[1] = splat_word(0x200)
+        spu.regs[2] = from_bytes16(b"0123456789abcdef")
+        exec_one(spu, "stqd", rt=2, ra=1, imm=0)
+        assert spu.local_store.read(0x200, 16) == b"0123456789abcdef"
+
+    def test_stqx(self, spu):
+        spu.regs[1] = splat_word(0x200)
+        spu.regs[2] = splat_word(0x40)
+        spu.regs[3] = from_bytes16(b"X" * 16)
+        exec_one(spu, "stqx", rt=3, ra=1, rb=2)
+        assert spu.local_store.read(0x240, 16) == b"X" * 16
+
+
+class TestQuadwordByteOps:
+    def test_rotqbyi_moves_byte_i_to_front(self, spu):
+        data = bytes(range(16))
+        spu.regs[1] = from_bytes16(data)
+        for i in range(16):
+            exec_one(spu, "rotqbyi", rt=2, ra=1, imm=i)
+            assert to_bytes16(spu.regs[2])[0] == i
+
+    def test_rotqby_uses_preferred_slot_mod_16(self, spu):
+        data = bytes(range(16))
+        spu.regs[1] = from_bytes16(data)
+        spu.regs[2] = splat_word(19)  # 19 mod 16 = 3
+        exec_one(spu, "rotqby", rt=3, ra=1, rb=2)
+        assert to_bytes16(spu.regs[3])[0] == 3
+
+    def test_shufb_selects_from_both_sources(self, spu):
+        spu.regs[1] = from_bytes16(bytes(range(16)))          # 0..15
+        spu.regs[2] = from_bytes16(bytes(range(16, 32)))      # 16..31
+        pattern = bytes([0x00, 0x10, 0x0F, 0x1F] + [0x80] * 12)
+        spu.regs[3] = from_bytes16(pattern)
+        exec_one(spu, "shufb", rt=4, ra=1, rb=2, rc=3)
+        out = to_bytes16(spu.regs[4])
+        assert out[:4] == bytes([0, 16, 15, 31])
+        assert out[4:] == bytes(12)
+
+    def test_shufb_special_constants(self, spu):
+        spu.regs[1] = from_bytes16(b"\xaa" * 16)
+        spu.regs[2] = from_bytes16(b"\xbb" * 16)
+        pattern = bytes([0x80, 0xC0, 0xE0] + [0x00] * 13)
+        spu.regs[3] = from_bytes16(pattern)
+        exec_one(spu, "shufb", rt=4, ra=1, rb=2, rc=3)
+        out = to_bytes16(spu.regs[4])
+        assert out[0] == 0x00
+        assert out[1] == 0xFF
+        assert out[2] == 0x80
+
+    def test_orx_reduces_words(self, spu):
+        spu.regs[1] = from_words(0x1, 0x2, 0x4, 0x8)
+        exec_one(spu, "orx", rt=2, ra=1)
+        assert word(spu.regs[2], 0) == 0xF
+        assert word(spu.regs[2], 1) == 0
+
+
+class TestInstructionMetadata:
+    def test_sources_include_store_data(self):
+        inst = Instruction("stqd", rt=5, ra=1, imm=0)
+        assert 5 in inst.sources()
+        assert inst.destination() is None
+
+    def test_sources_include_branch_condition(self):
+        inst = Instruction("brnz", rt=7, target="x")
+        assert 7 in inst.sources()
+
+    def test_load_destination(self):
+        inst = Instruction("lqd", rt=9, ra=1, imm=0)
+        assert inst.destination() == 9
+
+    def test_render_contains_opcode_and_registers(self):
+        inst = Instruction("a", rt=3, ra=1, rb=2, comment="sum")
+        text = inst.render()
+        assert "a" in text and "r3" in text and "sum" in text

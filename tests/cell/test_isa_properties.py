@@ -1,0 +1,145 @@
+"""Property-based checks of the SPU ISA against Python-semantics oracles."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cell.isa import (
+    Instruction,
+    from_bytes16,
+    from_words,
+    to_bytes16,
+    word,
+)
+from repro.cell.local_store import LocalStore
+from repro.cell.spu import SPU
+
+regval = st.integers(min_value=0, max_value=(1 << 128) - 1)
+word32 = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+
+def run_op(op, a=None, b=None, c=None, imm=None):
+    spu = SPU(LocalStore())
+    if a is not None:
+        spu.regs[1] = a
+    if b is not None:
+        spu.regs[2] = b
+    if c is not None:
+        spu.regs[3] = c
+    inst = Instruction(op, rt=4, ra=1 if a is not None else None,
+                       rb=2 if b is not None else None,
+                       rc=3 if c is not None else None, imm=imm)
+    inst.spec.execute(spu, inst)
+    return spu.regs[4]
+
+
+class TestWordHelpers:
+    @given(word32, word32, word32, word32)
+    def test_from_words_word_roundtrip(self, w0, w1, w2, w3):
+        v = from_words(w0, w1, w2, w3)
+        assert [word(v, i) for i in range(4)] == [w0, w1, w2, w3]
+
+    @given(regval)
+    def test_bytes_roundtrip(self, v):
+        assert from_bytes16(to_bytes16(v)) == v
+
+
+class TestArithmeticOracle:
+    @given(regval, regval)
+    def test_a_is_per_word_modular_add(self, a, b):
+        out = run_op("a", a=a, b=b)
+        for i in range(4):
+            assert word(out, i) == (word(a, i) + word(b, i)) & 0xFFFFFFFF
+
+    @given(regval, regval)
+    def test_sf_is_per_word_subtract_from(self, a, b):
+        out = run_op("sf", a=a, b=b)
+        for i in range(4):
+            assert word(out, i) == (word(b, i) - word(a, i)) & 0xFFFFFFFF
+
+    @given(regval, regval)
+    def test_logicals_oracle(self, a, b):
+        assert run_op("and_", a=a, b=b) == a & b
+        assert run_op("or_", a=a, b=b) == a | b
+        assert run_op("xor_", a=a, b=b) == a ^ b
+        assert run_op("andc", a=a, b=b) == a & ~b & ((1 << 128) - 1)
+
+    @given(regval, st.integers(min_value=0, max_value=31))
+    def test_shli_oracle(self, a, amt):
+        out = run_op("shli", a=a, imm=amt)
+        for i in range(4):
+            assert word(out, i) == (word(a, i) << amt) & 0xFFFFFFFF
+
+    @given(regval, st.integers(min_value=0, max_value=31))
+    def test_rotmi_oracle(self, a, amt):
+        out = run_op("rotmi", a=a, imm=amt)
+        for i in range(4):
+            assert word(out, i) == word(a, i) >> amt
+
+    @given(regval, st.integers(min_value=0, max_value=31))
+    def test_roti_oracle(self, a, amt):
+        out = run_op("roti", a=a, imm=amt)
+        for i in range(4):
+            w = word(a, i)
+            expected = ((w << amt) | (w >> (32 - amt))) & 0xFFFFFFFF \
+                if amt else w
+            assert word(out, i) == expected
+
+
+class TestQuadwordOracle:
+    @given(regval, st.integers(min_value=0, max_value=31))
+    def test_rotqbyi_oracle(self, a, amt):
+        out = run_op("rotqbyi", a=a, imm=amt)
+        data = to_bytes16(a)
+        expected = bytes(data[(i + amt) % 16] for i in range(16))
+        assert to_bytes16(out) == expected
+
+    @given(regval, word32)
+    def test_rotqby_uses_mod_16(self, a, count):
+        b = from_words(count, 0, 0, 0)
+        out = run_op("rotqby", a=a, b=b)
+        data = to_bytes16(a)
+        amt = count % 16
+        expected = bytes(data[(i + amt) % 16] for i in range(16))
+        assert to_bytes16(out) == expected
+
+    @given(regval, regval, st.lists(st.integers(min_value=0, max_value=31),
+                                    min_size=16, max_size=16))
+    def test_shufb_selector_oracle(self, a, b, pattern):
+        pat = from_bytes16(bytes(pattern))
+        out = run_op("shufb", a=a, b=b, c=pat)
+        src = to_bytes16(a) + to_bytes16(b)
+        assert to_bytes16(out) == bytes(src[p] for p in pattern)
+
+    @given(regval)
+    def test_orx_oracle(self, a):
+        out = run_op("orx", a=a)
+        expected = word(a, 0) | word(a, 1) | word(a, 2) | word(a, 3)
+        assert word(out, 0) == expected
+        assert word(out, 1) == word(out, 2) == word(out, 3) == 0
+
+
+class TestMemoryOracle:
+    @given(st.binary(min_size=16, max_size=16),
+           st.integers(min_value=0, max_value=1000))
+    def test_store_load_roundtrip(self, payload, slot):
+        spu = SPU(LocalStore())
+        addr = slot * 16
+        spu.regs[1] = from_words(addr, 0, 0, 0)
+        spu.regs[2] = from_bytes16(payload)
+        st_inst = Instruction("stqd", rt=2, ra=1, imm=0)
+        st_inst.spec.execute(spu, st_inst)
+        ld_inst = Instruction("lqd", rt=3, ra=1, imm=0)
+        ld_inst.spec.execute(spu, ld_inst)
+        assert spu.regs[3] == spu.regs[2]
+
+    @given(st.integers(min_value=0, max_value=0x3FFF0))
+    def test_lqx_force_alignment(self, addr):
+        spu = SPU(LocalStore())
+        marker = bytes(range(16))
+        aligned = addr & ~0xF
+        spu.local_store.write(aligned, marker)
+        spu.regs[1] = from_words(addr, 0, 0, 0)
+        spu.regs[2] = 0
+        inst = Instruction("lqx", rt=3, ra=1, rb=2)
+        inst.spec.execute(spu, inst)
+        assert to_bytes16(spu.regs[3]) == marker

@@ -1,0 +1,93 @@
+"""Local store: capacity, alignment, allocator."""
+
+import pytest
+
+from repro.cell.local_store import LS_SIZE, LocalStore, LocalStoreError
+
+
+class TestRawAccess:
+    def test_capacity_is_256k(self):
+        assert LS_SIZE == 262144
+        assert LocalStore().size == LS_SIZE
+
+    def test_write_read_roundtrip(self):
+        ls = LocalStore()
+        ls.write(0x1000, b"hello world pad!")
+        assert ls.read(0x1000, 16) == b"hello world pad!"
+
+    def test_write_out_of_bounds(self):
+        ls = LocalStore()
+        with pytest.raises(LocalStoreError, match="out of bounds"):
+            ls.write(LS_SIZE - 4, b"too long")
+
+    def test_read_out_of_bounds(self):
+        ls = LocalStore()
+        with pytest.raises(LocalStoreError):
+            ls.read(LS_SIZE, 1)
+
+    def test_negative_address_rejected(self):
+        ls = LocalStore()
+        with pytest.raises(LocalStoreError):
+            ls.read(-1, 4)
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(LocalStoreError):
+            LocalStore(size=100)  # not multiple of 16
+        with pytest.raises(LocalStoreError):
+            LocalStore(size=0)
+
+
+class TestAllocator:
+    def test_alloc_respects_alignment(self):
+        ls = LocalStore()
+        ls.alloc("a", 10)
+        region = ls.alloc("b", 100, align=128)
+        assert region.start % 128 == 0
+
+    def test_alloc_sequential(self):
+        ls = LocalStore()
+        a = ls.alloc("a", 32)
+        b = ls.alloc("b", 32)
+        assert b.start >= a.end
+
+    def test_duplicate_name_rejected(self):
+        ls = LocalStore()
+        ls.alloc("x", 16)
+        with pytest.raises(LocalStoreError, match="already allocated"):
+            ls.alloc("x", 16)
+
+    def test_overflow_rejected_with_free_bytes(self):
+        ls = LocalStore()
+        ls.alloc("big", LS_SIZE - 64)
+        with pytest.raises(LocalStoreError, match="exceeds"):
+            ls.alloc("more", 128)
+
+    def test_bad_alignment_rejected(self):
+        ls = LocalStore()
+        with pytest.raises(LocalStoreError, match="power of two"):
+            ls.alloc("x", 16, align=24)
+
+    def test_region_lookup_and_contains(self):
+        ls = LocalStore()
+        region = ls.alloc("stt", 256)
+        assert ls.region("stt") == region
+        assert region.start in region
+        assert region.end not in region
+
+    def test_unknown_region(self):
+        ls = LocalStore()
+        with pytest.raises(LocalStoreError, match="no region"):
+            ls.region("ghost")
+
+    def test_bytes_free_decreases(self):
+        ls = LocalStore()
+        before = ls.bytes_free
+        ls.alloc("x", 1024)
+        assert ls.bytes_free == before - 1024
+
+    def test_usage_map_lists_regions(self):
+        ls = LocalStore()
+        ls.alloc("code_stack", 1024)
+        ls.alloc("stt", 2048)
+        text = ls.usage_map()
+        assert "code_stack" in text and "stt" in text and "free" in text

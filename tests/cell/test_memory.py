@@ -1,0 +1,85 @@
+"""Main memory and the Figure-2 bandwidth model."""
+
+import pytest
+
+from repro.cell.memory import (
+    BandwidthModel,
+    HEAVY_TRAFFIC_AGGREGATE,
+    MainMemory,
+    MemoryError_,
+)
+
+
+class TestBandwidthModel:
+    def setup_method(self):
+        self.bw = BandwidthModel()
+
+    def test_small_blocks_waste_bandwidth(self):
+        """Figure 2's core message: tiny blocks cannot amortize the bus
+        negotiation overhead."""
+        assert self.bw.per_spe_uncontended(64) \
+            < self.bw.per_spe_uncontended(256) \
+            < self.bw.per_spe_uncontended(4096)
+
+    def test_large_blocks_approach_link_rate(self):
+        assert self.bw.per_spe_uncontended(64 * 1024) \
+            > 0.9 * self.bw.spe_link
+
+    def test_aggregate_saturates_at_heavy_traffic_value(self):
+        """8 SPEs moving >=512-byte blocks hit the arbiter's 22.05 GB/s."""
+        assert self.bw.aggregate(8, 512) == \
+            pytest.approx(HEAVY_TRAFFIC_AGGREGATE)
+        assert self.bw.aggregate(8, 16 * 1024) == \
+            pytest.approx(HEAVY_TRAFFIC_AGGREGATE)
+
+    def test_aggregate_monotone_in_spes_until_saturation(self):
+        values = [self.bw.aggregate(p, 4096) for p in range(1, 9)]
+        assert all(b >= a - 1e-6 for a, b in zip(values, values[1:]))
+
+    def test_256_byte_blocks_are_close_to_peak(self):
+        """Paper: 'bandwidth values close to the peak can be reached only
+        when transferred blocks are at least 256 bytes or larger'."""
+        agg = self.bw.aggregate(8, 256)
+        assert agg > 0.85 * HEAVY_TRAFFIC_AGGREGATE
+
+    def test_64_byte_blocks_are_far_from_peak(self):
+        agg = self.bw.aggregate(8, 64)
+        assert agg < 0.6 * HEAVY_TRAFFIC_AGGREGATE
+
+    def test_worst_case_per_spe_is_2_76_gbs(self):
+        """The per-SPE figure the paper's schedules assume (22.05/8)."""
+        per = self.bw.per_spe(8, 16 * 1024)
+        assert per == pytest.approx(2.76e9, rel=0.01)
+
+    def test_transfer_seconds_16k_matches_paper(self):
+        """16 KB at 2.76 GB/s = 5.94 us (Figure 5)."""
+        t = self.bw.transfer_seconds(16 * 1024)
+        assert t == pytest.approx(5.94e-6, rel=0.01)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            self.bw.per_spe_uncontended(0)
+        with pytest.raises(ValueError):
+            self.bw.aggregate(0, 64)
+        with pytest.raises(ValueError):
+            self.bw.aggregate(9, 64)
+        with pytest.raises(ValueError):
+            self.bw.transfer_seconds(0)
+
+
+class TestMainMemory:
+    def test_roundtrip(self):
+        mem = MainMemory(1 << 20)
+        mem.write(0x8000, b"payload")
+        assert mem.read(0x8000, 7) == b"payload"
+
+    def test_bounds(self):
+        mem = MainMemory(1 << 16)
+        with pytest.raises(MemoryError_):
+            mem.write((1 << 16) - 2, b"xxxx")
+        with pytest.raises(MemoryError_):
+            mem.read(1 << 16, 1)
+
+    def test_bad_size(self):
+        with pytest.raises(MemoryError_):
+            MainMemory(0)

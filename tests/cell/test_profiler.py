@@ -1,0 +1,92 @@
+"""Kernel profiler: per-instruction counts, opcode mix, issue bounds."""
+
+import pytest
+
+from repro.cell.profiler import KernelProfile, profile
+from repro.cell.program import Asm
+from repro.cell.spu import SPU
+from repro.core.planner import plan_tile
+from repro.core.tile import DFATile
+from repro.dfa import build_dfa
+
+PATTERNS = [bytes([1, 2, 3]), bytes([4, 5])]
+
+
+def small_loop(n=10):
+    asm = Asm()
+    asm.hbr("loop")
+    asm.il(1, 0)
+    asm.il(2, n)
+    asm.label("loop")
+    asm.a(1, 1, 2)       # even
+    asm.lnop()           # odd
+    asm.ai(2, 2, -1)
+    asm.brnz(2, "loop")
+    asm.stop()
+    return asm.finish()
+
+
+class TestProfileBasics:
+    def test_execution_counts_match_loop_trips(self):
+        prog = small_loop(10)
+        prof = profile(SPU(), prog)
+        counts = prof.stats.execution_counts
+        loop_body_index = prog.labels["loop"]
+        assert counts[loop_body_index] == 10
+
+    def test_opcode_histogram(self):
+        prof = profile(SPU(), small_loop(5))
+        assert prof.opcode_counts["a"] == 5
+        assert prof.opcode_counts["brnz"] == 5
+        assert prof.opcode_counts["il"] == 2
+
+    def test_dynamic_total_matches_stats(self):
+        prof = profile(SPU(), small_loop(7))
+        assert prof.dynamic_instructions == prof.stats.instructions
+
+    def test_pipe_counts_sum(self):
+        prof = profile(SPU(), small_loop(4))
+        from repro.cell.isa import EVEN, ODD
+        assert prof.pipe_counts[EVEN] + prof.pipe_counts[ODD] == \
+            prof.dynamic_instructions
+
+    def test_issue_bound_below_cycles(self):
+        prof = profile(SPU(), small_loop(20))
+        assert prof.issue_bound_cycles <= prof.stats.cycles
+        assert 0 < prof.schedule_efficiency <= 1.0
+
+    def test_hot_sorted_descending(self):
+        prof = profile(SPU(), small_loop(9))
+        counts = [c for _, c, _ in prof.hot]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_render_mentions_mix_and_hotspots(self):
+        prof = profile(SPU(), small_loop(3))
+        text = prof.render()
+        assert "opcode mix" in text
+        assert "hottest" in text
+        assert "pipe balance" in text
+
+    def test_profile_off_by_default(self):
+        stats = SPU().run(small_loop(3))
+        assert stats.execution_counts is None
+
+
+class TestProfileKernel:
+    def test_dfa_kernel_profile_shape(self):
+        """The peak kernel's dynamic mix: loads + rotates on the odd pipe,
+        adds/ands on the even pipe; STT loads dominate the odd pipe."""
+        tile = DFATile(build_dfa(PATTERNS, 32),
+                       plan=plan_tile(buffer_bytes=1024))
+        kernel = tile.kernel_for(96, version=4)
+        kernel.write_start_states(tile.local_store)
+        tile.local_store.write(kernel.input_base, bytes(96))
+        tile.spu.reset()
+        prof = profile(tile.spu, kernel.program)
+        # per transition: rotmi, a, andi, andi, a (even);
+        # rotqbyi, lqx, rotqby (odd)
+        assert prof.opcode_counts["lqx"] >= 96
+        assert prof.opcode_counts["andi"] >= 2 * 96
+        assert 0.55 < prof.even_fraction < 0.70
+        # Efficiency should be high for the unrolled kernel.
+        assert prof.schedule_efficiency > 0.75

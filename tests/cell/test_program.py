@@ -1,0 +1,110 @@
+"""Assembler and program container."""
+
+import pytest
+
+from repro.cell.isa import EVEN, ODD
+from repro.cell.program import Asm, AssemblyError
+
+
+class TestAsmValidation:
+    def test_register_out_of_range(self):
+        asm = Asm()
+        with pytest.raises(AssemblyError, match="out of range"):
+            asm.il(128, 0)
+
+    def test_duplicate_label(self):
+        asm = Asm()
+        asm.label("x")
+        with pytest.raises(AssemblyError, match="duplicate"):
+            asm.label("x")
+
+    def test_unresolved_branch_target(self):
+        asm = Asm()
+        asm.br("nowhere")
+        asm.stop()
+        with pytest.raises(AssemblyError, match="unresolved"):
+            asm.finish()
+
+    def test_lqd_alignment_enforced(self):
+        asm = Asm()
+        with pytest.raises(AssemblyError, match="aligned"):
+            asm.lqd(1, 2, 8)
+
+    def test_stqd_alignment_enforced(self):
+        asm = Asm()
+        with pytest.raises(AssemblyError, match="aligned"):
+            asm.stqd(1, 2, 24)
+
+
+class TestHints:
+    def test_hbr_marks_branches(self):
+        asm = Asm()
+        asm.hbr("loop")
+        asm.label("loop")
+        asm.il(1, 0)
+        asm.brz(1, "loop")
+        asm.stop()
+        prog = asm.finish()
+        branches = [i for i in prog.instructions if i.spec.is_branch]
+        assert branches and all(b.hinted for b in branches)
+
+    def test_unhinted_branch_stays_unhinted(self):
+        asm = Asm()
+        asm.label("loop")
+        asm.il(1, 0)
+        asm.brz(1, "loop")
+        asm.stop()
+        prog = asm.finish()
+        branches = [i for i in prog.instructions if i.spec.is_branch]
+        assert branches and not any(b.hinted for b in branches)
+
+
+class TestProgramQueries:
+    def _prog(self):
+        asm = Asm()
+        asm.il(1, 0)        # even
+        asm.lnop()          # odd
+        asm.a(2, 1, 1)      # even
+        asm.lqd(3, 1, 0)    # odd
+        asm.stop()          # even
+        return asm.finish()
+
+    def test_len_and_iter(self):
+        prog = self._prog()
+        assert len(prog) == 5
+        assert len(list(prog)) == 5
+
+    def test_registers_used(self):
+        prog = self._prog()
+        assert prog.registers_used() == 3  # r1, r2, r3
+
+    def test_pipe_mix(self):
+        mix = self._prog().pipe_mix()
+        assert mix[EVEN] == 3
+        assert mix[ODD] == 2
+
+    def test_listing_contains_labels_and_pipes(self):
+        asm = Asm()
+        asm.label("entry")
+        asm.il(1, 7, "seed")
+        asm.stop()
+        text = asm.finish().listing()
+        assert "entry:" in text
+        assert "[e]" in text
+        assert "seed" in text
+
+    def test_branch_targets_resolved_to_indices(self):
+        asm = Asm()
+        asm.label("top")
+        asm.il(1, 0)
+        asm.br("top")
+        asm.stop()
+        prog = asm.finish()
+        br = prog.instructions[1]
+        assert br.target_index == 0
+
+    def test_unknown_opcode_rejected(self):
+        from repro.cell.isa import Instruction
+        asm = Asm()
+        with pytest.raises(AssemblyError, match="unknown opcode"):
+            asm.raw(Instruction("frobnicate"))

@@ -1,0 +1,202 @@
+"""The SPU timing model: issue rules, stalls, dual issue, branch costs."""
+
+import pytest
+
+from repro.cell.isa import splat_word, word
+from repro.cell.program import Asm
+from repro.cell.spu import BRANCH_PENALTY, CLOCK_HZ, SPU, SPUError, SPUStats
+
+
+def run(build):
+    asm = Asm()
+    build(asm)
+    asm.stop()
+    spu = SPU()
+    stats = spu.run(asm.finish())
+    return spu, stats
+
+
+class TestFunctionalExecution:
+    def test_simple_loop_sum(self):
+        def body(asm):
+            asm.il(1, 0)
+            asm.il(2, 10)
+            asm.hbr("loop")
+            asm.label("loop")
+            asm.a(1, 1, 2)
+            asm.ai(2, 2, -1)
+            asm.brnz(2, "loop")
+        spu, stats = run(body)
+        assert word(spu.get_reg(1), 0) == 55
+        assert stats.branches_taken == 9
+
+    def test_memory_roundtrip_through_program(self):
+        def body(asm):
+            asm.ila(1, 0x300)
+            asm.il(2, 0x42)
+            asm.stqd(2, 1, 0)
+            asm.lqd(3, 1, 0)
+        spu, stats = run(body)
+        assert word(spu.get_reg(3), 0) == 0x42
+
+    def test_set_get_reg_bounds(self):
+        spu = SPU()
+        with pytest.raises(SPUError):
+            spu.set_reg(128, 0)
+        with pytest.raises(SPUError):
+            spu.get_reg(-1)
+
+    def test_reset_clears_registers(self):
+        spu = SPU()
+        spu.set_reg(5, splat_word(7))
+        spu.reset()
+        assert spu.get_reg(5) == 0
+
+    def test_empty_program_rejected(self):
+        from repro.cell.program import Program
+        with pytest.raises(SPUError):
+            SPU().run(Program([], {}))
+
+    def test_runaway_program_detected(self):
+        asm = Asm()
+        asm.label("forever")
+        asm.hbr("forever")
+        asm.br("forever")
+        asm.stop()
+        with pytest.raises(SPUError, match="runaway"):
+            SPU().run(asm.finish(), max_cycles=1000)
+
+
+class TestTimingModel:
+    def test_dependency_stall_on_latency(self):
+        """A dependent instruction waits for the producer's latency."""
+        def body(asm):
+            asm.il(1, 1)            # latency 2
+            asm.a(2, 1, 1)          # depends on r1
+        _, stats = run(body)
+        assert stats.stall_cycles >= 1
+
+    def test_independent_instructions_do_not_stall(self):
+        def body(asm):
+            asm.il(1, 1)
+            asm.il(2, 2)
+            asm.il(3, 3)
+            asm.il(4, 4)
+        _, stats = run(body)
+        assert stats.stall_cycles == 0
+
+    def test_dual_issue_even_odd_pair(self):
+        """Adjacent even+odd independent instructions share a cycle."""
+        def body(asm):
+            asm.il(1, 1)            # even
+            asm.lnop()              # odd
+            asm.il(2, 2)            # even
+            asm.lnop()              # odd
+        _, stats = run(body)
+        assert stats.dual_issue_cycles >= 2
+
+    def test_no_dual_issue_same_pipe(self):
+        def body(asm):
+            asm.il(1, 1)
+            asm.il(2, 2)
+        _, stats = run(body)
+        assert stats.dual_issue_cycles == 0
+
+    def test_no_dual_issue_on_dependency(self):
+        def body(asm):
+            asm.il(1, 5)            # even
+            asm.rotqbyi(2, 1, 1)    # odd, depends on r1 -> cannot pair
+        _, stats = run(body)
+        # The dependent pair cannot share a cycle: the consumer waits out
+        # the producer's 2-cycle latency (it may still pair with `stop`).
+        assert stats.stall_cycles >= 1
+        assert stats.cycles >= 3
+
+    def test_unhinted_branch_pays_penalty(self):
+        asm = Asm()
+        asm.il(1, 1)
+        asm.label("skip_target")  # placed before so branch is backwards
+        asm.ai(1, 1, 0)
+        asm.ceqi(2, 1, 99)
+        asm.brz(2, "out")         # forward, taken, unhinted
+        asm.nop()
+        asm.label("out")
+        asm.stop()
+        stats = SPU().run(asm.finish())
+        assert stats.branch_penalty_cycles == BRANCH_PENALTY
+
+    def test_hinted_branch_is_free(self):
+        asm = Asm()
+        asm.hbr("out")
+        asm.il(1, 0)
+        asm.brz(1, "out")
+        asm.nop()
+        asm.label("out")
+        asm.stop()
+        stats = SPU().run(asm.finish())
+        assert stats.branch_penalty_cycles == 0
+
+    def test_not_taken_branch_no_penalty(self):
+        asm = Asm()
+        asm.il(1, 5)
+        asm.brz(1, "out")   # r1 != 0: not taken
+        asm.nop()
+        asm.label("out")
+        asm.stop()
+        stats = SPU().run(asm.finish())
+        assert stats.branch_penalty_cycles == 0
+
+    def test_load_latency_longer_than_alu(self):
+        def load_then_use(asm):
+            asm.ila(1, 0x100)
+            asm.nop()
+            asm.nop()
+            asm.lqd(2, 1, 0)
+            asm.ai(3, 2, 0)
+        _, s_load = run(load_then_use)
+
+        def alu_then_use(asm):
+            asm.ila(1, 0x100)
+            asm.nop()
+            asm.nop()
+            asm.ai(2, 1, 1)
+            asm.ai(3, 2, 0)
+        _, s_alu = run(alu_then_use)
+        assert s_load.stall_cycles > s_alu.stall_cycles
+
+
+class TestStats:
+    def test_cpi_and_percentages_consistent(self):
+        def body(asm):
+            asm.il(1, 1)
+            asm.lnop()
+            asm.il(2, 2)
+            asm.a(3, 1, 2)
+        _, stats = run(body)
+        assert stats.cpi == stats.cycles / stats.instructions
+        assert 0 <= stats.dual_issue_pct <= 100
+        assert 0 <= stats.stall_pct <= 100
+
+    def test_issue_cycle_accounting_covers_instructions(self):
+        def body(asm):
+            for i in range(1, 10):
+                asm.il(i, i)
+        _, stats = run(body)
+        issued = stats.dual_issue_cycles * 2 + stats.single_issue_cycles
+        assert issued == stats.instructions
+
+    def test_cycles_per_and_throughput(self):
+        stats = SPUStats(cycles=3200, instructions=1000)
+        assert stats.cycles_per(100) == 32.0
+        assert stats.seconds() == pytest.approx(3200 / CLOCK_HZ)
+        assert stats.actions_per_second(3200) == pytest.approx(CLOCK_HZ)
+
+    def test_cycles_per_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            SPUStats(cycles=10, instructions=5).cycles_per(0)
+
+    def test_empty_stats_safe(self):
+        stats = SPUStats()
+        assert stats.cpi == 0.0
+        assert stats.dual_issue_pct == 0.0
+        assert stats.stall_pct == 0.0

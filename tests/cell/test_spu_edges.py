@@ -1,0 +1,161 @@
+"""SPU timing-model edge cases beyond the basic issue rules."""
+
+import pytest
+
+from repro.cell.isa import from_words, splat_word, word
+from repro.cell.program import Asm
+from repro.cell.spu import BRANCH_PENALTY, SPU, SPUError
+
+
+def run(build, **kwargs):
+    asm = Asm()
+    build(asm)
+    asm.stop()
+    spu = SPU()
+    stats = spu.run(asm.finish(), **kwargs)
+    return spu, stats
+
+
+class TestDualIssueEdges:
+    def test_waw_pair_does_not_dual_issue(self):
+        """Two writers of the same register must not share a cycle (the
+        later write wins and must be ordered)."""
+        def body(asm):
+            asm.il(1, 5)        # even, writes r1
+            asm.lqd(1, 0, 0)    # odd, also writes r1
+            asm.nop()
+            asm.nop()
+        spu, stats = run(body)
+        # Had the WAW pair shared a cycle the run would finish in 3
+        # cycles (il+lqd, nop, nop+stop-blocked...); the in-order split
+        # costs one more.  The later write (the load of LS zeros) wins.
+        assert stats.cycles == 4
+        assert spu.get_reg(1) == 0
+
+    def test_war_pair_may_dual_issue(self):
+        """Reader and later writer of the same register can pair: the
+        reader sees the old value (in-order read at issue)."""
+        def body(asm):
+            asm.il(5, 3)
+            asm.nop()
+            asm.lnop()
+            asm.ai(6, 5, 1)     # even, reads r5
+            asm.lqd(5, 0, 0)    # odd, writes r5
+        spu, stats = run(body)
+        assert word(spu.get_reg(6), 0) == 4   # read old r5
+
+    def test_taken_branch_blocks_pairing_with_target(self):
+        def body(asm):
+            asm.hbr("t")
+            asm.il(1, 0)
+            asm.br("t")
+            asm.il(2, 99)      # skipped
+            asm.label("t")
+            asm.il(3, 7)
+        spu, stats = run(body)
+        assert word(spu.get_reg(2), 0) == 0
+        assert word(spu.get_reg(3), 0) == 7
+
+    def test_branch_can_pair_as_second_of_pair(self):
+        """even + branch(odd) can share a cycle when independent."""
+        def body(asm):
+            asm.hbr("out")
+            asm.il(1, 0)
+            asm.nop()
+            asm.il(2, 1)         # even
+            asm.brz(1, "out")    # odd branch, condition long ready
+            asm.il(3, 99)        # skipped
+            asm.label("out")
+        spu, stats = run(body)
+        assert word(spu.get_reg(3), 0) == 0
+        assert stats.dual_issue_cycles >= 1
+
+
+class TestBranchSemantics:
+    def test_brnz_falls_through_on_zero(self):
+        def body(asm):
+            asm.il(1, 0)
+            asm.brnz(1, "skip")
+            asm.il(2, 42)
+            asm.label("skip")
+        spu, _ = run(body)
+        assert word(spu.get_reg(2), 0) == 42
+
+    def test_branch_condition_uses_preferred_slot_only(self):
+        asm = Asm()
+        asm.stop()
+        spu = SPU()
+        # r1: zero in word 0, junk elsewhere -> brz must take.
+        spu.set_reg(1, from_words(0, 7, 7, 7))
+        asm2 = Asm()
+        asm2.hbr("out")
+        asm2.brz(1, "out")
+        asm2.il(2, 1)
+        asm2.label("out")
+        asm2.stop()
+        prog = asm2.finish()
+        # set_reg cleared by run()? run() does not reset registers.
+        stats = spu.run(prog)
+        assert word(spu.get_reg(2), 0) == 0
+
+    def test_backward_unhinted_loop_pays_per_iteration(self):
+        def hinted(asm):
+            asm.hbr("loop")
+            asm.il(1, 5)
+            asm.label("loop")
+            asm.ai(1, 1, -1)
+            asm.brnz(1, "loop")
+        _, s_hint = run(hinted)
+
+        def unhinted(asm):
+            asm.il(1, 5)
+            asm.label("loop")
+            asm.ai(1, 1, -1)
+            asm.brnz(1, "loop")
+        _, s_plain = run(unhinted)
+        assert s_plain.branch_penalty_cycles == 4 * BRANCH_PENALTY
+        assert s_hint.branch_penalty_cycles == 0
+        assert s_plain.cycles > s_hint.cycles
+
+
+class TestGuards:
+    def test_max_instructions_guard(self):
+        asm = Asm()
+        asm.hbr("loop")
+        asm.il(1, 0)
+        asm.label("loop")
+        asm.ai(1, 1, 1)
+        asm.br("loop")
+        asm.stop()
+        with pytest.raises(SPUError, match="runaway"):
+            SPU().run(asm.finish(), max_instructions=100)
+
+    def test_pc_fell_off_end(self):
+        asm = Asm()
+        asm.il(1, 1)   # no stop
+        prog = asm.finish()
+        with pytest.raises(SPUError, match="fell off"):
+            SPU().run(prog)
+
+    def test_register_value_masked_to_128_bits(self):
+        spu = SPU()
+        spu.set_reg(3, (1 << 130) | 5)
+        assert spu.get_reg(3) == ((1 << 130) | 5) & ((1 << 128) - 1)
+
+
+class TestProfileModeParity:
+    def test_profiling_does_not_change_timing(self):
+        def body(asm):
+            asm.hbr("loop")
+            asm.il(1, 0)
+            asm.il(2, 25)
+            asm.label("loop")
+            asm.a(1, 1, 2)
+            asm.lnop()
+            asm.ai(2, 2, -1)
+            asm.brnz(2, "loop")
+        _, plain = run(body)
+        _, profiled = run(body, profile=True)
+        assert profiled.cycles == plain.cycles
+        assert profiled.instructions == plain.instructions
+        assert profiled.execution_counts is not None

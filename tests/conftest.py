@@ -1,0 +1,53 @@
+"""Shared fixtures: folded dictionaries, planted traffic, small tiles."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dfa import AhoCorasick, case_fold_32
+from repro.workloads import plant_matches, random_payload, random_signatures
+
+
+@pytest.fixture(scope="session")
+def fold():
+    return case_fold_32()
+
+
+@pytest.fixture(scope="session")
+def small_patterns():
+    """A handful of distinct folded patterns (symbols 1..31)."""
+    return random_signatures(8, 3, 7, seed=1234)
+
+
+@pytest.fixture(scope="session")
+def small_ac(small_patterns):
+    return AhoCorasick(small_patterns, 32)
+
+
+@pytest.fixture(scope="session")
+def small_dfa(small_ac):
+    return small_ac.to_dfa()
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+@pytest.fixture
+def planted_block(small_patterns):
+    """4 KB folded payload with ~20 planted dictionary hits."""
+    payload = random_payload(4096, seed=7)
+    return plant_matches(payload, small_patterns, 20, seed=8)
+
+
+def make_streams(patterns, length=192, n=16, seed=0):
+    """Equal-length folded streams with a few planted matches each."""
+    rng = np.random.default_rng(seed)
+    streams = []
+    for _ in range(n):
+        s = rng.integers(0, 32, length, dtype=np.uint8).tobytes()
+        s = plant_matches(s, patterns, 3, seed=int(rng.integers(2 ** 31)))
+        streams.append(s)
+    return streams

@@ -1,0 +1,112 @@
+"""Filter packs: serialization round trips and corruption detection."""
+
+import struct
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.artifact import (
+    ArtifactError,
+    FORMAT_VERSION,
+    MAGIC,
+    pack_filter,
+    unpack_filter,
+)
+from repro.dfa import AhoCorasick, build_dfa, case_fold_32, identity_fold
+from repro.workloads import plant_matches, random_payload, \
+    random_signatures
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    fold = case_fold_32()
+    patterns = random_signatures(12, 3, 8, seed=60)
+    return build_dfa(patterns, 32), fold, patterns
+
+
+class TestRoundTrip:
+    def test_structural_equality(self, compiled):
+        dfa, fold, _ = compiled
+        blob = pack_filter(dfa, fold)
+        dfa2, fold2 = unpack_filter(blob)
+        assert dfa2.num_states == dfa.num_states
+        assert dfa2.alphabet_size == dfa.alphabet_size
+        assert dfa2.start == dfa.start
+        assert dfa2.finals == dfa.finals
+        assert dfa2.outputs == dfa.outputs
+        assert (dfa2.transitions == dfa.transitions).all()
+        assert fold2.table == fold.table
+
+    def test_behavioural_equality(self, compiled):
+        dfa, fold, patterns = compiled
+        dfa2, _ = unpack_filter(pack_filter(dfa, fold))
+        block = plant_matches(random_payload(3000, seed=61), patterns, 15,
+                              seed=62)
+        assert dfa2.count_matches(block) == dfa.count_matches(block)
+        assert dfa2.match_events(block) == dfa.match_events(block)
+
+    def test_blob_is_stable(self, compiled):
+        dfa, fold, _ = compiled
+        assert pack_filter(dfa, fold) == pack_filter(dfa, fold)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.binary(min_size=1, max_size=5).map(
+        lambda b: bytes(x % 31 + 1 for x in b)),
+        min_size=1, max_size=6, unique=True))
+    def test_roundtrip_property(self, patterns):
+        dfa = build_dfa(patterns, 32)
+        fold = case_fold_32()
+        dfa2, _ = unpack_filter(pack_filter(dfa, fold))
+        assert dfa2.equivalent_to(dfa)
+
+
+class TestValidation:
+    def test_magic_checked(self, compiled):
+        dfa, fold, _ = compiled
+        blob = bytearray(pack_filter(dfa, fold))
+        blob[:4] = b"XXXX"
+        with pytest.raises(ArtifactError, match="magic"):
+            unpack_filter(bytes(blob))
+
+    def test_bitflip_detected_anywhere(self, compiled):
+        dfa, fold, _ = compiled
+        blob = bytearray(pack_filter(dfa, fold))
+        for pos in (10, 300, len(blob) // 2, len(blob) - 10):
+            corrupted = bytearray(blob)
+            corrupted[pos] ^= 0x40
+            with pytest.raises(ArtifactError):
+                unpack_filter(bytes(corrupted))
+
+    def test_truncation_detected(self, compiled):
+        dfa, fold, _ = compiled
+        blob = pack_filter(dfa, fold)
+        with pytest.raises(ArtifactError):
+            unpack_filter(blob[:-20])
+
+    def test_version_checked(self, compiled):
+        import zlib
+        dfa, fold, _ = compiled
+        blob = bytearray(pack_filter(dfa, fold))
+        struct.pack_into(">H", blob, 4, FORMAT_VERSION + 1)
+        # Re-seal the checksum so only the version mismatch fires.
+        blob[-4:] = struct.pack(">I", zlib.crc32(bytes(blob[:-4])))
+        with pytest.raises(ArtifactError, match="version"):
+            unpack_filter(bytes(blob))
+
+    def test_short_blob(self):
+        with pytest.raises(ArtifactError, match="short"):
+            unpack_filter(b"RPRO")
+
+    def test_fold_mismatch_rejected_at_pack_time(self, compiled):
+        dfa, _, _ = compiled
+        with pytest.raises(ArtifactError, match="width"):
+            pack_filter(dfa, identity_fold(256))
+
+
+class TestWideAlphabets:
+    def test_256_symbol_pack(self):
+        fold = identity_fold(256)
+        dfa = build_dfa([b"needle"], 256)
+        dfa2, fold2 = unpack_filter(pack_filter(dfa, fold))
+        assert dfa2.count_matches(b"hay needle hay") == 1
+        assert fold2.is_identity()

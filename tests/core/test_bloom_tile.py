@@ -1,0 +1,100 @@
+"""Bloom-filter tile (§7 future work)."""
+
+import pytest
+
+from repro.core.bloom_tile import BloomTile, BloomTileError, bloom_capacity
+from repro.core.planner import plan_tile
+from repro.dfa import AhoCorasick
+from repro.workloads import plant_matches, random_payload, \
+    random_signatures
+
+
+@pytest.fixture(scope="module")
+def patterns():
+    return random_signatures(40, 4, 10, seed=33)
+
+
+@pytest.fixture(scope="module")
+def tile(patterns):
+    return BloomTile(patterns)
+
+
+class TestCapacity:
+    def test_capacity_formula(self):
+        # m = 1000 bits at 1%: n = -1000 * ln(2)^2 / ln(0.01) ≈ 104
+        assert bloom_capacity(1000, 0.01) == 104
+
+    def test_capacity_grows_with_bits(self):
+        assert bloom_capacity(2000, 0.01) > bloom_capacity(1000, 0.01)
+
+    def test_capacity_shrinks_with_stricter_fp(self):
+        assert bloom_capacity(1000, 0.001) < bloom_capacity(1000, 0.01)
+
+    def test_tile_holds_vastly_more_than_dfa(self, tile):
+        """The §7 motivation: 190 KB of bits hold >100k signatures at 1%
+        where the DFA holds ~1500 states."""
+        assert tile.capacity_signatures > 100_000
+        assert plan_tile().max_states == 1520
+
+    def test_invalid_args(self):
+        with pytest.raises(BloomTileError):
+            bloom_capacity(0, 0.01)
+        with pytest.raises(BloomTileError):
+            bloom_capacity(100, 1.5)
+
+    def test_overflowing_filter_rejected(self, patterns):
+        tiny = plan_tile(buffer_bytes=110 * 1024)  # ~2 KB of STT space
+        huge = random_signatures(200_000 // 100, 4, 8, seed=34)
+        with pytest.raises(BloomTileError, match="bits"):
+            BloomTile(huge * 60, plan=tiny, fp_rate=1e-9)
+
+    def test_empty_dictionary_rejected(self):
+        with pytest.raises(BloomTileError):
+            BloomTile([])
+
+
+class TestThroughputModel:
+    def test_cost_grows_with_length_groups(self, patterns):
+        few = BloomTile([p for p in patterns if len(p) == len(
+            patterns[0])] or patterns[:1])
+        many = BloomTile(patterns)
+        assert many.num_length_groups >= few.num_length_groups
+        assert many.cycles_per_byte() >= few.cycles_per_byte()
+
+    def test_hit_rate_degrades_throughput(self, tile):
+        assert tile.modelled_gbps(hit_rate=0.5) < \
+            tile.modelled_gbps(hit_rate=0.0)
+
+    def test_hit_rate_bounds(self, tile):
+        with pytest.raises(BloomTileError):
+            tile.cycles_per_byte(hit_rate=1.5)
+
+    def test_clean_traffic_rate_positive(self, tile):
+        assert 0 < tile.modelled_gbps() < 10
+
+
+class TestFunctionalScan:
+    def test_matches_agree_with_dfa(self, patterns, tile):
+        block = plant_matches(random_payload(20_000, seed=35), patterns,
+                              50, seed=36)
+        ac = AhoCorasick(patterns, 32)
+        assert tile.scan(block).events == ac.find_all(block)
+
+    def test_no_false_negatives_ever(self, patterns, tile):
+        """Bloom screening must never drop a real match."""
+        for seed in range(5):
+            block = plant_matches(random_payload(5_000, seed=seed),
+                                  patterns, 20, seed=seed + 100)
+            ac = AhoCorasick(patterns, 32)
+            assert len(tile.scan(block).events) == len(ac.find_all(block))
+
+    def test_scan_reports_verification_cost(self, patterns, tile):
+        block = plant_matches(random_payload(10_000, seed=37), patterns,
+                              30, seed=38)
+        result = tile.scan(block)
+        assert result.verifications >= result.total_matches
+        assert result.false_positives >= 0
+        assert result.modelled_gbps > 0
+
+    def test_repr(self, tile):
+        assert "BloomTile" in repr(tile)

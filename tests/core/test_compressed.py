@@ -1,0 +1,107 @@
+"""Compressed STT (default-transition) — the §4 dense-table ablation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.compressed import CompressedSTT
+from repro.dfa import AhoCorasick, DFAError, build_dfa
+from repro.workloads import adversarial_payload, plant_matches, \
+    random_payload, random_signatures
+
+PATTERNS = random_signatures(30, 4, 9, seed=44)
+
+
+@pytest.fixture(scope="module")
+def ac():
+    return AhoCorasick(PATTERNS, 32)
+
+
+@pytest.fixture(scope="module")
+def compressed(ac):
+    return CompressedSTT.from_aho_corasick(ac)
+
+
+class TestEquivalence:
+    def test_counts_equal_dense(self, ac, compressed):
+        dfa = ac.to_dfa()
+        block = plant_matches(random_payload(6000, seed=45), PATTERNS, 25,
+                              seed=46)
+        count, _ = compressed.count_matches(block)
+        assert count == dfa.count_matches(block)
+
+    def test_step_equals_dense_everywhere(self, ac, compressed):
+        dfa = ac.to_dfa()
+        for s in range(dfa.num_states):
+            for c in (0, 5, 17, 31):
+                nxt, _ = compressed.step(s, c)
+                assert nxt == dfa.step(s, c)
+
+    def test_root_default_variant_also_exact(self, ac):
+        dfa = ac.to_dfa()
+        root_default = CompressedSTT(dfa)
+        block = random_payload(2000, seed=47)
+        assert root_default.count_matches(block)[0] == \
+            dfa.count_matches(block)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.binary(min_size=0, max_size=300).map(
+        lambda b: bytes(x % 32 for x in b)))
+    def test_equivalence_property(self, text):
+        ac = AhoCorasick(PATTERNS[:8], 32)
+        compressed = CompressedSTT.from_aho_corasick(ac)
+        assert compressed.count_matches(text)[0] == \
+            ac.to_dfa().count_matches(text)
+
+
+class TestCompression:
+    def test_failure_defaults_store_only_trie_edges(self, ac, compressed):
+        """The classic identity: a state's dense row differs from its
+        failure state's row exactly at its goto edges, so exceptions ==
+        trie edges below depth 1 (the root's own edges live in the dense
+        root row): (n - 1) - root_children."""
+        root_children = int((ac.transitions[0] != 0).sum())
+        assert compressed.stats.stored_transitions == \
+            (ac.num_states - 1) - root_children
+
+    def test_strong_compression(self, compressed):
+        assert compressed.stats.ratio < 0.2
+
+    def test_failure_defaults_beat_root_defaults(self, ac, compressed):
+        root_default = CompressedSTT(ac.to_dfa())
+        assert compressed.stats.compressed_bytes < \
+            root_default.stats.compressed_bytes
+
+    def test_chain_bounded_by_pattern_length(self, ac, compressed):
+        assert compressed.stats.max_chain_length <= \
+            ac.max_pattern_length
+
+
+class TestInputDependence:
+    def test_fallback_hops_are_input_dependent(self, compressed):
+        """The cost of compression: per-byte work varies with content —
+        exactly what the paper's dense table avoids."""
+        benign = bytes([0] * 4000)       # root self-loops: no fallbacks
+        busy = adversarial_payload(PATTERNS[0], 4000,
+                                   mismatch_at_end=False)
+        assert compressed.average_hops(busy) > \
+            compressed.average_hops(benign)
+
+    def test_empty_input(self, compressed):
+        assert compressed.average_hops(b"") == 0.0
+
+
+class TestValidation:
+    def test_wrong_default_count(self, ac):
+        with pytest.raises(DFAError, match="one default"):
+            CompressedSTT(ac.to_dfa(), defaults=[0, 0])
+
+    def test_cyclic_defaults_rejected(self):
+        dfa = build_dfa([bytes([1, 2])], 32)
+        bad = list(range(dfa.num_states))
+        bad[1], bad[2] = 2, 1
+        with pytest.raises(DFAError, match="cycle"):
+            CompressedSTT(dfa, defaults=bad)
+
+    def test_bad_symbol(self, compressed):
+        with pytest.raises(DFAError):
+            compressed.step(0, 40)

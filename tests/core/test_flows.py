@@ -1,0 +1,134 @@
+"""Flow-aware scanning: state continuity across packets."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.flows import FlowError, FlowMatcher
+from repro.dfa import build_dfa
+from repro.workloads import plant_matches, random_payload
+
+PATTERNS = [bytes([1, 2, 3, 4]), bytes([5, 6])]
+
+
+@pytest.fixture
+def matcher():
+    return FlowMatcher(build_dfa(PATTERNS, 32))
+
+
+class TestCrossPacketMatching:
+    def test_match_split_across_packets_is_found(self, matcher):
+        """The defining requirement: [1,2 | 3,4] in one flow matches."""
+        assert matcher.scan_packet("flow-a", bytes([0, 1, 2])) == 0
+        assert matcher.scan_packet("flow-a", bytes([3, 4, 0])) == 1
+
+    def test_split_across_different_flows_does_not_match(self, matcher):
+        assert matcher.scan_packet("a", bytes([0, 1, 2])) == 0
+        assert matcher.scan_packet("b", bytes([3, 4, 0])) == 0
+
+    def test_flow_equals_contiguous_stream(self, matcher):
+        stream = plant_matches(random_payload(900, seed=1), PATTERNS, 8,
+                               seed=2)
+        expected = matcher.dfa.count_matches(stream)
+        total = 0
+        for off in range(0, len(stream), 100):
+            total += matcher.scan_packet("f", stream[off:off + 100])
+        assert total == expected
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.binary(min_size=0, max_size=400).map(
+        lambda b: bytes(x % 32 for x in b)),
+        st.lists(st.integers(min_value=1, max_value=50), min_size=1,
+                 max_size=8))
+    def test_any_packetization_property(self, stream, cut_sizes):
+        """Whatever way a stream is cut into packets, per-flow totals
+        equal the whole-stream count."""
+        matcher = FlowMatcher(build_dfa(PATTERNS, 32))
+        expected = matcher.dfa.count_matches(stream)
+        total = 0
+        pos = 0
+        i = 0
+        while pos < len(stream):
+            size = cut_sizes[i % len(cut_sizes)]
+            total += matcher.scan_packet("x", stream[pos:pos + size])
+            pos += size
+            i += 1
+        assert total == expected
+
+
+class TestBatchScanning:
+    def test_batch_equals_sequential(self):
+        rng = np.random.default_rng(3)
+        packets = []
+        for i in range(40):
+            fid = f"flow{i % 5}"
+            payload = plant_matches(
+                random_payload(64, seed=int(rng.integers(2 ** 31))),
+                PATTERNS, 1, seed=int(rng.integers(2 ** 31)))
+            packets.append((fid, payload))
+
+        seq = FlowMatcher(build_dfa(PATTERNS, 32))
+        seq_counts = [seq.scan_packet(f, p) for f, p in packets]
+
+        batch = FlowMatcher(build_dfa(PATTERNS, 32))
+        batch_counts = batch.scan_batch(packets)
+        assert batch_counts == seq_counts
+        assert batch.total_matches() == seq.total_matches()
+
+    def test_same_flow_packets_serialize_in_order(self):
+        matcher = FlowMatcher(build_dfa(PATTERNS, 32))
+        counts = matcher.scan_batch([
+            ("f", bytes([0, 1, 2])),
+            ("f", bytes([3, 4, 0])),
+        ])
+        assert counts == [0, 1]
+
+    def test_variable_packet_sizes(self):
+        matcher = FlowMatcher(build_dfa(PATTERNS, 32))
+        counts = matcher.scan_batch([
+            ("a", bytes([1, 2, 3, 4])),
+            ("b", bytes([5, 6])),
+            ("c", bytes([0])),
+            ("d", b""),
+        ])
+        assert counts == [1, 1, 0, 0]
+
+    def test_empty_batch(self):
+        matcher = FlowMatcher(build_dfa(PATTERNS, 32))
+        assert matcher.scan_batch([]) == []
+
+
+class TestFlowTable:
+    def test_close_flow_reports_and_evicts(self, matcher):
+        matcher.scan_packet("f", bytes([5, 6, 5, 6]))
+        byte_count, match_count = matcher.close_flow("f")
+        assert byte_count == 4
+        assert match_count == 2
+        with pytest.raises(FlowError):
+            matcher.flow_matches("f")
+
+    def test_reopened_flow_starts_fresh(self, matcher):
+        matcher.scan_packet("f", bytes([1, 2]))
+        matcher.close_flow("f")
+        # Prefix lost: the pattern no longer completes.
+        assert matcher.scan_packet("f", bytes([3, 4])) == 0
+
+    def test_table_capacity(self):
+        matcher = FlowMatcher(build_dfa(PATTERNS, 32), max_flows=2)
+        matcher.scan_packet("a", bytes([0]))
+        matcher.scan_packet("b", bytes([0]))
+        with pytest.raises(FlowError, match="full"):
+            matcher.scan_packet("c", bytes([0]))
+
+    def test_unknown_flow_errors(self, matcher):
+        with pytest.raises(FlowError):
+            matcher.close_flow("ghost")
+
+    def test_invalid_capacity(self):
+        with pytest.raises(FlowError):
+            FlowMatcher(build_dfa(PATTERNS, 32), max_flows=0)
+
+    def test_num_flows(self, matcher):
+        matcher.scan_packet("a", bytes([0]))
+        matcher.scan_packet("b", bytes([0]))
+        assert matcher.num_flows == 2

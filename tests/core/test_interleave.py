@@ -1,0 +1,83 @@
+"""Stream interleaving (the quadword layout the SIMD kernels consume)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.interleave import (
+    InterleaveError,
+    block_to_streams,
+    deinterleave,
+    interleave_block,
+    interleave_streams,
+)
+
+
+class TestInterleave:
+    def test_quadword_layout(self):
+        """Byte i of each output quadword comes from stream i."""
+        streams = [bytes([i] * 4) for i in range(16)]
+        out = interleave_streams(streams)
+        assert len(out) == 64
+        for q in range(4):
+            assert out[q * 16:(q + 1) * 16] == bytes(range(16))
+
+    def test_two_streams(self):
+        out = interleave_streams([b"ace", b"bdf"])
+        assert out == b"abcdef"
+
+    def test_empty_streams(self):
+        assert interleave_streams([b"", b""]) == b""
+
+    def test_ragged_streams_rejected(self):
+        with pytest.raises(InterleaveError, match="pad"):
+            interleave_streams([b"ab", b"abc"])
+
+    def test_no_streams_rejected(self):
+        with pytest.raises(InterleaveError):
+            interleave_streams([])
+
+
+class TestDeinterleave:
+    def test_roundtrip(self):
+        streams = [bytes([i, i + 16, i + 32]) for i in range(16)]
+        assert deinterleave(interleave_streams(streams), 16) == streams
+
+    def test_bad_divisor(self):
+        with pytest.raises(InterleaveError):
+            deinterleave(b"abc", 2)
+        with pytest.raises(InterleaveError):
+            deinterleave(b"ab", 0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(min_value=1, max_value=20),
+           st.integers(min_value=0, max_value=40),
+           st.randoms())
+    def test_roundtrip_property(self, n, length, rnd):
+        streams = [bytes(rnd.randrange(256) for _ in range(length))
+                   for _ in range(n)]
+        assert deinterleave(interleave_streams(streams), n) == streams
+
+
+class TestBlockToStreams:
+    def test_padding_to_quadword_multiple(self):
+        streams = block_to_streams(bytes(range(33)), 16)
+        assert len(streams) == 16
+        assert all(len(s) == 16 for s in streams)  # ceil(33/16)=3 -> 16
+        # Concatenation covers the block (plus padding).
+        assert b"".join(streams)[:33] == bytes(range(33))
+
+    def test_pad_symbol(self):
+        streams = block_to_streams(b"\x01", 4, pad_symbol=9)
+        assert streams[0][0] == 1
+        assert streams[0][1] == 9
+        assert streams[3] == bytes([9] * 16)
+
+    def test_interleave_block_length(self):
+        out = interleave_block(bytes(100), 16)
+        assert len(out) % (16 * 16) == 0
+
+    def test_bad_args(self):
+        with pytest.raises(InterleaveError):
+            block_to_streams(b"x", 0)
+        with pytest.raises(InterleaveError):
+            block_to_streams(b"x", 4, pad_symbol=300)

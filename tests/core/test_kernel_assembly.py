@@ -1,0 +1,124 @@
+"""Assembly-level invariants of the generated kernels.
+
+These inspect the *programs* the builder emits — structure an SPE engineer
+would check in the listing: hint coverage, register discipline, pipe
+balance, instruction budget, and the exact per-transition instruction
+counts the cycle analysis rests on.
+"""
+
+import pytest
+
+from repro.cell.isa import EVEN, ODD
+from repro.core.kernels import KERNEL_SPECS, KernelBuilder, SIMD_LANES
+from repro.core.planner import plan_tile
+from repro.core.stt import STTImage
+from repro.dfa import build_dfa
+
+PATTERNS = [bytes([1, 2, 3]), bytes([4, 5])]
+
+
+@pytest.fixture(scope="module")
+def builder():
+    plan = plan_tile(buffer_bytes=1024)
+    dfa = build_dfa(PATTERNS, 32)
+    stt = STTImage.from_dfa(dfa, plan.stt_base)
+    return KernelBuilder(stt, plan.buffer_bases[0], plan.counters_base,
+                         states_base=plan.states_base,
+                         input_capacity=plan.buffer_bytes)
+
+
+def loop_body(program):
+    """Instructions between the 'loop' label and the closing branch."""
+    start = program.labels["loop"]
+    for i in range(start, len(program.instructions)):
+        if program.instructions[i].spec.is_branch:
+            return program.instructions[start:i + 1]
+    raise AssertionError("no loop-closing branch found")
+
+
+class TestStructure:
+    @pytest.mark.parametrize("version", [1, 2, 3, 4, 5])
+    def test_every_branch_is_hinted(self, builder, version):
+        program = builder.build(version, 96).program
+        for inst in program.instructions:
+            if inst.spec.is_branch:
+                assert inst.hinted, f"unhinted branch in v{version}"
+
+    @pytest.mark.parametrize("version", [1, 2, 3, 4, 5])
+    def test_single_stop_at_end(self, builder, version):
+        program = builder.build(version, 96).program
+        stops = [i for i, inst in enumerate(program.instructions)
+                 if inst.op == "stop"]
+        assert stops == [len(program.instructions) - 1]
+
+    @pytest.mark.parametrize("version", [1, 2, 3, 4, 5])
+    def test_register_zero_never_written(self, builder, version):
+        """r0 is the kernels' zero register (lqx base)."""
+        program = builder.build(version, 96).program
+        for inst in program.instructions:
+            assert inst.destination() != 0
+
+    @pytest.mark.parametrize("version", [1, 2, 3, 4, 5])
+    def test_register_budget(self, builder, version):
+        program = builder.build(version, 96).program
+        assert program.registers_used() <= 128
+
+
+class TestLoopBody:
+    @pytest.mark.parametrize("version,unroll", [(2, 1), (3, 2), (4, 3),
+                                                (5, 4)])
+    def test_core_ops_per_transition(self, builder, version, unroll):
+        """Exactly one STT load (lqx), one extraction pair and two flag
+        masks per transition in the loop body."""
+        program = builder.build(version, 16 * unroll).program
+        body = loop_body(program)
+        per_iter = SIMD_LANES * unroll
+        ops = {}
+        for inst in body:
+            ops[inst.op] = ops.get(inst.op, 0) + 1
+        assert ops["lqx"] == per_iter
+        assert ops["rotqbyi"] == per_iter
+        assert ops["rotmi"] == per_iter
+        assert ops["rotqby"] == per_iter
+        assert ops["andi"] == 2 * per_iter
+        assert ops["lqd"] == unroll + (per_iter if version == 5 else 0)
+
+    def test_even_odd_balance_of_peak_kernel(self, builder):
+        program = builder.build(4, 48).program
+        body = loop_body(program)
+        evens = sum(1 for i in body if i.spec.pipe == EVEN)
+        odds = sum(1 for i in body if i.spec.pipe == ODD)
+        # 5 even vs 3 odd per transition, plus loop control.
+        assert evens / odds == pytest.approx(5 / 3, rel=0.15)
+
+    def test_spilled_kernel_has_counter_traffic_in_loop(self, builder):
+        clean = loop_body(builder.build(4, 48).program)
+        spilled = loop_body(builder.build(5, 64).program)
+        clean_stores = sum(1 for i in clean if i.op == "stqd")
+        spill_stores = sum(1 for i in spilled if i.op == "stqd")
+        assert clean_stores == 0
+        assert spill_stores == 64  # one counter writeback per transition
+
+    def test_scalar_body_is_thirteen_instructions(self, builder):
+        body = loop_body(builder.build(1, 64).program)
+        assert len(body) == 13
+
+
+class TestEpilogue:
+    def test_counters_stored_for_unspilled_versions(self, builder):
+        program = builder.build(4, 48).program
+        tail = program.instructions[-(SIMD_LANES * 2 + 2):]
+        stores = [i for i in tail if i.op == "stqd"]
+        # 16 counters + 16 saved states.
+        assert len(stores) == 32
+
+    def test_states_saved_for_spilled_version_too(self, builder):
+        program = builder.build(5, 64).program
+        tail = program.instructions[-(SIMD_LANES + 2):]
+        stores = [i for i in tail if i.op == "stqd"]
+        assert len(stores) == SIMD_LANES  # states only; counters in LS
+
+    def test_listing_is_renderable(self, builder):
+        text = builder.build(4, 48).program.listing()
+        assert "loop:" in text
+        assert "[e]" in text and "[o]" in text

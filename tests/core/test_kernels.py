@@ -1,0 +1,240 @@
+"""Kernel builder: the five Table-1 implementations, executed functionally
+on the SPU simulator and checked against the reference DFA."""
+
+import numpy as np
+import pytest
+
+from repro.cell.local_store import LocalStore
+from repro.cell.spu import SPU
+from repro.core.interleave import interleave_streams
+from repro.core.kernels import (
+    KERNEL_SPECS,
+    SIMD_LANES,
+    KernelBuilder,
+    KernelError,
+)
+from repro.core.stt import STTImage
+from repro.dfa import build_dfa
+from repro.workloads import plant_matches
+
+PATTERNS = [bytes([1, 2, 3]), bytes([4, 5]), bytes([6, 7, 8, 9])]
+
+
+def make_setup(alphabet=32, input_base=0x20000, counters=0x8000,
+               stt_base=0x1000, capacity=None):
+    dfa = build_dfa(PATTERNS, alphabet)
+    stt = STTImage.from_dfa(dfa, stt_base)
+    ls = LocalStore()
+    ls.write(stt_base, stt.payload)
+    builder = KernelBuilder(stt, input_base, counters,
+                            input_capacity=capacity)
+    return dfa, stt, ls, builder
+
+
+def run_kernel(ls, kernel, payload):
+    ls.write(kernel.input_base, payload)
+    spu = SPU(ls)
+    stats = spu.run(kernel.program)
+    return stats, kernel.read_counts(ls)
+
+
+def make_streams(n, length, seed, alphabet=32):
+    rng = np.random.default_rng(seed)
+    streams = []
+    for _ in range(n):
+        s = rng.integers(0, alphabet, length, dtype=np.uint8).tobytes()
+        s = plant_matches(s, PATTERNS, 2, seed=int(rng.integers(2 ** 31)))
+        streams.append(s)
+    return streams
+
+
+class TestSpecs:
+    def test_five_versions(self):
+        assert sorted(KERNEL_SPECS) == [1, 2, 3, 4, 5]
+
+    def test_version_shapes(self):
+        assert not KERNEL_SPECS[1].simd
+        assert KERNEL_SPECS[2].unroll == 1
+        assert KERNEL_SPECS[4].unroll == 3
+        assert KERNEL_SPECS[5].spill
+
+    def test_transitions_per_iteration(self):
+        assert KERNEL_SPECS[1].transitions_per_iteration == 1
+        assert KERNEL_SPECS[2].transitions_per_iteration == 16
+        assert KERNEL_SPECS[4].transitions_per_iteration == 48
+
+
+class TestBuild:
+    def test_unknown_version(self):
+        *_, builder = make_setup()
+        with pytest.raises(KernelError, match="unknown"):
+            builder.build(9, 128)
+
+    def test_nonpositive_transitions(self):
+        *_, builder = make_setup()
+        with pytest.raises(KernelError):
+            builder.build(1, 0)
+
+    def test_table1_padding_rule(self):
+        """16384 requested transitions pad to 16416 for unroll 3 — the
+        exact quirk visible in the paper's Table 1."""
+        *_, builder = make_setup()
+        kernel = builder.build(4, 16384)
+        assert kernel.transitions == 16416
+        assert kernel.iterations == 342
+
+    def test_capacity_check(self):
+        *_, builder = make_setup(capacity=256)
+        with pytest.raises(KernelError, match="exceed"):
+            builder.build(2, 512)
+
+    def test_alignment_check(self):
+        dfa = build_dfa(PATTERNS, 32)
+        stt = STTImage.from_dfa(dfa, 0x1000)
+        with pytest.raises(KernelError, match="aligned"):
+            KernelBuilder(stt, 0x20001, 0x8000)
+
+    def test_register_budget_respected(self):
+        *_, builder = make_setup()
+        for v in range(1, 6):
+            prog = builder.build(v, 96).program
+            assert prog.registers_used() <= 128
+
+
+class TestScalarKernel:
+    def test_counts_match_reference(self):
+        dfa, stt, ls, builder = make_setup()
+        stream = make_streams(1, 512, seed=3)[0]
+        kernel = builder.build(1, len(stream))
+        _, counts = run_kernel(ls, kernel, stream)
+        assert counts == [dfa.count_matches(stream)]
+
+    def test_zero_matches(self):
+        dfa, stt, ls, builder = make_setup()
+        stream = bytes(256)  # all symbol 0: no pattern uses 0
+        kernel = builder.build(1, len(stream))
+        _, counts = run_kernel(ls, kernel, stream)
+        assert counts == [0]
+
+    def test_every_byte_processed(self):
+        """A match planted at the very last position must be seen."""
+        dfa, stt, ls, builder = make_setup()
+        stream = bytearray(128)
+        stream[-3:] = PATTERNS[0]
+        kernel = builder.build(1, len(stream))
+        _, counts = run_kernel(ls, kernel, bytes(stream))
+        assert counts == [1]
+
+
+class TestSimdKernels:
+    @pytest.mark.parametrize("version", [2, 3, 4, 5])
+    def test_counts_match_reference_per_stream(self, version):
+        dfa, stt, ls, builder = make_setup()
+        length = 96  # multiple of every unroll granularity (1..4)
+        streams = make_streams(SIMD_LANES, length, seed=version)
+        payload = interleave_streams(streams)
+        kernel = builder.build(version, len(payload))
+        _, counts = run_kernel(ls, kernel, payload)
+        assert counts == [dfa.count_matches(s) for s in streams]
+
+    @pytest.mark.parametrize("version", [2, 3, 4, 5])
+    def test_streams_are_independent(self, version):
+        """A pattern split across two lanes must NOT match."""
+        dfa, stt, ls, builder = make_setup()
+        streams = [bytes(96) for _ in range(SIMD_LANES)]
+        # Put half of pattern 0 at the end of lane 3 and the other half
+        # at the start of lane 4: lanes are separate streams.
+        s3 = bytearray(96)
+        s3[-2:] = PATTERNS[0][:2]
+        s4 = bytearray(96)
+        s4[0] = PATTERNS[0][2]
+        streams[3] = bytes(s3)
+        streams[4] = bytes(s4)
+        payload = interleave_streams(streams)
+        kernel = builder.build(version, len(payload))
+        _, counts = run_kernel(ls, kernel, payload)
+        assert sum(counts) == 0
+
+    def test_match_in_every_lane(self):
+        dfa, stt, ls, builder = make_setup()
+        streams = []
+        for i in range(SIMD_LANES):
+            s = bytearray(48)
+            s[i:i + 2] = PATTERNS[1]
+            streams.append(bytes(s))
+        payload = interleave_streams(streams)
+        kernel = builder.build(2, len(payload))
+        _, counts = run_kernel(ls, kernel, payload)
+        assert counts == [1] * SIMD_LANES
+
+    def test_spilled_counters_live_in_ls(self):
+        """Version 5 keeps counters in the local store, not registers."""
+        dfa, stt, ls, builder = make_setup()
+        streams = make_streams(SIMD_LANES, 64, seed=11)
+        payload = interleave_streams(streams)
+        kernel = builder.build(5, len(payload))
+        _, counts = run_kernel(ls, kernel, payload)
+        assert counts == [dfa.count_matches(s) for s in streams]
+
+
+class TestWideAlphabet:
+    def test_unpacked_offset_path(self):
+        """Alphabet width 128 disables the single-SIMD-shift trick; the
+        per-stream shli path must still match correctly."""
+        dfa, stt, ls, builder = make_setup(alphabet=128, stt_base=0x1000)
+        assert not builder.packed_offsets
+        rng = np.random.default_rng(5)
+        streams = []
+        for _ in range(SIMD_LANES):
+            s = bytearray(rng.integers(0, 128, 64, dtype=np.uint8).tobytes())
+            s[10:13] = PATTERNS[0]
+            streams.append(bytes(s))
+        payload = interleave_streams(streams)
+        kernel = builder.build(2, len(payload))
+        _, counts = run_kernel(ls, kernel, payload)
+        assert counts == [dfa.count_matches(s) for s in streams]
+
+    def test_scalar_wide(self):
+        dfa, stt, ls, builder = make_setup(alphabet=64, stt_base=0x1000)
+        rng = np.random.default_rng(6)
+        stream = bytearray(rng.integers(0, 64, 128, dtype=np.uint8).tobytes())
+        stream[50:52] = PATTERNS[1]
+        kernel = builder.build(1, len(stream))
+        _, counts = run_kernel(ls, kernel, bytes(stream))
+        assert counts == [dfa.count_matches(bytes(stream))]
+
+
+class TestPerformanceShape:
+    """The qualitative Table 1 story, pinned with generous margins."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        dfa, stt, ls, builder = make_setup()
+        out = {}
+        streams = make_streams(SIMD_LANES, 192, seed=1)
+        payload = interleave_streams(streams)
+        scalar = make_streams(1, 1024, seed=2)[0]
+        for v in range(1, 6):
+            if v == 1:
+                kernel = builder.build(1, len(scalar))
+                stats, _ = run_kernel(ls, kernel, scalar)
+            else:
+                kernel = builder.build(v, len(payload))
+                stats, _ = run_kernel(ls, kernel, payload)
+            out[v] = stats.cycles / kernel.transitions
+        return out
+
+    def test_simd_beats_scalar(self, results):
+        assert results[2] < results[1] / 2
+
+    def test_unrolling_helps(self, results):
+        assert results[4] < results[3] < results[2]
+
+    def test_spills_regress(self, results):
+        assert results[5] > results[4]
+
+    def test_version4_is_peak(self, results):
+        assert min(results, key=results.get) == 4
+
+    def test_scalar_near_paper_19_cycles(self, results):
+        assert 15 <= results[1] <= 24

@@ -1,0 +1,227 @@
+"""The high-level CellStringMatcher API."""
+
+import pytest
+
+from repro.core.matcher import (
+    CellStringMatcher,
+    MatcherError,
+    PAPER_TILE_GBPS,
+)
+from repro.dfa import case_fold_32, identity_fold
+from repro.workloads import ascii_keywords
+
+
+class TestExactDictionaries:
+    def test_case_insensitive_scan(self):
+        m = CellStringMatcher(["virus", "WORM"])
+        report = m.scan("a ViRuS and a worm")
+        assert report.total_matches == 2
+
+    def test_events_carry_end_positions_and_ids(self):
+        m = CellStringMatcher(["AB", "BC"])
+        report = m.scan("zABCz", with_events=True)
+        got = {(e.end, e.pattern) for e in report.events}
+        assert got == {(3, 0), (4, 1)}
+
+    def test_count_shortcut(self):
+        m = CellStringMatcher(["XYZ"])
+        assert m.count("wxyzw") == 1
+
+    def test_bytes_input(self):
+        m = CellStringMatcher([b"ABC"])
+        assert m.scan(b"xabcx").total_matches == 1
+
+    def test_scan_streams_sums(self):
+        m = CellStringMatcher(["HIT"])
+        report = m.scan_streams([b"a hit", b"no", b"hit hit"])
+        assert report.total_matches == 3
+        assert report.bytes_scanned == 5 + 2 + 7
+
+    def test_single_tile_configuration(self):
+        m = CellStringMatcher(["ABC", "DEF"])
+        assert m.spes_used == 1
+        assert m.modelled_gbps == pytest.approx(PAPER_TILE_GBPS)
+        assert "single tile" in m.configuration or "1 slice" \
+            in m.configuration
+
+    def test_empty_dictionary_rejected(self):
+        with pytest.raises(MatcherError):
+            CellStringMatcher([])
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(MatcherError):
+            CellStringMatcher([""])
+
+    def test_fold_collisions_are_filter_semantics(self):
+        """The 32-symbol fold maps all non-letters to one bucket, so '@'
+        and '0' are indistinguishable — by design (paper §4)."""
+        m = CellStringMatcher(["A@B"])
+        assert m.count("A0B") == 1
+
+
+class TestConfigurationsScaleWithDictionary:
+    def test_series_configuration_for_large_dictionary(self):
+        from repro.core.planner import plan_tile
+        # Tiny tiles to force multi-slice configs without huge dicts.
+        plan = plan_tile(buffer_bytes=94 * 1024, num_buffers=2)
+        assert plan.max_states < 300
+        words = ascii_keywords(120, seed=5)
+        m = CellStringMatcher(words, plan=plan)
+        assert m.partition.num_slices > 1
+        text = b"junk " + words[17] + b" junk " + words[80]
+        assert m.scan(text).total_matches >= 2
+
+    def test_replacement_configuration_for_huge_dictionary(self):
+        from repro.core.planner import plan_tile
+        plan = plan_tile(buffer_bytes=94 * 1024, num_buffers=2)
+        words = ascii_keywords(1500, seed=6)
+        m = CellStringMatcher(words, plan=plan)
+        assert m.replacement is not None
+        assert "replacement" in m.configuration
+        assert m.modelled_gbps < PAPER_TILE_GBPS
+        probe = b"xx " + words[1234] + b" yy"
+        assert m.scan(probe).total_matches >= 1
+
+    def test_global_pattern_ids_across_slices(self):
+        from repro.core.planner import plan_tile
+        plan = plan_tile(buffer_bytes=94 * 1024, num_buffers=2)
+        words = ascii_keywords(120, seed=7)
+        m = CellStringMatcher(words, plan=plan)
+        target = 97
+        report = m.scan(b">>" + words[target] + b"<<", with_events=True)
+        assert any(e.pattern == target for e in report.events)
+
+
+class TestRegexMode:
+    def test_regex_scan(self):
+        m = CellStringMatcher(["VIR(US|AL)", "W[OA]RM"], regex=True)
+        report = m.scan("a viral worm and a virus warm")
+        assert report.total_matches == 4
+
+    def test_regex_events(self):
+        m = CellStringMatcher(["AB+"], regex=True)
+        report = m.scan("xABBx", with_events=True)
+        ends = [e.end for e in report.events]
+        assert ends == [3, 4]  # AB and ABB both end-positions
+
+    def test_regex_configuration(self):
+        m = CellStringMatcher(["A+B"], regex=True)
+        assert "regex" in m.configuration
+        assert m.spes_used == 1
+
+
+class TestReports:
+    def test_modelled_seconds(self):
+        m = CellStringMatcher(["Q"])
+        report = m.scan("q" * 1000)
+        expected = 1000 * 8 / (m.modelled_gbps * 1e9)
+        assert report.modelled_seconds() == pytest.approx(expected)
+
+    def test_repr(self):
+        m = CellStringMatcher(["A"])
+        assert "CellStringMatcher" in repr(m)
+
+    def test_identity_fold_mode(self):
+        m = CellStringMatcher([b"\x01\x02"], fold=identity_fold(256))
+        # Wide alphabet -> larger rows -> smaller tile, still works.
+        assert m.count(bytes([0, 1, 2, 0])) == 1
+
+
+class TestPatternCounts:
+    def test_counts_per_pattern(self):
+        m = CellStringMatcher(["AB", "CD"])
+        report = m.scan("ABxABxCD")
+        assert report.pattern_counts == {0: 2, 1: 1}
+
+    def test_zero_hit_patterns_omitted(self):
+        m = CellStringMatcher(["AB", "ZZZZ"])
+        report = m.scan("AB")
+        assert report.pattern_counts == {0: 1}
+
+    def test_counts_sum_to_total(self):
+        m = CellStringMatcher(["A", "AA", "AAA"])
+        report = m.scan("AAAA")
+        assert sum(report.pattern_counts.values()) == report.total_matches
+
+    def test_regex_counts(self):
+        m = CellStringMatcher(["AB+", "CD"], regex=True)
+        report = m.scan("ABBxCD")
+        assert report.pattern_counts == {0: 2, 1: 1}
+
+
+class TestRegexPartitioning:
+    def _plan(self):
+        from repro.core.planner import plan_tile
+        # 16-state budget: each ~10-state regex needs its own slice.
+        return plan_tile(buffer_bytes=110 * 1024, num_buffers=2)
+
+    def test_many_regexes_split_into_series_slices(self):
+        # Letters only: digits all fold onto one symbol.
+        patterns = [f"SIG{chr(65 + i)}{chr(66 + i)}(AB|CD)X+"
+                    for i in range(6)]
+        m = CellStringMatcher(patterns, regex=True, plan=self._plan())
+        assert 1 < len(m._regex_slices) <= m.max_spes
+        assert "series regex" in m.configuration
+
+    def test_split_regexes_still_match_with_global_ids(self):
+        from repro.core.planner import plan_tile
+        # 64-state budget: ~18-state regexes pack 3 per slice.
+        plan = plan_tile(buffer_bytes=107 * 1024, num_buffers=2)
+        patterns = [f"NEEDLE{chr(65 + i)}{chr(75 + i)}(AB|CD){{3}}"
+                    for i in range(12)]
+        m = CellStringMatcher(patterns, regex=True, plan=plan)
+        assert len(m._regex_slices) > 1
+        report = m.scan("xx NEEDLEHRABCDAB yy NEEDLELVCDCDCD",
+                        with_events=True)
+        assert report.total_matches == 2
+        assert {e.pattern for e in report.events} == {7, 11}
+
+    def test_single_oversized_regex_rejected(self):
+        # A long counted repetition blows past a tiny budget.
+        from repro.core.planner import plan_tile
+        tiny = plan_tile(buffer_bytes=110 * 1024, num_buffers=2)
+        with pytest.raises(MatcherError, match="alone"):
+            CellStringMatcher(["(AB|CD|EF){12}GHIJKL{4}"], regex=True,
+                              plan=tiny)
+
+    def test_replacement_regime_for_many_regex_slices(self):
+        from repro.core.planner import plan_tile
+        tiny = plan_tile(buffer_bytes=110 * 1024, num_buffers=2)
+        patterns = [f"PAT{chr(65 + i // 26)}{chr(65 + i % 26)}Q"
+                    for i in range(40)]
+        m = CellStringMatcher(patterns, regex=True, plan=tiny)
+        if len(m._regex_slices) > m.max_spes:
+            assert "replacement" in m.configuration
+            assert m.modelled_gbps < m.per_tile_gbps
+        probe = f"zz {patterns[33]} zz"
+        assert m.scan(probe).total_matches == 1
+
+
+class TestTargetThroughput:
+    def test_target_gbps_adds_parallel_ways(self):
+        m = CellStringMatcher(["ABC"], target_gbps=20.0)
+        # ceil(20 / 5.11) = 4 parallel tiles.
+        assert m.spes_used == 4
+        assert m.modelled_gbps == pytest.approx(4 * PAPER_TILE_GBPS)
+
+    def test_target_capped_by_spe_budget(self):
+        m = CellStringMatcher(["ABC"], target_gbps=100.0)
+        assert m.spes_used == 8
+        assert m.modelled_gbps == pytest.approx(8 * PAPER_TILE_GBPS)
+
+    def test_exact_boundary_needs_no_extra_way(self):
+        m = CellStringMatcher(["ABC"], target_gbps=2 * PAPER_TILE_GBPS)
+        assert m.spes_used == 2
+
+    def test_default_is_single_tile(self):
+        m = CellStringMatcher(["ABC"])
+        assert m.spes_used == 1
+
+    def test_series_slices_limit_parallel_ways(self):
+        from repro.core.planner import plan_tile
+        plan = plan_tile(buffer_bytes=110 * 1024, num_buffers=2)
+        words = ascii_keywords(25, seed=4)   # several tiny slices
+        m = CellStringMatcher(words, plan=plan, target_gbps=100.0)
+        if m.composition is not None:
+            assert m.spes_used <= 8
+            assert m.spes_used % m.partition.num_slices == 0

@@ -1,0 +1,113 @@
+"""Double-buffering schedules (Figure 5)."""
+
+import pytest
+
+from repro.core.schedule import (
+    Interval,
+    Schedule,
+    ScheduleError,
+    double_buffer_schedule,
+)
+
+COMPUTE = 25.64e-6
+TRANSFER = 5.94e-6
+
+
+class TestInterval:
+    def test_duration(self):
+        iv = Interval("compute", 1.0, 3.0, "x")
+        assert iv.duration == 2.0
+
+    def test_overlap(self):
+        a = Interval("compute", 0, 2, "a")
+        b = Interval("dma", 1, 3, "b")
+        c = Interval("dma", 2, 4, "c")
+        assert a.overlaps(b)
+        assert not a.overlaps(c)  # touching is not overlapping
+
+
+class TestFigure5:
+    def test_transfers_hidden_except_first(self):
+        """Paper: 'the cost of all data transfers (except the first one)
+        is completely hidden'."""
+        sched = double_buffer_schedule(6, COMPUTE, TRANSFER)
+        assert sched.exposed_transfer_time() == pytest.approx(TRANSFER)
+
+    def test_steady_state_period_is_compute_time(self):
+        sched = double_buffer_schedule(5, COMPUTE, TRANSFER)
+        computes = sched.on("compute")
+        gaps = [b.start - a.end for a, b in zip(computes, computes[1:])]
+        # back-to-back computation after the pipeline fills
+        assert all(g == pytest.approx(0, abs=1e-12) for g in gaps)
+        assert sched.makespan == pytest.approx(TRANSFER + 5 * COMPUTE)
+
+    def test_paper_figure5_numbers(self):
+        """16 KB blocks: 25.64 us compute, 5.94 us transfer."""
+        sched = double_buffer_schedule(4, COMPUTE, TRANSFER)
+        assert sched.busy_time("compute") == pytest.approx(4 * COMPUTE)
+        assert sched.busy_time("dma") == pytest.approx(4 * TRANSFER)
+
+    def test_transfer_bound_when_compute_too_fast(self):
+        """If transfer > compute the pipeline becomes DMA-bound and
+        transfers are exposed."""
+        sched = double_buffer_schedule(5, 2e-6, 10e-6)
+        assert sched.exposed_transfer_time() > 10e-6
+        assert sched.makespan >= 5 * 10e-6
+
+    def test_verify_passes(self):
+        double_buffer_schedule(10, COMPUTE, TRANSFER).verify()
+
+    def test_buffers_alternate(self):
+        sched = double_buffer_schedule(4, COMPUTE, TRANSFER)
+        buffers = [iv.buffer for iv in sched.on("compute")]
+        assert buffers == [0, 1, 0, 1]
+
+    def test_invalid_args(self):
+        with pytest.raises(ScheduleError):
+            double_buffer_schedule(0, COMPUTE, TRANSFER)
+        with pytest.raises(ScheduleError):
+            double_buffer_schedule(2, -1, TRANSFER)
+
+
+class TestVerification:
+    def test_double_booked_resource_detected(self):
+        sched = Schedule()
+        sched.add(Interval("compute", 0, 2, "a"))
+        sched.add(Interval("compute", 1, 3, "b"))
+        with pytest.raises(ScheduleError, match="double-booked"):
+            sched.verify()
+
+    def test_buffer_conflict_detected(self):
+        sched = Schedule()
+        sched.add(Interval("compute", 0, 2, "proc", buffer=0))
+        sched.add(Interval("dma", 1, 3, "load", buffer=0))
+        with pytest.raises(ScheduleError, match="buffer 0"):
+            sched.verify()
+
+    def test_different_buffers_no_conflict(self):
+        sched = Schedule()
+        sched.add(Interval("compute", 0, 2, "proc", buffer=0))
+        sched.add(Interval("dma", 1, 3, "load", buffer=1))
+        sched.verify()
+
+    def test_malformed_interval_rejected(self):
+        sched = Schedule()
+        with pytest.raises(ScheduleError):
+            sched.add(Interval("dma", 2, 1, "bad"))
+
+
+class TestRendering:
+    def test_render_contains_bars_and_labels(self):
+        sched = double_buffer_schedule(3, COMPUTE, TRANSFER)
+        text = sched.render()
+        assert "#" in text and "=" in text
+        assert "process block 0" in text
+        assert "makespan" in text
+
+    def test_empty_schedule(self):
+        assert "empty" in Schedule().render()
+
+    def test_utilization_bounds(self):
+        sched = double_buffer_schedule(8, COMPUTE, TRANSFER)
+        assert 0.9 < sched.utilization("compute") <= 1.0
+        assert 0 < sched.utilization("dma") < 0.5

@@ -1,0 +1,97 @@
+"""STT layout: pointer-row representation, flag tagging, alignment."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.stt import CELL_BYTES, STTError, STTImage, row_stride
+from repro.dfa import AhoCorasick, build_dfa
+
+
+@pytest.fixture(scope="module")
+def dfa():
+    return build_dfa([bytes([1, 2, 3]), bytes([4, 5])], 32)
+
+
+class TestRowStride:
+    def test_32_symbols_is_128_bytes(self):
+        assert row_stride(32) == 128
+
+    def test_power_of_two_required(self):
+        with pytest.raises(STTError, match="power of two"):
+            row_stride(48)
+        with pytest.raises(STTError):
+            row_stride(0)
+
+    @pytest.mark.parametrize("width,stride", [
+        (16, 64), (64, 256), (128, 512), (256, 1024),
+    ])
+    def test_strides(self, width, stride):
+        assert row_stride(width) == stride
+
+
+class TestImage:
+    def test_alignment_enforced(self, dfa):
+        with pytest.raises(STTError, match="aligned"):
+            STTImage.from_dfa(dfa, base=100)
+
+    def test_size(self, dfa):
+        img = STTImage.from_dfa(dfa, base=0)
+        assert img.size_bytes == dfa.num_states * 128
+
+    def test_start_pointer_flag_free(self, dfa):
+        img = STTImage.from_dfa(dfa, base=0x8000)
+        assert img.start_pointer & 1 == 0
+        assert img.start_pointer == 0x8000
+
+    def test_state_pointer_roundtrip(self, dfa):
+        img = STTImage.from_dfa(dfa, base=0x8000)
+        for s in range(dfa.num_states):
+            ptr = img.state_to_pointer(s)
+            state, final = img.pointer_to_state(ptr)
+            assert state == s
+            assert not final  # row pointers themselves carry no flag
+
+    def test_cells_encode_transitions_and_finality(self, dfa):
+        img = STTImage.from_dfa(dfa, base=0x8000)
+        for s in range(dfa.num_states):
+            for c in range(32):
+                nxt, final = img.lookup(s, c)
+                assert nxt == dfa.step(s, c)
+                assert final == bool(dfa.final_mask[nxt])
+
+    def test_final_flag_set_exactly_on_final_destinations(self, dfa):
+        img = STTImage.from_dfa(dfa, base=0)
+        flagged = set()
+        for s in range(dfa.num_states):
+            for c in range(32):
+                cell = img.cell(s, c)
+                if cell & 1:
+                    flagged.add(dfa.step(s, c))
+        assert flagged == dfa.finals
+
+    def test_pointer_decode_rejects_garbage(self, dfa):
+        img = STTImage.from_dfa(dfa, base=0x8000)
+        with pytest.raises(STTError):
+            img.pointer_to_state(0x8000 + 4)  # not row-aligned
+        with pytest.raises(STTError):
+            img.pointer_to_state(0x4000)      # below base
+        with pytest.raises(STTError):
+            img.pointer_to_state(0x8000 + dfa.num_states * 128)
+
+    def test_state_bounds(self, dfa):
+        img = STTImage.from_dfa(dfa, base=0)
+        with pytest.raises(STTError):
+            img.state_to_pointer(dfa.num_states)
+        with pytest.raises(STTError):
+            img.cell(0, 32)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.binary(min_size=1, max_size=5).map(
+        lambda b: bytes(x % 31 + 1 for x in b)),
+        min_size=1, max_size=5, unique=True))
+    def test_lookup_always_agrees_with_dfa(self, patterns):
+        dfa = build_dfa(patterns, 32)
+        img = STTImage.from_dfa(dfa, base=0x1000)
+        for s in range(dfa.num_states):
+            for c in (0, 7, 31):
+                assert img.lookup(s, c)[0] == dfa.step(s, c)

@@ -1,0 +1,123 @@
+"""The full-system pipeline: PPE + DMA + tiles end to end."""
+
+import numpy as np
+import pytest
+
+from repro.core.planner import plan_tile
+from repro.core.system import CellMatchingSystem, SystemError
+from repro.dfa import AhoCorasick, case_fold_32, identity_fold
+from repro.workloads import ascii_keywords, plant_matches
+
+
+@pytest.fixture(scope="module")
+def setup():
+    fold = case_fold_32()
+    words = ascii_keywords(10, seed=3)
+    dfa = AhoCorasick([fold.fold_bytes(w) for w in words], 32).to_dfa()
+    rng = np.random.default_rng(0)
+    raw = bytes(rng.integers(65, 91, 24_000, dtype=np.uint8))
+    raw = plant_matches(raw, words, 15, seed=1)
+    return dfa, words, raw
+
+
+class TestConstruction:
+    def test_tile_budget(self, setup):
+        dfa, *_ = setup
+        with pytest.raises(SystemError):
+            CellMatchingSystem(dfa, num_tiles=0)
+        with pytest.raises(SystemError):
+            CellMatchingSystem(dfa, num_tiles=9)
+
+    def test_alphabet_mismatch(self, setup):
+        dfa, *_ = setup
+        with pytest.raises(SystemError, match="fold width"):
+            CellMatchingSystem(dfa, fold=identity_fold(256))
+
+    def test_bad_version(self, setup):
+        dfa, *_ = setup
+        with pytest.raises(SystemError):
+            CellMatchingSystem(dfa, version=9)
+
+    def test_tiles_live_on_distinct_spes(self, setup):
+        dfa, *_ = setup
+        sys_ = CellMatchingSystem(dfa, num_tiles=3)
+        stores = {id(t.local_store) for t in sys_.tiles}
+        assert len(stores) == 3
+        assert sys_.tiles[0].local_store is sys_.chip.spe(0).local_store
+
+
+class TestFilterBlock:
+    def test_counts_verified_against_lane_reference(self, setup):
+        dfa, words, raw = setup
+        sys_ = CellMatchingSystem(dfa, num_tiles=2)
+        result = sys_.filter_block(raw)  # verify=True raises on mismatch
+        assert result.total_matches > 0
+        assert result.bytes_scanned == len(raw)
+
+    def test_transitions_cover_input(self, setup):
+        dfa, _, raw = setup
+        sys_ = CellMatchingSystem(dfa, num_tiles=1)
+        result = sys_.filter_block(raw)
+        assert result.transitions >= len(raw)
+
+    def test_empty_input_rejected(self, setup):
+        dfa, *_ = setup
+        with pytest.raises(SystemError, match="empty"):
+            CellMatchingSystem(dfa).filter_block(b"")
+
+    def test_schedules_verify_and_one_per_tile(self, setup):
+        dfa, _, raw = setup
+        sys_ = CellMatchingSystem(dfa, num_tiles=2)
+        result = sys_.filter_block(raw)
+        assert len(result.schedules) == 2
+        for sched in result.schedules:
+            sched.verify()
+
+    def test_parallel_tiles_scale_end_to_end_rate(self, setup):
+        dfa, _, raw = setup
+        r1 = CellMatchingSystem(dfa, num_tiles=1).filter_block(raw)
+        r4 = CellMatchingSystem(dfa, num_tiles=4).filter_block(raw)
+        assert r4.end_to_end_gbps > 2.5 * r1.end_to_end_gbps
+
+    def test_transfers_mostly_hidden_on_long_input(self, setup):
+        dfa, words, _ = setup
+        rng = np.random.default_rng(5)
+        long_raw = bytes(rng.integers(65, 91, 100_000, dtype=np.uint8))
+        sys_ = CellMatchingSystem(dfa, num_tiles=1)
+        result = sys_.filter_block(long_raw)
+        # Many blocks: only the first transfer is exposed.
+        assert result.transfer_hidden_fraction() > 0.7
+
+    def test_end_to_end_slower_than_compute_only(self, setup):
+        dfa, _, raw = setup
+        result = CellMatchingSystem(dfa, num_tiles=1).filter_block(raw)
+        assert result.end_to_end_gbps <= result.compute_gbps + 1e-9
+
+    def test_ppe_cost_accounted(self, setup):
+        dfa, _, raw = setup
+        result = CellMatchingSystem(dfa, num_tiles=1).filter_block(raw)
+        assert result.ppe_seconds > 0
+        assert result.makespan_seconds >= result.ppe_seconds
+
+    def test_scalar_version_system(self, setup):
+        dfa, words, _ = setup
+        rng = np.random.default_rng(7)
+        raw = bytes(rng.integers(65, 91, 3000, dtype=np.uint8))
+        raw = plant_matches(raw, words, 4, seed=8)
+        sys_ = CellMatchingSystem(dfa, num_tiles=1, version=1,
+                                  plan=plan_tile(buffer_bytes=1024))
+        result = sys_.filter_block(raw)
+        fold = case_fold_32()
+        expected = dfa.count_matches(fold.fold_bytes(raw))
+        assert result.total_matches == expected
+
+
+class TestRawBytesHonesty:
+    def test_case_insensitivity_through_the_whole_pipeline(self, setup):
+        dfa, words, _ = setup
+        target = words[0]
+        raw = b"." * 64 + target.lower() + b"." * 64
+        sys_ = CellMatchingSystem(dfa, num_tiles=1,
+                                  plan=plan_tile(buffer_bytes=1024))
+        result = sys_.filter_block(raw)
+        assert result.total_matches >= 1

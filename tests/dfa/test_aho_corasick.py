@@ -1,0 +1,108 @@
+"""Aho–Corasick construction and search."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import NaiveMatcher
+from repro.dfa import AhoCorasick, DFAError, build_dfa
+
+
+def sym_pattern(min_size=1, max_size=6):
+    return st.binary(min_size=min_size, max_size=max_size).map(
+        lambda b: bytes(x % 31 + 1 for x in b))
+
+
+class TestConstruction:
+    def test_state_count_equals_trie_nodes(self):
+        ac = AhoCorasick([bytes([1, 2, 3]), bytes([1, 2, 4])], 32)
+        # root + shared (1,2) + two leaves = 5
+        assert ac.num_states == 5
+
+    def test_outputs_merged_through_failure_links(self):
+        """'AB' ends inside 'XAB', so reaching XAB's leaf must report
+        both patterns."""
+        ac = AhoCorasick([bytes([5, 1, 2]), bytes([1, 2])], 32)
+        events = ac.find_all(bytes([5, 1, 2]))
+        assert {(e.end, e.pattern) for e in events} == {(3, 0), (3, 1)}
+
+    def test_rejects_empty_dictionary(self):
+        with pytest.raises(DFAError):
+            AhoCorasick([], 32)
+
+    def test_rejects_empty_pattern(self):
+        with pytest.raises(DFAError, match="empty"):
+            AhoCorasick([b""], 32)
+
+    def test_rejects_symbol_outside_alphabet(self):
+        with pytest.raises(DFAError, match="fold"):
+            AhoCorasick([bytes([40])], 32)
+
+    def test_rejects_bad_alphabet(self):
+        with pytest.raises(DFAError):
+            AhoCorasick([bytes([1])], 0)
+
+    def test_max_pattern_length(self):
+        ac = AhoCorasick([bytes([1]), bytes([1, 2, 3])], 32)
+        assert ac.max_pattern_length == 3
+
+
+class TestSearch:
+    def test_overlapping_occurrences(self):
+        """Pattern 'AA' in 'AAAA' occurs 3 times."""
+        ac = AhoCorasick([bytes([1, 1])], 32)
+        assert len(ac.find_all(bytes([1, 1, 1, 1]))) == 3
+
+    def test_find_all_rejects_bad_symbol(self):
+        ac = AhoCorasick([bytes([1])], 4)
+        with pytest.raises(DFAError, match="outside alphabet"):
+            ac.find_all(bytes([9]))
+
+    def test_count_final_entries_vs_events(self):
+        """Counting semantics (+1 per final entry) can differ from the
+        occurrence count when several patterns end at one position."""
+        pats = [bytes([5, 1, 2]), bytes([1, 2])]
+        ac = AhoCorasick(pats, 32)
+        text = bytes([5, 1, 2])
+        assert len(ac.find_all(text)) == 2
+        assert ac.count_final_entries(text) == 1
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(sym_pattern(), min_size=1, max_size=6, unique=True),
+           st.binary(min_size=0, max_size=200).map(
+               lambda b: bytes(x % 32 for x in b)))
+    def test_find_all_matches_naive(self, patterns, text):
+        ac = AhoCorasick(patterns, 32)
+        naive = NaiveMatcher(patterns)
+        # Dedup: identical occurrence lists require pattern lists without
+        # duplicates that alias after the unique constraint (bytes equal).
+        assert ac.find_all(text) == naive.find_all(text)
+
+
+class TestToDFA:
+    def test_dfa_count_matches_final_entries(self):
+        pats = [bytes([1, 2]), bytes([3])]
+        ac = AhoCorasick(pats, 32)
+        dfa = ac.to_dfa()
+        text = bytes([1, 2, 3, 1, 2])
+        assert dfa.count_matches(text) == ac.count_final_entries(text)
+
+    def test_dfa_outputs_preserved(self):
+        pats = [bytes([1, 2])]
+        dfa = build_dfa(pats, 32)
+        events = dfa.match_events(bytes([0, 1, 2]))
+        assert [(e.end, e.pattern) for e in events] == [(3, 0)]
+
+    def test_dfa_is_complete(self):
+        dfa = build_dfa([bytes([1, 2, 3])], 32)
+        assert dfa.transitions.shape == (dfa.num_states, 32)
+        assert dfa.transitions.min() >= 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(sym_pattern(), min_size=1, max_size=5, unique=True),
+           st.binary(min_size=0, max_size=120).map(
+               lambda b: bytes(x % 32 for x in b)))
+    def test_dfa_events_match_ac_events(self, patterns, text):
+        ac = AhoCorasick(patterns, 32)
+        dfa = ac.to_dfa()
+        assert dfa.match_events(text) == ac.find_all(text)

@@ -1,0 +1,116 @@
+"""The DFA quintuple: validation, interpretation, structure."""
+
+import numpy as np
+import pytest
+
+from repro.dfa.automaton import DFA, DFAError, MatchEvent
+
+
+def two_state_dfa():
+    """Accepts any string ending in symbol 1 (2-symbol alphabet)."""
+    return DFA([[0, 1], [0, 1]], finals=[1])
+
+
+class TestValidation:
+    def test_rejects_non_2d(self):
+        with pytest.raises(DFAError):
+            DFA([0, 1], finals=[])
+
+    def test_rejects_dangling_transition(self):
+        with pytest.raises(DFAError, match="unknown states"):
+            DFA([[0, 5]], finals=[])
+
+    def test_rejects_bad_start(self):
+        with pytest.raises(DFAError, match="start"):
+            DFA([[0, 0]], finals=[], start=3)
+
+    def test_rejects_bad_final(self):
+        with pytest.raises(DFAError, match="final"):
+            DFA([[0, 0]], finals=[9])
+
+    def test_rejects_output_on_nonfinal(self):
+        with pytest.raises(DFAError, match="non-final"):
+            DFA([[0, 1], [0, 1]], finals=[1], outputs={0: (0,)})
+
+    def test_rejects_empty(self):
+        with pytest.raises(DFAError):
+            DFA(np.zeros((0, 2), dtype=np.int32), finals=[])
+
+
+class TestInterpretation:
+    def test_step(self):
+        dfa = two_state_dfa()
+        assert dfa.step(0, 1) == 1
+        assert dfa.step(1, 0) == 0
+
+    def test_step_rejects_bad_symbol(self):
+        with pytest.raises(DFAError):
+            two_state_dfa().step(0, 2)
+
+    def test_count_matches(self):
+        dfa = two_state_dfa()
+        assert dfa.count_matches(bytes([1, 0, 1, 1])) == 3
+        assert dfa.count_matches(bytes([0, 0])) == 0
+        assert dfa.count_matches(b"") == 0
+
+    def test_run_returns_final_state(self):
+        dfa = two_state_dfa()
+        assert dfa.run(bytes([0, 1])) == 1
+        assert dfa.run(bytes([1, 0])) == 0
+
+    def test_state_trace(self):
+        dfa = two_state_dfa()
+        assert dfa.state_trace(bytes([1, 0, 1])) == [1, 0, 1]
+
+    def test_match_events_use_outputs(self):
+        dfa = DFA([[0, 1], [0, 1]], finals=[1], outputs={1: (7,)})
+        events = dfa.match_events(bytes([1, 0, 1]))
+        assert events == [MatchEvent(1, 7), MatchEvent(3, 7)]
+
+
+class TestStructure:
+    def test_trim_drops_unreachable(self):
+        # State 2 unreachable.
+        dfa = DFA([[0, 1], [0, 1], [2, 2]], finals=[1])
+        trimmed = dfa.trim()
+        assert trimmed.num_states == 2
+        assert trimmed.count_matches(bytes([1, 1])) == 2
+
+    def test_trim_noop_when_all_reachable(self):
+        dfa = two_state_dfa()
+        assert dfa.trim() is dfa
+
+    def test_reachable_states(self):
+        dfa = DFA([[0, 1], [0, 1], [2, 2]], finals=[1])
+        mask = dfa.reachable_states()
+        assert mask.tolist() == [True, True, False]
+
+    def test_memory_bytes(self):
+        dfa = two_state_dfa()
+        assert dfa.memory_bytes() == 2 * 2 * 4
+        assert dfa.memory_bytes(cell_bytes=2) == 8
+
+    def test_repr(self):
+        assert "states=2" in repr(two_state_dfa())
+
+
+class TestEquivalence:
+    def test_equivalent_to_self(self):
+        dfa = two_state_dfa()
+        assert dfa.equivalent_to(dfa)
+
+    def test_equivalent_to_padded_version(self):
+        # Same language with a redundant duplicate state.
+        a = two_state_dfa()
+        b = DFA([[0, 1], [2, 1], [0, 1]], finals=[1])
+        assert a.equivalent_to(b)
+
+    def test_not_equivalent_different_language(self):
+        a = two_state_dfa()
+        b = DFA([[1, 0], [1, 0]], finals=[1])  # ends in symbol 0
+        assert not a.equivalent_to(b)
+
+    def test_not_equivalent_different_alphabet(self):
+        a = two_state_dfa()
+        b = DFA([[0, 1, 0], [0, 1, 0]], finals=[1])
+        assert not a.equivalent_to(b)

@@ -1,0 +1,133 @@
+"""DFA algebra: union, intersection, difference, complement."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dfa import AhoCorasick, DFAError, build_dfa
+from repro.dfa.ops import complement, difference, intersection, product, \
+    union
+from repro.workloads import random_payload
+
+
+def dfa_for(patterns):
+    return build_dfa(patterns, 32)
+
+
+A = dfa_for([bytes([1, 2])])
+B = dfa_for([bytes([3, 4]), bytes([2, 3])])
+
+
+class TestUnion:
+    def test_counts_add_up(self):
+        text = bytes([1, 2, 3, 4, 0, 2, 3])
+        u = union(A, B)
+        # union's final entries: positions where either side is final.
+        a_trace = A.state_trace(text)
+        b_trace = B.state_trace(text)
+        expected = sum(1 for sa, sb in zip(a_trace, b_trace)
+                       if A.final_mask[sa] or B.final_mask[sb])
+        assert u.count_matches(text) == expected
+
+    def test_outputs_report_both_sides_with_shifted_ids(self):
+        u = union(A, B)
+        events = u.match_events(bytes([1, 2, 3]))
+        ids = {e.pattern for e in events}
+        assert 0 in ids         # A's pattern 0 ([1,2])
+        assert 2 in ids         # B's pattern 1 ([2,3]) shifted by 1
+
+    def test_union_equals_joint_dictionary(self):
+        """union(A, B) accepts exactly like one AC DFA over A∪B."""
+        joint = dfa_for([bytes([1, 2]), bytes([3, 4]), bytes([2, 3])])
+        assert union(A, B, minimal=True).equivalent_to(joint)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.binary(min_size=0, max_size=300).map(
+        lambda b: bytes(x % 32 for x in b)))
+    def test_union_final_entries_property(self, text):
+        u = union(A, B)
+        ta, tb = A.state_trace(text), B.state_trace(text)
+        expected = sum(1 for sa, sb in zip(ta, tb)
+                       if A.final_mask[sa] or B.final_mask[sb])
+        assert u.count_matches(text) == expected
+
+
+class TestIntersection:
+    def test_simultaneous_finality(self):
+        # A final after ..1,2 ; B final after ..2,3 — never simultaneous
+        # unless a position ends both [1,2] and ([2,3] or [3,4]).
+        inter = intersection(A, B)
+        assert inter.count_matches(bytes([1, 2, 3, 4])) == 0
+
+    def test_nonempty_intersection(self):
+        x = dfa_for([bytes([5])])
+        y = dfa_for([bytes([4, 5]), bytes([6])])
+        inter = intersection(x, y)
+        # position ending '5' preceded by '4' is final in both.
+        assert inter.count_matches(bytes([4, 5])) == 1
+        assert inter.count_matches(bytes([0, 5])) == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.binary(min_size=0, max_size=300).map(
+        lambda b: bytes(x % 32 for x in b)))
+    def test_intersection_property(self, text):
+        inter = intersection(A, B)
+        ta, tb = A.state_trace(text), B.state_trace(text)
+        expected = sum(1 for sa, sb in zip(ta, tb)
+                       if A.final_mask[sa] and B.final_mask[sb])
+        assert inter.count_matches(text) == expected
+
+
+class TestDifference:
+    def test_whitelisting(self):
+        """Alert on [1,2] unless it is part of whitelisted [1,2,9]... here:
+        positions final in A but not in W."""
+        w = dfa_for([bytes([2])])   # whitelists every '2' end position
+        diff = difference(A, w)
+        # every end of [1,2] also ends '2' -> nothing remains
+        assert diff.count_matches(bytes([1, 2, 1, 2])) == 0
+
+    def test_partial_whitelist(self):
+        x = dfa_for([bytes([1]), bytes([2])])
+        w = dfa_for([bytes([2])])
+        diff = difference(x, w)
+        assert diff.count_matches(bytes([1, 2, 1])) == 2  # only the 1s
+
+
+class TestComplement:
+    def test_flips_finality(self):
+        c = complement(A)
+        text = bytes([1, 2, 0])
+        assert A.count_matches(text) + c.count_matches(text) == len(text)
+
+    def test_double_complement_is_identity_language(self):
+        cc = complement(complement(A))
+        assert cc.equivalent_to(A)
+
+    def test_outputs_dropped(self):
+        assert complement(A).outputs == {}
+
+
+class TestProductMechanics:
+    def test_alphabet_mismatch_rejected(self):
+        with pytest.raises(DFAError, match="alphabet"):
+            union(A, build_dfa([bytes([1])], 16))
+
+    def test_reachable_only(self):
+        """Product states = reachable pairs, not the full cross product."""
+        u = union(A, B)
+        assert u.num_states <= A.num_states * B.num_states
+
+    def test_minimal_flag_shrinks(self):
+        raw = union(A, B, minimal=False)
+        small = union(A, B, minimal=True)
+        assert small.num_states <= raw.num_states
+        assert small.equivalent_to(raw)
+
+    def test_custom_rule(self):
+        xor = product(A, B, lambda fa, fb: fa != fb)
+        text = bytes([1, 2, 3])
+        ta, tb = A.state_trace(text), B.state_trace(text)
+        expected = sum(1 for sa, sb in zip(ta, tb)
+                       if bool(A.final_mask[sa]) != bool(B.final_mask[sb]))
+        assert xor.count_matches(text) == expected

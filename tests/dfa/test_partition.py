@@ -1,0 +1,100 @@
+"""Dictionary partitioning for series tiles / STT replacement."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dfa import DFAError, partition_patterns, trie_states
+from repro.dfa.partition import _TrieCounter
+
+
+def sym_pattern():
+    return st.binary(min_size=1, max_size=8).map(
+        lambda b: bytes(x % 31 + 1 for x in b))
+
+
+class TestTrieCounter:
+    def test_counts_shared_prefixes_once(self):
+        assert trie_states([bytes([1, 2, 3]), bytes([1, 2, 4])]) == 5
+
+    def test_duplicate_pattern_adds_nothing(self):
+        assert trie_states([bytes([1, 2]), bytes([1, 2])]) == 3
+
+    def test_added_states_prediction(self):
+        trie = _TrieCounter()
+        trie.insert(bytes([1, 2]))
+        assert trie.added_states(bytes([1, 2, 3])) == 1
+        assert trie.added_states(bytes([1, 2])) == 0
+        assert trie.added_states(bytes([7, 8])) == 2
+
+
+class TestPartition:
+    def test_single_slice_when_it_fits(self):
+        pats = [bytes([1, 2]), bytes([3, 4])]
+        pd = partition_patterns(pats, max_states=100)
+        assert pd.num_slices == 1
+        pd.validate()
+
+    def test_splits_on_budget(self):
+        pats = [bytes([i, i, i]) for i in range(1, 9)]  # 4 states each
+        pd = partition_patterns(pats, max_states=9)     # 2 patterns/slice
+        assert pd.num_slices == 4
+        pd.validate()
+
+    def test_every_slice_respects_budget(self):
+        pats = [bytes([i % 31 + 1, (i * 7) % 31 + 1, (i * 3) % 31 + 1])
+                for i in range(40)]
+        pd = partition_patterns(pats, max_states=12)
+        pd.validate()
+        for dfa in pd.dfas:
+            assert dfa.num_states <= 12
+
+    def test_oversized_pattern_rejected(self):
+        with pytest.raises(DFAError, match="by itself"):
+            partition_patterns([bytes([1] * 50)], max_states=10)
+
+    def test_tiny_budget_rejected(self):
+        with pytest.raises(DFAError):
+            partition_patterns([bytes([1])], max_states=1)
+
+    def test_empty_dictionary_rejected(self):
+        with pytest.raises(DFAError):
+            partition_patterns([], max_states=10)
+
+    def test_global_pattern_id_roundtrip(self):
+        pats = [bytes([i, i]) for i in range(1, 7)]
+        pd = partition_patterns(pats, max_states=5)
+        seen = set()
+        for si in range(pd.num_slices):
+            for li in range(len(pd.groups[si])):
+                seen.add(pd.global_pattern_id(si, li))
+        assert seen == set(range(len(pats)))
+
+    def test_slice_patterns(self):
+        pats = [bytes([1, 2]), bytes([3, 4])]
+        pd = partition_patterns(pats, max_states=100)
+        assert pd.slice_patterns(0) == pats
+
+    def test_total_states(self):
+        pats = [bytes([1, 2])]
+        pd = partition_patterns(pats, max_states=100)
+        assert pd.total_states() == 3
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(sym_pattern(), min_size=1, max_size=15, unique=True),
+           st.integers(min_value=10, max_value=60))
+    def test_partition_invariants(self, patterns, budget):
+        pd = partition_patterns(patterns, budget)
+        pd.validate()
+        # Union of slices' match events == monolithic dictionary events.
+        from repro.dfa import AhoCorasick
+        import numpy as np
+        text = bytes(np.random.default_rng(0).integers(0, 32, 150,
+                                                       dtype=np.uint8))
+        mono = AhoCorasick(patterns, 32).find_all(text)
+        combined = []
+        for si in range(pd.num_slices):
+            ac = AhoCorasick(pd.slice_patterns(si), 32)
+            for ev in ac.find_all(text):
+                combined.append((ev.end, pd.global_pattern_id(si,
+                                                              ev.pattern)))
+        assert sorted(combined) == sorted((e.end, e.pattern) for e in mono)

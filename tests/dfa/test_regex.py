@@ -1,0 +1,189 @@
+"""Regex pipeline: parser, Thompson NFA, determinization, minimization."""
+
+import re
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dfa.alphabet import case_fold_32, identity_fold
+from repro.dfa.regex import (
+    RegexError,
+    compile_patterns,
+    compile_regex,
+    determinize,
+    minimize,
+    parse,
+)
+from repro.dfa.regex.nfa import build_nfa, combine
+from repro.dfa.regex.parser import Alt, Concat, Empty, Repeat, SymbolSet
+
+
+FOLD = identity_fold(128)  # ASCII-transparent fold for re comparison
+
+
+class TestParser:
+    def test_literal_concat(self):
+        ast = parse("abc", FOLD)
+        assert isinstance(ast, Concat)
+        assert len(ast.parts) == 3
+
+    def test_alternation(self):
+        ast = parse("a|b|c", FOLD)
+        assert isinstance(ast, Alt)
+        assert len(ast.options) == 3
+
+    def test_quantifiers(self):
+        for pat, lo, hi in [("a*", 0, None), ("a+", 1, None),
+                            ("a?", 0, 1), ("a{3}", 3, 3),
+                            ("a{2,}", 2, None), ("a{2,5}", 2, 5)]:
+            ast = parse(pat, FOLD)
+            assert isinstance(ast, Repeat)
+            assert (ast.lo, ast.hi) == (lo, hi)
+
+    def test_char_class_range(self):
+        ast = parse("[a-c]", FOLD)
+        assert ast.symbols == frozenset({ord("a"), ord("b"), ord("c")})
+
+    def test_negated_class(self):
+        ast = parse("[^a]", FOLD)
+        assert ord("a") not in ast.symbols
+        assert ord("b") in ast.symbols
+
+    def test_dot_is_full_alphabet(self):
+        ast = parse(".", FOLD)
+        assert len(ast.symbols) == FOLD.width
+
+    def test_escapes(self):
+        assert parse(r"\x41", FOLD).symbols == frozenset({0x41})
+        assert ord("5") in parse(r"\d", FOLD).symbols
+        assert ord("_") in parse(r"\w", FOLD).symbols
+        assert ord(" ") in parse(r"\s", FOLD).symbols
+        assert parse(r"\.", FOLD).symbols == frozenset({ord(".")})
+
+    def test_empty_pattern_is_epsilon(self):
+        assert isinstance(parse("", FOLD), Empty)
+
+    def test_class_folding(self):
+        """[a-c] over the case fold collapses onto uppercase symbols."""
+        fold = case_fold_32()
+        ast = parse("[a-c]", fold)
+        expected = {fold.fold_byte(ord(c)) for c in "abc"}
+        assert ast.symbols == frozenset(expected)
+
+    @pytest.mark.parametrize("bad", [
+        "a{2,1}", "(", ")", "a)", "[", "[]", "*a", "|*", "a{", r"\q",
+        r"\xZZ", "[z-a]",
+    ])
+    def test_malformed_patterns_rejected(self, bad):
+        with pytest.raises(RegexError):
+            parse(bad, FOLD)
+
+
+class TestCompileSemantics:
+    def count_re(self, pattern, text):
+        """Occurrence count with Python re (overlapping end positions)."""
+        count = 0
+        for i in range(len(text) + 1):
+            m = re.match(f"(?:{pattern})$", text[:i], flags=0)
+            # Count end positions where some suffix matches: emulate the
+            # unanchored acceptor: final at position i iff any substring
+            # ending at i matches.
+            for j in range(i + 1):
+                if re.fullmatch(pattern, text[j:i]):
+                    count += 1
+                    break
+        return count
+
+    @pytest.mark.parametrize("pattern,text,expected", [
+        ("AB", "ZABAB", 2),
+        ("A+B", "AAABxAB", 2),
+        ("A(B|C)D", "ABDxACD", 2),
+        ("A.C", "ABCxAZC", 2),
+        ("AB?C", "ACxABC", 2),
+        ("A{2,3}", "AAAA", 3),      # ends at 2,3,4
+    ])
+    def test_known_counts(self, pattern, text, expected):
+        dfa = compile_regex(pattern, FOLD)
+        assert dfa.count_matches(text.encode()) == expected
+
+    def test_unanchored_scanner_matches_anywhere(self):
+        dfa = compile_regex("XY", FOLD)
+        assert dfa.count_matches(b"aaXYbb") == 1
+
+    def test_anchored_mode(self):
+        dfa = compile_regex("AB", FOLD, unanchored=False)
+        assert dfa.count_matches(b"AB") == 1
+        assert dfa.count_matches(b"ZAB") == 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.text(alphabet="ABC", min_size=0, max_size=30))
+    def test_against_python_re(self, text):
+        """Final-entry count == number of positions where some substring
+        ending there matches — cross-checked with Python's re."""
+        pattern = "A(B|C)*A"
+        dfa = compile_regex(pattern, FOLD)
+        expected = sum(
+            1 for i in range(1, len(text) + 1)
+            if any(re.fullmatch(pattern, text[j:i])
+                   for j in range(i))
+        )
+        assert dfa.count_matches(text.encode()) == expected
+
+    def test_multi_pattern_outputs(self):
+        dfa = compile_patterns(["AB", "CD"], FOLD)
+        events = dfa.match_events(b"ABxCD")
+        assert {(e.end, e.pattern) for e in events} == {(2, 0), (5, 1)}
+
+    def test_case_fold_regex(self):
+        fold = case_fold_32()
+        dfa = compile_regex("VIRUS", fold)
+        assert dfa.count_matches(fold.fold_bytes(b"a ViRuS!")) == 1
+
+
+class TestMinimization:
+    def test_minimize_preserves_language(self):
+        raw = compile_regex("A(B|C)+D", FOLD, minimal=False)
+        small = minimize(raw)
+        assert small.num_states <= raw.num_states
+        assert small.equivalent_to(raw)
+
+    def test_minimize_reduces_redundancy(self):
+        # After 'A' and after 'C' the suffix language is identical, so the
+        # two subset states must merge.
+        raw = compile_regex("AB|CB", FOLD, minimal=False)
+        small = minimize(raw)
+        assert small.num_states < raw.num_states
+
+    def test_minimize_keeps_distinct_outputs_apart(self):
+        """States reporting different pattern ids must not merge."""
+        dfa = compile_patterns(["AB", "CB"], FOLD)
+        texts = [(b"AB", 0), (b"CB", 1)]
+        for text, pid in texts:
+            events = dfa.match_events(text)
+            assert events and all(e.pattern == pid for e in events)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.text(alphabet="AB", min_size=0, max_size=20))
+    def test_minimized_equals_raw_on_inputs(self, text):
+        raw = compile_regex("A*BA?", FOLD, minimal=False)
+        small = minimize(raw)
+        assert small.count_matches(text.encode()) == \
+            raw.count_matches(text.encode())
+
+
+class TestNFA:
+    def test_epsilon_closure(self):
+        ast = parse("A?", FOLD)
+        nfa = build_nfa(ast, FOLD.width, unanchored=False)
+        closure = nfa.epsilon_closure({nfa.start})
+        # A? can accept immediately: closure contains an accepting state.
+        assert nfa.accepted_patterns(closure)
+
+    def test_combine_requires_patterns(self):
+        with pytest.raises(RegexError):
+            combine([], FOLD.width)
+
+    def test_determinize_is_complete(self):
+        nfa = build_nfa(parse("AB", FOLD), FOLD.width)
+        dfa = determinize(nfa)
+        assert dfa.transitions.shape[1] == FOLD.width

@@ -1,0 +1,69 @@
+"""DOT export of automata."""
+
+import pytest
+
+from repro.dfa import build_dfa, case_fold_32
+from repro.dfa.visualize import symbol_labels, to_dot
+
+
+@pytest.fixture(scope="module")
+def dfa():
+    return build_dfa([bytes([1, 2]), bytes([3])], 32)
+
+
+class TestToDot:
+    def test_structure(self, dfa):
+        dot = to_dot(dfa)
+        assert dot.startswith("digraph dfa {")
+        assert dot.rstrip().endswith("}")
+        assert f"start -> s{dfa.start};" in dot
+
+    def test_final_states_doubled(self, dfa):
+        dot = to_dot(dfa)
+        for f in dfa.finals:
+            assert f"s{f} [shape=doublecircle];" in dot
+
+    def test_outputs_labelled(self, dfa):
+        dot = to_dot(dfa)
+        assert "out:" in dot
+
+    def test_start_edges_suppressed_by_default(self, dfa):
+        dot = to_dot(dfa)
+        assert f"-> s{dfa.start} [" not in dot
+        full = to_dot(dfa, skip_to_start=False)
+        assert f"-> s{dfa.start} [" in full
+
+    def test_symbol_ranges_collapse(self, dfa):
+        # Build a state with a contiguous symbol range to one target.
+        from repro.dfa.automaton import DFA
+        table = [[1] * 32, [1] * 32]
+        d = DFA(table, finals=[1])
+        dot = to_dot(d, skip_to_start=False)
+        assert '"0-31"' in dot
+
+    def test_fold_labels(self, dfa):
+        fold = case_fold_32()
+        dot = to_dot(dfa, fold=fold)
+        # Symbol 1 is 'A' under the case fold.
+        assert '"A' in dot or 'A"' in dot or "A-" in dot
+
+    def test_too_many_states_rejected(self):
+        from repro.workloads import signatures_for_states
+        big = build_dfa(signatures_for_states(300, seed=1), 32)
+        with pytest.raises(ValueError, match="slice"):
+            to_dot(big, max_states=100)
+
+    def test_every_state_mentioned(self, dfa):
+        dot = to_dot(dfa, skip_to_start=False)
+        for s in range(dfa.num_states):
+            assert f"s{s}" in dot
+
+
+class TestSymbolLabels:
+    def test_case_fold_letters(self):
+        labels = symbol_labels(case_fold_32())
+        assert labels[1] == "A"
+        assert labels[26] == "Z"
+
+    def test_width_matches(self):
+        assert len(symbol_labels(case_fold_32())) == 32

@@ -1,0 +1,88 @@
+"""Additional end-to-end slices: profiler on every kernel version, the
+module CLI entry point, and report-format consistency."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.cell.isa import EVEN, ODD
+from repro.cell.profiler import profile
+from repro.core.planner import plan_tile
+from repro.core.tile import DFATile
+from repro.dfa import build_dfa
+from repro.workloads import random_signatures, streams_for_tile
+
+PATTERNS = random_signatures(5, 3, 6, seed=110)
+
+
+@pytest.fixture(scope="module")
+def tile():
+    return DFATile(build_dfa(PATTERNS, 32),
+                   plan=plan_tile(buffer_bytes=2048))
+
+
+class TestProfilerAcrossVersions:
+    @pytest.mark.parametrize("version", [1, 2, 3, 4, 5])
+    def test_profile_consistency(self, tile, version):
+        transitions = 480 if version == 1 else 96 * 16
+        per_stream = 480 if version == 1 else 96
+        kernel = tile.kernel_for(transitions, version)
+        kernel.write_start_states(tile.local_store)
+        tile.local_store.write(kernel.input_base,
+                               bytes(kernel.transitions))
+        tile.spu.reset()
+        prof = profile(tile.spu, kernel.program)
+        # One STT load per transition; the scalar kernel also reloads
+        # the input quadword every byte (plus the one-ahead preamble).
+        expected = 2 * kernel.transitions + 1 if version == 1 \
+            else kernel.transitions
+        assert prof.opcode_counts["lqx"] == expected
+        assert prof.dynamic_instructions == prof.stats.instructions
+        assert prof.issue_bound_cycles <= prof.stats.cycles
+
+    def test_spilled_version_has_heavier_odd_pipe(self, tile):
+        def odd_fraction(version):
+            kernel = tile.kernel_for(96 * 16, version)
+            kernel.write_start_states(tile.local_store)
+            tile.local_store.write(kernel.input_base,
+                                   bytes(kernel.transitions))
+            tile.spu.reset()
+            prof = profile(tile.spu, kernel.program)
+            return 1.0 - prof.even_fraction
+
+        assert odd_fraction(5) > odd_fraction(4)
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_repro(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "info"],
+            capture_output=True, text=True, timeout=120)
+        assert result.returncode == 0
+        assert "5.11" in result.stdout
+
+    def test_scan_via_subprocess(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "scan", "--pattern", "worm",
+             "--text", "a WORM!"],
+            capture_output=True, text=True, timeout=120)
+        assert result.returncode == 0
+        assert "matches       : 1" in result.stdout
+
+
+class TestTileThroughputConsistency:
+    def test_tile_result_matches_spu_stats(self, tile):
+        streams = streams_for_tile(96, PATTERNS, seed=111)
+        result = tile.run_streams(streams, version=4)
+        # Gbps derived two ways must agree.
+        via_cpt = 8 * 3.2e9 / result.cycles_per_transition / 1e9
+        assert result.throughput_gbps() == pytest.approx(via_cpt)
+
+    def test_versions_share_reference(self, tile):
+        """Different kernel versions on the same streams: all verified,
+        all equal (same stream lengths)."""
+        streams = streams_for_tile(96, PATTERNS, seed=112)
+        totals = {v: tile.run_streams(streams, version=v).total_matches
+                  for v in (2, 3, 5)}
+        assert len(set(totals.values())) == 1

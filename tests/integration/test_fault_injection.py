@@ -1,0 +1,111 @@
+"""Fault injection: the verification machinery must actually catch bugs.
+
+Every tile run is verified against the reference DFA.  These tests
+deliberately corrupt the system — the STT image in the local store, the
+saved states, the filter pack — and assert the corruption is *detected*,
+not silently absorbed.  A verifier that never fires is worthless; this is
+its test."""
+
+import numpy as np
+import pytest
+
+from repro.core.artifact import ArtifactError, pack_filter, unpack_filter
+from repro.core.planner import plan_tile
+from repro.core.tile import DFATile, TileError
+from repro.dfa import build_dfa, case_fold_32
+from repro.workloads import plant_matches, random_payload, \
+    random_signatures
+
+PATTERNS = random_signatures(6, 3, 6, seed=70)
+
+
+def fresh_tile():
+    return DFATile(build_dfa(PATTERNS, 32),
+                   plan=plan_tile(buffer_bytes=1024))
+
+
+def planted_streams(seed):
+    rng = np.random.default_rng(seed)
+    return [plant_matches(random_payload(96, seed=int(rng.integers(2**31))),
+                          PATTERNS, 2, seed=int(rng.integers(2**31)))
+            for _ in range(16)]
+
+
+class TestSTTCorruption:
+    def test_corrupted_stt_detected_by_verification(self):
+        tile = fresh_tile()
+        streams = planted_streams(1)
+        # Sanity: clean run verifies.
+        tile.run_streams(streams)
+        # Corrupt one STT cell that the planted patterns traverse: redirect
+        # the start state's transition for the first pattern symbol.
+        sym = PATTERNS[0][0]
+        addr = tile.plan.stt_base + sym * 4
+        cell = int.from_bytes(tile.local_store.read(addr, 4), "big")
+        # Point it back at the start row without the final flag.
+        tile.local_store.write(addr, tile.stt.start_pointer.to_bytes(
+            4, "big"))
+        with pytest.raises(TileError, match="mismatch"):
+            tile.run_streams(streams)
+        # Restore and verify recovery.
+        tile.local_store.write(addr, cell.to_bytes(4, "big"))
+        tile.run_streams(streams)
+
+    def test_flag_bit_corruption_detected(self):
+        """Setting a stray final flag inflates counts -> caught."""
+        tile = fresh_tile()
+        streams = planted_streams(2)
+        sym = 0  # symbol 0 never appears in patterns, so stray flag fires
+        addr = tile.plan.stt_base + sym * 4
+        cell = int.from_bytes(tile.local_store.read(addr, 4), "big")
+        tile.local_store.write(addr, (cell | 1).to_bytes(4, "big"))
+        with pytest.raises(TileError, match="mismatch"):
+            tile.run_streams(streams)
+
+
+class TestStateAreaCorruption:
+    def test_poisoned_saved_state_detected(self):
+        """A bogus saved state pointer changes counts -> caught.
+
+        Lane 0 carries pattern[0] minus its first symbol: from the true
+        start state that is no match, but from the poisoned state (the
+        start state after consuming the first symbol) it completes one —
+        a deterministic off-by-one the verifier must flag."""
+        tile = fresh_tile()
+        p0 = PATTERNS[0]
+        lane0 = (bytes(p0[1:]) + bytes(126))[:126]
+        streams = [lane0] + [bytes(126) for _ in range(15)]
+        # The kernel used for the first chunk: min(2016, 1008) = 1008
+        # transition bytes; run_streams calls its write_start_states.
+        kernel = tile.kernel_for(1008, version=4)
+        tile.run_streams(streams)  # clean run verifies
+
+        after_first = tile.dfa.step(tile.dfa.start, p0[0])
+        poison_ptr = tile.stt.state_to_pointer(after_first)
+        original = kernel.write_start_states
+
+        def poisoned(ls):
+            original(ls)
+            ls.write(kernel.states_base, poison_ptr.to_bytes(4, "big")
+                     + bytes(12))
+
+        kernel.write_start_states = poisoned
+        try:
+            with pytest.raises(TileError, match="mismatch"):
+                tile.run_streams(streams)
+        finally:
+            kernel.write_start_states = original
+
+
+class TestArtifactCorruption:
+    def test_every_section_protected(self):
+        fold = case_fold_32()
+        dfa = build_dfa(PATTERNS, 32)
+        blob = pack_filter(dfa, fold)
+        # Hit header, fold table, transitions, finals, outputs, crc.
+        probe_points = [5, 100, 400, len(blob) - 30, len(blob) - 2]
+        for pos in probe_points:
+            corrupted = bytearray(blob)
+            corrupted[pos] ^= 0x08
+            with pytest.raises(ArtifactError):
+                unpack_filter(bytes(corrupted))

@@ -1,0 +1,104 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestScan:
+    def test_inline_text(self, capsys):
+        rc = main(["scan", "--pattern", "virus", "--pattern", "worm",
+                   "--text", "a Virus and a WoRm"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "matches       : 2" in out
+        assert "Gbps" in out
+
+    def test_events_listed(self, capsys):
+        rc = main(["scan", "--pattern", "AB", "--text", "xABx",
+                   "--events"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "end=3" in out and "'AB'" in out
+
+    def test_file_input(self, tmp_path, capsys):
+        data = tmp_path / "traffic.bin"
+        data.write_bytes(b"zzATTACKzz")
+        rc = main(["scan", "--pattern", "attack", str(data)])
+        assert rc == 0
+        assert "matches       : 1" in capsys.readouterr().out
+
+    def test_patterns_file(self, tmp_path, capsys):
+        pf = tmp_path / "sigs.txt"
+        pf.write_text("virus\nworm\n")
+        rc = main(["scan", "--patterns-file", str(pf), "--text",
+                   "wormy virus"])
+        assert rc == 0
+        assert "matches       : 2" in capsys.readouterr().out
+
+    def test_regex_mode(self, capsys):
+        rc = main(["scan", "--regex", "--pattern", "W[OA]RM", "--text",
+                   "warm worm"])
+        assert rc == 0
+        assert "matches       : 2" in capsys.readouterr().out
+
+    def test_no_patterns_errors(self, capsys):
+        rc = main(["scan", "--text", "x"])
+        assert rc == 2
+        assert "no patterns" in capsys.readouterr().err
+
+    def test_no_input_errors(self, capsys):
+        rc = main(["scan", "--pattern", "a"])
+        assert rc == 2
+        assert "input" in capsys.readouterr().err
+
+
+class TestPlan:
+    def test_resident_plan(self, capsys):
+        rc = main(["plan", "--states", "800"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "resident" in out
+
+    def test_series_plan(self, capsys):
+        rc = main(["plan", "--states", "5000", "--spes", "8"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "series" in out
+
+    def test_replacement_plan(self, capsys):
+        rc = main(["plan", "--states", "60000", "--spes", "8"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "replacement" in out
+        assert "best topology" in out
+
+    def test_plan_from_patterns_file(self, tmp_path, capsys):
+        pf = tmp_path / "sigs.txt"
+        pf.write_text("\n".join(f"SIG{i:04d}XYZ" for i in range(40)))
+        rc = main(["plan", "--patterns-file", str(pf)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "DFA states" in out
+
+    def test_degenerate_dictionary(self, capsys):
+        rc = main(["plan", "--states", "1"])
+        assert rc == 2
+
+
+class TestOthers:
+    def test_info(self, capsys):
+        rc = main(["info"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "5.11" in out and "40.88" in out
+
+    def test_table1_small(self, capsys):
+        rc = main(["table1", "--transitions", "192"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "v4" in out and "cyc/tr" in out
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

@@ -1,0 +1,94 @@
+"""Structured corpora generators."""
+
+import pytest
+
+from repro.dfa import case_fold_32
+from repro.workloads import english_like, http_requests, log_lines
+
+
+class TestEnglishLike:
+    def test_length_exact(self):
+        assert len(english_like(500, seed=1)) == 500
+
+    def test_deterministic(self):
+        assert english_like(200, seed=2) == english_like(200, seed=2)
+        assert english_like(200, seed=2) != english_like(200, seed=3)
+
+    def test_mostly_letters_and_spaces(self):
+        text = english_like(2000, seed=4)
+        letters = sum(1 for b in text
+                      if chr(b).isalpha() or b == ord(" "))
+        assert letters == len(text)
+
+    def test_exercises_fold_letter_buckets(self):
+        """Structured text visits many distinct folded symbols, unlike
+        payloads of unmapped bytes which all bucket to 0."""
+        fold = case_fold_32()
+        folded = fold.fold_bytes(english_like(2000, seed=5))
+        assert len(set(folded)) > 20
+
+    def test_zero_length(self):
+        assert english_like(0) == b""
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            english_like(-1)
+
+
+class TestHttpRequests:
+    def test_count_and_shape(self):
+        reqs = http_requests(10, seed=6)
+        assert len(reqs) == 10
+        for r in reqs:
+            assert r.split(b" ", 2)[1].startswith(b"/")
+            assert b"HTTP/1.1" in r
+            assert b"Host:" in r
+
+    def test_injection_appears(self):
+        marker = b"EVIL_SIGNATURE_XYZ"
+        reqs = http_requests(60, seed=7, inject=[marker])
+        assert any(marker in r for r in reqs)
+
+    def test_no_injection_by_default(self):
+        reqs = http_requests(30, seed=8)
+        assert not any(b"X-Data:" in r for r in reqs)
+
+    def test_deterministic(self):
+        assert http_requests(5, seed=9) == http_requests(5, seed=9)
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            http_requests(0)
+
+
+class TestLogLines:
+    def test_line_count(self):
+        text = log_lines(25, seed=10)
+        assert text.count(b"\n") == 25
+
+    def test_timestamps_monotone(self):
+        text = log_lines(20, seed=11)
+        stamps = [int(line.split(b" ", 1)[0])
+                  for line in text.splitlines()]
+        assert stamps == sorted(stamps)
+        assert len(set(stamps)) == len(stamps)
+
+    def test_levels_present(self):
+        text = log_lines(50, seed=12)
+        assert any(level in text
+                   for level in (b"INFO", b"WARN", b"ERROR", b"DEBUG"))
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            log_lines(0)
+
+
+class TestCorporaIntegration:
+    def test_matcher_finds_injected_signatures_in_http(self):
+        from repro.core.matcher import CellStringMatcher
+        signature = b"UNION SELECT"
+        reqs = http_requests(80, seed=13, inject=[signature])
+        matcher = CellStringMatcher([signature])
+        hits = sum(matcher.scan(r).total_matches for r in reqs)
+        expected = sum(1 for r in reqs if signature in r)
+        assert hits >= expected >= 1

@@ -1,0 +1,150 @@
+"""Workload generators: determinism, ranges, planted-match honesty."""
+
+import numpy as np
+import pytest
+
+from repro.dfa import AhoCorasick, case_fold_32
+from repro.workloads import (
+    adversarial_payload,
+    ascii_keywords,
+    packet_stream,
+    plant_matches,
+    prefix_heavy_signatures,
+    random_payload,
+    random_signatures,
+    signatures_for_states,
+    streams_for_tile,
+)
+from repro.dfa.partition import trie_states
+
+
+class TestRandomSignatures:
+    def test_deterministic_under_seed(self):
+        assert random_signatures(10, seed=1) == random_signatures(10, seed=1)
+        assert random_signatures(10, seed=1) != random_signatures(10, seed=2)
+
+    def test_distinct_and_sized(self):
+        sigs = random_signatures(50, 4, 9, seed=3)
+        assert len(set(sigs)) == 50
+        assert all(4 <= len(s) <= 9 for s in sigs)
+
+    def test_symbols_in_alphabet_avoiding_zero(self):
+        sigs = random_signatures(30, seed=4)
+        for s in sigs:
+            assert all(1 <= b < 32 for b in s)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            random_signatures(0)
+        with pytest.raises(ValueError):
+            random_signatures(5, min_len=0)
+        with pytest.raises(ValueError):
+            random_signatures(5, min_len=9, max_len=3)
+
+    def test_impossible_request_detected(self):
+        # 2-symbol alphabet minus avoided symbol: only 1 value -> at most
+        # max_len distinct patterns of length 1..1.
+        with pytest.raises(ValueError, match="distinct"):
+            random_signatures(10, 1, 1, alphabet_size=2, seed=0)
+
+
+class TestSignaturesForStates:
+    @pytest.mark.parametrize("target", [50, 200, 800, 1600])
+    def test_state_count_near_target(self, target):
+        sigs = signatures_for_states(target, seed=5)
+        states = trie_states(sigs)
+        assert target <= states <= target + 12  # overshoot < max_len
+
+    def test_rejects_tiny_target(self):
+        with pytest.raises(ValueError):
+            signatures_for_states(1)
+
+
+class TestPrefixHeavy:
+    def test_sharing_reduces_states(self):
+        heavy = prefix_heavy_signatures(40, seed=6)
+        flat = random_signatures(40, 10, 10, seed=6)
+        assert trie_states(heavy) < trie_states(flat)
+
+    def test_count_and_distinct(self):
+        sigs = prefix_heavy_signatures(25, seed=7)
+        assert len(set(sigs)) == 25
+
+
+class TestAsciiKeywords:
+    def test_foldable(self):
+        fold = case_fold_32()
+        words = ascii_keywords(20, seed=8)
+        for w in words:
+            folded = fold.fold_bytes(w)
+            assert all(b < 32 for b in folded)
+
+    def test_distinct(self):
+        words = ascii_keywords(100, seed=9)
+        assert len(set(words)) == 100
+
+
+class TestTraffic:
+    def test_random_payload_range(self):
+        data = random_payload(1000, alphabet_size=32, seed=1)
+        assert len(data) == 1000
+        assert max(data) < 32
+
+    def test_plant_matches_actually_plants(self):
+        patterns = random_signatures(5, 3, 5, seed=2)
+        payload = plant_matches(random_payload(2000, seed=3), patterns, 10,
+                                seed=4)
+        ac = AhoCorasick(patterns, 32)
+        assert len(ac.find_all(payload)) >= 1
+
+    def test_plant_matches_preserves_length(self):
+        patterns = random_signatures(3, 3, 4, seed=5)
+        payload = random_payload(500, seed=6)
+        planted = plant_matches(payload, patterns, 5, seed=7)
+        assert len(planted) == len(payload)
+
+    def test_plant_matches_errors(self):
+        with pytest.raises(ValueError):
+            plant_matches(b"xy", [bytes([1, 2, 3])], 1)
+        with pytest.raises(ValueError):
+            plant_matches(b"xyz", [], 1)
+
+    def test_packet_stream_shapes(self):
+        patterns = random_signatures(4, 3, 5, seed=8)
+        packets = packet_stream(30, 64, 256, patterns=patterns,
+                                match_fraction=0.5, seed=9)
+        assert len(packets) == 30
+        assert all(64 <= len(p) <= 256 for p in packets)
+
+    def test_packet_stream_deterministic(self):
+        a = packet_stream(5, seed=10)
+        b = packet_stream(5, seed=10)
+        assert a == b
+
+    def test_streams_for_tile(self):
+        patterns = random_signatures(4, 3, 5, seed=11)
+        streams = streams_for_tile(96, patterns, seed=12)
+        assert len(streams) == 16
+        assert all(len(s) == 96 for s in streams)
+
+
+class TestAdversarial:
+    def test_never_actually_matches(self):
+        pattern = bytes([1, 2, 3, 4, 5])
+        payload = adversarial_payload(pattern, 1000)
+        ac = AhoCorasick([pattern], 32)
+        assert ac.find_all(payload) == []
+
+    def test_length_exact(self):
+        assert len(adversarial_payload(bytes([1, 2, 3]), 100)) == 100
+
+    def test_mismatch_at_start_variant(self):
+        pattern = bytes([1, 2, 3])
+        payload = adversarial_payload(pattern, 99, mismatch_at_end=False)
+        assert AhoCorasick([pattern], 32).find_all(payload) == []
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            adversarial_payload(b"", 10)
+        with pytest.raises(ValueError):
+            adversarial_payload(b"ab", 0)
