@@ -12,6 +12,7 @@ so they survive pytest's output capture; EXPERIMENTS.md summarizes them.
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
@@ -29,3 +30,19 @@ def report():
         (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
 
     return _report
+
+
+@pytest.fixture(scope="session")
+def report_json():
+    """Callable fixture: ``report_json(name, payload)`` writes the
+    machine-readable companion ``results/BENCH_<name>.json`` so the perf
+    trajectory can be diffed across PRs by tooling, not eyeballs."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _report_json(name: str, payload) -> None:
+        path = RESULTS_DIR / f"BENCH_{name}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True)
+                        + "\n")
+        print(f"[bench json] {path}")
+
+    return _report_json

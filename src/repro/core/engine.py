@@ -5,8 +5,22 @@ byte per lane — maps directly onto numpy: keep a vector of current states,
 gather next states with one fancy-indexing step per input position, and
 accumulate final-state entries.  This module is the *native-speed* engine of
 the library (the :mod:`repro.cell` path is the cycle-accounted simulation);
-it is used by the composition layer, the baselines comparison and any
-caller who just wants fast multi-pattern matching.
+it is used by the composition layer, the host-parallel layer
+(:mod:`repro.parallel`), the baselines comparison and any caller who just
+wants fast multi-pattern matching.
+
+The inner loop mirrors the paper's §4 pointer trick on the host:
+
+* the STT is flattened into one ``int32`` array with **two cells per
+  symbol** per row, so a state is a *pre-scaled row offset* and a
+  transition is a single gather — no per-step ``state × alphabet``
+  multiply;
+* **bit 0 of every cell is the is-final flag** of the destination state
+  (each transition is duplicated at even/odd offsets, so a tagged pointer
+  indexes the table correctly *without stripping the flag first*);
+* the time loop is **strip-mined**: states for a block of positions are
+  written into a strip matrix and the final-flag accumulation happens once
+  per strip instead of once per step, amortizing numpy dispatch overhead.
 
 Two scan modes:
 
@@ -23,13 +37,219 @@ Two scan modes:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..dfa.automaton import DFA, DFAError
 
-__all__ = ["VectorDFAEngine", "StreamResult"]
+__all__ = [
+    "VectorDFAEngine",
+    "StreamResult",
+    "FlatScanner",
+    "build_flat_table",
+    "build_weight_table",
+    "count_arr",
+]
+
+#: Positions per strip of the strip-mined time loop.  Large enough to
+#: amortize the per-strip flag reduction, small enough that the strip
+#: matrices stay cache-resident for typical lane counts.
+STRIP = 128
+
+
+def build_flat_table(transitions: np.ndarray,
+                     final_mask: np.ndarray) -> Tuple[np.ndarray, int]:
+    """Flag-encoded flat STT (the paper's §4 tagged row pointers).
+
+    Row stride is ``2 × alphabet_size`` cells and every transition is
+    stored twice, at offsets ``2·symbol`` and ``2·symbol + 1`` of its row.
+    A cell holds ``dest_row_offset | is_final(dest)``: the row offset is a
+    multiple of the (even) stride, so bit 0 is free for the flag, and the
+    duplication makes ``flat[tagged_ptr + 2·symbol]`` land on the right
+    cell whether or not the flag bit is set — the hot loop never masks.
+
+    Returns ``(flat, stride)`` with ``flat`` a 1-D contiguous ``int32``
+    array of ``num_states × stride`` cells.
+    """
+    table = np.asarray(transitions, dtype=np.int64)
+    num_states, alphabet = table.shape
+    stride = 2 * alphabet
+    top = (num_states - 1) * stride + 1
+    if top > np.iinfo(np.int32).max:
+        raise DFAError(
+            f"flat STT needs offsets up to {top}, beyond int32; "
+            f"{num_states} states × {alphabet} symbols is too large")
+    cells = table * stride + np.asarray(final_mask)[table]
+    flat = np.empty((num_states, stride), dtype=np.int32)
+    flat[:, 0::2] = cells
+    flat[:, 1::2] = cells
+    return np.ascontiguousarray(flat.reshape(-1)), stride
+
+
+def build_weight_table(dfa: DFA) -> np.ndarray:
+    """Per-state match multiplicities, addressable by ``pointer >> 1``.
+
+    ``weight[s]`` is the number of dictionary entries recognized on
+    *entering* state ``s``: ``len(outputs[s])`` when outputs are attached,
+    else 1 for final states (the paper's counting kernels) and 0 for the
+    rest.  The table is expanded to ``num_states × alphabet`` so that a
+    tagged pointer's high bits (``ptr >> 1 == state × alphabet``) index it
+    directly — the "other frugal output values" the paper packs next to
+    the flag, kept in a side table here because multiplicities exceed the
+    one spare bit.
+    """
+    weights = np.zeros(dfa.num_states * dfa.alphabet_size + 1,
+                       dtype=np.int32)
+    for s in range(dfa.num_states):
+        if dfa.final_mask[s]:
+            weights[s * dfa.alphabet_size] = \
+                len(dfa.outputs.get(s, ())) or 1
+    return weights
+
+
+class FlatScanner:
+    """Lockstep interpreter over a flag-encoded flat STT.
+
+    Decoupled from :class:`DFA` so it can run over *borrowed* memory — in
+    particular over tables living in ``multiprocessing.shared_memory``
+    segments attached by :mod:`repro.parallel` workers.
+    """
+
+    def __init__(self, flat: np.ndarray, alphabet_size: int, start: int,
+                 num_states: int) -> None:
+        self.flat = flat
+        self.alphabet_size = int(alphabet_size)
+        self.start = int(start)
+        self.num_states = int(num_states)
+        self.stride = 2 * self.alphabet_size
+
+    @classmethod
+    def from_dfa(cls, dfa: DFA) -> "FlatScanner":
+        flat, _ = build_flat_table(dfa.transitions, dfa.final_mask)
+        return cls(flat, dfa.alphabet_size, dfa.start, dfa.num_states)
+
+    # -- pointer/state conversions ----------------------------------------------
+
+    def pointer(self, state: int) -> int:
+        """Untagged row pointer of ``state``."""
+        return int(state) * self.stride
+
+    def state_of(self, ptrs):
+        """Tagged pointer(s) → state id(s); works on scalars and arrays."""
+        return (ptrs >> 1) // self.alphabet_size
+
+    # -- hot loop ----------------------------------------------------------------
+
+    def scan_cols(self, cols: np.ndarray, ptrs: np.ndarray,
+                  counts: np.ndarray,
+                  weights: Optional[np.ndarray] = None) -> np.ndarray:
+        """Lockstep scan of a position-major symbol matrix.
+
+        ``cols`` has shape ``(length, lanes)`` (row ``t`` holds every
+        lane's symbol at position ``t``), ``ptrs`` the tagged entry
+        pointers, ``counts`` an ``int64`` per-lane accumulator updated in
+        place.  With ``weights`` the accumulation is the per-state match
+        multiplicity instead of the flag bit.  Returns the tagged exit
+        pointers.
+        """
+        length, lanes = cols.shape
+        if length == 0:
+            return ptrs.astype(np.int32).copy()
+        take = self.flat.take
+        add = np.add
+        strip_len = min(STRIP, length)
+        strip = np.empty((strip_len, lanes), dtype=np.int32)
+        doubled = np.empty((strip_len, lanes), dtype=np.int32)
+        scratch = np.empty((strip_len, lanes), dtype=np.int32)
+        idx = np.empty(lanes, dtype=np.int32)
+        # Row views made once, not per step: the inner loop is dispatch-
+        # bound, so even view creation shows up.
+        strip_rows = list(strip)
+        doubled_rows = list(doubled)
+        cur = np.ascontiguousarray(ptrs, dtype=np.int32)
+        for t0 in range(0, length, strip_len):
+            b = min(strip_len, length - t0)
+            # Cast first, shift second: a fused uint8 multiply would wrap
+            # at 256 before the widening to int32.
+            doubled[:b] = cols[t0:t0 + b]
+            np.left_shift(doubled[:b], 1, out=doubled[:b])
+            for i in range(b):
+                row = strip_rows[i]
+                add(cur, doubled_rows[i], out=idx)
+                take(idx, out=row)
+                cur = row
+            if weights is None:
+                np.bitwise_and(strip[:b], 1, out=scratch[:b])
+            else:
+                np.right_shift(strip[:b], 1, out=scratch[:b])
+                weights.take(scratch[:b], out=scratch[:b])
+            counts += scratch[:b].sum(axis=0)
+        return cur.copy()
+
+    def step_scalar(self, ptr: int, symbol: int) -> int:
+        """One scalar transition on tagged pointers (remainder handling)."""
+        return int(self.flat[ptr + (int(symbol) << 1)])
+
+
+def count_arr(scanner: FlatScanner, arr: np.ndarray, chunks: int,
+              entry_state: int, max_passes: Optional[int] = None,
+              weights: Optional[np.ndarray] = None) -> Tuple[int, int]:
+    """Exact speculative count over one folded symbol array.
+
+    The array is cut into ``chunks`` *equal* pieces (a scalar head scan
+    absorbs the ``len % chunks`` remainder, so the lockstep matrix needs
+    no padding and rebuilds never happen); pieces are scanned in lockstep
+    from guessed entry states and the guesses are repaired to a fixpoint.
+    Only the mis-guessed columns are re-scanned on later passes — they are
+    *indexed out* of the one position-major matrix built up front.
+
+    Returns ``(count, exit_state)``.
+    """
+    n = int(arr.size)
+    if n == 0:
+        return 0, int(entry_state)
+    chunks = min(int(chunks), n)
+    piece_len = n // chunks
+    remainder = n - piece_len * chunks
+
+    total = 0
+    ptr = scanner.pointer(entry_state)
+    for sym in arr[:remainder]:
+        ptr = scanner.step_scalar(ptr, sym)
+        if weights is None:
+            total += ptr & 1
+        else:
+            total += int(weights[ptr >> 1])
+
+    # One position-major matrix, built once, indexed per pass.
+    cols = np.ascontiguousarray(
+        arr[remainder:].reshape(chunks, piece_len).T)
+
+    entry = np.full(chunks, scanner.pointer(scanner.start), dtype=np.int32)
+    entry[0] = ptr                       # chunk 0's entry is exact
+    exits = np.empty(chunks, dtype=np.int32)
+    counts = np.zeros(chunks, dtype=np.int64)
+    todo = np.arange(chunks)
+    passes = max_passes if max_passes is not None else chunks + 1
+
+    for _ in range(passes):
+        sub = cols if todo.size == chunks else cols[:, todo]
+        part = np.zeros(todo.size, dtype=np.int64)
+        fin = scanner.scan_cols(sub, entry[todo], part, weights=weights)
+        counts[todo] = part
+        exits[todo] = fin
+        # Propagate corrected entries (compare modulo the flag bit: two
+        # pointers to the same row scan identically).
+        wrong = np.nonzero((exits[:-1] >> 1) != (entry[1:] >> 1))[0] + 1
+        if wrong.size == 0:
+            break
+        entry[wrong] = exits[wrong - 1]
+        todo = wrong
+    else:
+        raise DFAError("chunk fixpoint failed to converge; this "
+                       "indicates a bug, not an input property")
+    return total + int(counts.sum()), int(scanner.state_of(exits[-1]))
 
 
 @dataclass
@@ -49,11 +269,12 @@ class VectorDFAEngine:
 
     def __init__(self, dfa: DFA) -> None:
         self.dfa = dfa
-        # Contiguous copies: the gather in the hot loop should hit linear
-        # memory (guide: views/contiguity matter more than cleverness).
+        # Contiguous copies kept for introspection and the Cell encoders;
+        # the hot loop runs on the flag-encoded flat table below.
         self.table = np.ascontiguousarray(dfa.transitions, dtype=np.int32)
         self.final = np.ascontiguousarray(dfa.final_mask)
         self.start = dfa.start
+        self.scanner = FlatScanner.from_dfa(dfa)
 
     # -- lockstep streams ---------------------------------------------------------
 
@@ -61,7 +282,7 @@ class VectorDFAEngine:
                     start_states: Optional[np.ndarray] = None
                     ) -> StreamResult:
         """Scan equal-length streams in lockstep (one gather per position)."""
-        if not streams:
+        if not len(streams):
             raise DFAError("at least one stream required")
         length = len(streams[0])
         if any(len(s) != length for s in streams):
@@ -72,94 +293,80 @@ class VectorDFAEngine:
                 if start_states is None else start_states.astype(np.int32)
             return StreamResult(np.zeros(n, dtype=np.int64), states)
 
-        data = np.empty((n, length), dtype=np.uint8)
+        # Fill the position-major matrix directly — no row-major staging
+        # copy followed by a transposed second copy.
+        cols = np.empty((length, n), dtype=np.uint8)
         for i, s in enumerate(streams):
             arr = np.frombuffer(s, dtype=np.uint8)
             if arr.size and int(arr.max()) >= self.dfa.alphabet_size:
                 raise DFAError(
                     f"stream {i} contains symbols outside the "
                     f"{self.dfa.alphabet_size}-symbol alphabet; fold first")
-            data[i] = arr
-        return self._scan(data, start_states)
+            cols[:, i] = arr
+        return self._scan_cols(cols, start_states)
 
-    def _scan(self, data: np.ndarray,
-              start_states: Optional[np.ndarray] = None) -> StreamResult:
-        n, length = data.shape
+    def _scan_cols(self, cols: np.ndarray,
+                   start_states: Optional[np.ndarray] = None) -> StreamResult:
+        length, n = cols.shape
+        scanner = self.scanner
         if start_states is None:
-            states = np.full(n, self.start, dtype=np.int32)
+            ptrs = np.full(n, scanner.pointer(self.start), dtype=np.int32)
         else:
-            states = start_states.astype(np.int32).copy()
+            states = np.asarray(start_states, dtype=np.int64)
+            if states.size and (states.min() < 0
+                                or states.max() >= self.dfa.num_states):
+                raise DFAError("start state out of range")
+            ptrs = (states * scanner.stride).astype(np.int32)
         counts = np.zeros(n, dtype=np.int64)
-        table = self.table
-        final = self.final
-        # Column-major access: position-t slices must be contiguous.
-        cols = np.ascontiguousarray(data.T)
-        for t in range(length):
-            states = table[states, cols[t]]
-            counts += final[states]
-        return StreamResult(counts, states)
+        fin = scanner.scan_cols(cols, ptrs, counts)
+        return StreamResult(counts,
+                            scanner.state_of(fin).astype(np.int32))
 
     # -- exact single-stream scan ------------------------------------------------
 
-    def count_block(self, block: bytes, chunks: int = 64,
-                    max_passes: int = 64) -> int:
+    def _folded_view(self, block: bytes) -> np.ndarray:
+        arr = np.frombuffer(block, dtype=np.uint8)
+        if arr.size and int(arr.max()) >= self.dfa.alphabet_size:
+            raise DFAError("block contains symbols outside the alphabet; "
+                           "fold first")
+        return arr
+
+    def count_block(self, block: bytes, chunks: int = 256,
+                    max_passes: Optional[int] = None) -> int:
         """Exact match count over one contiguous stream.
 
         Splits the stream into ``chunks`` pieces scanned in lockstep; entry
         states are guessed (start state), then corrected iteratively: after
         each pass, any chunk whose actual entry state (the exit state of
         its predecessor) differs from its guess is rescanned.  Guaranteed
-        to terminate in at most ``chunks`` passes; security-style DFAs
-        almost always converge in two.
+        to terminate in at most ``chunks`` passes (``max_passes`` defaults
+        to that bound); security-style DFAs almost always converge in two.
+        More chunks means wider gathers and fewer numpy dispatches per
+        byte, which is why the default is generous.
         """
         if chunks <= 0:
             raise DFAError("chunks must be positive")
-        n = len(block)
-        if n == 0:
+        arr = self._folded_view(block)
+        if arr.size == 0:
             return 0
-        arr = np.frombuffer(block, dtype=np.uint8)
-        if int(arr.max()) >= self.dfa.alphabet_size:
-            raise DFAError("block contains symbols outside the alphabet; "
-                           "fold first")
-        chunks = min(chunks, n)
-        bounds = np.linspace(0, n, chunks + 1).astype(np.int64)
-        pieces = [arr[bounds[i]:bounds[i + 1]] for i in range(chunks)]
+        count, _ = count_arr(self.scanner, arr, chunks, self.start,
+                             max_passes=max_passes)
+        return count
 
-        entry = np.full(chunks, self.start, dtype=np.int32)
-        exit_states = np.empty(chunks, dtype=np.int32)
-        counts = np.zeros(chunks, dtype=np.int64)
-        todo = list(range(chunks))
-
-        for _ in range(max_passes):
-            # Rescan the chunks whose entry guess changed.  Unequal chunk
-            # lengths: group by length so each group scans in lockstep.
-            by_len: dict = {}
-            for ci in todo:
-                by_len.setdefault(len(pieces[ci]), []).append(ci)
-            for length, group in by_len.items():
-                if length == 0:
-                    for ci in group:
-                        exit_states[ci] = entry[ci]
-                        counts[ci] = 0
-                    continue
-                data = np.vstack([pieces[ci] for ci in group])
-                res = self._scan(data, entry[np.asarray(group)])
-                for j, ci in enumerate(group):
-                    counts[ci] = res.counts[j]
-                    exit_states[ci] = res.final_states[j]
-            # Propagate corrected entry states.
-            todo = []
-            for ci in range(1, chunks):
-                actual = exit_states[ci - 1]
-                if actual != entry[ci]:
-                    entry[ci] = actual
-                    todo.append(ci)
-            if not todo:
-                break
-        else:
-            raise DFAError("chunk fixpoint failed to converge; this "
-                           "indicates a bug, not an input property")
-        return int(counts.sum())
+    def count_block_from(self, block: bytes, entry_state: int,
+                         chunks: int = 256,
+                         max_passes: Optional[int] = None
+                         ) -> Tuple[int, int]:
+        """Like :meth:`count_block` but from an arbitrary entry state,
+        also returning the exit state — the primitive the host-parallel
+        shard repair (:mod:`repro.parallel`) is built on."""
+        if chunks <= 0:
+            raise DFAError("chunks must be positive")
+        if not 0 <= entry_state < self.dfa.num_states:
+            raise DFAError(f"entry state {entry_state} out of range")
+        arr = self._folded_view(block)
+        return count_arr(self.scanner, arr, chunks, entry_state,
+                         max_passes=max_passes)
 
     def count_block_reference(self, block: bytes) -> int:
         """Unchunked scan (for cross-validation in tests)."""

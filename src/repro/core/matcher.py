@@ -19,6 +19,7 @@ dictionary cost on the machine the paper used?".
 
 from __future__ import annotations
 
+import time
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -59,12 +60,32 @@ class ScanReport:
     #: Occurrences per (global) pattern id; patterns with zero hits are
     #: omitted.
     pattern_counts: Optional[Dict[int, int]] = None
+    #: Measured wall-clock of this scan on the host, and how many worker
+    #: processes ran it — the *real* numbers reported next to the
+    #: modelled-Cell ones.
+    host_seconds: float = 0.0
+    workers: int = 1
 
     def modelled_seconds(self) -> float:
         """Time the modelled Cell configuration would need for this scan."""
         if self.modelled_gbps <= 0:
             return float("inf")
         return self.bytes_scanned * 8 / (self.modelled_gbps * 1e9)
+
+    @property
+    def host_gbps(self) -> float:
+        """Measured host bitrate of this scan."""
+        if self.host_seconds <= 0:
+            return 0.0
+        return self.bytes_scanned * 8 / self.host_seconds / 1e9
+
+    def summary(self) -> str:
+        """Modelled-Cell and measured-host numbers, side by side."""
+        return (f"{self.total_matches} matches in {self.bytes_scanned} B | "
+                f"modelled Cell: {self.modelled_gbps:.2f} Gbps on "
+                f"{self.spes_used} SPE(s) ({self.configuration}) | "
+                f"host: {self.host_gbps:.4f} Gbps on {self.workers} "
+                f"worker(s)")
 
 
 class CellStringMatcher:
@@ -93,6 +114,8 @@ class CellStringMatcher:
 
         self._raw_patterns = [p.encode() if isinstance(p, str) else bytes(p)
                               for p in patterns]
+        #: Cached host-parallel scanners, keyed by worker count.
+        self._sharded: Dict[int, object] = {}
 
         if regex:
             self._init_regex([p.decode("latin-1")
@@ -213,10 +236,28 @@ class CellStringMatcher:
     # -- scanning -----------------------------------------------------------------
 
     def scan(self, data: Union[str, bytes],
-             with_events: bool = False) -> ScanReport:
+             with_events: bool = False, workers: int = 1) -> ScanReport:
         """Scan one contiguous buffer; returns counts (and, optionally,
-        the full list of match events with end positions)."""
+        the full list of match events with end positions).
+
+        ``workers > 1`` routes the scan through the host-parallel layer
+        (:class:`repro.parallel.ShardedScanner`): the slice DFAs live in
+        shared memory, the input is sharded across a persistent process
+        pool, and a cross-shard fixpoint keeps the total exact.  The
+        parallel path counts totals only — per-pattern attribution and
+        events need the serial reporting path.
+        """
         raw = data.encode() if isinstance(data, str) else bytes(data)
+        t0 = time.perf_counter()
+        if workers > 1:
+            if with_events:
+                raise MatcherError(
+                    "match events need the serial path; use workers=1 "
+                    "with with_events=True")
+            total = self._scan_sharded(raw, workers)
+            return self._report(total, None, len(raw),
+                                host_seconds=time.perf_counter() - t0,
+                                workers=workers)
         folded = self.fold.fold_bytes(raw)
         all_events: List[MatchEvent] = []
         if self.regex:
@@ -233,25 +274,77 @@ class CellStringMatcher:
         counts = dict(Counter(e.pattern for e in all_events))
         return self._report(len(all_events),
                             all_events if with_events else None,
-                            len(raw), counts)
+                            len(raw), counts,
+                            host_seconds=time.perf_counter() - t0)
 
-    def scan_streams(self, streams: Sequence[bytes]) -> ScanReport:
+    def _slice_dfas(self) -> List[DFA]:
+        if self.regex:
+            return [dfa for dfa, _ in self._regex_slices]
+        return list(self.partition.dfas)
+
+    def _sharded_scanner(self, workers: int):
+        """Lazily built, cached host-parallel scanner (one pool per
+        worker count; the pool and the shared STTs persist across
+        scans)."""
+        from ..parallel import ShardedScanner
+
+        scanner = self._sharded.get(workers)
+        if scanner is None:
+            scanner = ShardedScanner(self._slice_dfas(), workers=workers,
+                                     fold=self.fold, weighted=True)
+            self._sharded[workers] = scanner
+        return scanner
+
+    def _scan_sharded(self, raw: bytes, workers: int) -> int:
+        # weighted=True makes the flat-table count agree with the event
+        # semantics of the serial path (one hit per dictionary entry
+        # recognized, even when several end on one state entry).
+        return self._sharded_scanner(workers).count_block(raw)
+
+    def scan_streams(self, streams: Sequence[bytes],
+                     workers: int = 1) -> ScanReport:
         """Scan independent streams (counts only)."""
+        t0 = time.perf_counter()
         total = 0
         bytes_scanned = 0
         for s in streams:
-            report = self.scan(s)
-            total += report.total_matches
-            bytes_scanned += len(s)
-        return self._report(total, None, bytes_scanned)
+            raw = s.encode() if isinstance(s, str) else bytes(s)
+            bytes_scanned += len(raw)
+            if workers > 1:
+                total += self._scan_sharded(raw, workers)
+            else:
+                total += self.scan(raw).total_matches
+        return self._report(total, None, bytes_scanned,
+                            host_seconds=time.perf_counter() - t0,
+                            workers=workers)
 
-    def count(self, data: Union[str, bytes]) -> int:
+    def close(self) -> None:
+        """Release host-parallel pools and shared artifacts, if any."""
+        for scanner in self._sharded.values():
+            scanner.close()
+        self._sharded.clear()
+
+    def __enter__(self) -> "CellStringMatcher":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def count(self, data: Union[str, bytes], workers: int = 1) -> int:
         """Shortcut: total dictionary occurrences in ``data``."""
-        return self.scan(data).total_matches
+        return self.scan(data, workers=workers).total_matches
 
     def _report(self, total: int, events: Optional[List[MatchEvent]],
                 nbytes: int,
-                counts: Optional[Dict[int, int]] = None) -> ScanReport:
+                counts: Optional[Dict[int, int]] = None,
+                host_seconds: float = 0.0,
+                workers: int = 1) -> ScanReport:
         return ScanReport(
             total_matches=total,
             events=events,
@@ -260,6 +353,8 @@ class CellStringMatcher:
             spes_used=self.spes_used,
             modelled_gbps=self.modelled_gbps,
             pattern_counts=counts,
+            host_seconds=host_seconds,
+            workers=workers,
         )
 
     # -- introspection ---------------------------------------------------------------

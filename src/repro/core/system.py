@@ -21,6 +21,7 @@ analytic formula.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
@@ -57,6 +58,7 @@ class SystemRunResult:
     kernel_seconds: float         # pure compute time (slowest tile)
     ppe_seconds: float            # fold + interleave cost
     makespan_seconds: float       # end-to-end (max over tiles, incl. DMA)
+    host_seconds: float = 0.0     # measured wall-clock of the real run
 
     @property
     def end_to_end_gbps(self) -> float:
@@ -64,6 +66,21 @@ class SystemRunResult:
         if self.makespan_seconds <= 0:
             return 0.0
         return self.bytes_scanned * 8 / self.makespan_seconds / 1e9
+
+    @property
+    def host_gbps(self) -> float:
+        """Measured bitrate of the host actually executing this run."""
+        if self.host_seconds <= 0:
+            return 0.0
+        return self.bytes_scanned * 8 / self.host_seconds / 1e9
+
+    def side_by_side(self) -> str:
+        """Modelled-Cell vs measured-host throughput, one line."""
+        return (f"{self.bytes_scanned} B, {self.total_matches} matches | "
+                f"modelled Cell: {self.end_to_end_gbps:.2f} Gbps "
+                f"end-to-end on {self.num_tiles} tile(s) "
+                f"({self.compute_gbps:.2f} Gbps compute) | "
+                f"host: {self.host_gbps:.4f} Gbps measured")
 
     @property
     def compute_gbps(self) -> float:
@@ -157,6 +174,7 @@ class CellMatchingSystem:
         """
         if not raw:
             raise SystemError("empty input block")
+        wall_start = time.perf_counter()
         folded = self.ppe.fold(raw, self.fold.table)
         slices = self.ppe.slice_input(folded, self.num_tiles, self.overlap)
 
@@ -184,6 +202,7 @@ class CellMatchingSystem:
             kernel_seconds=kernel_s,
             ppe_seconds=ppe_s,
             makespan_seconds=max(makespan, ppe_s),
+            host_seconds=time.perf_counter() - wall_start,
         )
 
     # -- per-tile mechanics ---------------------------------------------------------

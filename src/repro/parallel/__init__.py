@@ -1,0 +1,29 @@
+"""Host-parallel scan layer — the paper's parallel-tile composition
+(Figure 6a) mapped onto host cores.
+
+The paper multiplies throughput by running identical DFA tiles over
+disjoint input slices; here :class:`ShardedScanner` runs identical
+:class:`~repro.core.engine.FlatScanner` workers over disjoint input
+shards.  The compiled artifact — flag-encoded flat STT, final mask,
+match-multiplicity weights and fold table — is built once and placed in
+``multiprocessing.shared_memory`` by :class:`SharedSTT`, so a persistent
+worker pool attaches it zero-copy instead of unpickling the tables per
+task, just as the paper loads each SPE's local store once and streams
+only input past it.
+
+Where the analogy breaks: there is no DMA and no static stream
+assignment.  Shards are scanned *speculatively* from guessed entry
+states and a cross-shard fixpoint repair on the host makes the counts
+exact (the same mechanism :meth:`VectorDFAEngine.count_block` uses
+within one process, generalized across processes).
+"""
+
+from .shared_stt import SharedSTT, SharedSTTError
+from .sharded import ShardedScanner, ShardedScanError
+
+__all__ = [
+    "SharedSTT",
+    "SharedSTTError",
+    "ShardedScanner",
+    "ShardedScanError",
+]

@@ -1,0 +1,385 @@
+"""Sharded, speculative, exact multicore scanning.
+
+:class:`ShardedScanner` is the paper's Figure 6a made host-parallel: one
+compiled artifact, many identical scan units, disjoint slices of the
+input.  A persistent worker pool attaches the :class:`SharedSTT` once
+(zero-copy, the "load the local store once" moment); each
+:meth:`ShardedScanner.count_block` call stages the input in a shared
+segment, hands every worker a shard and a *guessed* entry state, and
+repairs wrong guesses with a cross-shard fixpoint on the host — the same
+speculation-plus-repair that :meth:`VectorDFAEngine.count_block` runs
+over chunks within one process, promoted across processes.  Counts are
+exact: the fixpoint terminates (each pass finalizes at least the first
+still-wrong shard) and on convergence every shard has been scanned from
+its true entry state.
+
+Multiple DFAs (e.g. the slices of a partitioned dictionary) ride the
+same pool and the same staged input; their shard fixpoints are repaired
+independently but their scan tasks share the worker queue, so series
+slices and parallel shards both turn into pool-level parallelism.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+from multiprocessing import shared_memory
+
+from ..dfa.alphabet import FoldMap
+from ..dfa.automaton import DFA, DFAError
+from ..core.engine import StreamResult, count_arr
+from .shared_stt import SharedSTT
+
+__all__ = ["ShardedScanner", "ShardedScanError"]
+
+
+class ShardedScanError(Exception):
+    """Raised for invalid inputs or configurations of the sharded path."""
+
+
+# -- worker side -------------------------------------------------------------------
+
+_WORKER: Dict = {}
+
+
+def _init_worker(metas: List[Dict]) -> None:
+    """Pool initializer: attach every shared artifact, build scanners."""
+    stts = [SharedSTT.attach(m) for m in metas]
+    _WORKER["stts"] = stts
+    _WORKER["scanners"] = [stt.scanner() for stt in stts]
+
+
+def _shard_symbols(stt: SharedSTT, shm: shared_memory.SharedMemory,
+                   lo: int, hi: int) -> np.ndarray:
+    """This shard's folded symbols (a fold copy, or a validated view)."""
+    raw = np.frombuffer(shm.buf, dtype=np.uint8, count=hi - lo, offset=lo)
+    if stt.fold_table is not None:
+        arr = stt.fold_table[raw]
+        del raw
+        return arr
+    if raw.size and int(raw.max()) >= stt.alphabet_size:
+        del raw
+        raise ShardedScanError(
+            "input contains symbols outside the alphabet and the scanner "
+            "was built without a fold map")
+    return raw
+
+
+def _scan_shard(dfa_idx: int, shm_name: str, lo: int, hi: int,
+                entry_state: int, chunks: int,
+                weighted: bool) -> Tuple[int, int]:
+    """One speculative shard scan; returns ``(count, exit_state)``."""
+    stt = _WORKER["stts"][dfa_idx]
+    scanner = _WORKER["scanners"][dfa_idx]
+    shm = shared_memory.SharedMemory(name=shm_name)
+    try:
+        arr = _shard_symbols(stt, shm, lo, hi)
+        weights = stt.weights if weighted else None
+        result = count_arr(scanner, arr, chunks, entry_state,
+                           weights=weights)
+        arr = None
+        return result
+    finally:
+        shm.close()
+
+
+def _scan_streams_shard(dfa_idx: int, shm_name: str, first: int, count: int,
+                        length: int, weighted: bool
+                        ) -> Tuple[List[int], List[int]]:
+    """Lockstep-scan streams ``first .. first+count`` of the staged batch."""
+    stt = _WORKER["stts"][dfa_idx]
+    scanner = _WORKER["scanners"][dfa_idx]
+    shm = shared_memory.SharedMemory(name=shm_name)
+    try:
+        raw = np.frombuffer(shm.buf, dtype=np.uint8, count=count * length,
+                            offset=first * length)
+        if stt.fold_table is not None:
+            slab = stt.fold_table[raw]
+        else:
+            if raw.size and int(raw.max()) >= stt.alphabet_size:
+                raise ShardedScanError(
+                    "input contains symbols outside the alphabet and the "
+                    "scanner was built without a fold map")
+            slab = raw
+        cols = np.ascontiguousarray(slab.reshape(count, length).T)
+        ptrs = np.full(count, scanner.pointer(scanner.start),
+                       dtype=np.int32)
+        counts = np.zeros(count, dtype=np.int64)
+        weights = stt.weights if weighted else None
+        fin = scanner.scan_cols(cols, ptrs, counts, weights=weights)
+        states = scanner.state_of(fin)
+        raw = slab = None
+        return counts.tolist(), [int(s) for s in states]
+    finally:
+        shm.close()
+
+
+# -- host side ---------------------------------------------------------------------
+
+class ShardedScanner:
+    """Exact multicore scanning of one or more DFAs over shared input.
+
+    Parameters
+    ----------
+    dfas:
+        One automaton or a sequence (e.g. a partitioned dictionary's
+        slices).  All must share one alphabet.
+    workers:
+        Pool size; defaults to ``os.cpu_count()``.  ``workers=1`` runs
+        fully in-process (no pool, no staging copies) with identical
+        semantics.
+    fold:
+        Optional byte→symbol reduction.  When given, inputs are *raw*
+        bytes and workers fold their own shards (the PPE role,
+        parallelized); without it, inputs must be pre-folded symbols.
+    chunks:
+        Lockstep chunk count *inside* each worker's shard scan.
+    weighted:
+        Count per-state match multiplicities (one per dictionary entry
+        recognized, as the event-reporting paths do) instead of one per
+        final-state entry (the paper's kernel counting).
+    min_shard_bytes:
+        Inputs smaller than ``workers × min_shard_bytes`` skip the pool.
+    """
+
+    def __init__(self, dfas: Union[DFA, Sequence[DFA]],
+                 workers: Optional[int] = None,
+                 fold: Optional[FoldMap] = None,
+                 chunks: int = 256,
+                 weighted: bool = False,
+                 min_shard_bytes: int = 1 << 16,
+                 start_method: Optional[str] = None) -> None:
+        if isinstance(dfas, DFA):
+            dfas = [dfas]
+        if not dfas:
+            raise ShardedScanError("at least one DFA required")
+        alphabet = dfas[0].alphabet_size
+        if any(d.alphabet_size != alphabet for d in dfas):
+            raise ShardedScanError("DFAs must share one alphabet")
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if workers < 1:
+            raise ShardedScanError("workers must be >= 1")
+        if chunks < 1:
+            raise ShardedScanError("chunks must be >= 1")
+        self.workers = int(workers)
+        self.fold = fold
+        self.chunks = int(chunks)
+        self.weighted = bool(weighted)
+        self.min_shard_bytes = int(min_shard_bytes)
+        self.alphabet_size = alphabet
+        self._stts = [SharedSTT(d, fold=fold) for d in dfas]
+        self._scanners = [stt.scanner() for stt in self._stts]
+        self._pool = None
+        if self.workers > 1:
+            ctx = mp.get_context(start_method)
+            self._pool = ctx.Pool(
+                self.workers, initializer=_init_worker,
+                initargs=([stt.meta() for stt in self._stts],))
+
+    @property
+    def num_dfas(self) -> int:
+        return len(self._stts)
+
+    # -- block scanning -----------------------------------------------------------
+
+    def count_block(self, block: bytes) -> int:
+        """Exact total count over one contiguous input.
+
+        Raw bytes when a fold map was given, pre-folded symbols
+        otherwise.  Sums over all DFAs.
+        """
+        self._check_open()
+        n = len(block)
+        if n == 0:
+            return 0
+        if self._pool is None or n < self.workers * self.min_shard_bytes:
+            return sum(self._count_local(block))
+        return sum(self._count_pooled(block))
+
+    def count_per_dfa(self, block: bytes) -> List[int]:
+        """Per-DFA exact counts over one contiguous input."""
+        self._check_open()
+        if len(block) == 0:
+            return [0] * self.num_dfas
+        if self._pool is None or \
+                len(block) < self.workers * self.min_shard_bytes:
+            return self._count_local(block)
+        return self._count_pooled(block)
+
+    def _fold_or_check(self, block: bytes) -> np.ndarray:
+        arr = np.frombuffer(block, dtype=np.uint8)
+        if self.fold is not None:
+            return self.fold.fold_symbols(block)
+        if arr.size and int(arr.max()) >= self.alphabet_size:
+            raise ShardedScanError(
+                "input contains symbols outside the alphabet and the "
+                "scanner was built without a fold map")
+        return arr
+
+    def _count_local(self, block: bytes) -> List[int]:
+        arr = self._fold_or_check(block)
+        out = []
+        for stt, scanner in zip(self._stts, self._scanners):
+            weights = stt.weights if self.weighted else None
+            count, _ = count_arr(scanner, arr, self.chunks, scanner.start,
+                                 weights=weights)
+            out.append(count)
+        return out
+
+    def _count_pooled(self, block: bytes) -> List[int]:
+        n = len(block)
+        shards = self.workers
+        bounds = np.linspace(0, n, shards + 1).astype(np.int64)
+        shm = shared_memory.SharedMemory(create=True, size=n)
+        try:
+            shm.buf[:n] = block
+            return self._fixpoint(shm.name, bounds)
+        finally:
+            shm.close()
+            try:
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+
+    def _fixpoint(self, shm_name: str,
+                  bounds: np.ndarray) -> List[int]:
+        """Speculative shard scans + cross-shard entry-state repair."""
+        shards = len(bounds) - 1
+        num = self.num_dfas
+        entry = [[self._scanners[d].start] * shards for d in range(num)]
+        exits = [[0] * shards for _ in range(num)]
+        counts = [[0] * shards for _ in range(num)]
+        todo = [(d, i) for d in range(num) for i in range(shards)]
+        for _ in range(shards + 1):
+            jobs = [
+                (d, i, self._pool.apply_async(
+                    _scan_shard,
+                    (d, shm_name, int(bounds[i]), int(bounds[i + 1]),
+                     entry[d][i], self.chunks, self.weighted)))
+                for d, i in todo
+            ]
+            for d, i, job in jobs:
+                counts[d][i], exits[d][i] = job.get()
+            todo = []
+            for d in range(num):
+                for i in range(1, shards):
+                    actual = exits[d][i - 1]
+                    if actual != entry[d][i]:
+                        entry[d][i] = actual
+                        todo.append((d, i))
+            if not todo:
+                break
+        else:
+            raise DFAError("shard fixpoint failed to converge; this "
+                           "indicates a bug, not an input property")
+        return [sum(counts[d]) for d in range(num)]
+
+    # -- stream batches -----------------------------------------------------------
+
+    def run_streams(self, streams: Sequence[bytes]) -> StreamResult:
+        """Scan equal-length independent streams, sharded by stream index.
+
+        Single-DFA scanners only (per-stream counts for several DFAs
+        would be ambiguous); semantics match
+        :meth:`VectorDFAEngine.run_streams`.
+        """
+        self._check_open()
+        if self.num_dfas != 1:
+            raise ShardedScanError(
+                "run_streams needs a single-DFA scanner")
+        if not len(streams):
+            raise ShardedScanError("at least one stream required")
+        length = len(streams[0])
+        if any(len(s) != length for s in streams):
+            raise ShardedScanError("streams must have equal length")
+        n = len(streams)
+        scanner = self._scanners[0]
+        if length == 0:
+            return StreamResult(np.zeros(n, dtype=np.int64),
+                                np.full(n, scanner.start, dtype=np.int32))
+        if self._pool is None or \
+                n * length < self.workers * self.min_shard_bytes or n < 2:
+            return self._run_streams_local(streams, length)
+
+        shm = shared_memory.SharedMemory(create=True, size=n * length)
+        try:
+            for i, s in enumerate(streams):
+                shm.buf[i * length:(i + 1) * length] = s
+            splits = np.linspace(0, n, min(self.workers, n) + 1) \
+                .astype(np.int64)
+            jobs = []
+            for w in range(len(splits) - 1):
+                first, last = int(splits[w]), int(splits[w + 1])
+                if last > first:
+                    jobs.append((first, self._pool.apply_async(
+                        _scan_streams_shard,
+                        (0, shm.name, first, last - first, length,
+                         self.weighted))))
+            counts = np.zeros(n, dtype=np.int64)
+            states = np.full(n, scanner.start, dtype=np.int32)
+            for first, job in jobs:
+                part_counts, part_states = job.get()
+                counts[first:first + len(part_counts)] = part_counts
+                states[first:first + len(part_states)] = part_states
+            return StreamResult(counts, states)
+        finally:
+            shm.close()
+            try:
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+
+    def _run_streams_local(self, streams: Sequence[bytes],
+                           length: int) -> StreamResult:
+        stt, scanner = self._stts[0], self._scanners[0]
+        n = len(streams)
+        cols = np.empty((length, n), dtype=np.uint8)
+        for i, s in enumerate(streams):
+            arr = self._fold_or_check(s)
+            cols[:, i] = arr
+        ptrs = np.full(n, scanner.pointer(scanner.start), dtype=np.int32)
+        counts = np.zeros(n, dtype=np.int64)
+        weights = stt.weights if self.weighted else None
+        fin = scanner.scan_cols(cols, ptrs, counts, weights=weights)
+        return StreamResult(counts, scanner.state_of(fin).astype(np.int32))
+
+    # -- lifetime -----------------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if not self._stts:
+            raise ShardedScanError("scanner is closed")
+
+    def close(self) -> None:
+        """Shut the pool down and release the shared artifacts."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+        # Scanners alias the shared segments; drop them before closing,
+        # or the memoryview export blocks the unmap.
+        self._scanners = []
+        for stt in self._stts:
+            stt.close()
+        self._stts = []
+
+    def __enter__(self) -> "ShardedScanner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:
+        return (f"ShardedScanner(dfas={self.num_dfas}, "
+                f"workers={self.workers}, "
+                f"fold={'yes' if self.fold else 'no'}, "
+                f"weighted={self.weighted})")

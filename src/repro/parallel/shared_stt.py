@@ -1,0 +1,178 @@
+"""Compiled match artifacts in POSIX shared memory.
+
+A :class:`SharedSTT` is the host-parallel analogue of a loaded SPE local
+store: the flag-encoded flat transition table (see
+:func:`repro.core.engine.build_flat_table`), the final-state mask, the
+per-state match-multiplicity weights and the byte→symbol fold table, all
+living in one ``multiprocessing.shared_memory`` segment.  The expensive
+work — dictionary compile, DFA densification, flat encoding — happens
+once in the parent; workers *attach* in microseconds and scan through
+numpy views that alias the segment, so no table bytes are ever pickled
+or copied per task.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+from multiprocessing import shared_memory
+
+from ..dfa.alphabet import FoldMap
+from ..dfa.automaton import DFA
+from ..core.engine import FlatScanner, build_flat_table, build_weight_table
+
+__all__ = ["SharedSTT", "SharedSTTError"]
+
+
+class SharedSTTError(Exception):
+    """Raised for malformed or mismatched shared artifacts."""
+
+
+def _align(offset: int, alignment: int = 8) -> int:
+    return (offset + alignment - 1) & ~(alignment - 1)
+
+
+class SharedSTT:
+    """A DFA's scan artifact placed in (or attached from) shared memory.
+
+    Parameters
+    ----------
+    dfa:
+        Compiled automaton; flattened with the final flag in pointer
+        bit 0 exactly as the single-process engine uses it.
+    fold:
+        Optional byte→symbol reduction; stored so workers can fold raw
+        traffic themselves (the PPE role, parallelized).
+    """
+
+    def __init__(self, dfa: DFA, fold: Optional[FoldMap] = None) -> None:
+        flat, stride = build_flat_table(dfa.transitions, dfa.final_mask)
+        weights = build_weight_table(dfa)
+        final = np.ascontiguousarray(dfa.final_mask, dtype=np.uint8)
+        if fold is not None:
+            fold_table = np.ascontiguousarray(fold.table, dtype=np.uint8)
+            if fold_table.size != 256:
+                raise SharedSTTError("fold table must map all 256 bytes")
+            if fold.width != dfa.alphabet_size:
+                raise SharedSTTError(
+                    f"fold width {fold.width} != DFA alphabet "
+                    f"{dfa.alphabet_size}")
+        else:
+            fold_table = None
+
+        off_flat = 0
+        off_weights = _align(off_flat + flat.nbytes)
+        off_final = _align(off_weights + weights.nbytes)
+        off_fold = _align(off_final + final.nbytes)
+        size = off_fold + (256 if fold_table is not None else 0)
+
+        self._shm = shared_memory.SharedMemory(create=True, size=size)
+        self._owner = True
+        self._meta: Dict = {
+            "name": self._shm.name,
+            "num_states": dfa.num_states,
+            "alphabet_size": dfa.alphabet_size,
+            "start": dfa.start,
+            "off_flat": off_flat,
+            "flat_cells": flat.size,
+            "off_weights": off_weights,
+            "weight_cells": weights.size,
+            "off_final": off_final,
+            "off_fold": off_fold if fold_table is not None else None,
+        }
+        self._map_views()
+        self.flat[:] = flat
+        self.weights[:] = weights
+        self.final[:] = final
+        if fold_table is not None:
+            self.fold_table[:] = fold_table
+
+    @classmethod
+    def attach(cls, meta: Dict) -> "SharedSTT":
+        """Attach to an existing artifact from its metadata (worker side).
+
+        Zero-copy: the returned object's arrays are views into the
+        creator's segment.  The attacher never unlinks.
+        """
+        self = cls.__new__(cls)
+        # No resource-tracker unregister here: pool workers share the
+        # creator's (forked) tracker, whose registration set dedupes the
+        # attach-side registration; the creator's unlink clears it once.
+        self._shm = shared_memory.SharedMemory(name=meta["name"])
+        self._owner = False
+        self._meta = dict(meta)
+        self._map_views()
+        return self
+
+    def _map_views(self) -> None:
+        m = self._meta
+        buf = self._shm.buf
+        self.num_states = m["num_states"]
+        self.alphabet_size = m["alphabet_size"]
+        self.start = m["start"]
+        self.flat = np.frombuffer(buf, dtype=np.int32,
+                                  count=m["flat_cells"],
+                                  offset=m["off_flat"])
+        self.weights = np.frombuffer(buf, dtype=np.int32,
+                                     count=m["weight_cells"],
+                                     offset=m["off_weights"])
+        self.final = np.frombuffer(buf, dtype=np.uint8,
+                                   count=m["num_states"],
+                                   offset=m["off_final"])
+        if m["off_fold"] is not None:
+            self.fold_table = np.frombuffer(buf, dtype=np.uint8, count=256,
+                                            offset=m["off_fold"])
+        else:
+            self.fold_table = None
+
+    # -- use ----------------------------------------------------------------------
+
+    def meta(self) -> Dict:
+        """Picklable attachment recipe for workers."""
+        return dict(self._meta)
+
+    def scanner(self) -> FlatScanner:
+        """A :class:`FlatScanner` running directly on the shared table."""
+        return FlatScanner(self.flat, self.alphabet_size, self.start,
+                           self.num_states)
+
+    @property
+    def size_bytes(self) -> int:
+        return self._shm.size
+
+    # -- lifetime -----------------------------------------------------------------
+
+    def _drop_views(self) -> None:
+        self.flat = self.weights = self.final = self.fold_table = None
+
+    def close(self) -> None:
+        """Release this process's mapping; unlink too if we created it."""
+        if self._shm is None:
+            return
+        self._drop_views()
+        self._shm.close()
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:
+                pass
+        self._shm = None
+
+    def __enter__(self) -> "SharedSTT":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:
+        return (f"SharedSTT(states={self.num_states}, "
+                f"alphabet={self.alphabet_size}, "
+                f"bytes={self._shm.size if self._shm else 0}, "
+                f"owner={self._owner})")

@@ -1,0 +1,101 @@
+"""SharedSTT: artifact placement, attachment, and lifetime."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import build_flat_table, build_weight_table
+from repro.dfa import build_dfa
+from repro.dfa.alphabet import case_fold_32, identity_fold
+from repro.parallel import SharedSTT, SharedSTTError
+
+PATTERNS = [b"\x01\x02\x03", b"\x02\x03", b"\x1f" * 4]
+
+
+@pytest.fixture
+def dfa():
+    return build_dfa(PATTERNS, 32)
+
+
+def test_segment_holds_the_exact_artifacts(dfa):
+    flat, stride = build_flat_table(dfa.transitions, dfa.final_mask)
+    weights = build_weight_table(dfa)
+    with SharedSTT(dfa) as stt:
+        assert np.array_equal(stt.flat, flat)
+        assert np.array_equal(stt.weights, weights)
+        assert np.array_equal(stt.final, dfa.final_mask)
+        assert stt.fold_table is None
+        assert stt.num_states == dfa.num_states
+        assert stt.alphabet_size == dfa.alphabet_size
+        assert stt.start == dfa.start
+        assert stt.size_bytes >= flat.nbytes + weights.nbytes
+
+
+def test_attach_sees_the_creators_bytes(dfa):
+    with SharedSTT(dfa) as stt:
+        peer = SharedSTT.attach(stt.meta())
+        try:
+            assert np.array_equal(peer.flat, stt.flat)
+            assert peer.start == stt.start
+            # Same physical memory: a write on one side is visible on the
+            # other (we restore it immediately).
+            original = int(stt.flat[0])
+            stt.flat[0] = original ^ 1
+            assert int(peer.flat[0]) == original ^ 1
+            stt.flat[0] = original
+        finally:
+            peer.close()
+
+
+def test_attached_scanner_matches_local_scan(dfa):
+    data = bytes([1, 2, 3, 4, 2, 3, 31, 31, 31, 31, 0]) * 40
+    from repro.core.engine import VectorDFAEngine
+    expected = VectorDFAEngine(dfa).count_block_reference(data)
+    with SharedSTT(dfa) as stt:
+        peer = SharedSTT.attach(stt.meta())
+        try:
+            scanner = peer.scanner()
+            ptr = scanner.pointer(scanner.start)
+            count = 0
+            for sym in data:
+                ptr = scanner.step_scalar(ptr, sym)
+                count += ptr & 1
+            assert count == expected
+        finally:
+            # The scanner's table is a view into the segment; drop it
+            # before closing or the mapping cannot be released.
+            scanner = None
+            peer.close()
+
+
+def test_meta_is_a_picklable_copy(dfa):
+    import pickle
+    with SharedSTT(dfa) as stt:
+        meta = stt.meta()
+        assert pickle.loads(pickle.dumps(meta)) == meta
+        meta["start"] = 999     # mutating the copy must not leak back
+        assert stt.meta()["start"] == dfa.start
+
+
+def test_owner_close_unlinks_the_segment(dfa):
+    stt = SharedSTT(dfa)
+    meta = stt.meta()
+    stt.close()
+    with pytest.raises(FileNotFoundError):
+        SharedSTT.attach(meta)
+    stt.close()     # idempotent
+
+
+def test_fold_table_roundtrip(dfa):
+    fold = case_fold_32()
+    with SharedSTT(dfa, fold=fold) as stt:
+        assert np.array_equal(stt.fold_table, fold.np_table)
+        peer = SharedSTT.attach(stt.meta())
+        try:
+            assert np.array_equal(peer.fold_table, fold.np_table)
+        finally:
+            peer.close()
+
+
+def test_fold_width_mismatch_rejected(dfa):
+    with pytest.raises(SharedSTTError):
+        SharedSTT(dfa, fold=identity_fold(256))
