@@ -47,9 +47,12 @@ __all__ = [
     "VectorDFAEngine",
     "StreamResult",
     "FlatScanner",
+    "ScanDetail",
     "build_flat_table",
     "build_weight_table",
     "count_arr",
+    "count_arr_detail",
+    "repair_detail",
 ]
 
 #: Positions per strip of the strip-mined time loop.  Large enough to
@@ -57,9 +60,22 @@ __all__ = [
 #: matrices stay cache-resident for typical lane counts.
 STRIP = 128
 
+#: Lane floor for the chunked block scan.  ``chunks`` controls the
+#: speculation granularity *requested* by the caller, but it also sets
+#: the lockstep lane count, and few lanes means more numpy dispatches
+#: per byte.  When the input is large enough, the effective chunk count
+#: is raised to ``LANES_TARGET`` (never lowered): exactness is invariant
+#: under chunking, so callers asking for coarse speculation still get
+#: full-width gathers.  Inputs shorter than ``LANES_TARGET × MIN_PIECE``
+#: keep the requested count — tiny pieces would waste the strip loop.
+LANES_TARGET = 256
+MIN_PIECE = 1024
+
 
 def build_flat_table(transitions: np.ndarray,
-                     final_mask: np.ndarray) -> Tuple[np.ndarray, int]:
+                     final_mask: np.ndarray,
+                     fold_table: Optional[np.ndarray] = None
+                     ) -> Tuple[np.ndarray, int]:
     """Flag-encoded flat STT (the paper's §4 tagged row pointers).
 
     Row stride is ``2 × alphabet_size`` cells and every transition is
@@ -69,10 +85,24 @@ def build_flat_table(transitions: np.ndarray,
     duplication makes ``flat[tagged_ptr + 2·symbol]`` land on the right
     cell whether or not the flag bit is set — the hot loop never masks.
 
+    With ``fold_table`` (a 256-entry byte→symbol map) the fold is
+    *composed* into the table: each row is expanded to one column per raw
+    byte value, so the scanner gathers on unfolded input directly and the
+    per-block ``fold[raw]`` materialization disappears.  The cost is a
+    wider row (stride ``512`` instead of ``2 × alphabet``), i.e. 2 KB per
+    state — a host-memory trade the Cell's local store could never make.
+
     Returns ``(flat, stride)`` with ``flat`` a 1-D contiguous ``int32``
     array of ``num_states × stride`` cells.
     """
     table = np.asarray(transitions, dtype=np.int64)
+    if fold_table is not None:
+        fold = np.asarray(fold_table, dtype=np.int64)
+        if fold.shape != (256,):
+            raise DFAError("fold table must map all 256 byte values")
+        if fold.size and int(fold.max()) >= table.shape[1]:
+            raise DFAError("fold table maps outside the DFA alphabet")
+        table = table[:, fold]
     num_states, alphabet = table.shape
     stride = 2 * alphabet
     top = (num_states - 1) * stride + 1
@@ -87,24 +117,25 @@ def build_flat_table(transitions: np.ndarray,
     return np.ascontiguousarray(flat.reshape(-1)), stride
 
 
-def build_weight_table(dfa: DFA) -> np.ndarray:
+def build_weight_table(dfa: DFA,
+                       symbol_width: Optional[int] = None) -> np.ndarray:
     """Per-state match multiplicities, addressable by ``pointer >> 1``.
 
     ``weight[s]`` is the number of dictionary entries recognized on
     *entering* state ``s``: ``len(outputs[s])`` when outputs are attached,
     else 1 for final states (the paper's counting kernels) and 0 for the
-    rest.  The table is expanded to ``num_states × alphabet`` so that a
-    tagged pointer's high bits (``ptr >> 1 == state × alphabet``) index it
-    directly — the "other frugal output values" the paper packs next to
-    the flag, kept in a side table here because multiplicities exceed the
-    one spare bit.
+    rest.  The table is expanded to ``num_states × symbol_width`` so that
+    a tagged pointer's high bits (``ptr >> 1 == state × symbol_width``)
+    index it directly — the "other frugal output values" the paper packs
+    next to the flag, kept in a side table here because multiplicities
+    exceed the one spare bit.  ``symbol_width`` defaults to the DFA's
+    alphabet; pass 256 when pairing with a fold-composed flat table.
     """
-    weights = np.zeros(dfa.num_states * dfa.alphabet_size + 1,
-                       dtype=np.int32)
+    width = dfa.alphabet_size if symbol_width is None else int(symbol_width)
+    weights = np.zeros(dfa.num_states * width + 1, dtype=np.int32)
     for s in range(dfa.num_states):
         if dfa.final_mask[s]:
-            weights[s * dfa.alphabet_size] = \
-                len(dfa.outputs.get(s, ())) or 1
+            weights[s * width] = len(dfa.outputs.get(s, ())) or 1
     return weights
 
 
@@ -192,35 +223,28 @@ class FlatScanner:
         return int(self.flat[ptr + (int(symbol) << 1)])
 
 
-def count_arr(scanner: FlatScanner, arr: np.ndarray, chunks: int,
-              entry_state: int, max_passes: Optional[int] = None,
-              weights: Optional[np.ndarray] = None) -> Tuple[int, int]:
-    """Exact speculative count over one folded symbol array.
+def _chunked_scan(scanner: FlatScanner, arr: np.ndarray, chunks: int,
+                  entry_state: int, max_passes: Optional[int] = None,
+                  weights: Optional[np.ndarray] = None):
+    """Shared core of :func:`count_arr` / :func:`count_arr_detail`.
 
-    The array is cut into ``chunks`` *equal* pieces (a scalar head scan
-    absorbs the ``len % chunks`` remainder, so the lockstep matrix needs
-    no padding and rebuilds never happen); pieces are scanned in lockstep
-    from guessed entry states and the guesses are repaired to a fixpoint.
-    Only the mis-guessed columns are re-scanned on later passes — they are
-    *indexed out* of the one position-major matrix built up front.
-
-    Returns ``(count, exit_state)``.
+    Requires ``arr.size > 0``.  Returns ``(remainder, head_count,
+    head_exit_ptr, piece_counts, piece_exit_ptrs)`` where the scalar head
+    covers ``arr[:remainder]`` and the pieces tile the rest equally.
     """
     n = int(arr.size)
-    if n == 0:
-        return 0, int(entry_state)
-    chunks = min(int(chunks), n)
+    chunks = min(n, max(int(chunks), min(LANES_TARGET, n // MIN_PIECE)))
     piece_len = n // chunks
     remainder = n - piece_len * chunks
 
-    total = 0
+    head_count = 0
     ptr = scanner.pointer(entry_state)
     for sym in arr[:remainder]:
         ptr = scanner.step_scalar(ptr, sym)
         if weights is None:
-            total += ptr & 1
+            head_count += ptr & 1
         else:
-            total += int(weights[ptr >> 1])
+            head_count += int(weights[ptr >> 1])
 
     # One position-major matrix, built once, indexed per pass.
     cols = np.ascontiguousarray(
@@ -249,7 +273,116 @@ def count_arr(scanner: FlatScanner, arr: np.ndarray, chunks: int,
     else:
         raise DFAError("chunk fixpoint failed to converge; this "
                        "indicates a bug, not an input property")
-    return total + int(counts.sum()), int(scanner.state_of(exits[-1]))
+    return remainder, head_count, ptr, counts, exits
+
+
+def count_arr(scanner: FlatScanner, arr: np.ndarray, chunks: int,
+              entry_state: int, max_passes: Optional[int] = None,
+              weights: Optional[np.ndarray] = None) -> Tuple[int, int]:
+    """Exact speculative count over one folded symbol array.
+
+    The array is cut into *equal* pieces (a scalar head scan absorbs the
+    division remainder, so the lockstep matrix needs no padding and
+    rebuilds never happen); pieces are scanned in lockstep from guessed
+    entry states and the guesses are repaired to a fixpoint.  Only the
+    mis-guessed columns are re-scanned on later passes — they are
+    *indexed out* of the one position-major matrix built up front.
+
+    ``chunks`` is a floor, not an exact count: large inputs are widened
+    to ``LANES_TARGET`` lanes (see the constant above) because lane width
+    sets the gather width and thus the dispatch overhead per byte, while
+    the count is semantically only a speculation granularity.
+
+    Returns ``(count, exit_state)``.
+    """
+    if arr.size == 0:
+        return 0, int(entry_state)
+    _, head, _, counts, exits = _chunked_scan(
+        scanner, arr, chunks, entry_state, max_passes, weights)
+    return head + int(counts.sum()), int(scanner.state_of(exits[-1]))
+
+
+@dataclass
+class ScanDetail:
+    """A chunked scan's per-segment ledger, for cheap entry repair.
+
+    Segment 0 is the scalar head (possibly empty), segments 1.. are the
+    equal lockstep pieces.  ``seg_exits[k]`` is the DFA *state* at
+    ``seg_bounds[k + 1]`` given ``entry_state`` at position 0.  Whoever
+    later learns the true entry state can call :func:`repair_detail`
+    instead of rescanning the whole array: rescan leading segments until
+    the state trajectory rejoins the recorded one, then splice.
+    """
+
+    entry_state: int
+    seg_bounds: np.ndarray    # int64, len = segments + 1, [0 .. arr.size]
+    seg_counts: np.ndarray    # int64 per segment
+    seg_exits: np.ndarray     # int32 exit state per segment
+
+    @property
+    def total(self) -> int:
+        return int(self.seg_counts.sum())
+
+    @property
+    def exit_state(self) -> int:
+        if self.seg_exits.size == 0:
+            return int(self.entry_state)
+        return int(self.seg_exits[-1])
+
+
+def count_arr_detail(scanner: FlatScanner, arr: np.ndarray, chunks: int,
+                     entry_state: int,
+                     weights: Optional[np.ndarray] = None) -> ScanDetail:
+    """:func:`count_arr`, but returning the per-segment ledger."""
+    if arr.size == 0:
+        return ScanDetail(int(entry_state),
+                          np.zeros(1, dtype=np.int64),
+                          np.zeros(0, dtype=np.int64),
+                          np.zeros(0, dtype=np.int32))
+    remainder, head, head_ptr, counts, exits = _chunked_scan(
+        scanner, arr, chunks, entry_state, None, weights)
+    pieces = counts.size
+    piece_len = (int(arr.size) - remainder) // pieces
+    bounds = np.empty(pieces + 2, dtype=np.int64)
+    bounds[0] = 0
+    bounds[1:] = remainder + piece_len * np.arange(pieces + 1,
+                                                   dtype=np.int64)
+    seg_counts = np.concatenate(([head], counts)).astype(np.int64)
+    seg_exits = np.concatenate(
+        ([int(scanner.state_of(head_ptr))],
+         np.asarray(scanner.state_of(exits)))).astype(np.int32)
+    return ScanDetail(int(entry_state), bounds, seg_counts, seg_exits)
+
+
+def repair_detail(scanner: FlatScanner, arr: np.ndarray, detail: ScanDetail,
+                  entry_state: int, chunks: int = 64,
+                  weights: Optional[np.ndarray] = None) -> Tuple[int, int]:
+    """Exact ``(count, exit_state)`` of ``arr`` from ``entry_state``,
+    reusing a previous scan's :class:`ScanDetail`.
+
+    If the entry matches the recorded one, the recorded totals stand.
+    Otherwise leading segments are rescanned from the corrected state
+    until the trajectory hits a recorded segment-boundary state — from
+    there on determinism makes the recorded counts exact — so a wrong
+    speculative entry typically costs one segment, not the whole array
+    (Ko et al.'s speculative-repair argument applied at the ledger's
+    granularity).  Degenerates to a full rescan only when the trajectory
+    never rejoins.
+    """
+    if int(entry_state) == detail.entry_state:
+        return detail.total, detail.exit_state
+    state = int(entry_state)
+    total = 0
+    for k in range(detail.seg_counts.size):
+        lo = int(detail.seg_bounds[k])
+        hi = int(detail.seg_bounds[k + 1])
+        cnt, state = count_arr(scanner, arr[lo:hi], chunks, state,
+                               weights=weights)
+        total += cnt
+        if state == int(detail.seg_exits[k]):
+            return (total + int(detail.seg_counts[k + 1:].sum()),
+                    detail.exit_state)
+    return total, state
 
 
 @dataclass

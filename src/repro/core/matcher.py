@@ -22,7 +22,7 @@ from __future__ import annotations
 import time
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..cell.processor import NUM_SPES
 from ..dfa.aho_corasick import AhoCorasick
@@ -300,6 +300,38 @@ class CellStringMatcher:
         # semantics of the serial path (one hit per dictionary entry
         # recognized, even when several end on one state entry).
         return self._sharded_scanner(workers).count_block(raw)
+
+    def scan_iter(self, chunks: Iterable[Union[str, bytes]],
+                  workers: int = 1) -> ScanReport:
+        """Scan a stream of chunks as one contiguous input, without ever
+        materializing it.
+
+        The concatenation of ``chunks`` is scanned exactly as
+        :meth:`scan` would scan it in one piece — chunk boundaries are
+        invisible, matches straddling them are counted — but memory use
+        is bounded by the staging ring, so multi-GB streams flow
+        through.  Counts only (events need the serial block path).
+        """
+        t0 = time.perf_counter()
+        scanner = self._sharded_scanner(workers)
+        total = scanner.count_stream(
+            c.encode() if isinstance(c, str) else c for c in chunks)
+        return self._report(total, None,
+                            scanner.last_scan_stats["bytes"],
+                            host_seconds=time.perf_counter() - t0,
+                            workers=workers)
+
+    def scan_file(self, file, workers: int = 1) -> ScanReport:
+        """Scan a binary file's bytes, streamed straight into the
+        staging ring (never materialized).  ``file`` is a path or a
+        binary file object; counts only."""
+        t0 = time.perf_counter()
+        scanner = self._sharded_scanner(workers)
+        total = scanner.scan_file(file)
+        return self._report(total, None,
+                            scanner.last_scan_stats["bytes"],
+                            host_seconds=time.perf_counter() - t0,
+                            workers=workers)
 
     def scan_streams(self, streams: Sequence[bytes],
                      workers: int = 1) -> ScanReport:

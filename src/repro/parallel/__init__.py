@@ -11,13 +11,20 @@ worker pool attaches it zero-copy instead of unpickling the tables per
 task, just as the paper loads each SPE's local store once and streams
 only input past it.
 
-Where the analogy breaks: there is no DMA and no static stream
-assignment.  Shards are scanned *speculatively* from guessed entry
-states and a cross-shard fixpoint repair on the host makes the counts
-exact (the same mechanism :meth:`VectorDFAEngine.count_block` uses
-within one process, generalized across processes).
+Input moves the way the paper's Figure 5 moves it: a persistent
+:class:`StagingRing` of shared buffers is filled by the host (the
+PPE/MFC role) while the workers scan the resident buffer, so blocks,
+chunk streams and files of any size flow through a fixed footprint.
+Fold maps are *composed into* the shared flat tables, so workers gather
+directly on staged raw bytes.  Shards are scanned *speculatively* from
+guessed entry states and repaired incrementally from per-segment
+ledgers — across shard and buffer boundaries — so the counts are
+bit-identical to a serial scan (the same mechanism
+:meth:`VectorDFAEngine.count_block` uses within one process,
+generalized across processes and time).
 """
 
+from .ring import StagingRing
 from .shared_stt import SharedSTT, SharedSTTError
 from .sharded import ShardedScanner, ShardedScanError
 
@@ -26,4 +33,5 @@ __all__ = [
     "SharedSTTError",
     "ShardedScanner",
     "ShardedScanError",
+    "StagingRing",
 ]

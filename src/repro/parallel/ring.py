@@ -1,0 +1,104 @@
+"""Persistent double-buffered input staging — the paper's Figure 5 on
+the host.
+
+The Cell kernel never waits for memory because the MFC stages the *next*
+input buffer into the local store while the SPU scans the resident one.
+:class:`StagingRing` is that structure for host processes: ``depth``
+(default two) pre-allocated POSIX shared-memory segments that worker
+processes attach exactly once, at pool start.  The producer (the host
+thread, playing the PPE/MFC) fills the idle segment — ``readinto`` from
+a file, or packed copies from an iterator — while the workers scan the
+other one, and the segments are reused for the whole life of the
+scanner: no per-pass ``SharedMemory`` create/attach, no per-scan
+allocation, no segment ever leaked (creation is rolled back on partial
+failure and :meth:`close` unlinks unconditionally).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+from multiprocessing import shared_memory
+
+__all__ = ["StagingRing"]
+
+
+class StagingRing:
+    """``depth`` fixed-size shared staging buffers, reused forever.
+
+    The ring itself holds no occupancy state — the scan pipeline in
+    :mod:`repro.parallel.sharded` tracks which buffers are in flight —
+    it owns only the segments and their lifecycle.
+    """
+
+    def __init__(self, capacity: int, depth: int = 2) -> None:
+        if capacity < 1:
+            raise ValueError("ring capacity must be >= 1 byte")
+        if depth < 2:
+            raise ValueError("ring depth must be >= 2 (double buffering)")
+        self.capacity = int(capacity)
+        self.depth = int(depth)
+        self._segs: List[shared_memory.SharedMemory] = []
+        try:
+            for _ in range(depth):
+                self._segs.append(shared_memory.SharedMemory(
+                    create=True, size=self.capacity))
+        except BaseException:
+            self.close()
+            raise
+
+    @property
+    def names(self) -> List[str]:
+        """Segment names, the workers' attachment recipe."""
+        return [seg.name for seg in self._segs]
+
+    def fill(self, index: int, fill_fn) -> int:
+        """Run ``fill_fn(memoryview) -> int`` against buffer ``index``.
+
+        The memoryview covers exactly ``capacity`` bytes and is released
+        before returning, so the segment can always be unmapped later.
+        Returns the byte count reported by ``fill_fn``.
+        """
+        with memoryview(self._segs[index].buf) as mv, \
+                mv[:self.capacity] as window:
+            return int(fill_fn(window))
+
+    def array(self, index: int, length: int, offset: int = 0) -> np.ndarray:
+        """A numpy view of ``length`` staged bytes in buffer ``index``.
+
+        The view aliases the segment; drop it before :meth:`close`.
+        """
+        return np.frombuffer(self._segs[index].buf, dtype=np.uint8,
+                             count=length, offset=offset)
+
+    # -- lifetime -----------------------------------------------------------------
+
+    def close(self) -> None:
+        """Unmap and unlink every segment (idempotent)."""
+        segs, self._segs = self._segs, []
+        for seg in segs:
+            try:
+                seg.close()
+            finally:
+                try:
+                    seg.unlink()
+                except FileNotFoundError:
+                    pass
+
+    def __enter__(self) -> "StagingRing":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:
+        return (f"StagingRing(capacity={self.capacity}, "
+                f"depth={self.depth}, "
+                f"live={len(self._segs)})")

@@ -1,39 +1,54 @@
-"""Sharded, speculative, exact multicore scanning.
+"""Sharded, speculative, exact multicore scanning — pipelined.
 
 :class:`ShardedScanner` is the paper's Figure 6a made host-parallel: one
 compiled artifact, many identical scan units, disjoint slices of the
 input.  A persistent worker pool attaches the :class:`SharedSTT` once
-(zero-copy, the "load the local store once" moment); each
-:meth:`ShardedScanner.count_block` call stages the input in a shared
-segment, hands every worker a shard and a *guessed* entry state, and
-repairs wrong guesses with a cross-shard fixpoint on the host — the same
-speculation-plus-repair that :meth:`VectorDFAEngine.count_block` runs
-over chunks within one process, promoted across processes.  Counts are
-exact: the fixpoint terminates (each pass finalizes at least the first
-still-wrong shard) and on convergence every shard has been scanned from
-its true entry state.
+(zero-copy, the "load the local store once" moment) and, since PR 2, a
+persistent :class:`StagingRing` of input buffers (the Figure 5
+double-buffering moment): the host fills the idle ring buffer while the
+workers scan the resident one, so arbitrarily large inputs — blocks,
+chunk iterators, files — stream through a fixed shared-memory footprint
+with no per-scan segment create/attach at all.
+
+Exactness is kept by speculation plus repair, at two nested levels.
+Every worker scans its shard from a *guessed* entry state (Ko et al.'s
+speculative DFA membership idea), and returns a per-segment
+:class:`~repro.core.engine.ScanDetail` ledger.  The host chains the true
+states across shards and across ring buffers; a wrong guess is repaired
+*incrementally* — leading ledger segments are rescanned until the state
+trajectory rejoins the recorded one — so a mis-speculated shard costs
+about one sub-chunk, not a full rescan.  Counts are bit-identical to a
+serial scan by determinism.
 
 Multiple DFAs (e.g. the slices of a partitioned dictionary) ride the
-same pool and the same staged input; their shard fixpoints are repaired
-independently but their scan tasks share the worker queue, so series
-slices and parallel shards both turn into pool-level parallelism.
+same pool, the same ring and the same staged bytes; their repair chains
+are independent but their scan tasks share the worker queue.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
 import os
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from collections import deque
+from typing import (Dict, Iterable, IO, List, Optional, Sequence, Tuple,
+                    Union)
 
 import numpy as np
 from multiprocessing import shared_memory
 
 from ..dfa.alphabet import FoldMap
-from ..dfa.automaton import DFA, DFAError
-from ..core.engine import StreamResult, count_arr
+from ..dfa.automaton import DFA
+from ..core.engine import (ScanDetail, StreamResult, count_arr,
+                           count_arr_detail, repair_detail)
+from .ring import StagingRing
 from .shared_stt import SharedSTT
 
 __all__ = ["ShardedScanner", "ShardedScanError"]
+
+#: Default staging-buffer capacity.  Two of these exist per scanner; the
+#: value trades shared-memory footprint against dispatch rounds for huge
+#: inputs.
+DEFAULT_RING_BYTES = 1 << 24
 
 
 class ShardedScanError(Exception):
@@ -45,45 +60,43 @@ class ShardedScanError(Exception):
 _WORKER: Dict = {}
 
 
-def _init_worker(metas: List[Dict]) -> None:
-    """Pool initializer: attach every shared artifact, build scanners."""
+def _init_worker(metas: List[Dict], ring_names: List[str]) -> None:
+    """Pool initializer: attach every shared artifact exactly once."""
     stts = [SharedSTT.attach(m) for m in metas]
     _WORKER["stts"] = stts
     _WORKER["scanners"] = [stt.scanner() for stt in stts]
+    _WORKER["ring"] = [shared_memory.SharedMemory(name=n)
+                       for n in ring_names]
 
 
-def _shard_symbols(stt: SharedSTT, shm: shared_memory.SharedMemory,
-                   lo: int, hi: int) -> np.ndarray:
-    """This shard's folded symbols (a fold copy, or a validated view)."""
-    raw = np.frombuffer(shm.buf, dtype=np.uint8, count=hi - lo, offset=lo)
-    if stt.fold_table is not None:
-        arr = stt.fold_table[raw]
-        del raw
-        return arr
-    if raw.size and int(raw.max()) >= stt.alphabet_size:
-        del raw
+def _check_symbols(stt: SharedSTT, raw: np.ndarray) -> None:
+    bound = stt.input_bound
+    if bound is not None and raw.size and int(raw.max()) >= bound:
         raise ShardedScanError(
             "input contains symbols outside the alphabet and the scanner "
             "was built without a fold map")
-    return raw
 
 
-def _scan_shard(dfa_idx: int, shm_name: str, lo: int, hi: int,
+def _scan_shard(dfa_idx: int, seg_idx: int, lo: int, hi: int,
                 entry_state: int, chunks: int,
-                weighted: bool) -> Tuple[int, int]:
-    """One speculative shard scan; returns ``(count, exit_state)``."""
+                weighted: bool) -> ScanDetail:
+    """One speculative shard scan over a staged ring buffer.
+
+    Gathers directly on the staged bytes (the fold, if any, is composed
+    into the shared table) and returns the per-segment ledger the host's
+    incremental repair runs on.
+    """
     stt = _WORKER["stts"][dfa_idx]
     scanner = _WORKER["scanners"][dfa_idx]
-    shm = shared_memory.SharedMemory(name=shm_name)
+    shm = _WORKER["ring"][seg_idx]
+    raw = np.frombuffer(shm.buf, dtype=np.uint8, count=hi - lo, offset=lo)
     try:
-        arr = _shard_symbols(stt, shm, lo, hi)
+        _check_symbols(stt, raw)
         weights = stt.weights if weighted else None
-        result = count_arr(scanner, arr, chunks, entry_state,
-                           weights=weights)
-        arr = None
-        return result
+        return count_arr_detail(scanner, raw, chunks, entry_state,
+                                weights=weights)
     finally:
-        shm.close()
+        raw = None
 
 
 def _scan_streams_shard(dfa_idx: int, shm_name: str, first: int, count: int,
@@ -96,31 +109,78 @@ def _scan_streams_shard(dfa_idx: int, shm_name: str, first: int, count: int,
     try:
         raw = np.frombuffer(shm.buf, dtype=np.uint8, count=count * length,
                             offset=first * length)
-        if stt.fold_table is not None:
-            slab = stt.fold_table[raw]
-        else:
-            if raw.size and int(raw.max()) >= stt.alphabet_size:
-                raise ShardedScanError(
-                    "input contains symbols outside the alphabet and the "
-                    "scanner was built without a fold map")
-            slab = raw
-        cols = np.ascontiguousarray(slab.reshape(count, length).T)
+        _check_symbols(stt, raw)
+        cols = np.ascontiguousarray(raw.reshape(count, length).T)
         ptrs = np.full(count, scanner.pointer(scanner.start),
                        dtype=np.int32)
         counts = np.zeros(count, dtype=np.int64)
         weights = stt.weights if weighted else None
         fin = scanner.scan_cols(cols, ptrs, counts, weights=weights)
         states = scanner.state_of(fin)
-        raw = slab = None
+        raw = cols = None
         return counts.tolist(), [int(s) for s in states]
     finally:
         shm.close()
 
 
+# -- producers ---------------------------------------------------------------------
+
+
+class _ChunkFeed:
+    """Packs an iterator of bytes-like chunks into staging buffers.
+
+    Chunk boundaries carry no meaning — a chunk may span two buffers —
+    so arbitrary chunkings produce identical counts.
+    """
+
+    def __init__(self, chunks: Iterable) -> None:
+        self._it = iter(chunks)
+        self._pending: Optional[memoryview] = None
+
+    def fill(self, window: memoryview) -> int:
+        pos = 0
+        cap = len(window)
+        while pos < cap:
+            if self._pending is None:
+                nxt = next(self._it, None)
+                if nxt is None:
+                    break
+                self._pending = memoryview(nxt)
+                if self._pending.ndim != 1 or self._pending.itemsize != 1:
+                    raise ShardedScanError(
+                        "stream chunks must be 1-D bytes-like objects")
+                if not len(self._pending):
+                    self._pending = None
+                    continue
+            take = min(cap - pos, len(self._pending))
+            window[pos:pos + take] = self._pending[:take]
+            pos += take
+            self._pending = self._pending[take:] if take < len(
+                self._pending) else None
+        return pos
+
+
+class _FileFeed:
+    """Stages a binary file with ``readinto`` — no intermediate copies."""
+
+    def __init__(self, fileobj: IO[bytes]) -> None:
+        self._f = fileobj
+
+    def fill(self, window: memoryview) -> int:
+        pos = 0
+        cap = len(window)
+        while pos < cap:
+            got = self._f.readinto(window[pos:])
+            if not got:
+                break
+            pos += got
+        return pos
+
+
 # -- host side ---------------------------------------------------------------------
 
 class ShardedScanner:
-    """Exact multicore scanning of one or more DFAs over shared input.
+    """Exact multicore scanning of one or more DFAs over streamed input.
 
     Parameters
     ----------
@@ -129,20 +189,26 @@ class ShardedScanner:
         slices).  All must share one alphabet.
     workers:
         Pool size; defaults to ``os.cpu_count()``.  ``workers=1`` runs
-        fully in-process (no pool, no staging copies) with identical
-        semantics.
+        fully in-process (no pool, no ring, no staging copies) with
+        identical semantics.
     fold:
         Optional byte→symbol reduction.  When given, inputs are *raw*
-        bytes and workers fold their own shards (the PPE role,
-        parallelized); without it, inputs must be pre-folded symbols.
+        bytes and the fold is composed into the shared flat table, so
+        workers gather on staged bytes directly; without it, inputs must
+        be pre-folded symbols.
     chunks:
-        Lockstep chunk count *inside* each worker's shard scan.
+        Lockstep chunk floor *inside* each worker's shard scan (widened
+        automatically on large shards, see ``engine.LANES_TARGET``).
     weighted:
         Count per-state match multiplicities (one per dictionary entry
         recognized, as the event-reporting paths do) instead of one per
         final-state entry (the paper's kernel counting).
     min_shard_bytes:
-        Inputs smaller than ``workers × min_shard_bytes`` skip the pool.
+        Blocks smaller than ``workers × min_shard_bytes`` skip the pool.
+    ring_bytes / ring_depth:
+        Per-buffer capacity and buffer count of the staging ring.  The
+        defaults (two 16 MB buffers) suit bulk scanning; tests shrink
+        them to force many buffer boundaries.
     """
 
     def __init__(self, dfas: Union[DFA, Sequence[DFA]],
@@ -151,6 +217,8 @@ class ShardedScanner:
                  chunks: int = 256,
                  weighted: bool = False,
                  min_shard_bytes: int = 1 << 16,
+                 ring_bytes: int = DEFAULT_RING_BYTES,
+                 ring_depth: int = 2,
                  start_method: Optional[str] = None) -> None:
         if isinstance(dfas, DFA):
             dfas = [dfas]
@@ -165,20 +233,35 @@ class ShardedScanner:
             raise ShardedScanError("workers must be >= 1")
         if chunks < 1:
             raise ShardedScanError("chunks must be >= 1")
+        if ring_bytes < 1:
+            raise ShardedScanError("ring_bytes must be >= 1")
         self.workers = int(workers)
         self.fold = fold
         self.chunks = int(chunks)
         self.weighted = bool(weighted)
         self.min_shard_bytes = int(min_shard_bytes)
         self.alphabet_size = alphabet
-        self._stts = [SharedSTT(d, fold=fold) for d in dfas]
-        self._scanners = [stt.scanner() for stt in self._stts]
+        #: Bookkeeping of the most recent scan (bytes staged, ring
+        #: buffers cycled, tasks dispatched, shards repaired) — used by
+        #: the benchmarks and the streaming entry points.
+        self.last_scan_stats: Dict[str, int] = {}
+        self._stts: List[SharedSTT] = []
+        self._scanners: List = []
+        self._ring: Optional[StagingRing] = None
         self._pool = None
-        if self.workers > 1:
-            ctx = mp.get_context(start_method)
-            self._pool = ctx.Pool(
-                self.workers, initializer=_init_worker,
-                initargs=([stt.meta() for stt in self._stts],))
+        try:
+            self._stts = [SharedSTT(d, fold=fold) for d in dfas]
+            self._scanners = [stt.scanner() for stt in self._stts]
+            if self.workers > 1:
+                self._ring = StagingRing(int(ring_bytes), int(ring_depth))
+                ctx = mp.get_context(start_method)
+                self._pool = ctx.Pool(
+                    self.workers, initializer=_init_worker,
+                    initargs=([stt.meta() for stt in self._stts],
+                              self._ring.names))
+        except BaseException:
+            self.close()
+            raise
 
     @property
     def num_dfas(self) -> int:
@@ -192,91 +275,170 @@ class ShardedScanner:
         Raw bytes when a fold map was given, pre-folded symbols
         otherwise.  Sums over all DFAs.
         """
+        return sum(self.count_per_dfa(block))
+
+    def count_per_dfa(self, block) -> List[int]:
+        """Per-DFA exact counts over one contiguous input."""
         self._check_open()
         n = len(block)
         if n == 0:
-            return 0
-        if self._pool is None or n < self.workers * self.min_shard_bytes:
-            return sum(self._count_local(block))
-        return sum(self._count_pooled(block))
-
-    def count_per_dfa(self, block: bytes) -> List[int]:
-        """Per-DFA exact counts over one contiguous input."""
-        self._check_open()
-        if len(block) == 0:
+            self.last_scan_stats = {"bytes": 0, "buffers": 0, "tasks": 0,
+                                    "repaired_shards": 0}
             return [0] * self.num_dfas
-        if self._pool is None or \
-                len(block) < self.workers * self.min_shard_bytes:
-            return self._count_local(block)
-        return self._count_pooled(block)
+        if self._pool is None or n < self.workers * self.min_shard_bytes:
+            return self._count_local([block])
+        return self._pipeline(_ChunkFeed([block]))
 
-    def _fold_or_check(self, block: bytes) -> np.ndarray:
-        arr = np.frombuffer(block, dtype=np.uint8)
-        if self.fold is not None:
-            return self.fold.fold_symbols(block)
-        if arr.size and int(arr.max()) >= self.alphabet_size:
+    # -- streaming ----------------------------------------------------------------
+
+    def count_stream(self, chunks: Iterable) -> int:
+        """Exact total count over a stream of bytes-like chunks.
+
+        The concatenation of the chunks is scanned as one contiguous
+        input — chunk boundaries are invisible to the DFAs — without
+        ever materializing it: chunks are packed into the staging ring
+        (or, pool-less, scanned with a carried DFA state).
+        """
+        return sum(self.count_stream_per_dfa(chunks))
+
+    def count_stream_per_dfa(self, chunks: Iterable) -> List[int]:
+        """Per-DFA exact counts over a stream of bytes-like chunks."""
+        self._check_open()
+        if self._pool is None:
+            return self._count_local(chunks)
+        return self._pipeline(_ChunkFeed(chunks))
+
+    def scan_file(self, file: Union[str, os.PathLike, IO[bytes]]) -> int:
+        """Exact total count over a file's bytes, streamed through the
+        ring (``readinto`` straight into shared memory — the input is
+        never materialized in one piece)."""
+        self._check_open()
+        if hasattr(file, "readinto"):
+            return self._scan_fileobj(file)
+        with open(file, "rb", buffering=0) as f:
+            return self._scan_fileobj(f)
+
+    def _scan_fileobj(self, f: IO[bytes]) -> int:
+        if self._pool is None:
+            cap = DEFAULT_RING_BYTES
+            return sum(self._count_local(
+                iter(lambda: f.read(cap), b"")))
+        return sum(self._pipeline(_FileFeed(f)))
+
+    # -- in-process path ----------------------------------------------------------
+
+    def _as_symbols(self, chunk) -> np.ndarray:
+        """A scannable uint8 view of one input chunk (no fold copies:
+        folds are composed into the tables)."""
+        arr = np.frombuffer(chunk, dtype=np.uint8)
+        if self.fold is None and self.alphabet_size < 256 and arr.size \
+                and int(arr.max()) >= self.alphabet_size:
             raise ShardedScanError(
                 "input contains symbols outside the alphabet and the "
                 "scanner was built without a fold map")
         return arr
 
-    def _count_local(self, block: bytes) -> List[int]:
-        arr = self._fold_or_check(block)
-        out = []
-        for stt, scanner in zip(self._stts, self._scanners):
-            weights = stt.weights if self.weighted else None
-            count, _ = count_arr(scanner, arr, self.chunks, scanner.start,
-                                 weights=weights)
-            out.append(count)
-        return out
+    def _count_local(self, chunks: Iterable) -> List[int]:
+        """Serial scan with carried DFA states — the workers=1 and
+        small-input path, streaming-capable."""
+        totals = [0] * self.num_dfas
+        carry = [sc.start for sc in self._scanners]
+        nbytes = 0
+        for chunk in chunks:
+            arr = self._as_symbols(chunk)
+            if arr.size == 0:
+                continue
+            nbytes += arr.size
+            for d, (stt, scanner) in enumerate(
+                    zip(self._stts, self._scanners)):
+                weights = stt.weights if self.weighted else None
+                cnt, carry[d] = count_arr(scanner, arr, self.chunks,
+                                          carry[d], weights=weights)
+                totals[d] += cnt
+        self.last_scan_stats = {"bytes": nbytes, "buffers": 0, "tasks": 0,
+                                "repaired_shards": 0}
+        return totals
 
-    def _count_pooled(self, block: bytes) -> List[int]:
-        n = len(block)
-        shards = self.workers
-        bounds = np.linspace(0, n, shards + 1).astype(np.int64)
-        shm = shared_memory.SharedMemory(create=True, size=n)
-        try:
-            shm.buf[:n] = block
-            return self._fixpoint(shm.name, bounds)
-        finally:
-            shm.close()
-            try:
-                shm.unlink()
-            except FileNotFoundError:
-                pass
+    # -- the pipelined pooled path -------------------------------------------------
 
-    def _fixpoint(self, shm_name: str,
-                  bounds: np.ndarray) -> List[int]:
-        """Speculative shard scans + cross-shard entry-state repair."""
-        shards = len(bounds) - 1
-        num = self.num_dfas
-        entry = [[self._scanners[d].start] * shards for d in range(num)]
-        exits = [[0] * shards for _ in range(num)]
-        counts = [[0] * shards for _ in range(num)]
-        todo = [(d, i) for d in range(num) for i in range(shards)]
-        for _ in range(shards + 1):
-            jobs = [
-                (d, i, self._pool.apply_async(
-                    _scan_shard,
-                    (d, shm_name, int(bounds[i]), int(bounds[i + 1]),
-                     entry[d][i], self.chunks, self.weighted)))
-                for d, i in todo
-            ]
-            for d, i, job in jobs:
-                counts[d][i], exits[d][i] = job.get()
-            todo = []
-            for d in range(num):
-                for i in range(1, shards):
-                    actual = exits[d][i - 1]
-                    if actual != entry[d][i]:
-                        entry[d][i] = actual
-                        todo.append((d, i))
-            if not todo:
+    def _pipeline(self, feed) -> List[int]:
+        """Double-buffered scan: fill ring buffer ``k+1`` while the pool
+        scans buffer ``k``; repair speculative entries incrementally at
+        collection time, carrying the true DFA states across buffers."""
+        ring = self._ring
+        totals = [0] * self.num_dfas
+        carry = [sc.start for sc in self._scanners]
+        pending: deque = deque()
+        stats = {"bytes": 0, "buffers": 0, "tasks": 0,
+                 "repaired_shards": 0}
+        seg = 0
+        while True:
+            if len(pending) == ring.depth:
+                # Oldest buffer must drain before its slot is refilled.
+                self._collect(pending.popleft(), carry, totals, stats)
+            n = ring.fill(seg, feed.fill)
+            if n == 0:
                 break
-        else:
-            raise DFAError("shard fixpoint failed to converge; this "
-                           "indicates a bug, not an input property")
-        return [sum(counts[d]) for d in range(num)]
+            jobs, bounds = self._dispatch(seg, n, carry)
+            pending.append((seg, bounds, jobs))
+            stats["bytes"] += n
+            stats["buffers"] += 1
+            stats["tasks"] += self.num_dfas * (len(bounds) - 1)
+            seg = (seg + 1) % ring.depth
+        while pending:
+            self._collect(pending.popleft(), carry, totals, stats)
+        self.last_scan_stats = stats
+        return totals
+
+    def _dispatch(self, seg: int, n: int, carry: List[int]):
+        """One task per worker per DFA per buffer.  Shard 0 is entered
+        from the latest *known* carry state (exact if this buffer was
+        dispatched after its predecessor drained, speculative when the
+        predecessor is still in flight); inner shards guess the start
+        state, as convergent security DFAs overwhelmingly reach it."""
+        shards = min(self.workers, n)
+        bounds = np.linspace(0, n, shards + 1).astype(np.int64)
+        jobs = []
+        for d in range(self.num_dfas):
+            start = self._scanners[d].start
+            jobs.append([
+                self._pool.apply_async(
+                    _scan_shard,
+                    (d, seg, int(bounds[i]), int(bounds[i + 1]),
+                     carry[d] if i == 0 else start, self.chunks,
+                     self.weighted))
+                for i in range(shards)
+            ])
+        return jobs, bounds
+
+    def _collect(self, staged, carry: List[int], totals: List[int],
+                 stats: Dict[str, int]) -> None:
+        """Drain one buffer's tasks; chain true states through its
+        shards, repairing wrong speculative entries from the ledgers."""
+        seg, bounds, jobs = staged
+        # Drain every task before touching any shared-table view: a
+        # worker exception propagates with this frame in its traceback,
+        # and a bound view would then block the segment unmap in close().
+        details = [[job.get() for job in row] for row in jobs]
+        for d in range(self.num_dfas):
+            stt, scanner = self._stts[d], self._scanners[d]
+            weights = stt.weights if self.weighted else None
+            state = carry[d]
+            for i, detail in enumerate(details[d]):
+                if state == detail.entry_state:
+                    totals[d] += detail.total
+                    state = detail.exit_state
+                else:
+                    lo, hi = int(bounds[i]), int(bounds[i + 1])
+                    arr = self._ring.array(seg, hi - lo, offset=lo)
+                    try:
+                        cnt, state = repair_detail(
+                            scanner, arr, detail, state, weights=weights)
+                    finally:
+                        arr = None
+                    totals[d] += cnt
+                    stats["repaired_shards"] += 1
+            carry[d] = state
 
     # -- stream batches -----------------------------------------------------------
 
@@ -339,8 +501,7 @@ class ShardedScanner:
         n = len(streams)
         cols = np.empty((length, n), dtype=np.uint8)
         for i, s in enumerate(streams):
-            arr = self._fold_or_check(s)
-            cols[:, i] = arr
+            cols[:, i] = self._as_symbols(s)
         ptrs = np.full(n, scanner.pointer(scanner.start), dtype=np.int32)
         counts = np.zeros(n, dtype=np.int64)
         weights = stt.weights if self.weighted else None
@@ -354,17 +515,24 @@ class ShardedScanner:
             raise ShardedScanError("scanner is closed")
 
     def close(self) -> None:
-        """Shut the pool down and release the shared artifacts."""
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
-        # Scanners alias the shared segments; drop them before closing,
-        # or the memoryview export blocks the unmap.
-        self._scanners = []
-        for stt in self._stts:
-            stt.close()
-        self._stts = []
+        """Shut the pool down gracefully and release every shared
+        segment.  Idempotent; segments are unlinked even if the pool
+        teardown raises, so nothing can leak."""
+        pool, self._pool = self._pool, None
+        try:
+            if pool is not None:
+                pool.close()
+                pool.join()
+        finally:
+            # Scanners alias the shared segments; drop them before
+            # closing, or the memoryview export blocks the unmap.
+            self._scanners = []
+            stts, self._stts = self._stts, []
+            for stt in stts:
+                stt.close()
+            ring, self._ring = self._ring, None
+            if ring is not None:
+                ring.close()
 
     def __enter__(self) -> "ShardedScanner":
         return self
@@ -381,5 +549,5 @@ class ShardedScanner:
     def __repr__(self) -> str:
         return (f"ShardedScanner(dfas={self.num_dfas}, "
                 f"workers={self.workers}, "
-                f"fold={'yes' if self.fold else 'no'}, "
+                f"fold={'composed' if self.fold else 'no'}, "
                 f"weighted={self.weighted})")

@@ -9,6 +9,12 @@ work — dictionary compile, DFA densification, flat encoding — happens
 once in the parent; workers *attach* in microseconds and scan through
 numpy views that alias the segment, so no table bytes are ever pickled
 or copied per task.
+
+When a fold map is given it is *composed into* the flat table: rows are
+widened to one column per raw byte value (stride 512), so workers gather
+directly on unfolded input and never materialize a folded copy of their
+shard.  The 2 KB/state cost lands in the one shared segment, not in
+every worker.
 """
 
 from __future__ import annotations
@@ -42,14 +48,13 @@ class SharedSTT:
         Compiled automaton; flattened with the final flag in pointer
         bit 0 exactly as the single-process engine uses it.
     fold:
-        Optional byte→symbol reduction; stored so workers can fold raw
-        traffic themselves (the PPE role, parallelized).
+        Optional byte→symbol reduction, *composed into* the flat table:
+        the stored rows are indexed by raw byte (stride 512) and workers
+        scan unfolded traffic directly.  The 256-byte fold table itself
+        is kept in the segment for introspection.
     """
 
     def __init__(self, dfa: DFA, fold: Optional[FoldMap] = None) -> None:
-        flat, stride = build_flat_table(dfa.transitions, dfa.final_mask)
-        weights = build_weight_table(dfa)
-        final = np.ascontiguousarray(dfa.final_mask, dtype=np.uint8)
         if fold is not None:
             fold_table = np.ascontiguousarray(fold.table, dtype=np.uint8)
             if fold_table.size != 256:
@@ -58,8 +63,14 @@ class SharedSTT:
                 raise SharedSTTError(
                     f"fold width {fold.width} != DFA alphabet "
                     f"{dfa.alphabet_size}")
+            symbol_width = 256
         else:
             fold_table = None
+            symbol_width = dfa.alphabet_size
+        flat, stride = build_flat_table(dfa.transitions, dfa.final_mask,
+                                        fold_table=fold_table)
+        weights = build_weight_table(dfa, symbol_width)
+        final = np.ascontiguousarray(dfa.final_mask, dtype=np.uint8)
 
         off_flat = 0
         off_weights = _align(off_flat + flat.nbytes)
@@ -73,6 +84,7 @@ class SharedSTT:
             "name": self._shm.name,
             "num_states": dfa.num_states,
             "alphabet_size": dfa.alphabet_size,
+            "symbol_width": symbol_width,
             "start": dfa.start,
             "off_flat": off_flat,
             "flat_cells": flat.size,
@@ -110,6 +122,7 @@ class SharedSTT:
         buf = self._shm.buf
         self.num_states = m["num_states"]
         self.alphabet_size = m["alphabet_size"]
+        self.symbol_width = m["symbol_width"]
         self.start = m["start"]
         self.flat = np.frombuffer(buf, dtype=np.int32,
                                   count=m["flat_cells"],
@@ -134,8 +147,17 @@ class SharedSTT:
 
     def scanner(self) -> FlatScanner:
         """A :class:`FlatScanner` running directly on the shared table."""
-        return FlatScanner(self.flat, self.alphabet_size, self.start,
+        return FlatScanner(self.flat, self.symbol_width, self.start,
                            self.num_states)
+
+    @property
+    def input_bound(self) -> Optional[int]:
+        """Exclusive upper bound on scannable input byte values, or
+        ``None`` when every byte is scannable (fold composed into the
+        table, or a full-byte alphabet)."""
+        if self.symbol_width == 256:
+            return None
+        return self.alphabet_size
 
     @property
     def size_bytes(self) -> int:
