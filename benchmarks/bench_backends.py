@@ -1,0 +1,93 @@
+"""Unified cross-backend sweep over one planted corpus.
+
+Every registered scan backend consumes the same
+:class:`~repro.core.compiled.CompiledDictionary` and scans the same
+traffic block; the bench asserts bit-identical counts (the acceptance
+bar for the backend registry) and emits one unified
+``BENCH_backends.json`` payload with per-backend throughput plus the
+artifact-cache cold/warm compile split.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SMOKE=1``  — small block: the CI smoke run.
+* ``REPRO_BENCH_BLOCK_MB`` — block size in MB (default 16).
+* ``REPRO_BENCH_WORKERS``  — worker count for the pooled/streaming rows.
+"""
+
+import os
+import time
+
+from repro.analysis import outcome_table
+from repro.core.backends import (ScanContext, ScanRequest, backend_names,
+                                 execute, get_backend)
+from repro.core.compiled import ArtifactCache, COUNTERS, compile_dictionary
+from repro.dfa.alphabet import identity_fold
+from repro.workloads import plant_matches, random_payload, \
+    random_signatures
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+BLOCK_MB = float(os.environ.get("REPRO_BENCH_BLOCK_MB",
+                                "2" if SMOKE else "16"))
+WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "2"))
+
+PATTERNS = random_signatures(25, 4, 10, seed=90)
+
+
+def test_backend_sweep_report(report, report_json, tmp_path):
+    nbytes = int(BLOCK_MB * 1e6)
+    block = bytes(plant_matches(random_payload(nbytes, seed=91), PATTERNS,
+                                max(1, nbytes // 2000), seed=92))
+
+    # Compile cold (building every automaton), then warm from the cache.
+    # The workload generators emit pre-folded 32-symbol traffic, so the
+    # fold is the identity over that alphabet.
+    fold = identity_fold(32)
+    cache = ArtifactCache(tmp_path / "artifacts")
+    t0 = time.perf_counter()
+    compiled = compile_dictionary(PATTERNS, fold=fold, cache=cache)
+    cold_s = time.perf_counter() - t0
+    builds_before = COUNTERS["automaton_builds"]
+    t0 = time.perf_counter()
+    compiled = compile_dictionary(PATTERNS, fold=fold, cache=cache)
+    warm_s = time.perf_counter() - t0
+    assert COUNTERS["automaton_builds"] == builds_before, \
+        "warm compile re-ran DFA construction"
+
+    outcomes = []
+    with ScanContext(compiled) as ctx:
+        for name in backend_names():
+            backend = get_backend(name)
+            workers = WORKERS if name in ("pooled", "streaming") else 1
+            request = ScanRequest(data=block, workers=workers) \
+                if "block" in backend.kinds \
+                else ScanRequest(chunks=[block], workers=workers)
+            execute(ctx, request, backend=name)        # warm pools/caches
+            outcomes.append(execute(ctx, request, backend=name))
+
+    counts = {o.total_matches for o in outcomes}
+    assert len(counts) == 1, \
+        f"backends disagree: {[(o.backend, o.total_matches) for o in outcomes]}"
+
+    text = outcome_table(
+        outcomes,
+        title=f"Backend sweep, {len(block) / 1e6:.0f} MB planted traffic "
+              f"({os.cpu_count()} host core(s); compile cold "
+              f"{cold_s * 1e3:.0f} ms / warm {warm_s * 1e3:.0f} ms)")
+    report("backends", text)
+    report_json("backends", {
+        "block_bytes": len(block),
+        "host_cores": os.cpu_count(),
+        "patterns": len(PATTERNS),
+        "count": counts.pop(),
+        "compile_cold_seconds": round(cold_s, 4),
+        "compile_warm_seconds": round(warm_s, 4),
+        "slices": compiled.num_slices,
+        "per_backend": {
+            o.backend: {
+                "workers": o.workers,
+                "seconds": round(o.seconds, 4),
+                "mb_per_s": round(o.bytes_scanned / o.seconds / 1e6, 2)
+                if o.seconds else None,
+                "gbps": round(o.gbps, 4),
+            } for o in outcomes},
+    })

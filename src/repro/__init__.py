@@ -24,6 +24,9 @@ Quickstart::
     assert report.total_matches == 2
 """
 
+from .core.backends import ScanOutcome, backend_names
+from .core.compiled import (ArtifactCache, CompiledDictionary,
+                            compile_dictionary)
 from .core.engine import VectorDFAEngine
 from .core.matcher import CellStringMatcher, ScanReport
 from .core.tile import DFATile
@@ -36,13 +39,18 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AhoCorasick",
+    "ArtifactCache",
     "CellStringMatcher",
+    "CompiledDictionary",
     "DFA",
     "DFATile",
     "FoldMap",
     "MatchEvent",
+    "ScanOutcome",
     "ScanReport",
     "VectorDFAEngine",
+    "backend_names",
+    "compile_dictionary",
     "case_fold_32",
     "compile_patterns",
     "compile_regex",

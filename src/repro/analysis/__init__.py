@@ -9,7 +9,8 @@ from .models import (PAPER_BLADE_GBPS, PAPER_CHIP_GBPS,
                      replacement_gbps, spes_for_line_rate)
 from .calibration import (CalibrationError, CalibrationSample,
                           fit_bandwidth_model)
-from .report import ascii_chart, ascii_table, comparison_table, format_si
+from .report import (ascii_chart, ascii_table, comparison_table, format_si,
+                     outcome_table)
 
 __all__ = [
     "PAPER_BLADE_GBPS",
@@ -32,4 +33,5 @@ __all__ = [
     "ascii_table",
     "comparison_table",
     "format_si",
+    "outcome_table",
 ]

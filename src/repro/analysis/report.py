@@ -9,7 +9,8 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple, Union
 
-__all__ = ["ascii_table", "comparison_table", "ascii_chart", "format_si"]
+__all__ = ["ascii_table", "comparison_table", "ascii_chart", "format_si",
+           "outcome_table"]
 
 Cell = Union[str, int, float, None]
 
@@ -112,6 +113,30 @@ def ascii_chart(series: Sequence[Tuple[str, Sequence[float],
     if y_label:
         lines.append(" " * 12 + f"y: {y_label}")
     return "\n".join(lines)
+
+
+def outcome_table(outcomes: Sequence[object],
+                  title: Optional[str] = None) -> str:
+    """One row per :class:`~repro.core.backends.ScanOutcome` — the
+    unified way benches and the CLI print cross-backend sweeps.
+
+    Duck-typed (any object with ``backend``/``workers``/
+    ``total_matches``/``bytes_scanned``/``seconds``/``gbps`` works) so
+    this layer never imports the core package.
+    """
+    rows: List[List[Cell]] = []
+    for o in outcomes:
+        rows.append([
+            getattr(o, "backend", "?"),
+            getattr(o, "workers", 1),
+            getattr(o, "total_matches", None),
+            getattr(o, "bytes_scanned", None),
+            getattr(o, "seconds", 0.0),
+            getattr(o, "gbps", 0.0),
+        ])
+    return ascii_table(
+        ["backend", "workers", "matches", "bytes", "seconds", "Gbps"],
+        rows, title)
 
 
 def format_si(value: float, unit: str = "") -> str:

@@ -4,15 +4,20 @@ Four subcommands mirror the library's main entry points::
 
     python -m repro scan --pattern virus --pattern worm --text "a Virus!"
     python -m repro scan --patterns-file sigs.txt traffic.bin
+    python -m repro scan --backend pooled --workers 4 traffic.bin
     python -m repro plan --states 5000 --spes 8
     python -m repro table1 --transitions 4096
     python -m repro info
 
 ``scan`` matches (exact strings or, with ``--regex``, regexes) and reports
-counts, events and the modelled Cell deployment.  ``plan`` sizes a
-dictionary against the tile budget and prints the deployment the library
-would choose, including the replacement-topology optimum.  ``table1``
-re-runs the paper's kernel comparison at a configurable scale.
+counts, events and the modelled Cell deployment; ``--backend`` picks a
+registered scan backend (default: the execution planner chooses) and file
+inputs stream through the staging ring rather than being read whole.
+``plan`` sizes a dictionary against the tile budget and prints the
+deployment the library would choose, including the replacement-topology
+optimum.  ``table1`` re-runs the paper's kernel comparison at a
+configurable scale.  ``info`` prints the paper's reference numbers and the
+backend registry.
 """
 
 from __future__ import annotations
@@ -43,6 +48,14 @@ def build_parser() -> argparse.ArgumentParser:
                       help="treat patterns as regular expressions")
     scan.add_argument("--events", action="store_true",
                       help="list individual match events")
+    scan.add_argument("--backend", default="auto",
+                      choices=["auto", "serial", "chunked", "pooled",
+                               "streaming", "cellsim"],
+                      help="scan backend (default: auto — the execution "
+                           "planner chooses)")
+    scan.add_argument("--workers", type=int, default=1,
+                      help="worker processes for the parallel backends "
+                           "(default 1)")
 
     plan = sub.add_parser("plan", help="size a dictionary deployment")
     group = plan.add_mutually_exclusive_group(required=True)
@@ -73,28 +86,44 @@ def _load_patterns(args) -> List[str]:
 
 
 def _cmd_scan(args) -> int:
-    from .core.matcher import CellStringMatcher
+    from .core.matcher import CellStringMatcher, MatcherError
 
     patterns = _load_patterns(args)
     if not patterns:
         print("error: no patterns given (use --pattern/--patterns-file)",
               file=sys.stderr)
         return 2
-    if args.text is not None:
-        data: bytes = args.text.encode()
-    elif args.input:
-        with open(args.input, "rb") as fh:
-            data = fh.read()
-    else:
+    if args.text is None and not args.input:
         print("error: provide an input file or --text", file=sys.stderr)
         return 2
 
+    backend = None if args.backend == "auto" else args.backend
     matcher = CellStringMatcher(patterns, regex=args.regex)
-    report = matcher.scan(data, with_events=args.events)
+    try:
+        if args.text is not None:
+            report = matcher.scan(args.text.encode(),
+                                  with_events=args.events,
+                                  workers=args.workers, backend=backend)
+        elif args.events or backend not in (None, "streaming"):
+            # Events and the block-only backends need the bytes in one
+            # piece; everything else streams.
+            with open(args.input, "rb") as fh:
+                report = matcher.scan(fh.read(), with_events=args.events,
+                                      workers=args.workers,
+                                      backend=backend)
+        else:
+            # File input flows through the staging ring — the file is
+            # never materialized in memory.
+            report = matcher.scan_file(args.input, workers=args.workers)
+    except MatcherError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     print(f"patterns      : {matcher.num_patterns}"
           f"{' (regex)' if args.regex else ''}")
     print(f"input         : {report.bytes_scanned} bytes")
     print(f"matches       : {report.total_matches}")
+    print(f"backend       : {report.backend} "
+          f"({report.workers} worker(s))")
     print(f"deployment    : {report.configuration}")
     print(f"modelled rate : {report.modelled_gbps:.2f} Gbps on "
           f"{report.spes_used} SPE(s)")
@@ -191,6 +220,7 @@ def _cmd_table1(args) -> int:
 def _cmd_info(args) -> int:
     from .analysis import (PAPER_BLADE_GBPS, PAPER_CHIP_GBPS,
                            PAPER_TABLE1, PAPER_TILE_GBPS)
+    from .core.backends import backend_specs
     print("Scarpazza, Villa & Petrini, IPPS 2007 — reference numbers")
     print(f"  peak tile throughput : {PAPER_TILE_GBPS} Gbps "
           f"(version 4, unroll 3)")
@@ -199,6 +229,9 @@ def _cmd_info(args) -> int:
     print("  Table 1 cycles/transition:",
           ", ".join(f"v{v}={r.cycles_per_transition}"
                     for v, r in sorted(PAPER_TABLE1.items())))
+    print("registered scan backends:")
+    for name, section, description in backend_specs():
+        print(f"  {name:<10s} {description} — {section}")
     return 0
 
 

@@ -7,7 +7,13 @@ and the high-level :class:`CellStringMatcher` API.
 """
 
 from .artifact import ArtifactError, pack_filter, unpack_filter
+from .backends import (BackendError, ScanBackend, ScanContext, ScanOutcome,
+                       ScanRequest, backend_names, backend_specs, execute,
+                       get_backend, register_backend)
 from .bloom_tile import BloomTile, BloomTileError, bloom_capacity
+from .compiled import (TABLE_FORMAT_VERSION, ArtifactCache, CompiledDictionary,
+                       CompileError, compile_dictionary,
+                       fingerprint_dictionary)
 from .composition import (CompositionError, CompositionReport,
                           TileComposition, mixed, parallel, series)
 from .compressed import CompressedSTT, CompressionStats
@@ -19,8 +25,8 @@ from .kernels import (KERNEL_SPECS, SIMD_LANES, BuiltKernel, KernelBuilder,
                       KernelError, KernelSpec)
 from .matcher import (PAPER_TILE_GBPS, CellStringMatcher, MatcherError,
                       ScanReport)
-from .planner import (CODE_STACK_BYTES, FIGURE3_CASES, PlanError, TilePlan,
-                      plan_tile)
+from .planner import (CODE_STACK_BYTES, FIGURE3_CASES, ExecutionPlan,
+                      PlanError, TilePlan, plan_backend, plan_tile)
 from .replacement import (HALF_TILE_STATES, HALF_TILE_STT_BYTES,
                           ReplacementError, ReplacementMatcher, TopologyPlan,
                           chain_gbps, effective_gbps, plan_topology,
@@ -35,6 +41,22 @@ __all__ = [
     "ArtifactError",
     "pack_filter",
     "unpack_filter",
+    "BackendError",
+    "ScanBackend",
+    "ScanContext",
+    "ScanOutcome",
+    "ScanRequest",
+    "backend_names",
+    "backend_specs",
+    "execute",
+    "get_backend",
+    "register_backend",
+    "TABLE_FORMAT_VERSION",
+    "ArtifactCache",
+    "CompiledDictionary",
+    "CompileError",
+    "compile_dictionary",
+    "fingerprint_dictionary",
     "BloomTile",
     "BloomTileError",
     "bloom_capacity",
@@ -67,8 +89,10 @@ __all__ = [
     "ScanReport",
     "CODE_STACK_BYTES",
     "FIGURE3_CASES",
+    "ExecutionPlan",
     "PlanError",
     "TilePlan",
+    "plan_backend",
     "plan_tile",
     "HALF_TILE_STATES",
     "HALF_TILE_STT_BYTES",

@@ -1,0 +1,487 @@
+"""One compile path, one artifact: the :class:`CompiledDictionary`.
+
+The paper's pipeline is two-phase: compile a dictionary once into an STT
+artifact, then stream input through whichever tile composition the
+planner picked (§4–§6).  This module is the compile phase for the whole
+repository.  ``compile_dictionary`` folds the patterns, builds the
+slice automata (Aho–Corasick for exact strings, the regex pipeline for
+regexes), bin-packs them against the tile state budget, and returns a
+single value object that every execution path consumes:
+
+* :class:`~repro.core.matcher.CellStringMatcher` plans its Cell
+  deployment from it;
+* the :mod:`repro.core.backends` registry scans through its
+  fold-composed flat tables and weight tables;
+* :class:`~repro.parallel.ShardedScanner` /
+  :class:`~repro.parallel.SharedSTT` place those same tables in shared
+  memory (``ShardedScanner.from_compiled``);
+* :class:`~repro.core.composition.TileComposition` and
+  :class:`~repro.core.system.CellMatchingSystem` model the modelled-Cell
+  deployment (``from_compiled``).
+
+A :class:`CompiledDictionary` is addressed by a **content fingerprint**
+(patterns + fold + mode + state budget), and :class:`ArtifactCache`
+persists it on disk keyed by fingerprint **and table-format version**,
+so service-style repeated scans of the same rule set skip Aho–Corasick
+construction and regex determinization entirely — the NIDS "compile
+once, ship to the data plane" moment the paper assumes.  ``COUNTERS``
+records every automaton build and cache hit/miss, so tests (and
+operators) can assert that a warm start did zero compile work.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import pathlib
+import tempfile
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..dfa.alphabet import FoldMap, case_fold_32
+from ..dfa.automaton import DFA, DFAError, MatchEvent
+from ..dfa.partition import PartitionedDictionary, partition_patterns
+from .engine import FlatScanner, build_flat_table, build_weight_table
+
+__all__ = [
+    "CompiledDictionary",
+    "CompileError",
+    "ArtifactCache",
+    "compile_dictionary",
+    "fingerprint_dictionary",
+    "COUNTERS",
+    "TABLE_FORMAT_VERSION",
+]
+
+#: Version of the compiled-table layout (flag-encoded flat rows, weight
+#: side table, cache serialization).  Bumping it invalidates every
+#: cached artifact: the cache key contains it, and loaders reject files
+#: whose stored version disagrees.
+TABLE_FORMAT_VERSION = 2
+
+#: Compile-work observability.  ``automaton_builds`` counts every
+#: Aho–Corasick construction and regex determinization; the cache
+#: counters track artifact reuse.  Tests assert on these to prove a
+#: cache hit does zero DFA-construction work.
+COUNTERS: Dict[str, int] = {
+    "automaton_builds": 0,
+    "cache_hits": 0,
+    "cache_misses": 0,
+    "cache_stores": 0,
+    "cache_rejects": 0,
+}
+
+
+class CompileError(Exception):
+    """Raised for unusable dictionaries (empty patterns, oversized
+    regexes, mismatched fold widths)."""
+
+
+Pattern = Union[str, bytes]
+
+
+def _as_bytes(patterns: Sequence[Pattern]) -> Tuple[bytes, ...]:
+    return tuple(p.encode() if isinstance(p, str) else bytes(p)
+                 for p in patterns)
+
+
+def fingerprint_dictionary(patterns: Sequence[Pattern],
+                           fold: FoldMap,
+                           regex: bool,
+                           max_states: int) -> str:
+    """Content address of a compiled dictionary.
+
+    Everything that determines the compiled tables goes in: the raw
+    patterns (order matters — it drives the bin-packing), the full fold
+    table, the compile mode and the state budget.  The table-format
+    version deliberately does *not*: it belongs to the cache key, so one
+    logical dictionary keeps one fingerprint across format upgrades.
+    """
+    h = hashlib.sha256()
+    h.update(b"repro-dict-v1")
+    h.update(bytes([1 if regex else 0]))
+    h.update(int(max_states).to_bytes(8, "big"))
+    h.update(bytes(fold.table))
+    h.update(int(fold.width).to_bytes(2, "big"))
+    for p in _as_bytes(patterns):
+        h.update(len(p).to_bytes(8, "big"))
+        h.update(p)
+    return h.hexdigest()
+
+
+@dataclass
+class CompiledDictionary:
+    """The compile phase's output: patterns + fold + slice DFAs + the
+    flag-encoded execution tables, addressed by a content fingerprint.
+
+    ``groups[i]`` lists the global pattern ids of slice ``i``;
+    ``dfas[i]`` is that slice's dense automaton (outputs attached, so
+    the same object serves counting and full event reporting).  The
+    fold-composed flat table and weight table of each slice are built
+    lazily and cached — they are what
+    :class:`~repro.core.engine.FlatScanner` and the shared-memory layer
+    actually execute.
+    """
+
+    patterns: Tuple[bytes, ...]
+    fold: FoldMap
+    regex: bool
+    max_states: int
+    groups: Tuple[Tuple[int, ...], ...]
+    dfas: Tuple[DFA, ...]
+    fingerprint: str
+    #: Exact-mode partition (``None`` for regex dictionaries); kept so
+    #: deployment planning and tests can inspect the bin-packing.
+    partition: Optional[PartitionedDictionary] = None
+    _tables: Optional[List[Tuple[np.ndarray, np.ndarray]]] = \
+        field(default=None, repr=False)
+    _scanners: Optional[List[FlatScanner]] = field(default=None, repr=False)
+
+    # -- shape --------------------------------------------------------------------
+
+    @property
+    def num_slices(self) -> int:
+        return len(self.dfas)
+
+    @property
+    def num_patterns(self) -> int:
+        return len(self.patterns)
+
+    @property
+    def total_states(self) -> int:
+        return sum(d.num_states for d in self.dfas)
+
+    def global_pattern_id(self, slice_index: int, local_id: int) -> int:
+        return self.groups[slice_index][local_id]
+
+    @property
+    def regex_slices(self) -> List[Tuple[DFA, List[int]]]:
+        """Regex-mode view: ``(dfa, global pattern ids)`` per slice."""
+        return [(dfa, list(ids))
+                for dfa, ids in zip(self.dfas, self.groups)]
+
+    # -- execution tables ----------------------------------------------------------
+
+    def tables(self) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Per-slice ``(flat, weights)`` fold-composed execution tables.
+
+        The flat table gathers on **raw bytes** (the fold is composed
+        in, stride ``2 × 256``), and the weight table holds per-state
+        match multiplicities addressable by ``pointer >> 1`` — exactly
+        what :class:`SharedSTT` places in shared memory and the in-
+        process backends scan with.  Built once, cached on the object.
+        """
+        if self._tables is None:
+            fold_table = self.fold.np_table
+            tables = []
+            for dfa in self.dfas:
+                flat, _ = build_flat_table(dfa.transitions, dfa.final_mask,
+                                           fold_table=fold_table)
+                weights = build_weight_table(dfa, 256)
+                tables.append((flat, weights))
+            self._tables = tables
+        return self._tables
+
+    def scanners(self) -> List[FlatScanner]:
+        """Per-slice :class:`FlatScanner` over the fold-composed tables
+        (scan raw bytes directly; no folded copy of the input)."""
+        if self._scanners is None:
+            self._scanners = [
+                FlatScanner(flat, 256, dfa.start, dfa.num_states)
+                for (flat, _), dfa in zip(self.tables(), self.dfas)]
+        return self._scanners
+
+    # -- reference scanning ---------------------------------------------------------
+
+    def match_events(self, raw: bytes) -> List[MatchEvent]:
+        """Full event semantics over all slices, global pattern ids,
+        sorted by (end, pattern) — the reporting path every backend's
+        counts are defined against."""
+        folded = self.fold.fold_bytes(raw)
+        events: List[MatchEvent] = []
+        for si, dfa in enumerate(self.dfas):
+            group = self.groups[si]
+            for ev in dfa.match_events(folded):
+                events.append(MatchEvent(ev.end, group[ev.pattern]))
+        events.sort(key=lambda e: (e.end, e.pattern))
+        return events
+
+    def __repr__(self) -> str:
+        return (f"CompiledDictionary(patterns={self.num_patterns}, "
+                f"slices={self.num_slices}, states={self.total_states}, "
+                f"{'regex, ' if self.regex else ''}"
+                f"fingerprint={self.fingerprint[:12]}...)")
+
+
+# -- compile paths -----------------------------------------------------------------
+
+
+def _build_exact(patterns: Tuple[bytes, ...], fold: FoldMap,
+                 max_states: int, fingerprint: str) -> CompiledDictionary:
+    folded = [fold.fold_bytes(p) for p in patterns]
+    for i, p in enumerate(folded):
+        if not p:
+            raise CompileError(f"pattern {i} is empty")
+    try:
+        partition = partition_patterns(folded, max_states, fold.width)
+    except DFAError as exc:
+        raise CompileError(str(exc)) from exc
+    COUNTERS["automaton_builds"] += partition.num_slices
+    return CompiledDictionary(
+        patterns=patterns, fold=fold, regex=False, max_states=max_states,
+        groups=partition.groups, dfas=partition.dfas,
+        fingerprint=fingerprint, partition=partition)
+
+
+def _build_regex(patterns: Tuple[bytes, ...], fold: FoldMap,
+                 max_states: int, fingerprint: str) -> CompiledDictionary:
+    """Greedy bin-packing of regexes into tile-sized DFA slices.
+
+    Each slice is one multi-pattern DFA within the state budget; a
+    single regex exceeding the budget alone is rejected — it can never
+    fit any tile.
+    """
+    from ..dfa.regex import compile_patterns
+
+    texts = [p.decode("latin-1") for p in patterns]
+    groups: List[List[int]] = []
+    dfas: List[DFA] = []
+    current_ids: List[int] = []
+    current_pats: List[str] = []
+    compiled: Optional[DFA] = None
+    for i, pattern in enumerate(texts):
+        trial = compile_patterns(current_pats + [pattern], fold)
+        COUNTERS["automaton_builds"] += 1
+        if trial.num_states <= max_states:
+            current_ids.append(i)
+            current_pats.append(pattern)
+            compiled = trial
+            continue
+        if not current_pats:
+            raise CompileError(
+                f"regex {pattern!r} alone needs {trial.num_states} "
+                f"states, tile budget is {max_states}")
+        groups.append(current_ids)
+        dfas.append(compiled)
+        solo = compile_patterns([pattern], fold)
+        COUNTERS["automaton_builds"] += 1
+        if solo.num_states > max_states:
+            raise CompileError(
+                f"regex {pattern!r} alone needs {solo.num_states} "
+                f"states, tile budget is {max_states}")
+        current_ids = [i]
+        current_pats = [pattern]
+        compiled = solo
+    if current_pats:
+        groups.append(current_ids)
+        dfas.append(compiled)
+    return CompiledDictionary(
+        patterns=patterns, fold=fold, regex=True, max_states=max_states,
+        groups=tuple(tuple(g) for g in groups), dfas=tuple(dfas),
+        fingerprint=fingerprint)
+
+
+def compile_dictionary(patterns: Sequence[Pattern],
+                       fold: Optional[FoldMap] = None,
+                       regex: bool = False,
+                       max_states: int = 1 << 30,
+                       cache: Optional[Union["ArtifactCache", str,
+                                             os.PathLike]] = None
+                       ) -> CompiledDictionary:
+    """The one compile path: patterns → :class:`CompiledDictionary`.
+
+    With ``cache`` (an :class:`ArtifactCache` or a directory path), the
+    artifact is looked up by content fingerprint first — a hit rebuilds
+    the value object from the stored dense tables with **zero**
+    Aho–Corasick / determinization work — and stored after a miss.
+    """
+    if not patterns:
+        raise CompileError("dictionary must contain at least one pattern")
+    if fold is None:
+        fold = case_fold_32()
+    raw = _as_bytes(patterns)
+    fingerprint = fingerprint_dictionary(raw, fold, regex, max_states)
+    if cache is not None and not isinstance(cache, ArtifactCache):
+        cache = ArtifactCache(cache)
+    if cache is not None:
+        hit = cache.load(fingerprint)
+        if hit is not None:
+            return hit
+    builder = _build_regex if regex else _build_exact
+    compiled = builder(raw, fold, max_states, fingerprint)
+    if cache is not None:
+        cache.store(compiled)
+    return compiled
+
+
+# -- the on-disk artifact cache -----------------------------------------------------
+
+
+def _default_cache_dir() -> pathlib.Path:
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return pathlib.Path(env)
+    return pathlib.Path(
+        os.environ.get("XDG_CACHE_HOME",
+                       pathlib.Path.home() / ".cache")) / "repro-dfa"
+
+
+class ArtifactCache:
+    """Compiled dictionaries on disk, keyed by fingerprint + format
+    version.
+
+    One ``.npz`` per artifact holds the dense transition tables, final
+    masks, outputs, groups, patterns and fold — everything needed to
+    rebuild a :class:`CompiledDictionary` without touching the
+    dictionary compilers.  Flat/weight execution tables are *not*
+    stored: they are derived by fast vectorized numpy passes and
+    rebuilding them keeps the format independent of in-memory layout
+    tweaks.
+
+    Robustness: loads verify magic, format version and fingerprint;
+    corrupt or stale files count as misses (``COUNTERS["cache_rejects"]``)
+    and never poison a scan.  Stores are atomic (temp file + rename).
+    """
+
+    def __init__(self, directory: Optional[Union[str, os.PathLike]] = None
+                 ) -> None:
+        self.directory = pathlib.Path(directory).expanduser() \
+            if directory is not None else _default_cache_dir()
+
+    def path_for(self, fingerprint: str) -> pathlib.Path:
+        return self.directory / \
+            f"{fingerprint}-v{TABLE_FORMAT_VERSION}.npz"
+
+    # -- store ---------------------------------------------------------------------
+
+    def store(self, compiled: CompiledDictionary) -> pathlib.Path:
+        """Persist one artifact; returns its path."""
+        arrays: Dict[str, np.ndarray] = {}
+        meta = {
+            "magic": "repro-compiled-dictionary",
+            "version": TABLE_FORMAT_VERSION,
+            "fingerprint": compiled.fingerprint,
+            "regex": compiled.regex,
+            "max_states": compiled.max_states,
+            "fold_width": compiled.fold.width,
+            "num_slices": compiled.num_slices,
+        }
+        arrays["meta"] = np.frombuffer(
+            json.dumps(meta).encode(), dtype=np.uint8).copy()
+        arrays["fold_table"] = compiled.fold.np_table.copy()
+        blob = b"".join(compiled.patterns)
+        arrays["patterns_blob"] = np.frombuffer(
+            blob, dtype=np.uint8).copy() if blob else \
+            np.zeros(0, dtype=np.uint8)
+        arrays["pattern_lens"] = np.asarray(
+            [len(p) for p in compiled.patterns], dtype=np.int64)
+        arrays["group_lens"] = np.asarray(
+            [len(g) for g in compiled.groups], dtype=np.int64)
+        arrays["groups_flat"] = np.asarray(
+            [i for g in compiled.groups for i in g], dtype=np.int64)
+        arrays["starts"] = np.asarray(
+            [d.start for d in compiled.dfas], dtype=np.int64)
+        for i, dfa in enumerate(compiled.dfas):
+            arrays[f"trans_{i}"] = dfa.transitions
+            arrays[f"final_{i}"] = dfa.final_mask.astype(np.uint8)
+            pairs = [(s, p) for s, pats in sorted(dfa.outputs.items())
+                     for p in pats]
+            arrays[f"outputs_{i}"] = np.asarray(
+                pairs, dtype=np.int64).reshape(len(pairs), 2)
+
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(compiled.fingerprint)
+        buf = io.BytesIO()
+        np.savez_compressed(buf, **arrays)
+        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(buf.getvalue())
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        COUNTERS["cache_stores"] += 1
+        return path
+
+    # -- load ----------------------------------------------------------------------
+
+    def load(self, fingerprint: str) -> Optional[CompiledDictionary]:
+        """Rebuild an artifact by fingerprint, or ``None`` on miss.
+
+        Corrupt files, stale format versions and fingerprint mismatches
+        are all misses — the caller recompiles and overwrites.
+        """
+        path = self.path_for(fingerprint)
+        if not path.exists():
+            COUNTERS["cache_misses"] += 1
+            return None
+        try:
+            compiled = self._load_file(path, fingerprint)
+        except Exception:
+            COUNTERS["cache_rejects"] += 1
+            COUNTERS["cache_misses"] += 1
+            return None
+        COUNTERS["cache_hits"] += 1
+        return compiled
+
+    def _load_file(self, path: pathlib.Path,
+                   fingerprint: str) -> CompiledDictionary:
+        with np.load(path) as data:
+            meta = json.loads(bytes(data["meta"]).decode())
+            if meta.get("magic") != "repro-compiled-dictionary":
+                raise ValueError("bad magic")
+            if meta.get("version") != TABLE_FORMAT_VERSION:
+                raise ValueError("stale table-format version")
+            if meta.get("fingerprint") != fingerprint:
+                raise ValueError("fingerprint mismatch")
+            fold = FoldMap(tuple(int(b) for b in data["fold_table"]),
+                           int(meta["fold_width"]))
+            blob = bytes(data["patterns_blob"])
+            patterns: List[bytes] = []
+            pos = 0
+            for n in data["pattern_lens"]:
+                patterns.append(blob[pos:pos + int(n)])
+                pos += int(n)
+            groups: List[Tuple[int, ...]] = []
+            flat = [int(i) for i in data["groups_flat"]]
+            pos = 0
+            for n in data["group_lens"]:
+                groups.append(tuple(flat[pos:pos + int(n)]))
+                pos += int(n)
+            starts = data["starts"]
+            dfas: List[DFA] = []
+            for i in range(int(meta["num_slices"])):
+                pairs = data[f"outputs_{i}"]
+                outputs: Dict[int, Tuple[int, ...]] = {}
+                for s, p in pairs:
+                    outputs.setdefault(int(s), ())
+                    outputs[int(s)] += (int(p),)
+                dfas.append(DFA(
+                    data[f"trans_{i}"],
+                    finals=np.nonzero(data[f"final_{i}"])[0],
+                    start=int(starts[i]),
+                    outputs=outputs))
+        regex = bool(meta["regex"])
+        max_states = int(meta["max_states"])
+        raw = tuple(patterns)
+        partition = None
+        if not regex:
+            folded = tuple(fold.fold_bytes(p) for p in raw)
+            partition = PartitionedDictionary(
+                patterns=folded, groups=tuple(groups), dfas=tuple(dfas),
+                max_states=max_states)
+        return CompiledDictionary(
+            patterns=raw, fold=fold, regex=regex, max_states=max_states,
+            groups=tuple(groups), dfas=tuple(dfas),
+            fingerprint=fingerprint, partition=partition)
+
+    def __repr__(self) -> str:
+        return f"ArtifactCache({str(self.directory)!r})"

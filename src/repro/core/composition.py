@@ -85,6 +85,15 @@ class TileComposition:
             raise CompositionError("overlap must be non-negative")
         self.overlap = overlap
 
+    @classmethod
+    def from_compiled(cls, compiled, ways: int = 1,
+                      overlap: Optional[int] = None,
+                      max_spes: int = NUM_SPES) -> "TileComposition":
+        """Deploy a :class:`~repro.core.compiled.CompiledDictionary`'s
+        slices as series tiles (× ``ways`` parallel groups)."""
+        return cls(list(compiled.dfas), ways=ways, overlap=overlap,
+                   max_spes=max_spes)
+
     def _default_overlap(self) -> int:
         """Longest pattern length − 1: the minimal overlap that catches
         every boundary-crossing match.  Derived from the deepest final

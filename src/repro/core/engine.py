@@ -232,6 +232,10 @@ def _chunked_scan(scanner: FlatScanner, arr: np.ndarray, chunks: int,
     head_exit_ptr, piece_counts, piece_exit_ptrs)`` where the scalar head
     covers ``arr[:remainder]`` and the pieces tile the rest equally.
     """
+    if chunks < 1:
+        # Guard here, not only in the public wrappers: a zero floor used
+        # to fall through to ``n // 0`` on inputs shorter than MIN_PIECE.
+        raise DFAError("chunks must be >= 1")
     n = int(arr.size)
     chunks = min(n, max(int(chunks), min(LANES_TARGET, n // MIN_PIECE)))
     piece_len = n // chunks

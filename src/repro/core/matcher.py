@@ -2,10 +2,14 @@
 scan traffic.
 
 :class:`CellStringMatcher` is what a downstream user touches first.  It
-folds the dictionary and the input through the paper's 32-symbol reduction,
-compiles the dictionary (exact strings via Aho–Corasick, or regexes via the
-NFA pipeline), sizes it against the tile budget, and picks the paper's
-deployment shape automatically:
+is a thin shell over the compile/execute split: the dictionary compiles
+once into a :class:`~repro.core.compiled.CompiledDictionary` (optionally
+via the on-disk artifact cache, so repeated service starts skip
+Aho–Corasick/determinize entirely), deployment is sized against the tile
+budget exactly as before, and every scan — block, stream or file — is a
+:class:`~repro.core.backends.ScanRequest` executed by a registered
+:class:`~repro.core.backends.ScanBackend`.  The deployment shapes follow
+the paper:
 
 * fits one tile → parallel tiles for throughput (Figure 6a);
 * needs several tiles → series / mixed composition (Figures 6b, 7);
@@ -19,17 +23,15 @@ dictionary cost on the machine the paper used?".
 
 from __future__ import annotations
 
-import time
-from collections import Counter
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import (Dict, Iterable, List, Optional, Sequence, Tuple,
+                    Union)
 
 from ..cell.processor import NUM_SPES
-from ..dfa.aho_corasick import AhoCorasick
 from ..dfa.alphabet import FoldMap, case_fold_32
-from ..dfa.automaton import DFA, MatchEvent
-from ..dfa.partition import partition_patterns
-from ..dfa.regex import compile_patterns
+from ..dfa.automaton import MatchEvent
+from .backends import ScanContext, ScanOutcome, ScanRequest, execute
+from .compiled import ArtifactCache, CompileError, compile_dictionary
 from .composition import TileComposition
 from .planner import TilePlan, plan_tile
 from .replacement import HALF_TILE_STATES, ReplacementMatcher, effective_gbps
@@ -49,7 +51,9 @@ class MatcherError(Exception):
 
 @dataclass
 class ScanReport:
-    """Outcome of one scan."""
+    """Outcome of one scan, wrapping the executing backend's
+    :class:`~repro.core.backends.ScanOutcome` with the matcher's
+    modelled-Cell deployment numbers."""
 
     total_matches: int
     events: Optional[List[MatchEvent]]     # end positions + pattern ids
@@ -58,13 +62,15 @@ class ScanReport:
     spes_used: int
     modelled_gbps: float
     #: Occurrences per (global) pattern id; patterns with zero hits are
-    #: omitted.
+    #: omitted.  Only the event-reporting (serial) backend fills this.
     pattern_counts: Optional[Dict[int, int]] = None
     #: Measured wall-clock of this scan on the host, and how many worker
     #: processes ran it — the *real* numbers reported next to the
     #: modelled-Cell ones.
     host_seconds: float = 0.0
     workers: int = 1
+    #: Registry name of the backend that executed the scan.
+    backend: str = ""
 
     def modelled_seconds(self) -> float:
         """Time the modelled Cell configuration would need for this scan."""
@@ -81,15 +87,21 @@ class ScanReport:
 
     def summary(self) -> str:
         """Modelled-Cell and measured-host numbers, side by side."""
+        backend = f" [{self.backend}]" if self.backend else ""
         return (f"{self.total_matches} matches in {self.bytes_scanned} B | "
                 f"modelled Cell: {self.modelled_gbps:.2f} Gbps on "
                 f"{self.spes_used} SPE(s) ({self.configuration}) | "
                 f"host: {self.host_gbps:.4f} Gbps on {self.workers} "
-                f"worker(s)")
+                f"worker(s){backend}")
 
 
 class CellStringMatcher:
-    """Multi-pattern scanner with automatic Cell-BE deployment planning."""
+    """Multi-pattern scanner with automatic Cell-BE deployment planning.
+
+    ``cache`` (an :class:`~repro.core.compiled.ArtifactCache`, a cache
+    directory path, or ``True`` for the default location) loads/stores
+    the compiled dictionary on disk, keyed by content fingerprint.
+    """
 
     def __init__(self, patterns: Sequence[Pattern],
                  fold: Optional[FoldMap] = None,
@@ -97,7 +109,8 @@ class CellStringMatcher:
                  target_gbps: float = PAPER_TILE_GBPS,
                  per_tile_gbps: float = PAPER_TILE_GBPS,
                  max_spes: int = NUM_SPES,
-                 plan: Optional[TilePlan] = None) -> None:
+                 plan: Optional[TilePlan] = None,
+                 cache: Union[ArtifactCache, str, bool, None] = None) -> None:
         if not patterns:
             raise MatcherError("dictionary must contain at least one "
                                "pattern")
@@ -114,37 +127,36 @@ class CellStringMatcher:
 
         self._raw_patterns = [p.encode() if isinstance(p, str) else bytes(p)
                               for p in patterns]
-        #: Cached host-parallel scanners, keyed by worker count.
-        self._sharded: Dict[int, object] = {}
+        self._cache = ArtifactCache() if cache is True else cache
+        self.compiled = self._compile(self.plan.max_states)
+        self._ctx = ScanContext(self.compiled)
 
         if regex:
-            self._init_regex([p.decode("latin-1")
-                              for p in self._raw_patterns])
+            self._plan_regex()
         else:
-            self._init_exact(target_gbps)
+            self._plan_exact(target_gbps)
 
     # -- construction ------------------------------------------------------------
 
-    def _init_exact(self, target_gbps: float) -> None:
-        folded = [self.fold.fold_bytes(p) for p in self._raw_patterns]
-        for i, p in enumerate(folded):
-            if not p:
-                raise MatcherError(f"pattern {i} is empty")
-        tile_budget = self.plan.max_states
-        partition = partition_patterns(folded, tile_budget, self.fold.width)
-        self._acs = [AhoCorasick(partition.slice_patterns(i),
-                                 self.fold.width)
-                     for i in range(partition.num_slices)]
-        self.partition = partition
-        slices = partition.num_slices
+    def _compile(self, max_states: int):
+        try:
+            return compile_dictionary(self._raw_patterns, fold=self.fold,
+                                      regex=self.regex,
+                                      max_states=max_states,
+                                      cache=self._cache)
+        except CompileError as exc:
+            raise MatcherError(str(exc)) from exc
 
+    def _plan_exact(self, target_gbps: float) -> None:
+        slices = self.compiled.num_slices
         if slices <= self.max_spes:
             import math
             ways_needed = max(1, math.ceil(target_gbps
                                            / self.per_tile_gbps))
             ways = max(1, min(self.max_spes // slices, ways_needed))
-            self.composition: Optional[TileComposition] = TileComposition(
-                partition.dfas, ways=ways, max_spes=self.max_spes)
+            self.composition: Optional[TileComposition] = \
+                TileComposition.from_compiled(self.compiled, ways=ways,
+                                              max_spes=self.max_spes)
             self.replacement: Optional[ReplacementMatcher] = None
             kind = "parallel" if slices == 1 and ways > 1 else \
                 ("series" if ways == 1 and slices > 1 else
@@ -157,73 +169,34 @@ class CellStringMatcher:
                 self.per_tile_gbps)
         else:
             # Too many slices for resident tiles: dynamic STT replacement
-            # with half-size slots.
-            half_budget = min(HALF_TILE_STATES, tile_budget)
-            partition = partition_patterns(folded, half_budget,
-                                           self.fold.width)
-            self._acs = [AhoCorasick(partition.slice_patterns(i),
-                                     self.fold.width)
-                         for i in range(partition.num_slices)]
-            self.partition = partition
+            # with half-size slots.  Recompile against the half budget
+            # (its own fingerprint, so both artifacts cache cleanly).
+            half_budget = min(HALF_TILE_STATES, self.plan.max_states)
+            self.compiled = self._compile(half_budget)
+            self._ctx = ScanContext(self.compiled)
             self.composition = None
-            self.replacement = ReplacementMatcher(partition)
+            self.replacement = ReplacementMatcher(self.compiled.partition)
             self.spes_used = self.max_spes
             self.modelled_gbps = effective_gbps(
-                partition.num_slices, self.per_tile_gbps, self.max_spes)
+                self.compiled.num_slices, self.per_tile_gbps, self.max_spes)
             self.configuration = (
-                f"dynamic STT replacement: {partition.num_slices} slices "
-                f"cycling on {self.max_spes} SPE(s)")
+                f"dynamic STT replacement: {self.compiled.num_slices} "
+                f"slices cycling on {self.max_spes} SPE(s)")
 
-    def _init_regex(self, patterns: List[str]) -> None:
-        """Greedy bin-packing of regexes into tile-sized DFA slices.
-
-        Each slice is one multi-pattern DFA within the state budget; a
-        single regex exceeding the budget alone is rejected.  Slices
-        deploy like exact-dictionary slices: series tiles while they fit
-        the SPE budget, dynamic STT replacement beyond that.
-        """
-        budget = self.plan.max_states
-        slices: List[Tuple[object, List[int]]] = []   # (dfa, global ids)
-        current_ids: List[int] = []
-        current_pats: List[str] = []
-        compiled = None
-        for i, pattern in enumerate(patterns):
-            trial = compile_patterns(current_pats + [pattern], self.fold)
-            if trial.num_states <= budget:
-                current_ids.append(i)
-                current_pats.append(pattern)
-                compiled = trial
-                continue
-            if not current_pats:
-                raise MatcherError(
-                    f"regex {pattern!r} alone needs {trial.num_states} "
-                    f"states, tile budget is {budget}")
-            slices.append((compiled, current_ids))
-            solo = compile_patterns([pattern], self.fold)
-            if solo.num_states > budget:
-                raise MatcherError(
-                    f"regex {pattern!r} alone needs {solo.num_states} "
-                    f"states, tile budget is {budget}")
-            current_ids = [i]
-            current_pats = [pattern]
-            compiled = solo
-        if current_pats:
-            slices.append((compiled, current_ids))
-
-        self._regex_slices = slices
-        self._acs = []
-        self.partition = None
+    def _plan_regex(self) -> None:
+        """Deploy the bin-packed regex slices: series tiles while they
+        fit the SPE budget, dynamic STT replacement beyond that."""
         self.replacement = None
-        num_slices = len(slices)
+        num_slices = self.compiled.num_slices
         if num_slices <= self.max_spes:
-            self.composition = TileComposition(
-                [dfa for dfa, _ in slices], ways=1, overlap=0,
-                max_spes=self.max_spes)
+            self.composition = TileComposition.from_compiled(
+                self.compiled, ways=1, overlap=0, max_spes=self.max_spes)
             self.spes_used = num_slices
             self.modelled_gbps = self.per_tile_gbps
-            kind = "single regex tile" if num_slices == 1                 else f"{num_slices} series regex tiles"
-            total_states = sum(d.num_states for d, _ in slices)
-            self.configuration = f"{kind} ({total_states} states)"
+            kind = "single regex tile" if num_slices == 1 \
+                else f"{num_slices} series regex tiles"
+            self.configuration = \
+                f"{kind} ({self.compiled.total_states} states)"
         else:
             self.composition = None
             self.spes_used = self.max_spes
@@ -235,71 +208,38 @@ class CellStringMatcher:
 
     # -- scanning -----------------------------------------------------------------
 
+    def _execute(self, request: ScanRequest,
+                 backend: Optional[str]) -> ScanOutcome:
+        from .backends import BackendError
+
+        try:
+            return execute(self._ctx, request, backend=backend)
+        except BackendError as exc:
+            raise MatcherError(str(exc)) from exc
+
     def scan(self, data: Union[str, bytes],
-             with_events: bool = False, workers: int = 1) -> ScanReport:
+             with_events: bool = False, workers: int = 1,
+             backend: Optional[str] = None) -> ScanReport:
         """Scan one contiguous buffer; returns counts (and, optionally,
         the full list of match events with end positions).
 
-        ``workers > 1`` routes the scan through the host-parallel layer
-        (:class:`repro.parallel.ShardedScanner`): the slice DFAs live in
-        shared memory, the input is sharded across a persistent process
-        pool, and a cross-shard fixpoint keeps the total exact.  The
-        parallel path counts totals only — per-pattern attribution and
-        events need the serial reporting path.
+        ``backend`` names a registry entry (``serial``, ``chunked``,
+        ``pooled``, ``streaming``, ``cellsim``); ``None``/``"auto"``
+        lets the execution planner choose from the input size,
+        ``workers`` and ``with_events``.  ``workers > 1`` routes through
+        the host-parallel layer (shared-memory STTs, a persistent
+        process pool, cross-shard fixpoint repair).  Only the serial
+        reporting backend produces events and per-pattern attribution.
         """
         raw = data.encode() if isinstance(data, str) else bytes(data)
-        t0 = time.perf_counter()
-        if workers > 1:
-            if with_events:
-                raise MatcherError(
-                    "match events need the serial path; use workers=1 "
-                    "with with_events=True")
-            total = self._scan_sharded(raw, workers)
-            return self._report(total, None, len(raw),
-                                host_seconds=time.perf_counter() - t0,
-                                workers=workers)
-        folded = self.fold.fold_bytes(raw)
-        all_events: List[MatchEvent] = []
-        if self.regex:
-            for dfa, ids in self._regex_slices:
-                for ev in dfa.match_events(folded):
-                    all_events.append(MatchEvent(ev.end, ids[ev.pattern]))
-        else:
-            for si, ac in enumerate(self._acs):
-                for ev in ac.find_all(folded):
-                    all_events.append(MatchEvent(
-                        ev.end,
-                        self.partition.global_pattern_id(si, ev.pattern)))
-        all_events.sort(key=lambda e: (e.end, e.pattern))
-        counts = dict(Counter(e.pattern for e in all_events))
-        return self._report(len(all_events),
-                            all_events if with_events else None,
-                            len(raw), counts,
-                            host_seconds=time.perf_counter() - t0)
-
-    def _slice_dfas(self) -> List[DFA]:
-        if self.regex:
-            return [dfa for dfa, _ in self._regex_slices]
-        return list(self.partition.dfas)
-
-    def _sharded_scanner(self, workers: int):
-        """Lazily built, cached host-parallel scanner (one pool per
-        worker count; the pool and the shared STTs persist across
-        scans)."""
-        from ..parallel import ShardedScanner
-
-        scanner = self._sharded.get(workers)
-        if scanner is None:
-            scanner = ShardedScanner(self._slice_dfas(), workers=workers,
-                                     fold=self.fold, weighted=True)
-            self._sharded[workers] = scanner
-        return scanner
-
-    def _scan_sharded(self, raw: bytes, workers: int) -> int:
-        # weighted=True makes the flat-table count agree with the event
-        # semantics of the serial path (one hit per dictionary entry
-        # recognized, even when several end on one state entry).
-        return self._sharded_scanner(workers).count_block(raw)
+        if with_events and workers > 1:
+            raise MatcherError(
+                "match events need the serial path; use workers=1 "
+                "with with_events=True")
+        outcome = self._execute(
+            ScanRequest(data=raw, workers=workers,
+                        with_events=with_events), backend)
+        return self._report(outcome)
 
     def scan_iter(self, chunks: Iterable[Union[str, bytes]],
                   workers: int = 1) -> ScanReport:
@@ -312,49 +252,42 @@ class CellStringMatcher:
         is bounded by the staging ring, so multi-GB streams flow
         through.  Counts only (events need the serial block path).
         """
-        t0 = time.perf_counter()
-        scanner = self._sharded_scanner(workers)
-        total = scanner.count_stream(
-            c.encode() if isinstance(c, str) else c for c in chunks)
-        return self._report(total, None,
-                            scanner.last_scan_stats["bytes"],
-                            host_seconds=time.perf_counter() - t0,
-                            workers=workers)
+        outcome = self._execute(
+            ScanRequest(chunks=(c.encode() if isinstance(c, str) else c
+                                for c in chunks),
+                        workers=workers), "streaming")
+        return self._report(outcome)
 
     def scan_file(self, file, workers: int = 1) -> ScanReport:
         """Scan a binary file's bytes, streamed straight into the
         staging ring (never materialized).  ``file`` is a path or a
         binary file object; counts only."""
-        t0 = time.perf_counter()
-        scanner = self._sharded_scanner(workers)
-        total = scanner.scan_file(file)
-        return self._report(total, None,
-                            scanner.last_scan_stats["bytes"],
-                            host_seconds=time.perf_counter() - t0,
-                            workers=workers)
+        outcome = self._execute(
+            ScanRequest(file=file, workers=workers), "streaming")
+        return self._report(outcome)
 
     def scan_streams(self, streams: Sequence[bytes],
                      workers: int = 1) -> ScanReport:
         """Scan independent streams (counts only)."""
-        t0 = time.perf_counter()
         total = 0
         bytes_scanned = 0
+        seconds = 0.0
+        backend = ""
         for s in streams:
             raw = s.encode() if isinstance(s, str) else bytes(s)
-            bytes_scanned += len(raw)
-            if workers > 1:
-                total += self._scan_sharded(raw, workers)
-            else:
-                total += self.scan(raw).total_matches
-        return self._report(total, None, bytes_scanned,
-                            host_seconds=time.perf_counter() - t0,
-                            workers=workers)
+            outcome = self._execute(
+                ScanRequest(data=raw, workers=workers), None)
+            total += outcome.total_matches
+            bytes_scanned += outcome.bytes_scanned
+            seconds += outcome.seconds
+            backend = outcome.backend
+        return self._report(ScanOutcome(
+            total_matches=total, bytes_scanned=bytes_scanned,
+            backend=backend, workers=workers, seconds=seconds))
 
     def close(self) -> None:
         """Release host-parallel pools and shared artifacts, if any."""
-        for scanner in self._sharded.values():
-            scanner.close()
-        self._sharded.clear()
+        self._ctx.close()
 
     def __enter__(self) -> "CellStringMatcher":
         return self
@@ -372,24 +305,30 @@ class CellStringMatcher:
         """Shortcut: total dictionary occurrences in ``data``."""
         return self.scan(data, workers=workers).total_matches
 
-    def _report(self, total: int, events: Optional[List[MatchEvent]],
-                nbytes: int,
-                counts: Optional[Dict[int, int]] = None,
-                host_seconds: float = 0.0,
-                workers: int = 1) -> ScanReport:
+    def _report(self, outcome: ScanOutcome) -> ScanReport:
         return ScanReport(
-            total_matches=total,
-            events=events,
-            bytes_scanned=nbytes,
+            total_matches=outcome.total_matches,
+            events=outcome.events,
+            bytes_scanned=outcome.bytes_scanned,
             configuration=self.configuration,
             spes_used=self.spes_used,
             modelled_gbps=self.modelled_gbps,
-            pattern_counts=counts,
-            host_seconds=host_seconds,
-            workers=workers,
+            pattern_counts=outcome.pattern_counts,
+            host_seconds=outcome.seconds,
+            workers=outcome.workers,
+            backend=outcome.backend,
         )
 
     # -- introspection ---------------------------------------------------------------
+
+    @property
+    def partition(self):
+        """The exact-dictionary partition (``None`` in regex mode)."""
+        return self.compiled.partition
+
+    @property
+    def _regex_slices(self) -> List[Tuple[object, List[int]]]:
+        return self.compiled.regex_slices
 
     @property
     def num_patterns(self) -> int:

@@ -21,13 +21,14 @@ configurations of the figure.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from ..cell.local_store import LS_SIZE, LocalStore
 from .stt import row_stride
 
 __all__ = ["TilePlan", "plan_tile", "FIGURE3_CASES", "PlanError",
-           "CODE_STACK_BYTES", "COUNTER_AREA_BYTES", "STATE_AREA_BYTES"]
+           "CODE_STACK_BYTES", "COUNTER_AREA_BYTES", "STATE_AREA_BYTES",
+           "ExecutionPlan", "plan_backend", "SERIAL_BYTE_CEILING"]
 
 #: Local-store bytes the paper reserves for code and stack.
 CODE_STACK_BYTES = 34 * 1024
@@ -146,3 +147,53 @@ FIGURE3_CASES: List[TilePlan] = [
     plan_tile(buffer_bytes=8 * 1024),
     plan_tile(buffer_bytes=4 * 1024),
 ]
+
+
+# -- execution planning ------------------------------------------------------------
+
+#: Below this many bytes the chunked fixpoint's setup cost dominates and
+#: the serial reference walk wins (counts-only, single worker).
+SERIAL_BYTE_CEILING = 1 << 20
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """One backend choice plus the reasons that forced it."""
+
+    backend: str
+    reason: str
+
+    def describe(self) -> str:
+        return f"{self.backend}: {self.reason}"
+
+
+def plan_backend(nbytes: Optional[int] = None, streaming: bool = False,
+                 workers: int = 1, with_events: bool = False,
+                 serial_byte_ceiling: int = SERIAL_BYTE_CEILING,
+                 ) -> ExecutionPlan:
+    """Pick a scan backend from the request's shape.
+
+    The rules mirror the tile planner's spirit — choose the strategy
+    whose fixed costs the input can amortise.  Event reporting forces
+    the serial reference walk (the only backend that materialises match
+    positions); iterator/file input must flow through the staging ring;
+    multiple workers call for the sharded pool; large in-memory counts
+    take the chunked fixpoint, small ones stay serial.
+    """
+    if with_events:
+        return ExecutionPlan(
+            "serial", "match events require the reference walk")
+    if streaming:
+        return ExecutionPlan(
+            "streaming", "iterator/file input flows through the "
+            "staging ring")
+    if workers > 1:
+        return ExecutionPlan(
+            "pooled", f"{workers} workers amortise the sharded pool")
+    if nbytes is not None and nbytes > serial_byte_ceiling:
+        return ExecutionPlan(
+            "chunked", f"{nbytes} bytes amortise the speculative "
+            "fixpoint setup")
+    return ExecutionPlan(
+        "serial", "small single-worker input; reference walk is "
+        "cheapest and reports per-pattern counts")

@@ -148,6 +148,19 @@ class CellMatchingSystem:
             raise SystemError("overlap must be non-negative")
         self.overlap = overlap
 
+    @classmethod
+    def from_compiled(cls, compiled, num_tiles: int = 1,
+                      **kwargs) -> "CellMatchingSystem":
+        """An appliance over a single-slice
+        :class:`~repro.core.compiled.CompiledDictionary` (the simulated
+        local store holds exactly one STT)."""
+        if compiled.num_slices != 1:
+            raise SystemError(
+                f"CellMatchingSystem runs one STT per tile; dictionary "
+                f"compiled to {compiled.num_slices} slices")
+        kwargs.setdefault("fold", compiled.fold)
+        return cls(compiled.dfas[0], num_tiles=num_tiles, **kwargs)
+
     def _overlap_from_dfa(self) -> int:
         from .composition import _max_final_depth
         return max(0, _max_final_depth(self.dfa) - 1)

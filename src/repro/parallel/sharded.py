@@ -209,6 +209,10 @@ class ShardedScanner:
         Per-buffer capacity and buffer count of the staging ring.  The
         defaults (two 16 MB buffers) suit bulk scanning; tests shrink
         them to force many buffer boundaries.
+    tables:
+        Optional per-DFA pre-built ``(flat, weights)`` pairs (one per
+        DFA, same order) placed into the shared segments as-is instead
+        of re-encoding each DFA — the compiled-artifact fast path.
     """
 
     def __init__(self, dfas: Union[DFA, Sequence[DFA]],
@@ -219,11 +223,15 @@ class ShardedScanner:
                  min_shard_bytes: int = 1 << 16,
                  ring_bytes: int = DEFAULT_RING_BYTES,
                  ring_depth: int = 2,
-                 start_method: Optional[str] = None) -> None:
+                 start_method: Optional[str] = None,
+                 tables: Optional[Sequence[tuple]] = None) -> None:
         if isinstance(dfas, DFA):
             dfas = [dfas]
         if not dfas:
             raise ShardedScanError("at least one DFA required")
+        if tables is not None and len(tables) != len(dfas):
+            raise ShardedScanError(
+                f"{len(tables)} table pairs for {len(dfas)} DFAs")
         alphabet = dfas[0].alphabet_size
         if any(d.alphabet_size != alphabet for d in dfas):
             raise ShardedScanError("DFAs must share one alphabet")
@@ -250,7 +258,10 @@ class ShardedScanner:
         self._ring: Optional[StagingRing] = None
         self._pool = None
         try:
-            self._stts = [SharedSTT(d, fold=fold) for d in dfas]
+            self._stts = [
+                SharedSTT(d, fold=fold,
+                          tables=tables[i] if tables is not None else None)
+                for i, d in enumerate(dfas)]
             self._scanners = [stt.scanner() for stt in self._stts]
             if self.workers > 1:
                 self._ring = StagingRing(int(ring_bytes), int(ring_depth))
@@ -262,6 +273,20 @@ class ShardedScanner:
         except BaseException:
             self.close()
             raise
+
+    @classmethod
+    def from_compiled(cls, compiled, workers: Optional[int] = None,
+                      **kwargs) -> "ShardedScanner":
+        """A scanner over a :class:`~repro.core.compiled.CompiledDictionary`.
+
+        Reuses the artifact's fold-composed flat tables and weight
+        tables verbatim (no re-encoding) and counts with the
+        dictionary's event semantics (``weighted=True``).
+        """
+        kwargs.setdefault("weighted", True)
+        kwargs.setdefault("tables", compiled.tables())
+        return cls(list(compiled.dfas), workers=workers,
+                   fold=compiled.fold, **kwargs)
 
     @property
     def num_dfas(self) -> int:

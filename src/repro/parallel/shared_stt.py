@@ -52,9 +52,15 @@ class SharedSTT:
         the stored rows are indexed by raw byte (stride 512) and workers
         scan unfolded traffic directly.  The 256-byte fold table itself
         is kept in the segment for introspection.
+    tables:
+        Optional pre-built ``(flat, weights)`` pair — e.g. from
+        :meth:`repro.core.compiled.CompiledDictionary.tables` — copied
+        into the segment instead of re-encoding the DFA.  Must match the
+        layout this class would build for ``(dfa, fold)``.
     """
 
-    def __init__(self, dfa: DFA, fold: Optional[FoldMap] = None) -> None:
+    def __init__(self, dfa: DFA, fold: Optional[FoldMap] = None,
+                 tables: Optional[tuple] = None) -> None:
         if fold is not None:
             fold_table = np.ascontiguousarray(fold.table, dtype=np.uint8)
             if fold_table.size != 256:
@@ -67,9 +73,23 @@ class SharedSTT:
         else:
             fold_table = None
             symbol_width = dfa.alphabet_size
-        flat, stride = build_flat_table(dfa.transitions, dfa.final_mask,
-                                        fold_table=fold_table)
-        weights = build_weight_table(dfa, symbol_width)
+        if tables is not None:
+            flat, weights = tables
+            flat = np.ascontiguousarray(flat, dtype=np.int32)
+            weights = np.ascontiguousarray(weights, dtype=np.int32)
+            if flat.size != dfa.num_states * 2 * symbol_width:
+                raise SharedSTTError(
+                    f"pre-built flat table has {flat.size} cells, expected "
+                    f"{dfa.num_states * 2 * symbol_width} for "
+                    f"{dfa.num_states} states × {symbol_width} symbols")
+            if weights.size != dfa.num_states * symbol_width + 1:
+                raise SharedSTTError(
+                    f"pre-built weight table has {weights.size} cells, "
+                    f"expected {dfa.num_states * symbol_width + 1}")
+        else:
+            flat, _stride = build_flat_table(dfa.transitions, dfa.final_mask,
+                                             fold_table=fold_table)
+            weights = build_weight_table(dfa, symbol_width)
         final = np.ascontiguousarray(dfa.final_mask, dtype=np.uint8)
 
         off_flat = 0

@@ -52,6 +52,53 @@ class TestScan:
         assert rc == 2
         assert "input" in capsys.readouterr().err
 
+    @pytest.mark.parametrize("backend", ["serial", "chunked", "cellsim"])
+    def test_explicit_backend(self, backend, capsys):
+        rc = main(["scan", "--pattern", "virus", "--backend", backend,
+                   "--text", "a Virus, a VIRUS"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "matches       : 2" in out
+        assert f"backend       : {backend}" in out
+
+    def test_file_input_streams_by_default(self, tmp_path, capsys):
+        data = tmp_path / "traffic.bin"
+        data.write_bytes(b"zzATTACKzz" * 50)
+        rc = main(["scan", "--pattern", "attack", str(data)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "matches       : 50" in out
+        assert "backend       : streaming" in out
+
+    def test_file_input_with_pooled_backend(self, tmp_path, capsys):
+        data = tmp_path / "traffic.bin"
+        data.write_bytes(b"wormy " * 100)
+        rc = main(["scan", "--pattern", "worm", "--backend", "pooled",
+                   "--workers", "2", str(data)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "matches       : 100" in out
+        assert "backend       : pooled (2 worker(s))" in out
+
+    def test_events_force_block_read_of_file(self, tmp_path, capsys):
+        data = tmp_path / "traffic.bin"
+        data.write_bytes(b"xABx")
+        rc = main(["scan", "--pattern", "AB", "--events", str(data)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "end=3" in out and "backend       : serial" in out
+
+    def test_events_with_workers_errors(self, capsys):
+        rc = main(["scan", "--pattern", "a", "--events", "--workers", "2",
+                   "--text", "aa"])
+        assert rc == 2
+        assert "serial" in capsys.readouterr().err
+
+    def test_unknown_backend_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scan", "--pattern", "a",
+                                       "--backend", "gpu", "--text", "x"])
+
 
 class TestPlan:
     def test_resident_plan(self, capsys):
@@ -92,6 +139,15 @@ class TestOthers:
         out = capsys.readouterr().out
         assert rc == 0
         assert "5.11" in out and "40.88" in out
+
+    def test_info_lists_backends(self, capsys):
+        rc = main(["info"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "registered scan backends" in out
+        for name in ("serial", "chunked", "pooled", "streaming",
+                     "cellsim"):
+            assert name in out
 
     def test_table1_small(self, capsys):
         rc = main(["table1", "--transitions", "192"])
