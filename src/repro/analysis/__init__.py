@@ -10,7 +10,7 @@ from .models import (PAPER_BLADE_GBPS, PAPER_CHIP_GBPS,
 from .calibration import (CalibrationError, CalibrationSample,
                           fit_bandwidth_model)
 from .report import (ascii_chart, ascii_table, comparison_table, format_si,
-                     outcome_table)
+                     metrics_table, outcome_table)
 
 __all__ = [
     "PAPER_BLADE_GBPS",
@@ -33,5 +33,6 @@ __all__ = [
     "ascii_table",
     "comparison_table",
     "format_si",
+    "metrics_table",
     "outcome_table",
 ]

@@ -10,7 +10,7 @@ from __future__ import annotations
 from typing import List, Optional, Sequence, Tuple, Union
 
 __all__ = ["ascii_table", "comparison_table", "ascii_chart", "format_si",
-           "outcome_table"]
+           "outcome_table", "metrics_table"]
 
 Cell = Union[str, int, float, None]
 
@@ -137,6 +137,46 @@ def outcome_table(outcomes: Sequence[object],
     return ascii_table(
         ["backend", "workers", "matches", "bytes", "seconds", "Gbps"],
         rows, title)
+
+
+def metrics_table(snapshot, title: Optional[str] = None) -> str:
+    """Render a :meth:`~repro.service.metrics.ServiceMetrics.snapshot`
+    (or the ``metrics`` field of a STATS response) as tables.
+
+    Duck-typed on the snapshot dict so this layer never imports the
+    service package: a per-backend latency table plus a counter summary
+    covering requests, admission control and reloads.
+    """
+    lines = []
+    backends = snapshot.get("backends", {})
+    rows: List[List[Cell]] = [
+        [name, h.get("count"), h.get("p50_ms"), h.get("p95_ms"),
+         h.get("p99_ms"), h.get("mean_ms"), h.get("max_ms")]
+        for name, h in sorted(backends.items())]
+    lines.append(ascii_table(
+        ["backend", "count", "p50 ms", "p95 ms", "p99 ms", "mean ms",
+         "max ms"],
+        rows, title=title or "service latency by backend"))
+    requests = snapshot.get("requests", {})
+    admission = snapshot.get("admission", {})
+    reloads = snapshot.get("reloads", {})
+    swap = reloads.get("swap_latency", {})
+    summary: List[Sequence[Cell]] = [
+        ["requests", requests.get("total", 0)],
+        ["bytes scanned", snapshot.get("bytes_scanned", 0)],
+        ["matches", snapshot.get("matches", 0)],
+        ["errors", snapshot.get("errors", 0)],
+        ["rejected", admission.get("rejected", 0)],
+        ["timeouts", admission.get("timeouts", 0)],
+        ["queue high-water", admission.get("queue_high_water", 0)],
+        ["reloads (warm)", f"{reloads.get('count', 0)} "
+                           f"({reloads.get('warm', 0)})"],
+        ["swap p95 ms", swap.get("p95_ms", 0.0)],
+        ["flow evictions", snapshot.get("flow_evictions", 0)],
+    ]
+    lines.append("")
+    lines.append(ascii_table(["counter", "value"], summary))
+    return "\n".join(lines)
 
 
 def format_si(value: float, unit: str = "") -> str:

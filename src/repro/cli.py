@@ -1,10 +1,12 @@
 """Command-line interface.
 
-Four subcommands mirror the library's main entry points::
+Six subcommands mirror the library's main entry points::
 
     python -m repro scan --pattern virus --pattern worm --text "a Virus!"
     python -m repro scan --patterns-file sigs.txt traffic.bin
     python -m repro scan --backend pooled --workers 4 traffic.bin
+    python -m repro serve --patterns-file sigs.txt --port 7411
+    python -m repro bench-load --connections 4 --requests 200
     python -m repro plan --states 5000 --spes 8
     python -m repro table1 --transitions 4096
     python -m repro info
@@ -13,11 +15,16 @@ Four subcommands mirror the library's main entry points::
 counts, events and the modelled Cell deployment; ``--backend`` picks a
 registered scan backend (default: the execution planner chooses) and file
 inputs stream through the staging ring rather than being read whole.
+``serve`` runs the live scan daemon: a resident dictionary behind the
+length-prefixed TCP protocol, with hot reload (``RELOAD``), flow sessions
+(``FLOW``), admission control and a ``STATS`` metrics verb.
+``bench-load`` drives a daemon (its own, or ``--connect host:port``) with
+the closed-loop load generator and writes ``BENCH_service.json``.
 ``plan`` sizes a dictionary against the tile budget and prints the
 deployment the library would choose, including the replacement-topology
 optimum.  ``table1`` re-runs the paper's kernel comparison at a
-configurable scale.  ``info`` prints the paper's reference numbers and the
-backend registry.
+configurable scale.  ``info`` prints the paper's reference numbers, the
+backend registry and the service protocol.
 """
 
 from __future__ import annotations
@@ -71,6 +78,86 @@ def build_parser() -> argparse.ArgumentParser:
     table1.add_argument("--transitions", type=int, default=2048,
                         help="transitions per version (default 2048; the "
                              "paper used 16384)")
+
+    serve = sub.add_parser("serve", help="run the live scan daemon")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7411,
+                       help="listen port (0 = let the OS pick; "
+                            "default 7411)")
+    serve.add_argument("--pattern", action="append", default=[],
+                       help="dictionary entry (repeatable)")
+    serve.add_argument("--patterns-file",
+                       help="file with one pattern per line")
+    serve.add_argument("--regex", action="store_true",
+                       help="treat patterns as regular expressions")
+    serve.add_argument("--backend", default="auto",
+                       choices=["auto", "serial", "chunked", "pooled",
+                                "streaming", "cellsim"],
+                       help="default SCAN backend (default: auto)")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="worker processes for parallel backends")
+    serve.add_argument("--max-pending", type=int, default=64,
+                       help="admission control: concurrent scans in "
+                            "flight (default 64)")
+    serve.add_argument("--admission", default="reject",
+                       choices=["reject", "wait"],
+                       help="over-capacity policy: shed with 'busy' or "
+                            "queue up to --timeout (default reject)")
+    serve.add_argument("--timeout", type=float, default=5.0,
+                       help="queue wait bound for --admission wait "
+                            "(seconds, default 5)")
+    serve.add_argument("--drain-timeout", type=float, default=10.0,
+                       help="grace period for in-flight requests at "
+                            "shutdown (default 10s)")
+    serve.add_argument("--max-flows", type=int, default=65536,
+                       help="flow-session table bound (default 65536)")
+    serve.add_argument("--session-eviction", default="lru",
+                       choices=["lru", "reject"],
+                       help="policy when the flow table is full "
+                            "(default lru)")
+    serve.add_argument("--cache", metavar="DIR",
+                       help="artifact-cache directory — makes RELOAD of "
+                            "a known rule set a warm swap")
+    serve.add_argument("--metrics-json", metavar="PATH",
+                       help="write the final metrics snapshot here at "
+                            "shutdown")
+
+    load = sub.add_parser("bench-load",
+                          help="drive a daemon with the closed-loop "
+                               "load generator")
+    load.add_argument("--connect", metavar="HOST:PORT",
+                      help="target an already-running daemon instead of "
+                           "hosting one in-process")
+    load.add_argument("--pattern", action="append", default=[],
+                      help="dictionary entry (repeatable; default: a "
+                           "small signature set)")
+    load.add_argument("--patterns-file",
+                      help="file with one pattern per line")
+    load.add_argument("--backend", default="auto",
+                      choices=["auto", "serial", "chunked", "pooled",
+                               "streaming", "cellsim"],
+                      help="daemon SCAN backend (in-process daemon only)")
+    load.add_argument("--workers", type=int, default=1)
+    load.add_argument("--connections", type=int, default=4,
+                      help="closed-loop client connections (default 4)")
+    load.add_argument("--requests", type=int, default=200,
+                      help="requests per connection (default 200)")
+    load.add_argument("--mode", default="scan",
+                      choices=["scan", "flow"],
+                      help="one-shot scans or sessioned flow packets")
+    load.add_argument("--flows", type=int, default=8,
+                      help="session flows per connection in flow mode")
+    load.add_argument("--min-size", type=int, default=256)
+    load.add_argument("--max-size", type=int, default=1500)
+    load.add_argument("--match-fraction", type=float, default=0.2,
+                      help="fraction of packets with a planted pattern")
+    load.add_argument("--reloads", type=int, default=0,
+                      help="hot reloads to fire while the load runs")
+    load.add_argument("--seed", type=int, default=0)
+    load.add_argument("--json", metavar="PATH",
+                      default="BENCH_service.json",
+                      help="result file (default BENCH_service.json; "
+                           "'-' to skip)")
 
     sub.add_parser("info", help="print the paper's reference numbers")
     return parser
@@ -217,6 +304,145 @@ def _cmd_table1(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+    import json
+    import signal
+
+    from .service import ScanService, ServiceConfig
+
+    patterns = _load_patterns(args)
+    if not patterns:
+        print("error: no patterns given (use --pattern/--patterns-file)",
+              file=sys.stderr)
+        return 2
+    config = ServiceConfig(
+        host=args.host, port=args.port,
+        backend=None if args.backend == "auto" else args.backend,
+        workers=args.workers, max_pending=args.max_pending,
+        admission=args.admission, request_timeout=args.timeout,
+        drain_timeout=args.drain_timeout, max_flows=args.max_flows,
+        session_policy=args.session_eviction)
+    service = ScanService(patterns, config=config, regex=args.regex,
+                          cache=args.cache)
+
+    async def _run() -> None:
+        await service.start()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(
+                    sig, lambda: loop.create_task(service.shutdown()))
+            except NotImplementedError:  # pragma: no cover
+                pass
+        info = service.registry.describe()
+        print(f"serving {info['patterns']} pattern(s) "
+              f"({info['states']} states, {info['slices']} slice(s)) "
+              f"on {service.host}:{service.port} — "
+              f"generation {info['generation']}", flush=True)
+        print(f"admission: {config.admission}, {config.max_pending} in "
+              f"flight; backend: {config.backend or 'auto'}; "
+              f"Ctrl-C or SHUTDOWN to drain", flush=True)
+        await service.wait_stopped()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:  # pragma: no cover
+        pass
+    if args.metrics_json:
+        with open(args.metrics_json, "w", encoding="utf-8") as fh:
+            json.dump(service.metrics.snapshot(), fh, indent=2,
+                      sort_keys=True)
+            fh.write("\n")
+        print(f"metrics written to {args.metrics_json}")
+    return 0
+
+
+_DEFAULT_LOAD_PATTERNS = ["virus", "worm", "trojan", "backdoor",
+                          "exploit", "malware"]
+
+
+def _cmd_bench_load(args) -> int:
+    import json
+    import threading
+
+    from .analysis import metrics_table
+    from .service import (ScanService, ServiceClient, ServiceConfig,
+                          ServiceThread, run_load)
+
+    patterns = _load_patterns(args) or list(_DEFAULT_LOAD_PATTERNS)
+    handle = None
+    if args.connect:
+        host, _, port_text = args.connect.rpartition(":")
+        if not host or not port_text.isdigit():
+            print("error: --connect needs HOST:PORT", file=sys.stderr)
+            return 2
+        host, port = host, int(port_text)
+    else:
+        config = ServiceConfig(
+            backend=None if args.backend == "auto" else args.backend,
+            workers=args.workers)
+        handle = ServiceThread(ScanService(patterns,
+                                           config=config)).start()
+        host, port = handle.host, handle.port
+    try:
+        reload_stop = threading.Event()
+        reload_thread = None
+        if args.reloads > 0:
+            # Alternate between two rule sets so every other swap is a
+            # genuine dictionary change and the way back is a warm swap
+            # when the daemon has an artifact cache.
+            def _reloader() -> None:
+                with ServiceClient(host, port) as rc:
+                    sets = [patterns + ["bench-reload-extra"], patterns]
+                    for i in range(args.reloads):
+                        rc.reload(sets[i % 2])
+                        if i + 1 < args.reloads \
+                                and reload_stop.wait(0.1):
+                            break
+            reload_thread = threading.Thread(target=_reloader,
+                                             daemon=True)
+            reload_thread.start()
+        result = run_load(
+            host, port,
+            connections=args.connections,
+            requests_per_connection=args.requests,
+            mode=args.mode,
+            flows_per_connection=args.flows,
+            min_size=args.min_size, max_size=args.max_size,
+            patterns=[p.encode() for p in patterns],
+            match_fraction=args.match_fraction,
+            seed=args.seed)
+        reload_stop.set()
+        if reload_thread is not None:
+            reload_thread.join(timeout=30)
+        with ServiceClient(host, port) as client:
+            stats = client.stats()
+    finally:
+        if handle is not None:
+            handle.stop()
+    print(result.summary())
+    print()
+    print(metrics_table(stats["metrics"]))
+    served = stats["metrics"]["requests"].get("total", 0)
+    if served < result.requests:
+        print(f"warning: STATS saw {served} requests but the load "
+              f"generator completed {result.requests}", file=sys.stderr)
+        return 1
+    if args.json and args.json != "-":
+        payload = {
+            "bench": "service",
+            "run": result.to_payload(),
+            "stats": stats["metrics"],
+            "registry": stats["registry"],
+        }
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"results written to {args.json}")
+    return 0 if result.errors == 0 else 1
+
+
 def _cmd_info(args) -> int:
     from .analysis import (PAPER_BLADE_GBPS, PAPER_CHIP_GBPS,
                            PAPER_TABLE1, PAPER_TILE_GBPS)
@@ -232,6 +458,12 @@ def _cmd_info(args) -> int:
     print("registered scan backends:")
     for name, section, description in backend_specs():
         print(f"  {name:<10s} {description} — {section}")
+    # protocol.py is stdlib-only by design, so this import is cheap.
+    from .service.protocol import RELOAD_STRATEGY, VERB_SPECS
+    print("service protocol verbs (repro serve):")
+    for verb, description in VERB_SPECS:
+        print(f"  {verb:<11s}{description}")
+    print(f"reload strategy: {RELOAD_STRATEGY}")
     return 0
 
 
@@ -241,6 +473,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "scan": _cmd_scan,
         "plan": _cmd_plan,
         "table1": _cmd_table1,
+        "serve": _cmd_serve,
+        "bench-load": _cmd_bench_load,
         "info": _cmd_info,
     }
     return handlers[args.command](args)

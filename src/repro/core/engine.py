@@ -416,9 +416,14 @@ class VectorDFAEngine:
     # -- lockstep streams ---------------------------------------------------------
 
     def run_streams(self, streams: Sequence[bytes],
-                    start_states: Optional[np.ndarray] = None
-                    ) -> StreamResult:
-        """Scan equal-length streams in lockstep (one gather per position)."""
+                    start_states: Optional[np.ndarray] = None,
+                    weights: Optional[np.ndarray] = None) -> StreamResult:
+        """Scan equal-length streams in lockstep (one gather per position).
+
+        With ``weights`` (see :func:`build_weight_table`) counts are
+        per-dictionary-entry multiplicities; without, +1 per final-state
+        entry (the paper's kernel semantics).
+        """
         if not len(streams):
             raise DFAError("at least one stream required")
         length = len(streams[0])
@@ -440,10 +445,11 @@ class VectorDFAEngine:
                     f"stream {i} contains symbols outside the "
                     f"{self.dfa.alphabet_size}-symbol alphabet; fold first")
             cols[:, i] = arr
-        return self._scan_cols(cols, start_states)
+        return self._scan_cols(cols, start_states, weights)
 
     def _scan_cols(self, cols: np.ndarray,
-                   start_states: Optional[np.ndarray] = None) -> StreamResult:
+                   start_states: Optional[np.ndarray] = None,
+                   weights: Optional[np.ndarray] = None) -> StreamResult:
         length, n = cols.shape
         scanner = self.scanner
         if start_states is None:
@@ -455,7 +461,7 @@ class VectorDFAEngine:
                 raise DFAError("start state out of range")
             ptrs = (states * scanner.stride).astype(np.int32)
         counts = np.zeros(n, dtype=np.int64)
-        fin = scanner.scan_cols(cols, ptrs, counts)
+        fin = scanner.scan_cols(cols, ptrs, counts, weights=weights)
         return StreamResult(counts,
                             scanner.state_of(fin).astype(np.int32))
 

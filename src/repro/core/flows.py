@@ -22,7 +22,7 @@ from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..dfa.automaton import DFA, DFAError
-from .engine import VectorDFAEngine
+from .engine import VectorDFAEngine, build_weight_table
 
 __all__ = ["FlowMatcher", "FlowError"]
 
@@ -45,14 +45,29 @@ class FlowMatcher:
     boundaries within a flow are found because each flow resumes from its
     saved DFA state.  ``scan_batch`` processes many flows' packets in one
     vectorized lockstep pass.
+
+    Counts are per dictionary entry (a state recognizing k suffix-
+    overlapping entries counts k), the same semantics as the block scan
+    backends — so a flow's lifetime total equals a one-shot scan of its
+    reassembled stream regardless of which path served it.
     """
 
-    def __init__(self, dfa: DFA, max_flows: int = 65536) -> None:
+    def __init__(self, dfa: DFA, max_flows: int = 65536,
+                 on_full: str = "reject") -> None:
         if max_flows < 1:
             raise FlowError("max_flows must be positive")
+        if on_full not in ("reject", "lru"):
+            raise FlowError(
+                f"on_full must be 'reject' or 'lru', got {on_full!r}")
         self.dfa = dfa
         self.engine = VectorDFAEngine(dfa)
+        self._weights = build_weight_table(dfa)
         self.max_flows = max_flows
+        self.on_full = on_full
+        #: Flows dropped by the LRU policy since construction.
+        self.evictions = 0
+        # Insertion-ordered; every access moves the flow to the back, so
+        # the front is always the least-recently-scanned flow.
         self._flows: Dict[Hashable, _FlowRecord] = {}
 
     # -- flow table ---------------------------------------------------------------
@@ -61,16 +76,36 @@ class FlowMatcher:
     def num_flows(self) -> int:
         return len(self._flows)
 
+    def flow_ids(self) -> List[Hashable]:
+        """Live flow ids, least-recently-scanned first."""
+        return list(self._flows)
+
+    def __contains__(self, flow_id: Hashable) -> bool:
+        return flow_id in self._flows
+
     def _record(self, flow_id: Hashable) -> _FlowRecord:
         record = self._flows.get(flow_id)
-        if record is None:
-            if len(self._flows) >= self.max_flows:
+        if record is not None:
+            # Touch: move to the recently-used end of the table.
+            self._flows[flow_id] = self._flows.pop(flow_id)
+            return record
+        if len(self._flows) >= self.max_flows:
+            if self.on_full == "reject":
                 raise FlowError(
                     f"flow table full ({self.max_flows}); close flows "
                     f"first")
-            record = _FlowRecord(state=self.dfa.start)
-            self._flows[flow_id] = record
+            # LRU: drop the least-recently-scanned flow to bound memory.
+            self._flows.pop(next(iter(self._flows)))
+            self.evictions += 1
+        record = _FlowRecord(state=self.dfa.start)
+        self._flows[flow_id] = record
         return record
+
+    def touch(self, flow_id: Hashable) -> None:
+        """Register a flow (at the DFA start state) or refresh its
+        recency without scanning any bytes — subject to the same
+        ``on_full`` policy as a scan."""
+        self._record(flow_id)
 
     def close_flow(self, flow_id: Hashable) -> Tuple[int, int]:
         """Evict a flow; returns its lifetime (bytes, matches)."""
@@ -93,7 +128,8 @@ class FlowMatcher:
         if not payload:
             return 0
         res = self.engine.run_streams(
-            [payload], start_states=np.array([record.state]))
+            [payload], start_states=np.array([record.state]),
+            weights=self._weights)
         record.state = int(res.final_states[0])
         record.bytes_seen += len(payload)
         new = int(res.counts[0])
@@ -135,7 +171,7 @@ class FlowMatcher:
                                    for _, fid, _ in group])
                 res = self.engine.run_streams(
                     [payload for _, _, payload in group],
-                    start_states=states)
+                    start_states=states, weights=self._weights)
                 for j, (idx, fid, payload) in enumerate(group):
                     record = self._flows[fid]
                     record.state = int(res.final_states[j])

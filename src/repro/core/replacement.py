@@ -24,8 +24,9 @@ This module provides all three levels:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Generic, List, Optional, Sequence, Tuple, TypeVar
 
 from ..cell.memory import BandwidthModel
 from ..dfa.automaton import DFA
@@ -36,6 +37,7 @@ from .schedule import Interval, Schedule, ScheduleError
 __all__ = [
     "effective_gbps",
     "replacement_schedule",
+    "DoubleBuffer",
     "ReplacementMatcher",
     "ReplacementError",
     "HALF_TILE_STATES",
@@ -94,6 +96,10 @@ def replacement_schedule(num_slices: int,
                                "a single slice is a plain resident tile")
     if periods < 2:
         raise ReplacementError("need at least two periods")
+    if block_bytes <= 0:
+        raise ReplacementError("input block size must be positive")
+    if stt_bytes <= 16:
+        raise ReplacementError("STT slice size must exceed 16 bytes")
     compute_s = block_bytes * 8 / (per_tile_gbps * 1e9)
     input_s = bandwidth.transfer_seconds(block_bytes)
     # The paper splits a 95 KB slice as 48 + 47 KB (Figure 8).
@@ -218,19 +224,89 @@ def plan_topology(num_slices: int, num_spes: int,
     return best
 
 
+T = TypeVar("T")
+
+
+class DoubleBuffer(Generic[T]):
+    """The paper's two half-tile STT slots as a reusable primitive.
+
+    One slot is *active* (it serves scans); the other is *standby* (the
+    shadow slot the next table streams into).  ``stage`` fills the
+    standby slot while the active one keeps working; ``promote``
+    atomically flips the roles and bumps the generation counter,
+    returning the retired value so the caller can release its resources
+    once any in-flight users drain.  This is the promotion path both
+    :meth:`ReplacementMatcher.swap_slice` and the scan service's
+    :class:`~repro.service.registry.DictionaryRegistry` run on.
+    """
+
+    def __init__(self, initial: T) -> None:
+        self._lock = threading.Lock()
+        self._slots: List[Optional[T]] = [initial, None]
+        self._active = 0
+        self._staged = False
+        #: Monotonic promotion count; the initial value is generation 1.
+        self.generation = 1
+
+    @property
+    def active(self) -> T:
+        return self._slots[self._active]
+
+    @property
+    def standby(self) -> Optional[T]:
+        return self._slots[1 - self._active]
+
+    @property
+    def has_staged(self) -> bool:
+        return self._staged
+
+    def stage(self, value: T) -> None:
+        """Place ``value`` in the standby slot (the shadow-slot DMA)."""
+        with self._lock:
+            self._slots[1 - self._active] = value
+            self._staged = True
+
+    def promote(self) -> T:
+        """Atomically make the staged value active; returns the retired
+        one.  Scans that already grabbed ``active`` finish on the value
+        they started with — nothing is mutated in place."""
+        with self._lock:
+            if not self._staged:
+                raise ReplacementError(
+                    "nothing staged in the standby slot; call stage() "
+                    "first")
+            retired = self._slots[self._active]
+            self._active = 1 - self._active
+            self._staged = False
+            self.generation += 1
+            return retired
+
+    def __repr__(self) -> str:
+        return (f"DoubleBuffer(generation={self.generation}, "
+                f"staged={self._staged})")
+
+
 class ReplacementMatcher:
     """Functional dynamic-STT-replacement matcher.
 
     Holds a partitioned dictionary; every scan runs the input through each
     slice's engine in turn (the time-multiplexed equivalent of the series
-    composition) and models the throughput with the §6 law.
+    composition) and models the throughput with the §6 law.  Each slice
+    sits in a :class:`DoubleBuffer`, so :meth:`swap_slice` can replace
+    one slice's table without rebuilding the partition — the service-era
+    equivalent of streaming a new STT into the shadow slot.
     """
 
     def __init__(self, partition: PartitionedDictionary) -> None:
         if partition.num_slices < 1:
             raise ReplacementError("empty partition")
         self.partition = partition
-        self._engines = [VectorDFAEngine(d) for d in partition.dfas]
+        self._buffers: List[DoubleBuffer[VectorDFAEngine]] = [
+            DoubleBuffer(VectorDFAEngine(d)) for d in partition.dfas]
+
+    @property
+    def _engines(self) -> List[VectorDFAEngine]:
+        return [buf.active for buf in self._buffers]
 
     @classmethod
     def from_patterns(cls, patterns: Sequence[bytes],
@@ -243,8 +319,37 @@ class ReplacementMatcher:
     def num_slices(self) -> int:
         return self.partition.num_slices
 
+    def slice_dfa(self, index: int) -> DFA:
+        """The DFA currently resident in slice ``index`` (reflects
+        swaps, unlike ``partition.dfas``)."""
+        return self._buffers[index].active.dfa
+
+    def slice_generation(self, index: int) -> int:
+        """How many tables slice ``index`` has held (1 = original)."""
+        return self._buffers[index].generation
+
+    def swap_slice(self, index: int, dfa: DFA) -> int:
+        """Replace one slice's resident table via double-buffer
+        promotion — no repartitioning, no disturbance to the other
+        slices.  The new automaton is staged in the slice's shadow slot
+        and promoted atomically; returns the slot's new generation."""
+        if not 0 <= index < self.num_slices:
+            raise ReplacementError(
+                f"slice index {index} out of range "
+                f"(0..{self.num_slices - 1})")
+        if dfa.alphabet_size != self.partition.dfas[index].alphabet_size:
+            raise ReplacementError(
+                f"replacement slice alphabet {dfa.alphabet_size} != "
+                f"partition alphabet "
+                f"{self.partition.dfas[index].alphabet_size}")
+        buf = self._buffers[index]
+        buf.stage(VectorDFAEngine(dfa))
+        buf.promote()
+        return buf.generation
+
     def aggregate_stt_bytes(self, cell_bytes: int = 4) -> int:
-        return sum(d.memory_bytes(cell_bytes) for d in self.partition.dfas)
+        return sum(buf.active.dfa.memory_bytes(cell_bytes)
+                   for buf in self._buffers)
 
     def scan_block(self, block: bytes) -> Tuple[int, List[int]]:
         """Total matches and per-slice counts for one input block."""

@@ -1,0 +1,51 @@
+"""Live scan service: a hot-reloadable dictionary daemon.
+
+The paper compiles a dictionary and streams traffic through it; this
+package keeps that dictionary *resident in a long-running process* and
+serves concurrent scans over a length-prefixed TCP protocol — the
+production shape of the reproduction:
+
+* :mod:`~repro.service.protocol` — the wire format and verb set;
+* :mod:`~repro.service.registry` — hot dictionary reload (double-
+  buffered generations, the paper's §6 replacement at service scale);
+* :mod:`~repro.service.sessions` — flow sessions: per-connection DFA
+  state across packet boundaries;
+* :mod:`~repro.service.metrics` — counters and latency histograms;
+* :mod:`~repro.service.daemon` — the asyncio server with admission
+  control and graceful drain;
+* :mod:`~repro.service.client` — the blocking client;
+* :mod:`~repro.service.loadgen` — the closed-loop load generator
+  behind ``repro bench-load``.
+"""
+
+from .client import ServiceClient, ServiceError
+from .daemon import ScanService, ServiceConfig, ServiceThread
+from .loadgen import LoadResult, run_load
+from .metrics import LatencyHistogram, ServiceMetrics
+from .protocol import (RELOAD_STRATEGY, VERB_SPECS, VERBS, Frame,
+                       ProtocolError)
+from .registry import (DictionaryRegistry, Generation, RegistryError,
+                       ReloadResult)
+from .sessions import SessionScanner
+
+__all__ = [
+    "ServiceClient",
+    "ServiceError",
+    "ScanService",
+    "ServiceConfig",
+    "ServiceThread",
+    "LoadResult",
+    "run_load",
+    "LatencyHistogram",
+    "ServiceMetrics",
+    "RELOAD_STRATEGY",
+    "VERB_SPECS",
+    "VERBS",
+    "Frame",
+    "ProtocolError",
+    "DictionaryRegistry",
+    "Generation",
+    "RegistryError",
+    "ReloadResult",
+    "SessionScanner",
+]

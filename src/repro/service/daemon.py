@@ -1,0 +1,510 @@
+"""The live scan daemon: asyncio TCP front end over the scan backends.
+
+This is the paper's deployment story running end to end: a resident
+compiled dictionary filters traffic from many concurrent clients while
+the *next* dictionary compiles and swaps in underneath — dynamic STT
+replacement (§6) serving live requests instead of a modelled schedule.
+
+Layering:
+
+* the event loop owns connections, framing and admission control —
+  it never touches a DFA;
+* scans execute on a thread pool (numpy releases the GIL in the hot
+  gather loops), one-shot ``SCAN`` requests through the PR-3 backend
+  registry (:func:`repro.core.backends.execute`), ``FLOW`` packets
+  through the leased generation's
+  :class:`~repro.service.sessions.SessionScanner`;
+* reloads compile on a dedicated single thread so a large dictionary
+  build can never starve the scan pool, then promote atomically via
+  :class:`~repro.service.registry.DictionaryRegistry`;
+* :class:`~repro.service.metrics.ServiceMetrics` observes everything
+  and the ``STATS`` verb serves the snapshot.
+
+**Admission control**: at most ``max_pending`` scan requests are in
+flight; beyond that the daemon either rejects immediately with a
+``busy`` error (``admission="reject"``, the default — shed load early,
+the NIDS stance) or queues the request up to ``request_timeout``
+seconds (``admission="wait"``, the batch stance).  **Graceful drain**:
+shutdown stops accepting, lets in-flight requests finish (bounded by
+``drain_timeout``), then closes connections and releases pools.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from functools import partial
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..core.backends import BackendError, ScanRequest, execute, get_backend
+from ..core.compiled import CompileError
+from ..core.flows import FlowError
+from .metrics import ServiceMetrics
+from .protocol import (MAX_FRAME_BYTES, RELOAD_STRATEGY, Frame,
+                       ProtocolError, decode_patterns, encode_frame,
+                       split_body)
+from .registry import DictionaryRegistry, RegistryError
+
+__all__ = ["ServiceConfig", "ScanService", "ServiceThread"]
+
+_LEN_PREFIX = struct.Struct(">I")
+
+
+@dataclass
+class ServiceConfig:
+    """Tunables of one daemon instance."""
+
+    host: str = "127.0.0.1"
+    port: int = 0                     # 0 = let the OS pick
+    #: Default backend for SCAN (``None`` = execution planner).
+    backend: Optional[str] = None
+    #: Worker processes for the pooled/streaming backends.
+    workers: int = 1
+    #: Admission control: concurrent scan requests in flight.
+    max_pending: int = 64
+    #: ``"reject"`` sheds load immediately; ``"wait"`` queues up to
+    #: ``request_timeout`` seconds.
+    admission: str = "reject"
+    request_timeout: float = 5.0
+    #: Grace period for in-flight requests at shutdown.
+    drain_timeout: float = 10.0
+    #: Threads executing scans (numpy releases the GIL in the hot loop).
+    scan_threads: int = 4
+    #: Flow-session table bound and eviction policy per generation.
+    max_flows: int = 65536
+    session_policy: str = "lru"
+    #: Cap on match events returned per SCAN response.
+    max_events: int = 1000
+    max_frame_bytes: int = MAX_FRAME_BYTES
+
+    def validate(self) -> None:
+        if self.admission not in ("reject", "wait"):
+            raise ValueError(
+                f"admission must be 'reject' or 'wait', got "
+                f"{self.admission!r}")
+        if self.max_pending < 1:
+            raise ValueError("max_pending must be positive")
+        if self.scan_threads < 1:
+            raise ValueError("scan_threads must be positive")
+        if self.workers < 1:
+            raise ValueError("workers must be positive")
+
+
+class ScanService:
+    """One daemon: a registry of dictionary generations behind a
+    length-prefixed TCP protocol.  Construct, :meth:`start` on an event
+    loop (or wrap in :class:`ServiceThread`), connect with
+    :class:`~repro.service.client.ServiceClient`."""
+
+    def __init__(self, patterns: Sequence, *,
+                 config: Optional[ServiceConfig] = None,
+                 fold=None, regex: bool = False, cache=None,
+                 max_states: int = 1 << 30) -> None:
+        self.config = config or ServiceConfig()
+        self.config.validate()
+        if self.config.backend is not None:
+            get_backend(self.config.backend)   # fail fast on typos
+        self.registry = DictionaryRegistry(
+            patterns, fold=fold, regex=regex, max_states=max_states,
+            cache=cache, max_flows=self.config.max_flows,
+            session_policy=self.config.session_policy)
+        self.metrics = ServiceMetrics()
+        self.host: Optional[str] = None
+        self.port: Optional[int] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._scan_pool: Optional[ThreadPoolExecutor] = None
+        self._reload_pool: Optional[ThreadPoolExecutor] = None
+        self._connections: set = set()
+        self._pending = 0
+        self._draining = False
+        self._cond: Optional[asyncio.Condition] = None
+        self._stopped: Optional[asyncio.Event] = None
+        self._verbs = {
+            "PING": self._verb_ping,
+            "SCAN": self._verb_scan,
+            "FLOW": self._verb_flow,
+            "CLOSE_FLOW": self._verb_close_flow,
+            "RELOAD": self._verb_reload,
+            "STATS": self._verb_stats,
+            "SHUTDOWN": self._verb_shutdown,
+        }
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind and start serving; returns once the socket is listening
+        (``self.port`` then holds the real port, even for port 0)."""
+        self._cond = asyncio.Condition()
+        self._stopped = asyncio.Event()
+        self._scan_pool = ThreadPoolExecutor(
+            max_workers=self.config.scan_threads,
+            thread_name_prefix="repro-scan")
+        self._reload_pool = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-reload")
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port)
+        sock = self._server.sockets[0].getsockname()
+        self.host, self.port = sock[0], sock[1]
+
+    async def wait_stopped(self) -> None:
+        await self._stopped.wait()
+
+    async def serve(self) -> None:
+        """Start and run until :meth:`shutdown` (the CLI entry point)."""
+        await self.start()
+        await self.wait_stopped()
+
+    async def shutdown(self) -> None:
+        """Graceful drain: stop accepting, finish in-flight requests
+        (bounded by ``drain_timeout``), release every resource."""
+        if self._draining:
+            await self._stopped.wait()
+            return
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        try:
+            await asyncio.wait_for(self._wait_drained(),
+                                   timeout=self.config.drain_timeout)
+        except asyncio.TimeoutError:
+            pass
+        for writer in list(self._connections):
+            writer.close()
+        self._scan_pool.shutdown(wait=True)
+        self._reload_pool.shutdown(wait=True)
+        self.registry.close()
+        self._stopped.set()
+
+    async def _wait_drained(self) -> None:
+        async with self._cond:
+            await self._cond.wait_for(lambda: self._pending == 0)
+
+    # -- connection handling -------------------------------------------------------
+
+    async def _read_frame(self, reader: asyncio.StreamReader
+                          ) -> Optional[Frame]:
+        try:
+            prefix = await reader.readexactly(4)
+        except (asyncio.IncompleteReadError, ConnectionError):
+            return None
+        frame_len = _LEN_PREFIX.unpack(prefix)[0]
+        if frame_len > self.config.max_frame_bytes:
+            raise ProtocolError(
+                f"frame of {frame_len} bytes exceeds the "
+                f"{self.config.max_frame_bytes}-byte limit")
+        body = await reader.readexactly(frame_len)
+        return split_body(body)
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        self._connections.add(writer)
+        try:
+            while True:
+                try:
+                    frame = await self._read_frame(reader)
+                except ProtocolError as exc:
+                    self.metrics.record_error()
+                    writer.write(encode_frame(
+                        {"ok": False, "code": "protocol",
+                         "error": str(exc)}))
+                    await writer.drain()
+                    break
+                if frame is None:
+                    break
+                header, payload = await self._dispatch(frame)
+                shutdown_after = header.pop("_shutdown", False)
+                writer.write(encode_frame(header, payload))
+                await writer.drain()
+                if shutdown_after:
+                    asyncio.create_task(self.shutdown())
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            self._connections.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+
+    # -- dispatch ------------------------------------------------------------------
+
+    @staticmethod
+    def _error(rid, code: str, message: str) -> Tuple[Dict, bytes]:
+        return ({"id": rid, "ok": False, "code": code,
+                 "error": message}, b"")
+
+    async def _dispatch(self, frame: Frame) -> Tuple[Dict, bytes]:
+        rid = frame.header.get("id")
+        verb = frame.verb
+        handler = self._verbs.get(verb)
+        if handler is None:
+            self.metrics.record_error()
+            return self._error(rid, "bad-verb",
+                               f"unknown verb {verb!r}")
+        self.metrics.record_request(verb)
+        try:
+            return await handler(rid, frame)
+        except (BackendError, ProtocolError, RegistryError,
+                CompileError, ValueError) as exc:
+            self.metrics.record_error()
+            return self._error(rid, "bad-request", str(exc))
+        except FlowError as exc:
+            self.metrics.record_error()
+            return self._error(rid, "flow-error", str(exc))
+        except Exception as exc:  # keep the daemon up, report the verb
+            self.metrics.record_error()
+            return self._error(rid, "internal",
+                               f"{type(exc).__name__}: {exc}")
+
+    # -- admission control ---------------------------------------------------------
+
+    async def _admit(self, rid) -> Optional[Tuple[Dict, bytes]]:
+        """Take one scan slot; returns an error response when the
+        request cannot be admitted."""
+        if self._draining:
+            return self._error(rid, "draining", "service is shutting "
+                               "down")
+        if self._pending >= self.config.max_pending:
+            if self.config.admission == "reject":
+                self.metrics.record_rejected()
+                return self._error(
+                    rid, "busy",
+                    f"queue full ({self.config.max_pending} in flight); "
+                    f"retry")
+            try:
+                await asyncio.wait_for(
+                    self._wait_for_slot(),
+                    timeout=self.config.request_timeout)
+            except asyncio.TimeoutError:
+                self.metrics.record_timeout()
+                return self._error(
+                    rid, "timeout",
+                    f"no scan slot within "
+                    f"{self.config.request_timeout:.3g}s")
+            if self._draining:
+                return self._error(rid, "draining",
+                                   "service is shutting down")
+        self._pending += 1
+        self.metrics.set_queue_depth(self._pending)
+        return None
+
+    async def _wait_for_slot(self) -> None:
+        async with self._cond:
+            await self._cond.wait_for(
+                lambda: self._pending < self.config.max_pending)
+
+    async def _release_slot(self) -> None:
+        self._pending -= 1
+        self.metrics.set_queue_depth(self._pending)
+        async with self._cond:
+            self._cond.notify_all()
+
+    # -- verbs ---------------------------------------------------------------------
+
+    async def _verb_ping(self, rid, frame: Frame) -> Tuple[Dict, bytes]:
+        return ({"id": rid, "ok": True,
+                 "generation": self.registry.generation}, b"")
+
+    async def _verb_scan(self, rid, frame: Frame) -> Tuple[Dict, bytes]:
+        admission = await self._admit(rid)
+        if admission is not None:
+            return admission
+        try:
+            backend = frame.header.get("backend") or self.config.backend
+            with_events = bool(frame.header.get("events"))
+            workers = int(frame.header.get("workers")
+                          or self.config.workers)
+            request = ScanRequest(data=frame.payload, workers=workers,
+                                  with_events=with_events)
+            loop = asyncio.get_running_loop()
+            with self.registry.lease() as gen:
+                outcome = await loop.run_in_executor(
+                    self._scan_pool,
+                    partial(execute, gen.ctx, request, backend))
+                self.metrics.record_scan(
+                    outcome.backend, outcome.seconds,
+                    outcome.bytes_scanned, outcome.total_matches)
+                header: Dict[str, object] = {
+                    "id": rid, "ok": True,
+                    "generation": gen.gen_id,
+                    "matches": outcome.total_matches,
+                    "bytes": outcome.bytes_scanned,
+                    "backend": outcome.backend,
+                    "workers": outcome.workers,
+                    "seconds": outcome.seconds,
+                }
+                if with_events and outcome.events is not None:
+                    cap = self.config.max_events
+                    header["events"] = [[e.end, e.pattern]
+                                        for e in outcome.events[:cap]]
+                    if len(outcome.events) > cap:
+                        header["events_truncated"] = \
+                            len(outcome.events) - cap
+                return header, b""
+        finally:
+            await self._release_slot()
+
+    async def _verb_flow(self, rid, frame: Frame) -> Tuple[Dict, bytes]:
+        flow_id = frame.header.get("flow")
+        if flow_id is None:
+            return self._error(rid, "bad-request",
+                               "FLOW needs a 'flow' id")
+        admission = await self._admit(rid)
+        if admission is not None:
+            return admission
+        try:
+            loop = asyncio.get_running_loop()
+            with self.registry.lease() as gen:
+                t0 = time.perf_counter()
+                new, total, evicted = await loop.run_in_executor(
+                    self._scan_pool, gen.sessions.scan_packet,
+                    flow_id, frame.payload)
+                seconds = time.perf_counter() - t0
+                self.metrics.record_scan("flow", seconds,
+                                         len(frame.payload), new)
+                self.metrics.record_flow_evictions(evicted)
+                return ({"id": rid, "ok": True,
+                         "generation": gen.gen_id,
+                         "flow": flow_id,
+                         "matches": new,
+                         "flow_total": total,
+                         "bytes": len(frame.payload),
+                         "seconds": seconds}, b"")
+        finally:
+            await self._release_slot()
+
+    async def _verb_close_flow(self, rid,
+                               frame: Frame) -> Tuple[Dict, bytes]:
+        flow_id = frame.header.get("flow")
+        if flow_id is None:
+            return self._error(rid, "bad-request",
+                               "CLOSE_FLOW needs a 'flow' id")
+        with self.registry.lease() as gen:
+            nbytes, matches = gen.sessions.close_flow(flow_id)
+            return ({"id": rid, "ok": True,
+                     "generation": gen.gen_id,
+                     "flow": flow_id,
+                     "bytes_seen": nbytes,
+                     "matches": matches}, b"")
+
+    async def _verb_reload(self, rid, frame: Frame) -> Tuple[Dict, bytes]:
+        patterns = decode_patterns(frame.payload)
+        regex = bool(frame.header.get("regex"))
+        loop = asyncio.get_running_loop()
+        result = await loop.run_in_executor(
+            self._reload_pool,
+            partial(self.registry.load, patterns, regex=regex))
+        self.metrics.record_reload(result.seconds, result.warm)
+        return ({"id": rid, "ok": True,
+                 "generation": result.generation,
+                 "seconds": result.seconds,
+                 "warm": result.warm,
+                 "patterns": result.patterns,
+                 "slices": result.slices,
+                 "states": result.states,
+                 "flows_carried": result.flows_carried}, b"")
+
+    async def _verb_stats(self, rid, frame: Frame) -> Tuple[Dict, bytes]:
+        return ({"id": rid, "ok": True,
+                 "generation": self.registry.generation,
+                 "metrics": self.metrics.snapshot(),
+                 "registry": self.registry.describe(),
+                 "reload_strategy": RELOAD_STRATEGY,
+                 "config": {
+                     "backend": self.config.backend or "auto",
+                     "workers": self.config.workers,
+                     "max_pending": self.config.max_pending,
+                     "admission": self.config.admission,
+                     "max_flows": self.config.max_flows,
+                     "session_policy": self.config.session_policy,
+                 }}, b"")
+
+    async def _verb_shutdown(self, rid,
+                             frame: Frame) -> Tuple[Dict, bytes]:
+        return ({"id": rid, "ok": True, "draining": True,
+                 "generation": self.registry.generation,
+                 "_shutdown": True}, b"")
+
+
+class ServiceThread:
+    """Run a :class:`ScanService` on a dedicated event-loop thread.
+
+    This is how synchronous callers (tests, ``repro bench-load``, the
+    load generator) host a daemon in-process::
+
+        with ServiceThread(ScanService(["virus"])) as handle:
+            client = ServiceClient(handle.host, handle.port)
+            ...
+
+    ``stop()`` performs the daemon's graceful drain.
+    """
+
+    def __init__(self, service: ScanService) -> None:
+        self.service = service
+        self._thread = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._started = None
+        self._startup_error: Optional[BaseException] = None
+
+    @property
+    def host(self) -> str:
+        return self.service.host
+
+    @property
+    def port(self) -> int:
+        return self.service.port
+
+    def start(self) -> "ServiceThread":
+        import threading
+
+        self._started = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="repro-service")
+        self._thread.start()
+        self._started.wait(timeout=30)
+        if self._startup_error is not None:
+            raise self._startup_error
+        if self.service.port is None:
+            raise RuntimeError("service failed to start within 30s")
+        return self
+
+    def _run(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+        try:
+            self._loop.run_until_complete(self.service.start())
+        except BaseException as exc:
+            self._startup_error = exc
+            self._started.set()
+            self._loop.close()
+            return
+        self._started.set()
+        try:
+            self._loop.run_until_complete(self.service.wait_stopped())
+        finally:
+            self._loop.close()
+
+    def stop(self) -> None:
+        """Graceful drain from any thread (idempotent)."""
+        if self._loop is None or self._thread is None:
+            return
+        if self._thread.is_alive() and not self._loop.is_closed():
+            future = asyncio.run_coroutine_threadsafe(
+                self.service.shutdown(), self._loop)
+            try:
+                future.result(timeout=30)
+            except Exception:
+                pass
+        self._thread.join(timeout=30)
+
+    def __enter__(self) -> "ServiceThread":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -1,0 +1,210 @@
+"""Closed-loop load generator for the scan daemon.
+
+``repro bench-load`` and the service bench drive a daemon the way the
+paper's traffic generator drives the tile: synthetic packet payloads
+(:func:`repro.workloads.traffic.packet_stream`) with a controlled
+planted-match density, sent by N concurrent connections in closed loop
+(each connection has one request in flight — the classic
+latency-vs-throughput operating point).  Latencies are measured per
+request at the client; quantiles are exact (sorted samples, not
+histogram buckets), so ``BENCH_service.json`` can be compared against
+the daemon's own histogram-based ``STATS`` view.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..workloads.traffic import packet_stream
+from .client import ServiceClient, ServiceError
+
+__all__ = ["LoadResult", "run_load"]
+
+
+def _quantile(sorted_samples: List[float], q: float) -> float:
+    """Exact empirical quantile (nearest-rank) of sorted samples."""
+    if not sorted_samples:
+        return 0.0
+    rank = max(1, int(round(q * len(sorted_samples))))
+    return sorted_samples[min(rank, len(sorted_samples)) - 1]
+
+
+@dataclass
+class LoadResult:
+    """Aggregate outcome of one closed-loop run."""
+
+    mode: str
+    connections: int
+    requests: int
+    errors: int
+    bytes_sent: int
+    matches: int
+    seconds: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    mean_ms: float
+    #: Distinct dictionary generations observed in responses — >1 means
+    #: the run crossed at least one hot reload.
+    generations: List[int] = field(default_factory=list)
+    error_codes: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def gbps(self) -> float:
+        if self.seconds <= 0:
+            return 0.0
+        return self.bytes_sent * 8 / self.seconds / 1e9
+
+    @property
+    def requests_per_second(self) -> float:
+        if self.seconds <= 0:
+            return 0.0
+        return self.requests / self.seconds
+
+    def to_payload(self) -> Dict[str, object]:
+        """JSON-serializable body for ``BENCH_service.json``."""
+        return {
+            "mode": self.mode,
+            "connections": self.connections,
+            "requests": self.requests,
+            "errors": self.errors,
+            "error_codes": dict(self.error_codes),
+            "bytes_sent": self.bytes_sent,
+            "matches": self.matches,
+            "seconds": self.seconds,
+            "gbps": self.gbps,
+            "requests_per_second": self.requests_per_second,
+            "latency_ms": {
+                "p50": self.p50_ms,
+                "p95": self.p95_ms,
+                "p99": self.p99_ms,
+                "mean": self.mean_ms,
+            },
+            "generations": list(self.generations),
+        }
+
+    def summary(self) -> str:
+        gens = ",".join(str(g) for g in self.generations)
+        return (f"{self.requests} requests on {self.connections} "
+                f"connection(s) in {self.seconds:.2f}s | "
+                f"{self.gbps:.4f} Gbps, "
+                f"{self.requests_per_second:.0f} req/s | latency "
+                f"p50 {self.p50_ms:.2f} / p95 {self.p95_ms:.2f} / "
+                f"p99 {self.p99_ms:.2f} ms | errors {self.errors} | "
+                f"generation(s) {gens}")
+
+
+class _Worker(threading.Thread):
+    """One closed-loop connection: send, wait, record, repeat."""
+
+    def __init__(self, host: str, port: int, packets: Sequence[bytes],
+                 mode: str, flows: int, index: int,
+                 barrier: threading.Barrier) -> None:
+        super().__init__(daemon=True, name=f"loadgen-{index}")
+        self.host, self.port = host, port
+        self.packets = packets
+        self.mode = mode
+        self.flows = flows
+        self.index = index
+        self.barrier = barrier
+        self.latencies: List[float] = []
+        self.errors: Dict[str, int] = {}
+        self.bytes_sent = 0
+        self.matches = 0
+        self.generations: set = set()
+
+    def run(self) -> None:
+        try:
+            client = ServiceClient(self.host, self.port)
+        except OSError:
+            self.errors["connect"] = len(self.packets)
+            self.barrier.wait()
+            return
+        self.barrier.wait()    # closed-loop: everyone starts together
+        try:
+            for j, packet in enumerate(self.packets):
+                t0 = time.perf_counter()
+                try:
+                    if self.mode == "flow":
+                        flow_id = f"c{self.index}-f{j % self.flows}"
+                        reply = client.scan_packet(flow_id, packet)
+                    else:
+                        reply = client.scan(packet)
+                except ServiceError as exc:
+                    self.errors[exc.code] = \
+                        self.errors.get(exc.code, 0) + 1
+                    if exc.code in ("closed", "transport"):
+                        break
+                    continue
+                self.latencies.append(time.perf_counter() - t0)
+                self.bytes_sent += len(packet)
+                self.matches += reply.matches
+                self.generations.add(reply.generation)
+        finally:
+            client.close()
+
+
+def run_load(host: str, port: int, *,
+             connections: int = 4,
+             requests_per_connection: int = 200,
+             mode: str = "scan",
+             flows_per_connection: int = 8,
+             min_size: int = 256, max_size: int = 1500,
+             alphabet_size: int = 256,
+             patterns: Optional[Sequence[bytes]] = None,
+             match_fraction: float = 0.2,
+             seed: int = 0) -> LoadResult:
+    """Drive a running daemon in closed loop and measure it.
+
+    ``mode="scan"`` sends stateless one-shot scans; ``mode="flow"``
+    spreads each connection's packets over ``flows_per_connection``
+    session flows.  Each connection gets its own deterministic packet
+    burst (``seed + index``), optionally planted with ``patterns``.
+    """
+    if mode not in ("scan", "flow"):
+        raise ValueError(f"mode must be 'scan' or 'flow', got {mode!r}")
+    if connections < 1 or requests_per_connection < 1:
+        raise ValueError("need at least one connection and one request")
+    barrier = threading.Barrier(connections + 1)
+    workers = [
+        _Worker(host, port,
+                packet_stream(requests_per_connection,
+                              min_size=min_size, max_size=max_size,
+                              alphabet_size=alphabet_size,
+                              patterns=patterns,
+                              match_fraction=match_fraction,
+                              seed=seed + i),
+                mode, flows_per_connection, i, barrier)
+        for i in range(connections)]
+    for w in workers:
+        w.start()
+    barrier.wait()
+    t0 = time.perf_counter()
+    for w in workers:
+        w.join()
+    seconds = time.perf_counter() - t0
+
+    latencies = sorted(lat for w in workers for lat in w.latencies)
+    error_codes: Dict[str, int] = {}
+    for w in workers:
+        for code, n in w.errors.items():
+            error_codes[code] = error_codes.get(code, 0) + n
+    generations = sorted({g for w in workers for g in w.generations})
+    return LoadResult(
+        mode=mode,
+        connections=connections,
+        requests=len(latencies),
+        errors=sum(error_codes.values()),
+        bytes_sent=sum(w.bytes_sent for w in workers),
+        matches=sum(w.matches for w in workers),
+        seconds=seconds,
+        p50_ms=_quantile(latencies, 0.50) * 1e3,
+        p95_ms=_quantile(latencies, 0.95) * 1e3,
+        p99_ms=_quantile(latencies, 0.99) * 1e3,
+        mean_ms=(sum(latencies) / len(latencies) * 1e3)
+        if latencies else 0.0,
+        generations=generations,
+        error_codes=error_codes)

@@ -1,0 +1,175 @@
+"""Wire protocol of the scan daemon: length-prefixed binary frames.
+
+One frame carries one request or one response.  The layout is
+
+::
+
+    uint32  frame_len    big-endian; bytes that follow this field
+    uint32  header_len   big-endian; length of the JSON header
+    header               UTF-8 JSON object (verb / status + fields)
+    payload              frame_len - 4 - header_len raw bytes
+
+Payloads are opaque bytes — the traffic being scanned, a packet of a
+flow, or a newline-separated dictionary for ``RELOAD`` — so the protocol
+is binary-safe and the JSON header stays tiny.  Both sides prefix every
+frame with its full length, so a reader always knows exactly how much to
+consume: no sentinels, no escaping, no ambiguity at chunk boundaries
+(the same property the staging ring gives the scan pipeline).
+
+Requests carry ``{"verb": ..., "id": ...}`` plus verb-specific fields;
+responses echo ``id`` and always carry ``ok`` and — the hot-reload
+contract — the ``generation`` of the dictionary that served them.
+
+This module is stdlib-only (no numpy, no asyncio imports) so the client
+and ``repro info`` can load it without pulling in the engines.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "Frame",
+    "ProtocolError",
+    "MAX_FRAME_BYTES",
+    "VERBS",
+    "VERB_SPECS",
+    "RELOAD_STRATEGY",
+    "encode_frame",
+    "decode_frame",
+    "split_body",
+    "encode_patterns",
+    "decode_patterns",
+]
+
+
+class ProtocolError(Exception):
+    """Raised for malformed frames, oversized frames or unknown verbs."""
+
+
+#: Upper bound on one frame (64 MB): a guard against a corrupt length
+#: prefix allocating unbounded memory, not a throughput limit — larger
+#: inputs stream as multiple SCAN/FLOW requests.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_PREFIX = struct.Struct(">I")
+
+#: ``(verb, description)`` — the daemon's full vocabulary, in the order
+#: ``repro info`` prints them.
+VERB_SPECS: List[Tuple[str, str]] = [
+    ("PING", "liveness probe; returns the active dictionary generation"),
+    ("SCAN", "one-shot stateless scan of the payload (backend registry)"),
+    ("FLOW", "sessioned scan: payload joins the flow's byte stream"),
+    ("CLOSE_FLOW", "evict one flow; returns its lifetime bytes/matches"),
+    ("RELOAD", "hot dictionary swap: stage, compile, promote atomically"),
+    ("STATS", "metrics snapshot: counters, latency quantiles, reloads"),
+    ("SHUTDOWN", "graceful drain: finish in-flight requests, then stop"),
+]
+
+VERBS: Tuple[str, ...] = tuple(v for v, _ in VERB_SPECS)
+
+#: One-line summary of the swap mechanism, shared by ``repro info`` and
+#: the STATS response.
+RELOAD_STRATEGY = (
+    "double-buffered generations: compile into the standby slot, "
+    "promote atomically between requests; in-flight scans finish on "
+    "the generation they started with")
+
+
+@dataclass
+class Frame:
+    """One decoded frame: a JSON header plus an opaque payload."""
+
+    header: Dict[str, object]
+    payload: bytes = b""
+
+    @property
+    def verb(self) -> str:
+        return str(self.header.get("verb", ""))
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.header.get("ok", False))
+
+
+def encode_frame(header: Dict[str, object], payload: bytes = b"") -> bytes:
+    """Serialize one frame (length prefix + header + payload)."""
+    header_bytes = json.dumps(header, separators=(",", ":")).encode()
+    frame_len = 4 + len(header_bytes) + len(payload)
+    if frame_len > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {frame_len} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit; split the input")
+    return (_PREFIX.pack(frame_len) + _PREFIX.pack(len(header_bytes))
+            + header_bytes + payload)
+
+
+def split_body(body: bytes) -> Frame:
+    """Decode a frame body (everything after the ``frame_len`` prefix)."""
+    if len(body) < 4:
+        raise ProtocolError("truncated frame: missing header length")
+    header_len = _PREFIX.unpack_from(body, 0)[0]
+    if 4 + header_len > len(body):
+        raise ProtocolError(
+            f"truncated frame: header of {header_len} bytes does not "
+            f"fit the {len(body)}-byte body")
+    try:
+        header = json.loads(body[4:4 + header_len].decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"unparseable frame header: {exc}") from exc
+    if not isinstance(header, dict):
+        raise ProtocolError("frame header must be a JSON object")
+    return Frame(header=header, payload=body[4 + header_len:])
+
+
+def decode_frame(buf: bytes) -> Tuple[Optional[Frame], bytes]:
+    """Decode one frame from ``buf``; returns ``(frame, rest)`` or
+    ``(None, buf)`` when the buffer does not yet hold a whole frame."""
+    if len(buf) < 4:
+        return None, buf
+    frame_len = _PREFIX.unpack_from(buf, 0)[0]
+    if frame_len > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"declared frame length {frame_len} exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit")
+    if len(buf) < 4 + frame_len:
+        return None, buf
+    return split_body(buf[4:4 + frame_len]), buf[4 + frame_len:]
+
+
+# -- dictionary payloads ------------------------------------------------------------
+
+
+def encode_patterns(patterns) -> bytes:
+    """RELOAD payload: one pattern per line.
+
+    Patterns may be ``str`` or ``bytes``; embedded newlines are the one
+    thing the framing cannot carry, so they are rejected here rather
+    than silently corrupting the dictionary.
+    """
+    out: List[bytes] = []
+    for i, p in enumerate(patterns):
+        raw = p.encode() if isinstance(p, str) else bytes(p)
+        if b"\n" in raw:
+            raise ProtocolError(
+                f"pattern {i} contains a newline; the RELOAD payload is "
+                f"line-delimited")
+        if not raw:
+            raise ProtocolError(f"pattern {i} is empty")
+        out.append(raw)
+    if not out:
+        raise ProtocolError("RELOAD needs at least one pattern")
+    return b"\n".join(out)
+
+
+def decode_patterns(payload: bytes) -> List[bytes]:
+    """Inverse of :func:`encode_patterns`."""
+    if not payload:
+        raise ProtocolError("empty RELOAD payload")
+    patterns = [line for line in payload.split(b"\n") if line]
+    if not patterns:
+        raise ProtocolError("RELOAD payload holds no patterns")
+    return patterns

@@ -1,0 +1,277 @@
+"""Hot-reloadable dictionary generations: the paper's dynamic STT
+replacement (§6), lifted from SPE half-tile slots to a serving daemon.
+
+On the Cell, a new dictionary slice streams into the shadow STT slot
+while the resident slot keeps filtering; a buffer boundary flips the
+roles.  :class:`DictionaryRegistry` is the same machine at service
+scale, built on the same primitive
+(:class:`~repro.core.replacement.DoubleBuffer`):
+
+* the **active** slot holds the :class:`Generation` serving scans — a
+  :class:`~repro.core.compiled.CompiledDictionary`, its
+  :class:`~repro.core.backends.ScanContext` (worker pools, shared
+  tables) and its flow-session table;
+* :meth:`load` compiles the incoming dictionary (through
+  :class:`~repro.core.compiled.ArtifactCache`, so re-deploying a known
+  rule set is a *warm swap* with zero automaton builds), stages it in
+  the standby slot, and **promotes atomically between requests**;
+* scans :meth:`lease` the generation they start on and hold it until
+  they finish — a promote never yanks tables out from under an
+  in-flight scan, and the retired generation's pools are closed only
+  when its last lease drains (zero failed requests during a swap);
+* every response is stamped with the generation id of the dictionary
+  that produced it, so clients can correlate counts with reloads.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..core.backends import ScanContext
+from ..core.compiled import (COUNTERS, ArtifactCache, CompiledDictionary,
+                             compile_dictionary)
+from ..core.replacement import DoubleBuffer
+from ..dfa.alphabet import FoldMap
+from .sessions import SessionScanner
+
+__all__ = ["DictionaryRegistry", "Generation", "ReloadResult",
+           "RegistryError"]
+
+
+class RegistryError(Exception):
+    """Raised for unusable reloads or a closed registry."""
+
+
+class Generation:
+    """One dictionary generation: compiled artifact + execution context
+    + flow sessions, reference-counted so retirement waits for the last
+    in-flight scan."""
+
+    def __init__(self, gen_id: int, compiled: CompiledDictionary,
+                 max_flows: int, session_policy: str) -> None:
+        self.gen_id = gen_id
+        self.compiled = compiled
+        self.ctx = ScanContext(compiled)
+        self.sessions = SessionScanner(compiled, max_flows=max_flows,
+                                       on_full=session_policy)
+        self._lock = threading.Lock()
+        self._leases = 0
+        self._retired = False
+        self._closed = False
+
+    # -- lease management ----------------------------------------------------------
+
+    def acquire(self) -> bool:
+        """Take a lease; ``False`` if the generation already released
+        its resources (the caller should re-read the active slot)."""
+        with self._lock:
+            if self._closed:
+                return False
+            self._leases += 1
+            return True
+
+    def release(self) -> None:
+        with self._lock:
+            self._leases -= 1
+            close_now = self._retired and self._leases == 0 \
+                and not self._closed
+            if close_now:
+                self._closed = True
+        if close_now:
+            self.ctx.close()
+
+    def retire(self) -> None:
+        """Mark retired; resources are released once leases drain."""
+        with self._lock:
+            if self._retired:
+                return
+            self._retired = True
+            close_now = self._leases == 0 and not self._closed
+            if close_now:
+                self._closed = True
+        if close_now:
+            self.ctx.close()
+
+    @property
+    def leases(self) -> int:
+        with self._lock:
+            return self._leases
+
+    def __repr__(self) -> str:
+        return (f"Generation(id={self.gen_id}, "
+                f"slices={self.compiled.num_slices}, "
+                f"leases={self.leases}, retired={self._retired})")
+
+
+@dataclass
+class ReloadResult:
+    """What one hot reload did."""
+
+    generation: int
+    seconds: float
+    #: Artifact-cache hit: the swap did zero automaton builds.
+    warm: bool
+    patterns: int
+    slices: int
+    states: int
+    #: Flows carried across the reload boundary (restart-at-generation).
+    flows_carried: int
+
+
+class _Lease:
+    """Context manager pairing a :class:`Generation` with its release."""
+
+    def __init__(self, generation: Generation) -> None:
+        self.generation = generation
+
+    def __enter__(self) -> Generation:
+        return self.generation
+
+    def __exit__(self, *exc) -> None:
+        self.generation.release()
+
+
+class DictionaryRegistry:
+    """Active/standby dictionary slots with atomic promotion."""
+
+    def __init__(self, patterns: Sequence,
+                 fold: Optional[FoldMap] = None,
+                 regex: bool = False,
+                 max_states: int = 1 << 30,
+                 cache=None,
+                 max_flows: int = 65536,
+                 session_policy: str = "lru") -> None:
+        if cache is True:
+            cache = ArtifactCache()
+        elif cache is not None and not isinstance(cache, ArtifactCache):
+            cache = ArtifactCache(cache)
+        self._cache = cache
+        self._fold = fold
+        self._max_states = max_states
+        self._max_flows = max_flows
+        self._session_policy = session_policy
+        # Serializes reloads end to end (compile + stage + promote);
+        # scans never take it.
+        self._reload_lock = threading.Lock()
+        self._closed = False
+        self.swap_count = 0
+        self.last_swap_seconds = 0.0
+
+        first = self._compile_generation(1, patterns, regex)
+        self._buffer: DoubleBuffer[Generation] = DoubleBuffer(first)
+
+    # -- compile -------------------------------------------------------------------
+
+    def _compile_generation(self, gen_id: int, patterns: Sequence,
+                            regex: bool) -> Generation:
+        compiled = compile_dictionary(
+            patterns, fold=self._fold, regex=regex,
+            max_states=self._max_states, cache=self._cache)
+        if self._fold is None:
+            # Every later generation must fold identically, or session
+            # state and counts would silently change meaning.
+            self._fold = compiled.fold
+        return Generation(gen_id, compiled, self._max_flows,
+                          self._session_policy)
+
+    # -- serving side --------------------------------------------------------------
+
+    @property
+    def generation(self) -> int:
+        """Id of the currently active generation."""
+        return self._buffer.active.gen_id
+
+    @property
+    def active(self) -> Generation:
+        return self._buffer.active
+
+    def lease(self) -> _Lease:
+        """Acquire the active generation for one scan.
+
+        The tiny race — a promote retiring the generation between the
+        read and the acquire — is handled by retrying: ``acquire`` fails
+        only after the generation released its resources, and by then
+        the buffer's active slot holds the successor.
+        """
+        if self._closed:
+            raise RegistryError("registry is closed")
+        while True:
+            generation = self._buffer.active
+            if generation.acquire():
+                return _Lease(generation)
+
+    # -- reload side ---------------------------------------------------------------
+
+    def load(self, patterns: Sequence, regex: bool = False) -> ReloadResult:
+        """Compile ``patterns`` and atomically promote them.
+
+        Runs entirely off the scan path: the active generation serves
+        throughout the compile, the promotion itself is a pointer flip
+        inside the :class:`DoubleBuffer` lock, and in-flight scans keep
+        their leased generation until they finish.
+        """
+        with self._reload_lock:
+            if self._closed:
+                raise RegistryError("registry is closed")
+            t0 = time.perf_counter()
+            builds_before = COUNTERS["automaton_builds"]
+            gen_id = self._buffer.generation + 1
+            incoming = self._compile_generation(gen_id, patterns, regex)
+            warm = COUNTERS["automaton_builds"] == builds_before
+            self._buffer.stage(incoming)
+            retired = self._buffer.promote()
+            # Carry sessions *after* the flip: new flow packets already
+            # route to the incoming generation, and carry_from merges
+            # with any that raced the promotion.
+            flows = incoming.sessions.carry_from(retired.sessions)
+            retired.retire()
+            seconds = time.perf_counter() - t0
+            self.swap_count += 1
+            self.last_swap_seconds = seconds
+            return ReloadResult(
+                generation=incoming.gen_id,
+                seconds=seconds,
+                warm=warm,
+                patterns=incoming.compiled.num_patterns,
+                slices=incoming.compiled.num_slices,
+                states=incoming.compiled.total_states,
+                flows_carried=flows)
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def close(self) -> None:
+        """Retire the active generation and release its resources
+        (idempotent; waits for nothing — leases drain it)."""
+        with self._reload_lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._buffer.active.retire()
+
+    def __enter__(self) -> "DictionaryRegistry":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def describe(self) -> dict:
+        """Registry state for STATS and ``repro serve`` banners."""
+        active = self._buffer.active
+        return {
+            "generation": active.gen_id,
+            "patterns": active.compiled.num_patterns,
+            "slices": active.compiled.num_slices,
+            "states": active.compiled.total_states,
+            "fingerprint": active.compiled.fingerprint[:12],
+            "regex": active.compiled.regex,
+            "flows": active.sessions.num_flows,
+            "swaps": self.swap_count,
+            "last_swap_ms": self.last_swap_seconds * 1e3,
+        }
+
+    def __repr__(self) -> str:
+        return (f"DictionaryRegistry(generation={self.generation}, "
+                f"swaps={self.swap_count})")

@@ -1,0 +1,171 @@
+"""Flow sessions over a compiled dictionary.
+
+The daemon's ``FLOW`` verb is the paper's "16 distinct input streams"
+made service-shaped: each client flow is one logical byte stream, split
+across packets, and a signature straddling two packets of the same flow
+must still match.  :class:`SessionScanner` maps flow ids onto one
+:class:`~repro.core.flows.FlowMatcher` per dictionary slice (the same
+DFA state persistence the tile's state-save area provides), folds raw
+payloads once, and keeps per-flow lifetime totals.
+
+Reload semantics — *restart at generation*: each dictionary generation
+owns its own ``SessionScanner``; when the registry promotes a new
+generation it calls :meth:`carry_from`, which transfers the lifetime
+byte/match totals of live flows but **not** their DFA states.  A flow
+whose stream spans a swap resumes from the new dictionary's start state
+— matches entirely inside either generation are found, a match
+straddling the swap instant is not, which is exactly the guarantee a
+half-tile STT replacement gives the lanes it restarts.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Hashable, List, Tuple
+
+from ..core.flows import FlowError, FlowMatcher
+
+__all__ = ["SessionScanner", "FlowError"]
+
+
+class SessionScanner:
+    """Per-generation flow-session table spanning every dictionary slice.
+
+    One :class:`FlowMatcher` per slice DFA, all fed the same folded
+    payloads in the same order, so their LRU tables stay in lockstep and
+    an eviction drops the same flow everywhere.  Thread-safe: packets of
+    different flows may arrive on different executor threads, and a
+    per-scanner lock serializes them (per-flow scans must serialize
+    anyway to chain DFA states).
+    """
+
+    def __init__(self, compiled, max_flows: int = 65536,
+                 on_full: str = "lru") -> None:
+        if max_flows < 1:
+            raise FlowError("max_flows must be positive")
+        self.compiled = compiled
+        self.max_flows = max_flows
+        self.on_full = on_full
+        self._lock = threading.Lock()
+        self._matchers: List[FlowMatcher] = [
+            FlowMatcher(dfa, max_flows, on_full=on_full)
+            for dfa in compiled.dfas]
+        # Lifetime (bytes, matches) per live flow — survives reloads via
+        # carry_from, pruned when the LRU policy evicts the flow.
+        self._totals: Dict[Hashable, List[int]] = {}
+        self._seen_evictions = 0
+
+    # -- introspection -------------------------------------------------------------
+
+    @property
+    def num_flows(self) -> int:
+        with self._lock:
+            return len(self._totals)
+
+    @property
+    def evictions(self) -> int:
+        return self._matchers[0].evictions if self._matchers else 0
+
+    def flow_ids(self) -> List[Hashable]:
+        with self._lock:
+            return list(self._totals)
+
+    # -- scanning ------------------------------------------------------------------
+
+    def _prune_evicted(self) -> int:
+        """Drop totals of flows the LRU policy evicted; returns how many
+        were dropped (only walks the table when an eviction happened)."""
+        evictions = self._matchers[0].evictions
+        if evictions == self._seen_evictions:
+            return 0
+        self._seen_evictions = evictions
+        live = set(self._matchers[0].flow_ids())
+        dead = [fid for fid in self._totals if fid not in live]
+        for fid in dead:
+            del self._totals[fid]
+        return len(dead)
+
+    def scan_packet(self, flow_id: Hashable,
+                    payload: bytes) -> Tuple[int, int, int]:
+        """Scan one packet in its flow's context.
+
+        Returns ``(new_matches, flow_total_matches, evicted)`` where
+        ``evicted`` counts flows the LRU policy dropped to admit this
+        one.
+        """
+        with self._lock:
+            folded = self.compiled.fold.fold_bytes(payload)
+            new = 0
+            for matcher in self._matchers:
+                new += matcher.scan_packet(flow_id, folded)
+            evicted = self._prune_evicted()
+            total = self._totals.setdefault(flow_id, [0, 0])
+            total[0] += len(payload)
+            total[1] += new
+            return new, total[1], evicted
+
+    def close_flow(self, flow_id: Hashable) -> Tuple[int, int]:
+        """Evict one flow; returns its lifetime ``(bytes, matches)``
+        (including bytes/matches accrued under earlier generations)."""
+        with self._lock:
+            total = self._totals.pop(flow_id, None)
+            if total is None:
+                raise FlowError(f"unknown flow {flow_id!r}")
+            for matcher in self._matchers:
+                try:
+                    matcher.close_flow(flow_id)
+                except FlowError:
+                    # The flow never sent a packet under this
+                    # generation (registered by carry_from only).
+                    pass
+            return total[0], total[1]
+
+    def total_matches(self) -> int:
+        with self._lock:
+            return sum(t[1] for t in self._totals.values())
+
+    # -- reload boundary ----------------------------------------------------------
+
+    def carry_from(self, old: "SessionScanner") -> int:
+        """Adopt the live flows of a retiring generation's scanner.
+
+        Lifetime totals transfer; DFA states do not (restart-at-
+        generation).  Flows are re-registered in this generation's
+        matchers, in the old LRU order, so they stay first in line for
+        eviction and the tables remain consistent.  Returns the number
+        of flows carried.
+        """
+        with old._lock:
+            # Old LRU order (least-recently-scanned first) so recency
+            # survives the swap.
+            order = old._matchers[0].flow_ids() if old._matchers else []
+            totals = {fid: list(old._totals[fid]) for fid in order
+                      if fid in old._totals}
+            for fid, t in old._totals.items():
+                if fid not in totals:
+                    totals[fid] = list(t)
+        with self._lock:
+            carried = 0
+            for fid, t in totals.items():
+                cur = self._totals.get(fid)
+                if cur is not None:
+                    # The flow already scanned under this generation
+                    # (promotion raced the carry): merge lifetimes.
+                    cur[0] += t[0]
+                    cur[1] += t[1]
+                    carried += 1
+                    continue
+                self._totals[fid] = t
+                carried += 1
+                for matcher in self._matchers:
+                    if fid not in matcher:
+                        matcher.touch(fid)
+            # Touching may itself evict (old table larger than our
+            # budget); drop the victims' totals immediately.
+            self._prune_evicted()
+            return carried
+
+    def __repr__(self) -> str:
+        return (f"SessionScanner(flows={self.num_flows}, "
+                f"slices={len(self._matchers)}, "
+                f"max_flows={self.max_flows}, on_full={self.on_full!r})")

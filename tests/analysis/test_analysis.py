@@ -123,3 +123,23 @@ class TestRendering:
         assert format_si(5.11e9, "bps") == "5.11 Gbps"
         assert format_si(2500, "B") == "2.50 kB"
         assert format_si(3.2, "x") == "3.20 x"
+
+    def test_metrics_table_renders_service_snapshot(self):
+        from repro.analysis import metrics_table
+        from repro.service.metrics import ServiceMetrics
+        metrics = ServiceMetrics()
+        metrics.record_request("SCAN")
+        metrics.record_scan("serial", 0.002, 1500, 3)
+        metrics.record_reload(0.05, warm=True)
+        metrics.record_rejected()
+        text = metrics_table(metrics.snapshot(), title="latency")
+        assert "latency" in text
+        assert "serial" in text
+        assert "1 (1)" in text          # one reload, one warm
+        assert "rejected" in text
+
+    def test_metrics_table_empty_snapshot(self):
+        from repro.analysis import metrics_table
+        from repro.service.metrics import ServiceMetrics
+        text = metrics_table(ServiceMetrics().snapshot())
+        assert "requests" in text

@@ -98,6 +98,27 @@ class TestBatchScanning:
         assert matcher.scan_batch([]) == []
 
 
+class TestCountingSemantics:
+    # Suffix-overlapping entries all end at the same DFA state, so
+    # positional (+1 per final-state entry) and per-entry counting
+    # diverge: flows must count per entry, like the block backends.
+    NESTED = [bytes([1, 2, 3]), bytes([2, 3]), bytes([3])]
+
+    def test_suffix_overlaps_count_per_entry(self):
+        matcher = FlowMatcher(build_dfa(self.NESTED, 32))
+        assert matcher.scan_packet("f", bytes([0, 1, 2, 3, 0])) == 3
+
+    def test_overlap_split_across_packets(self):
+        matcher = FlowMatcher(build_dfa(self.NESTED, 32))
+        assert matcher.scan_packet("f", bytes([0, 1, 2])) == 0
+        assert matcher.scan_packet("f", bytes([3, 0])) == 3
+
+    def test_batch_counts_per_entry(self):
+        matcher = FlowMatcher(build_dfa(self.NESTED, 32))
+        assert matcher.scan_batch([("a", bytes([1, 2, 3])),
+                                   ("b", bytes([2, 3]))]) == [3, 2]
+
+
 class TestFlowTable:
     def test_close_flow_reports_and_evicts(self, matcher):
         matcher.scan_packet("f", bytes([5, 6, 5, 6]))
@@ -132,3 +153,63 @@ class TestFlowTable:
         matcher.scan_packet("a", bytes([0]))
         matcher.scan_packet("b", bytes([0]))
         assert matcher.num_flows == 2
+
+
+class TestEvictionPolicy:
+    def _matcher(self, policy, max_flows=2):
+        return FlowMatcher(build_dfa(PATTERNS, 32), max_flows=max_flows,
+                           on_full=policy)
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(FlowError, match="on_full"):
+            self._matcher("fifo")
+
+    def test_reject_is_default_and_counts_nothing(self):
+        matcher = self._matcher("reject")
+        matcher.scan_packet("a", bytes([0]))
+        matcher.scan_packet("b", bytes([0]))
+        with pytest.raises(FlowError, match="full"):
+            matcher.scan_packet("c", bytes([0]))
+        assert matcher.evictions == 0
+        assert matcher.num_flows == 2
+
+    def test_lru_evicts_least_recently_used(self):
+        matcher = self._matcher("lru")
+        matcher.scan_packet("a", bytes([0]))
+        matcher.scan_packet("b", bytes([0]))
+        matcher.scan_packet("a", bytes([0]))   # refresh a; b is oldest
+        matcher.scan_packet("c", bytes([0]))   # evicts b
+        assert matcher.evictions == 1
+        assert "b" not in matcher
+        assert "a" in matcher and "c" in matcher
+
+    def test_lru_eviction_loses_prefix_state(self):
+        matcher = self._matcher("lru")
+        matcher.scan_packet("victim", bytes([1, 2]))
+        matcher.scan_packet("x", bytes([0]))
+        matcher.scan_packet("y", bytes([0]))   # evicts victim
+        # Re-opened flow starts at the DFA root: the suffix alone
+        # cannot complete the pattern.
+        assert matcher.scan_packet("victim", bytes([3, 4])) == 0
+
+    def test_touch_registers_and_refreshes(self):
+        matcher = self._matcher("lru")
+        matcher.touch("a")
+        matcher.scan_packet("b", bytes([0]))
+        matcher.touch("a")                     # refresh: b is now oldest
+        matcher.scan_packet("c", bytes([0]))   # evicts b
+        assert matcher.flow_ids() == ["a", "c"]
+
+    def test_flow_ids_in_lru_order(self):
+        matcher = self._matcher("lru", max_flows=4)
+        for fid in ("a", "b", "c"):
+            matcher.scan_packet(fid, bytes([0]))
+        matcher.scan_packet("a", bytes([0]))
+        assert matcher.flow_ids() == ["b", "c", "a"]
+
+    def test_touch_respects_reject_policy(self):
+        matcher = self._matcher("reject")
+        matcher.touch("a")
+        matcher.touch("b")
+        with pytest.raises(FlowError, match="full"):
+            matcher.touch("c")

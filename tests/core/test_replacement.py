@@ -81,6 +81,22 @@ class TestSchedule:
         with pytest.raises(ReplacementError):
             replacement_schedule(2, periods=1)
 
+    def test_zero_length_block_rejected(self):
+        with pytest.raises(ReplacementError, match="positive"):
+            replacement_schedule(2, block_bytes=0)
+
+    def test_degenerate_stt_rejected(self):
+        with pytest.raises(ReplacementError):
+            replacement_schedule(2, stt_bytes=16)
+
+    def test_slices_equal_spes_goes_resident(self):
+        """With as many SPEs as slices nothing needs replacing: the
+        planner pins one slice per SPE at full tile speed."""
+        from repro.core.replacement import plan_topology
+        plan = plan_topology(4, 4)
+        assert plan.slices_per_spe == 1
+        assert plan.gbps == pytest.approx(5.11)
+
 
 class TestReplacementMatcher:
     @pytest.fixture(scope="class")
@@ -125,6 +141,87 @@ class TestReplacementMatcher:
         _, matcher, _ = setup
         total, per_slice = matcher.scan_block(b"")
         assert total == 0
+
+
+class TestDoubleBuffer:
+    def test_initial_state(self):
+        from repro.core.replacement import DoubleBuffer
+        buf = DoubleBuffer("first")
+        assert buf.active == "first"
+        assert buf.standby is None
+        assert not buf.has_staged
+        assert buf.generation == 1
+
+    def test_stage_then_promote_flips_roles(self):
+        from repro.core.replacement import DoubleBuffer
+        buf = DoubleBuffer("first")
+        buf.stage("second")
+        assert buf.active == "first"      # staging never disturbs active
+        assert buf.standby == "second"
+        retired = buf.promote()
+        assert retired == "first"
+        assert buf.active == "second"
+        assert buf.generation == 2
+        assert not buf.has_staged
+
+    def test_promote_without_stage_rejected(self):
+        from repro.core.replacement import DoubleBuffer
+        with pytest.raises(ReplacementError, match="stage"):
+            DoubleBuffer("first").promote()
+
+    def test_generations_are_monotonic(self):
+        from repro.core.replacement import DoubleBuffer
+        buf = DoubleBuffer(0)
+        for i in range(1, 5):
+            buf.stage(i)
+            assert buf.promote() == i - 1
+        assert buf.generation == 5
+        assert buf.active == 4
+
+
+class TestSwapSlice:
+    @pytest.fixture
+    def matcher(self):
+        patterns = random_signatures(30, 3, 8, seed=21)
+        return ReplacementMatcher.from_patterns(patterns,
+                                                states_per_slice=40)
+
+    def test_swap_changes_one_slice_only(self, matcher):
+        replacement = build_dfa([bytes([7, 7, 7])], 32)
+        before = [matcher.slice_dfa(i) for i in range(matcher.num_slices)]
+        gen = matcher.swap_slice(1, replacement)
+        assert gen == 2
+        assert matcher.slice_dfa(1) is replacement
+        for i in range(matcher.num_slices):
+            if i != 1:
+                assert matcher.slice_dfa(i) is before[i]
+                assert matcher.slice_generation(i) == 1
+
+    def test_swapped_slice_matches_its_new_dictionary(self, matcher):
+        replacement = build_dfa([bytes([7, 7, 7])], 32)
+        matcher.swap_slice(0, replacement)
+        block = bytes([7, 7, 7, 7])
+        _, per_slice = matcher.scan_block(block)
+        assert per_slice[0] == 2          # overlapping 7,7,7 twice
+
+    def test_swap_updates_aggregate_stt_bytes(self, matcher):
+        replacement = build_dfa([bytes([7, 7, 7])], 32)
+        matcher.swap_slice(0, replacement)
+        expected = sum(matcher.slice_dfa(i).memory_bytes()
+                       for i in range(matcher.num_slices))
+        assert matcher.aggregate_stt_bytes() == expected
+
+    def test_out_of_range_rejected(self, matcher):
+        replacement = build_dfa([bytes([7])], 32)
+        with pytest.raises(ReplacementError, match="out of range"):
+            matcher.swap_slice(matcher.num_slices, replacement)
+        with pytest.raises(ReplacementError, match="out of range"):
+            matcher.swap_slice(-1, replacement)
+
+    def test_alphabet_mismatch_rejected(self, matcher):
+        replacement = build_dfa([bytes([7])], 64)
+        with pytest.raises(ReplacementError, match="alphabet"):
+            matcher.swap_slice(0, replacement)
 
 
 class TestTopologyPlanner:

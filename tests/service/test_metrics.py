@@ -1,0 +1,107 @@
+"""Observability: latency histograms and the daemon's counters."""
+
+import json
+
+import pytest
+
+from repro.service.metrics import LatencyHistogram, ServiceMetrics
+
+
+class TestLatencyHistogram:
+    def test_empty_snapshot_is_zeros(self):
+        snap = LatencyHistogram().snapshot()
+        assert snap["count"] == 0
+        assert snap["p50_ms"] == 0.0
+        assert snap["max_ms"] == 0.0
+
+    def test_single_sample_quantile_within_bucket_resolution(self):
+        hist = LatencyHistogram()
+        hist.record(0.004)
+        # Geometric buckets with factor 2**0.25: ~19 % resolution.
+        assert hist.quantile(0.5) == pytest.approx(0.004, rel=0.2)
+        assert hist.quantile(0.99) == pytest.approx(0.004, rel=0.2)
+
+    def test_quantiles_are_monotone(self):
+        hist = LatencyHistogram()
+        for i in range(1, 200):
+            hist.record(i * 1e-4)
+        assert hist.quantile(0.5) <= hist.quantile(0.95) \
+            <= hist.quantile(0.99)
+        assert hist.quantile(0.95) == pytest.approx(0.019, rel=0.25)
+
+    def test_exact_aggregates(self):
+        hist = LatencyHistogram()
+        for s in (0.001, 0.002, 0.003):
+            hist.record(s)
+        assert hist.count == 3
+        assert hist.mean_seconds == pytest.approx(0.002)
+        assert hist.min_seconds == 0.001
+        assert hist.max_seconds == 0.003
+
+    def test_below_range_clamps_to_first_bucket(self):
+        hist = LatencyHistogram()
+        hist.record(1e-9)
+        assert hist.quantile(0.5) == pytest.approx(1e-6)
+
+    def test_invalid_quantile(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram().quantile(0.0)
+        with pytest.raises(ValueError):
+            LatencyHistogram().quantile(1.5)
+
+
+class TestServiceMetrics:
+    def test_requests_counted_per_verb(self):
+        m = ServiceMetrics()
+        for verb in ("SCAN", "SCAN", "PING"):
+            m.record_request(verb)
+        snap = m.snapshot()
+        assert snap["requests"]["SCAN"] == 2
+        assert snap["requests"]["PING"] == 1
+        assert snap["requests"]["total"] == 3
+
+    def test_scans_accumulate_per_backend(self):
+        m = ServiceMetrics()
+        m.record_scan("serial", 0.001, 100, 2)
+        m.record_scan("serial", 0.002, 50, 0)
+        m.record_scan("flow", 0.003, 10, 1)
+        snap = m.snapshot()
+        assert snap["bytes_scanned"] == 160
+        assert snap["matches"] == 3
+        assert snap["backends"]["serial"]["count"] == 2
+        assert snap["backends"]["flow"]["count"] == 1
+
+    def test_queue_high_water_sticks(self):
+        m = ServiceMetrics()
+        for depth in (1, 3, 2, 0):
+            m.set_queue_depth(depth)
+        snap = m.snapshot()["admission"]
+        assert snap["queue_depth"] == 0
+        assert snap["queue_high_water"] == 3
+
+    def test_reloads_track_warm_swaps(self):
+        m = ServiceMetrics()
+        m.record_reload(0.1, warm=False)
+        m.record_reload(0.01, warm=True)
+        snap = m.snapshot()["reloads"]
+        assert snap["count"] == 2
+        assert snap["warm"] == 1
+        assert snap["swap_latency"]["count"] == 2
+
+    def test_admission_and_eviction_counters(self):
+        m = ServiceMetrics()
+        m.record_rejected()
+        m.record_timeout()
+        m.record_flow_evictions(0)   # no-op
+        m.record_flow_evictions(3)
+        snap = m.snapshot()
+        assert snap["admission"]["rejected"] == 1
+        assert snap["admission"]["timeouts"] == 1
+        assert snap["flow_evictions"] == 3
+
+    def test_snapshot_is_json_serializable(self):
+        m = ServiceMetrics()
+        m.record_request("SCAN")
+        m.record_scan("serial", 0.001, 10, 1)
+        m.record_reload(0.1, warm=True)
+        json.dumps(m.snapshot())

@@ -1,0 +1,101 @@
+"""Wire framing: length-prefixed frames and dictionary payloads."""
+
+import pytest
+
+from repro.service.protocol import (MAX_FRAME_BYTES, VERB_SPECS, VERBS,
+                                    Frame, ProtocolError, _PREFIX,
+                                    decode_frame, decode_patterns,
+                                    encode_frame, encode_patterns,
+                                    split_body)
+
+
+class TestFrameRoundtrip:
+    def test_header_and_payload_survive(self):
+        raw = encode_frame({"verb": "SCAN", "id": 7}, b"\x00\xffdata")
+        frame, rest = decode_frame(raw)
+        assert rest == b""
+        assert frame.header == {"verb": "SCAN", "id": 7}
+        assert frame.payload == b"\x00\xffdata"
+        assert frame.verb == "SCAN"
+
+    def test_empty_payload(self):
+        frame, _ = decode_frame(encode_frame({"verb": "PING"}))
+        assert frame.payload == b""
+
+    def test_partial_buffer_decodes_nothing(self):
+        raw = encode_frame({"verb": "PING", "id": 1}, b"xyz")
+        for cut in range(len(raw)):
+            frame, rest = decode_frame(raw[:cut])
+            assert frame is None
+            assert rest == raw[:cut]
+
+    def test_two_frames_in_one_buffer(self):
+        raw = encode_frame({"id": 1}) + encode_frame({"id": 2}, b"p")
+        first, rest = decode_frame(raw)
+        second, rest = decode_frame(rest)
+        assert first.header["id"] == 1
+        assert second.header["id"] == 2
+        assert second.payload == b"p"
+        assert rest == b""
+
+    def test_ok_defaults_false(self):
+        assert not Frame(header={}).ok
+        assert Frame(header={"ok": True}).ok
+
+
+class TestFrameErrors:
+    def test_oversized_encode_rejected(self):
+        with pytest.raises(ProtocolError, match="exceeds"):
+            encode_frame({}, b"\x00" * (MAX_FRAME_BYTES + 1))
+
+    def test_oversized_declared_length_rejected(self):
+        bogus = _PREFIX.pack(MAX_FRAME_BYTES + 1) + b"\x00" * 8
+        with pytest.raises(ProtocolError, match="exceeds"):
+            decode_frame(bogus)
+
+    def test_truncated_body(self):
+        with pytest.raises(ProtocolError, match="truncated"):
+            split_body(b"\x00\x00")
+
+    def test_header_overruns_body(self):
+        with pytest.raises(ProtocolError, match="truncated"):
+            split_body(_PREFIX.pack(100) + b"{}")
+
+    def test_unparseable_header(self):
+        with pytest.raises(ProtocolError, match="unparseable"):
+            split_body(_PREFIX.pack(3) + b"{{{")
+
+    def test_non_object_header(self):
+        with pytest.raises(ProtocolError, match="object"):
+            split_body(_PREFIX.pack(2) + b"[]")
+
+
+class TestPatternPayloads:
+    def test_roundtrip_mixed_types(self):
+        payload = encode_patterns(["virus", b"w\x01rm"])
+        assert decode_patterns(payload) == [b"virus", b"w\x01rm"]
+
+    def test_newline_rejected(self):
+        with pytest.raises(ProtocolError, match="newline"):
+            encode_patterns(["bad\npattern"])
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(ProtocolError, match="empty"):
+            encode_patterns(["ok", ""])
+
+    def test_empty_dictionary_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode_patterns([])
+        with pytest.raises(ProtocolError):
+            decode_patterns(b"")
+
+
+class TestVocabulary:
+    def test_specs_cover_all_verbs(self):
+        assert VERBS == tuple(v for v, _ in VERB_SPECS)
+        assert "SCAN" in VERBS and "RELOAD" in VERBS
+
+    def test_every_verb_documented(self):
+        for verb, description in VERB_SPECS:
+            assert verb.isupper()
+            assert description

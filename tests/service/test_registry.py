@@ -1,0 +1,114 @@
+"""Dictionary generations: atomic promotion, leases, warm swaps."""
+
+import pytest
+
+from repro.core.backends import ScanRequest, execute
+from repro.core.compiled import COUNTERS
+from repro.service.registry import DictionaryRegistry, RegistryError
+
+
+def _scan(generation, data: bytes) -> int:
+    outcome = execute(generation.ctx, ScanRequest(data=data), "serial")
+    return outcome.total_matches
+
+
+class TestGenerations:
+    def test_initial_generation_serves(self):
+        with DictionaryRegistry(["alpha"]) as registry:
+            assert registry.generation == 1
+            with registry.lease() as gen:
+                assert gen.gen_id == 1
+                assert _scan(gen, b"an alpha here") == 1
+
+    def test_load_promotes_and_changes_semantics(self):
+        with DictionaryRegistry(["alpha"]) as registry:
+            result = registry.load(["bravo"])
+            assert result.generation == 2
+            assert registry.generation == 2
+            with registry.lease() as gen:
+                assert _scan(gen, b"alpha bravo") == 1   # only bravo now
+
+    def test_reload_result_describes_the_swap(self):
+        with DictionaryRegistry(["alpha"]) as registry:
+            result = registry.load(["bravo", "charlie"])
+            assert result.patterns == 2
+            assert result.slices >= 1
+            assert result.states > 0
+            assert result.seconds >= 0.0
+            assert result.flows_carried == 0
+
+    def test_in_flight_lease_survives_promotion(self):
+        registry = DictionaryRegistry(["alpha"])
+        try:
+            lease = registry.lease()
+            old = lease.__enter__()
+            registry.load(["bravo"])
+            # The scan that started on generation 1 finishes on
+            # generation 1 — tables are still alive under the lease.
+            assert old.gen_id == 1
+            assert _scan(old, b"alpha") == 1
+            lease.__exit__(None, None, None)
+            with registry.lease() as gen:
+                assert gen.gen_id == 2
+        finally:
+            registry.close()
+
+    def test_retired_generation_releases_after_last_lease(self):
+        registry = DictionaryRegistry(["alpha"])
+        try:
+            lease = registry.lease()
+            old = lease.__enter__()
+            registry.load(["bravo"])
+            assert old.leases == 1
+            lease.__exit__(None, None, None)
+            assert old.leases == 0
+            # Released generations refuse new leases.
+            assert not old.acquire()
+        finally:
+            registry.close()
+
+    def test_sessions_carry_across_load(self):
+        with DictionaryRegistry(["abcd"]) as registry:
+            with registry.lease() as gen:
+                gen.sessions.scan_packet("f", b"abcd")
+            result = registry.load(["abcd", "xy"])
+            assert result.flows_carried == 1
+            with registry.lease() as gen:
+                assert gen.sessions.close_flow("f") == (4, 1)
+
+    def test_describe_reports_active_state(self):
+        with DictionaryRegistry(["alpha"]) as registry:
+            registry.load(["bravo"])
+            info = registry.describe()
+            assert info["generation"] == 2
+            assert info["patterns"] == 1
+            assert info["swaps"] == 1
+            assert len(info["fingerprint"]) == 12
+
+
+class TestWarmSwap:
+    def test_known_rule_set_swaps_with_zero_builds(self, tmp_path):
+        with DictionaryRegistry(["alpha"], cache=tmp_path) as registry:
+            cold = registry.load(["bravo"])
+            assert not cold.warm
+            builds_before = COUNTERS["automaton_builds"]
+            warm = registry.load(["alpha"])      # compiled at startup
+            assert warm.warm
+            assert COUNTERS["automaton_builds"] == builds_before
+            with registry.lease() as gen:
+                assert _scan(gen, b"alpha bravo") == 1
+
+    def test_without_cache_every_swap_is_cold(self):
+        with DictionaryRegistry(["alpha"]) as registry:
+            assert not registry.load(["alpha"]).warm
+
+
+class TestLifecycle:
+    def test_closed_registry_rejects_everything(self):
+        registry = DictionaryRegistry(["alpha"])
+        registry.close()
+        with pytest.raises(RegistryError):
+            registry.lease()
+        with pytest.raises(RegistryError):
+            registry.load(["bravo"])
+        registry.close()                         # idempotent

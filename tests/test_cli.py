@@ -133,6 +133,60 @@ class TestPlan:
         assert rc == 2
 
 
+class TestServe:
+    def test_no_patterns_errors(self, capsys):
+        rc = main(["serve"])
+        assert rc == 2
+        assert "no patterns" in capsys.readouterr().err
+
+    def test_parser_accepts_service_tunables(self):
+        args = build_parser().parse_args(
+            ["serve", "--pattern", "virus", "--port", "0",
+             "--admission", "wait", "--max-pending", "8",
+             "--session-eviction", "reject",
+             "--metrics-json", "m.json"])
+        assert args.admission == "wait"
+        assert args.max_pending == 8
+        assert args.session_eviction == "reject"
+
+    def test_invalid_admission_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--pattern", "a",
+                                       "--admission", "drop"])
+
+
+class TestBenchLoad:
+    def test_self_hosted_run_writes_results(self, tmp_path, capsys):
+        out_file = tmp_path / "BENCH_service.json"
+        rc = main(["bench-load", "--pattern", "virus",
+                   "--connections", "2", "--requests", "10",
+                   "--max-size", "300", "--json", str(out_file)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "20 requests" in out
+        assert "service latency by backend" in out
+        import json
+        body = json.loads(out_file.read_text())
+        assert body["run"]["requests"] == 20
+        assert body["run"]["errors"] == 0
+        assert "p95" in body["run"]["latency_ms"]
+        assert body["stats"]["requests"]["SCAN"] == 20
+        assert body["registry"]["generation"] == 1
+
+    def test_flow_mode_with_reloads(self, capsys):
+        rc = main(["bench-load", "--pattern", "virus", "--mode", "flow",
+                   "--connections", "1", "--requests", "10",
+                   "--reloads", "1", "--json", "-"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "10 requests" in out
+
+    def test_bad_connect_spec(self, capsys):
+        rc = main(["bench-load", "--connect", "nowhere"])
+        assert rc == 2
+        assert "HOST:PORT" in capsys.readouterr().err
+
+
 class TestOthers:
     def test_info(self, capsys):
         rc = main(["info"])
@@ -148,6 +202,16 @@ class TestOthers:
         for name in ("serial", "chunked", "pooled", "streaming",
                      "cellsim"):
             assert name in out
+
+    def test_info_lists_service_protocol(self, capsys):
+        rc = main(["info"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "service protocol verbs" in out
+        for verb in ("PING", "SCAN", "FLOW", "CLOSE_FLOW", "RELOAD",
+                     "STATS", "SHUTDOWN"):
+            assert verb in out
+        assert "reload strategy: double-buffered generations" in out
 
     def test_table1_small(self, capsys):
         rc = main(["table1", "--transitions", "192"])
