@@ -1,0 +1,141 @@
+"""Lane-dimension fusion microbench: one fused pass vs D per-DFA passes.
+
+The dictionary is held at a fixed total size while ``max_states``
+partitions it into D ∈ {1, 2, 4, 8} slices; the per-DFA baseline scans
+the block once per slice (D passes, D × input traffic) and the fused
+path advances all D slices in a single strip-mined pass over a
+D × chunks lane grid.  Counts are asserted bit-identical, throughput
+lands in ``BENCH_fused.json``, and the D=4 speedup is the PR's
+acceptance bar.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SMOKE=1``       — small block: the CI smoke run.
+* ``REPRO_BENCH_BLOCK_MB``      — block size in MB (default 8).
+* ``REPRO_BENCH_FUSED_MIN``     — D=4 speedup floor (default 1.5,
+  waived in smoke mode where timing noise dominates).
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.analysis import ascii_table
+from repro.core.compiled import compile_dictionary
+from repro.core.engine import FlatScanner, count_arr
+from repro.dfa.alphabet import identity_fold
+from repro.workloads import plant_matches, random_payload, \
+    random_signatures
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+BLOCK_MB = float(os.environ.get("REPRO_BENCH_BLOCK_MB",
+                                "1" if SMOKE else "8"))
+MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_FUSED_MIN",
+                                   "0" if SMOKE else "1.5"))
+CHUNKS = 256
+REPEATS = 2 if SMOKE else 3
+
+PATTERNS = random_signatures(32, 4, 10, seed=77)
+SLICE_TARGETS = (1, 2, 4, 8)
+
+
+def _compile_for(target: int):
+    """Same dictionary, partitioned into exactly ``target`` slices by
+    searching the ``max_states`` budget (monotone non-increasing)."""
+    fold = identity_fold(32)
+    if target == 1:
+        return compile_dictionary(PATTERNS, fold=fold)
+    for max_states in range(160, 4, -1):
+        try:
+            compiled = compile_dictionary(PATTERNS, fold=fold,
+                                          max_states=max_states)
+        except Exception:
+            continue
+        if compiled.num_slices == target:
+            return compiled
+    return None
+
+
+def _best(fn, *args):
+    best = float("inf")
+    result = None
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        result = fn(*args)
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def test_fused_vs_per_dfa_sweep(report, report_json):
+    nbytes = int(BLOCK_MB * 1e6)
+    block = bytes(plant_matches(random_payload(nbytes, seed=78),
+                                PATTERNS, max(1, nbytes // 2000),
+                                seed=79))
+    arr = np.frombuffer(block, dtype=np.uint8)
+
+    rows = []
+    results = {}
+    for target in SLICE_TARGETS:
+        compiled = _compile_for(target)
+        if compiled is None:
+            print(f"[bench fused] no max_states budget yields "
+                  f"{target} slices — row dropped")
+            continue
+        fused = compiled.fused_scanner()
+        scanners = [FlatScanner(flat, 256, dfa.start, dfa.num_states)
+                    for dfa, (flat, _) in zip(compiled.dfas,
+                                              compiled.tables())]
+
+        def per_dfa_pass():
+            return np.asarray([count_arr(s, arr, CHUNKS, s.start)[0]
+                               for s in scanners], dtype=np.int64)
+
+        def fused_pass():
+            return fused.count_arr_per_dfa(arr, CHUNKS)[0]
+
+        per_dfa_pass()                       # warm both paths
+        fused_pass()
+        serial_s, serial_counts = _best(per_dfa_pass)
+        fused_s, fused_counts = _best(fused_pass)
+        assert np.array_equal(fused_counts, serial_counts), \
+            f"fused diverged at D={target}"
+
+        speedup = serial_s / fused_s if fused_s else float("inf")
+        results[target] = {
+            "slices": target,
+            "total_states": compiled.total_states,
+            "matches": int(fused_counts.sum()),
+            "per_dfa_seconds": round(serial_s, 5),
+            "fused_seconds": round(fused_s, 5),
+            "per_dfa_mb_per_s": round(nbytes / serial_s / 1e6, 2),
+            "fused_mb_per_s": round(nbytes / fused_s / 1e6, 2),
+            "speedup": round(speedup, 3),
+        }
+        rows.append([target, compiled.total_states,
+                     f"{nbytes / serial_s / 1e6:.0f}",
+                     f"{nbytes / fused_s / 1e6:.0f}",
+                     f"{speedup:.2f}x"])
+
+    text = ascii_table(
+        ["slices", "states", "per-DFA MB/s", "fused MB/s", "speedup"],
+        rows,
+        title=f"Lane-dimension fusion, {BLOCK_MB:.0f} MB block, "
+              f"{len(PATTERNS)} patterns, chunks={CHUNKS}")
+    report("fused", text)
+    report_json("fused", {
+        "block_bytes": nbytes,
+        "patterns": len(PATTERNS),
+        "chunks": CHUNKS,
+        "host_cores": os.cpu_count(),
+        "smoke": SMOKE,
+        "per_slices": results,
+    })
+
+    # Fusion must not lose ground at D=1 (passthrough) and must beat
+    # the D-pass baseline clearly by D=4 — the acceptance bar.
+    assert 4 in results, "D=4 row missing from the sweep"
+    if MIN_SPEEDUP > 0:
+        assert results[4]["speedup"] >= MIN_SPEEDUP, \
+            f"fused {results[4]['speedup']}x at D=4, " \
+            f"needs >= {MIN_SPEEDUP}x"

@@ -1,0 +1,140 @@
+"""Bench-regression gate: fresh ``BENCH_backends.json`` vs a committed
+baseline.
+
+CI regenerates ``benchmarks/results/BENCH_backends.json`` on every run
+(the bench smoke step) and then calls this script, which fails the build
+when the headline backend's throughput drops more than ``--tolerance``
+below the committed ``benchmarks/baselines/BENCH_backends.json``.
+
+The headline backend defaults to the fastest backend recorded in the
+*baseline* (so a new backend cannot promote itself past the gate by
+merely existing) and can be pinned with ``--backend``.  Backends present
+only on one side are reported but never gated — the gate protects
+against silent slowdowns of code that already shipped, not against
+roster changes.
+
+Throughput is compared as MB/s, which stays comparable when the block
+size differs between runs; a block-size mismatch is still called out in
+the report because cache effects make small-block numbers noisier.
+
+Exit codes: 0 pass, 1 usage/IO error, 2 regression.
+
+Usage::
+
+    python benchmarks/check_bench_regression.py \
+        [--fresh benchmarks/results/BENCH_backends.json] \
+        [--baseline benchmarks/baselines/BENCH_backends.json] \
+        [--backend streaming] [--tolerance 0.30]
+
+``REPRO_BENCH_TOLERANCE`` overrides the default tolerance (0.30) when
+the flag is absent.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+DEFAULT_FRESH = os.path.join(HERE, "results", "BENCH_backends.json")
+DEFAULT_BASELINE = os.path.join(HERE, "baselines", "BENCH_backends.json")
+
+
+def _load(path):
+    try:
+        with open(path) as fh:
+            payload = json.load(fh)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"[bench gate] cannot read {path}: {exc}")
+    if "per_backend" not in payload:
+        raise SystemExit(f"[bench gate] {path} has no per_backend section")
+    return payload
+
+
+def _throughput(entry):
+    value = entry.get("mb_per_s")
+    return float(value) if value else 0.0
+
+
+def headline_backend(baseline):
+    """The fastest backend in the baseline payload."""
+    per = baseline["per_backend"]
+    return max(per, key=lambda name: _throughput(per[name]))
+
+
+def compare(baseline, fresh, backend=None, tolerance=0.30, out=sys.stdout):
+    """Return (ok, lines) for a fresh payload against the baseline."""
+    base_per = baseline["per_backend"]
+    fresh_per = fresh["per_backend"]
+    backend = backend or headline_backend(baseline)
+    lines = []
+
+    if baseline.get("block_bytes") != fresh.get("block_bytes"):
+        lines.append(
+            f"note: block size differs (baseline "
+            f"{baseline.get('block_bytes')} vs fresh "
+            f"{fresh.get('block_bytes')} bytes); comparing MB/s")
+
+    for name in sorted(set(base_per) | set(fresh_per)):
+        if name not in base_per:
+            lines.append(f"  {name:<10} new backend, not gated "
+                         f"({_throughput(fresh_per[name]):.1f} MB/s)")
+        elif name not in fresh_per:
+            lines.append(f"  {name:<10} missing from fresh run")
+        else:
+            old, new = _throughput(base_per[name]), \
+                _throughput(fresh_per[name])
+            ratio = new / old if old else float("inf")
+            mark = " <- headline" if name == backend else ""
+            lines.append(f"  {name:<10} {old:8.1f} -> {new:8.1f} MB/s "
+                         f"({ratio:5.2f}x){mark}")
+
+    if backend not in base_per:
+        raise SystemExit(f"[bench gate] backend {backend!r} not in baseline "
+                         f"({', '.join(sorted(base_per))})")
+    if backend not in fresh_per:
+        lines.append(f"FAIL: headline backend {backend!r} missing from "
+                     f"the fresh run")
+        return False, lines
+
+    old = _throughput(base_per[backend])
+    new = _throughput(fresh_per[backend])
+    floor = old * (1.0 - tolerance)
+    ok = new >= floor
+    verdict = "pass" if ok else "FAIL"
+    lines.append(f"{verdict}: {backend} {new:.1f} MB/s vs baseline "
+                 f"{old:.1f} MB/s (floor {floor:.1f} at "
+                 f"{tolerance:.0%} tolerance)")
+    return ok, lines
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="fail when the headline backend regresses vs the "
+                    "committed bench baseline")
+    parser.add_argument("--fresh", default=DEFAULT_FRESH,
+                        help="freshly generated BENCH_backends.json")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE,
+                        help="committed baseline BENCH_backends.json")
+    parser.add_argument("--backend", default=None,
+                        help="headline backend (default: fastest in "
+                             "the baseline)")
+    parser.add_argument(
+        "--tolerance", type=float,
+        default=float(os.environ.get("REPRO_BENCH_TOLERANCE", "0.30")),
+        help="allowed fractional regression (default 0.30, or "
+             "REPRO_BENCH_TOLERANCE)")
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.tolerance < 1.0:
+        parser.error("tolerance must be in [0, 1)")
+
+    ok, lines = compare(_load(args.baseline), _load(args.fresh),
+                        backend=args.backend, tolerance=args.tolerance)
+    print("[bench gate]")
+    for line in lines:
+        print(line)
+    return 0 if ok else 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -174,6 +174,12 @@ def metrics_table(snapshot, title: Optional[str] = None) -> str:
         ["swap p95 ms", swap.get("p95_ms", 0.0)],
         ["flow evictions", snapshot.get("flow_evictions", 0)],
     ]
+    batches = snapshot.get("batches", {})
+    if batches.get("count"):
+        summary.append(
+            ["batches (mean occ.)",
+             f"{batches.get('count', 0)} "
+             f"({batches.get('mean_occupancy', 0.0):.2f})"])
     lines.append("")
     lines.append(ascii_table(["counter", "value"], summary))
     return "\n".join(lines)

@@ -56,13 +56,17 @@ def build_parser() -> argparse.ArgumentParser:
     scan.add_argument("--events", action="store_true",
                       help="list individual match events")
     scan.add_argument("--backend", default="auto",
-                      choices=["auto", "serial", "chunked", "pooled",
-                               "streaming", "cellsim"],
+                      choices=["auto", "serial", "chunked", "fused",
+                               "pooled", "streaming", "cellsim"],
                       help="scan backend (default: auto — the execution "
                            "planner chooses)")
     scan.add_argument("--workers", type=int, default=1,
                       help="worker processes for the parallel backends "
                            "(default 1)")
+    scan.add_argument("--no-fuse", action="store_true",
+                      help="escape hatch: never auto-plan the fused "
+                           "multi-slice path (one pass per slice "
+                           "instead of one stacked-table pass)")
 
     plan = sub.add_parser("plan", help="size a dictionary deployment")
     group = plan.add_mutually_exclusive_group(required=True)
@@ -91,8 +95,8 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--regex", action="store_true",
                        help="treat patterns as regular expressions")
     serve.add_argument("--backend", default="auto",
-                       choices=["auto", "serial", "chunked", "pooled",
-                                "streaming", "cellsim"],
+                       choices=["auto", "serial", "chunked", "fused",
+                                "pooled", "streaming", "cellsim"],
                        help="default SCAN backend (default: auto)")
     serve.add_argument("--workers", type=int, default=1,
                        help="worker processes for parallel backends")
@@ -115,6 +119,12 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["lru", "reject"],
                        help="policy when the flow table is full "
                             "(default lru)")
+    serve.add_argument("--batch-max", type=int, default=1,
+                       help="coalesce up to N concurrent count-only "
+                            "scans into one fused pass (1 = off)")
+    serve.add_argument("--batch-wait", type=float, default=0.002,
+                       help="seconds a partial batch waits before "
+                            "flushing (default 0.002)")
     serve.add_argument("--cache", metavar="DIR",
                        help="artifact-cache directory — makes RELOAD of "
                             "a known rule set a warm swap")
@@ -134,10 +144,14 @@ def build_parser() -> argparse.ArgumentParser:
     load.add_argument("--patterns-file",
                       help="file with one pattern per line")
     load.add_argument("--backend", default="auto",
-                      choices=["auto", "serial", "chunked", "pooled",
-                               "streaming", "cellsim"],
+                      choices=["auto", "serial", "chunked", "fused",
+                               "pooled", "streaming", "cellsim"],
                       help="daemon SCAN backend (in-process daemon only)")
     load.add_argument("--workers", type=int, default=1)
+    load.add_argument("--batch-max", type=int, default=1,
+                      help="daemon cross-request batching knob "
+                           "(in-process daemon only; 1 = off)")
+    load.add_argument("--batch-wait", type=float, default=0.002)
     load.add_argument("--connections", type=int, default=4,
                       help="closed-loop client connections (default 4)")
     load.add_argument("--requests", type=int, default=200,
@@ -186,18 +200,20 @@ def _cmd_scan(args) -> int:
 
     backend = None if args.backend == "auto" else args.backend
     matcher = CellStringMatcher(patterns, regex=args.regex)
+    fuse = not args.no_fuse
     try:
         if args.text is not None:
             report = matcher.scan(args.text.encode(),
                                   with_events=args.events,
-                                  workers=args.workers, backend=backend)
+                                  workers=args.workers, backend=backend,
+                                  fuse=fuse)
         elif args.events or backend not in (None, "streaming"):
             # Events and the block-only backends need the bytes in one
             # piece; everything else streams.
             with open(args.input, "rb") as fh:
                 report = matcher.scan(fh.read(), with_events=args.events,
                                       workers=args.workers,
-                                      backend=backend)
+                                      backend=backend, fuse=fuse)
         else:
             # File input flows through the staging ring — the file is
             # never materialized in memory.
@@ -322,7 +338,8 @@ def _cmd_serve(args) -> int:
         workers=args.workers, max_pending=args.max_pending,
         admission=args.admission, request_timeout=args.timeout,
         drain_timeout=args.drain_timeout, max_flows=args.max_flows,
-        session_policy=args.session_eviction)
+        session_policy=args.session_eviction,
+        batch_max=args.batch_max, batch_wait=args.batch_wait)
     service = ScanService(patterns, config=config, regex=args.regex,
                           cache=args.cache)
 
@@ -381,7 +398,8 @@ def _cmd_bench_load(args) -> int:
     else:
         config = ServiceConfig(
             backend=None if args.backend == "auto" else args.backend,
-            workers=args.workers)
+            workers=args.workers, batch_max=args.batch_max,
+            batch_wait=args.batch_wait)
         handle = ServiceThread(ScanService(patterns,
                                            config=config)).start()
         host, port = handle.host, handle.port

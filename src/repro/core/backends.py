@@ -17,6 +17,7 @@ name       strategy                                                 paper
 ========== ======================================================== =======
 serial     reference event walk over every slice DFA                §3
 chunked    in-process speculative fixpoint over the flat table      §4
+fused      stacked multi-slice STT, one pass for every slice        §6
 pooled     sharded process pool + shared STT + incremental repair   §6a
 streaming  double-buffered staging ring, bounded-memory streams     Fig. 5
 cellsim    exact counts + cycle-accounted Cell model (Table 1 v4)   §4/T1
@@ -101,6 +102,10 @@ class ScanRequest:
     file: Optional[Union[str, os.PathLike, IO[bytes]]] = None
     workers: int = 1
     with_events: bool = False
+    #: Allow the planner to pick the fused multi-slice path (the
+    #: ``--no-fuse`` escape hatch sets this to ``False``).  Only
+    #: consulted by auto-planning — an explicit backend name wins.
+    fuse: bool = True
 
     def __post_init__(self) -> None:
         given = sum(x is not None
@@ -138,6 +143,12 @@ class ScanContext:
 
     def weights(self) -> List[np.ndarray]:
         return [w for _, w in self.compiled.tables()]
+
+    def fused(self):
+        """The dictionary's cached
+        :class:`~repro.core.engine.FusedScanner` (stacked multi-slice
+        table, one pass over the input for every slice)."""
+        return self.compiled.fused_scanner()
 
     def sharded(self, workers: int):
         """Cached :class:`~repro.parallel.ShardedScanner` for a worker
@@ -289,6 +300,41 @@ class ChunkedBackend(ScanBackend):
 
 
 @register_backend
+class FusedBackend(ScanBackend):
+    """Fused multi-slice fixpoint: every slice's flat table stacked into
+    one contiguous array with per-DFA cell bases, lanes = slices ×
+    chunks, one strip-mined gather per input position advancing all of
+    them — O(n) input traffic however many DFAs the dictionary was
+    partitioned into, where the chunked path pays O(D·n)."""
+
+    name = "fused"
+    kinds = ("block",)
+    paper_section = "§6 (series tiles, fused onto host lanes)"
+    description = "one pass over the input for every slice (stacked STT)"
+
+    #: Per-DFA speculation granularity, same meaning as the chunked
+    #: backend's (widened to engine.LANES_TARGET on large inputs).
+    chunks = 256
+
+    def scan(self, ctx: ScanContext, request: ScanRequest) -> ScanOutcome:
+        self._require_kind(request)
+        arr = np.frombuffer(request.data, dtype=np.uint8)
+        fs = ctx.fused()
+        total = 0
+        if arr.size:
+            counts, _ = fs.count_arr_per_dfa(arr, self.chunks,
+                                             weights=fs.weights)
+            total = int(counts.sum())
+        return ScanOutcome(
+            total_matches=total,
+            bytes_scanned=arr.size,
+            backend=self.name,
+            stats={"slices": ctx.compiled.num_slices,
+                   "chunks": self.chunks,
+                   "fused_cells": int(fs.flat.size)})
+
+
+@register_backend
 class PooledBackend(ScanBackend):
     """Sharded process pool: shared-memory STT, speculative shard scans,
     incremental cross-shard repair — exact counts at multicore speed."""
@@ -391,7 +437,9 @@ def execute(ctx: ScanContext, request: ScanRequest,
         name = plan_backend(nbytes=nbytes,
                             streaming=request.kind != "block",
                             workers=request.workers,
-                            with_events=request.with_events).backend
+                            with_events=request.with_events,
+                            num_slices=ctx.compiled.num_slices,
+                            fuse=request.fuse).backend
     chosen = get_backend(name)
     if request.with_events and not chosen.supports_events:
         raise BackendError(

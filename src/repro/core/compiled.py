@@ -45,7 +45,8 @@ import numpy as np
 from ..dfa.alphabet import FoldMap, case_fold_32
 from ..dfa.automaton import DFA, DFAError, MatchEvent
 from ..dfa.partition import PartitionedDictionary, partition_patterns
-from .engine import FlatScanner, build_flat_table, build_weight_table
+from .engine import (FlatScanner, FusedScanner, FusedTable,
+                     build_flat_table, build_weight_table, fuse_tables)
 
 __all__ = [
     "CompiledDictionary",
@@ -58,10 +59,14 @@ __all__ = [
 ]
 
 #: Version of the compiled-table layout (flag-encoded flat rows, weight
-#: side table, cache serialization).  Bumping it invalidates every
-#: cached artifact: the cache key contains it, and loaders reject files
-#: whose stored version disagrees.
-TABLE_FORMAT_VERSION = 2
+#: side table, fused stacked table, cache serialization).  Bumping it
+#: invalidates every cached artifact: the cache key contains it, and
+#: loaders reject files whose stored version disagrees.
+#:
+#: v3: multi-slice artifacts persist the fused stacked table (see
+#: :func:`repro.core.engine.fuse_tables`), so a warm service start pays
+#: neither automaton builds *nor* table stacking.
+TABLE_FORMAT_VERSION = 3
 
 #: Compile-work observability.  ``automaton_builds`` counts every
 #: Aho–Corasick construction and regex determinization; the cache
@@ -140,6 +145,8 @@ class CompiledDictionary:
     _tables: Optional[List[Tuple[np.ndarray, np.ndarray]]] = \
         field(default=None, repr=False)
     _scanners: Optional[List[FlatScanner]] = field(default=None, repr=False)
+    _fused: Optional[FusedTable] = field(default=None, repr=False)
+    _fused_scanner: Optional[FusedScanner] = field(default=None, repr=False)
 
     # -- shape --------------------------------------------------------------------
 
@@ -194,6 +201,27 @@ class CompiledDictionary:
                 FlatScanner(flat, 256, dfa.start, dfa.num_states)
                 for (flat, _), dfa in zip(self.tables(), self.dfas)]
         return self._scanners
+
+    def fused_table(self) -> FusedTable:
+        """All slice tables stacked into one :class:`FusedTable` (see
+        :func:`repro.core.engine.fuse_tables`): one contiguous flat
+        array with per-DFA cell bases, so a single gather per input
+        position advances every slice at once.  Derived lazily from
+        :meth:`tables` and cached on the object; multi-slice artifacts
+        loaded from an :class:`ArtifactCache` arrive with it prebuilt.
+        """
+        if self._fused is None:
+            self._fused = fuse_tables(
+                self.tables(),
+                [d.start for d in self.dfas],
+                [d.num_states for d in self.dfas], 256)
+        return self._fused
+
+    def fused_scanner(self) -> FusedScanner:
+        """A :class:`FusedScanner` over :meth:`fused_table`, cached."""
+        if self._fused_scanner is None:
+            self._fused_scanner = FusedScanner(self.fused_table())
+        return self._fused_scanner
 
     # -- reference scanning ---------------------------------------------------------
 
@@ -392,6 +420,15 @@ class ArtifactCache:
                      for p in pats]
             arrays[f"outputs_{i}"] = np.asarray(
                 pairs, dtype=np.int64).reshape(len(pairs), 2)
+        if compiled.num_slices > 1:
+            # Multi-slice artifacts carry the stacked table so a warm
+            # start skips the stacking pass too.  (Per-slice flat tables
+            # stay derived: the fused one covers the hot path and the
+            # slice views read straight out of it.)
+            fused = compiled.fused_table()
+            arrays["fused_flat"] = fused.flat
+            arrays["fused_weights"] = fused.weights
+            arrays["fused_cell_base"] = fused.cell_base
 
         self.directory.mkdir(parents=True, exist_ok=True)
         path = self.path_for(compiled.fingerprint)
@@ -469,6 +506,24 @@ class ArtifactCache:
                     finals=np.nonzero(data[f"final_{i}"])[0],
                     start=int(starts[i]),
                     outputs=outputs))
+            fused = None
+            if "fused_flat" in data.files:
+                fused = FusedTable(
+                    flat=np.ascontiguousarray(data["fused_flat"],
+                                              dtype=np.int32),
+                    weights=np.ascontiguousarray(data["fused_weights"],
+                                                 dtype=np.int32),
+                    cell_base=np.ascontiguousarray(data["fused_cell_base"],
+                                                   dtype=np.int64),
+                    starts=np.asarray([d.start for d in dfas],
+                                      dtype=np.int64),
+                    num_states=np.asarray([d.num_states for d in dfas],
+                                          dtype=np.int64),
+                    symbol_width=256)
+                if (fused.num_dfas != len(dfas)
+                        or fused.flat.size !=
+                        sum(d.num_states for d in dfas) * fused.stride):
+                    raise ValueError("fused table shape mismatch")
         regex = bool(meta["regex"])
         max_states = int(meta["max_states"])
         raw = tuple(patterns)
@@ -481,7 +536,7 @@ class ArtifactCache:
         return CompiledDictionary(
             patterns=raw, fold=fold, regex=regex, max_states=max_states,
             groups=tuple(groups), dfas=tuple(dfas),
-            fingerprint=fingerprint, partition=partition)
+            fingerprint=fingerprint, partition=partition, _fused=fused)
 
     def __repr__(self) -> str:
         return f"ArtifactCache({str(self.directory)!r})"

@@ -169,6 +169,7 @@ class ExecutionPlan:
 
 def plan_backend(nbytes: Optional[int] = None, streaming: bool = False,
                  workers: int = 1, with_events: bool = False,
+                 num_slices: int = 1, fuse: bool = True,
                  serial_byte_ceiling: int = SERIAL_BYTE_CEILING,
                  ) -> ExecutionPlan:
     """Pick a scan backend from the request's shape.
@@ -178,7 +179,11 @@ def plan_backend(nbytes: Optional[int] = None, streaming: bool = False,
     the serial reference walk (the only backend that materialises match
     positions); iterator/file input must flow through the staging ring;
     multiple workers call for the sharded pool; large in-memory counts
-    take the chunked fixpoint, small ones stay serial.
+    take the chunked fixpoint — fused across slices whenever the
+    dictionary was partitioned (``num_slices > 1``), because D slices
+    sharing one pass beat D sequential passes at any size that
+    amortises the fixpoint at all; small inputs stay serial.  ``fuse``
+    is the escape hatch (``repro scan --no-fuse``).
     """
     if with_events:
         return ExecutionPlan(
@@ -191,6 +196,10 @@ def plan_backend(nbytes: Optional[int] = None, streaming: bool = False,
         return ExecutionPlan(
             "pooled", f"{workers} workers amortise the sharded pool")
     if nbytes is not None and nbytes > serial_byte_ceiling:
+        if fuse and num_slices > 1:
+            return ExecutionPlan(
+                "fused", f"{num_slices} slices share one pass over "
+                f"{nbytes} bytes (stacked STT)")
         return ExecutionPlan(
             "chunked", f"{nbytes} bytes amortise the speculative "
             "fixpoint setup")

@@ -25,11 +25,12 @@ generalized across processes and time).
 """
 
 from .ring import StagingRing
-from .shared_stt import SharedSTT, SharedSTTError
+from .shared_stt import SharedFusedTable, SharedSTT, SharedSTTError
 from .sharded import ShardedScanner, ShardedScanError
 
 __all__ = [
     "SharedSTT",
+    "SharedFusedTable",
     "SharedSTTError",
     "ShardedScanner",
     "ShardedScanError",

@@ -38,10 +38,10 @@ from multiprocessing import shared_memory
 
 from ..dfa.alphabet import FoldMap
 from ..dfa.automaton import DFA
-from ..core.engine import (ScanDetail, StreamResult, count_arr,
-                           count_arr_detail, repair_detail)
+from ..core.engine import (FusedTable, ScanDetail, StreamResult,
+                           count_arr, count_arr_detail, repair_detail)
 from .ring import StagingRing
-from .shared_stt import SharedSTT
+from .shared_stt import SharedFusedTable, SharedSTT
 
 __all__ = ["ShardedScanner", "ShardedScanError"]
 
@@ -60,17 +60,36 @@ class ShardedScanError(Exception):
 _WORKER: Dict = {}
 
 
-def _init_worker(metas: List[Dict], ring_names: List[str]) -> None:
-    """Pool initializer: attach every shared artifact exactly once."""
-    stts = [SharedSTT.attach(m) for m in metas]
-    _WORKER["stts"] = stts
-    _WORKER["scanners"] = [stt.scanner() for stt in stts]
+def _init_worker(metas: List[Dict], ring_names: List[str],
+                 fused_meta: Optional[Dict] = None) -> None:
+    """Pool initializer: attach every shared artifact exactly once.
+
+    With ``fused_meta`` the worker attaches one stacked-table segment
+    instead of per-DFA segments; the per-DFA scanner list then holds
+    slice views into the shared stacked table, so every classic task
+    shape keeps working while the fused task scans all DFAs at once.
+    """
+    if fused_meta is not None:
+        fstt = SharedFusedTable.attach(fused_meta)
+        fused = fstt.scanner()
+        _WORKER["artifacts"] = [fstt]
+        _WORKER["fused"] = fused
+        _WORKER["scanners"] = [fused.slice_view(d)
+                               for d in range(fused.num_dfas)]
+        _WORKER["weights"] = [fused.weights] * fused.num_dfas
+        _WORKER["bounds"] = [fstt.input_bound] * fused.num_dfas
+    else:
+        stts = [SharedSTT.attach(m) for m in metas]
+        _WORKER["artifacts"] = stts
+        _WORKER["fused"] = None
+        _WORKER["scanners"] = [stt.scanner() for stt in stts]
+        _WORKER["weights"] = [stt.weights for stt in stts]
+        _WORKER["bounds"] = [stt.input_bound for stt in stts]
     _WORKER["ring"] = [shared_memory.SharedMemory(name=n)
                        for n in ring_names]
 
 
-def _check_symbols(stt: SharedSTT, raw: np.ndarray) -> None:
-    bound = stt.input_bound
+def _check_symbols(bound: Optional[int], raw: np.ndarray) -> None:
     if bound is not None and raw.size and int(raw.max()) >= bound:
         raise ShardedScanError(
             "input contains symbols outside the alphabet and the scanner "
@@ -86,15 +105,33 @@ def _scan_shard(dfa_idx: int, seg_idx: int, lo: int, hi: int,
     into the shared table) and returns the per-segment ledger the host's
     incremental repair runs on.
     """
-    stt = _WORKER["stts"][dfa_idx]
     scanner = _WORKER["scanners"][dfa_idx]
     shm = _WORKER["ring"][seg_idx]
     raw = np.frombuffer(shm.buf, dtype=np.uint8, count=hi - lo, offset=lo)
     try:
-        _check_symbols(stt, raw)
-        weights = stt.weights if weighted else None
+        _check_symbols(_WORKER["bounds"][dfa_idx], raw)
+        weights = _WORKER["weights"][dfa_idx] if weighted else None
         return count_arr_detail(scanner, raw, chunks, entry_state,
                                 weights=weights)
+    finally:
+        raw = None
+
+
+def _scan_shard_fused(seg_idx: int, lo: int, hi: int,
+                      entry_states: Optional[Tuple[int, ...]],
+                      chunks: int, weighted: bool) -> List[ScanDetail]:
+    """One speculative shard scan advancing *every* DFA in one pass over
+    the staged bytes; returns one ledger per DFA for the host's
+    per-chain incremental repair."""
+    fused = _WORKER["fused"]
+    shm = _WORKER["ring"][seg_idx]
+    raw = np.frombuffer(shm.buf, dtype=np.uint8, count=hi - lo, offset=lo)
+    try:
+        _check_symbols(_WORKER["bounds"][0], raw)
+        weights = fused.weights if weighted else None
+        return fused.count_arr_detail_per_dfa(raw, chunks,
+                                              entry_states=entry_states,
+                                              weights=weights)
     finally:
         raw = None
 
@@ -103,18 +140,17 @@ def _scan_streams_shard(dfa_idx: int, shm_name: str, first: int, count: int,
                         length: int, weighted: bool
                         ) -> Tuple[List[int], List[int]]:
     """Lockstep-scan streams ``first .. first+count`` of the staged batch."""
-    stt = _WORKER["stts"][dfa_idx]
     scanner = _WORKER["scanners"][dfa_idx]
     shm = shared_memory.SharedMemory(name=shm_name)
     try:
         raw = np.frombuffer(shm.buf, dtype=np.uint8, count=count * length,
                             offset=first * length)
-        _check_symbols(stt, raw)
+        _check_symbols(_WORKER["bounds"][dfa_idx], raw)
         cols = np.ascontiguousarray(raw.reshape(count, length).T)
         ptrs = np.full(count, scanner.pointer(scanner.start),
                        dtype=np.int32)
         counts = np.zeros(count, dtype=np.int64)
-        weights = stt.weights if weighted else None
+        weights = _WORKER["weights"][dfa_idx] if weighted else None
         fin = scanner.scan_cols(cols, ptrs, counts, weights=weights)
         states = scanner.state_of(fin)
         raw = cols = None
@@ -213,6 +249,14 @@ class ShardedScanner:
         Optional per-DFA pre-built ``(flat, weights)`` pairs (one per
         DFA, same order) placed into the shared segments as-is instead
         of re-encoding each DFA — the compiled-artifact fast path.
+    fused_table:
+        Optional pre-built :class:`~repro.core.engine.FusedTable` (e.g.
+        ``compiled.fused_table()``).  When given, *one* stacked-table
+        segment replaces the per-DFA segments: pool workers attach it
+        once and every shard task advances all DFAs in a single pass
+        over the staged bytes (lanes = DFAs × chunks) instead of one
+        task per DFA per shard.  ``tables`` is ignored in this mode —
+        the per-DFA scanners become slice views into the stacked table.
     """
 
     def __init__(self, dfas: Union[DFA, Sequence[DFA]],
@@ -224,7 +268,8 @@ class ShardedScanner:
                  ring_bytes: int = DEFAULT_RING_BYTES,
                  ring_depth: int = 2,
                  start_method: Optional[str] = None,
-                 tables: Optional[Sequence[tuple]] = None) -> None:
+                 tables: Optional[Sequence[tuple]] = None,
+                 fused_table: Optional[FusedTable] = None) -> None:
         if isinstance(dfas, DFA):
             dfas = [dfas]
         if not dfas:
@@ -232,6 +277,10 @@ class ShardedScanner:
         if tables is not None and len(tables) != len(dfas):
             raise ShardedScanError(
                 f"{len(tables)} table pairs for {len(dfas)} DFAs")
+        if fused_table is not None and fused_table.num_dfas != len(dfas):
+            raise ShardedScanError(
+                f"fused table stacks {fused_table.num_dfas} DFAs, "
+                f"got {len(dfas)}")
         alphabet = dfas[0].alphabet_size
         if any(d.alphabet_size != alphabet for d in dfas):
             raise ShardedScanError("DFAs must share one alphabet")
@@ -253,44 +302,74 @@ class ShardedScanner:
         #: buffers cycled, tasks dispatched, shards repaired) — used by
         #: the benchmarks and the streaming entry points.
         self.last_scan_stats: Dict[str, int] = {}
+        self._num_dfas = len(dfas)
         self._stts: List[SharedSTT] = []
+        self._fused_stt: Optional[SharedFusedTable] = None
+        self._fused = None
         self._scanners: List = []
+        self._weight_tables: List = []
         self._ring: Optional[StagingRing] = None
         self._pool = None
+        self._closed = False
         try:
-            self._stts = [
-                SharedSTT(d, fold=fold,
-                          tables=tables[i] if tables is not None else None)
-                for i, d in enumerate(dfas)]
-            self._scanners = [stt.scanner() for stt in self._stts]
+            if fused_table is not None:
+                self._fused_stt = SharedFusedTable(fused_table)
+                self._fused = self._fused_stt.scanner()
+                self._scanners = [self._fused.slice_view(d)
+                                  for d in range(self._num_dfas)]
+                self._weight_tables = [self._fused.weights] * \
+                    self._num_dfas
+                metas: List[Dict] = []
+                fused_meta = self._fused_stt.meta()
+            else:
+                self._stts = [
+                    SharedSTT(d, fold=fold,
+                              tables=tables[i] if tables is not None
+                              else None)
+                    for i, d in enumerate(dfas)]
+                self._scanners = [stt.scanner() for stt in self._stts]
+                self._weight_tables = [stt.weights for stt in self._stts]
+                metas = [stt.meta() for stt in self._stts]
+                fused_meta = None
             if self.workers > 1:
                 self._ring = StagingRing(int(ring_bytes), int(ring_depth))
                 ctx = mp.get_context(start_method)
                 self._pool = ctx.Pool(
                     self.workers, initializer=_init_worker,
-                    initargs=([stt.meta() for stt in self._stts],
-                              self._ring.names))
+                    initargs=(metas, self._ring.names, fused_meta))
         except BaseException:
             self.close()
             raise
 
     @classmethod
     def from_compiled(cls, compiled, workers: Optional[int] = None,
-                      **kwargs) -> "ShardedScanner":
+                      fuse: bool = True, **kwargs) -> "ShardedScanner":
         """A scanner over a :class:`~repro.core.compiled.CompiledDictionary`.
 
         Reuses the artifact's fold-composed flat tables and weight
         tables verbatim (no re-encoding) and counts with the
-        dictionary's event semantics (``weighted=True``).
+        dictionary's event semantics (``weighted=True``).  Multi-slice
+        dictionaries share one stacked-table segment by default
+        (``fuse=False`` restores one segment and one task chain per
+        slice).
         """
         kwargs.setdefault("weighted", True)
-        kwargs.setdefault("tables", compiled.tables())
+        if fuse and compiled.num_slices > 1 \
+                and "fused_table" not in kwargs:
+            kwargs["fused_table"] = compiled.fused_table()
+        if kwargs.get("fused_table") is None:
+            kwargs.setdefault("tables", compiled.tables())
         return cls(list(compiled.dfas), workers=workers,
                    fold=compiled.fold, **kwargs)
 
     @property
     def num_dfas(self) -> int:
-        return len(self._stts)
+        return self._num_dfas
+
+    @property
+    def fused(self) -> bool:
+        """Whether this scanner runs on one stacked multi-DFA table."""
+        return self._fused is not None
 
     # -- block scanning -----------------------------------------------------------
 
@@ -365,7 +444,8 @@ class ShardedScanner:
 
     def _count_local(self, chunks: Iterable) -> List[int]:
         """Serial scan with carried DFA states — the workers=1 and
-        small-input path, streaming-capable."""
+        small-input path, streaming-capable.  With a stacked table every
+        DFA advances in one pass per chunk."""
         totals = [0] * self.num_dfas
         carry = [sc.start for sc in self._scanners]
         nbytes = 0
@@ -374,12 +454,21 @@ class ShardedScanner:
             if arr.size == 0:
                 continue
             nbytes += arr.size
-            for d, (stt, scanner) in enumerate(
-                    zip(self._stts, self._scanners)):
-                weights = stt.weights if self.weighted else None
-                cnt, carry[d] = count_arr(scanner, arr, self.chunks,
-                                          carry[d], weights=weights)
-                totals[d] += cnt
+            if self._fused is not None:
+                weights = self._fused.weights if self.weighted else None
+                counts, states = self._fused.count_arr_per_dfa(
+                    arr, self.chunks, entry_states=carry,
+                    weights=weights)
+                for d in range(self.num_dfas):
+                    totals[d] += int(counts[d])
+                    carry[d] = int(states[d])
+            else:
+                for d, scanner in enumerate(self._scanners):
+                    weights = self._weight_tables[d] if self.weighted \
+                        else None
+                    cnt, carry[d] = count_arr(scanner, arr, self.chunks,
+                                              carry[d], weights=weights)
+                    totals[d] += cnt
         self.last_scan_stats = {"bytes": nbytes, "buffers": 0, "tasks": 0,
                                 "repaired_shards": 0}
         return totals
@@ -408,7 +497,7 @@ class ShardedScanner:
             pending.append((seg, bounds, jobs))
             stats["bytes"] += n
             stats["buffers"] += 1
-            stats["tasks"] += self.num_dfas * (len(bounds) - 1)
+            stats["tasks"] += sum(len(row) for row in jobs)
             seg = (seg + 1) % ring.depth
         while pending:
             self._collect(pending.popleft(), carry, totals, stats)
@@ -416,13 +505,24 @@ class ShardedScanner:
         return totals
 
     def _dispatch(self, seg: int, n: int, carry: List[int]):
-        """One task per worker per DFA per buffer.  Shard 0 is entered
-        from the latest *known* carry state (exact if this buffer was
-        dispatched after its predecessor drained, speculative when the
-        predecessor is still in flight); inner shards guess the start
-        state, as convergent security DFAs overwhelmingly reach it."""
+        """One task per worker per buffer (fused: all DFAs per task;
+        classic: one task chain per DFA).  Shard 0 is entered from the
+        latest *known* carry state (exact if this buffer was dispatched
+        after its predecessor drained, speculative when the predecessor
+        is still in flight); inner shards guess the start state, as
+        convergent security DFAs overwhelmingly reach it."""
         shards = min(self.workers, n)
         bounds = np.linspace(0, n, shards + 1).astype(np.int64)
+        if self._fused is not None:
+            jobs = [[
+                self._pool.apply_async(
+                    _scan_shard_fused,
+                    (seg, int(bounds[i]), int(bounds[i + 1]),
+                     tuple(carry) if i == 0 else None, self.chunks,
+                     self.weighted))
+                for i in range(shards)
+            ]]
+            return jobs, bounds
         jobs = []
         for d in range(self.num_dfas):
             start = self._scanners[d].start
@@ -444,10 +544,15 @@ class ShardedScanner:
         # Drain every task before touching any shared-table view: a
         # worker exception propagates with this frame in its traceback,
         # and a bound view would then block the segment unmap in close().
-        details = [[job.get() for job in row] for row in jobs]
+        if self._fused is not None:
+            per_shard = [job.get() for job in jobs[0]]
+            details = [[shard[d] for shard in per_shard]
+                       for d in range(self.num_dfas)]
+        else:
+            details = [[job.get() for job in row] for row in jobs]
         for d in range(self.num_dfas):
-            stt, scanner = self._stts[d], self._scanners[d]
-            weights = stt.weights if self.weighted else None
+            scanner = self._scanners[d]
+            weights = self._weight_tables[d] if self.weighted else None
             state = carry[d]
             for i, detail in enumerate(details[d]):
                 if state == detail.entry_state:
@@ -458,7 +563,8 @@ class ShardedScanner:
                     arr = self._ring.array(seg, hi - lo, offset=lo)
                     try:
                         cnt, state = repair_detail(
-                            scanner, arr, detail, state, weights=weights)
+                            scanner, arr, detail, state, self.chunks,
+                            weights=weights)
                     finally:
                         arr = None
                     totals[d] += cnt
@@ -522,27 +628,28 @@ class ShardedScanner:
 
     def _run_streams_local(self, streams: Sequence[bytes],
                            length: int) -> StreamResult:
-        stt, scanner = self._stts[0], self._scanners[0]
+        scanner = self._scanners[0]
         n = len(streams)
         cols = np.empty((length, n), dtype=np.uint8)
         for i, s in enumerate(streams):
             cols[:, i] = self._as_symbols(s)
         ptrs = np.full(n, scanner.pointer(scanner.start), dtype=np.int32)
         counts = np.zeros(n, dtype=np.int64)
-        weights = stt.weights if self.weighted else None
+        weights = self._weight_tables[0] if self.weighted else None
         fin = scanner.scan_cols(cols, ptrs, counts, weights=weights)
         return StreamResult(counts, scanner.state_of(fin).astype(np.int32))
 
     # -- lifetime -----------------------------------------------------------------
 
     def _check_open(self) -> None:
-        if not self._stts:
+        if self._closed or not self._scanners:
             raise ShardedScanError("scanner is closed")
 
     def close(self) -> None:
         """Shut the pool down gracefully and release every shared
         segment.  Idempotent; segments are unlinked even if the pool
         teardown raises, so nothing can leak."""
+        self._closed = True
         pool, self._pool = self._pool, None
         try:
             if pool is not None:
@@ -552,9 +659,14 @@ class ShardedScanner:
             # Scanners alias the shared segments; drop them before
             # closing, or the memoryview export blocks the unmap.
             self._scanners = []
+            self._weight_tables = []
+            self._fused = None
             stts, self._stts = self._stts, []
             for stt in stts:
                 stt.close()
+            fstt, self._fused_stt = self._fused_stt, None
+            if fstt is not None:
+                fstt.close()
             ring, self._ring = self._ring, None
             if ring is not None:
                 ring.close()

@@ -26,9 +26,10 @@ from multiprocessing import shared_memory
 
 from ..dfa.alphabet import FoldMap
 from ..dfa.automaton import DFA
-from ..core.engine import FlatScanner, build_flat_table, build_weight_table
+from ..core.engine import (FlatScanner, FusedScanner, FusedTable,
+                           build_flat_table, build_weight_table)
 
-__all__ = ["SharedSTT", "SharedSTTError"]
+__all__ = ["SharedSTT", "SharedFusedTable", "SharedSTTError"]
 
 
 class SharedSTTError(Exception):
@@ -216,5 +217,136 @@ class SharedSTT:
     def __repr__(self) -> str:
         return (f"SharedSTT(states={self.num_states}, "
                 f"alphabet={self.alphabet_size}, "
+                f"bytes={self._shm.size if self._shm else 0}, "
+                f"owner={self._owner})")
+
+
+class SharedFusedTable:
+    """A fused multi-DFA stacked table (see
+    :func:`repro.core.engine.fuse_tables`) in one shared segment.
+
+    The multi-slice analogue of :class:`SharedSTT`: the stacked flat
+    table, the stacked weight table and the per-DFA base/start/size
+    vectors live in a single ``shared_memory`` block, so a pool worker
+    attaches *one* segment and scans every dictionary slice in one pass
+    — instead of attaching D segments and making D passes.
+    """
+
+    def __init__(self, table: FusedTable) -> None:
+        flat = np.ascontiguousarray(table.flat, dtype=np.int32)
+        weights = np.ascontiguousarray(table.weights, dtype=np.int32)
+        cell_base = np.ascontiguousarray(table.cell_base, dtype=np.int64)
+        starts = np.ascontiguousarray(table.starts, dtype=np.int64)
+        num_states = np.ascontiguousarray(table.num_states,
+                                          dtype=np.int64)
+        off_flat = 0
+        off_weights = _align(off_flat + flat.nbytes)
+        off_base = _align(off_weights + weights.nbytes)
+        off_starts = _align(off_base + cell_base.nbytes)
+        off_nstates = _align(off_starts + starts.nbytes)
+        size = off_nstates + num_states.nbytes
+
+        self._shm = shared_memory.SharedMemory(create=True, size=size)
+        self._owner = True
+        self._meta: Dict = {
+            "name": self._shm.name,
+            "num_dfas": int(len(cell_base)),
+            "symbol_width": int(table.symbol_width),
+            "off_flat": off_flat,
+            "flat_cells": int(flat.size),
+            "off_weights": off_weights,
+            "weight_cells": int(weights.size),
+            "off_base": off_base,
+            "off_starts": off_starts,
+            "off_nstates": off_nstates,
+        }
+        self._map_views()
+        self.table.flat[:] = flat
+        self.table.weights[:] = weights
+        self.table.cell_base[:] = cell_base
+        self.table.starts[:] = starts
+        self.table.num_states[:] = num_states
+
+    @classmethod
+    def attach(cls, meta: Dict) -> "SharedFusedTable":
+        """Attach to an existing fused artifact (worker side, zero-copy;
+        the attacher never unlinks)."""
+        self = cls.__new__(cls)
+        self._shm = shared_memory.SharedMemory(name=meta["name"])
+        self._owner = False
+        self._meta = dict(meta)
+        self._map_views()
+        return self
+
+    def _map_views(self) -> None:
+        m = self._meta
+        buf = self._shm.buf
+        ndfa = m["num_dfas"]
+        self.num_dfas = ndfa
+        self.symbol_width = m["symbol_width"]
+        self.table = FusedTable(
+            flat=np.frombuffer(buf, dtype=np.int32,
+                               count=m["flat_cells"],
+                               offset=m["off_flat"]),
+            weights=np.frombuffer(buf, dtype=np.int32,
+                                  count=m["weight_cells"],
+                                  offset=m["off_weights"]),
+            cell_base=np.frombuffer(buf, dtype=np.int64, count=ndfa,
+                                    offset=m["off_base"]),
+            starts=np.frombuffer(buf, dtype=np.int64, count=ndfa,
+                                 offset=m["off_starts"]),
+            num_states=np.frombuffer(buf, dtype=np.int64, count=ndfa,
+                                     offset=m["off_nstates"]),
+            symbol_width=m["symbol_width"])
+
+    # -- use ----------------------------------------------------------------------
+
+    def meta(self) -> Dict:
+        """Picklable attachment recipe for workers."""
+        return dict(self._meta)
+
+    def scanner(self) -> FusedScanner:
+        """A :class:`FusedScanner` running directly on the shared table."""
+        return FusedScanner(self.table)
+
+    @property
+    def input_bound(self) -> Optional[int]:
+        if self.symbol_width == 256:
+            return None
+        return self.symbol_width
+
+    @property
+    def size_bytes(self) -> int:
+        return self._shm.size
+
+    # -- lifetime -----------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release this process's mapping; unlink too if we created it."""
+        if self._shm is None:
+            return
+        self.table = None
+        self._shm.close()
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:
+                pass
+        self._shm = None
+
+    def __enter__(self) -> "SharedFusedTable":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:
+        return (f"SharedFusedTable(dfas={self.num_dfas}, "
                 f"bytes={self._shm.size if self._shm else 0}, "
                 f"owner={self._owner})")

@@ -27,6 +27,16 @@ the NIDS stance) or queues the request up to ``request_timeout``
 seconds (``admission="wait"``, the batch stance).  **Graceful drain**:
 shutdown stops accepting, lets in-flight requests finish (bounded by
 ``drain_timeout``), then closes connections and releases pools.
+
+**Cross-request batching**: with ``batch_max > 1`` the daemon coalesces
+concurrently queued count-only ``SCAN`` requests into one fused
+:meth:`~repro.core.engine.FusedScanner.run_streams` call — the paper's
+16-interleaved-streams trick applied across clients instead of within
+one buffer.  A batch flushes when ``batch_max`` requests are queued or
+``batch_wait`` seconds after the first one arrived, whichever comes
+first; each request still gets its own admission slot, response header
+and per-request metrics, plus batch-occupancy counters under
+``STATS.metrics.batches``.
 """
 
 from __future__ import annotations
@@ -79,6 +89,12 @@ class ServiceConfig:
     #: Cap on match events returned per SCAN response.
     max_events: int = 1000
     max_frame_bytes: int = MAX_FRAME_BYTES
+    #: Cross-request micro-batching: coalesce up to this many
+    #: concurrently queued count-only SCANs into one fused
+    #: ``run_streams`` call (1 = disabled).
+    batch_max: int = 1
+    #: Seconds a partial batch waits for company before flushing.
+    batch_wait: float = 0.002
 
     def validate(self) -> None:
         if self.admission not in ("reject", "wait"):
@@ -91,6 +107,83 @@ class ServiceConfig:
             raise ValueError("scan_threads must be positive")
         if self.workers < 1:
             raise ValueError("workers must be positive")
+        if self.batch_max < 1:
+            raise ValueError("batch_max must be positive")
+        if self.batch_wait < 0:
+            raise ValueError("batch_wait must be non-negative")
+
+
+class _ScanBatcher:
+    """Coalesce concurrently queued SCAN payloads into one fused
+    multi-stream scan.
+
+    All state lives on the event loop (no locks): ``submit`` appends the
+    payload and either flushes a full batch immediately or arms a
+    ``batch_wait`` timer on the first member.  A flush takes one
+    registry lease and runs the whole batch as interleaved lanes of a
+    single :meth:`FusedScanner.run_streams` call on the scan pool;
+    per-request totals come back by summing each stream's column across
+    the DFA axis, so the counts are bit-identical to scanning each
+    payload alone.
+    """
+
+    def __init__(self, service: "ScanService") -> None:
+        self._service = service
+        self._max = service.config.batch_max
+        self._wait = service.config.batch_wait
+        self._items: list = []          # (payload, future) pairs
+        self._timer: Optional[asyncio.TimerHandle] = None
+
+    def submit(self, payload: bytes) -> "asyncio.Future":
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
+        self._items.append((payload, future))
+        if len(self._items) >= self._max:
+            self.flush()
+        elif self._timer is None:
+            self._timer = loop.call_later(self._wait, self.flush)
+        return future
+
+    def flush(self) -> None:
+        """Launch the queued batch now (idempotent when empty)."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        items, self._items = self._items, []
+        if items:
+            asyncio.get_running_loop().create_task(self._run(items))
+
+    @staticmethod
+    def _scan(ctx, payloads):
+        scanner = ctx.fused()
+        counts, _ = scanner.run_streams(payloads,
+                                        weights=scanner.weights)
+        return counts.sum(axis=0)       # per-stream totals over DFAs
+
+    async def _run(self, items) -> None:
+        service = self._service
+        payloads = [payload for payload, _ in items]
+        loop = asyncio.get_running_loop()
+        try:
+            with service.registry.lease() as gen:
+                t0 = time.perf_counter()
+                totals = await loop.run_in_executor(
+                    service._scan_pool,
+                    partial(self._scan, gen.ctx, payloads))
+                seconds = time.perf_counter() - t0
+                service.metrics.record_batch(len(items))
+                for (_, future), matches in zip(items, totals):
+                    if not future.done():
+                        future.set_result({
+                            "generation": gen.gen_id,
+                            "matches": int(matches),
+                            "seconds": seconds,
+                            "batch_size": len(items),
+                        })
+        except Exception as exc:
+            for _, future in items:
+                if not future.done():
+                    future.set_exception(exc)
 
 
 class ScanService:
@@ -122,6 +215,7 @@ class ScanService:
         self._draining = False
         self._cond: Optional[asyncio.Condition] = None
         self._stopped: Optional[asyncio.Event] = None
+        self._batcher: Optional[_ScanBatcher] = None
         self._verbs = {
             "PING": self._verb_ping,
             "SCAN": self._verb_scan,
@@ -139,6 +233,8 @@ class ScanService:
         (``self.port`` then holds the real port, even for port 0)."""
         self._cond = asyncio.Condition()
         self._stopped = asyncio.Event()
+        if self.config.batch_max > 1:
+            self._batcher = _ScanBatcher(self)
         self._scan_pool = ThreadPoolExecutor(
             max_workers=self.config.scan_threads,
             thread_name_prefix="repro-scan")
@@ -167,6 +263,8 @@ class ScanService:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        if self._batcher is not None:
+            self._batcher.flush()   # don't leave admitted scans queued
         try:
             await asyncio.wait_for(self._wait_drained(),
                                    timeout=self.config.drain_timeout)
@@ -312,14 +410,18 @@ class ScanService:
                  "generation": self.registry.generation}, b"")
 
     async def _verb_scan(self, rid, frame: Frame) -> Tuple[Dict, bytes]:
+        backend = frame.header.get("backend") or self.config.backend
+        with_events = bool(frame.header.get("events"))
+        workers = int(frame.header.get("workers")
+                      or self.config.workers)
+        if (self._batcher is not None and not with_events
+                and workers == 1
+                and backend in (None, "auto", "fused")):
+            return await self._scan_batched(rid, frame)
         admission = await self._admit(rid)
         if admission is not None:
             return admission
         try:
-            backend = frame.header.get("backend") or self.config.backend
-            with_events = bool(frame.header.get("events"))
-            workers = int(frame.header.get("workers")
-                          or self.config.workers)
             request = ScanRequest(data=frame.payload, workers=workers,
                                   with_events=with_events)
             loop = asyncio.get_running_loop()
@@ -347,6 +449,30 @@ class ScanService:
                         header["events_truncated"] = \
                             len(outcome.events) - cap
                 return header, b""
+        finally:
+            await self._release_slot()
+
+    async def _scan_batched(self, rid,
+                            frame: Frame) -> Tuple[Dict, bytes]:
+        """Count-only SCAN via the cross-request batcher: the request
+        holds its admission slot while queued, so concurrent clients
+        inside the wait window ride the same fused pass."""
+        admission = await self._admit(rid)
+        if admission is not None:
+            return admission
+        try:
+            result = await self._batcher.submit(frame.payload)
+            self.metrics.record_scan(
+                "batch", result["seconds"], len(frame.payload),
+                result["matches"])
+            return ({"id": rid, "ok": True,
+                     "generation": result["generation"],
+                     "matches": result["matches"],
+                     "bytes": len(frame.payload),
+                     "backend": "batch",
+                     "workers": 1,
+                     "seconds": result["seconds"],
+                     "batch_size": result["batch_size"]}, b"")
         finally:
             await self._release_slot()
 
@@ -423,6 +549,8 @@ class ScanService:
                      "admission": self.config.admission,
                      "max_flows": self.config.max_flows,
                      "session_policy": self.config.session_policy,
+                     "batch_max": self.config.batch_max,
+                     "batch_wait": self.config.batch_wait,
                  }}, b"")
 
     async def _verb_shutdown(self, rid,

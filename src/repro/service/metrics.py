@@ -114,6 +114,9 @@ class ServiceMetrics:
         self.flow_evictions = 0
         self.queue_depth = 0
         self.queue_high_water = 0
+        self.batches = 0
+        self.batched_requests = 0
+        self.batch_high_water = 0
 
     # -- recording -----------------------------------------------------------------
 
@@ -150,6 +153,15 @@ class ServiceMetrics:
             if warm:
                 self.warm_reloads += 1
             self._swap.record(seconds)
+
+    def record_batch(self, occupancy: int) -> None:
+        """One coalesced scan batch of ``occupancy`` requests executed
+        (one fused ``run_streams`` call served them all)."""
+        with self._lock:
+            self.batches += 1
+            self.batched_requests += occupancy
+            if occupancy > self.batch_high_water:
+                self.batch_high_water = occupancy
 
     def record_flow_evictions(self, count: int) -> None:
         if count:
@@ -188,6 +200,13 @@ class ServiceMetrics:
                     "swap_latency": self._swap.snapshot(),
                 },
                 "flow_evictions": self.flow_evictions,
+                "batches": {
+                    "count": self.batches,
+                    "requests": self.batched_requests,
+                    "mean_occupancy": (self.batched_requests / self.batches
+                                       if self.batches else 0.0),
+                    "max_occupancy": self.batch_high_water,
+                },
                 "backends": {name: hist.snapshot()
                              for name, hist in self._backends.items()},
             }

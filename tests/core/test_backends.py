@@ -15,7 +15,7 @@ from repro.core.planner import SERIAL_BYTE_CEILING, plan_backend
 from repro.dfa.alphabet import case_fold_32
 
 
-HOST_BACKENDS = ["serial", "chunked", "pooled", "streaming"]
+HOST_BACKENDS = ["serial", "chunked", "fused", "pooled", "streaming"]
 
 
 @pytest.fixture(scope="module")

@@ -43,9 +43,15 @@ class TestRunStreams:
         assert res.total == 0
         assert (res.final_states == engine.dfa.start).all()
 
-    def test_ragged_rejected(self, engine):
-        with pytest.raises(DFAError):
-            engine.run_streams([b"\x01", b"\x01\x02"])
+    def test_ragged_streams_lockstep(self, engine):
+        # Ragged lengths are legal: lanes retire as streams end.
+        streams = [bytes([1]), bytes([1, 2, 3]), b"",
+                   plant_matches(random_payload(97, seed=9), PATTERNS,
+                                 4, seed=9)]
+        res = engine.run_streams(streams)
+        assert res.counts.tolist() == \
+            [engine.dfa.count_matches(s) for s in streams]
+        assert res.final_states[2] == engine.dfa.start
 
     def test_out_of_alphabet_rejected(self, engine):
         with pytest.raises(DFAError, match="fold"):

@@ -7,7 +7,8 @@ import numpy as np
 import pytest
 
 from repro.core.engine import (LANES_TARGET, MIN_PIECE, VectorDFAEngine,
-                               count_arr, count_arr_detail, repair_detail)
+                               build_weight_table, count_arr,
+                               count_arr_detail, repair_detail)
 from repro.dfa.aho_corasick import AhoCorasick
 from repro.dfa.alphabet import case_fold_32
 from repro.dfa.automaton import DFAError
@@ -69,9 +70,71 @@ class TestEngineEdges:
         detail = count_arr_detail(eng.scanner, arr, 16, eng.dfa.start)
         wrong_entry = eng.dfa.num_states - 1
         cnt, exit_state = repair_detail(eng.scanner, arr, detail,
-                                        wrong_entry)
+                                        wrong_entry, 16)
         ref_cnt, ref_exit = count_arr(eng.scanner, arr, 1, wrong_entry)
         assert (cnt, exit_state) == (ref_cnt, ref_exit)
+
+
+class TestRunStreamsEdges:
+    """Ragged multi-stream lockstep, locked against one-stream-at-a-
+    time serial scans."""
+
+    def _reference(self, eng, streams, start_states=None, weights=None):
+        counts, finals = [], []
+        for j, s in enumerate(streams):
+            arr = np.frombuffer(s, dtype=np.uint8)
+            entry = eng.start if start_states is None \
+                else int(start_states[j])
+            if arr.size == 0:
+                counts.append(0)
+                finals.append(entry)
+                continue
+            c, x = count_arr(eng.scanner, arr, 1, entry,
+                             weights=weights)
+            counts.append(c)
+            finals.append(x)
+        return counts, finals
+
+    def test_empty_stream_list_rejected(self):
+        eng = VectorDFAEngine(_dfa())
+        with pytest.raises(DFAError, match="at least one"):
+            eng.run_streams([])
+
+    def test_zero_length_streams_mixed_with_long(self):
+        eng = VectorDFAEngine(_dfa())
+        streams = [b"", FOLD.fold_bytes(_corpus(997)), b"",
+                   FOLD.fold_bytes(_corpus(3)), b"",
+                   FOLD.fold_bytes(_corpus(4096))]
+        result = eng.run_streams(streams)
+        want_c, want_x = self._reference(eng, streams)
+        assert list(result.counts) == want_c
+        assert list(result.final_states) == want_x
+
+    def test_all_zero_length_streams(self):
+        eng = VectorDFAEngine(_dfa())
+        result = eng.run_streams([b"", b"", b""])
+        assert not result.counts.any()
+        assert (result.final_states == eng.start).all()
+
+    def test_weights_and_start_states_combined(self):
+        eng = VectorDFAEngine(_dfa())
+        weights = build_weight_table(eng.dfa)
+        streams = [FOLD.fold_bytes(_corpus(n))
+                   for n in (0, 5, 129, 64, 1023, 1)]
+        starts = np.arange(len(streams)) % eng.dfa.num_states
+        result = eng.run_streams(streams, start_states=starts,
+                                 weights=weights)
+        want_c, want_x = self._reference(eng, streams,
+                                         start_states=starts,
+                                         weights=weights)
+        assert list(result.counts) == want_c
+        assert list(result.final_states) == want_x
+
+    def test_start_state_out_of_range_rejected(self):
+        eng = VectorDFAEngine(_dfa())
+        bad = np.array([0, eng.dfa.num_states])
+        with pytest.raises(DFAError, match="range"):
+            eng.run_streams([b"", b""], start_states=bad)
 
 
 class TestShardedEdges:
