@@ -4,9 +4,13 @@ The dictionary is held at a fixed total size while ``max_states``
 partitions it into D ∈ {1, 2, 4, 8} slices; the per-DFA baseline scans
 the block once per slice (D passes, D × input traffic) and the fused
 path advances all D slices in a single strip-mined pass over a
-D × chunks lane grid.  Counts are asserted bit-identical, throughput
-lands in ``BENCH_fused.json``, and the D=4 speedup is the PR's
-acceptance bar.
+D × chunks lane grid.  The hot/cold union path then scans the same
+block through the cache-resident table (one gather per byte at any D —
+the production whole-dictionary counting path).  Counts are asserted
+bit-identical, throughput plus cache-footprint columns (table bytes,
+hot-set size, hot-hit rate) land in ``BENCH_fused.json``, the D=4
+fused speedup and the hot/cold no-per-D-collapse floor are the
+acceptance bars.
 
 Environment knobs:
 
@@ -14,6 +18,9 @@ Environment knobs:
 * ``REPRO_BENCH_BLOCK_MB``      — block size in MB (default 8).
 * ``REPRO_BENCH_FUSED_MIN``     — D=4 speedup floor (default 1.5,
   waived in smoke mode where timing noise dominates).
+* ``REPRO_BENCH_HOTCOLD_FLOOR`` — hot/cold MB/s at every D must stay
+  above this fraction of its D=1 value (default 0.7 — "flat or
+  rising", with timing-noise headroom; waived in smoke mode).
 """
 
 import os
@@ -23,7 +30,8 @@ import numpy as np
 
 from repro.analysis import ascii_table
 from repro.core.compiled import compile_dictionary
-from repro.core.engine import FlatScanner, count_arr
+from repro.core.engine import (FlatScanner, HOTCOLD_LANES_TARGET,
+                               count_arr)
 from repro.dfa.alphabet import identity_fold
 from repro.workloads import plant_matches, random_payload, \
     random_signatures
@@ -33,6 +41,8 @@ BLOCK_MB = float(os.environ.get("REPRO_BENCH_BLOCK_MB",
                                 "1" if SMOKE else "8"))
 MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_FUSED_MIN",
                                    "0" if SMOKE else "1.5"))
+HOTCOLD_FLOOR = float(os.environ.get("REPRO_BENCH_HOTCOLD_FLOOR",
+                                     "0" if SMOKE else "0.7"))
 CHUNKS = 256
 REPEATS = 2 if SMOKE else 3
 
@@ -83,6 +93,7 @@ def test_fused_vs_per_dfa_sweep(report, report_json):
                   f"{target} slices — row dropped")
             continue
         fused = compiled.fused_scanner()
+        hot_cold = compiled.hot_cold_scanner()
         scanners = [FlatScanner(flat, 256, dfa.start, dfa.num_states)
                     for dfa, (flat, _) in zip(compiled.dfas,
                                               compiled.tables())]
@@ -94,13 +105,29 @@ def test_fused_vs_per_dfa_sweep(report, report_json):
         def fused_pass():
             return fused.count_arr_per_dfa(arr, CHUNKS)[0]
 
-        per_dfa_pass()                       # warm both paths
+        def hotcold_pass():
+            # The production whole-dictionary counting path: one union
+            # accumulator, one gather per byte at any D.
+            return count_arr(hot_cold, arr, CHUNKS, hot_cold.start,
+                             weights=hot_cold.weights,
+                             lanes_target=HOTCOLD_LANES_TARGET)[0]
+
+        per_dfa_pass()                       # warm all three paths
         fused_pass()
+        hotcold_pass()
         serial_s, serial_counts = _best(per_dfa_pass)
         fused_s, fused_counts = _best(fused_pass)
+        hot_cold.reset_stats()
+        hotcold_s, hotcold_total = _best(hotcold_pass)
         assert np.array_equal(fused_counts, serial_counts), \
             f"fused diverged at D={target}"
+        weighted_ref = fused.count_arr_per_dfa(arr, CHUNKS,
+                                               weights=fused.weights)[0]
+        assert int(hotcold_total) == int(weighted_ref.sum()), \
+            f"hot/cold diverged at D={target}: {hotcold_total} != " \
+            f"{int(weighted_ref.sum())}"
 
+        table = compiled.hot_cold_table()
         speedup = serial_s / fused_s if fused_s else float("inf")
         results[target] = {
             "slices": target,
@@ -108,17 +135,29 @@ def test_fused_vs_per_dfa_sweep(report, report_json):
             "matches": int(fused_counts.sum()),
             "per_dfa_seconds": round(serial_s, 5),
             "fused_seconds": round(fused_s, 5),
+            "hotcold_seconds": round(hotcold_s, 5),
             "per_dfa_mb_per_s": round(nbytes / serial_s / 1e6, 2),
             "fused_mb_per_s": round(nbytes / fused_s / 1e6, 2),
+            "hotcold_mb_per_s": round(nbytes / hotcold_s / 1e6, 2),
             "speedup": round(speedup, 3),
+            "union_states": table.num_states,
+            "hot_states": table.num_hot,
+            "table_bytes": table.table_bytes,
+            "fused_table_bytes": compiled.fused_table_bytes,
+            "hot_hit_rate": round(hot_cold.hot_hit_rate, 6),
         }
         rows.append([target, compiled.total_states,
                      f"{nbytes / serial_s / 1e6:.0f}",
                      f"{nbytes / fused_s / 1e6:.0f}",
+                     f"{nbytes / hotcold_s / 1e6:.0f}",
+                     f"{table.table_bytes // 1024}K",
+                     f"{table.num_hot}/{table.num_states}",
+                     f"{hot_cold.hot_hit_rate:.4f}",
                      f"{speedup:.2f}x"])
 
     text = ascii_table(
-        ["slices", "states", "per-DFA MB/s", "fused MB/s", "speedup"],
+        ["slices", "states", "per-DFA MB/s", "fused MB/s",
+         "hot/cold MB/s", "hc table", "hot set", "hot hit", "speedup"],
         rows,
         title=f"Lane-dimension fusion, {BLOCK_MB:.0f} MB block, "
               f"{len(PATTERNS)} patterns, chunks={CHUNKS}")
@@ -139,3 +178,13 @@ def test_fused_vs_per_dfa_sweep(report, report_json):
         assert results[4]["speedup"] >= MIN_SPEEDUP, \
             f"fused {results[4]['speedup']}x at D=4, " \
             f"needs >= {MIN_SPEEDUP}x"
+    # The hot/cold union scan must not collapse with the partition
+    # count — its table is one union automaton whatever D is, so the
+    # D-sweep curve must stay flat (floor = fraction of the D=1 rate,
+    # absorbing timing noise).
+    if HOTCOLD_FLOOR > 0 and 1 in results:
+        base = results[1]["hotcold_mb_per_s"]
+        for target, row in results.items():
+            assert row["hotcold_mb_per_s"] >= HOTCOLD_FLOOR * base, \
+                f"hot/cold collapsed at D={target}: " \
+                f"{row['hotcold_mb_per_s']} MB/s vs {base} at D=1"

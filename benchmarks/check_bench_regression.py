@@ -1,17 +1,23 @@
-"""Bench-regression gate: fresh ``BENCH_backends.json`` vs a committed
-baseline.
+"""Bench-regression gate: fresh bench JSON vs committed baselines.
 
-CI regenerates ``benchmarks/results/BENCH_backends.json`` on every run
-(the bench smoke step) and then calls this script, which fails the build
-when the headline backend's throughput drops more than ``--tolerance``
-below the committed ``benchmarks/baselines/BENCH_backends.json``.
+CI regenerates ``benchmarks/results/BENCH_backends.json`` and
+``benchmarks/results/BENCH_fused.json`` on every run (the bench smoke
+step) and then calls this script, which fails the build when
+
+* the headline backend's throughput drops more than ``--tolerance``
+  below the committed ``benchmarks/baselines/BENCH_backends.json``, or
+* any per-D ``fused_mb_per_s`` / ``hotcold_mb_per_s`` row drops more
+  than ``--tolerance`` below the committed
+  ``benchmarks/baselines/BENCH_fused.json`` (so a change that only
+  collapses one partition count cannot hide behind the headline).
 
 The headline backend defaults to the fastest backend recorded in the
 *baseline* (so a new backend cannot promote itself past the gate by
-merely existing) and can be pinned with ``--backend``.  Backends present
-only on one side are reported but never gated — the gate protects
-against silent slowdowns of code that already shipped, not against
-roster changes.
+merely existing) and can be pinned with ``--backend``.  Backends or
+sweep rows present only on one side are reported but never gated — the
+gate protects against silent slowdowns of code that already shipped,
+not against roster changes.  A missing fused baseline file skips the
+per-D gate with a note (bootstrap-friendly).
 
 Throughput is compared as MB/s, which stays comparable when the block
 size differs between runs; a block-size mismatch is still called out in
@@ -24,6 +30,8 @@ Usage::
     python benchmarks/check_bench_regression.py \
         [--fresh benchmarks/results/BENCH_backends.json] \
         [--baseline benchmarks/baselines/BENCH_backends.json] \
+        [--fused-fresh benchmarks/results/BENCH_fused.json] \
+        [--fused-baseline benchmarks/baselines/BENCH_fused.json] \
         [--backend streaming] [--tolerance 0.30]
 
 ``REPRO_BENCH_TOLERANCE`` overrides the default tolerance (0.30) when
@@ -38,16 +46,19 @@ import sys
 HERE = os.path.dirname(os.path.abspath(__file__))
 DEFAULT_FRESH = os.path.join(HERE, "results", "BENCH_backends.json")
 DEFAULT_BASELINE = os.path.join(HERE, "baselines", "BENCH_backends.json")
+DEFAULT_FUSED_FRESH = os.path.join(HERE, "results", "BENCH_fused.json")
+DEFAULT_FUSED_BASELINE = os.path.join(HERE, "baselines",
+                                      "BENCH_fused.json")
 
 
-def _load(path):
+def _load(path, section="per_backend"):
     try:
         with open(path) as fh:
             payload = json.load(fh)
     except (OSError, ValueError) as exc:
         raise SystemExit(f"[bench gate] cannot read {path}: {exc}")
-    if "per_backend" not in payload:
-        raise SystemExit(f"[bench gate] {path} has no per_backend section")
+    if section not in payload:
+        raise SystemExit(f"[bench gate] {path} has no {section} section")
     return payload
 
 
@@ -108,6 +119,35 @@ def compare(baseline, fresh, backend=None, tolerance=0.30, out=sys.stdout):
     return ok, lines
 
 
+#: BENCH_fused.json per-slice throughput keys gated per D.
+FUSED_GATED_KEYS = ("fused_mb_per_s", "hotcold_mb_per_s")
+
+
+def compare_fused(baseline, fresh, tolerance=0.30):
+    """Return (ok, lines) gating every per-D fused/hot-cold row."""
+    base_rows = baseline["per_slices"]
+    fresh_rows = fresh["per_slices"]
+    lines = []
+    ok = True
+    for d in sorted(base_rows, key=lambda k: int(k)):
+        if d not in fresh_rows:
+            lines.append(f"  D={d:<2} missing from fresh run")
+            continue
+        for key in FUSED_GATED_KEYS:
+            if key not in base_rows[d]:
+                continue        # baseline predates this column
+            old = float(base_rows[d][key] or 0.0)
+            new = float(fresh_rows[d].get(key) or 0.0)
+            floor = old * (1.0 - tolerance)
+            good = new >= floor
+            ok = ok and good
+            verdict = "pass" if good else "FAIL"
+            lines.append(
+                f"  {verdict}: D={d} {key.split('_mb')[0]:<8}"
+                f"{old:8.1f} -> {new:8.1f} MB/s (floor {floor:.1f})")
+    return ok, lines
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         description="fail when the headline backend regresses vs the "
@@ -116,6 +156,11 @@ def main(argv=None):
                         help="freshly generated BENCH_backends.json")
     parser.add_argument("--baseline", default=DEFAULT_BASELINE,
                         help="committed baseline BENCH_backends.json")
+    parser.add_argument("--fused-fresh", default=DEFAULT_FUSED_FRESH,
+                        help="freshly generated BENCH_fused.json")
+    parser.add_argument("--fused-baseline",
+                        default=DEFAULT_FUSED_BASELINE,
+                        help="committed baseline BENCH_fused.json")
     parser.add_argument("--backend", default=None,
                         help="headline backend (default: fastest in "
                              "the baseline)")
@@ -133,6 +178,19 @@ def main(argv=None):
     print("[bench gate]")
     for line in lines:
         print(line)
+
+    if os.path.exists(args.fused_baseline):
+        fused_ok, fused_lines = compare_fused(
+            _load(args.fused_baseline, section="per_slices"),
+            _load(args.fused_fresh, section="per_slices"),
+            tolerance=args.tolerance)
+        ok = ok and fused_ok
+        print("[bench gate: fused D-sweep]")
+        for line in fused_lines:
+            print(line)
+    else:
+        print(f"[bench gate] no fused baseline at {args.fused_baseline}"
+              f" — per-D gate skipped")
     return 0 if ok else 2
 
 

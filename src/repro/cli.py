@@ -57,7 +57,8 @@ def build_parser() -> argparse.ArgumentParser:
                       help="list individual match events")
     scan.add_argument("--backend", default="auto",
                       choices=["auto", "serial", "chunked", "fused",
-                               "pooled", "streaming", "cellsim"],
+                               "hotcold", "pooled", "streaming",
+                               "cellsim"],
                       help="scan backend (default: auto — the execution "
                            "planner chooses)")
     scan.add_argument("--workers", type=int, default=1,
@@ -67,6 +68,15 @@ def build_parser() -> argparse.ArgumentParser:
                       help="escape hatch: never auto-plan the fused "
                            "multi-slice path (one pass per slice "
                            "instead of one stacked-table pass)")
+    scan.add_argument("--hot-cold", dest="hot_cold", default=None,
+                      action="store_true",
+                      help="escape hatch: demand the cache-resident "
+                           "hot/cold union scan when auto-planning "
+                           "(exact dictionaries only)")
+    scan.add_argument("--no-hot-cold", dest="hot_cold",
+                      action="store_false",
+                      help="escape hatch: never auto-plan the hot/cold "
+                           "union scan")
 
     plan = sub.add_parser("plan", help="size a dictionary deployment")
     group = plan.add_mutually_exclusive_group(required=True)
@@ -96,7 +106,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="treat patterns as regular expressions")
     serve.add_argument("--backend", default="auto",
                        choices=["auto", "serial", "chunked", "fused",
-                                "pooled", "streaming", "cellsim"],
+                                "hotcold", "pooled", "streaming",
+                                "cellsim"],
                        help="default SCAN backend (default: auto)")
     serve.add_argument("--workers", type=int, default=1,
                        help="worker processes for parallel backends")
@@ -145,7 +156,8 @@ def build_parser() -> argparse.ArgumentParser:
                       help="file with one pattern per line")
     load.add_argument("--backend", default="auto",
                       choices=["auto", "serial", "chunked", "fused",
-                               "pooled", "streaming", "cellsim"],
+                               "hotcold", "pooled", "streaming",
+                               "cellsim"],
                       help="daemon SCAN backend (in-process daemon only)")
     load.add_argument("--workers", type=int, default=1)
     load.add_argument("--batch-max", type=int, default=1,
@@ -206,14 +218,15 @@ def _cmd_scan(args) -> int:
             report = matcher.scan(args.text.encode(),
                                   with_events=args.events,
                                   workers=args.workers, backend=backend,
-                                  fuse=fuse)
+                                  fuse=fuse, hot_cold=args.hot_cold)
         elif args.events or backend not in (None, "streaming"):
             # Events and the block-only backends need the bytes in one
             # piece; everything else streams.
             with open(args.input, "rb") as fh:
                 report = matcher.scan(fh.read(), with_events=args.events,
                                       workers=args.workers,
-                                      backend=backend, fuse=fuse)
+                                      backend=backend, fuse=fuse,
+                                      hot_cold=args.hot_cold)
         else:
             # File input flows through the staging ring — the file is
             # never materialized in memory.

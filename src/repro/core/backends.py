@@ -18,6 +18,7 @@ name       strategy                                                 paper
 serial     reference event walk over every slice DFA                §3
 chunked    in-process speculative fixpoint over the flat table      §4
 fused      stacked multi-slice STT, one pass for every slice        §6
+hotcold    cache-resident hot/cold union table, one gather per byte §4
 pooled     sharded process pool + shared STT + incremental repair   §6a
 streaming  double-buffered staging ring, bounded-memory streams     Fig. 5
 cellsim    exact counts + cycle-accounted Cell model (Table 1 v4)   §4/T1
@@ -106,6 +107,11 @@ class ScanRequest:
     #: ``--no-fuse`` escape hatch sets this to ``False``).  Only
     #: consulted by auto-planning — an explicit backend name wins.
     fuse: bool = True
+    #: Hot/cold escape hatch, mirroring ``fuse``: ``None`` lets the
+    #: planner's cache-footprint rule decide, ``False`` forces the
+    #: stacked fused path, ``True`` demands the cache-resident union
+    #: scan (exact dictionaries only).  Only consulted by auto-planning.
+    hot_cold: Optional[bool] = None
 
     def __post_init__(self) -> None:
         given = sum(x is not None
@@ -149,6 +155,37 @@ class ScanContext:
         :class:`~repro.core.engine.FusedScanner` (stacked multi-slice
         table, one pass over the input for every slice)."""
         return self.compiled.fused_scanner()
+
+    def hot_cold(self):
+        """The dictionary's cached
+        :class:`~repro.core.engine.HotColdFusedScanner` (cache-resident
+        union table, hot/cold split).  Exact dictionaries only."""
+        if not self.compiled.supports_hot_cold:
+            raise BackendError(
+                "hot/cold scanning needs the union automaton; regex "
+                "dictionaries have none (use the fused backend)")
+        return self.compiled.hot_cold_scanner()
+
+    def batch_totals(self, payloads) -> np.ndarray:
+        """Whole-dictionary totals for a batch of independent payloads
+        in one multi-stream pass — the service batcher's engine.  Routes
+        through the hot/cold union scan when the dictionary supports it
+        and the planner's footprint rule favours it (partitioned
+        dictionary, or plain fused table over the cache budget), else
+        the stacked fused grid reduced over the DFA axis.  Bit-identical
+        either way."""
+        from .planner import CACHE_BUDGET_BYTES
+
+        c = self.compiled
+        if c.supports_hot_cold and (
+                c.num_slices > 1
+                or c.fused_table_bytes > CACHE_BUDGET_BYTES):
+            hc = self.hot_cold()
+            counts, _ = hc.run_streams(payloads, weights=hc.weights)
+            return counts
+        fs = self.fused()
+        counts, _ = fs.run_streams(payloads, weights=fs.weights)
+        return counts.sum(axis=0)
 
     def sharded(self, workers: int):
         """Cached :class:`~repro.parallel.ShardedScanner` for a worker
@@ -335,6 +372,51 @@ class FusedBackend(ScanBackend):
 
 
 @register_backend
+class HotColdBackend(ScanBackend):
+    """Cache-resident hot/cold union scan: one union automaton covers
+    every slice, its hottest states packed into one compact table sized
+    to stay cache-resident (the paper's §4 local-store residency on the
+    host), cold rows compressed behind an explicit slow-path escape —
+    one gather per input byte however the dictionary was partitioned,
+    with a footprint that no longer grows with the partition count."""
+
+    name = "hotcold"
+    kinds = ("block",)
+    paper_section = "§4 (local-store residency via hot/cold split)"
+    description = "cache-resident union table with hot/cold state split"
+
+    #: Speculation granularity floor, widened to
+    #: engine.HOTCOLD_LANES_TARGET on large inputs.
+    chunks = 256
+
+    def scan(self, ctx: ScanContext, request: ScanRequest) -> ScanOutcome:
+        from .engine import HOTCOLD_LANES_TARGET, count_arr
+
+        self._require_kind(request)
+        arr = np.frombuffer(request.data, dtype=np.uint8)
+        hc = ctx.hot_cold()
+        hc.reset_stats()
+        total = 0
+        if arr.size:
+            cnt, _ = count_arr(hc, arr, self.chunks, hc.start,
+                               weights=hc.weights,
+                               lanes_target=HOTCOLD_LANES_TARGET)
+            total = int(cnt)
+        t = hc.table
+        return ScanOutcome(
+            total_matches=total,
+            bytes_scanned=arr.size,
+            backend=self.name,
+            stats={"slices": ctx.compiled.num_slices,
+                   "chunks": self.chunks,
+                   "union_states": t.num_states,
+                   "hot_states": t.num_hot,
+                   "table_bytes": t.table_bytes,
+                   "hot_hit_rate": hc.hot_hit_rate,
+                   "escapes": hc.stats["escapes"]})
+
+
+@register_backend
 class PooledBackend(ScanBackend):
     """Sharded process pool: shared-memory STT, speculative shard scans,
     incremental cross-shard repair — exact counts at multicore speed."""
@@ -439,7 +521,10 @@ def execute(ctx: ScanContext, request: ScanRequest,
                             workers=request.workers,
                             with_events=request.with_events,
                             num_slices=ctx.compiled.num_slices,
-                            fuse=request.fuse).backend
+                            fuse=request.fuse,
+                            exact=ctx.compiled.supports_hot_cold,
+                            fused_bytes=ctx.compiled.fused_table_bytes,
+                            hot_cold=request.hot_cold).backend
     chosen = get_backend(name)
     if request.with_events and not chosen.supports_events:
         raise BackendError(

@@ -43,10 +43,14 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..dfa.alphabet import FoldMap, case_fold_32
+from ..dfa.aho_corasick import AhoCorasick
 from ..dfa.automaton import DFA, DFAError, MatchEvent
 from ..dfa.partition import PartitionedDictionary, partition_patterns
-from .engine import (FlatScanner, FusedScanner, FusedTable,
-                     build_flat_table, build_weight_table, fuse_tables)
+from .engine import (HOT_BUDGET_BYTES, FlatScanner, FusedScanner,
+                     FusedTable, HotColdFusedScanner, HotColdFusedTable,
+                     build_flat_table, build_hot_cold_table,
+                     build_weight_table, fuse_tables, project_states,
+                     visit_order)
 
 __all__ = [
     "CompiledDictionary",
@@ -54,6 +58,7 @@ __all__ = [
     "ArtifactCache",
     "compile_dictionary",
     "fingerprint_dictionary",
+    "hot_budget_bytes",
     "COUNTERS",
     "TABLE_FORMAT_VERSION",
 ]
@@ -66,7 +71,14 @@ __all__ = [
 #: v3: multi-slice artifacts persist the fused stacked table (see
 #: :func:`repro.core.engine.fuse_tables`), so a warm service start pays
 #: neither automaton builds *nor* table stacking.
-TABLE_FORMAT_VERSION = 3
+#:
+#: v4: exact-mode artifacts additionally persist the hot/cold layout of
+#: the union automaton — its dense table (when it is not simply slice
+#: 0's), the :func:`~repro.core.engine.visit_order` ranking and the
+#: union→slice state maps — so a warm start derives a
+#: :class:`~repro.core.engine.HotColdFusedTable` at any hot-budget
+#: without an Aho–Corasick build or a profiling pass.
+TABLE_FORMAT_VERSION = 4
 
 #: Compile-work observability.  ``automaton_builds`` counts every
 #: Aho–Corasick construction and regex determinization; the cache
@@ -84,6 +96,33 @@ COUNTERS: Dict[str, int] = {
 class CompileError(Exception):
     """Raised for unusable dictionaries (empty patterns, oversized
     regexes, mismatched fold widths)."""
+
+
+def hot_budget_bytes() -> int:
+    """Sizing policy for the hot partition of a hot/cold table.
+
+    ``REPRO_HOT_BUDGET_KB`` overrides the default
+    (:data:`~repro.core.engine.HOT_BUDGET_BYTES`, sized for L2
+    residency).  Read per call so services can be retuned without a
+    restart."""
+    env = os.environ.get("REPRO_HOT_BUDGET_KB")
+    if env:
+        try:
+            return max(1, int(env)) * 1024
+        except ValueError:
+            pass
+    return HOT_BUDGET_BYTES
+
+
+def _per_state_weights(dfa: DFA) -> np.ndarray:
+    """Match multiplicity on *entering* each state (the per-state core
+    of :func:`~repro.core.engine.build_weight_table`)."""
+    w = np.zeros(dfa.num_states, dtype=np.int64)
+    for s, pats in dfa.outputs.items():
+        w[s] = len(pats)
+    final = np.asarray(dfa.final_mask).astype(bool)
+    w[final & (w == 0)] = 1
+    return w
 
 
 Pattern = Union[str, bytes]
@@ -147,6 +186,14 @@ class CompiledDictionary:
     _scanners: Optional[List[FlatScanner]] = field(default=None, repr=False)
     _fused: Optional[FusedTable] = field(default=None, repr=False)
     _fused_scanner: Optional[FusedScanner] = field(default=None, repr=False)
+    _union: Optional[DFA] = field(default=None, repr=False)
+    _union_order: Optional[np.ndarray] = field(default=None, repr=False)
+    _union_mass: Optional[np.ndarray] = field(default=None, repr=False)
+    _slice_maps: Optional[np.ndarray] = field(default=None, repr=False)
+    _hotcold: Optional[HotColdFusedTable] = field(default=None, repr=False)
+    _hotcold_budget: Optional[int] = field(default=None, repr=False)
+    _hotcold_scanner: Optional[HotColdFusedScanner] = \
+        field(default=None, repr=False)
 
     # -- shape --------------------------------------------------------------------
 
@@ -222,6 +269,103 @@ class CompiledDictionary:
         if self._fused_scanner is None:
             self._fused_scanner = FusedScanner(self.fused_table())
         return self._fused_scanner
+
+    # -- hot/cold union tables ------------------------------------------------------
+
+    @property
+    def supports_hot_cold(self) -> bool:
+        """Hot/cold scanning needs the union-automaton construction,
+        which is defined for exact dictionaries (AC over all patterns);
+        regex slices have no shared suffix structure to unify."""
+        return not self.regex
+
+    @property
+    def fused_table_bytes(self) -> int:
+        """Footprint the *plain* fused scan would gather over (flat +
+        weight cells, fold-composed stride), computed arithmetically —
+        the planner's cache-budget input must not require building the
+        table it is deciding against."""
+        return self.total_states * (2 * 256 + 256) * 4
+
+    def union_dfa(self) -> DFA:
+        """One Aho–Corasick automaton over the *whole* dictionary.
+
+        For a single slice this *is* the slice DFA.  Otherwise it is
+        built (or loaded from the artifact) over all folded patterns in
+        original order, so its outputs carry global pattern ids and
+        ``len(outputs[s])`` is the whole-dictionary multiplicity.
+        """
+        if self.regex:
+            raise CompileError(
+                "union automaton requires an exact-mode dictionary")
+        if self._union is None:
+            if self.num_slices == 1:
+                self._union = self.dfas[0]
+            else:
+                folded = [self.fold.fold_bytes(p) for p in self.patterns]
+                ac = AhoCorasick(folded, self.fold.width)
+                COUNTERS["automaton_builds"] += 1
+                self._union = ac.to_dfa()
+        return self._union
+
+    def hot_cold_layout(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(visit_order, slice_maps)`` of the union automaton — the
+        two derived arrays the v4 artifact persists.  The order ranks
+        union states hottest-first; ``slice_maps[d]`` projects every
+        union state onto slice ``d`` (:func:`project_states`), which is
+        what keeps per-slice counts exact with one union-table pass."""
+        union = self.union_dfa()
+        if self._union_order is None:
+            self._union_order, self._union_mass = visit_order(
+                union.transitions, union.start, self.fold.np_table)
+        if self._slice_maps is None:
+            if self.num_slices == 1:
+                self._slice_maps = np.arange(
+                    union.num_states, dtype=np.int64)[None, :]
+            else:
+                self._slice_maps = np.stack([
+                    project_states(union.transitions, union.start,
+                                   d.transitions, d.start)
+                    for d in self.dfas])
+        return self._union_order, self._slice_maps
+
+    def hot_cold_table(self, budget_bytes: Optional[int] = None
+                       ) -> HotColdFusedTable:
+        """The cache-resident execution table: hot/cold split of the
+        union automaton under ``budget_bytes`` (default: the
+        :func:`hot_budget_bytes` policy).  Cached per budget."""
+        if not self.supports_hot_cold:
+            raise CompileError(
+                "hot/cold tables require an exact-mode dictionary")
+        budget = hot_budget_bytes() if budget_bytes is None \
+            else int(budget_bytes)
+        if self._hotcold is None or self._hotcold_budget != budget:
+            union = self.union_dfa()
+            order, maps = self.hot_cold_layout()
+            sw = np.stack([_per_state_weights(d)[maps[i]]
+                           for i, d in enumerate(self.dfas)])
+            sf = np.stack([
+                np.asarray(d.final_mask, dtype=np.int64)[maps[i]]
+                for i, d in enumerate(self.dfas)])
+            self._hotcold = build_hot_cold_table(
+                union.transitions, union.final_mask, union.start,
+                self.fold.np_table,
+                state_weights=_per_state_weights(union),
+                budget_bytes=budget, order=order, mass=self._union_mass,
+                slice_maps=maps, slice_state_weights=sw,
+                slice_state_flags=sf)
+            self._hotcold_budget = budget
+            self._hotcold_scanner = None
+        return self._hotcold
+
+    def hot_cold_scanner(self, budget_bytes: Optional[int] = None
+                         ) -> HotColdFusedScanner:
+        """A :class:`HotColdFusedScanner` over :meth:`hot_cold_table`,
+        cached alongside it."""
+        table = self.hot_cold_table(budget_bytes)
+        if self._hotcold_scanner is None:
+            self._hotcold_scanner = HotColdFusedScanner(table)
+        return self._hotcold_scanner
 
     # -- reference scanning ---------------------------------------------------------
 
@@ -429,6 +573,30 @@ class ArtifactCache:
             arrays["fused_flat"] = fused.flat
             arrays["fused_weights"] = fused.weights
             arrays["fused_cell_base"] = fused.cell_base
+        if not compiled.regex:
+            # v4: the hot/cold layout of the union automaton.  The
+            # HotColdFusedTable itself stays derived (it depends on the
+            # runtime hot budget); what is expensive and deterministic —
+            # the union build, the visit profiling and the union→slice
+            # projections — is what gets persisted.
+            order, maps = compiled.hot_cold_layout()
+            arrays["hotcold_order"] = np.asarray(order, dtype=np.int64)
+            arrays["hotcold_slice_maps"] = np.asarray(maps,
+                                                     dtype=np.int64)
+            if compiled._union_mass is not None:
+                arrays["hotcold_mass"] = np.asarray(
+                    compiled._union_mass, dtype=np.float64)
+            if compiled.num_slices > 1:
+                union = compiled.union_dfa()
+                arrays["union_trans"] = union.transitions
+                arrays["union_final"] = union.final_mask.astype(np.uint8)
+                arrays["union_start"] = np.asarray([union.start],
+                                                   dtype=np.int64)
+                upairs = [(s, p)
+                          for s, pats in sorted(union.outputs.items())
+                          for p in pats]
+                arrays["union_outputs"] = np.asarray(
+                    upairs, dtype=np.int64).reshape(len(upairs), 2)
 
         self.directory.mkdir(parents=True, exist_ok=True)
         path = self.path_for(compiled.fingerprint)
@@ -524,6 +692,34 @@ class ArtifactCache:
                         or fused.flat.size !=
                         sum(d.num_states for d in dfas) * fused.stride):
                     raise ValueError("fused table shape mismatch")
+            union = None
+            if "union_trans" in data.files:
+                upairs = data["union_outputs"]
+                uout: Dict[int, Tuple[int, ...]] = {}
+                for s, p in upairs:
+                    uout.setdefault(int(s), ())
+                    uout[int(s)] += (int(p),)
+                union = DFA(data["union_trans"],
+                            finals=np.nonzero(data["union_final"])[0],
+                            start=int(data["union_start"][0]),
+                            outputs=uout)
+            union_order = None
+            union_mass = None
+            slice_maps = None
+            if "hotcold_order" in data.files:
+                union_order = np.ascontiguousarray(data["hotcold_order"],
+                                                   dtype=np.int64)
+                if "hotcold_mass" in data.files:
+                    union_mass = np.ascontiguousarray(
+                        data["hotcold_mass"], dtype=np.float64)
+                slice_maps = np.ascontiguousarray(
+                    data["hotcold_slice_maps"], dtype=np.int64)
+                union_states = union.num_states if union is not None \
+                    else int(data["trans_0"].shape[0])
+                if (union_order.shape != (union_states,)
+                        or slice_maps.shape !=
+                        (int(meta["num_slices"]), union_states)):
+                    raise ValueError("hot/cold layout shape mismatch")
         regex = bool(meta["regex"])
         max_states = int(meta["max_states"])
         raw = tuple(patterns)
@@ -536,7 +732,9 @@ class ArtifactCache:
         return CompiledDictionary(
             patterns=raw, fold=fold, regex=regex, max_states=max_states,
             groups=tuple(groups), dfas=tuple(dfas),
-            fingerprint=fingerprint, partition=partition, _fused=fused)
+            fingerprint=fingerprint, partition=partition, _fused=fused,
+            _union=union, _union_order=union_order,
+            _union_mass=union_mass, _slice_maps=slice_maps)
 
     def __repr__(self) -> str:
         return f"ArtifactCache({str(self.directory)!r})"

@@ -1,5 +1,5 @@
-"""Compressed state-transition tables — an ablation of the paper's §4
-choice of a *complete* table.
+"""Compressed state-transition tables — default-transition encodings of
+the paper's §4 *complete* table.
 
 The paper deliberately spends local store on a dense row per state because
 a transition must cost exactly one load.  The classic alternative
@@ -13,23 +13,98 @@ that *differ* from a default state's row and falls back otherwise:
   cost becomes input-dependent, surrendering exactly the overload-attack
   immunity the paper's §1 demands.
 
-:class:`CompressedSTT` implements the representation functionally (counts
-must equal the dense DFA's), reports the compression ratio, and measures
-the fallback-hop distribution so the ablation bench can show both sides of
-the trade.
+Two representations share the sparse (CSR-style) machinery here:
+
+* :class:`CompressedSTT` — per-state default *chains* (AC failure links),
+  the faithful D2FA-style ablation with input-dependent hop counts;
+* :class:`ColdRowStore` — the depth-1 variant that actually ships inside
+  the hot/cold fused scanner (:class:`repro.core.engine.HotColdFusedTable`):
+  every cold row compresses against one shared default row, so a cold
+  lookup is exactly one sorted probe, never a chain walk.  That bounds
+  the slow path's per-byte cost and keeps the §1 immunity argument —
+  the escape costs more than a hot gather, but a constant amount more.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..dfa.automaton import DFA, DFAError
 from .stt import CELL_BYTES
 
-__all__ = ["CompressedSTT", "CompressionStats"]
+__all__ = ["ColdRowStore", "CompressedSTT", "CompressionStats", "csr_encode"]
+
+
+def csr_encode(rows: np.ndarray,
+               default_rows: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Sparse ``(keys, vals)`` of the cells where ``rows`` differs from
+    ``default_rows`` (same shape, or one shared row broadcast over the
+    row axis).  Keys are ``row * width + column`` emitted in row-major
+    order — strictly increasing, ready for ``searchsorted``."""
+    rows = np.asarray(rows)
+    if rows.ndim != 2:
+        raise DFAError("row matrix must be 2-D")
+    mask = rows != np.asarray(default_rows)
+    r, c = np.nonzero(mask)
+    keys = r.astype(np.int64) * rows.shape[1] + c
+    return keys, rows[r, c]
+
+
+class ColdRowStore:
+    """Shared-default compressed rows with one-probe vectorized lookup.
+
+    Row ``j`` is stored as its exceptions against a single shared
+    ``default_row``; a miss in the sorted key array answers from the
+    default.  Built from (and serialized as) three flat numpy arrays so
+    it can live in an artifact file or a shared-memory segment verbatim.
+    """
+
+    def __init__(self, keys: np.ndarray, vals: np.ndarray,
+                 default_row: np.ndarray, num_rows: int) -> None:
+        self.keys = np.ascontiguousarray(keys, dtype=np.int64)
+        self.vals = np.ascontiguousarray(vals, dtype=np.int32)
+        self.default_row = np.ascontiguousarray(default_row,
+                                                dtype=np.int32)
+        self.num_rows = int(num_rows)
+        self.width = int(self.default_row.size)
+        if self.keys.shape != self.vals.shape or self.keys.ndim != 1:
+            raise DFAError("cold-row keys/vals must be parallel 1-D arrays")
+        if self.keys.size and bool((np.diff(self.keys) <= 0).any()):
+            raise DFAError("cold-row keys must be strictly increasing")
+
+    @classmethod
+    def from_rows(cls, rows: np.ndarray,
+                  default_row: np.ndarray) -> "ColdRowStore":
+        rows = np.asarray(rows)
+        keys, vals = csr_encode(rows, default_row)
+        return cls(keys, vals, default_row, rows.shape[0])
+
+    def lookup(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """Vectorized ``(row, column) → cell`` with default fallback."""
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        out = self.default_row[cols]
+        if self.keys.size:
+            q = rows * self.width + cols
+            pos = np.minimum(np.searchsorted(self.keys, q),
+                             self.keys.size - 1)
+            np.copyto(out, self.vals[pos], where=self.keys[pos] == q)
+        return out
+
+    def lookup_one(self, row: int, col: int) -> int:
+        return int(self.lookup(np.asarray([row]), np.asarray([col]))[0])
+
+    @property
+    def stored_transitions(self) -> int:
+        return int(self.keys.size)
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.keys.nbytes + self.vals.nbytes
+                   + self.default_row.nbytes)
 
 
 @dataclass(frozen=True)
@@ -51,11 +126,13 @@ class CompressionStats:
 class CompressedSTT:
     """Default-transition-compressed transition table.
 
-    Each state stores a sparse exception list plus a default state; a
+    Each state stores a sparse exception set plus a default state; a
     lookup follows defaults until an exception (or the root, which is
     stored densely) answers.  Defaults are the Aho–Corasick failure links
     when provided, else state 0 — both guarantee acyclic default chains
-    ending at the root.
+    ending at the root.  Exceptions live in one sorted key/value pair of
+    arrays (the same :func:`csr_encode` layout :class:`ColdRowStore`
+    uses), not per-state containers.
     """
 
     def __init__(self, dfa: DFA,
@@ -76,21 +153,14 @@ class CompressedSTT:
 
         # Root row stays dense (every chain terminates there with an
         # answer); other states keep exceptions only.
+        trans = np.asarray(dfa.transitions, dtype=np.int64)
         self.root_row = dfa.transitions[dfa.start].copy()
-        self.exceptions: List[Dict[int, int]] = []
-        stored = 0
-        for s in range(n):
-            if s == dfa.start:
-                self.exceptions.append({})
-                continue
-            d = defaults[s]
-            exc = {
-                c: int(dfa.transitions[s, c])
-                for c in range(W)
-                if dfa.transitions[s, c] != dfa.transitions[d, c]
-            }
-            self.exceptions.append(exc)
-            stored += len(exc)
+        diff = trans != trans[np.asarray(defaults, dtype=np.int64)]
+        diff[dfa.start, :] = False
+        r, c = np.nonzero(diff)
+        self._keys = r.astype(np.int64) * W + c
+        self._vals = trans[r, c]
+        stored = int(self._keys.size)
 
         # Footprint model: dense = n*W cells; compressed = root row +
         # per-state (default pointer + count) + per-exception
@@ -146,12 +216,16 @@ class CompressedSTT:
         """One transition; returns (next_state, fallback_hops)."""
         if not 0 <= symbol < self.dfa.alphabet_size:
             raise DFAError(f"symbol {symbol} outside alphabet")
+        W = self.dfa.alphabet_size
+        keys = self._keys
+        size = keys.size
         hops = 0
         cur = state
         while cur != self.dfa.start:
-            nxt = self.exceptions[cur].get(symbol)
-            if nxt is not None:
-                return nxt, hops
+            q = cur * W + symbol
+            pos = int(np.searchsorted(keys, q))
+            if pos < size and int(keys[pos]) == q:
+                return int(self._vals[pos]), hops
             cur = self.defaults[cur]
             hops += 1
         return int(self.root_row[symbol]), hops

@@ -220,20 +220,23 @@ class CellStringMatcher:
     def scan(self, data: Union[str, bytes],
              with_events: bool = False, workers: int = 1,
              backend: Optional[str] = None,
-             fuse: bool = True) -> ScanReport:
+             fuse: bool = True,
+             hot_cold: Optional[bool] = None) -> ScanReport:
         """Scan one contiguous buffer; returns counts (and, optionally,
         the full list of match events with end positions).
 
         ``backend`` names a registry entry (``serial``, ``chunked``,
-        ``fused``, ``pooled``, ``streaming``, ``cellsim``);
+        ``fused``, ``hotcold``, ``pooled``, ``streaming``, ``cellsim``);
         ``None``/``"auto"`` lets the execution planner choose from the
-        input size, ``workers`` and ``with_events`` — preferring the
-        fused one-pass path whenever the dictionary was partitioned
-        into several slices (``fuse=False`` is the escape hatch back to
-        one pass per slice).  ``workers > 1`` routes through the
-        host-parallel layer (shared-memory STTs, a persistent process
-        pool, cross-shard fixpoint repair).  Only the serial reporting
-        backend produces events and per-pattern attribution.
+        input size, ``workers`` and ``with_events`` — preferring one
+        shared pass whenever the dictionary was partitioned into
+        several slices (``fuse=False`` is the escape hatch back to one
+        pass per slice, ``hot_cold`` overrides the planner's choice
+        between the cache-resident union scan and the stacked fused
+        grid).  ``workers > 1`` routes through the host-parallel layer
+        (shared-memory STTs, a persistent process pool, cross-shard
+        fixpoint repair).  Only the serial reporting backend produces
+        events and per-pattern attribution.
         """
         raw = data.encode() if isinstance(data, str) else bytes(data)
         if with_events and workers > 1:
@@ -242,7 +245,8 @@ class CellStringMatcher:
                 "with with_events=True")
         outcome = self._execute(
             ScanRequest(data=raw, workers=workers,
-                        with_events=with_events, fuse=fuse), backend)
+                        with_events=with_events, fuse=fuse,
+                        hot_cold=hot_cold), backend)
         return self._report(outcome)
 
     def scan_iter(self, chunks: Iterable[Union[str, bytes]],

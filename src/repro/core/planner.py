@@ -24,11 +24,13 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from ..cell.local_store import LS_SIZE, LocalStore
+from .engine import HOT_BUDGET_BYTES
 from .stt import row_stride
 
 __all__ = ["TilePlan", "plan_tile", "FIGURE3_CASES", "PlanError",
            "CODE_STACK_BYTES", "COUNTER_AREA_BYTES", "STATE_AREA_BYTES",
-           "ExecutionPlan", "plan_backend", "SERIAL_BYTE_CEILING"]
+           "ExecutionPlan", "plan_backend", "SERIAL_BYTE_CEILING",
+           "CACHE_BUDGET_BYTES"]
 
 #: Local-store bytes the paper reserves for code and stack.
 CODE_STACK_BYTES = 34 * 1024
@@ -155,6 +157,13 @@ FIGURE3_CASES: List[TilePlan] = [
 #: the serial reference walk wins (counts-only, single worker).
 SERIAL_BYTE_CEILING = 1 << 20
 
+#: Host cache ceiling for the *plain* fused table — the planner's
+#: analogue of the tile planner's 256 KB local store.  When the stacked
+#: multi-slice STT would exceed this, the planner prefers the hot/cold
+#: union scan, whose hot partition is budgeted to stay resident
+#: (``engine.HOT_BUDGET_BYTES``) whatever the dictionary's size.
+CACHE_BUDGET_BYTES = HOT_BUDGET_BYTES
+
 
 @dataclass(frozen=True)
 class ExecutionPlan:
@@ -170,7 +179,11 @@ class ExecutionPlan:
 def plan_backend(nbytes: Optional[int] = None, streaming: bool = False,
                  workers: int = 1, with_events: bool = False,
                  num_slices: int = 1, fuse: bool = True,
+                 exact: bool = False,
+                 fused_bytes: Optional[int] = None,
+                 hot_cold: Optional[bool] = None,
                  serial_byte_ceiling: int = SERIAL_BYTE_CEILING,
+                 cache_budget: int = CACHE_BUDGET_BYTES,
                  ) -> ExecutionPlan:
     """Pick a scan backend from the request's shape.
 
@@ -184,6 +197,17 @@ def plan_backend(nbytes: Optional[int] = None, streaming: bool = False,
     sharing one pass beat D sequential passes at any size that
     amortises the fixpoint at all; small inputs stay serial.  ``fuse``
     is the escape hatch (``repro scan --no-fuse``).
+
+    The hot/cold union scan supersedes the stacked fused pass for
+    *exact* dictionaries (``exact=True`` — regex tiles have no union
+    automaton) when the dictionary was partitioned or the plain fused
+    table (``fused_bytes``) would overflow ``cache_budget``: one
+    cache-resident table advances every slice with one gather per byte,
+    where the stacked STT pays ``num_slices`` gathers over a footprint
+    that grows with the partition count.  ``hot_cold`` is the request's
+    escape hatch — ``False`` forces the stacked path, ``True`` demands
+    the union scan (still gated on ``exact``), ``None`` lets the
+    footprint rule decide.
     """
     if with_events:
         return ExecutionPlan(
@@ -196,6 +220,14 @@ def plan_backend(nbytes: Optional[int] = None, streaming: bool = False,
         return ExecutionPlan(
             "pooled", f"{workers} workers amortise the sharded pool")
     if nbytes is not None and nbytes > serial_byte_ceiling:
+        want_hc = hot_cold if hot_cold is not None else (
+            fuse and (num_slices > 1
+                      or (fused_bytes or 0) > cache_budget))
+        if want_hc and exact:
+            return ExecutionPlan(
+                "hotcold", f"{num_slices} slice(s) share one union "
+                f"pass over {nbytes} bytes; hot partition stays "
+                f"cache-resident")
         if fuse and num_slices > 1:
             return ExecutionPlan(
                 "fused", f"{num_slices} slices share one pass over "

@@ -25,12 +25,14 @@ generalized across processes and time).
 """
 
 from .ring import StagingRing
-from .shared_stt import SharedFusedTable, SharedSTT, SharedSTTError
+from .shared_stt import (SharedFusedTable, SharedHotColdTable, SharedSTT,
+                         SharedSTTError)
 from .sharded import ShardedScanner, ShardedScanError
 
 __all__ = [
     "SharedSTT",
     "SharedFusedTable",
+    "SharedHotColdTable",
     "SharedSTTError",
     "ShardedScanner",
     "ShardedScanError",

@@ -38,10 +38,11 @@ from multiprocessing import shared_memory
 
 from ..dfa.alphabet import FoldMap
 from ..dfa.automaton import DFA
-from ..core.engine import (FusedTable, ScanDetail, StreamResult,
-                           count_arr, count_arr_detail, repair_detail)
+from ..core.engine import (FusedTable, HotColdFusedTable, ScanDetail,
+                           StreamResult, count_arr, count_arr_detail,
+                           repair_detail)
 from .ring import StagingRing
-from .shared_stt import SharedFusedTable, SharedSTT
+from .shared_stt import SharedFusedTable, SharedHotColdTable, SharedSTT
 
 __all__ = ["ShardedScanner", "ShardedScanError"]
 
@@ -61,15 +62,28 @@ _WORKER: Dict = {}
 
 
 def _init_worker(metas: List[Dict], ring_names: List[str],
-                 fused_meta: Optional[Dict] = None) -> None:
+                 fused_meta: Optional[Dict] = None,
+                 hotcold_meta: Optional[Dict] = None) -> None:
     """Pool initializer: attach every shared artifact exactly once.
 
     With ``fused_meta`` the worker attaches one stacked-table segment
     instead of per-DFA segments; the per-DFA scanner list then holds
     slice views into the shared stacked table, so every classic task
     shape keeps working while the fused task scans all DFAs at once.
+    With ``hotcold_meta`` it attaches one hot/cold union segment whose
+    single scanner *is* the whole dictionary — every classic
+    single-chain task shape works unchanged on top of it (the hot/cold
+    scanner is :class:`FlatScanner`-compatible).
     """
-    if fused_meta is not None:
+    if hotcold_meta is not None:
+        hstt = SharedHotColdTable.attach(hotcold_meta)
+        scanner = hstt.scanner()
+        _WORKER["artifacts"] = [hstt]
+        _WORKER["fused"] = None
+        _WORKER["scanners"] = [scanner]
+        _WORKER["weights"] = [scanner.weights]
+        _WORKER["bounds"] = [hstt.input_bound]
+    elif fused_meta is not None:
         fstt = SharedFusedTable.attach(fused_meta)
         fused = fstt.scanner()
         _WORKER["artifacts"] = [fstt]
@@ -257,6 +271,16 @@ class ShardedScanner:
         over the staged bytes (lanes = DFAs × chunks) instead of one
         task per DFA per shard.  ``tables`` is ignored in this mode —
         the per-DFA scanners become slice views into the stacked table.
+    hot_cold_table:
+        Optional pre-built
+        :class:`~repro.core.engine.HotColdFusedTable` (e.g.
+        ``compiled.hot_cold_table()``).  When given, ``dfas`` must be
+        the single *union* automaton the table encodes: one
+        cache-resident shared segment carries the whole dictionary and
+        every shard task is one single-chain union scan —
+        whole-dictionary totals only (per-slice attribution stays with
+        the stacked-table modes).  Mutually exclusive with
+        ``fused_table``/``tables``.
     """
 
     def __init__(self, dfas: Union[DFA, Sequence[DFA]],
@@ -269,7 +293,9 @@ class ShardedScanner:
                  ring_depth: int = 2,
                  start_method: Optional[str] = None,
                  tables: Optional[Sequence[tuple]] = None,
-                 fused_table: Optional[FusedTable] = None) -> None:
+                 fused_table: Optional[FusedTable] = None,
+                 hot_cold_table: Optional[HotColdFusedTable] = None
+                 ) -> None:
         if isinstance(dfas, DFA):
             dfas = [dfas]
         if not dfas:
@@ -281,6 +307,16 @@ class ShardedScanner:
             raise ShardedScanError(
                 f"fused table stacks {fused_table.num_dfas} DFAs, "
                 f"got {len(dfas)}")
+        if hot_cold_table is not None:
+            if fused_table is not None or tables is not None:
+                raise ShardedScanError(
+                    "hot_cold_table is mutually exclusive with "
+                    "fused_table/tables")
+            if len(dfas) != 1 or \
+                    dfas[0].num_states != hot_cold_table.num_states:
+                raise ShardedScanError(
+                    "hot_cold_table needs exactly the union automaton "
+                    "it encodes")
         alphabet = dfas[0].alphabet_size
         if any(d.alphabet_size != alphabet for d in dfas):
             raise ShardedScanError("DFAs must share one alphabet")
@@ -305,6 +341,7 @@ class ShardedScanner:
         self._num_dfas = len(dfas)
         self._stts: List[SharedSTT] = []
         self._fused_stt: Optional[SharedFusedTable] = None
+        self._hc_stt: Optional[SharedHotColdTable] = None
         self._fused = None
         self._scanners: List = []
         self._weight_tables: List = []
@@ -312,14 +349,23 @@ class ShardedScanner:
         self._pool = None
         self._closed = False
         try:
-            if fused_table is not None:
+            hotcold_meta = None
+            if hot_cold_table is not None:
+                self._hc_stt = SharedHotColdTable(hot_cold_table)
+                scanner = self._hc_stt.scanner()
+                self._scanners = [scanner]
+                self._weight_tables = [scanner.weights]
+                metas: List[Dict] = []
+                fused_meta = None
+                hotcold_meta = self._hc_stt.meta()
+            elif fused_table is not None:
                 self._fused_stt = SharedFusedTable(fused_table)
                 self._fused = self._fused_stt.scanner()
                 self._scanners = [self._fused.slice_view(d)
                                   for d in range(self._num_dfas)]
                 self._weight_tables = [self._fused.weights] * \
                     self._num_dfas
-                metas: List[Dict] = []
+                metas = []
                 fused_meta = self._fused_stt.meta()
             else:
                 self._stts = [
@@ -336,14 +382,16 @@ class ShardedScanner:
                 ctx = mp.get_context(start_method)
                 self._pool = ctx.Pool(
                     self.workers, initializer=_init_worker,
-                    initargs=(metas, self._ring.names, fused_meta))
+                    initargs=(metas, self._ring.names, fused_meta,
+                              hotcold_meta))
         except BaseException:
             self.close()
             raise
 
     @classmethod
     def from_compiled(cls, compiled, workers: Optional[int] = None,
-                      fuse: bool = True, **kwargs) -> "ShardedScanner":
+                      fuse: bool = True, hot_cold: bool = False,
+                      **kwargs) -> "ShardedScanner":
         """A scanner over a :class:`~repro.core.compiled.CompiledDictionary`.
 
         Reuses the artifact's fold-composed flat tables and weight
@@ -351,9 +399,19 @@ class ShardedScanner:
         dictionary's event semantics (``weighted=True``).  Multi-slice
         dictionaries share one stacked-table segment by default
         (``fuse=False`` restores one segment and one task chain per
-        slice).
+        slice).  ``hot_cold=True`` (exact dictionaries only) shares the
+        cache-resident hot/cold union table instead: one single-chain
+        segment for the whole dictionary, whole-dictionary totals only.
         """
         kwargs.setdefault("weighted", True)
+        if hot_cold:
+            if not compiled.supports_hot_cold:
+                raise ShardedScanError(
+                    "hot/cold sharing needs the union automaton; regex "
+                    "dictionaries have none")
+            kwargs.setdefault("hot_cold_table", compiled.hot_cold_table())
+            return cls([compiled.union_dfa()], workers=workers,
+                       fold=compiled.fold, **kwargs)
         if fuse and compiled.num_slices > 1 \
                 and "fused_table" not in kwargs:
             kwargs["fused_table"] = compiled.fused_table()
@@ -667,6 +725,9 @@ class ShardedScanner:
             fstt, self._fused_stt = self._fused_stt, None
             if fstt is not None:
                 fstt.close()
+            hstt, self._hc_stt = self._hc_stt, None
+            if hstt is not None:
+                hstt.close()
             ring, self._ring = self._ring, None
             if ring is not None:
                 ring.close()

@@ -26,10 +26,13 @@ from multiprocessing import shared_memory
 
 from ..dfa.alphabet import FoldMap
 from ..dfa.automaton import DFA
+from ..core.compressed import ColdRowStore
 from ..core.engine import (FlatScanner, FusedScanner, FusedTable,
+                           HotColdFusedScanner, HotColdFusedTable,
                            build_flat_table, build_weight_table)
 
-__all__ = ["SharedSTT", "SharedFusedTable", "SharedSTTError"]
+__all__ = ["SharedSTT", "SharedFusedTable", "SharedHotColdTable",
+           "SharedSTTError"]
 
 
 class SharedSTTError(Exception):
@@ -348,5 +351,183 @@ class SharedFusedTable:
 
     def __repr__(self) -> str:
         return (f"SharedFusedTable(dfas={self.num_dfas}, "
+                f"bytes={self._shm.size if self._shm else 0}, "
+                f"owner={self._owner})")
+
+
+class SharedHotColdTable:
+    """A hot/cold union table (see
+    :func:`repro.core.engine.build_hot_cold_table`) in one shared
+    segment.
+
+    The cache-resident analogue of :class:`SharedFusedTable`: the hot
+    table + parking zone, the union weight layout, the compressed cold
+    store's three flat arrays, the fold table and the renumbering
+    vectors all live in a single ``shared_memory`` block.  Workers
+    attach one segment whose *hot* part is the only thing their inner
+    loops touch — the whole-dictionary totals view only (per-slice
+    layouts stay with the creator; pooled scans count totals).
+    """
+
+    def __init__(self, table: HotColdFusedTable) -> None:
+        hot_flat = np.ascontiguousarray(table.hot_flat, dtype=np.int32)
+        weights = np.ascontiguousarray(table.weights, dtype=np.int32)
+        keys = np.ascontiguousarray(table.cold.keys, dtype=np.int64)
+        vals = np.ascontiguousarray(table.cold.vals, dtype=np.int32)
+        default_row = np.ascontiguousarray(table.cold.default_row,
+                                           dtype=np.int32)
+        fold_table = np.ascontiguousarray(table.fold_table,
+                                          dtype=np.uint8)
+        if fold_table.size != 256:
+            raise SharedSTTError("fold table must map all 256 bytes")
+        hot_states = np.ascontiguousarray(table.hot_states,
+                                          dtype=np.int64)
+        cold_states = np.ascontiguousarray(table.cold_states,
+                                           dtype=np.int64)
+        entry_cells = np.ascontiguousarray(table.entry_cells,
+                                           dtype=np.int32)
+
+        off_hot = 0
+        off_weights = _align(off_hot + hot_flat.nbytes)
+        off_keys = _align(off_weights + weights.nbytes)
+        off_vals = _align(off_keys + keys.nbytes)
+        off_default = _align(off_vals + vals.nbytes)
+        off_fold = _align(off_default + default_row.nbytes)
+        off_hs = _align(off_fold + fold_table.nbytes)
+        off_cs = _align(off_hs + hot_states.nbytes)
+        off_entry = _align(off_cs + cold_states.nbytes)
+        size = off_entry + entry_cells.nbytes
+
+        self._shm = shared_memory.SharedMemory(create=True, size=size)
+        self._owner = True
+        self._meta: Dict = {
+            "name": self._shm.name,
+            "num_hot": int(table.num_hot),
+            "num_cold": int(table.num_cold),
+            "num_states": int(table.num_states),
+            "symbol_width": int(table.symbol_width),
+            "start": int(table.start),
+            "off_hot": off_hot,
+            "hot_cells": int(hot_flat.size),
+            "off_weights": off_weights,
+            "weight_cells": int(weights.size),
+            "off_keys": off_keys,
+            "cold_entries": int(keys.size),
+            "off_vals": off_vals,
+            "off_default": off_default,
+            "off_fold": off_fold,
+            "off_hs": off_hs,
+            "off_cs": off_cs,
+            "off_entry": off_entry,
+        }
+        # Fill before mapping: the cold store validates its sorted keys
+        # at construction, which a still-zeroed segment would fail.
+        buf = self._shm.buf
+        for arr, off in ((hot_flat, off_hot), (weights, off_weights),
+                         (keys, off_keys), (vals, off_vals),
+                         (default_row, off_default),
+                         (fold_table, off_fold), (hot_states, off_hs),
+                         (cold_states, off_cs),
+                         (entry_cells, off_entry)):
+            np.frombuffer(buf, dtype=arr.dtype, count=arr.size,
+                          offset=off)[:] = arr
+        self._map_views()
+
+    @classmethod
+    def attach(cls, meta: Dict) -> "SharedHotColdTable":
+        """Attach to an existing hot/cold artifact (worker side,
+        zero-copy; the attacher never unlinks)."""
+        self = cls.__new__(cls)
+        self._shm = shared_memory.SharedMemory(name=meta["name"])
+        self._owner = False
+        self._meta = dict(meta)
+        self._map_views()
+        return self
+
+    def _map_views(self) -> None:
+        m = self._meta
+        buf = self._shm.buf
+        self.symbol_width = m["symbol_width"]
+        cold = ColdRowStore(
+            np.frombuffer(buf, dtype=np.int64, count=m["cold_entries"],
+                          offset=m["off_keys"]),
+            np.frombuffer(buf, dtype=np.int32, count=m["cold_entries"],
+                          offset=m["off_vals"]),
+            np.frombuffer(buf, dtype=np.int32, count=m["symbol_width"],
+                          offset=m["off_default"]),
+            m["num_cold"])
+        self.table = HotColdFusedTable(
+            hot_flat=np.frombuffer(buf, dtype=np.int32,
+                                   count=m["hot_cells"],
+                                   offset=m["off_hot"]),
+            weights=np.frombuffer(buf, dtype=np.int32,
+                                  count=m["weight_cells"],
+                                  offset=m["off_weights"]),
+            cold=cold,
+            fold_table=np.frombuffer(buf, dtype=np.uint8, count=256,
+                                     offset=m["off_fold"]),
+            hot_states=np.frombuffer(buf, dtype=np.int64,
+                                     count=m["num_hot"],
+                                     offset=m["off_hs"]),
+            cold_states=np.frombuffer(buf, dtype=np.int64,
+                                      count=m["num_cold"],
+                                      offset=m["off_cs"]),
+            entry_cells=np.frombuffer(buf, dtype=np.int32,
+                                      count=m["num_states"],
+                                      offset=m["off_entry"]),
+            start=m["start"],
+            num_states=m["num_states"],
+            symbol_width=m["symbol_width"])
+
+    # -- use ----------------------------------------------------------------------
+
+    def meta(self) -> Dict:
+        """Picklable attachment recipe for workers."""
+        return dict(self._meta)
+
+    def scanner(self) -> HotColdFusedScanner:
+        """A :class:`HotColdFusedScanner` on the shared table (union
+        whole-dictionary totals view)."""
+        return HotColdFusedScanner(self.table)
+
+    @property
+    def input_bound(self) -> Optional[int]:
+        """Scans read raw bytes — the fold is part of the table."""
+        return None
+
+    @property
+    def size_bytes(self) -> int:
+        return self._shm.size
+
+    # -- lifetime -----------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release this process's mapping; unlink too if we created it."""
+        if self._shm is None:
+            return
+        self.table = None
+        self._shm.close()
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:
+                pass
+        self._shm = None
+
+    def __enter__(self) -> "SharedHotColdTable":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:
+        return (f"SharedHotColdTable(states={self._meta['num_states']}, "
+                f"hot={self._meta['num_hot']}, "
                 f"bytes={self._shm.size if self._shm else 0}, "
                 f"owner={self._owner})")

@@ -29,10 +29,11 @@ shutdown stops accepting, lets in-flight requests finish (bounded by
 ``drain_timeout``), then closes connections and releases pools.
 
 **Cross-request batching**: with ``batch_max > 1`` the daemon coalesces
-concurrently queued count-only ``SCAN`` requests into one fused
-:meth:`~repro.core.engine.FusedScanner.run_streams` call — the paper's
-16-interleaved-streams trick applied across clients instead of within
-one buffer.  A batch flushes when ``batch_max`` requests are queued or
+concurrently queued count-only ``SCAN`` requests into one multi-stream
+scan (:meth:`~repro.core.backends.ScanContext.batch_totals` — the
+cache-resident hot/cold union table when the dictionary supports one,
+else the stacked fused grid) — the paper's 16-interleaved-streams trick
+applied across clients instead of within one buffer.  A batch flushes when ``batch_max`` requests are queued or
 ``batch_wait`` seconds after the first one arrived, whichever comes
 first; each request still gets its own admission slot, response header
 and per-request metrics, plus batch-occupancy counters under
@@ -121,10 +122,11 @@ class _ScanBatcher:
     payload and either flushes a full batch immediately or arms a
     ``batch_wait`` timer on the first member.  A flush takes one
     registry lease and runs the whole batch as interleaved lanes of a
-    single :meth:`FusedScanner.run_streams` call on the scan pool;
-    per-request totals come back by summing each stream's column across
-    the DFA axis, so the counts are bit-identical to scanning each
-    payload alone.
+    single multi-stream scan on the scan pool —
+    :meth:`ScanContext.batch_totals` routes it through the
+    cache-resident hot/cold union table when the dictionary supports
+    one, else the stacked fused grid; the counts are bit-identical to
+    scanning each payload alone either way.
     """
 
     def __init__(self, service: "ScanService") -> None:
@@ -155,10 +157,7 @@ class _ScanBatcher:
 
     @staticmethod
     def _scan(ctx, payloads):
-        scanner = ctx.fused()
-        counts, _ = scanner.run_streams(payloads,
-                                        weights=scanner.weights)
-        return counts.sum(axis=0)       # per-stream totals over DFAs
+        return ctx.batch_totals(payloads)
 
     async def _run(self, items) -> None:
         service = self._service

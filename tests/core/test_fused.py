@@ -248,11 +248,14 @@ class TestFusedBackend:
         compiled = compiled_with_slices(4)
         raw = b"virus tac abab " * 200000       # past the serial ceiling
         with ScanContext(compiled) as ctx:
-            fused = execute(ctx, ScanRequest(data=raw))
+            auto = execute(ctx, ScanRequest(data=raw))
+            fused = execute(ctx, ScanRequest(data=raw, hot_cold=False))
             classic = execute(ctx, ScanRequest(data=raw, fuse=False))
+        assert auto.backend == "hotcold"    # union table, one pass
         assert fused.backend == "fused"
         assert classic.backend == "chunked"
-        assert fused.total_matches == classic.total_matches
+        assert auto.total_matches == fused.total_matches \
+            == classic.total_matches
 
 
 class TestSharedFusedTable:
