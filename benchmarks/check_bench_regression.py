@@ -120,7 +120,8 @@ def compare(baseline, fresh, backend=None, tolerance=0.30, out=sys.stdout):
 
 
 #: BENCH_fused.json per-slice throughput keys gated per D.
-FUSED_GATED_KEYS = ("fused_mb_per_s", "hotcold_mb_per_s")
+FUSED_GATED_KEYS = ("fused_mb_per_s", "hotcold_mb_per_s",
+                    "hotcold2_mb_per_s")
 
 
 def compare_fused(baseline, fresh, tolerance=0.30):

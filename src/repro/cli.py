@@ -57,8 +57,8 @@ def build_parser() -> argparse.ArgumentParser:
                       help="list individual match events")
     scan.add_argument("--backend", default="auto",
                       choices=["auto", "serial", "chunked", "fused",
-                               "hotcold", "pooled", "streaming",
-                               "cellsim"],
+                               "hotcold", "hotcold2", "pooled",
+                               "streaming", "cellsim"],
                       help="scan backend (default: auto — the execution "
                            "planner chooses)")
     scan.add_argument("--workers", type=int, default=1,
@@ -77,6 +77,15 @@ def build_parser() -> argparse.ArgumentParser:
                       action="store_false",
                       help="escape hatch: never auto-plan the hot/cold "
                            "union scan")
+    scan.add_argument("--two-byte", dest="two_byte", default=None,
+                      action="store_true",
+                      help="escape hatch: demand the two-byte-stride "
+                           "pair-symbol scan when auto-planning picks "
+                           "the union path (exact dictionaries only)")
+    scan.add_argument("--no-two-byte", dest="two_byte",
+                      action="store_false",
+                      help="escape hatch: never auto-plan the two-byte-"
+                           "stride pair-symbol scan")
 
     plan = sub.add_parser("plan", help="size a dictionary deployment")
     group = plan.add_mutually_exclusive_group(required=True)
@@ -106,8 +115,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="treat patterns as regular expressions")
     serve.add_argument("--backend", default="auto",
                        choices=["auto", "serial", "chunked", "fused",
-                                "hotcold", "pooled", "streaming",
-                                "cellsim"],
+                                "hotcold", "hotcold2", "pooled",
+                                "streaming", "cellsim"],
                        help="default SCAN backend (default: auto)")
     serve.add_argument("--workers", type=int, default=1,
                        help="worker processes for parallel backends")
@@ -156,8 +165,8 @@ def build_parser() -> argparse.ArgumentParser:
                       help="file with one pattern per line")
     load.add_argument("--backend", default="auto",
                       choices=["auto", "serial", "chunked", "fused",
-                               "hotcold", "pooled", "streaming",
-                               "cellsim"],
+                               "hotcold", "hotcold2", "pooled",
+                               "streaming", "cellsim"],
                       help="daemon SCAN backend (in-process daemon only)")
     load.add_argument("--workers", type=int, default=1)
     load.add_argument("--batch-max", type=int, default=1,
@@ -218,7 +227,8 @@ def _cmd_scan(args) -> int:
             report = matcher.scan(args.text.encode(),
                                   with_events=args.events,
                                   workers=args.workers, backend=backend,
-                                  fuse=fuse, hot_cold=args.hot_cold)
+                                  fuse=fuse, hot_cold=args.hot_cold,
+                                  two_byte=args.two_byte)
         elif args.events or backend not in (None, "streaming"):
             # Events and the block-only backends need the bytes in one
             # piece; everything else streams.
@@ -226,7 +236,8 @@ def _cmd_scan(args) -> int:
                 report = matcher.scan(fh.read(), with_events=args.events,
                                       workers=args.workers,
                                       backend=backend, fuse=fuse,
-                                      hot_cold=args.hot_cold)
+                                      hot_cold=args.hot_cold,
+                                      two_byte=args.two_byte)
         else:
             # File input flows through the staging ring — the file is
             # never materialized in memory.

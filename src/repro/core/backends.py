@@ -19,6 +19,7 @@ serial     reference event walk over every slice DFA                §3
 chunked    in-process speculative fixpoint over the flat table      §4
 fused      stacked multi-slice STT, one pass for every slice        §6
 hotcold    cache-resident hot/cold union table, one gather per byte §4
+hotcold2   pair-symbol hot table, one gather per two input bytes      §4
 pooled     sharded process pool + shared STT + incremental repair   §6a
 streaming  double-buffered staging ring, bounded-memory streams     Fig. 5
 cellsim    exact counts + cycle-accounted Cell model (Table 1 v4)   §4/T1
@@ -112,6 +113,12 @@ class ScanRequest:
     #: stacked fused path, ``True`` demands the cache-resident union
     #: scan (exact dictionaries only).  Only consulted by auto-planning.
     hot_cold: Optional[bool] = None
+    #: Two-byte-stride escape hatch within the union-scan choice:
+    #: ``None`` auto-selects the pair path exactly when the
+    #: full-coverage pair table fits the hot budget, ``False`` keeps
+    #: the one-byte union scan, ``True`` demands the pair path even at
+    #: partial coverage.  Only consulted by auto-planning.
+    two_byte: Optional[bool] = None
 
     def __post_init__(self) -> None:
         given = sum(x is not None
@@ -143,6 +150,12 @@ class ScanContext:
     def __init__(self, compiled: CompiledDictionary) -> None:
         self.compiled = compiled
         self._sharded: Dict[int, object] = {}
+        #: Scanner-side counters of the most recent
+        #: :meth:`batch_totals` call (``None`` when it took the stacked
+        #: fused path, which has no hot/cold accounting): scanner name,
+        #: steps, cold_steps, escapes, hot_hit_rate.  The service's
+        #: batcher aggregates these per dictionary generation.
+        self.last_batch_scan_stats: Optional[Dict] = None
 
     def scanners(self):
         return self.compiled.scanners()
@@ -166,6 +179,17 @@ class ScanContext:
                 "dictionaries have none (use the fused backend)")
         return self.compiled.hot_cold_scanner()
 
+    def hot_cold2(self):
+        """The dictionary's cached
+        :class:`~repro.core.engine.HotCold2Scanner` (pair-symbol hot
+        table over the union automaton, two input bytes per gather).
+        Exact dictionaries only."""
+        if not self.compiled.supports_hot_cold:
+            raise BackendError(
+                "two-byte-stride scanning needs the union automaton; "
+                "regex dictionaries have none (use the fused backend)")
+        return self.compiled.hot_cold2_scanner()
+
     def batch_totals(self, payloads) -> np.ndarray:
         """Whole-dictionary totals for a batch of independent payloads
         in one multi-stream pass — the service batcher's engine.  Routes
@@ -180,11 +204,25 @@ class ScanContext:
         if c.supports_hot_cold and (
                 c.num_slices > 1
                 or c.fused_table_bytes > CACHE_BUDGET_BYTES):
+            if c.pair_table_fits():
+                hc2 = self.hot_cold2()
+                hc2.reset_stats()
+                counts, _ = hc2.run_streams(payloads,
+                                            weights=hc2.weights)
+                self.last_batch_scan_stats = dict(
+                    hc2.stats, scanner="hotcold2",
+                    hot_hit_rate=hc2.hot_hit_rate)
+                return counts
             hc = self.hot_cold()
+            hc.reset_stats()
             counts, _ = hc.run_streams(payloads, weights=hc.weights)
+            self.last_batch_scan_stats = dict(
+                hc.stats, scanner="hotcold",
+                hot_hit_rate=hc.hot_hit_rate)
             return counts
         fs = self.fused()
         counts, _ = fs.run_streams(payloads, weights=fs.weights)
+        self.last_batch_scan_stats = None
         return counts.sum(axis=0)
 
     def sharded(self, workers: int):
@@ -417,6 +455,53 @@ class HotColdBackend(ScanBackend):
 
 
 @register_backend
+class HotCold2Backend(ScanBackend):
+    """Two-byte-stride union scan: the hot/cold union automaton's
+    hottest states squared into a pair-symbol table (one gather
+    advances two input bytes — the paper's §4 loop unrolling pushed
+    into the table itself), escapes replayed one byte at a time, and
+    per-slice counts recovered D-invariantly from union-state
+    accounting."""
+
+    name = "hotcold2"
+    kinds = ("block",)
+    paper_section = "§4 (unrolled inner loop as a pair-symbol table)"
+    description = "pair-symbol hot table, two input bytes per gather"
+
+    #: Speculation granularity floor, widened to
+    #: engine.HOTCOLD_LANES_TARGET on large inputs.
+    chunks = 256
+
+    def scan(self, ctx: ScanContext, request: ScanRequest) -> ScanOutcome:
+        from .engine import HOTCOLD_LANES_TARGET, count_arr
+
+        self._require_kind(request)
+        arr = np.frombuffer(request.data, dtype=np.uint8)
+        hc2 = ctx.hot_cold2()
+        hc2.reset_stats()
+        total = 0
+        if arr.size:
+            cnt, _ = count_arr(hc2, arr, self.chunks, hc2.start,
+                               weights=hc2.weights,
+                               lanes_target=HOTCOLD_LANES_TARGET)
+            total = int(cnt)
+        t = hc2.table
+        return ScanOutcome(
+            total_matches=total,
+            bytes_scanned=arr.size,
+            backend=self.name,
+            stats={"slices": ctx.compiled.num_slices,
+                   "chunks": self.chunks,
+                   "union_states": t.num_states,
+                   "hot2_states": t.num_hot2,
+                   "hot2_bytes": t.hot2_bytes,
+                   "table_bytes": t.table_bytes,
+                   "hot_hit_rate": hc2.hot_hit_rate,
+                   "cold_steps": hc2.stats["cold_steps"],
+                   "escapes": hc2.stats["escapes"]})
+
+
+@register_backend
 class PooledBackend(ScanBackend):
     """Sharded process pool: shared-memory STT, speculative shard scans,
     incremental cross-shard repair — exact counts at multicore speed."""
@@ -524,7 +609,10 @@ def execute(ctx: ScanContext, request: ScanRequest,
                             fuse=request.fuse,
                             exact=ctx.compiled.supports_hot_cold,
                             fused_bytes=ctx.compiled.fused_table_bytes,
-                            hot_cold=request.hot_cold).backend
+                            hot_cold=request.hot_cold,
+                            two_byte=request.two_byte,
+                            pair_fit=ctx.compiled.pair_table_fits(),
+                            ).backend
     chosen = get_backend(name)
     if request.with_events and not chosen.supports_events:
         raise BackendError(

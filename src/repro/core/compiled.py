@@ -46,10 +46,13 @@ from ..dfa.alphabet import FoldMap, case_fold_32
 from ..dfa.aho_corasick import AhoCorasick
 from ..dfa.automaton import DFA, DFAError, MatchEvent
 from ..dfa.partition import PartitionedDictionary, partition_patterns
+from .compressed import ColdRowStore
 from .engine import (HOT_BUDGET_BYTES, FlatScanner, FusedScanner,
-                     FusedTable, HotColdFusedScanner, HotColdFusedTable,
-                     build_flat_table, build_hot_cold_table,
-                     build_weight_table, fuse_tables, project_states,
+                     FusedTable, HotCold2Scanner, HotCold2Table,
+                     HotColdFusedScanner, HotColdFusedTable,
+                     build_flat_table, build_hot_cold2_table,
+                     build_hot_cold_table, build_weight_table,
+                     fuse_tables, pair_symbol_table, project_states,
                      visit_order)
 
 __all__ = [
@@ -61,6 +64,7 @@ __all__ = [
     "hot_budget_bytes",
     "COUNTERS",
     "TABLE_FORMAT_VERSION",
+    "COMPAT_TABLE_FORMAT_VERSIONS",
 ]
 
 #: Version of the compiled-table layout (flag-encoded flat rows, weight
@@ -78,7 +82,19 @@ __all__ = [
 #: union→slice state maps — so a warm start derives a
 #: :class:`~repro.core.engine.HotColdFusedTable` at any hot-budget
 #: without an Aho–Corasick build or a profiling pass.
-TABLE_FORMAT_VERSION = 4
+#:
+#: v5: exact-mode artifacts add the pair-symbol layout for two-byte
+#: stride scanning (the composed ``foldpair`` gather table), and the
+#: multi-slice union transition matrix is stored in the
+#: :class:`~repro.core.compressed.ColdRowStore` shared-default-row
+#: encoding instead of densely.  v5 loaders still accept v4 files
+#: (the pair layout is then derived on first use), so an upgrade does
+#: not cold-start a warm cache.
+TABLE_FORMAT_VERSION = 5
+
+#: Format versions :class:`ArtifactCache` can still load.  Order
+#: matters: probed newest-first.
+COMPAT_TABLE_FORMAT_VERSIONS = (5, 4)
 
 #: Compile-work observability.  ``automaton_builds`` counts every
 #: Aho–Corasick construction and regex determinization; the cache
@@ -194,6 +210,11 @@ class CompiledDictionary:
     _hotcold_budget: Optional[int] = field(default=None, repr=False)
     _hotcold_scanner: Optional[HotColdFusedScanner] = \
         field(default=None, repr=False)
+    _hotcold2: Optional[HotCold2Table] = field(default=None, repr=False)
+    _hotcold2_budget: Optional[int] = field(default=None, repr=False)
+    _hotcold2_scanner: Optional[HotCold2Scanner] = \
+        field(default=None, repr=False)
+    _pair_foldpair: Optional[np.ndarray] = field(default=None, repr=False)
 
     # -- shape --------------------------------------------------------------------
 
@@ -367,6 +388,66 @@ class CompiledDictionary:
             self._hotcold_scanner = HotColdFusedScanner(table)
         return self._hotcold_scanner
 
+    # -- two-byte stride (pair) tables ----------------------------------------------
+
+    def foldpair_table(self) -> np.ndarray:
+        """The composed pair-symbol gather table (v5 artifact row;
+        derived on first use for v4 loads and fresh compiles)."""
+        if self._pair_foldpair is None:
+            self._pair_foldpair = pair_symbol_table(self.fold.np_table,
+                                                    self.fold.width)
+        return self._pair_foldpair
+
+    def pair_table_fits(self, budget_bytes: Optional[int] = None) -> bool:
+        """Whether a *full-coverage* pair table fits the hot budget.
+
+        Computed arithmetically from an upper bound on the union state
+        count (the sum of slice states — prefix sharing only shrinks
+        it), because the planner must decide before anything is built.
+        Full coverage means the two-byte path never escapes to the
+        byte-replay slow path, which is when auto-selecting it is a
+        pure win."""
+        if not self.supports_hot_cold:
+            return False
+        budget = hot_budget_bytes() if budget_bytes is None \
+            else int(budget_bytes)
+        bound = self.total_states + 1
+        if bound + 1 > np.iinfo(np.int16).max:
+            return False
+        w2 = self.fold.width * self.fold.width
+        return bound * w2 * 2 <= budget
+
+    def hot_cold2_table(self, budget_bytes: Optional[int] = None
+                        ) -> HotCold2Table:
+        """The two-byte stride execution table: the folded alphabet
+        squared over the hottest union states under ``budget_bytes``
+        (default: the :func:`hot_budget_bytes` policy), layered on
+        :meth:`hot_cold_table`.  Cached per budget."""
+        if not self.supports_hot_cold:
+            raise CompileError(
+                "pair tables require an exact-mode dictionary")
+        budget = hot_budget_bytes() if budget_bytes is None \
+            else int(budget_bytes)
+        if self._hotcold2 is None or self._hotcold2_budget != budget:
+            base = self.hot_cold_table(budget)
+            union = self.union_dfa()
+            self._hotcold2 = build_hot_cold2_table(
+                union.transitions, union.final_mask, base,
+                budget_bytes=budget, mass=self._union_mass,
+                foldpair=self.foldpair_table())
+            self._hotcold2_budget = budget
+            self._hotcold2_scanner = None
+        return self._hotcold2
+
+    def hot_cold2_scanner(self, budget_bytes: Optional[int] = None
+                          ) -> HotCold2Scanner:
+        """A :class:`HotCold2Scanner` over :meth:`hot_cold2_table`,
+        cached alongside it."""
+        table = self.hot_cold2_table(budget_bytes)
+        if self._hotcold2_scanner is None:
+            self._hotcold2_scanner = HotCold2Scanner(table)
+        return self._hotcold2_scanner
+
     # -- reference scanning ---------------------------------------------------------
 
     def match_events(self, raw: bytes) -> List[MatchEvent]:
@@ -524,9 +605,11 @@ class ArtifactCache:
         self.directory = pathlib.Path(directory).expanduser() \
             if directory is not None else _default_cache_dir()
 
-    def path_for(self, fingerprint: str) -> pathlib.Path:
-        return self.directory / \
-            f"{fingerprint}-v{TABLE_FORMAT_VERSION}.npz"
+    def path_for(self, fingerprint: str,
+                 version: Optional[int] = None) -> pathlib.Path:
+        if version is None:
+            version = TABLE_FORMAT_VERSION
+        return self.directory / f"{fingerprint}-v{version}.npz"
 
     # -- store ---------------------------------------------------------------------
 
@@ -586,9 +669,23 @@ class ArtifactCache:
             if compiled._union_mass is not None:
                 arrays["hotcold_mass"] = np.asarray(
                     compiled._union_mass, dtype=np.float64)
+            # v5: the composed pair-symbol gather table, so a warm
+            # start builds the two-byte stride path with zero fold
+            # composition passes.
+            arrays["hotcold2_foldpair"] = compiled.foldpair_table()
             if compiled.num_slices > 1:
                 union = compiled.union_dfa()
-                arrays["union_trans"] = union.transitions
+                # v5: union rows ride the ColdRowStore shared-default
+                # encoding (most union rows differ from the start row
+                # only at trie edges, so the exception list is small).
+                store_csr = ColdRowStore.from_rows(
+                    np.asarray(union.transitions),
+                    np.asarray(union.transitions)[union.start])
+                arrays["union_csr_keys"] = store_csr.keys
+                arrays["union_csr_vals"] = store_csr.vals
+                arrays["union_csr_default"] = store_csr.default_row
+                arrays["union_csr_rows"] = np.asarray(
+                    [union.num_states], dtype=np.int64)
                 arrays["union_final"] = union.final_mask.astype(np.uint8)
                 arrays["union_start"] = np.asarray([union.start],
                                                    dtype=np.int64)
@@ -624,8 +721,15 @@ class ArtifactCache:
         Corrupt files, stale format versions and fingerprint mismatches
         are all misses — the caller recompiles and overwrites.
         """
-        path = self.path_for(fingerprint)
-        if not path.exists():
+        path = None
+        candidates = [self.path_for(fingerprint)]
+        candidates += [self.path_for(fingerprint, v)
+                       for v in COMPAT_TABLE_FORMAT_VERSIONS]
+        for candidate in candidates:
+            if candidate.exists():
+                path = candidate
+                break
+        if path is None:
             COUNTERS["cache_misses"] += 1
             return None
         try:
@@ -643,7 +747,7 @@ class ArtifactCache:
             meta = json.loads(bytes(data["meta"]).decode())
             if meta.get("magic") != "repro-compiled-dictionary":
                 raise ValueError("bad magic")
-            if meta.get("version") != TABLE_FORMAT_VERSION:
+            if meta.get("version") not in COMPAT_TABLE_FORMAT_VERSIONS:
                 raise ValueError("stale table-format version")
             if meta.get("fingerprint") != fingerprint:
                 raise ValueError("fingerprint mismatch")
@@ -693,16 +797,30 @@ class ArtifactCache:
                         sum(d.num_states for d in dfas) * fused.stride):
                     raise ValueError("fused table shape mismatch")
             union = None
-            if "union_trans" in data.files:
+            utrans = None
+            if "union_trans" in data.files:        # v4: dense rows
+                utrans = data["union_trans"]
+            elif "union_csr_keys" in data.files:   # v5: shared-default
+                utrans = ColdRowStore(
+                    data["union_csr_keys"], data["union_csr_vals"],
+                    data["union_csr_default"],
+                    int(data["union_csr_rows"][0])).dense_rows()
+            if utrans is not None:
                 upairs = data["union_outputs"]
                 uout: Dict[int, Tuple[int, ...]] = {}
                 for s, p in upairs:
                     uout.setdefault(int(s), ())
                     uout[int(s)] += (int(p),)
-                union = DFA(data["union_trans"],
+                union = DFA(utrans,
                             finals=np.nonzero(data["union_final"])[0],
                             start=int(data["union_start"][0]),
                             outputs=uout)
+            pair_foldpair = None
+            if "hotcold2_foldpair" in data.files:
+                pair_foldpair = np.ascontiguousarray(
+                    data["hotcold2_foldpair"], dtype=np.uint16)
+                if pair_foldpair.shape != (65536,):
+                    raise ValueError("pair-symbol table shape mismatch")
             union_order = None
             union_mass = None
             slice_maps = None
@@ -734,7 +852,8 @@ class ArtifactCache:
             groups=tuple(groups), dfas=tuple(dfas),
             fingerprint=fingerprint, partition=partition, _fused=fused,
             _union=union, _union_order=union_order,
-            _union_mass=union_mass, _slice_maps=slice_maps)
+            _union_mass=union_mass, _slice_maps=slice_maps,
+            _pair_foldpair=pair_foldpair)
 
     def __repr__(self) -> str:
         return f"ArtifactCache({str(self.directory)!r})"

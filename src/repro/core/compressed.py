@@ -97,6 +97,18 @@ class ColdRowStore:
     def lookup_one(self, row: int, col: int) -> int:
         return int(self.lookup(np.asarray([row]), np.asarray([col]))[0])
 
+    def dense_rows(self) -> np.ndarray:
+        """Reconstruct the full ``(num_rows, width)`` matrix — the
+        inverse of :meth:`from_rows`.  One broadcast plus one scatter,
+        so artifact loaders can persist the shared-default encoding and
+        still hand dense rows to table builders."""
+        out = np.broadcast_to(
+            self.default_row, (self.num_rows, self.width)).copy()
+        if self.keys.size:
+            out[self.keys // self.width,
+                self.keys % self.width] = self.vals
+        return out
+
     @property
     def stored_transitions(self) -> int:
         return int(self.keys.size)

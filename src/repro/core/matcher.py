@@ -221,7 +221,8 @@ class CellStringMatcher:
              with_events: bool = False, workers: int = 1,
              backend: Optional[str] = None,
              fuse: bool = True,
-             hot_cold: Optional[bool] = None) -> ScanReport:
+             hot_cold: Optional[bool] = None,
+             two_byte: Optional[bool] = None) -> ScanReport:
         """Scan one contiguous buffer; returns counts (and, optionally,
         the full list of match events with end positions).
 
@@ -233,7 +234,9 @@ class CellStringMatcher:
         several slices (``fuse=False`` is the escape hatch back to one
         pass per slice, ``hot_cold`` overrides the planner's choice
         between the cache-resident union scan and the stacked fused
-        grid).  ``workers > 1`` routes through the host-parallel layer
+        grid, and ``two_byte`` overrides its choice between the
+        one-byte union scan and the pair-symbol two-byte-stride
+        variant).  ``workers > 1`` routes through the host-parallel layer
         (shared-memory STTs, a persistent process pool, cross-shard
         fixpoint repair).  Only the serial reporting backend produces
         events and per-pattern attribution.
@@ -246,7 +249,7 @@ class CellStringMatcher:
         outcome = self._execute(
             ScanRequest(data=raw, workers=workers,
                         with_events=with_events, fuse=fuse,
-                        hot_cold=hot_cold), backend)
+                        hot_cold=hot_cold, two_byte=two_byte), backend)
         return self._report(outcome)
 
     def scan_iter(self, chunks: Iterable[Union[str, bytes]],

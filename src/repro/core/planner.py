@@ -182,6 +182,8 @@ def plan_backend(nbytes: Optional[int] = None, streaming: bool = False,
                  exact: bool = False,
                  fused_bytes: Optional[int] = None,
                  hot_cold: Optional[bool] = None,
+                 two_byte: Optional[bool] = None,
+                 pair_fit: bool = False,
                  serial_byte_ceiling: int = SERIAL_BYTE_CEILING,
                  cache_budget: int = CACHE_BUDGET_BYTES,
                  ) -> ExecutionPlan:
@@ -208,6 +210,19 @@ def plan_backend(nbytes: Optional[int] = None, streaming: bool = False,
     escape hatch — ``False`` forces the stacked path, ``True`` demands
     the union scan (still gated on ``exact``), ``None`` lets the
     footprint rule decide.
+
+    Within the union-scan choice, the *two-byte stride* variant
+    (``hotcold2``) consumes an input pair per gather over a squared-
+    alphabet table on the hot states.  It is auto-selected when the
+    caller certifies the full-coverage pair table fits the hot budget
+    (``pair_fit=True``, see ``CompiledDictionary.pair_table_fits``) —
+    full coverage means the pair loop never escapes, so it strictly
+    dominates the one-byte path.  ``two_byte`` is the escape hatch:
+    ``False`` keeps the one-byte union scan, ``True`` demands the pair
+    path even when the table would not reach full coverage (partial
+    coverage still wins when the hot set absorbs most transitions) and
+    implies the union scan itself, the way ``hot_cold=True`` does —
+    unless ``hot_cold=False`` explicitly pins the stacked path.
     """
     if with_events:
         return ExecutionPlan(
@@ -221,9 +236,18 @@ def plan_backend(nbytes: Optional[int] = None, streaming: bool = False,
             "pooled", f"{workers} workers amortise the sharded pool")
     if nbytes is not None and nbytes > serial_byte_ceiling:
         want_hc = hot_cold if hot_cold is not None else (
-            fuse and (num_slices > 1
-                      or (fused_bytes or 0) > cache_budget))
+            two_byte is True
+            or (fuse and (num_slices > 1
+                          or (fused_bytes or 0) > cache_budget)))
         if want_hc and exact:
+            want_pair = two_byte if two_byte is not None else pair_fit
+            if want_pair:
+                return ExecutionPlan(
+                    "hotcold2", f"{num_slices} slice(s) share one "
+                    f"union pass over {nbytes} bytes at two bytes per "
+                    f"gather; pair table "
+                    + ("fits the hot budget" if pair_fit
+                       else "forced by request"))
             return ExecutionPlan(
                 "hotcold", f"{num_slices} slice(s) share one union "
                 f"pass over {nbytes} bytes; hot partition stays "

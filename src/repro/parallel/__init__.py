@@ -25,14 +25,15 @@ generalized across processes and time).
 """
 
 from .ring import StagingRing
-from .shared_stt import (SharedFusedTable, SharedHotColdTable, SharedSTT,
-                         SharedSTTError)
+from .shared_stt import (SharedFusedTable, SharedHotCold2Table,
+                         SharedHotColdTable, SharedSTT, SharedSTTError)
 from .sharded import ShardedScanner, ShardedScanError
 
 __all__ = [
     "SharedSTT",
     "SharedFusedTable",
     "SharedHotColdTable",
+    "SharedHotCold2Table",
     "SharedSTTError",
     "ShardedScanner",
     "ShardedScanError",

@@ -38,11 +38,13 @@ from multiprocessing import shared_memory
 
 from ..dfa.alphabet import FoldMap
 from ..dfa.automaton import DFA
-from ..core.engine import (FusedTable, HotColdFusedTable, ScanDetail,
+from ..core.engine import (FusedTable, HotCold2Table,
+                           HotColdFusedTable, ScanDetail,
                            StreamResult, count_arr, count_arr_detail,
                            repair_detail)
 from .ring import StagingRing
-from .shared_stt import SharedFusedTable, SharedHotColdTable, SharedSTT
+from .shared_stt import (SharedFusedTable, SharedHotCold2Table,
+                         SharedHotColdTable, SharedSTT)
 
 __all__ = ["ShardedScanner", "ShardedScanError"]
 
@@ -63,7 +65,8 @@ _WORKER: Dict = {}
 
 def _init_worker(metas: List[Dict], ring_names: List[str],
                  fused_meta: Optional[Dict] = None,
-                 hotcold_meta: Optional[Dict] = None) -> None:
+                 hotcold_meta: Optional[Dict] = None,
+                 hotcold2_meta: Optional[Dict] = None) -> None:
     """Pool initializer: attach every shared artifact exactly once.
 
     With ``fused_meta`` the worker attaches one stacked-table segment
@@ -73,9 +76,19 @@ def _init_worker(metas: List[Dict], ring_names: List[str],
     With ``hotcold_meta`` it attaches one hot/cold union segment whose
     single scanner *is* the whole dictionary — every classic
     single-chain task shape works unchanged on top of it (the hot/cold
-    scanner is :class:`FlatScanner`-compatible).
+    scanner is :class:`FlatScanner`-compatible).  ``hotcold2_meta``
+    is the same single-chain shape over the pair-symbol two-byte-stride
+    table.
     """
-    if hotcold_meta is not None:
+    if hotcold2_meta is not None:
+        h2stt = SharedHotCold2Table.attach(hotcold2_meta)
+        scanner = h2stt.scanner()
+        _WORKER["artifacts"] = [h2stt]
+        _WORKER["fused"] = None
+        _WORKER["scanners"] = [scanner]
+        _WORKER["weights"] = [scanner.weights]
+        _WORKER["bounds"] = [h2stt.input_bound]
+    elif hotcold_meta is not None:
         hstt = SharedHotColdTable.attach(hotcold_meta)
         scanner = hstt.scanner()
         _WORKER["artifacts"] = [hstt]
@@ -281,6 +294,12 @@ class ShardedScanner:
         whole-dictionary totals only (per-slice attribution stays with
         the stacked-table modes).  Mutually exclusive with
         ``fused_table``/``tables``.
+    hot_cold2_table:
+        Optional pre-built :class:`~repro.core.engine.HotCold2Table`
+        (e.g. ``compiled.hot_cold2_table()``): the hot/cold sharing
+        mode upgraded to the pair-symbol two-byte-stride scan.  Same
+        contract as ``hot_cold_table`` (single union automaton, totals
+        only); mutually exclusive with every other table argument.
     """
 
     def __init__(self, dfas: Union[DFA, Sequence[DFA]],
@@ -294,7 +313,8 @@ class ShardedScanner:
                  start_method: Optional[str] = None,
                  tables: Optional[Sequence[tuple]] = None,
                  fused_table: Optional[FusedTable] = None,
-                 hot_cold_table: Optional[HotColdFusedTable] = None
+                 hot_cold_table: Optional[HotColdFusedTable] = None,
+                 hot_cold2_table: Optional[HotCold2Table] = None
                  ) -> None:
         if isinstance(dfas, DFA):
             dfas = [dfas]
@@ -307,16 +327,22 @@ class ShardedScanner:
             raise ShardedScanError(
                 f"fused table stacks {fused_table.num_dfas} DFAs, "
                 f"got {len(dfas)}")
+        if hot_cold2_table is not None:
+            if hot_cold_table is not None:
+                raise ShardedScanError(
+                    "hot_cold2_table is mutually exclusive with "
+                    "hot_cold_table")
+            hot_cold_table = hot_cold2_table.base
         if hot_cold_table is not None:
             if fused_table is not None or tables is not None:
                 raise ShardedScanError(
-                    "hot_cold_table is mutually exclusive with "
+                    "hot_cold(2)_table is mutually exclusive with "
                     "fused_table/tables")
             if len(dfas) != 1 or \
                     dfas[0].num_states != hot_cold_table.num_states:
                 raise ShardedScanError(
-                    "hot_cold_table needs exactly the union automaton "
-                    "it encodes")
+                    "hot_cold(2)_table needs exactly the union "
+                    "automaton it encodes")
         alphabet = dfas[0].alphabet_size
         if any(d.alphabet_size != alphabet for d in dfas):
             raise ShardedScanError("DFAs must share one alphabet")
@@ -342,6 +368,7 @@ class ShardedScanner:
         self._stts: List[SharedSTT] = []
         self._fused_stt: Optional[SharedFusedTable] = None
         self._hc_stt: Optional[SharedHotColdTable] = None
+        self._hc2_stt: Optional[SharedHotCold2Table] = None
         self._fused = None
         self._scanners: List = []
         self._weight_tables: List = []
@@ -350,7 +377,16 @@ class ShardedScanner:
         self._closed = False
         try:
             hotcold_meta = None
-            if hot_cold_table is not None:
+            hotcold2_meta = None
+            if hot_cold2_table is not None:
+                self._hc2_stt = SharedHotCold2Table(hot_cold2_table)
+                scanner = self._hc2_stt.scanner()
+                self._scanners = [scanner]
+                self._weight_tables = [scanner.weights]
+                metas = []
+                fused_meta = None
+                hotcold2_meta = self._hc2_stt.meta()
+            elif hot_cold_table is not None:
                 self._hc_stt = SharedHotColdTable(hot_cold_table)
                 scanner = self._hc_stt.scanner()
                 self._scanners = [scanner]
@@ -383,7 +419,7 @@ class ShardedScanner:
                 self._pool = ctx.Pool(
                     self.workers, initializer=_init_worker,
                     initargs=(metas, self._ring.names, fused_meta,
-                              hotcold_meta))
+                              hotcold_meta, hotcold2_meta))
         except BaseException:
             self.close()
             raise
@@ -391,6 +427,7 @@ class ShardedScanner:
     @classmethod
     def from_compiled(cls, compiled, workers: Optional[int] = None,
                       fuse: bool = True, hot_cold: bool = False,
+                      two_byte: bool = False,
                       **kwargs) -> "ShardedScanner":
         """A scanner over a :class:`~repro.core.compiled.CompiledDictionary`.
 
@@ -402,14 +439,21 @@ class ShardedScanner:
         slice).  ``hot_cold=True`` (exact dictionaries only) shares the
         cache-resident hot/cold union table instead: one single-chain
         segment for the whole dictionary, whole-dictionary totals only.
+        ``two_byte=True`` upgrades that sharing to the pair-symbol
+        two-byte-stride table (implies ``hot_cold``).
         """
         kwargs.setdefault("weighted", True)
-        if hot_cold:
+        if hot_cold or two_byte:
             if not compiled.supports_hot_cold:
                 raise ShardedScanError(
                     "hot/cold sharing needs the union automaton; regex "
                     "dictionaries have none")
-            kwargs.setdefault("hot_cold_table", compiled.hot_cold_table())
+            if two_byte:
+                kwargs.setdefault("hot_cold2_table",
+                                  compiled.hot_cold2_table())
+            else:
+                kwargs.setdefault("hot_cold_table",
+                                  compiled.hot_cold_table())
             return cls([compiled.union_dfa()], workers=workers,
                        fold=compiled.fold, **kwargs)
         if fuse and compiled.num_slices > 1 \
@@ -728,6 +772,9 @@ class ShardedScanner:
             hstt, self._hc_stt = self._hc_stt, None
             if hstt is not None:
                 hstt.close()
+            h2stt, self._hc2_stt = self._hc2_stt, None
+            if h2stt is not None:
+                h2stt.close()
             ring, self._ring = self._ring, None
             if ring is not None:
                 ring.close()

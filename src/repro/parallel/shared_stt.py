@@ -28,11 +28,12 @@ from ..dfa.alphabet import FoldMap
 from ..dfa.automaton import DFA
 from ..core.compressed import ColdRowStore
 from ..core.engine import (FlatScanner, FusedScanner, FusedTable,
+                           HotCold2Scanner, HotCold2Table,
                            HotColdFusedScanner, HotColdFusedTable,
                            build_flat_table, build_weight_table)
 
 __all__ = ["SharedSTT", "SharedFusedTable", "SharedHotColdTable",
-           "SharedSTTError"]
+           "SharedHotCold2Table", "SharedSTTError"]
 
 
 class SharedSTTError(Exception):
@@ -529,5 +530,184 @@ class SharedHotColdTable:
     def __repr__(self) -> str:
         return (f"SharedHotColdTable(states={self._meta['num_states']}, "
                 f"hot={self._meta['num_hot']}, "
+                f"bytes={self._shm.size if self._shm else 0}, "
+                f"owner={self._owner})")
+
+
+class SharedHotCold2Table:
+    """A pair-symbol two-byte-stride table (see
+    :func:`repro.core.engine.build_hot_cold2_table`) plus its base
+    hot/cold union table in one shared segment.
+
+    The sharded pool's fastest whole-dictionary mode: workers attach a
+    single block carrying the rank-space pair rows, the aux flag and
+    multiplicity tables, the pair fold, the rank-space single-step
+    table and the entire base hot/cold layout (hot rows, compressed
+    cold store, renumbering vectors), then scan two input bytes per
+    gather.  Whole-dictionary totals view only, like
+    :class:`SharedHotColdTable`.
+    """
+
+    #: ``(array name, dtype)`` in segment order; ``wflat`` is appended
+    #: separately because its dtype adapts to the multiplicity range.
+    _FIXED = (("hot_flat", np.int32), ("weights", np.int32),
+              ("keys", np.int64), ("vals", np.int32),
+              ("default_row", np.int32), ("fold_table", np.uint8),
+              ("hot_states", np.int64), ("cold_states", np.int64),
+              ("entry_cells", np.int32), ("hot2_flat", np.int16),
+              ("fflat", np.uint8), ("foldpair", np.uint16),
+              ("utr", np.int16), ("order", np.int64),
+              ("rank_of", np.int64), ("wstate", np.int32),
+              ("fstate", np.int32))
+
+    def __init__(self, table: HotCold2Table) -> None:
+        b = table.base
+        src = {"hot_flat": b.hot_flat, "weights": b.weights,
+               "keys": b.cold.keys, "vals": b.cold.vals,
+               "default_row": b.cold.default_row,
+               "fold_table": b.fold_table, "hot_states": b.hot_states,
+               "cold_states": b.cold_states,
+               "entry_cells": b.entry_cells,
+               "hot2_flat": table.hot2_flat, "fflat": table.fflat,
+               "foldpair": table.foldpair, "utr": table.utr,
+               "order": table.order, "rank_of": table.rank_of,
+               "wstate": table.wstate, "fstate": table.fstate}
+        arrays = [(name, np.ascontiguousarray(src[name], dtype=dt))
+                  for name, dt in self._FIXED]
+        arrays.append(("wflat", np.ascontiguousarray(table.wflat)))
+        if src["fold_table"].size != 256:
+            raise SharedSTTError("fold table must map all 256 bytes")
+        meta: Dict = {
+            "num_hot": int(b.num_hot),
+            "num_cold": int(b.num_cold),
+            "num_states": int(b.num_states),
+            "symbol_width": int(b.symbol_width),
+            "start": int(b.start),
+            "wflat_dtype": arrays[-1][1].dtype.str,
+            "pair_budget_bytes": int(table.pair_budget_bytes),
+            "hot2_mass": (None if table.hot2_mass is None
+                          else float(table.hot2_mass)),
+        }
+        offset = 0
+        for name, arr in arrays:
+            offset = _align(offset)
+            meta[f"off_{name}"] = offset
+            meta[f"n_{name}"] = int(arr.size)
+            offset += arr.nbytes
+        self._shm = shared_memory.SharedMemory(create=True,
+                                               size=max(offset, 1))
+        self._owner = True
+        meta["name"] = self._shm.name
+        self._meta = meta
+        # Fill before mapping: the cold store validates its sorted keys
+        # at construction, which a still-zeroed segment would fail.
+        buf = self._shm.buf
+        for name, arr in arrays:
+            np.frombuffer(buf, dtype=arr.dtype, count=arr.size,
+                          offset=meta[f"off_{name}"])[:] = arr
+        self._map_views()
+
+    @classmethod
+    def attach(cls, meta: Dict) -> "SharedHotCold2Table":
+        """Attach to an existing pair-table artifact (worker side,
+        zero-copy; the attacher never unlinks)."""
+        self = cls.__new__(cls)
+        self._shm = shared_memory.SharedMemory(name=meta["name"])
+        self._owner = False
+        self._meta = dict(meta)
+        self._map_views()
+        return self
+
+    def _map_views(self) -> None:
+        m = self._meta
+        buf = self._shm.buf
+
+        def view(name: str, dtype) -> np.ndarray:
+            return np.frombuffer(buf, dtype=dtype,
+                                 count=m[f"n_{name}"],
+                                 offset=m[f"off_{name}"])
+
+        self.symbol_width = m["symbol_width"]
+        cold = ColdRowStore(view("keys", np.int64),
+                            view("vals", np.int32),
+                            view("default_row", np.int32),
+                            m["num_cold"])
+        base = HotColdFusedTable(
+            hot_flat=view("hot_flat", np.int32),
+            weights=view("weights", np.int32),
+            cold=cold,
+            fold_table=view("fold_table", np.uint8),
+            hot_states=view("hot_states", np.int64),
+            cold_states=view("cold_states", np.int64),
+            entry_cells=view("entry_cells", np.int32),
+            start=m["start"],
+            num_states=m["num_states"],
+            symbol_width=m["symbol_width"])
+        self.table = HotCold2Table(
+            base=base,
+            hot2_flat=view("hot2_flat", np.int16),
+            wflat=view("wflat", np.dtype(m["wflat_dtype"])),
+            fflat=view("fflat", np.uint8),
+            foldpair=view("foldpair", np.uint16),
+            utr=view("utr", np.int16),
+            order=view("order", np.int64),
+            rank_of=view("rank_of", np.int64),
+            wstate=view("wstate", np.int32),
+            fstate=view("fstate", np.int32),
+            pair_budget_bytes=m["pair_budget_bytes"],
+            hot2_mass=m["hot2_mass"])
+
+    # -- use ----------------------------------------------------------------------
+
+    def meta(self) -> Dict:
+        """Picklable attachment recipe for workers."""
+        return dict(self._meta)
+
+    def scanner(self) -> HotCold2Scanner:
+        """A :class:`HotCold2Scanner` on the shared table (union
+        whole-dictionary totals view)."""
+        return HotCold2Scanner(self.table)
+
+    @property
+    def input_bound(self) -> Optional[int]:
+        """Scans read raw bytes — the fold is part of the table."""
+        return None
+
+    @property
+    def size_bytes(self) -> int:
+        return self._shm.size
+
+    # -- lifetime -----------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release this process's mapping; unlink too if we created it."""
+        if self._shm is None:
+            return
+        self.table = None
+        self._shm.close()
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:
+                pass
+        self._shm = None
+
+    def __enter__(self) -> "SharedHotCold2Table":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:
+        w2 = self._meta["symbol_width"] ** 2
+        hot2 = (self._meta["n_hot2_flat"] - 1) // w2
+        return (f"SharedHotCold2Table(states={self._meta['num_states']},"
+                f" hot2={hot2}, "
                 f"bytes={self._shm.size if self._shm else 0}, "
                 f"owner={self._owner})")

@@ -157,7 +157,8 @@ class _ScanBatcher:
 
     @staticmethod
     def _scan(ctx, payloads):
-        return ctx.batch_totals(payloads)
+        totals = ctx.batch_totals(payloads)
+        return totals, ctx.last_batch_scan_stats
 
     async def _run(self, items) -> None:
         service = self._service
@@ -166,11 +167,14 @@ class _ScanBatcher:
         try:
             with service.registry.lease() as gen:
                 t0 = time.perf_counter()
-                totals = await loop.run_in_executor(
+                totals, scan_stats = await loop.run_in_executor(
                     service._scan_pool,
                     partial(self._scan, gen.ctx, payloads))
                 seconds = time.perf_counter() - t0
                 service.metrics.record_batch(len(items))
+                if scan_stats:
+                    service.metrics.record_scanner_stats(gen.gen_id,
+                                                         scan_stats)
                 for (_, future), matches in zip(items, totals):
                     if not future.done():
                         future.set_result({

@@ -117,6 +117,7 @@ class ServiceMetrics:
         self.batches = 0
         self.batched_requests = 0
         self.batch_high_water = 0
+        self._scanners: Dict[int, Dict[str, object]] = {}
 
     # -- recording -----------------------------------------------------------------
 
@@ -162,6 +163,26 @@ class ServiceMetrics:
             self.batched_requests += occupancy
             if occupancy > self.batch_high_water:
                 self.batch_high_water = occupancy
+
+    def record_scanner_stats(self, gen_id: int, stats: Dict) -> None:
+        """Accumulate one batch's hot/cold scanner counters under its
+        dictionary generation.  ``stats`` is
+        :attr:`ScanContext.last_batch_scan_stats`: scanner name plus
+        steps / cold_steps / escapes (hot_hit_rate is recomputed from
+        the aggregated step counts at snapshot time)."""
+        if not stats:
+            return
+        with self._lock:
+            agg = self._scanners.get(gen_id)
+            if agg is None:
+                agg = self._scanners[gen_id] = {
+                    "scanner": stats.get("scanner", "?"),
+                    "batches": 0, "steps": 0, "cold_steps": 0,
+                    "escapes": 0}
+            agg["scanner"] = stats.get("scanner", agg["scanner"])
+            agg["batches"] += 1
+            for key in ("steps", "cold_steps", "escapes"):
+                agg[key] += int(stats.get(key, 0))
 
     def record_flow_evictions(self, count: int) -> None:
         if count:
@@ -209,4 +230,11 @@ class ServiceMetrics:
                 },
                 "backends": {name: hist.snapshot()
                              for name, hist in self._backends.items()},
+                "scanners": {
+                    str(gen_id): dict(
+                        agg,
+                        hot_hit_rate=(
+                            1.0 - agg["cold_steps"] / agg["steps"]
+                            if agg["steps"] else 1.0))
+                    for gen_id, agg in self._scanners.items()},
             }

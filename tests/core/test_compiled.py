@@ -149,6 +149,8 @@ class TestArtifactCache:
         old_path = cache.path_for(built.fingerprint)
         monkeypatch.setattr(compiled_mod, "TABLE_FORMAT_VERSION",
                             TABLE_FORMAT_VERSION + 1)
+        monkeypatch.setattr(compiled_mod, "COMPAT_TABLE_FORMAT_VERSIONS",
+                            (TABLE_FORMAT_VERSION + 1,))
         old_path.rename(cache.path_for(built.fingerprint))
         before = dict(COUNTERS)
         assert cache.load(built.fingerprint) is None

@@ -251,7 +251,10 @@ class TestFusedBackend:
             auto = execute(ctx, ScanRequest(data=raw))
             fused = execute(ctx, ScanRequest(data=raw, hot_cold=False))
             classic = execute(ctx, ScanRequest(data=raw, fuse=False))
-        assert auto.backend == "hotcold"    # union table, one pass
+        # union table, one pass — at pair stride when the squared
+        # table reaches full coverage
+        assert auto.backend == ("hotcold2" if compiled.pair_table_fits()
+                                else "hotcold")
         assert fused.backend == "fused"
         assert classic.backend == "chunked"
         assert auto.total_matches == fused.total_matches \

@@ -13,6 +13,7 @@ from repro.baselines.naive import NaiveMatcher
 from repro.core.backends import (BackendError, ScanContext, ScanRequest,
                                  execute)
 from repro.core.compiled import (ArtifactCache, COUNTERS,
+                                 TABLE_FORMAT_VERSION,
                                  compile_dictionary)
 from repro.core.engine import (DFAError, FlatScanner, HotColdFusedScanner,
                                count_arr)
@@ -250,12 +251,19 @@ class TestBackendExecution:
     def test_auto_selects_hotcold_and_counts_match(self):
         compiled = compiled_with_slices(4)
         ctx = ScanContext(compiled)
-        auto = execute(ctx, ScanRequest(self.RAW))
+        # With no override the planner may upgrade to the two-byte
+        # pair path when its full-coverage table fits the budget;
+        # two_byte=False pins the one-byte union scan under test here.
+        auto = execute(ctx, ScanRequest(self.RAW, two_byte=False))
         forced = execute(ctx, ScanRequest(self.RAW), backend="fused")
         assert auto.backend == "hotcold"
         assert auto.total_matches == forced.total_matches
         assert auto.stats["hot_states"] >= 1
         assert 0.0 <= auto.stats["hot_hit_rate"] <= 1.0
+        free = execute(ctx, ScanRequest(self.RAW))
+        assert free.backend == ("hotcold2" if compiled.pair_table_fits()
+                                else "hotcold")
+        assert free.total_matches == forced.total_matches
 
     def test_escape_hatch_disables_hotcold(self):
         compiled = compiled_with_slices(4)
@@ -328,14 +336,15 @@ class TestArtifactMigration:
     def test_v3_named_artifact_is_a_miss_not_a_crash(self, tmp_path):
         cache = ArtifactCache(tmp_path)
         built = compile_dictionary(self.PATTERNS, cache=cache)
-        v4 = cache.path_for(built.fingerprint)
-        v3 = v4.with_name(v4.name.replace("-v4", "-v3"))
-        v4.rename(v3)           # what a pre-upgrade cache dir contains
+        cur = cache.path_for(built.fingerprint)
+        v3 = cur.with_name(cur.name.replace(
+            f"-v{TABLE_FORMAT_VERSION}", "-v3"))
+        cur.rename(v3)          # what a pre-upgrade cache dir contains
         before = dict(COUNTERS)
         cd = compile_dictionary(self.PATTERNS, cache=cache)
         assert COUNTERS["cache_misses"] == before["cache_misses"] + 1
         assert cd.hot_cold_scanner() is not None
-        assert v4.exists() and v3.exists()      # old file left alone
+        assert cur.exists() and v3.exists()     # old file left alone
 
     def test_stale_meta_version_is_a_miss_not_a_crash(self, tmp_path):
         import io

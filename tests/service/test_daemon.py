@@ -273,6 +273,53 @@ class TestAdmissionControl:
                 assert self._occupy_then(handle, _second) == 1
 
 
+class TestScannerStats:
+    """Batched scans over a partitioned dictionary surface per-generation
+    hot/cold scanner statistics through STATS and the metrics table."""
+
+    PATTERNS = ["abab", "ABABAB", "BABA", "@[", "`{", "attack", "tac",
+                "backdoor", "virus", "worm", "trojan", "exploit",
+                "malware", "rootkit", "phish", "botnet"]
+
+    def test_stats_verb_reports_per_generation_scanner_stats(self):
+        # Partition the dictionary so the batch path takes the union
+        # scan (single-slice dictionaries stay on the stacked table).
+        compiled = compile_dictionary(self.PATTERNS, max_states=72)
+        assert compiled.num_slices > 1
+        config = ServiceConfig(port=0, batch_max=4, batch_wait=0.05)
+        service = ScanService(self.PATTERNS, config=config, max_states=72)
+        payloads = [b"x virus tac abab " * (i + 1) for i in range(8)]
+        with ServiceThread(service) as handle:
+            results = [None] * len(payloads)
+
+            def worker(i):
+                with ServiceClient(handle.host, handle.port) as c:
+                    results[i] = c.scan(payloads[i])
+
+            threads = [threading.Thread(target=worker, args=(i,))
+                       for i in range(len(payloads))]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            with ServiceClient(handle.host, handle.port) as client:
+                stats = client.stats()
+        assert all(r is not None for r in results)
+        scanners = stats["metrics"]["scanners"]
+        assert scanners                      # at least one generation
+        agg = next(iter(scanners.values()))
+        assert agg["scanner"] in ("hotcold2", "hotcold")
+        assert agg["batches"] >= 1
+        assert agg["steps"] > 0
+        assert 0.0 <= agg["hot_hit_rate"] <= 1.0
+        assert agg["cold_steps"] >= 0 and agg["escapes"] >= 0
+
+        from repro.analysis.report import metrics_table
+        rendered = metrics_table(stats["metrics"])
+        assert "hot/cold scanner stats by generation" in rendered
+        assert agg["scanner"] in rendered
+
+
 class TestShutdown:
     def test_shutdown_verb_drains_and_stops(self):
         with running_service(["virus"]) as handle:
