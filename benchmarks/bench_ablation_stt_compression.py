@@ -23,8 +23,7 @@ import pytest
 from repro.analysis import ascii_table
 from repro.core.compiled import compile_dictionary
 from repro.core.compressed import CompressedSTT
-from repro.core.engine import (HOTCOLD_LANES_TARGET, HotColdFusedScanner,
-                               count_arr)
+from repro.core.engine import HOTCOLD_LANES_TARGET, count_arr
 from repro.core.planner import plan_tile
 from repro.dfa import AhoCorasick
 from repro.dfa.alphabet import identity_fold
@@ -136,7 +135,7 @@ def test_cold_row_budget_sweep_report(shipping, report):
     for states, compiled, arr, dense_total in shipping:
         for budget in BUDGETS:
             table = compiled.hot_cold_table(budget_bytes=budget)
-            scanner = HotColdFusedScanner(table)
+            scanner = table.scanner()
             total = int(count_arr(scanner, arr, 256, scanner.start,
                                   weights=scanner.weights,
                                   lanes_target=HOTCOLD_LANES_TARGET)[0])
@@ -168,7 +167,7 @@ def test_cold_row_hit_rate_grows_with_budget(shipping):
         hits = []
         for budget in BUDGETS:
             table = compiled.hot_cold_table(budget_bytes=budget)
-            scanner = HotColdFusedScanner(table)
+            scanner = table.scanner()
             count_arr(scanner, arr, 256, scanner.start,
                       weights=scanner.weights,
                       lanes_target=HOTCOLD_LANES_TARGET)

@@ -25,6 +25,19 @@ Environment knobs:
   rising", with timing-noise headroom; waived in smoke mode).
 * ``REPRO_BENCH_HOTCOLD2_MIN`` — two-byte-stride speedup over the
   one-byte hot/cold scan at D=4 (default 1.4; waived in smoke mode).
+* ``REPRO_BENCH_PREFILTER_MIN`` — packed-prefilter pipeline speedup
+  over the bare hotcold2 scan on the low-match-density corpus
+  (default 2.0; waived in smoke mode).
+* ``REPRO_BENCH_PREFILTER_HIGH_FLOOR`` — screened MB/s as a fraction
+  of bare on the high-density corpus, where the prefilter must fall
+  through and cost at most one cheap vector pass (default 0.7;
+  waived in smoke mode).
+
+The prefilter sweep also supersedes the retired ``bench_future_bloom``
+as the filter-stage source of truth: the §7 Bloom direction and the
+packed trigram screen are the same filter-then-verify architecture,
+and this file reports the one that shipped (the Bloom tile's model
+keeps its unit coverage in ``tests/core/test_bloom_tile.py``).
 """
 
 import os
@@ -33,9 +46,9 @@ import time
 import numpy as np
 
 from repro.analysis import ascii_table
+from repro.core.backends import ScanContext, ScanRequest, execute
 from repro.core.compiled import compile_dictionary
-from repro.core.engine import (FlatScanner, HOTCOLD_LANES_TARGET,
-                               count_arr)
+from repro.core.engine import HOTCOLD_LANES_TARGET, count_arr
 from repro.dfa.alphabet import identity_fold
 from repro.workloads import plant_matches, random_payload, \
     random_signatures
@@ -49,11 +62,21 @@ HOTCOLD_FLOOR = float(os.environ.get("REPRO_BENCH_HOTCOLD_FLOOR",
                                      "0" if SMOKE else "0.7"))
 HOTCOLD2_MIN = float(os.environ.get("REPRO_BENCH_HOTCOLD2_MIN",
                                     "0" if SMOKE else "1.4"))
+PREFILTER_MIN = float(os.environ.get("REPRO_BENCH_PREFILTER_MIN",
+                                     "0" if SMOKE else "2.0"))
+PREFILTER_HIGH_FLOOR = float(
+    os.environ.get("REPRO_BENCH_PREFILTER_HIGH_FLOOR",
+                   "0" if SMOKE else "0.7"))
 CHUNKS = 256
 REPEATS = 2 if SMOKE else 3
 
 PATTERNS = random_signatures(32, 4, 10, seed=77)
 SLICE_TARGETS = (1, 2, 4, 8)
+
+#: Prefilter dictionary: realistic signature lengths (12-16 bytes, the
+#: Snort-content ballpark), which buys the q-gram screen a long
+#: sampling stride.
+PF_PATTERNS = random_signatures(32, 12, 16, seed=117)
 
 
 def _compile_for(target: int):
@@ -101,9 +124,7 @@ def test_fused_vs_per_dfa_sweep(report, report_json):
         fused = compiled.fused_scanner()
         hot_cold = compiled.hot_cold_scanner()
         hot_cold2 = compiled.hot_cold2_scanner()
-        scanners = [FlatScanner(flat, 256, dfa.start, dfa.num_states)
-                    for dfa, (flat, _) in zip(compiled.dfas,
-                                              compiled.tables())]
+        scanners = compiled.scanners()
 
         def per_dfa_pass():
             return np.asarray([count_arr(s, arr, CHUNKS, s.start)[0]
@@ -229,3 +250,132 @@ def test_fused_vs_per_dfa_sweep(report, report_json):
         assert results[4]["hotcold2_speedup"] >= HOTCOLD2_MIN, \
             f"two-byte stride {results[4]['hotcold2_speedup']}x over " \
             f"hot/cold at D=4, needs >= {HOTCOLD2_MIN}x"
+
+
+def _compile_pf(target: int):
+    """PF_PATTERNS partitioned into ``target`` slices (same search as
+    :func:`_compile_for`, different dictionary)."""
+    fold = identity_fold(32)
+    if target == 1:
+        return compile_dictionary(PF_PATTERNS, fold=fold)
+    for max_states in range(500, 4, -1):
+        try:
+            compiled = compile_dictionary(PF_PATTERNS, fold=fold,
+                                          max_states=max_states)
+        except Exception:
+            continue
+        if compiled.num_slices == target:
+            return compiled
+    return None
+
+
+def _pf_corpora(nbytes: int):
+    """Three match-density regimes for the screening stage:
+
+    * ``low``  — full-byte random traffic (most bytes fold outside the
+      signature alphabet) with rare planted signatures: the NIDS
+      steady state the prefilter is built for.
+    * ``mid``  — random traffic *inside* the folded signature alphabet
+      with frequent plants: every byte could start a match, the mask
+      fires often, screening must still not lose.
+    * ``high`` — back-to-back signatures: the adversarial saturation
+      corpus where the prefilter must fall through.
+    """
+    low = plant_matches(random_payload(nbytes, alphabet_size=256,
+                                       seed=118),
+                        PF_PATTERNS, max(1, nbytes // 500_000), seed=119)
+    mid = plant_matches(random_payload(nbytes, seed=120),
+                        PF_PATTERNS, nbytes // 2000, seed=121)
+    tile = b"".join(PF_PATTERNS)
+    high = (tile * (nbytes // len(tile) + 1))[:nbytes]
+    return [("low", bytes(low)), ("mid", bytes(mid)), ("high", high)]
+
+
+def test_prefilter_density_sweep(report, report_json):
+    """The staged pipeline's screening stage vs the bare hotcold2 scan
+    across match densities, through the real ``execute`` path."""
+    nbytes = int(BLOCK_MB * 1e6)
+    compiled = _compile_pf(4)
+    assert compiled is not None, "no max_states budget yields 4 slices"
+    pf = compiled.prefilter()
+    assert pf is not None, "PF_PATTERNS must stay screenable"
+
+    rows = []
+    results = {}
+    with ScanContext(compiled) as ctx:
+        for density, block in _pf_corpora(nbytes):
+            def bare_pass(block=block):
+                return execute(ctx, ScanRequest(data=block,
+                                                prefilter=False),
+                               backend="hotcold2")
+
+            def screened_pass(block=block):
+                return execute(ctx, ScanRequest(data=block,
+                                                prefilter=True),
+                               backend="hotcold2")
+
+            bare_pass()                      # warm both pipelines
+            screened_pass()
+            bare_s, bare = _best(bare_pass)
+            screened_s, screened = _best(screened_pass)
+            assert screened.total_matches == bare.total_matches, \
+                f"prefilter diverged on the {density} corpus"
+            pstats = screened.stats["prefilter"]
+            speedup = bare_s / screened_s if screened_s else float("inf")
+            results[density] = {
+                "matches": bare.total_matches,
+                "bare_seconds": round(bare_s, 5),
+                "screened_seconds": round(screened_s, 5),
+                "bare_mb_per_s": round(nbytes / bare_s / 1e6, 2),
+                "screened_mb_per_s": round(nbytes / screened_s / 1e6, 2),
+                "speedup": round(speedup, 3),
+                "candidate_fraction": round(pstats["candidate_fraction"],
+                                            4),
+                "segments": pstats["segments"],
+                "fall_through": pstats["fall_through"],
+            }
+            rows.append([density, bare.total_matches,
+                         f"{nbytes / bare_s / 1e6:.0f}",
+                         f"{nbytes / screened_s / 1e6:.0f}",
+                         f"{pstats['candidate_fraction']:.3f}",
+                         pstats["segments"],
+                         "yes" if pstats["fall_through"] else "no",
+                         f"{speedup:.2f}x"])
+
+    text = ascii_table(
+        ["density", "matches", "bare MB/s", "screened MB/s",
+         "candidate frac", "segments", "fell through", "speedup"],
+        rows,
+        title=f"Packed prefilter stage vs bare hotcold2, "
+              f"{BLOCK_MB:.0f} MB block, {len(PF_PATTERNS)} patterns "
+              f"(len {pf.minlen}-{pf.maxlen}, stride {pf.stride}, "
+              f"mask {pf.mask_bytes // 1024} KB)")
+    report("prefilter", text)
+    report_json("fused", {"prefilter": {
+        "block_bytes": nbytes,
+        "backend": "hotcold2",
+        "patterns": len(PF_PATTERNS),
+        "minlen": pf.minlen,
+        "maxlen": pf.maxlen,
+        "stride": pf.stride,
+        "mask_bytes": pf.mask_bytes,
+        "smoke": SMOKE,
+        "per_density": results,
+    }}, merge=True)
+
+    # The headline bar: screening must at least double throughput on
+    # the clean-traffic corpus it exists for...
+    assert results["low"]["fall_through"] is False
+    if PREFILTER_MIN > 0:
+        assert results["low"]["speedup"] >= PREFILTER_MIN, \
+            f"prefilter {results['low']['speedup']}x on the low-density " \
+            f"corpus, needs >= {PREFILTER_MIN}x"
+    # ...and the saturation corpus must fall through with bounded
+    # overhead — one cheap vector pass, never a slower scan.
+    assert results["high"]["fall_through"] is True
+    if PREFILTER_HIGH_FLOOR > 0:
+        floor = PREFILTER_HIGH_FLOOR * results["high"]["bare_mb_per_s"]
+        assert results["high"]["screened_mb_per_s"] >= floor, \
+            f"fall-through overhead too high: " \
+            f"{results['high']['screened_mb_per_s']} MB/s screened vs " \
+            f"{results['high']['bare_mb_per_s']} bare"

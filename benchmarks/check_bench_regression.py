@@ -9,7 +9,11 @@ step) and then calls this script, which fails the build when
 * any per-D ``fused_mb_per_s`` / ``hotcold_mb_per_s`` row drops more
   than ``--tolerance`` below the committed
   ``benchmarks/baselines/BENCH_fused.json`` (so a change that only
-  collapses one partition count cannot hide behind the headline).
+  collapses one partition count cannot hide behind the headline), or
+* any prefilter density row (low/mid/high) drops more than
+  ``--tolerance`` on either its bare or its screened throughput (so a
+  slower screen or a slower fall-through cannot hide behind the other
+  densities).
 
 The headline backend defaults to the fastest backend recorded in the
 *baseline* (so a new backend cannot promote itself past the gate by
@@ -123,6 +127,43 @@ def compare(baseline, fresh, backend=None, tolerance=0.30, out=sys.stdout):
 FUSED_GATED_KEYS = ("fused_mb_per_s", "hotcold_mb_per_s",
                     "hotcold2_mb_per_s")
 
+#: BENCH_fused.json prefilter throughput keys gated per match density.
+PREFILTER_GATED_KEYS = ("bare_mb_per_s", "screened_mb_per_s")
+
+
+def compare_prefilter(baseline, fresh, tolerance=0.30):
+    """Return (ok, lines) gating the prefilter sweep per density.
+
+    Each match-density row (low/mid/high) is gated on both the bare
+    and the screened pipeline's MB/s, so neither a slower screen nor a
+    slower fall-through can hide behind the other densities.  A fresh
+    run without the prefilter section fails; a *baseline* without it
+    is handled by the caller (bootstrap).
+    """
+    base_rows = baseline.get("per_density", {})
+    fresh_rows = fresh.get("per_density", {})
+    lines = []
+    ok = True
+    for density in sorted(base_rows):
+        if density not in fresh_rows:
+            lines.append(f"  FAIL: {density} corpus missing from fresh "
+                         f"run")
+            ok = False
+            continue
+        for key in PREFILTER_GATED_KEYS:
+            if key not in base_rows[density]:
+                continue
+            old = float(base_rows[density][key] or 0.0)
+            new = float(fresh_rows[density].get(key) or 0.0)
+            floor = old * (1.0 - tolerance)
+            good = new >= floor
+            ok = ok and good
+            verdict = "pass" if good else "FAIL"
+            lines.append(
+                f"  {verdict}: {density:<5}{key.split('_mb')[0]:<9}"
+                f"{old:8.1f} -> {new:8.1f} MB/s (floor {floor:.1f})")
+    return ok, lines
+
 
 def compare_fused(baseline, fresh, tolerance=0.30):
     """Return (ok, lines) gating every per-D fused/hot-cold row."""
@@ -181,14 +222,26 @@ def main(argv=None):
         print(line)
 
     if os.path.exists(args.fused_baseline):
+        fused_base = _load(args.fused_baseline, section="per_slices")
+        fused_fresh = _load(args.fused_fresh, section="per_slices")
         fused_ok, fused_lines = compare_fused(
-            _load(args.fused_baseline, section="per_slices"),
-            _load(args.fused_fresh, section="per_slices"),
-            tolerance=args.tolerance)
+            fused_base, fused_fresh, tolerance=args.tolerance)
         ok = ok and fused_ok
         print("[bench gate: fused D-sweep]")
         for line in fused_lines:
             print(line)
+        if "prefilter" in fused_base:
+            pf_ok, pf_lines = compare_prefilter(
+                fused_base["prefilter"],
+                fused_fresh.get("prefilter", {}),
+                tolerance=args.tolerance)
+            ok = ok and pf_ok
+            print("[bench gate: prefilter density sweep]")
+            for line in pf_lines:
+                print(line)
+        else:
+            print("[bench gate] baseline has no prefilter section — "
+                  "per-density gate skipped")
     else:
         print(f"[bench gate] no fused baseline at {args.fused_baseline}"
               f" — per-D gate skipped")

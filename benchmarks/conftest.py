@@ -39,8 +39,15 @@ def report_json():
     trajectory can be diffed across PRs by tooling, not eyeballs."""
     RESULTS_DIR.mkdir(exist_ok=True)
 
-    def _report_json(name: str, payload) -> None:
+    def _report_json(name: str, payload, merge: bool = False) -> None:
         path = RESULTS_DIR / f"BENCH_{name}.json"
+        if merge and path.exists():
+            try:
+                merged = json.loads(path.read_text())
+            except ValueError:
+                merged = {}
+            merged.update(payload)
+            payload = merged
         path.write_text(json.dumps(payload, indent=2, sort_keys=True)
                         + "\n")
         print(f"[bench json] {path}")

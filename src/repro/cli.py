@@ -86,6 +86,16 @@ def build_parser() -> argparse.ArgumentParser:
                       action="store_false",
                       help="escape hatch: never auto-plan the two-byte-"
                            "stride pair-symbol scan")
+    scan.add_argument("--prefilter", dest="prefilter", default=None,
+                      action="store_true",
+                      help="escape hatch: demand the packed trigram "
+                           "prefilter stage in front of the scan "
+                           "kernel (screenable exact dictionaries "
+                           "only)")
+    scan.add_argument("--no-prefilter", dest="prefilter",
+                      action="store_false",
+                      help="escape hatch: never mount the packed "
+                           "prefilter stage")
 
     plan = sub.add_parser("plan", help="size a dictionary deployment")
     group = plan.add_mutually_exclusive_group(required=True)
@@ -228,7 +238,8 @@ def _cmd_scan(args) -> int:
                                   with_events=args.events,
                                   workers=args.workers, backend=backend,
                                   fuse=fuse, hot_cold=args.hot_cold,
-                                  two_byte=args.two_byte)
+                                  two_byte=args.two_byte,
+                                  prefilter=args.prefilter)
         elif args.events or backend not in (None, "streaming"):
             # Events and the block-only backends need the bytes in one
             # piece; everything else streams.
@@ -237,7 +248,8 @@ def _cmd_scan(args) -> int:
                                       workers=args.workers,
                                       backend=backend, fuse=fuse,
                                       hot_cold=args.hot_cold,
-                                      two_byte=args.two_byte)
+                                      two_byte=args.two_byte,
+                                      prefilter=args.prefilter)
         else:
             # File input flows through the staging ring — the file is
             # never materialized in memory.
@@ -500,6 +512,10 @@ def _cmd_info(args) -> int:
     print("registered scan backends:")
     for name, section, description in backend_specs():
         print(f"  {name:<10s} {description} — {section}")
+    print("staged scan pipeline:")
+    print("  prefilter  packed trigram screening skips clean regions "
+          "before any block kernel (screenable exact dictionaries; "
+          "--no-prefilter / ScanRequest(prefilter=False) disables)")
     # protocol.py is stdlib-only by design, so this import is cheap.
     from .service.protocol import RELOAD_STRATEGY, VERB_SPECS
     print("service protocol verbs (repro serve):")

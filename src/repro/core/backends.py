@@ -119,6 +119,13 @@ class ScanRequest:
     #: the one-byte union scan, ``True`` demands the pair path even at
     #: partial coverage.  Only consulted by auto-planning.
     two_byte: Optional[bool] = None
+    #: Packed-prefilter escape hatch: ``None`` lets the planner mount
+    #: the screening stage on large screenable blocks, ``False``
+    #: disables it (``repro scan --no-prefilter``), ``True`` demands it
+    #: (block input and a screenable dictionary required).  Unlike the
+    #: other hatches this one is honoured for explicitly named backends
+    #: too — the stage sits in front of whichever kernel runs.
+    prefilter: Optional[bool] = None
 
     def __post_init__(self) -> None:
         given = sum(x is not None
@@ -150,6 +157,7 @@ class ScanContext:
     def __init__(self, compiled: CompiledDictionary) -> None:
         self.compiled = compiled
         self._sharded: Dict[int, object] = {}
+        self._kernels: Dict[str, object] = {}
         #: Scanner-side counters of the most recent
         #: :meth:`batch_totals` call (``None`` when it took the stacked
         #: fused path, which has no hot/cold accounting): scanner name,
@@ -190,40 +198,83 @@ class ScanContext:
                 "regex dictionaries have none (use the fused backend)")
         return self.compiled.hot_cold2_scanner()
 
-    def batch_totals(self, payloads) -> np.ndarray:
-        """Whole-dictionary totals for a batch of independent payloads
-        in one multi-stream pass — the service batcher's engine.  Routes
-        through the hot/cold union scan when the dictionary supports it
-        and the planner's footprint rule favours it (partitioned
-        dictionary, or plain fused table over the cache budget), else
-        the stacked fused grid reduced over the DFA axis.  Bit-identical
-        either way."""
+    def kernel(self, name: str):
+        """The named :class:`~repro.core.scan.kernels.ScanKernel` over
+        this dictionary, built once and cached.  Raises
+        :class:`BackendError` when the dictionary cannot serve it
+        (union kernels over a regex dictionary)."""
+        from .scan.kernels import get_kernel
+
+        kern = self._kernels.get(name)
+        if kern is None:
+            cls = get_kernel(name)
+            if not cls.supports(self.compiled):
+                raise BackendError(
+                    f"kernel {name!r} needs the union automaton; regex "
+                    f"dictionaries have none (use the fused kernel)")
+            kern = cls.from_compiled(self.compiled)
+            self._kernels[name] = kern
+        return kern
+
+    def batch_kernel_name(self) -> str:
+        """The kernel the multi-stream batch path runs on: the hot/cold
+        union scan when the dictionary supports it and the planner's
+        footprint rule favours it (partitioned dictionary, or plain
+        fused table over the cache budget) — at pair stride when the
+        full-coverage pair table fits — else the stacked fused grid."""
         from .planner import CACHE_BUDGET_BYTES
 
         c = self.compiled
         if c.supports_hot_cold and (
                 c.num_slices > 1
                 or c.fused_table_bytes > CACHE_BUDGET_BYTES):
-            if c.pair_table_fits():
-                hc2 = self.hot_cold2()
-                hc2.reset_stats()
-                counts, _ = hc2.run_streams(payloads,
-                                            weights=hc2.weights)
-                self.last_batch_scan_stats = dict(
-                    hc2.stats, scanner="hotcold2",
-                    hot_hit_rate=hc2.hot_hit_rate)
-                return counts
-            hc = self.hot_cold()
-            hc.reset_stats()
-            counts, _ = hc.run_streams(payloads, weights=hc.weights)
-            self.last_batch_scan_stats = dict(
-                hc.stats, scanner="hotcold",
-                hot_hit_rate=hc.hot_hit_rate)
+            return "hotcold2" if c.pair_table_fits() else "hotcold"
+        return "fused"
+
+    def batch_totals(self, payloads,
+                     prefilter: Optional[bool] = None) -> np.ndarray:
+        """Whole-dictionary totals for a batch of independent payloads
+        in one multi-stream pass — the service batcher's engine, on
+        :meth:`batch_kernel_name`'s kernel.  Bit-identical across
+        kernels.
+
+        Screening rides along: unless ``prefilter=False`` (or the
+        dictionary is not screenable), every payload is screened first
+        and only its candidate windows enter the stream pass — a clean
+        payload costs three vector ops, a match-dense one falls through
+        and is scanned whole.  Totals are identical either way.
+        """
+        name = self.batch_kernel_name()
+        kern = self.kernel(name)
+        kern.reset_stats()
+        pf = self.compiled.prefilter() if prefilter is not False else None
+        totals = self._batch_counts(kern, payloads, pf)
+        stats = kern.stats()
+        self.last_batch_scan_stats = \
+            dict(stats, scanner=name) if stats else None
+        return totals
+
+    def _batch_counts(self, kern, payloads, pf) -> np.ndarray:
+        if pf is None:
+            counts, _ = kern.run_streams(payloads)
             return counts
-        fs = self.fused()
-        counts, _ = fs.run_streams(payloads, weights=fs.weights)
-        self.last_batch_scan_stats = None
-        return counts.sum(axis=0)
+        streams: List[bytes] = []
+        owner: List[int] = []
+        for i, payload in enumerate(payloads):
+            arr = np.frombuffer(payload, dtype=np.uint8)
+            res = pf.screen(arr)
+            if res.fall_through:
+                streams.append(payload)
+                owner.append(i)
+                continue
+            for lo, hi in res.segments.tolist():
+                streams.append(arr[lo:hi].tobytes())
+                owner.append(i)
+        totals = np.zeros(len(payloads), dtype=np.int64)
+        if streams:
+            counts, _ = kern.run_streams(streams)
+            np.add.at(totals, owner, counts)
+        return totals
 
     def sharded(self, workers: int):
         """Cached :class:`~repro.parallel.ShardedScanner` for a worker
@@ -356,16 +407,9 @@ class ChunkedBackend(ScanBackend):
     chunks = 256
 
     def scan(self, ctx: ScanContext, request: ScanRequest) -> ScanOutcome:
-        from .engine import count_arr
-
         self._require_kind(request)
         arr = np.frombuffer(request.data, dtype=np.uint8)
-        total = 0
-        for scanner, weights in zip(ctx.scanners(), ctx.weights()):
-            if arr.size:
-                cnt, _ = count_arr(scanner, arr, self.chunks,
-                                   scanner.start, weights=weights)
-                total += cnt
+        total = ctx.kernel("flat").count_total(arr, self.chunks)
         return ScanOutcome(
             total_matches=total,
             bytes_scanned=arr.size,
@@ -394,19 +438,15 @@ class FusedBackend(ScanBackend):
     def scan(self, ctx: ScanContext, request: ScanRequest) -> ScanOutcome:
         self._require_kind(request)
         arr = np.frombuffer(request.data, dtype=np.uint8)
-        fs = ctx.fused()
-        total = 0
-        if arr.size:
-            counts, _ = fs.count_arr_per_dfa(arr, self.chunks,
-                                             weights=fs.weights)
-            total = int(counts.sum())
+        kern = ctx.kernel("fused")
+        total = kern.count_total(arr, self.chunks) if arr.size else 0
         return ScanOutcome(
             total_matches=total,
             bytes_scanned=arr.size,
             backend=self.name,
             stats={"slices": ctx.compiled.num_slices,
                    "chunks": self.chunks,
-                   "fused_cells": int(fs.flat.size)})
+                   "fused_cells": int(kern.table.flat.size)})
 
 
 @register_backend
@@ -428,19 +468,13 @@ class HotColdBackend(ScanBackend):
     chunks = 256
 
     def scan(self, ctx: ScanContext, request: ScanRequest) -> ScanOutcome:
-        from .engine import HOTCOLD_LANES_TARGET, count_arr
-
         self._require_kind(request)
         arr = np.frombuffer(request.data, dtype=np.uint8)
-        hc = ctx.hot_cold()
-        hc.reset_stats()
-        total = 0
-        if arr.size:
-            cnt, _ = count_arr(hc, arr, self.chunks, hc.start,
-                               weights=hc.weights,
-                               lanes_target=HOTCOLD_LANES_TARGET)
-            total = int(cnt)
-        t = hc.table
+        kern = ctx.kernel("hotcold")
+        kern.reset_stats()
+        total = kern.count_total(arr, self.chunks)
+        t = kern.table
+        kstats = kern.stats()
         return ScanOutcome(
             total_matches=total,
             bytes_scanned=arr.size,
@@ -450,8 +484,8 @@ class HotColdBackend(ScanBackend):
                    "union_states": t.num_states,
                    "hot_states": t.num_hot,
                    "table_bytes": t.table_bytes,
-                   "hot_hit_rate": hc.hot_hit_rate,
-                   "escapes": hc.stats["escapes"]})
+                   "hot_hit_rate": kstats["hot_hit_rate"],
+                   "escapes": kstats["escapes"]})
 
 
 @register_backend
@@ -473,19 +507,13 @@ class HotCold2Backend(ScanBackend):
     chunks = 256
 
     def scan(self, ctx: ScanContext, request: ScanRequest) -> ScanOutcome:
-        from .engine import HOTCOLD_LANES_TARGET, count_arr
-
         self._require_kind(request)
         arr = np.frombuffer(request.data, dtype=np.uint8)
-        hc2 = ctx.hot_cold2()
-        hc2.reset_stats()
-        total = 0
-        if arr.size:
-            cnt, _ = count_arr(hc2, arr, self.chunks, hc2.start,
-                               weights=hc2.weights,
-                               lanes_target=HOTCOLD_LANES_TARGET)
-            total = int(cnt)
-        t = hc2.table
+        kern = ctx.kernel("hotcold2")
+        kern.reset_stats()
+        total = kern.count_total(arr, self.chunks)
+        t = kern.table
+        kstats = kern.stats()
         return ScanOutcome(
             total_matches=total,
             bytes_scanned=arr.size,
@@ -496,9 +524,9 @@ class HotCold2Backend(ScanBackend):
                    "hot2_states": t.num_hot2,
                    "hot2_bytes": t.hot2_bytes,
                    "table_bytes": t.table_bytes,
-                   "hot_hit_rate": hc2.hot_hit_rate,
-                   "cold_steps": hc2.stats["cold_steps"],
-                   "escapes": hc2.stats["escapes"]})
+                   "hot_hit_rate": kstats["hot_hit_rate"],
+                   "cold_steps": kstats["cold_steps"],
+                   "escapes": kstats["escapes"]})
 
 
 @register_backend
@@ -592,33 +620,169 @@ class CellSimBackend(ScanBackend):
 
 # -- driver ------------------------------------------------------------------------
 
+#: Exact-verification kernel behind each block backend — what the
+#: prefilter stage counts candidate windows with, so the screened path
+#: runs the same inner loop the bare backend would.
+_VERIFY_KERNELS = {
+    "chunked": "flat",
+    "cellsim": "flat",
+    "fused": "fused",
+    "hotcold": "hotcold",
+    "hotcold2": "hotcold2",
+}
+
+
+def _validate_request(ctx: ScanContext, request: ScanRequest) -> None:
+    """Reject contradictory flag combinations with one error naming the
+    conflict, before any planning or table building happens."""
+    union = request.hot_cold is True or request.two_byte is True
+    if request.two_byte is True and request.hot_cold is False:
+        raise BackendError(
+            "conflicting flags: two_byte=True demands the union scan "
+            "but hot_cold=False pins the stacked path; drop one of "
+            "them")
+    if union and request.with_events:
+        raise BackendError(
+            "conflicting flags: hot_cold/two_byte select counts-only "
+            "union kernels, but with_events=True needs the serial "
+            "reference walk; drop the union flags to get events")
+    if union and not request.fuse:
+        raise BackendError(
+            "conflicting flags: hot_cold/two_byte build on the fused "
+            "union automaton, but fuse=False disables fusion; drop one "
+            "of them")
+    if union and not ctx.compiled.supports_hot_cold:
+        raise BackendError(
+            "conflicting flags: hot_cold/two_byte need the union "
+            "automaton, and regex dictionaries have none; drop the "
+            "flags or use the fused backend")
+    if request.prefilter is True:
+        if request.kind != "block":
+            raise BackendError(
+                f"conflicting flags: prefilter=True screens one "
+                f"in-memory block, but this is a {request.kind!r} "
+                f"request; candidate windows cannot be carried across "
+                f"staging-ring refills")
+        if ctx.compiled.prefilter() is None:
+            raise BackendError(
+                "conflicting flags: prefilter=True, but this "
+                "dictionary is not screenable (regex entries, a "
+                "pattern shorter than 3 bytes, or a trigram mask over "
+                "the cache ceiling)")
+
+
+def _plan(ctx: ScanContext, request: ScanRequest,
+          backend: Optional[str]):
+    """Resolve one request to an :class:`ExecutionPlan`.  An explicit
+    backend name wins outright; only the ``prefilter`` hatch is still
+    honoured for it, because the screening stage sits *in front of*
+    whichever kernel runs rather than replacing it."""
+    name = backend or "auto"
+    if name != "auto":
+        from .planner import ExecutionPlan
+
+        return ExecutionPlan(name, "explicitly requested",
+                             prefilter=request.prefilter is True)
+    nbytes = len(request.data) if request.data is not None else None
+    screenable = (request.kind == "block"
+                  and ctx.compiled.prefilter() is not None)
+    return plan_backend(nbytes=nbytes,
+                        streaming=request.kind != "block",
+                        workers=request.workers,
+                        with_events=request.with_events,
+                        num_slices=ctx.compiled.num_slices,
+                        fuse=request.fuse,
+                        exact=ctx.compiled.supports_hot_cold,
+                        fused_bytes=ctx.compiled.fused_table_bytes,
+                        hot_cold=request.hot_cold,
+                        two_byte=request.two_byte,
+                        pair_fit=ctx.compiled.pair_table_fits(),
+                        prefilter=request.prefilter,
+                        screenable=screenable)
+
+
+def _segment_runner(ctx: ScanContext, request: ScanRequest, plan):
+    """The prefilter stage's verifier: run the disjoint candidate
+    windows through the same kernel family the bare backend would use
+    (or replay the reference event walk per window for the serial
+    backend, shifting event offsets back into block coordinates)."""
+    from .scan.prefilter import count_segments
+
+    def run_segments(arr: np.ndarray, segments: np.ndarray,
+                     pstats: Dict) -> ScanOutcome:
+        stats: Dict[str, object] = {"slices": ctx.compiled.num_slices,
+                                    "prefilter": pstats}
+        if plan.backend == "serial":
+            events: List[MatchEvent] = []
+            for lo, hi in segments.tolist():
+                events.extend(
+                    MatchEvent(ev.end + lo, ev.pattern)
+                    for ev in ctx.compiled.match_events(
+                        arr[lo:hi].tobytes()))
+            events.sort(key=lambda e: (e.end, e.pattern))
+            return ScanOutcome(
+                total_matches=len(events),
+                bytes_scanned=arr.size,
+                backend=plan.backend,
+                events=events if request.with_events else None,
+                pattern_counts=dict(
+                    Counter(e.pattern for e in events)),
+                stats=stats)
+        kname = _VERIFY_KERNELS.get(plan.backend,
+                                    ctx.batch_kernel_name())
+        kern = ctx.kernel(kname)
+        kern.reset_stats()
+        total = count_segments(kern, arr, segments)
+        stats["kernel"] = kname
+        return ScanOutcome(
+            total_matches=total,
+            bytes_scanned=arr.size,
+            backend=plan.backend,
+            workers=request.workers,
+            stats=stats)
+
+    return run_segments
+
+
+def build_pipeline(ctx: ScanContext, request: ScanRequest, plan,
+                   chosen: ScanBackend):
+    """Assemble one request's explicit stage pipeline: the packed
+    prefilter stage when the plan mounts it, then the terminal backend
+    stage.  The returned pipeline is inspectable (``describe()``) — it
+    *is* the execution strategy, not a trace of one."""
+    from .scan.pipeline import (BackendStage, PrefilterStage,
+                                ScanPipeline)
+
+    stages: List = []
+    if plan.prefilter and request.kind == "block":
+        pf = ctx.compiled.prefilter()
+        if pf is not None:
+            arr = np.frombuffer(request.data, dtype=np.uint8)
+            stages.append(PrefilterStage(
+                pf, arr, _segment_runner(ctx, request, plan)))
+    stages.append(BackendStage(plan.backend,
+                               lambda: chosen.scan(ctx, request)))
+    return ScanPipeline(stages)
+
 
 def execute(ctx: ScanContext, request: ScanRequest,
             backend: Optional[str] = None) -> ScanOutcome:
-    """Run one request: resolve ``backend`` (``None``/``"auto"`` asks
-    the execution planner), check event support, scan, and stamp the
-    measured wall-clock onto the outcome."""
-    name = backend or "auto"
-    if name == "auto":
-        nbytes = len(request.data) if request.data is not None else None
-        name = plan_backend(nbytes=nbytes,
-                            streaming=request.kind != "block",
-                            workers=request.workers,
-                            with_events=request.with_events,
-                            num_slices=ctx.compiled.num_slices,
-                            fuse=request.fuse,
-                            exact=ctx.compiled.supports_hot_cold,
-                            fused_bytes=ctx.compiled.fused_table_bytes,
-                            hot_cold=request.hot_cold,
-                            two_byte=request.two_byte,
-                            pair_fit=ctx.compiled.pair_table_fits(),
-                            ).backend
-    chosen = get_backend(name)
+    """Run one request: validate its flags, resolve a plan
+    (``None``/``"auto"`` asks the execution planner), assemble the
+    stage pipeline, run it, and stamp the measured wall-clock onto the
+    outcome.  Notes left by declining stages (a fallen-through
+    prefilter's screening stats) are merged into the outcome's stats."""
+    _validate_request(ctx, request)
+    plan = _plan(ctx, request, backend)
+    chosen = get_backend(plan.backend)
     if request.with_events and not chosen.supports_events:
         raise BackendError(
             f"backend {chosen.name!r} cannot report match events; use "
             f"the serial backend (workers=1)")
+    pipeline = build_pipeline(ctx, request, plan, chosen)
     t0 = time.perf_counter()
-    outcome = chosen.scan(ctx, request)
+    outcome = pipeline.run()
     outcome.seconds = time.perf_counter() - t0
+    for key, val in pipeline.notes.items():
+        outcome.stats.setdefault(key, val)
     return outcome

@@ -54,6 +54,7 @@ from .engine import (HOT_BUDGET_BYTES, FlatScanner, FusedScanner,
                      build_hot_cold_table, build_weight_table,
                      fuse_tables, pair_symbol_table, project_states,
                      visit_order)
+from .scan.prefilter import PackedPrefilter
 
 __all__ = [
     "CompiledDictionary",
@@ -215,6 +216,8 @@ class CompiledDictionary:
     _hotcold2_scanner: Optional[HotCold2Scanner] = \
         field(default=None, repr=False)
     _pair_foldpair: Optional[np.ndarray] = field(default=None, repr=False)
+    _prefilter: Optional[PackedPrefilter] = field(default=None, repr=False)
+    _prefilter_built: bool = field(default=False, repr=False)
 
     # -- shape --------------------------------------------------------------------
 
@@ -448,6 +451,21 @@ class CompiledDictionary:
             self._hotcold2_scanner = HotCold2Scanner(table)
         return self._hotcold2_scanner
 
+    # -- screening ------------------------------------------------------------------
+
+    def prefilter(self) -> Optional[PackedPrefilter]:
+        """The packed trigram screening stage for this dictionary, or
+        ``None`` when it is not screenable: regex mode (match ends are
+        not delimited by literal trigrams), a pattern shorter than 3
+        bytes, or a folded alphabet whose trigram mask would blow the
+        cache ceiling.  Built once and cached."""
+        if not self._prefilter_built:
+            if not self.regex:
+                self._prefilter = PackedPrefilter.build(
+                    self.patterns, self.fold.np_table, self.fold.width)
+            self._prefilter_built = True
+        return self._prefilter
+
     # -- reference scanning ---------------------------------------------------------
 
     def match_events(self, raw: bytes) -> List[MatchEvent]:
@@ -581,6 +599,31 @@ def _default_cache_dir() -> pathlib.Path:
     return pathlib.Path(
         os.environ.get("XDG_CACHE_HOME",
                        pathlib.Path.home() / ".cache")) / "repro-dfa"
+
+
+def _union_rows_dense(data) -> np.ndarray:
+    """v4 section: the union transition matrix stored densely."""
+    return data["union_trans"]
+
+
+def _union_rows_csr(data) -> np.ndarray:
+    """v5 section: union rows in the ColdRowStore shared-default-row
+    encoding, densified on load."""
+    return ColdRowStore(
+        data["union_csr_keys"], data["union_csr_vals"],
+        data["union_csr_default"],
+        int(data["union_csr_rows"][0])).dense_rows()
+
+
+#: Versioned union-matrix sections, probed in priority order by
+#: :meth:`ArtifactCache._load_file`: each entry is ``(marker key,
+#: loader)``.  Supporting a future encoding means appending one row
+#: here, not growing another ``elif`` chain; every version in
+#: :data:`COMPAT_TABLE_FORMAT_VERSIONS` maps onto exactly one section.
+_UNION_ROW_SECTIONS = (
+    ("union_trans", _union_rows_dense),      # v4
+    ("union_csr_keys", _union_rows_csr),     # v5
+)
 
 
 class ArtifactCache:
@@ -798,13 +841,10 @@ class ArtifactCache:
                     raise ValueError("fused table shape mismatch")
             union = None
             utrans = None
-            if "union_trans" in data.files:        # v4: dense rows
-                utrans = data["union_trans"]
-            elif "union_csr_keys" in data.files:   # v5: shared-default
-                utrans = ColdRowStore(
-                    data["union_csr_keys"], data["union_csr_vals"],
-                    data["union_csr_default"],
-                    int(data["union_csr_rows"][0])).dense_rows()
+            for marker, loader in _UNION_ROW_SECTIONS:
+                if marker in data.files:
+                    utrans = loader(data)
+                    break
             if utrans is not None:
                 upairs = data["union_outputs"]
                 uout: Dict[int, Tuple[int, ...]] = {}

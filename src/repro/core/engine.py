@@ -1,2412 +1,32 @@
-"""Vectorized DFA matching engine (numpy).
+"""Compatibility shim over the :mod:`repro.core.scan` package.
 
-The paper's SIMD insight — run many independent DFAs in lockstep, one input
-byte per lane — maps directly onto numpy: keep a vector of current states,
-gather next states with one fancy-indexing step per input position, and
-accumulate final-state entries.  This module is the *native-speed* engine of
-the library (the :mod:`repro.cell` path is the cycle-accounted simulation);
-it is used by the composition layer, the host-parallel layer
-(:mod:`repro.parallel`), the baselines comparison and any caller who just
-wants fast multi-pattern matching.
-
-The inner loop mirrors the paper's §4 pointer trick on the host:
-
-* the STT is flattened into one ``int32`` array with **two cells per
-  symbol** per row, so a state is a *pre-scaled row offset* and a
-  transition is a single gather — no per-step ``state × alphabet``
-  multiply;
-* **bit 0 of every cell is the is-final flag** of the destination state
-  (each transition is duplicated at even/odd offsets, so a tagged pointer
-  indexes the table correctly *without stripping the flag first*);
-* the time loop is **strip-mined**: states for a block of positions are
-  written into a strip matrix and the final-flag accumulation happens once
-  per strip instead of once per step, amortizing numpy dispatch overhead.
-
-Two scan modes:
-
-* :meth:`VectorDFAEngine.run_streams` — N independent streams in lockstep,
-  exactly the tile's 16-lane semantics for arbitrary N;
-* :meth:`VectorDFAEngine.count_block` — *exact* counting over one
-  contiguous stream, parallelized by splitting it into chunks and running a
-  fixpoint: every chunk is scanned speculatively from a guessed entry
-  state, then chunks whose guess proved wrong are rescanned from the
-  corrected state.  DFAs for security dictionaries converge to the correct
-  state within a few symbols, so almost all chunks survive the first pass.
+The vectorized DFA engine used to live here as one 2,400-line module.
+It is now the staged :mod:`repro.core.scan` package — one module per
+inner loop behind the :class:`~repro.core.scan.kernels.ScanKernel`
+protocol.  Every name that was importable from ``repro.core.engine``
+still is; new code should import from :mod:`repro.core.scan` (or go
+through the kernel registry) instead.
 """
 
 from __future__ import annotations
 
-import os
-from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
-
-import numpy as np
-
-from ..dfa.automaton import DFA, DFAError
-from .compressed import ColdRowStore
-
-__all__ = [
-    "VectorDFAEngine",
-    "StreamResult",
-    "FlatScanner",
-    "FusedTable",
-    "FusedScanner",
-    "HotColdFusedTable",
-    "HotColdFusedScanner",
-    "HotCold2Table",
-    "HotCold2Scanner",
-    "ScanDetail",
-    "build_flat_table",
-    "build_weight_table",
-    "build_hot_cold_table",
-    "build_hot_cold2_table",
-    "pair_symbol_table",
-    "fuse_tables",
-    "visit_order",
-    "project_states",
-    "count_arr",
-    "count_arr_detail",
-    "repair_detail",
-    "hotcold_lanes_target",
-    "hotcold_strip_elems",
-]
-
-#: Positions per strip of the strip-mined time loop.  Large enough to
-#: amortize the per-strip flag reduction, small enough that the strip
-#: matrices stay cache-resident for typical lane counts.
-STRIP = 128
-
-#: Lane floor for the chunked block scan.  ``chunks`` controls the
-#: speculation granularity *requested* by the caller, but it also sets
-#: the lockstep lane count, and few lanes means more numpy dispatches
-#: per byte.  When the input is large enough, the effective chunk count
-#: is raised to ``LANES_TARGET`` (never lowered): exactness is invariant
-#: under chunking, so callers asking for coarse speculation still get
-#: full-width gathers.  Inputs shorter than ``LANES_TARGET × MIN_PIECE``
-#: keep the requested count — tiny pieces would waste the strip loop.
-LANES_TARGET = 256
-MIN_PIECE = 1024
-
-#: Total lane budget of the fused D × chunks grid.  The DFA axis
-#: multiplies into the gather width, so the fused chunk widening
-#: targets ``FUSED_LANES_TARGET // num_dfas`` lanes per DFA — the
-#: *grid* stays at full width however the dictionary was partitioned,
-#: and per-step dispatch overhead is amortized over ~32× more lanes
-#: than the single-DFA scan needs.  Exactness is invariant under
-#: chunking, so this is pure tuning, not semantics.
-FUSED_LANES_TARGET = 8192
-
-#: int32 elements per fused strip matrix (~256 KB).  The strip and its
-#: scratch double with the DFA axis, so the strip *length* shrinks as
-#: ``D × lanes`` grows to keep both matrices cache-resident — at
-#: D=1 × 256 lanes this reproduces ``STRIP``.
-FUSED_STRIP_ELEMS = 64 * 1024
-
-#: Warm-start window of the chunk-entry speculation.  Before the first
-#: lockstep pass, every chunk's entry guess is refined by scanning the
-#: *tail* of its predecessor (one extra lockstep scan over
-#: ``SPECULATION_WARMUP`` positions): security DFAs synchronize within a
-#: pattern length, so the tail exit almost always *is* the true entry
-#: and the fixpoint converges on the first full pass instead of
-#: rescanning the mis-guessed majority.  Exactness is untouched — the
-#: warm guesses are still verified and repaired by the fixpoint.  The
-#: warm-up is skipped for pieces shorter than ``8 ×`` the window, where
-#: its relative cost stops being negligible.
-SPECULATION_WARMUP = 32
-
-#: Default byte budget for the hot partition of a
-#: :class:`HotColdFusedTable` — sized for comfortable L2 residency
-#: (the host analogue of the paper's 256 KB local store ceiling;
-#: §4 sizes dictionaries so the *whole* STT fits local store, the
-#: hot/cold split only demands it of the frequently-visited part).
-HOT_BUDGET_BYTES = 512 * 1024
-
-#: Lane budget of the hot/cold union scan.  Unlike the fused grid there
-#: is no DFA axis multiplying into the gather width — one union table
-#: serves every slice — so the optimum sits far below
-#: ``FUSED_LANES_TARGET``: past ~2 K lanes the strip matrices outgrow
-#: L2 and throughput collapses rather than climbs (measured knee on an
-#: 8 MB corpus: 2048 lanes ≈ 114 MB/s vs 62 MB/s at 8192).
-HOTCOLD_LANES_TARGET = 2048
-
-#: int32 elements per hot/cold strip matrix (~1 MB).  The hot table is
-#: budgeted to stay cache-resident no matter the dictionary, which
-#: frees cache headroom for longer strips than the fused scan can
-#: afford — and longer strips amortize the per-strip escape scan and
-#: fold gather.  Measured: 256 K elems beats the fused 64 K setting by
-#: ~25% at the lane target above.
-HOTCOLD_STRIP_ELEMS = 256 * 1024
-
-
-def _env_int(name: str, default: int) -> int:
-    raw = os.environ.get(name, "").strip()
-    if not raw:
-        return default
-    try:
-        value = int(raw)
-    except ValueError:
-        return default
-    return value if value > 0 else default
-
-
-def hotcold_lanes_target() -> int:
-    """Effective hot/cold lane budget: :data:`HOTCOLD_LANES_TARGET`,
-    overridable per process via ``REPRO_HOTCOLD_LANES`` (mirroring
-    ``REPRO_HOT_BUDGET_KB``).  Read per call so tests and deployments
-    can retune without reimporting."""
-    return _env_int("REPRO_HOTCOLD_LANES", HOTCOLD_LANES_TARGET)
-
-
-def hotcold_strip_elems() -> int:
-    """Effective hot/cold strip size in int32 elements:
-    :data:`HOTCOLD_STRIP_ELEMS`, overridable via
-    ``REPRO_HOTCOLD_STRIP_ELEMS``."""
-    return _env_int("REPRO_HOTCOLD_STRIP_ELEMS", HOTCOLD_STRIP_ELEMS)
-
-
-def build_flat_table(transitions: np.ndarray,
-                     final_mask: np.ndarray,
-                     fold_table: Optional[np.ndarray] = None
-                     ) -> Tuple[np.ndarray, int]:
-    """Flag-encoded flat STT (the paper's §4 tagged row pointers).
-
-    Row stride is ``2 × alphabet_size`` cells and every transition is
-    stored twice, at offsets ``2·symbol`` and ``2·symbol + 1`` of its row.
-    A cell holds ``dest_row_offset | is_final(dest)``: the row offset is a
-    multiple of the (even) stride, so bit 0 is free for the flag, and the
-    duplication makes ``flat[tagged_ptr + 2·symbol]`` land on the right
-    cell whether or not the flag bit is set — the hot loop never masks.
-
-    With ``fold_table`` (a 256-entry byte→symbol map) the fold is
-    *composed* into the table: each row is expanded to one column per raw
-    byte value, so the scanner gathers on unfolded input directly and the
-    per-block ``fold[raw]`` materialization disappears.  The cost is a
-    wider row (stride ``512`` instead of ``2 × alphabet``), i.e. 2 KB per
-    state — a host-memory trade the Cell's local store could never make.
-
-    Returns ``(flat, stride)`` with ``flat`` a 1-D contiguous ``int32``
-    array of ``num_states × stride`` cells.
-    """
-    table = np.asarray(transitions, dtype=np.int64)
-    if fold_table is not None:
-        fold = np.asarray(fold_table, dtype=np.int64)
-        if fold.shape != (256,):
-            raise DFAError("fold table must map all 256 byte values")
-        if fold.size and int(fold.max()) >= table.shape[1]:
-            raise DFAError("fold table maps outside the DFA alphabet")
-        table = table[:, fold]
-    num_states, alphabet = table.shape
-    stride = 2 * alphabet
-    top = (num_states - 1) * stride + 1
-    if top > np.iinfo(np.int32).max:
-        raise DFAError(
-            f"flat STT needs offsets up to {top}, beyond int32; "
-            f"{num_states} states × {alphabet} symbols is too large")
-    cells = table * stride + np.asarray(final_mask)[table]
-    flat = np.empty((num_states, stride), dtype=np.int32)
-    flat[:, 0::2] = cells
-    flat[:, 1::2] = cells
-    return np.ascontiguousarray(flat.reshape(-1)), stride
-
-
-def build_weight_table(dfa: DFA,
-                       symbol_width: Optional[int] = None) -> np.ndarray:
-    """Per-state match multiplicities, addressable by ``pointer >> 1``.
-
-    ``weight[s]`` is the number of dictionary entries recognized on
-    *entering* state ``s``: ``len(outputs[s])`` when outputs are attached,
-    else 1 for final states (the paper's counting kernels) and 0 for the
-    rest.  The table is expanded to ``num_states × symbol_width`` so that
-    a tagged pointer's high bits (``ptr >> 1 == state × symbol_width``)
-    index it directly — the "other frugal output values" the paper packs
-    next to the flag, kept in a side table here because multiplicities
-    exceed the one spare bit.  ``symbol_width`` defaults to the DFA's
-    alphabet; pass 256 when pairing with a fold-composed flat table.
-    """
-    width = dfa.alphabet_size if symbol_width is None else int(symbol_width)
-    weights = np.zeros(dfa.num_states * width + 1, dtype=np.int32)
-    for s in range(dfa.num_states):
-        if dfa.final_mask[s]:
-            weights[s * width] = len(dfa.outputs.get(s, ())) or 1
-    return weights
-
-
-class FlatScanner:
-    """Lockstep interpreter over a flag-encoded flat STT.
-
-    Decoupled from :class:`DFA` so it can run over *borrowed* memory — in
-    particular over tables living in ``multiprocessing.shared_memory``
-    segments attached by :mod:`repro.parallel` workers.
-    """
-
-    def __init__(self, flat: np.ndarray, alphabet_size: int, start: int,
-                 num_states: int) -> None:
-        self.flat = flat
-        self.alphabet_size = int(alphabet_size)
-        self.start = int(start)
-        self.num_states = int(num_states)
-        self.stride = 2 * self.alphabet_size
-
-    @classmethod
-    def from_dfa(cls, dfa: DFA) -> "FlatScanner":
-        flat, _ = build_flat_table(dfa.transitions, dfa.final_mask)
-        return cls(flat, dfa.alphabet_size, dfa.start, dfa.num_states)
-
-    # -- pointer/state conversions ----------------------------------------------
-
-    def pointer(self, state: int) -> int:
-        """Untagged row pointer of ``state``."""
-        return int(state) * self.stride
-
-    def state_of(self, ptrs):
-        """Tagged pointer(s) → state id(s); works on scalars and arrays."""
-        return (ptrs >> 1) // self.alphabet_size
-
-    # -- hot loop ----------------------------------------------------------------
-
-    def scan_cols(self, cols: np.ndarray, ptrs: np.ndarray,
-                  counts: np.ndarray,
-                  weights: Optional[np.ndarray] = None) -> np.ndarray:
-        """Lockstep scan of a position-major symbol matrix.
-
-        ``cols`` has shape ``(length, lanes)`` (row ``t`` holds every
-        lane's symbol at position ``t``), ``ptrs`` the tagged entry
-        pointers, ``counts`` an ``int64`` per-lane accumulator updated in
-        place.  With ``weights`` the accumulation is the per-state match
-        multiplicity instead of the flag bit.  Returns the tagged exit
-        pointers.
-        """
-        length, lanes = cols.shape
-        if length == 0:
-            return ptrs.astype(np.int32).copy()
-        take = self.flat.take
-        add = np.add
-        strip_len = min(STRIP, length)
-        strip = np.empty((strip_len, lanes), dtype=np.int32)
-        doubled = np.empty((strip_len, lanes), dtype=np.int32)
-        scratch = np.empty((strip_len, lanes), dtype=np.int32)
-        idx = np.empty(lanes, dtype=np.int32)
-        # Row views made once, not per step: the inner loop is dispatch-
-        # bound, so even view creation shows up.
-        strip_rows = list(strip)
-        doubled_rows = list(doubled)
-        cur = np.ascontiguousarray(ptrs, dtype=np.int32)
-        for t0 in range(0, length, strip_len):
-            b = min(strip_len, length - t0)
-            # Cast first, shift second: a fused uint8 multiply would wrap
-            # at 256 before the widening to int32.
-            doubled[:b] = cols[t0:t0 + b]
-            np.left_shift(doubled[:b], 1, out=doubled[:b])
-            for i in range(b):
-                row = strip_rows[i]
-                add(cur, doubled_rows[i], out=idx)
-                take(idx, out=row)
-                cur = row
-            if weights is None:
-                np.bitwise_and(strip[:b], 1, out=scratch[:b])
-            else:
-                np.right_shift(strip[:b], 1, out=scratch[:b])
-                weights.take(scratch[:b], out=scratch[:b])
-            counts += scratch[:b].sum(axis=0)
-        return cur.copy()
-
-    def step_scalar(self, ptr: int, symbol: int) -> int:
-        """One scalar transition on tagged pointers (remainder handling)."""
-        return int(self.flat[ptr + (int(symbol) << 1)])
-
-
-@dataclass
-class FusedTable:
-    """D flag-encoded flat tables stacked into one contiguous array.
-
-    The paper's §6 "tiles in series" runs D distinct STTs over the same
-    input on D SPEs.  On the host the SIMD lane dimension can absorb the
-    DFA dimension instead: every DFA's rows live in one ``int32`` array
-    and each DFA's cells are *rebased* by that DFA's cell offset, so a
-    tagged pointer is absolute in the stacked space and one gather per
-    input position advances lanes of *different* DFAs at once.  Bases
-    are even multiples of the (even) row stride, so bit 0 stays the
-    final flag and the §4 no-masking trick survives fusion untouched.
-
-    ``weights`` is the matching stacked multiplicity table: because a
-    stacked pointer's high bits are ``cell_base/2 + state × width``, the
-    per-DFA weight tables concatenate in the same order and absolute
-    ``ptr >> 1`` indexing keeps working.
-    """
-
-    flat: np.ndarray          # int32, all tables, cells rebased
-    weights: np.ndarray       # int32, stacked multiplicities (+1 slack)
-    cell_base: np.ndarray     # int64 per DFA, first cell of its table
-    starts: np.ndarray        # int64 per DFA, local start state
-    num_states: np.ndarray    # int64 per DFA
-    symbol_width: int         # columns per row (256 when fold-composed)
-
-    @property
-    def num_dfas(self) -> int:
-        return len(self.cell_base)
-
-    @property
-    def stride(self) -> int:
-        return 2 * self.symbol_width
-
-
-def fuse_tables(tables: Sequence[Tuple[np.ndarray, np.ndarray]],
-                starts: Sequence[int],
-                num_states: Sequence[int],
-                symbol_width: int) -> FusedTable:
-    """Stack per-DFA ``(flat, weights)`` pairs into one :class:`FusedTable`.
-
-    Each flat table's cells are shifted by the table's base offset in
-    the stacked array (bases are even, so the flag bit is preserved);
-    weight tables are concatenated minus their one-cell slack, with a
-    single shared slack cell at the very end.
-    """
-    if not tables:
-        raise DFAError("at least one table required")
-    if not (len(tables) == len(starts) == len(num_states)):
-        raise DFAError("tables/starts/num_states must align")
-    stride = 2 * int(symbol_width)
-    sizes = []
-    for d, (flat, _) in enumerate(tables):
-        if flat.size != int(num_states[d]) * stride:
-            raise DFAError(
-                f"table {d} has {flat.size} cells, expected "
-                f"{int(num_states[d]) * stride} for {num_states[d]} "
-                f"states × {symbol_width} symbols")
-        sizes.append(int(flat.size))
-    cell_base = np.zeros(len(tables), dtype=np.int64)
-    cell_base[1:] = np.cumsum(sizes[:-1])
-    total = int(cell_base[-1]) + sizes[-1]
-    if total > np.iinfo(np.int32).max:
-        raise DFAError(
-            f"fused STT needs {total} cells, beyond int32; partition "
-            f"the dictionary into fewer/smaller slices or scan per-DFA")
-    if len(tables) == 1:
-        flat0, weights0 = tables[0]
-        fused_flat = np.ascontiguousarray(flat0, dtype=np.int32)
-        fused_weights = np.ascontiguousarray(weights0, dtype=np.int32)
-    else:
-        fused_flat = np.empty(total, dtype=np.int32)
-        for d, (flat, _) in enumerate(tables):
-            lo = int(cell_base[d])
-            np.add(flat, np.int32(lo), out=fused_flat[lo:lo + flat.size])
-        fused_weights = np.concatenate(
-            [np.asarray(w[:-1], dtype=np.int32) for _, w in tables]
-            + [np.zeros(1, dtype=np.int32)])
-    return FusedTable(
-        flat=fused_flat, weights=fused_weights, cell_base=cell_base,
-        starts=np.asarray(starts, dtype=np.int64),
-        num_states=np.asarray(num_states, dtype=np.int64),
-        symbol_width=int(symbol_width))
-
-
-class _FusedSliceScanner(FlatScanner):
-    """One DFA's view of a stacked table: the inherited hot loop runs on
-    absolute pointers, only the state↔pointer conversions are rebased.
-    This is what lets :func:`count_arr` / :func:`repair_detail` run
-    per-DFA over the fused table with zero new scan code."""
-
-    def __init__(self, flat: np.ndarray, symbol_width: int, start: int,
-                 num_states: int, cell_base: int) -> None:
-        super().__init__(flat, symbol_width, start, num_states)
-        self.cell_base = int(cell_base)
-
-    def pointer(self, state: int) -> int:
-        return self.cell_base + int(state) * self.stride
-
-    def state_of(self, ptrs):
-        return ((ptrs - self.cell_base) >> 1) // self.alphabet_size
-
-
-def _ragged_segments(sorted_lens: Sequence[int]):
-    """Yield ``(lo, hi, active)`` scan segments for lanes sorted by
-    length descending: rows ``lo:hi`` are scanned with the first
-    ``active`` lanes (exactly those longer than ``lo``)."""
-    active = len(sorted_lens)
-    pos = 0
-    while True:
-        while active > 0 and int(sorted_lens[active - 1]) <= pos:
-            active -= 1
-        if active == 0:
-            return
-        nxt = int(sorted_lens[active - 1])
-        yield pos, nxt, active
-        pos = nxt
-
-
-class FusedScanner:
-    """Lockstep interpreter over a stacked multi-DFA table.
-
-    Lanes form a ``D × L`` grid: axis 0 is the DFA dimension, axis 1
-    the chunk/stream dimension.  One strip-mined gather per input
-    position advances the whole grid, and the input symbols are read
-    *once* and broadcast across the DFA axis — O(n) input traffic no
-    matter how many DFAs the dictionary was partitioned into.
-    """
-
-    def __init__(self, table: FusedTable) -> None:
-        self.table = table
-        self.flat = table.flat
-        self.weights = table.weights
-        self.symbol_width = table.symbol_width
-        self.stride = table.stride
-        self.cell_base = np.asarray(table.cell_base, dtype=np.int64)
-        self.starts = np.asarray(table.starts, dtype=np.int64)
-        self.num_states = np.asarray(table.num_states, dtype=np.int64)
-        #: Absolute tagged start pointer per DFA.
-        self.start_ptrs = (self.cell_base
-                           + self.starts * self.stride).astype(np.int32)
-
-    @property
-    def num_dfas(self) -> int:
-        return len(self.cell_base)
-
-    # -- views & conversions -----------------------------------------------------
-
-    def slice_view(self, d: int) -> FlatScanner:
-        """A per-DFA :class:`FlatScanner` over the stacked table (for
-        scalar remainders, ledger repair and anything else that wants
-        one DFA at a time)."""
-        return _FusedSliceScanner(
-            self.flat, self.symbol_width, int(self.starts[d]),
-            int(self.num_states[d]), int(self.cell_base[d]))
-
-    def entry_ptrs(self, states: Optional[Sequence[int]]) -> np.ndarray:
-        """Per-DFA local entry states → absolute tagged pointers."""
-        if states is None:
-            return self.start_ptrs.copy()
-        states = np.asarray(states, dtype=np.int64)
-        if states.shape != (self.num_dfas,):
-            raise DFAError(
-                f"need one entry state per DFA ({self.num_dfas}), got "
-                f"shape {states.shape}")
-        if states.size and (states.min() < 0
-                            or (states >= self.num_states).any()):
-            raise DFAError("entry state out of range")
-        return (self.cell_base + states * self.stride).astype(np.int32)
-
-    def states_of(self, ptrs: np.ndarray) -> np.ndarray:
-        """Absolute tagged pointers (first axis = DFA) → local states."""
-        base = self.cell_base.reshape(
-            (self.num_dfas,) + (1,) * (ptrs.ndim - 1))
-        return ((ptrs - base) >> 1) // self.symbol_width
-
-    # -- the fused hot loop --------------------------------------------------------
-
-    def scan_grid(self, cols: np.ndarray, ptrs: np.ndarray,
-                  counts: np.ndarray,
-                  weights: Optional[np.ndarray] = None) -> np.ndarray:
-        """Lockstep scan of a ``D × lanes`` pointer grid.
-
-        ``cols`` has shape ``(length, lanes)`` and is shared by every
-        DFA: each position's symbol row is doubled once and *broadcast*
-        across the DFA axis, so the input is touched once regardless of
-        ``D``.  ``ptrs`` has shape ``(D, lanes)``; ``counts`` is an
-        ``int64`` ``(D, lanes)`` accumulator updated in place.  Returns
-        the tagged exit pointers, shape ``(D, lanes)``.
-        """
-        length, lanes = cols.shape
-        ndfa = ptrs.shape[0]
-        if length == 0:
-            return ptrs.astype(np.int32).copy()
-        take = self.flat.take
-        add = np.add
-        strip_len = min(STRIP, length,
-                        max(8, FUSED_STRIP_ELEMS // max(1, ndfa * lanes)))
-        strip = np.empty((strip_len, ndfa, lanes), dtype=np.int32)
-        doubled = np.empty((strip_len, 1, lanes), dtype=np.int32)
-        scratch = np.empty((strip_len, ndfa, lanes), dtype=np.int32)
-        idx = np.empty((ndfa, lanes), dtype=np.int32)
-        strip_rows = list(strip)
-        doubled_rows = list(doubled)
-        cur = np.ascontiguousarray(ptrs, dtype=np.int32)
-        for t0 in range(0, length, strip_len):
-            b = min(strip_len, length - t0)
-            doubled[:b, 0, :] = cols[t0:t0 + b]
-            np.left_shift(doubled[:b], 1, out=doubled[:b])
-            for i in range(b):
-                row = strip_rows[i]
-                add(cur, doubled_rows[i], out=idx)
-                take(idx, out=row)
-                cur = row
-            if weights is None:
-                np.bitwise_and(strip[:b], 1, out=scratch[:b])
-            else:
-                np.right_shift(strip[:b], 1, out=scratch[:b])
-                weights.take(scratch[:b], out=scratch[:b])
-            counts += scratch[:b].sum(axis=0)
-        return cur.copy()
-
-    # -- fused block scanning ------------------------------------------------------
-
-    def _fused_chunked_scan(self, arr: np.ndarray, chunks: int,
-                            entry_states: Optional[Sequence[int]],
-                            weights: Optional[np.ndarray]):
-        """Shared core of the fused block scans.  Requires
-        ``arr.size > 0``.  Returns ``(remainder, head_counts, head_ptrs,
-        piece_counts, piece_exit_ptrs)`` — the multi-DFA analogue of
-        :func:`_chunked_scan`, same speculation/repair semantics applied
-        per DFA, one pass over the input for all of them."""
-        if chunks < 1:
-            raise DFAError("chunks must be >= 1")
-        n = int(arr.size)
-        ndfa = self.num_dfas
-        lane_target = max(LANES_TARGET,
-                          FUSED_LANES_TARGET // max(1, ndfa))
-        chunks = min(n, max(int(chunks),
-                            min(lane_target, n // MIN_PIECE)))
-        piece_len = n // chunks
-        remainder = n - piece_len * chunks
-
-        entry_abs = self.entry_ptrs(entry_states)
-        head_counts = np.zeros(ndfa, dtype=np.int64)
-        head_ptrs = entry_abs.astype(np.int32)
-        if remainder:
-            # Scalar per-DFA walk: the remainder is bounded by the chunk
-            # count, and D short Python loops beat per-byte numpy
-            # dispatch on a D-vector.
-            head_syms = arr[:remainder].tolist()
-            flat = self.flat
-            for d in range(ndfa):
-                ptr = int(entry_abs[d])
-                cnt = 0
-                if weights is None:
-                    for sym in head_syms:
-                        ptr = int(flat[ptr + (sym << 1)])
-                        cnt += ptr & 1
-                else:
-                    for sym in head_syms:
-                        ptr = int(flat[ptr + (sym << 1)])
-                        cnt += int(weights[ptr >> 1])
-                head_counts[d] = cnt
-                head_ptrs[d] = ptr
-
-        cols = np.ascontiguousarray(
-            arr[remainder:].reshape(chunks, piece_len).T)
-
-        entry = np.empty((ndfa, chunks), dtype=np.int32)
-        entry[:] = self.start_ptrs[:, None]
-        entry[:, 0] = head_ptrs          # chunk 0's entries are exact
-        if chunks > 1 and piece_len >= 8 * SPECULATION_WARMUP:
-            # Warm-start the entry guesses from each predecessor's tail
-            # (see SPECULATION_WARMUP); counts are discarded.
-            sink = np.zeros((ndfa, chunks - 1), dtype=np.int64)
-            entry[:, 1:] = self.scan_grid(
-                np.ascontiguousarray(
-                    cols[piece_len - SPECULATION_WARMUP:, :-1]),
-                entry[:, 1:], sink)
-        exits = np.empty((ndfa, chunks), dtype=np.int32)
-        counts = np.zeros((ndfa, chunks), dtype=np.int64)
-        todo = np.arange(chunks)
-        for _ in range(chunks + 1):
-            sub = cols if todo.size == chunks else cols[:, todo]
-            part = np.zeros((ndfa, todo.size), dtype=np.int64)
-            fin = self.scan_grid(sub, entry[:, todo], part,
-                                 weights=weights)
-            counts[:, todo] = part
-            exits[:, todo] = fin
-            # A chunk is rescanned when *any* DFA's entry guess proved
-            # wrong; lanes whose guess was right recompute identical
-            # counts (determinism), so the union repair stays exact.
-            wrong_mask = (exits[:, :-1] >> 1) != (entry[:, 1:] >> 1)
-            wrong = np.nonzero(wrong_mask.any(axis=0))[0] + 1
-            if wrong.size == 0:
-                break
-            entry[:, wrong] = exits[:, wrong - 1]
-            todo = wrong
-        else:
-            raise DFAError("fused chunk fixpoint failed to converge; "
-                           "this indicates a bug, not an input property")
-        return remainder, head_counts, head_ptrs, counts, exits
-
-    def count_arr_per_dfa(self, arr: np.ndarray, chunks: int,
-                          entry_states: Optional[Sequence[int]] = None,
-                          weights: Optional[np.ndarray] = None
-                          ) -> Tuple[np.ndarray, np.ndarray]:
-        """Exact per-DFA ``(counts, exit_states)`` over one symbol
-        array, every DFA advanced in the same pass.  Bit-identical to
-        running :func:`count_arr` once per DFA (exactness is invariant
-        under chunking), but the input is traversed once and the chunk
-        count is widened toward ``FUSED_LANES_TARGET`` total lanes so
-        the grid keeps full gather width at any partition count."""
-        if arr.size == 0:
-            states = self.starts.copy() if entry_states is None else \
-                np.asarray(entry_states, dtype=np.int64)
-            return np.zeros(self.num_dfas, dtype=np.int64), states
-        _, head, _, counts, exits = self._fused_chunked_scan(
-            arr, chunks, entry_states, weights)
-        totals = head + counts.sum(axis=1)
-        return totals, self.states_of(exits[:, -1]).astype(np.int64)
-
-    def count_arr_detail_per_dfa(self, arr: np.ndarray, chunks: int,
-                                 entry_states: Optional[Sequence[int]]
-                                 = None,
-                                 weights: Optional[np.ndarray] = None
-                                 ) -> List["ScanDetail"]:
-        """Per-DFA :class:`ScanDetail` ledgers from one fused pass —
-        what a pooled worker returns so the host can repair each DFA's
-        chain independently."""
-        states = self.starts if entry_states is None else \
-            np.asarray(entry_states, dtype=np.int64)
-        if arr.size == 0:
-            return [ScanDetail(int(states[d]),
-                               np.zeros(1, dtype=np.int64),
-                               np.zeros(0, dtype=np.int64),
-                               np.zeros(0, dtype=np.int32))
-                    for d in range(self.num_dfas)]
-        remainder, head, head_ptrs, counts, exits = \
-            self._fused_chunked_scan(arr, chunks, entry_states, weights)
-        pieces = counts.shape[1]
-        piece_len = (int(arr.size) - remainder) // pieces
-        bounds = np.empty(pieces + 2, dtype=np.int64)
-        bounds[0] = 0
-        bounds[1:] = remainder + piece_len * np.arange(pieces + 1,
-                                                       dtype=np.int64)
-        head_states = self.states_of(head_ptrs)
-        exit_states = self.states_of(exits)
-        details = []
-        for d in range(self.num_dfas):
-            seg_counts = np.concatenate(
-                ([head[d]], counts[d])).astype(np.int64)
-            seg_exits = np.concatenate(
-                ([head_states[d]], exit_states[d])).astype(np.int32)
-            details.append(ScanDetail(int(states[d]), bounds,
-                                      seg_counts, seg_exits))
-        return details
-
-    # -- fused multi-stream scanning -----------------------------------------------
-
-    def run_streams(self, streams: Sequence[bytes],
-                    start_states: Optional[np.ndarray] = None,
-                    weights: Optional[np.ndarray] = None
-                    ) -> Tuple[np.ndarray, np.ndarray]:
-        """Scan independent (possibly ragged) streams, all DFAs at once.
-
-        Returns ``(counts, final_states)``, both shaped
-        ``(num_dfas, num_streams)``.  Streams may have different
-        lengths: lanes are sorted by length and retired as their
-        streams end, so a zero-length stream simply keeps its entry
-        state.  ``start_states`` is per-DFA (shape ``(D,)``) — every
-        stream of DFA ``d`` enters at that DFA's state.  This is the
-        paper's 16-interleaved-streams idea with the DFA dimension
-        fused in — the service batch executor's engine.
-        """
-        nstreams = len(streams)
-        if not nstreams:
-            raise DFAError("at least one stream required")
-        lens = np.asarray([len(s) for s in streams], dtype=np.int64)
-        order = np.argsort(-lens, kind="stable")
-        sorted_lens = lens[order]
-        maxlen = int(sorted_lens[0])
-        ndfa = self.num_dfas
-
-        entry = self.entry_ptrs(start_states)
-        ptrs = np.empty((ndfa, nstreams), dtype=np.int32)
-        ptrs[:] = entry[:, None]
-        counts = np.zeros((ndfa, nstreams), dtype=np.int64)
-        if maxlen:
-            cols = np.zeros((maxlen, nstreams), dtype=np.uint8)
-            for k, oi in enumerate(order):
-                s = streams[oi]
-                if len(s):
-                    cols[:len(s), k] = np.frombuffer(s, dtype=np.uint8)
-            for lo, hi, active in _ragged_segments(sorted_lens):
-                fin = self.scan_grid(cols[lo:hi, :active],
-                                     ptrs[:, :active],
-                                     counts[:, :active],
-                                     weights=weights)
-                ptrs[:, :active] = fin
-        out_counts = np.empty_like(counts)
-        out_ptrs = np.empty_like(ptrs)
-        out_counts[:, order] = counts
-        out_ptrs[:, order] = ptrs
-        return out_counts, self.states_of(out_ptrs).astype(np.int32)
-
-
-# ---------------------------------------------------------------------------
-# Hot/cold split of the union automaton (cache-resident fused scanning)
-# ---------------------------------------------------------------------------
-
-def visit_order(transitions: np.ndarray, start: int,
-                fold_table: Optional[np.ndarray] = None,
-                iters: int = 12, damping: float = 0.15
-                ) -> Tuple[np.ndarray, np.ndarray]:
-    """Deterministic hotness ranking of DFA states.
-
-    Runs a damped power iteration of the DFA's transition graph under
-    the per-symbol probabilities implied by the fold (a symbol's weight
-    is the number of byte values folding to it, i.e. the stationary
-    distribution of a uniformly random *byte* stream).  Inputs are not
-    uniform, but what the ranking must get right is only the split into
-    "visited constantly" (the failure-closed neighborhood of the start
-    state) versus "visited while matching" — and that split is a
-    structural property of security DFAs, not of the corpus.  Being
-    input-free keeps the ranking a pure function of the compiled
-    dictionary, so it can be persisted in the artifact cache.
-
-    Returns ``(order, mass)``: states sorted hottest-first with
-    ``start`` forced to the front, and the stationary mass per state.
-    """
-    trans = np.asarray(transitions, dtype=np.int64)
-    n, width = trans.shape
-    if fold_table is not None:
-        probs = np.bincount(np.asarray(fold_table, dtype=np.int64),
-                            minlength=width).astype(np.float64)
-        probs /= max(probs.sum(), 1.0)
-    else:
-        probs = np.full(width, 1.0 / width)
-    restart = np.zeros(n, dtype=np.float64)
-    restart[int(start)] = 1.0
-    v = restart.copy()
-    targets = trans.reshape(-1)
-    for _ in range(int(iters)):
-        contrib = (v[:, None] * probs[None, :]).reshape(-1)
-        v = np.bincount(targets, weights=contrib, minlength=n)
-        v = (1.0 - damping) * v + damping * restart
-    order = np.argsort(-v, kind="stable").astype(np.int64)
-    order = np.concatenate(([int(start)], order[order != int(start)]))
-    return order, v
-
-
-def project_states(union_trans: np.ndarray, union_start: int,
-                   slice_trans: np.ndarray, slice_start: int) -> np.ndarray:
-    """Map every union-automaton state to its image in one slice DFA.
-
-    For Aho–Corasick automata the state reached by a string is its
-    longest suffix that is a pattern prefix.  A suffix of a union
-    state's canonical string that is a *slice* prefix is also a union
-    prefix, hence itself a suffix of the union state's canonical string
-    — so the slice state reached by *any* string arriving at union
-    state ``s`` is the same, and the map ``img`` is well defined.  It
-    satisfies ``img[union_trans[s, c]] == slice_trans[img[s], c]``,
-    which is exactly the BFS recurrence used here.
-    """
-    union_trans = np.asarray(union_trans, dtype=np.int64)
-    slice_trans = np.asarray(slice_trans, dtype=np.int64)
-    n = union_trans.shape[0]
-    img = np.full(n, -1, dtype=np.int64)
-    img[int(union_start)] = int(slice_start)
-    frontier = np.asarray([int(union_start)], dtype=np.int64)
-    while frontier.size:
-        targets = union_trans[frontier].reshape(-1)
-        cand = slice_trans[img[frontier]].reshape(-1)
-        fresh = np.nonzero(img[targets] < 0)[0]
-        if fresh.size == 0:
-            break
-        t, first = np.unique(targets[fresh], return_index=True)
-        img[t] = cand[fresh][first]
-        frontier = t
-    # Unreachable union states have no canonical string; any image is
-    # consistent (they never occur in a scan).
-    img[img < 0] = int(slice_start)
-    return img
-
-
-@dataclass
-class HotColdFusedTable:
-    """Hot/cold split of the union automaton's flag-encoded table.
-
-    The paper's §4 answer to "the STT must fit local store" is to refuse
-    dictionaries whose table does not.  The hot/cold split keeps the
-    discipline but only demands residency of the *frequently visited*
-    states: the hottest ``H`` states (by :func:`visit_order`) are
-    renumbered onto one compact contiguous table of ``H`` rows over the
-    **folded** alphabet — typically ~8× narrower than the fold-composed
-    fused rows — and every other state collapses to a two-cell *escape
-    encoding* resolved by a :class:`~repro.core.compressed.ColdRowStore`
-    (default-transition compressed against the start state's row).
-
-    Cell encodings (``stride = 2 × symbol_width``, bit 0 = is-final):
-
-    * hot state ``h``:   ``h·stride | flag`` — the §4 tagged pointer,
-      gathered with the usual no-masking trick;
-    * cold state ``j``:  ``escape_base + 2 + 2·j | flag`` where
-      ``escape_base = H·stride``.  These point into a *parking zone*
-      appended to the hot table whose every cell holds ``escape_base``,
-      so a lane that goes cold parks itself (self-loop, flag 0,
-      weight 0) for the rest of the strip and the scanner replays its
-      true trajectory through the cold store afterwards.
-
-    The weight table is addressed by ``cell >> 1`` like the fused one:
-    hot states land on ``h·symbol_width``, the parking cell on a
-    dedicated zero slot, cold states on compact trailing slots.
-
-    One union automaton replaces the D stacked slice tables, so the
-    per-byte transition work is one gather regardless of the partition
-    count; per-slice counts are recovered through ``slice_maps`` (see
-    :func:`project_states`) and per-slice weight layouts.
-    """
-
-    hot_flat: np.ndarray            # int32, hot rows + parking zone
-    weights: np.ndarray             # int32, indexed by cell >> 1
-    cold: ColdRowStore              # cold rows, shared-default compressed
-    fold_table: np.ndarray          # 256-entry byte → symbol map
-    hot_states: np.ndarray          # int64 (H,): hot id → union state
-    cold_states: np.ndarray         # int64 (n-H,): cold id → union state
-    entry_cells: np.ndarray         # int32 (n,): state → untagged cell
-    start: int
-    num_states: int
-    symbol_width: int
-    slice_maps: Optional[np.ndarray] = None      # int32 (D, n)
-    slice_weights: Optional[np.ndarray] = None   # int32 (D, len(weights))
-    slice_flags: Optional[np.ndarray] = None     # int32 (D, len(weights))
-    hot_mass: Optional[float] = None             # predicted hot-visit share
-
-    @property
-    def num_hot(self) -> int:
-        return len(self.hot_states)
-
-    @property
-    def num_cold(self) -> int:
-        return len(self.cold_states)
-
-    @property
-    def stride(self) -> int:
-        return 2 * self.symbol_width
-
-    @property
-    def escape_base(self) -> int:
-        return self.num_hot * self.stride
-
-    @property
-    def num_dfas(self) -> int:
-        return 1 if self.slice_maps is None else len(self.slice_maps)
-
-    @property
-    def hot_bytes(self) -> int:
-        """Footprint of the always-resident part (hot rows + weights)."""
-        return int(self.hot_flat.nbytes + self.weights.nbytes)
-
-    @property
-    def table_bytes(self) -> int:
-        """Total footprint of everything a scan can touch."""
-        return int(self.hot_flat.nbytes + self.weights.nbytes
-                   + self.cold.nbytes + self.entry_cells.nbytes
-                   + 4 * 256)
-
-
-def build_hot_cold_table(transitions: np.ndarray, final_mask: np.ndarray,
-                         start: int, fold_table: np.ndarray,
-                         state_weights: Optional[np.ndarray] = None,
-                         budget_bytes: int = HOT_BUDGET_BYTES,
-                         order: Optional[np.ndarray] = None,
-                         mass: Optional[np.ndarray] = None,
-                         slice_maps: Optional[np.ndarray] = None,
-                         slice_state_weights: Optional[np.ndarray] = None,
-                         slice_state_flags: Optional[np.ndarray] = None
-                         ) -> HotColdFusedTable:
-    """Build a :class:`HotColdFusedTable` from a (union) DFA.
-
-    ``transitions`` is over the *folded* alphabet; ``fold_table`` maps
-    raw bytes to it at scan time (the fold is **not** composed into the
-    rows — narrow rows are the point).  ``budget_bytes`` caps the hot
-    partition: ``H = budget // (stride × 4)`` rows, at least 1 and at
-    most all states; ``order`` (from :func:`visit_order`, possibly
-    loaded from an artifact) overrides the profiling pass.  The
-    optional ``slice_*`` arrays are per-slice per-*union-state* weight
-    and final-flag vectors plus the :func:`project_states` maps, laid
-    out into per-slice weight tables for exact per-DFA counting.
-    """
-    trans = np.asarray(transitions, dtype=np.int64)
-    n, width = trans.shape
-    final = np.asarray(final_mask, dtype=np.int64)
-    fold = np.asarray(fold_table, dtype=np.int64)
-    if fold.shape != (256,):
-        raise DFAError("fold table must map all 256 byte values")
-    if fold.size and int(fold.max()) >= width:
-        raise DFAError("fold table maps outside the DFA alphabet")
-    stride = 2 * width
-    if order is None:
-        order, mass = visit_order(trans, start, fold)
-    else:
-        order = np.asarray(order, dtype=np.int64)
-        if order.shape != (n,):
-            raise DFAError("visit order must rank every state")
-        if int(order[0]) != int(start):
-            order = np.concatenate(([int(start)],
-                                    order[order != int(start)]))
-    num_hot = max(1, min(n, int(budget_bytes) // (stride * 4)))
-    num_cold = n - num_hot
-    hot_states = order[:num_hot]
-    cold_states = order[num_hot:]
-    escape_base = num_hot * stride
-    park = 2 * num_cold + stride + 2
-    if escape_base + park > np.iinfo(np.int32).max:
-        raise DFAError(
-            f"hot/cold STT needs offsets up to {escape_base + park}, "
-            f"beyond int32; {n} states × {width} symbols is too large")
-
-    code = np.empty(n, dtype=np.int64)
-    code[hot_states] = np.arange(num_hot, dtype=np.int64) * stride
-    code[cold_states] = escape_base + 2 \
-        + 2 * np.arange(num_cold, dtype=np.int64)
-    enc = code[trans] + final[trans]
-
-    hot_flat = np.full(escape_base + park, escape_base, dtype=np.int32)
-    hot_rows = hot_flat[:escape_base].reshape(num_hot, stride)
-    hot_rows[:, 0::2] = enc[hot_states]
-    hot_rows[:, 1::2] = enc[hot_states]
-    cold = ColdRowStore.from_rows(enc[cold_states], enc[int(start)])
-
-    wsize = num_hot * width + num_cold + 1
-
-    def layout(per_state: np.ndarray) -> np.ndarray:
-        w = np.zeros(wsize, dtype=np.int32)
-        w[np.arange(num_hot) * width] = per_state[hot_states]
-        w[num_hot * width + 1 + np.arange(num_cold)] = \
-            per_state[cold_states]
-        return w
-
-    if state_weights is None:
-        state_weights = final
-    weights = layout(np.asarray(state_weights))
-
-    sw = sf = None
-    if slice_maps is not None:
-        slice_maps = np.ascontiguousarray(slice_maps, dtype=np.int32)
-        if slice_state_weights is None or slice_state_flags is None:
-            raise DFAError("slice maps need per-slice weights and flags")
-        sw = np.stack([layout(np.asarray(row))
-                       for row in slice_state_weights])
-        sf = np.stack([layout(np.asarray(row))
-                       for row in slice_state_flags])
-
-    hot_mass = None
-    if mass is not None:
-        total = float(mass.sum())
-        if total > 0:
-            hot_mass = float(mass[hot_states].sum()) / total
-
-    return HotColdFusedTable(
-        hot_flat=hot_flat, weights=weights, cold=cold,
-        fold_table=np.ascontiguousarray(fold, dtype=np.int64),
-        hot_states=np.ascontiguousarray(hot_states),
-        cold_states=np.ascontiguousarray(cold_states),
-        entry_cells=code.astype(np.int32), start=int(start),
-        num_states=n, symbol_width=width, slice_maps=slice_maps,
-        slice_weights=sw, slice_flags=sf, hot_mass=hot_mass)
-
-
-class HotColdFusedScanner:
-    """Lockstep interpreter over a :class:`HotColdFusedTable`.
-
-    Drop-in compatible with :class:`FlatScanner` for :func:`count_arr` /
-    :func:`count_arr_detail` / :func:`repair_detail` (pointer, state_of,
-    scan_cols, step_scalar all speak union states), so every chunking,
-    ledger and pool mechanism runs unchanged on top of it.  The hot loop
-    is the §4 one-gather step on the compact hot table; lanes that leave
-    the hot set park themselves in the parking zone and are *replayed*
-    through the compressed cold store at strip granularity — the
-    explicit slow-path escape.  Scans read **raw bytes**: the byte→
-    symbol fold is a 256-entry pre-doubled gather folded into the strip
-    staging step, not into the table rows.
-    """
-
-    def __init__(self, table: HotColdFusedTable) -> None:
-        self.table = table
-        self.flat = table.hot_flat
-        self.weights = table.weights
-        self.cold = table.cold
-        self.symbol_width = table.symbol_width
-        self.alphabet_size = table.symbol_width
-        self.stride = table.stride
-        self.start = int(table.start)
-        self.num_states = int(table.num_states)
-        self.escape_base = int(table.escape_base)
-        self.fold2 = np.ascontiguousarray(
-            np.asarray(table.fold_table, dtype=np.int32) * 2)
-        self.reset_stats()
-
-    @property
-    def num_dfas(self) -> int:
-        return self.table.num_dfas
-
-    # -- instrumentation ---------------------------------------------------------
-
-    def reset_stats(self) -> None:
-        #: steps = lockstep transitions taken; cold_steps = transitions
-        #: replayed through the slow path; escapes = lane×strip slow-path
-        #: activations.  hot_hit_rate derives from these.
-        self.stats = {"steps": 0, "cold_steps": 0, "escapes": 0}
-
-    @property
-    def hot_hit_rate(self) -> float:
-        steps = self.stats["steps"]
-        if steps <= 0:
-            return 1.0
-        return 1.0 - self.stats["cold_steps"] / steps
-
-    # -- pointer/state conversions ----------------------------------------------
-
-    def pointer(self, state: int) -> int:
-        return int(self.table.entry_cells[int(state)])
-
-    def state_of(self, ptrs):
-        p = np.asarray(ptrs, dtype=np.int64)
-        base = (p >> 1) << 1
-        t = self.table
-        out = t.hot_states[np.minimum(base // self.stride,
-                                      t.num_hot - 1)]
-        if t.num_cold:
-            j = np.clip((base - self.escape_base - 2) >> 1, 0,
-                        t.num_cold - 1)
-            out = np.where(base < self.escape_base, out,
-                           t.cold_states[j])
-        if p.ndim == 0:
-            return int(out)
-        return out
-
-    # -- scalar path -------------------------------------------------------------
-
-    def step_scalar(self, ptr: int, symbol: int) -> int:
-        sym2 = int(self.fold2[int(symbol)])
-        ptr = int(ptr)
-        if ((ptr >> 1) << 1) < self.escape_base:
-            return int(self.flat[ptr + sym2])
-        j = (((ptr >> 1) << 1) - self.escape_base - 2) >> 1
-        return self.cold.lookup_one(j, sym2 >> 1)
-
-    def _advance(self, cells: np.ndarray, syms2: np.ndarray) -> np.ndarray:
-        """Vectorized mixed hot/cold transition on encoded cells."""
-        eb = self.escape_base
-        base = (cells >> 1) << 1
-        hot = base < eb
-        out = np.empty_like(cells)
-        if hot.any():
-            out[hot] = self.flat[cells[hot] + syms2[hot]]
-        cold = ~hot
-        if cold.any():
-            j = (base[cold] - eb - 2) >> 1
-            out[cold] = self.cold.lookup(j, syms2[cold] >> 1)
-        return out
-
-    # -- hot loop ----------------------------------------------------------------
-
-    def scan_cols(self, cols: np.ndarray, ptrs: np.ndarray,
-                  counts: np.ndarray,
-                  weights: Optional[np.ndarray] = None) -> np.ndarray:
-        """:meth:`FlatScanner.scan_cols` over raw bytes and union
-        states: flag accumulation without ``weights``, multiplicity
-        accumulation with (pass :attr:`weights`)."""
-        return self._scan_core(cols, ptrs, ((counts, weights),))
-
-    def scan_cols_slices(self, cols: np.ndarray, ptrs: np.ndarray,
-                         counts2d: np.ndarray,
-                         weight_rows: np.ndarray) -> np.ndarray:
-        """One lockstep pass accumulating every slice's counts at once
-        (``counts2d`` is ``(D, lanes)``, ``weight_rows`` ``(D, wsize)``).
-
-        D-invariant: instead of D dense accumulation passes per strip,
-        one flag pass finds the union-final positions (a slice match
-        implies a union match, since the union automaton contains every
-        pattern) and the per-slice weights are scattered only at those
-        sparse hits, projected through the per-slice weight layouts.
-        The per-strip cost is one dense pass plus O(matches · D), not
-        O(strip · D)."""
-        return self._scan_core(cols, ptrs, (),
-                               slice_accs=(counts2d, weight_rows))
-
-    def _scan_core(self, cols: np.ndarray, ptrs: np.ndarray,
-                   accs, slice_accs=None) -> np.ndarray:
-        length, lanes = cols.shape
-        if length == 0:
-            return np.asarray(ptrs, dtype=np.int32).copy()
-        take = self.flat.take
-        fold2_take = self.fold2.take
-        add = np.add
-        eb = self.escape_base
-        pure_hot = self.table.num_cold == 0
-        weighted = any(w is not None for _, w in accs)
-        strip_len = min(STRIP, length,
-                        max(8, hotcold_strip_elems() // max(1, lanes)))
-        strip = np.empty((strip_len, lanes), dtype=np.int32)
-        syms2 = np.empty((strip_len, lanes), dtype=np.int32)
-        scratch = np.empty((strip_len, lanes), dtype=np.int32)
-        shifted = np.empty((strip_len, lanes), dtype=np.int32)
-        idx = np.empty(lanes, dtype=np.int32)
-        strip_rows = list(strip)
-        syms_rows = list(syms2)
-        cur = np.ascontiguousarray(ptrs, dtype=np.int32)
-        self.stats["steps"] += int(length) * int(lanes)
-        for t0 in range(0, length, strip_len):
-            b = min(strip_len, length - t0)
-            fold2_take(cols[t0:t0 + b], out=syms2[:b])
-            pre = None if pure_hot else cur.copy()
-            c = cur
-            for i in range(b):
-                row = strip_rows[i]
-                add(c, syms_rows[i], out=idx)
-                take(idx, out=row)
-                c = row
-            cur = c
-            # Hot accumulation is exact for every lane: a lane that
-            # escapes contributes its true flags/weights up to and
-            # including the escape step (the escape cell carries the
-            # cold destination's flag and weight slot), then parks on
-            # zero-weight cells.
-            if weighted:
-                np.right_shift(strip[:b], 1, out=shifted[:b])
-            for acc, w in accs:
-                if w is None:
-                    np.bitwise_and(strip[:b], 1, out=scratch[:b])
-                else:
-                    w.take(shifted[:b], out=scratch[:b])
-                acc += scratch[:b].sum(axis=0)
-            if slice_accs is not None:
-                self._accumulate_slices_sparse(strip, b, lanes,
-                                               scratch, slice_accs)
-            if not pure_hot:
-                esc = np.nonzero(cur >= eb)[0]
-                if esc.size:
-                    cur = cur.copy()
-                    self._fix_lanes(strip, syms2, b, pre, cur, esc,
-                                    accs, slice_accs)
-        return cur.copy()
-
-    @staticmethod
-    def _accumulate_slices_sparse(strip: np.ndarray, b: int, lanes: int,
-                                  scratch: np.ndarray, slice_accs) -> None:
-        """Scatter per-slice weights at the strip's union-final hits.
-
-        Escape cells carry the cold destination's flag and weight slot,
-        so hot-loop hits are exact for escaping lanes too; parked cells
-        have flag 0 and contribute nothing (their lanes are replayed)."""
-        counts2d, rows = slice_accs
-        np.bitwise_and(strip[:b], 1, out=scratch[:b])
-        tt, ll = np.nonzero(scratch[:b])
-        if not tt.size:
-            return
-        slots = strip[tt, ll].astype(np.int64) >> 1
-        for d in range(len(rows)):
-            counts2d[d] += np.bincount(
-                ll, weights=rows[d, slots],
-                minlength=lanes).astype(np.int64)
-
-    def _fix_lanes(self, strip: np.ndarray, syms2: np.ndarray, b: int,
-                   pre: np.ndarray, cur: np.ndarray, esc: np.ndarray,
-                   accs, slice_accs=None) -> None:
-        """Replay escaped lanes through the cold store.
-
-        ``esc`` lists lanes whose strip-exit cell is in the escape
-        range.  Two cases: a lane *entered* the strip cold (its parked
-        gathers contributed nothing — replay all ``b`` steps from its
-        true cold encoding), or it escaped mid-strip at position ``t``
-        (everything through ``t`` was counted exactly — replay from
-        ``t + 1``).  The replay itself is vectorized across lanes per
-        position; its per-step cost is bounded (one sorted probe), so
-        the slow path degrades linearly, never pathologically.
-        """
-        eb = self.escape_base
-        m = int(esc.size)
-        self.stats["escapes"] += m
-        col = strip[:b, esc]
-        pre_esc = pre[esc].astype(np.int64)
-        first = np.argmax(col >= eb, axis=0)
-        cells = col[first, np.arange(m)].astype(np.int64)
-        t_start = first.astype(np.int64) + 1
-        precold = pre_esc >= eb
-        if precold.any():
-            cells[precold] = pre_esc[precold]
-            t_start[precold] = 0
-        extra = [np.zeros(m, dtype=np.int64) for _ in accs]
-        extra2d = None
-        if slice_accs is not None:
-            counts2d, rows = slice_accs
-            extra2d = np.zeros((len(rows), m), dtype=np.int64)
-        for t in range(int(t_start.min()), b):
-            act = np.nonzero(t_start <= t)[0]
-            nxt = self._advance(cells[act], syms2[t, esc[act]].astype(np.int64))
-            cells[act] = nxt
-            for (_, w), ex in zip(accs, extra):
-                if w is None:
-                    ex[act] += nxt & 1
-                else:
-                    ex[act] += w[nxt >> 1]
-            if extra2d is not None:
-                extra2d[:, act] += rows[:, nxt >> 1]
-            self.stats["cold_steps"] += int(act.size)
-        for (acc, _), ex in zip(accs, extra):
-            acc[esc] += ex
-        if extra2d is not None:
-            counts2d[:, esc] += extra2d
-        cur[esc] = cells.astype(np.int32)
-
-    # -- block scanning ----------------------------------------------------------
-
-    def count_arr_per_dfa(self, arr: np.ndarray, chunks: int,
-                          entry_states=None,
-                          weights: Optional[np.ndarray] = None
-                          ) -> Tuple[np.ndarray, np.ndarray]:
-        """Exact per-slice ``(counts, exit_states)`` from one union
-        pass.  ``weights`` is a mode switch matching the fused scanner's
-        convention: ``None`` counts final-state entries per slice, any
-        array selects the per-slice multiplicity layouts (only the
-        table's own layouts are meaningful — per-slice counts are always
-        taken through ``slice_weights``/``slice_flags``)."""
-        t = self.table
-        if t.slice_maps is None:
-            raise DFAError("hot/cold table was built without slice maps")
-        ndfa = len(t.slice_maps)
-        start_imgs = t.slice_maps[:, self.start].astype(np.int64)
-        if entry_states is not None:
-            states = np.asarray(entry_states, dtype=np.int64)
-            if not np.array_equal(states, start_imgs):
-                raise DFAError(
-                    "hot/cold per-DFA scans enter at the union start "
-                    "state; arbitrary per-DFA entry states are not "
-                    "realizable in the union state space")
-        if arr.size == 0:
-            return np.zeros(ndfa, dtype=np.int64), start_imgs
-        rows = t.slice_flags if weights is None else t.slice_weights
-        totals, exit_state = self._chunked_multi(arr, chunks, rows)
-        return totals, t.slice_maps[:, exit_state].astype(np.int64)
-
-    def _chunked_multi(self, arr: np.ndarray, chunks: int,
-                       rows: np.ndarray) -> Tuple[np.ndarray, int]:
-        """Chunk fixpoint accumulating all D slices per pass; same
-        speculation/warm-up/repair semantics as :func:`_chunked_scan`."""
-        if chunks < 1:
-            raise DFAError("chunks must be >= 1")
-        n = int(arr.size)
-        ndfa = len(rows)
-        chunks = min(n, max(int(chunks),
-                            min(hotcold_lanes_target(), n // MIN_PIECE)))
-        piece_len = n // chunks
-        remainder = n - piece_len * chunks
-        head = np.zeros(ndfa, dtype=np.int64)
-        ptr = self.pointer(self.start)
-        for sym in arr[:remainder].tolist():
-            ptr = self.step_scalar(ptr, sym)
-            head += rows[:, ptr >> 1]
-        cols = np.ascontiguousarray(
-            arr[remainder:].reshape(chunks, piece_len).T)
-        entry = np.full(chunks, self.pointer(self.start), dtype=np.int32)
-        entry[0] = ptr
-        if chunks > 1 and piece_len >= 8 * SPECULATION_WARMUP:
-            sink = np.zeros(chunks - 1, dtype=np.int64)
-            entry[1:] = self.scan_cols(
-                np.ascontiguousarray(
-                    cols[piece_len - SPECULATION_WARMUP:, :-1]),
-                entry[1:].copy(), sink)
-        exits = np.empty(chunks, dtype=np.int32)
-        counts = np.zeros((ndfa, chunks), dtype=np.int64)
-        todo = np.arange(chunks)
-        for _ in range(chunks + 1):
-            sub = cols if todo.size == chunks else cols[:, todo]
-            part = np.zeros((ndfa, todo.size), dtype=np.int64)
-            fin = self.scan_cols_slices(sub, entry[todo], part, rows)
-            counts[:, todo] = part
-            exits[todo] = fin
-            wrong = np.nonzero((exits[:-1] >> 1)
-                               != (entry[1:] >> 1))[0] + 1
-            if wrong.size == 0:
-                break
-            entry[wrong] = exits[wrong - 1]
-            todo = wrong
-        else:
-            raise DFAError("hot/cold chunk fixpoint failed to converge; "
-                           "this indicates a bug, not an input property")
-        return head + counts.sum(axis=1), int(self.state_of(exits[-1]))
-
-    # -- multi-stream scanning ---------------------------------------------------
-
-    def run_streams(self, streams: Sequence[bytes],
-                    start_states: Optional[np.ndarray] = None,
-                    weights: Optional[np.ndarray] = None
-                    ) -> Tuple[np.ndarray, np.ndarray]:
-        """Scan independent ragged streams over the union automaton.
-
-        Returns ``(counts, final_states)``, both shaped
-        ``(num_streams,)`` — the whole dictionary's totals per stream
-        in one pass, where the plain fused scanner returns a
-        ``(D, streams)`` grid it then has to reduce.  States are union
-        states; streams are raw bytes.
-        """
-        nstreams = len(streams)
-        if not nstreams:
-            raise DFAError("at least one stream required")
-        lens = np.asarray([len(s) for s in streams], dtype=np.int64)
-        order = np.argsort(-lens, kind="stable")
-        sorted_lens = lens[order]
-        maxlen = int(sorted_lens[0])
-        if start_states is not None:
-            states = np.asarray(start_states, dtype=np.int64)
-            if states.size and (states.min() < 0
-                                or states.max() >= self.num_states):
-                raise DFAError("start state out of range")
-            ptrs = self.table.entry_cells[states[order]].astype(np.int32)
-        else:
-            ptrs = np.full(nstreams, self.pointer(self.start),
-                           dtype=np.int32)
-        counts = np.zeros(nstreams, dtype=np.int64)
-        if maxlen:
-            cols = np.zeros((maxlen, nstreams), dtype=np.uint8)
-            for k, oi in enumerate(order):
-                s = streams[oi]
-                if len(s):
-                    cols[:len(s), k] = np.frombuffer(s, dtype=np.uint8)
-            for lo, hi, active in _ragged_segments(sorted_lens):
-                fin = self.scan_cols(cols[lo:hi, :active], ptrs[:active],
-                                     counts[:active], weights=weights)
-                ptrs[:active] = fin
-        out_counts = np.empty_like(counts)
-        out_ptrs = np.empty_like(ptrs)
-        out_counts[order] = counts
-        out_ptrs[order] = ptrs
-        return out_counts, np.asarray(self.state_of(out_ptrs),
-                                      dtype=np.int64)
-
-
-@dataclass
-class HotCold2Table:
-    """Pair-symbol (two-byte stride) extension of a hot/cold table.
-
-    The §4 inner loop pays one gather per input *byte*; squaring the
-    folded alphabet on the hottest states halves that: the ``H2``
-    hottest union states get one row of ``width²`` cells each, indexed
-    by a *pair* of folded symbols, so the lockstep loop consumes two
-    bytes per gather — the paper's unrolling discussion taken one level
-    up, and the Hyperflex observation that a compacted hot set makes
-    the squared table affordable.
-
-    States are renumbered by *hotness rank* (the base table's
-    hottest-first visit order), and a pair cell simply stores the
-    destination's rank as an ``int16`` — so a full pair row costs
-    ``2·width²`` bytes, a quarter of the flag-doubled ``int32``
-    encoding, and whether a destination is pair-hot is one compare
-    (``rank < H2``).  The gather index is ``rank·width² + psym``; a
-    lane whose rank is not pair-hot overshoots the table and is clamped
-    by the gather's clip mode onto the final *parking cell* (value
-    ``num_states``), where it stays for the rest of the strip.
-
-    Final flags and multiplicities live in two aux tables addressed by
-    the *gather index* rather than the result — so they see the pair's
-    source state and both symbols, and can account the *middle* state
-    of the pair (the one crossed after the first byte) with no escape:
-
-    * ``fflat``: bit 0 = destination is final, bit 1 = middle state is
-      final;
-    * ``wflat``: middle multiplicity + destination multiplicity.
-
-    Both are zero on the parking cell, so parked lanes accumulate
-    nothing and the strip replay owes exactly the post-escape bytes.
-    """
-
-    base: HotColdFusedTable
-    hot2_flat: np.ndarray        # int16 (H2·W² + 1,): dest ranks + park
-    wflat: np.ndarray            # uint8/uint16/int32, same indexing
-    fflat: np.ndarray            # uint8, same indexing (2 bits)
-    foldpair: np.ndarray         # uint16 (65536,): psym per LE byte pair
-    utr: np.ndarray              # int16 (NS·W,): rank-space transitions
-    order: np.ndarray            # int64 (NS,): rank → union state id
-    rank_of: np.ndarray          # int64 (NS,): union state id → rank
-    wstate: np.ndarray           # int32 (NS + 1,): multiplicity by rank
-    fstate: np.ndarray           # int32 (NS + 1,): final flag by rank
-    pair_budget_bytes: int
-    hot2_mass: Optional[float] = None   # predicted pair-hot visit share
-
-    @property
-    def symbol_width(self) -> int:
-        return self.base.symbol_width
-
-    @property
-    def num_hot2(self) -> int:
-        w2 = self.symbol_width * self.symbol_width
-        return (len(self.hot2_flat) - 1) // w2
-
-    @property
-    def hot2_states(self) -> np.ndarray:
-        return self.order[:self.num_hot2]
-
-    @property
-    def num_states(self) -> int:
-        return self.base.num_states
-
-    @property
-    def start(self) -> int:
-        return self.base.start
-
-    @property
-    def num_dfas(self) -> int:
-        return self.base.num_dfas
-
-    @property
-    def hot2_bytes(self) -> int:
-        """Footprint of the pair transition rows (the budgeted part —
-        aux flag/weight tables ride along, like the base table's
-        weight layout)."""
-        return int(self.hot2_flat.nbytes)
-
-    @property
-    def table_bytes(self) -> int:
-        """Total footprint of everything a pair scan can touch."""
-        return int(self.hot2_flat.nbytes + self.wflat.nbytes
-                   + self.fflat.nbytes + self.foldpair.nbytes
-                   + self.utr.nbytes + self.base.table_bytes)
-
-
-def pair_symbol_table(fold_table: np.ndarray, width: int) -> np.ndarray:
-    """``foldpair``: folded pair symbol per little-endian byte pair.
-
-    The staged scan path reads input byte pairs through a native
-    ``uint16`` view, so the *first* input byte is the low half on
-    little-endian hosts (and the high half otherwise)."""
-    fold = np.asarray(fold_table, dtype=np.int64)
-    pair16 = np.arange(65536, dtype=np.int64)
-    first, second = ((pair16 & 255, pair16 >> 8) if np.little_endian
-                     else (pair16 >> 8, pair16 & 255))
-    return (fold[first] * width + fold[second]).astype(np.uint16)
-
-
-def build_hot_cold2_table(transitions: np.ndarray, final_mask: np.ndarray,
-                          base: HotColdFusedTable,
-                          budget_bytes: int = HOT_BUDGET_BYTES,
-                          mass: Optional[np.ndarray] = None,
-                          foldpair: Optional[np.ndarray] = None
-                          ) -> HotCold2Table:
-    """Square the folded alphabet on the hottest states of ``base``.
-
-    ``transitions``/``final_mask`` are the same union-automaton arrays
-    ``base`` was built from (over the folded alphabet).  The pair-hot
-    set is the hottest prefix of the base table's visit order that fits
-    ``budget_bytes`` at ``2·width²`` bytes per row — the same budget
-    discipline as the base table, applied to the squared stride.
-    """
-    trans = np.asarray(transitions, dtype=np.int64)
-    n, width = trans.shape
-    if n != base.num_states or width != base.symbol_width:
-        raise DFAError("pair table must be built from the same union "
-                       "automaton as its base hot/cold table")
-    if n + 1 > np.iinfo(np.int16).max:
-        raise DFAError(
-            f"pair STT stores int16 state ranks; {n} union states "
-            f"exceed the {np.iinfo(np.int16).max - 1} limit")
-    w2 = width * width
-    order = np.concatenate([base.hot_states,
-                            base.cold_states]).astype(np.int64)
-    rank_of = np.empty(n, dtype=np.int64)
-    rank_of[order] = np.arange(n, dtype=np.int64)
-    num_hot2 = max(1, min(n, int(budget_bytes) // (w2 * 2)))
-
-    # Rank-space transition matrix: row r is the hotness-rank image of
-    # union state order[r]'s row.
-    tr_rank = rank_of[trans[order]]                  # (NS, W)
-    utr = tr_rank.astype(np.int16).ravel()
-    final = (np.asarray(final_mask) != 0)
-    f_rank = final[order].astype(np.int32)
-    slots = (base.entry_cells.astype(np.int64) >> 1)
-    w_rank = base.weights[slots[order]].astype(np.int64)
-
-    mid = tr_rank[:num_hot2]                         # (H2, W)
-    dest = tr_rank[mid]                              # (H2, W, W)
-    hot2_flat = np.empty(num_hot2 * w2 + 1, dtype=np.int16)
-    hot2_flat[:-1] = dest.reshape(num_hot2 * w2)
-    hot2_flat[-1] = n                                # parking cell
-
-    fpair = (f_rank[dest] | (f_rank[mid][:, :, None] << 1))
-    fflat = np.zeros(num_hot2 * w2 + 1, dtype=np.uint8)
-    fflat[:-1] = fpair.reshape(num_hot2 * w2)
-
-    wpair = (w_rank[mid][:, :, None] + w_rank[dest]).reshape(num_hot2 * w2)
-    wmax = int(wpair.max()) if wpair.size else 0
-    wdtype = (np.uint8 if wmax <= np.iinfo(np.uint8).max else
-              np.uint16 if wmax <= np.iinfo(np.uint16).max else np.int32)
-    wflat = np.zeros(num_hot2 * w2 + 1, dtype=wdtype)
-    wflat[:-1] = wpair
-
-    if foldpair is None:
-        foldpair = pair_symbol_table(base.fold_table, width)
-    else:
-        foldpair = np.ascontiguousarray(foldpair, dtype=np.uint16)
-        if foldpair.shape != (65536,):
-            raise DFAError("foldpair table must have 65536 entries")
-
-    wstate = np.zeros(n + 1, dtype=np.int32)
-    wstate[:n] = w_rank
-    fstate = np.zeros(n + 1, dtype=np.int32)
-    fstate[:n] = f_rank
-
-    hot2_mass = None
-    if mass is not None:
-        mass = np.asarray(mass, dtype=np.float64)
-        total = float(mass.sum())
-        if total > 0:
-            hot2_mass = float(mass[order[:num_hot2]].sum()) / total
-
-    return HotCold2Table(
-        base=base, hot2_flat=hot2_flat, wflat=wflat, fflat=fflat,
-        foldpair=foldpair, utr=utr, order=order, rank_of=rank_of,
-        wstate=wstate, fstate=fstate,
-        pair_budget_bytes=int(budget_bytes), hot2_mass=hot2_mass)
-
-
-class _StagedLanes:
-    """Staging for a pair-stride scan: the lane-major raw byte matrix
-    (kept for the byte-granular replay path) plus its pair-symbol
-    matrix in *position-major* layout ``(pairs, lanes)`` — one
-    ``foldpair`` gather per two bytes, transposed in cache-resident
-    lane blocks on the way out so the lockstep loop reads contiguous
-    rows with no per-strip copies."""
-
-    __slots__ = ("mat", "psym", "lanes", "piece", "pairs")
-
-    def __init__(self, mat: np.ndarray, psym: Optional[np.ndarray]):
-        self.mat = mat
-        self.psym = psym                  # (pairs, lanes) uint16
-        self.lanes, self.piece = mat.shape
-        self.pairs = self.piece // 2
-
-
-class HotCold2Scanner:
-    """Two-byte stride lockstep interpreter over a :class:`HotCold2Table`.
-
-    Drop-in compatible with :class:`HotColdFusedScanner` (and hence
-    :func:`count_arr` / the chunk fixpoint / ``run_streams``): pointer,
-    state_of, scan_cols and step_scalar all speak union states, with
-    ``rank·2 | is_final`` as the pointer representation.  The hot loop
-    gathers once per input *pair*; destinations outside the pair-hot
-    set park the lane (via the gather's clip mode) and the strip is
-    replayed byte-by-byte through the rank-space transition matrix.
-    Odd strip tails and odd-length inputs take single rank-space steps,
-    so chunk pieces and ragged stream segments of any parity compose
-    exactly.  Matches landing on the *middle* byte of a pair are
-    counted by the gather-indexed flag/weight tables — no escape.
-
-    ``weights`` arguments are a mode switch (matching the base
-    scanner's convention): ``None`` counts final-state entries, any
-    array selects the table's own multiplicity layout
-    (:attr:`weights`, indexed by ``pointer >> 1``).
-
-    For large scans, :func:`_chunked_scan` uses the
-    :meth:`stage_lanes` / :meth:`scan_lanes` protocol instead of
-    transposing the input to position-major byte columns: the pair
-    symbols are staged lane-major in one contiguous gather and each
-    strip transposes only a cache-resident slab.
-    """
-
-    def __init__(self, table: HotCold2Table) -> None:
-        self.table = table
-        self.base = HotColdFusedScanner(table.base)
-        b = table.base
-        self.symbol_width = int(b.symbol_width)
-        self.alphabet_size = int(b.symbol_width)
-        self.start = int(b.start)
-        self.num_states = int(b.num_states)
-        self.num_hot2 = int(table.num_hot2)
-        self._w = self.symbol_width
-        self._w2 = self._w * self._w
-        self.flat2 = table.hot2_flat
-        self.wflat = table.wflat
-        self.fflat = table.fflat
-        self.foldpair = table.foldpair
-        self.utr = table.utr
-        self.order = table.order
-        self.rank_of = table.rank_of
-        self.wstate = table.wstate
-        self.fstate = table.fstate
-        self.weights = table.wstate            # indexed by pointer >> 1
-        self.foldv = np.asarray(b.fold_table, dtype=np.int32)
-        self.foldw = (self.foldv * self._w).astype(np.int32)
-        self._rows_rank: dict = {}
-        self.reset_stats()
-
-    @property
-    def num_dfas(self) -> int:
-        return self.table.num_dfas
-
-    # -- instrumentation ---------------------------------------------------------
-
-    def reset_stats(self) -> None:
-        #: steps = raw-byte transitions covered by the scan; cold_steps
-        #: = bytes replayed outside the pair table; escapes =
-        #: lane×strip replay activations.
-        self.stats = {"steps": 0, "cold_steps": 0, "escapes": 0}
-
-    @property
-    def hot_hit_rate(self) -> float:
-        steps = self.stats["steps"]
-        if steps <= 0:
-            return 1.0
-        return 1.0 - self.stats["cold_steps"] / steps
-
-    # -- pointer/state conversions ----------------------------------------------
-
-    def pointer(self, state: int) -> int:
-        r = int(self.rank_of[int(state)])
-        return r * 2 + int(self.fstate[r])
-
-    def state_of(self, ptrs):
-        p = np.asarray(ptrs, dtype=np.int64)
-        out = self.order[p >> 1]
-        if p.ndim == 0:
-            return int(out)
-        return out
-
-    # -- scalar path -------------------------------------------------------------
-
-    def step_scalar(self, ptr: int, symbol: int) -> int:
-        r = int(ptr) >> 1
-        nr = int(self.utr[r * self._w + int(self.foldv[int(symbol)])])
-        return nr * 2 + int(self.fstate[nr])
-
-    # -- rank-space slice projections --------------------------------------------
-
-    def _slice_rows(self, flags: bool) -> np.ndarray:
-        """Per-slice accumulation rows indexed by *rank* (park = 0)."""
-        key = bool(flags)
-        rows = self._rows_rank.get(key)
-        if rows is None:
-            t = self.table.base
-            if t.slice_maps is None:
-                raise DFAError(
-                    "hot/cold table was built without slice maps")
-            src = t.slice_flags if flags else t.slice_weights
-            slots = (t.entry_cells.astype(np.int64) >> 1)[self.order]
-            rows = np.zeros((len(src), self.num_states + 1),
-                            dtype=np.int64)
-            rows[:, :self.num_states] = src[:, slots]
-            self._rows_rank[key] = rows
-        return rows
-
-    # -- staging -----------------------------------------------------------------
-
-    def stage_lanes(self, mat: np.ndarray) -> _StagedLanes:
-        """Stage a lane-major byte matrix for :meth:`scan_lanes`."""
-        lanes, piece = mat.shape
-        pairs = piece // 2
-        psym = None
-        if pairs:
-            u16 = None
-            if piece == 2 * pairs:
-                try:
-                    # One gather per byte pair on a uint16 view
-                    # (little-endian: first byte low).  The view can
-                    # fail for odd row strides; fall back below.
-                    u16 = mat.view(np.uint16)
-                except ValueError:
-                    u16 = None
-            psym = np.empty((pairs, lanes), dtype=np.uint16)
-            step = 256
-            if u16 is not None:
-                # Fused gather+transpose per lane block: each block's
-                # symbols are produced and flipped while still hot.
-                for j in range(0, lanes, step):
-                    psym[:, j:j + step] = self.foldpair.take(
-                        u16[j:j + step]).T
-            else:
-                body = mat[:, :2 * pairs]
-                for j in range(0, lanes, step):
-                    lo = np.asarray(body[j:j + step, 0::2],
-                                    dtype=np.int64)
-                    hi = np.asarray(body[j:j + step, 1::2],
-                                    dtype=np.int64)
-                    psym[:, j:j + step] = (
-                        self.foldw.take(lo)
-                        + self.foldv.take(hi)).astype(np.uint16).T
-        return _StagedLanes(mat, psym)
-
-    def scan_lanes(self, staged: _StagedLanes, sel, t0: int, t1: int,
-                   ptrs: np.ndarray, counts: np.ndarray,
-                   weights: Optional[np.ndarray] = None) -> np.ndarray:
-        """Scan bytes ``[t0, t1)`` of the selected staged lanes.
-
-        ``sel`` is ``None`` (all lanes), a slice, or an index array.
-        Pair phase is anchored at byte 0 of the staged matrix, so any
-        ``[t0, t1)`` window — including odd boundaries — scans exactly:
-        unaligned edge bytes take single rank-space steps.
-        """
-        return self._scan_span(staged, sel, int(t0), int(t1), ptrs,
-                               ((counts, weights),), None)
-
-    def scan_lanes_slices(self, staged: _StagedLanes, sel, t0: int,
-                          t1: int, ptrs: np.ndarray,
-                          counts2d: np.ndarray,
-                          weight_rows: np.ndarray) -> np.ndarray:
-        """:meth:`scan_lanes` accumulating every slice at once,
-        D-invariantly (sparse scatter at union-final hits).
-        ``weight_rows`` are rank-indexed (see :meth:`_slice_rows`)."""
-        return self._scan_span(staged, sel, int(t0), int(t1), ptrs, (),
-                               (counts2d, weight_rows))
-
-    # -- position-major compatibility --------------------------------------------
-
-    def scan_cols(self, cols: np.ndarray, ptrs: np.ndarray,
-                  counts: np.ndarray,
-                  weights: Optional[np.ndarray] = None) -> np.ndarray:
-        """:meth:`HotColdFusedScanner.scan_cols` at two bytes per
-        gather; any input length (an odd tail takes one rank step)."""
-        staged = self._stage_posmajor(cols)
-        return self._scan_span(staged, None, 0, cols.shape[0], ptrs,
-                               ((counts, weights),), None)
-
-    def scan_cols_slices(self, cols: np.ndarray, ptrs: np.ndarray,
-                         counts2d: np.ndarray,
-                         weight_rows: np.ndarray) -> np.ndarray:
-        """One pair-stride pass accumulating every slice's counts at
-        once.  ``weight_rows`` must be rank-indexed."""
-        staged = self._stage_posmajor(cols)
-        return self._scan_span(staged, None, 0, cols.shape[0], ptrs, (),
-                               (counts2d, weight_rows))
-
-    def _stage_posmajor(self, cols: np.ndarray) -> _StagedLanes:
-        """Stage position-major byte columns (transposes the small
-        window; the big-block path goes through :meth:`stage_lanes`)."""
-        mat = np.ascontiguousarray(cols.T)
-        return self.stage_lanes(mat)
-
-    # -- core --------------------------------------------------------------------
-
-    def _scan_span(self, staged: _StagedLanes, sel, t0: int, t1: int,
-                   ptrs: np.ndarray, accs, slice_accs) -> np.ndarray:
-        if sel is None:
-            sel = slice(0, staged.lanes)
-        mat = staged.mat[sel]
-        lanes = mat.shape[0]
-        cur64 = np.asarray(ptrs, dtype=np.int64) >> 1
-        cur = cur64.astype(np.int16)
-        if t1 <= t0 or not lanes:
-            return self._encode(cur)
-        self.stats["steps"] += (t1 - t0) * lanes
-        if t0 & 1:
-            cur = self._single_steps(mat, cur, t0, t0 + 1, accs,
-                                     slice_accs)
-            t0 += 1
-        p_lo, p_hi = t0 // 2, t1 // 2
-        if p_hi > p_lo:
-            psym = staged.psym[:, sel]   # slice sel: zero-copy view
-            cur = self._scan_pairs(mat, psym, p_lo, p_hi, cur, accs,
-                                   slice_accs)
-        if t1 & 1 and t1 > t0:
-            cur = self._single_steps(mat, cur, t1 - 1, t1, accs,
-                                     slice_accs)
-        return self._encode(cur)
-
-    def _encode(self, cur: np.ndarray) -> np.ndarray:
-        r = cur.astype(np.int64)
-        return (r * 2 + self.fstate[r]).astype(np.int32)
-
-    def _scan_pairs(self, mat: np.ndarray, psym: np.ndarray,
-                    p_lo: int, p_hi: int, cur: np.ndarray,
-                    accs, slice_accs) -> np.ndarray:
-        lanes = mat.shape[0]
-        w2 = self._w2
-        h2 = self.num_hot2
-        take = self.flat2.take
-        mul = np.multiply
-        add = np.add
-        strip_len = min(p_hi - p_lo,
-                        max(8, hotcold_strip_elems() // max(1, lanes)))
-        idxs = np.empty((strip_len, lanes), dtype=np.int32)
-        ids = np.empty((strip_len, lanes), dtype=np.int16)
-        idx_rows = list(idxs)
-        ids_rows = list(ids)
-        cur = cur.copy()
-        for p0 in range(p_lo, p_hi, strip_len):
-            b = min(strip_len, p_hi - p0)
-            pre = cur
-            c = cur
-            for i in range(b):
-                row = idx_rows[i]
-                mul(c, w2, out=row, dtype=np.int32, casting="unsafe")
-                add(row, psym[p0 + i], out=row)
-                c = ids_rows[i]
-                take(row, mode="clip", out=c)
-            cur = c.copy()
-            self._accumulate(idxs, ids, b, lanes, accs, slice_accs)
-            if int(cur.max()) >= h2:
-                esc = np.nonzero(cur >= h2)[0]
-                self._fix_lanes2(mat, ids, b, 2 * p0, pre, cur, esc,
-                                 accs, slice_accs)
-        return cur
-
-    def _accumulate(self, idxs: np.ndarray, ids: np.ndarray, b: int,
-                    lanes: int, accs, slice_accs) -> None:
-        fl = None
-        for acc, w in accs:
-            if w is None:
-                fl = self.fflat.take(idxs[:b], mode="clip")
-                np.bitwise_and(fl, 1, out=fl)
-                acc += fl.sum(axis=0, dtype=np.int64)
-                fl = self.fflat.take(idxs[:b], mode="clip")
-                np.right_shift(fl, 1, out=fl)
-                acc += fl.sum(axis=0, dtype=np.int64)
-            else:
-                wv = self.wflat.take(idxs[:b], mode="clip")
-                acc += wv.sum(axis=0, dtype=np.int64)
-        if slice_accs is None:
-            return
-        counts2d, rows = slice_accs
-        fl = self.fflat.take(idxs[:b], mode="clip")
-        tt, ll = np.nonzero(fl)
-        if not tt.size:
-            return
-        fv = fl[tt, ll]
-        lanes_idx = []
-        ranks = []
-        dhit = (fv & 1) != 0
-        if dhit.any():
-            lanes_idx.append(ll[dhit])
-            ranks.append(ids[tt[dhit], ll[dhit]].astype(np.int64))
-        mhit = (fv & 2) != 0
-        if mhit.any():
-            iv = idxs[tt[mhit], ll[mhit]].astype(np.int64)
-            lanes_idx.append(ll[mhit])
-            ranks.append(self.utr[iv // self._w].astype(np.int64))
-        ll_all = np.concatenate(lanes_idx)
-        rk_all = np.concatenate(ranks)
-        for d in range(len(rows)):
-            counts2d[d] += np.bincount(
-                ll_all, weights=rows[d, rk_all],
-                minlength=lanes).astype(np.int64)
-
-    def _fix_lanes2(self, mat: np.ndarray, ids: np.ndarray, b: int,
-                    byte0: int, pre: np.ndarray, cur: np.ndarray,
-                    esc: np.ndarray, accs, slice_accs) -> None:
-        """Replay escaped lanes byte-by-byte in rank space.
-
-        A lane escapes when a pair's destination leaves the pair-hot
-        set (the stored cell is the destination's rank, ``>= H2``) or
-        when it entered the strip already cold.  The escape pair itself
-        was fully accounted by the gather-indexed aux tables, so the
-        replay owes exactly the bytes after it.
-        """
-        m = int(esc.size)
-        self.stats["escapes"] += m
-        col = ids[:b, esc]
-        h2 = self.num_hot2
-        first = np.argmax(col >= h2, axis=0).astype(np.int64)
-        ranks = col[first, np.arange(m)].astype(np.int64)
-        t_start = 2 * (first + 1)
-        precold = pre[esc].astype(np.int64) >= h2
-        if precold.any():
-            ranks[precold] = pre[esc[precold]].astype(np.int64)
-            t_start[precold] = 0
-        extra = [np.zeros(m, dtype=np.int64) for _ in accs]
-        extra2d = None
-        rows = None
-        if slice_accs is not None:
-            counts2d, rows = slice_accs
-            extra2d = np.zeros((len(rows), m), dtype=np.int64)
-        w = self._w
-        utr = self.utr
-        twob = 2 * b
-        lo = int(t_start.min())
-        for t in range(lo, twob):
-            act = np.nonzero(t_start <= t)[0]
-            raw = mat[esc[act], byte0 + t].astype(np.int64)
-            nr = utr[ranks[act] * w + self.foldv[raw]].astype(np.int64)
-            ranks[act] = nr
-            for (_, wts), ex in zip(accs, extra):
-                if wts is None:
-                    ex[act] += self.fstate[nr]
-                else:
-                    ex[act] += self.wstate[nr]
-            if extra2d is not None:
-                extra2d[:, act] += rows[:, nr]
-            self.stats["cold_steps"] += int(act.size)
-        for (acc, _), ex in zip(accs, extra):
-            acc[esc] += ex
-        if extra2d is not None:
-            counts2d[:, esc] += extra2d
-        cur[esc] = ranks.astype(np.int16)
-
-    def _single_steps(self, mat: np.ndarray, cur: np.ndarray,
-                      t0: int, t1: int, accs,
-                      slice_accs) -> np.ndarray:
-        """One-byte rank-space steps (edge bytes of unaligned spans
-        and odd tails), vectorized across lanes — exact at any rank,
-        hot or cold."""
-        rows = None
-        if slice_accs is not None:
-            counts2d, rows = slice_accs
-        w = self._w
-        r = cur.astype(np.int64)
-        for t in range(t0, t1):
-            syms = self.foldv[mat[:, t].astype(np.int64)]
-            r = self.utr[r * w + syms].astype(np.int64)
-            for acc, wts in accs:
-                if wts is None:
-                    acc += self.fstate[r]
-                else:
-                    acc += self.wstate[r]
-            if rows is not None:
-                counts2d += rows[:, r]
-        return r.astype(np.int16)
-
-    # -- block scanning ----------------------------------------------------------
-
-    def count_arr_per_dfa(self, arr: np.ndarray, chunks: int,
-                          entry_states=None,
-                          weights: Optional[np.ndarray] = None
-                          ) -> Tuple[np.ndarray, np.ndarray]:
-        """Exact per-slice ``(counts, exit_states)`` from one pair-
-        stride union pass; same contract as the base scanner's.  The
-        per-slice accumulation is D-invariant: one flag gather per
-        strip plus a sparse scatter at union-final hits."""
-        t = self.table.base
-        if t.slice_maps is None:
-            raise DFAError("hot/cold table was built without slice maps")
-        ndfa = len(t.slice_maps)
-        start_imgs = t.slice_maps[:, self.start].astype(np.int64)
-        if entry_states is not None:
-            states = np.asarray(entry_states, dtype=np.int64)
-            if not np.array_equal(states, start_imgs):
-                raise DFAError(
-                    "hot/cold per-DFA scans enter at the union start "
-                    "state; arbitrary per-DFA entry states are not "
-                    "realizable in the union state space")
-        if arr.size == 0:
-            return np.zeros(ndfa, dtype=np.int64), start_imgs
-        rows = self._slice_rows(flags=weights is None)
-        totals, exit_state = self._chunked_multi(arr, chunks, rows)
-        return totals, t.slice_maps[:, exit_state].astype(np.int64)
-
-    def _chunked_multi(self, arr: np.ndarray, chunks: int,
-                       rows: np.ndarray) -> Tuple[np.ndarray, int]:
-        if chunks < 1:
-            raise DFAError("chunks must be >= 1")
-        n = int(arr.size)
-        ndfa = len(rows)
-        chunks = min(n, max(int(chunks),
-                            min(hotcold_lanes_target(), n // MIN_PIECE)))
-        piece_len = n // chunks
-        remainder = n - piece_len * chunks
-        head = np.zeros(ndfa, dtype=np.int64)
-        ptr = self.pointer(self.start)
-        for sym in arr[:remainder].tolist():
-            ptr = self.step_scalar(ptr, sym)
-            head += rows[:, ptr >> 1]
-        staged = self.stage_lanes(
-            arr[remainder:].reshape(chunks, piece_len))
-        entry = np.full(chunks, self.pointer(self.start), dtype=np.int32)
-        entry[0] = ptr
-        if chunks > 1 and piece_len >= 8 * SPECULATION_WARMUP:
-            sink = np.zeros(chunks - 1, dtype=np.int64)
-            entry[1:] = self.scan_lanes(
-                staged, slice(0, chunks - 1),
-                piece_len - SPECULATION_WARMUP, piece_len,
-                entry[1:].copy(), sink)
-        exits = np.empty(chunks, dtype=np.int32)
-        counts = np.zeros((ndfa, chunks), dtype=np.int64)
-        todo = np.arange(chunks)
-        for _ in range(chunks + 1):
-            sel = None if todo.size == chunks else todo
-            part = np.zeros((ndfa, todo.size), dtype=np.int64)
-            fin = self.scan_lanes_slices(staged, sel, 0, piece_len,
-                                         entry[todo], part, rows)
-            counts[:, todo] = part
-            exits[todo] = fin
-            wrong = np.nonzero((exits[:-1] >> 1)
-                               != (entry[1:] >> 1))[0] + 1
-            if wrong.size == 0:
-                break
-            entry[wrong] = exits[wrong - 1]
-            todo = wrong
-        else:
-            raise DFAError("pair chunk fixpoint failed to converge; "
-                           "this indicates a bug, not an input property")
-        return head + counts.sum(axis=1), int(self.state_of(exits[-1]))
-
-    # -- multi-stream scanning ---------------------------------------------------
-
-    def run_streams(self, streams: Sequence[bytes],
-                    start_states: Optional[np.ndarray] = None,
-                    weights: Optional[np.ndarray] = None
-                    ) -> Tuple[np.ndarray, np.ndarray]:
-        """:meth:`HotColdFusedScanner.run_streams` at pair stride.
-
-        Ragged segment boundaries and zero/odd-length streams are
-        exact: each lockstep segment re-aligns its own pair phase and
-        takes single rank steps at unaligned edges, and resumed
-        streams re-enter through canonical rank pointers.
-        """
-        nstreams = len(streams)
-        if not nstreams:
-            raise DFAError("at least one stream required")
-        lens = np.asarray([len(s) for s in streams], dtype=np.int64)
-        order = np.argsort(-lens, kind="stable")
-        sorted_lens = lens[order]
-        maxlen = int(sorted_lens[0])
-        if start_states is not None:
-            states = np.asarray(start_states, dtype=np.int64)
-            if states.size and (states.min() < 0
-                                or states.max() >= self.num_states):
-                raise DFAError("start state out of range")
-            ranks = self.rank_of[states[order]]
-            ptrs = (ranks * 2 + self.fstate[ranks]).astype(np.int32)
-        else:
-            ptrs = np.full(nstreams, self.pointer(self.start),
-                           dtype=np.int32)
-        counts = np.zeros(nstreams, dtype=np.int64)
-        if maxlen:
-            pad = maxlen + (maxlen & 1)
-            mat = np.zeros((nstreams, pad), dtype=np.uint8)
-            for k, oi in enumerate(order):
-                s = streams[oi]
-                if len(s):
-                    mat[k, :len(s)] = np.frombuffer(s, dtype=np.uint8)
-            staged = self.stage_lanes(mat)
-            for lo, hi, active in _ragged_segments(sorted_lens):
-                fin = self.scan_lanes(staged, slice(0, active), lo, hi,
-                                      ptrs[:active], counts[:active],
-                                      weights=weights)
-                ptrs[:active] = fin
-        out_counts = np.empty_like(counts)
-        out_ptrs = np.empty_like(ptrs)
-        out_counts[order] = counts
-        out_ptrs[order] = ptrs
-        return out_counts, np.asarray(self.state_of(out_ptrs),
-                                      dtype=np.int64)
-
-
-def _transpose_cols(mat: np.ndarray) -> np.ndarray:
-    """Lane-major ``(chunks, piece)`` → contiguous position-major
-    ``(piece, chunks)``, transposed in column blocks so each block's
-    working set stays cache-resident (~3x faster than one
-    ``ascontiguousarray`` of the full transpose at 8 MB inputs)."""
-    lanes, piece = mat.shape
-    out = np.empty((piece, lanes), dtype=mat.dtype)
-    step = 512
-    for j in range(0, lanes, step):
-        out[:, j:j + step] = mat[j:j + step].T
-    return out
-
-
-def _chunked_scan(scanner: FlatScanner, arr: np.ndarray, chunks: int,
-                  entry_state: int, max_passes: Optional[int] = None,
-                  weights: Optional[np.ndarray] = None,
-                  lanes_target: Optional[int] = None):
-    """Shared core of :func:`count_arr` / :func:`count_arr_detail`.
-
-    Requires ``arr.size > 0``.  Returns ``(remainder, head_count,
-    head_exit_ptr, piece_counts, piece_exit_ptrs)`` where the scalar head
-    covers ``arr[:remainder]`` and the pieces tile the rest equally.
-    """
-    if chunks < 1:
-        # Guard here, not only in the public wrappers: a zero floor used
-        # to fall through to ``n // 0`` on inputs shorter than MIN_PIECE.
-        raise DFAError("chunks must be >= 1")
-    lane_floor = LANES_TARGET if lanes_target is None else int(lanes_target)
-    n = int(arr.size)
-    chunks = min(n, max(int(chunks), min(lane_floor, n // MIN_PIECE)))
-    piece_len = n // chunks
-    remainder = n - piece_len * chunks
-
-    head_count = 0
-    ptr = scanner.pointer(entry_state)
-    for sym in arr[:remainder]:
-        ptr = scanner.step_scalar(ptr, sym)
-        if weights is None:
-            head_count += ptr & 1
-        else:
-            head_count += int(weights[ptr >> 1])
-
-    mat = arr[remainder:].reshape(chunks, piece_len)
-    if hasattr(scanner, "stage_lanes"):
-        # Pair-stride scanners stage symbols lane-major once; every
-        # pass (and the warmup) scans windows of the staged block.
-        staged = scanner.stage_lanes(mat)
-
-        def scan_span(sel, t0, entries, sink, wts):
-            return scanner.scan_lanes(staged, sel, t0, piece_len,
-                                      entries, sink, weights=wts)
-    else:
-        # One position-major matrix, built once, indexed per pass.
-        cols = _transpose_cols(mat)
-
-        def scan_span(sel, t0, entries, sink, wts):
-            sub = cols[t0:]
-            if sel is not None:
-                sub = sub[:, sel]
-            if t0 or sel is not None:
-                sub = np.ascontiguousarray(sub)
-            return scanner.scan_cols(sub, entries, sink, weights=wts)
-
-    entry = np.full(chunks, scanner.pointer(scanner.start), dtype=np.int32)
-    entry[0] = ptr                       # chunk 0's entry is exact
-    if chunks > 1 and piece_len >= 8 * SPECULATION_WARMUP:
-        # Warm the guesses: chunk k+1's entry is approximated by scanning
-        # the last SPECULATION_WARMUP symbols of chunk k from the start
-        # state.  Counts from this scan are discarded.
-        sink = np.zeros(chunks - 1, dtype=np.int64)
-        entry[1:] = scan_span(slice(0, chunks - 1),
-                              piece_len - SPECULATION_WARMUP,
-                              entry[1:].copy(), sink, None)
-    exits = np.empty(chunks, dtype=np.int32)
-    counts = np.zeros(chunks, dtype=np.int64)
-    todo = np.arange(chunks)
-    passes = max_passes if max_passes is not None else chunks + 1
-
-    for _ in range(passes):
-        sel = None if todo.size == chunks else todo
-        part = np.zeros(todo.size, dtype=np.int64)
-        fin = scan_span(sel, 0, entry[todo], part, weights)
-        counts[todo] = part
-        exits[todo] = fin
-        # Propagate corrected entries (compare modulo the flag bit: two
-        # pointers to the same row scan identically).
-        wrong = np.nonzero((exits[:-1] >> 1) != (entry[1:] >> 1))[0] + 1
-        if wrong.size == 0:
-            break
-        entry[wrong] = exits[wrong - 1]
-        todo = wrong
-    else:
-        raise DFAError("chunk fixpoint failed to converge; this "
-                       "indicates a bug, not an input property")
-    return remainder, head_count, ptr, counts, exits
-
-
-def count_arr(scanner: FlatScanner, arr: np.ndarray, chunks: int,
-              entry_state: int, max_passes: Optional[int] = None,
-              weights: Optional[np.ndarray] = None,
-              lanes_target: Optional[int] = None) -> Tuple[int, int]:
-    """Exact speculative count over one folded symbol array.
-
-    The array is cut into *equal* pieces (a scalar head scan absorbs the
-    division remainder, so the lockstep matrix needs no padding and
-    rebuilds never happen); pieces are scanned in lockstep from guessed
-    entry states and the guesses are repaired to a fixpoint.  Only the
-    mis-guessed columns are re-scanned on later passes — they are
-    *indexed out* of the one position-major matrix built up front.
-
-    ``chunks`` is a floor, not an exact count: large inputs are widened
-    to ``LANES_TARGET`` lanes (see the constant above) because lane width
-    sets the gather width and thus the dispatch overhead per byte, while
-    the count is semantically only a speculation granularity.
-
-    Returns ``(count, exit_state)``.
-    """
-    if arr.size == 0:
-        return 0, int(entry_state)
-    _, head, _, counts, exits = _chunked_scan(
-        scanner, arr, chunks, entry_state, max_passes, weights,
-        lanes_target)
-    return head + int(counts.sum()), int(scanner.state_of(exits[-1]))
-
-
-@dataclass
-class ScanDetail:
-    """A chunked scan's per-segment ledger, for cheap entry repair.
-
-    Segment 0 is the scalar head (possibly empty), segments 1.. are the
-    equal lockstep pieces.  ``seg_exits[k]`` is the DFA *state* at
-    ``seg_bounds[k + 1]`` given ``entry_state`` at position 0.  Whoever
-    later learns the true entry state can call :func:`repair_detail`
-    instead of rescanning the whole array: rescan leading segments until
-    the state trajectory rejoins the recorded one, then splice.
-    """
-
-    entry_state: int
-    seg_bounds: np.ndarray    # int64, len = segments + 1, [0 .. arr.size]
-    seg_counts: np.ndarray    # int64 per segment
-    seg_exits: np.ndarray     # int32 exit state per segment
-
-    @property
-    def total(self) -> int:
-        return int(self.seg_counts.sum())
-
-    @property
-    def exit_state(self) -> int:
-        if self.seg_exits.size == 0:
-            return int(self.entry_state)
-        return int(self.seg_exits[-1])
-
-
-def count_arr_detail(scanner: FlatScanner, arr: np.ndarray, chunks: int,
-                     entry_state: int,
-                     weights: Optional[np.ndarray] = None,
-                     lanes_target: Optional[int] = None) -> ScanDetail:
-    """:func:`count_arr`, but returning the per-segment ledger."""
-    if arr.size == 0:
-        return ScanDetail(int(entry_state),
-                          np.zeros(1, dtype=np.int64),
-                          np.zeros(0, dtype=np.int64),
-                          np.zeros(0, dtype=np.int32))
-    remainder, head, head_ptr, counts, exits = _chunked_scan(
-        scanner, arr, chunks, entry_state, None, weights, lanes_target)
-    pieces = counts.size
-    piece_len = (int(arr.size) - remainder) // pieces
-    bounds = np.empty(pieces + 2, dtype=np.int64)
-    bounds[0] = 0
-    bounds[1:] = remainder + piece_len * np.arange(pieces + 1,
-                                                   dtype=np.int64)
-    seg_counts = np.concatenate(([head], counts)).astype(np.int64)
-    seg_exits = np.concatenate(
-        ([int(scanner.state_of(head_ptr))],
-         np.asarray(scanner.state_of(exits)))).astype(np.int32)
-    return ScanDetail(int(entry_state), bounds, seg_counts, seg_exits)
-
-
-def repair_detail(scanner: FlatScanner, arr: np.ndarray, detail: ScanDetail,
-                  entry_state: int, chunks: int,
-                  weights: Optional[np.ndarray] = None) -> Tuple[int, int]:
-    """Exact ``(count, exit_state)`` of ``arr`` from ``entry_state``,
-    reusing a previous scan's :class:`ScanDetail`.
-
-    If the entry matches the recorded one, the recorded totals stand.
-    Otherwise leading segments are rescanned from the corrected state
-    until the trajectory hits a recorded segment-boundary state — from
-    there on determinism makes the recorded counts exact — so a wrong
-    speculative entry typically costs one segment, not the whole array
-    (Ko et al.'s speculative-repair argument applied at the ledger's
-    granularity).  Degenerates to a full rescan only when the trajectory
-    never rejoins.
-
-    ``chunks`` deliberately has no default: repair rescans must use the
-    caller's chunking policy, not a magic constant that would silently
-    override the lane floor.
-    """
-    if int(entry_state) == detail.entry_state:
-        return detail.total, detail.exit_state
-    state = int(entry_state)
-    total = 0
-    for k in range(detail.seg_counts.size):
-        lo = int(detail.seg_bounds[k])
-        hi = int(detail.seg_bounds[k + 1])
-        cnt, state = count_arr(scanner, arr[lo:hi], chunks, state,
-                               weights=weights)
-        total += cnt
-        if state == int(detail.seg_exits[k]):
-            return (total + int(detail.seg_counts[k + 1:].sum()),
-                    detail.exit_state)
-    return total, state
-
-
-@dataclass
-class StreamResult:
-    """Outcome of a lockstep multi-stream scan."""
-
-    counts: np.ndarray         # matches per stream
-    final_states: np.ndarray   # DFA state per stream after the scan
-
-    @property
-    def total(self) -> int:
-        return int(self.counts.sum())
-
-
-class VectorDFAEngine:
-    """Lockstep vectorized interpreter for a dense DFA."""
-
-    def __init__(self, dfa: DFA) -> None:
-        self.dfa = dfa
-        # Contiguous copies kept for introspection and the Cell encoders;
-        # the hot loop runs on the flag-encoded flat table below.
-        self.table = np.ascontiguousarray(dfa.transitions, dtype=np.int32)
-        self.final = np.ascontiguousarray(dfa.final_mask)
-        self.start = dfa.start
-        self.scanner = FlatScanner.from_dfa(dfa)
-
-    # -- lockstep streams ---------------------------------------------------------
-
-    def run_streams(self, streams: Sequence[bytes],
-                    start_states: Optional[np.ndarray] = None,
-                    weights: Optional[np.ndarray] = None) -> StreamResult:
-        """Scan independent streams in lockstep (one gather per position).
-
-        Streams may have different lengths: lanes are sorted by length
-        and retired as their streams end, so each lane advances exactly
-        ``len(stream)`` steps and a zero-length stream keeps its entry
-        state.  With ``weights`` (see :func:`build_weight_table`) counts
-        are per-dictionary-entry multiplicities; without, +1 per
-        final-state entry (the paper's kernel semantics).
-        """
-        if not len(streams):
-            raise DFAError("at least one stream required")
-        n = len(streams)
-        lens = np.asarray([len(s) for s in streams], dtype=np.int64)
-        length = int(lens.max())
-        if start_states is not None:
-            states = np.asarray(start_states, dtype=np.int64)
-            if states.size and (states.min() < 0
-                                or states.max() >= self.dfa.num_states):
-                raise DFAError("start state out of range")
-        if length == 0:
-            states = np.full(n, self.start, dtype=np.int32) \
-                if start_states is None else start_states.astype(np.int32)
-            return StreamResult(np.zeros(n, dtype=np.int64), states)
-
-        equal = bool((lens == length).all())
-        order = np.arange(n) if equal else np.argsort(-lens,
-                                                      kind="stable")
-        # Fill the position-major matrix directly — no row-major staging
-        # copy followed by a transposed second copy.  Ragged lanes are
-        # laid out longest-first so the live lanes form a prefix.
-        cols = np.zeros((length, n), dtype=np.uint8)
-        for k, oi in enumerate(order):
-            s = streams[oi]
-            arr = np.frombuffer(s, dtype=np.uint8)
-            if arr.size and int(arr.max()) >= self.dfa.alphabet_size:
-                raise DFAError(
-                    f"stream {oi} contains symbols outside the "
-                    f"{self.dfa.alphabet_size}-symbol alphabet; fold first")
-            cols[:arr.size, k] = arr
-        scanner = self.scanner
-        if start_states is None:
-            ptrs = np.full(n, scanner.pointer(self.start), dtype=np.int32)
-        else:
-            ptrs = (states[order] * scanner.stride).astype(np.int32)
-        counts = np.zeros(n, dtype=np.int64)
-        if equal:
-            fin = scanner.scan_cols(cols, ptrs, counts, weights=weights)
-            ptrs = np.asarray(fin, dtype=np.int32)
-        else:
-            for lo, hi, active in _ragged_segments(lens[order]):
-                fin = scanner.scan_cols(cols[lo:hi, :active],
-                                        ptrs[:active], counts[:active],
-                                        weights=weights)
-                ptrs[:active] = fin
-        out_counts = np.empty_like(counts)
-        out_states = np.empty(n, dtype=np.int32)
-        out_counts[order] = counts
-        out_states[order] = scanner.state_of(ptrs).astype(np.int32)
-        return StreamResult(out_counts, out_states)
-
-    # -- exact single-stream scan ------------------------------------------------
-
-    def _folded_view(self, block: bytes) -> np.ndarray:
-        arr = np.frombuffer(block, dtype=np.uint8)
-        if arr.size and int(arr.max()) >= self.dfa.alphabet_size:
-            raise DFAError("block contains symbols outside the alphabet; "
-                           "fold first")
-        return arr
-
-    def count_block(self, block: bytes, chunks: int = 256,
-                    max_passes: Optional[int] = None) -> int:
-        """Exact match count over one contiguous stream.
-
-        Splits the stream into ``chunks`` pieces scanned in lockstep; entry
-        states are guessed (start state), then corrected iteratively: after
-        each pass, any chunk whose actual entry state (the exit state of
-        its predecessor) differs from its guess is rescanned.  Guaranteed
-        to terminate in at most ``chunks`` passes (``max_passes`` defaults
-        to that bound); security-style DFAs almost always converge in two.
-        More chunks means wider gathers and fewer numpy dispatches per
-        byte, which is why the default is generous.
-        """
-        if chunks <= 0:
-            raise DFAError("chunks must be positive")
-        arr = self._folded_view(block)
-        if arr.size == 0:
-            return 0
-        count, _ = count_arr(self.scanner, arr, chunks, self.start,
-                             max_passes=max_passes)
-        return count
-
-    def count_block_from(self, block: bytes, entry_state: int,
-                         chunks: int = 256,
-                         max_passes: Optional[int] = None
-                         ) -> Tuple[int, int]:
-        """Like :meth:`count_block` but from an arbitrary entry state,
-        also returning the exit state — the primitive the host-parallel
-        shard repair (:mod:`repro.parallel`) is built on."""
-        if chunks <= 0:
-            raise DFAError("chunks must be positive")
-        if not 0 <= entry_state < self.dfa.num_states:
-            raise DFAError(f"entry state {entry_state} out of range")
-        arr = self._folded_view(block)
-        return count_arr(self.scanner, arr, chunks, entry_state,
-                         max_passes=max_passes)
-
-    def count_block_reference(self, block: bytes) -> int:
-        """Unchunked scan (for cross-validation in tests)."""
-        return self.dfa.count_matches(block)
+from ..dfa.automaton import DFA, DFAError  # noqa: F401  (historical re-export)
+from .scan import *  # noqa: F401,F403
+from .scan import (  # noqa: F401  (non-__all__ names callers relied on)
+    FUSED_LANES_TARGET,
+    FUSED_STRIP_ELEMS,
+    HOT_BUDGET_BYTES,
+    HOTCOLD_LANES_TARGET,
+    HOTCOLD_STRIP_ELEMS,
+    LANES_TARGET,
+    MIN_PIECE,
+    SPECULATION_WARMUP,
+    STRIP,
+    _chunked_scan,
+    _env_int,
+    _FusedSliceScanner,
+    _ragged_segments,
+    _StagedLanes,
+    _transpose_cols,
+)
+from .scan import __all__ as __all__  # noqa: F401

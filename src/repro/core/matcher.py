@@ -222,7 +222,8 @@ class CellStringMatcher:
              backend: Optional[str] = None,
              fuse: bool = True,
              hot_cold: Optional[bool] = None,
-             two_byte: Optional[bool] = None) -> ScanReport:
+             two_byte: Optional[bool] = None,
+             prefilter: Optional[bool] = None) -> ScanReport:
         """Scan one contiguous buffer; returns counts (and, optionally,
         the full list of match events with end positions).
 
@@ -236,7 +237,10 @@ class CellStringMatcher:
         between the cache-resident union scan and the stacked fused
         grid, and ``two_byte`` overrides its choice between the
         one-byte union scan and the pair-symbol two-byte-stride
-        variant).  ``workers > 1`` routes through the host-parallel layer
+        variant; ``prefilter`` overrides the packed screening stage —
+        ``False`` disables it, ``True`` demands it, honoured even for
+        an explicitly named backend).  ``workers > 1`` routes through
+        the host-parallel layer
         (shared-memory STTs, a persistent process pool, cross-shard
         fixpoint repair).  Only the serial reporting backend produces
         events and per-pattern attribution.
@@ -249,7 +253,8 @@ class CellStringMatcher:
         outcome = self._execute(
             ScanRequest(data=raw, workers=workers,
                         with_events=with_events, fuse=fuse,
-                        hot_cold=hot_cold, two_byte=two_byte), backend)
+                        hot_cold=hot_cold, two_byte=two_byte,
+                        prefilter=prefilter), backend)
         return self._report(outcome)
 
     def scan_iter(self, chunks: Iterable[Union[str, bytes]],

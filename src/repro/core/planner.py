@@ -167,13 +167,18 @@ CACHE_BUDGET_BYTES = HOT_BUDGET_BYTES
 
 @dataclass(frozen=True)
 class ExecutionPlan:
-    """One backend choice plus the reasons that forced it."""
+    """One backend choice plus the reasons that forced it, and whether
+    the packed prefilter stage runs in front of the chosen kernel."""
 
     backend: str
     reason: str
+    prefilter: bool = False
 
     def describe(self) -> str:
-        return f"{self.backend}: {self.reason}"
+        head = f"{self.backend}: {self.reason}"
+        if self.prefilter:
+            head += " [prefilter stage on]"
+        return head
 
 
 def plan_backend(nbytes: Optional[int] = None, streaming: bool = False,
@@ -184,6 +189,8 @@ def plan_backend(nbytes: Optional[int] = None, streaming: bool = False,
                  hot_cold: Optional[bool] = None,
                  two_byte: Optional[bool] = None,
                  pair_fit: bool = False,
+                 prefilter: Optional[bool] = None,
+                 screenable: bool = False,
                  serial_byte_ceiling: int = SERIAL_BYTE_CEILING,
                  cache_budget: int = CACHE_BUDGET_BYTES,
                  ) -> ExecutionPlan:
@@ -223,7 +230,46 @@ def plan_backend(nbytes: Optional[int] = None, streaming: bool = False,
     coverage still wins when the hot set absorbs most transitions) and
     implies the union scan itself, the way ``hot_cold=True`` does —
     unless ``hot_cold=False`` explicitly pins the stacked path.
+
+    **The prefilter rule** — the one place every backend inherits the
+    packed screening stage from: when the request is an in-memory block
+    whose dictionary is screenable (``screenable=True``, see
+    ``CompiledDictionary.prefilter``) and the input is large enough to
+    amortise the chunk fixpoint anyway (the same ``serial_byte_ceiling``
+    that gates the kernels), the plan carries ``prefilter=True`` and the
+    driver mounts a :class:`~repro.core.scan.pipeline.PrefilterStage`
+    in front of whichever kernel was chosen.  ``prefilter`` is the
+    escape hatch (``repro scan --no-prefilter`` /
+    ``ScanRequest(prefilter=False)``); ``True`` demands the stage.
+    Stream and file requests never screen — candidate windows cannot be
+    carried across staging-ring refills without re-reading the input.
     """
+    plan = _choose_backend(
+        nbytes=nbytes, streaming=streaming, workers=workers,
+        with_events=with_events, num_slices=num_slices, fuse=fuse,
+        exact=exact, fused_bytes=fused_bytes, hot_cold=hot_cold,
+        two_byte=two_byte, pair_fit=pair_fit,
+        serial_byte_ceiling=serial_byte_ceiling,
+        cache_budget=cache_budget)
+    if plan.backend == "streaming" or prefilter is False:
+        return plan
+    want = prefilter is True or (
+        prefilter is None and screenable and nbytes is not None
+        and nbytes > serial_byte_ceiling)
+    if not want:
+        return plan
+    return ExecutionPlan(plan.backend, plan.reason
+                         + "; packed prefilter screens clean regions "
+                           "first", prefilter=True)
+
+
+def _choose_backend(nbytes: Optional[int], streaming: bool, workers: int,
+                    with_events: bool, num_slices: int, fuse: bool,
+                    exact: bool, fused_bytes: Optional[int],
+                    hot_cold: Optional[bool], two_byte: Optional[bool],
+                    pair_fit: bool, serial_byte_ceiling: int,
+                    cache_budget: int) -> ExecutionPlan:
+    """The backend decision chain (see :func:`plan_backend`)."""
     if with_events:
         return ExecutionPlan(
             "serial", "match events require the reference walk")

@@ -1,0 +1,109 @@
+"""Staged scan-kernel package.
+
+The monolithic ``core/engine.py`` is split into one module per inner
+loop, a shared driver, and the staged-pipeline machinery:
+
+* :mod:`.base` — tuning constants and strip-loop helpers;
+* :mod:`.flat` — flag-encoded flat STT + single-DFA scanner;
+* :mod:`.driver` — speculative chunked block scan, exactness ledger,
+  and the reference :class:`VectorDFAEngine`;
+* :mod:`.fused` — stacked multi-DFA table and grid scanner;
+* :mod:`.hotcold` — cache-resident hot/cold union scan;
+* :mod:`.hotcold2` — two-byte-stride pair-symbol variant;
+* :mod:`.bundle` — :class:`SharedArrayBundle`, the one shared-memory
+  export/attach path every kernel uses;
+* :mod:`.kernels` — the :class:`ScanKernel` protocol and registry;
+* :mod:`.prefilter` — packed multi-byte fingerprint screening stage;
+* :mod:`.pipeline` — explicit staged :class:`ScanPipeline` assembly.
+
+``core.engine`` remains as a compatibility shim re-exporting this
+package's names.
+"""
+
+from __future__ import annotations
+
+from .base import (
+    FUSED_LANES_TARGET,
+    FUSED_STRIP_ELEMS,
+    HOT_BUDGET_BYTES,
+    HOTCOLD_LANES_TARGET,
+    HOTCOLD_STRIP_ELEMS,
+    LANES_TARGET,
+    MIN_PIECE,
+    SPECULATION_WARMUP,
+    STRIP,
+    _env_int,
+    _ragged_segments,
+    hotcold_lanes_target,
+    hotcold_strip_elems,
+)
+from .driver import (
+    ScanDetail,
+    StreamResult,
+    VectorDFAEngine,
+    _chunked_scan,
+    _transpose_cols,
+    count_arr,
+    count_arr_detail,
+    repair_detail,
+)
+from .flat import FlatScanner, build_flat_table, build_weight_table
+from .fused import FusedScanner, FusedTable, _FusedSliceScanner, fuse_tables
+from .hotcold import (
+    HotColdFusedScanner,
+    HotColdFusedTable,
+    build_hot_cold_table,
+    project_states,
+    visit_order,
+)
+from .hotcold2 import (
+    HotCold2Scanner,
+    HotCold2Table,
+    _StagedLanes,
+    build_hot_cold2_table,
+    pair_symbol_table,
+)
+from .bundle import (
+    BundleError,
+    SharedArrayBundle,
+    bundle_from_table,
+    scanner_from_bundle,
+    table_from_bundle,
+)
+from .kernels import (
+    KERNELS,
+    FlatKernel,
+    FusedKernel,
+    HotCold2Kernel,
+    HotColdKernel,
+    ScanKernel,
+    get_kernel,
+    kernel_names,
+    register_kernel,
+)
+
+__all__ = [
+    "VectorDFAEngine",
+    "StreamResult",
+    "FlatScanner",
+    "FusedTable",
+    "FusedScanner",
+    "HotColdFusedTable",
+    "HotColdFusedScanner",
+    "HotCold2Table",
+    "HotCold2Scanner",
+    "ScanDetail",
+    "build_flat_table",
+    "build_weight_table",
+    "build_hot_cold_table",
+    "build_hot_cold2_table",
+    "pair_symbol_table",
+    "fuse_tables",
+    "visit_order",
+    "project_states",
+    "count_arr",
+    "count_arr_detail",
+    "repair_detail",
+    "hotcold_lanes_target",
+    "hotcold_strip_elems",
+]

@@ -1,0 +1,321 @@
+"""Generic shared-memory manifest for scan-kernel artifacts.
+
+Every kernel used to ship its own ``Shared*Table`` class — four
+near-identical copies of the same pack/attach/unlink choreography.
+:class:`SharedArrayBundle` is the one implementation: an ordered
+manifest of named numpy arrays packed into a single
+``multiprocessing.shared_memory`` segment (8-byte aligned), plus a
+picklable scalar side-channel.  The creator owns the segment and
+unlinks it on close; workers :meth:`attach` in microseconds and get
+zero-copy views.
+
+The per-kernel knowledge — which arrays a table exports and how to
+rebuild the table object from attached views — lives in the codec
+functions :func:`bundle_from_table`, :func:`table_from_bundle` and
+:func:`scanner_from_bundle`, keyed by the bundle's ``kind``.  Adding a
+kernel means registering one codec, not writing a fifth shared-table
+class.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+from typing import Dict, Iterable, Optional, Tuple
+
+import numpy as np
+
+from ..compressed import ColdRowStore
+from .flat import FlatScanner
+from .fused import FusedScanner, FusedTable
+from .hotcold import HotColdFusedScanner, HotColdFusedTable
+from .hotcold2 import HotCold2Scanner, HotCold2Table
+
+__all__ = [
+    "SharedArrayBundle",
+    "BundleError",
+    "bundle_from_table",
+    "table_from_bundle",
+    "scanner_from_bundle",
+]
+
+#: Meta keys that are structural, not kernel scalars.
+_RESERVED = ("name", "kind", "arrays")
+
+
+class BundleError(Exception):
+    """Raised for malformed manifests or unknown bundle kinds."""
+
+
+def _align(offset: int, alignment: int = 8) -> int:
+    return (offset + alignment - 1) & ~(alignment - 1)
+
+
+class SharedArrayBundle:
+    """Named arrays in one shared-memory segment, with zero-copy attach.
+
+    Parameters
+    ----------
+    kind:
+        Codec tag (``"flat"``, ``"fused"``, ``"hotcold"``,
+        ``"hotcold2"``, ...) recorded in the manifest so the attaching
+        side knows how to rebuild the kernel's table object.
+    arrays:
+        Ordered ``(name, ndarray)`` pairs; each is made contiguous and
+        copied into the segment at an 8-byte-aligned offset.
+    scalars:
+        Picklable extras merged into the manifest (start state, widths,
+        budgets, ...), readable on both sides via :meth:`scalar`.
+    """
+
+    def __init__(self, kind: str,
+                 arrays: Iterable[Tuple[str, np.ndarray]],
+                 scalars: Optional[Dict] = None) -> None:
+        scalars = dict(scalars or {})
+        for key in _RESERVED:
+            if key in scalars:
+                raise BundleError(f"scalar key {key!r} is reserved")
+        specs = []
+        prepared = []
+        offset = 0
+        for name, arr in arrays:
+            # Flatten: the manifest records (dtype, offset, count) only,
+            # so multi-dimensional inputs are stored 1-D and reshaped by
+            # the attaching codec.
+            arr = np.ascontiguousarray(arr).reshape(-1)
+            offset = _align(offset)
+            specs.append((str(name), arr.dtype.str, offset, int(arr.size)))
+            prepared.append((arr, offset))
+            offset += arr.nbytes
+        if len({s[0] for s in specs}) != len(specs):
+            raise BundleError("duplicate array name in manifest")
+        self._shm = shared_memory.SharedMemory(create=True,
+                                               size=max(offset, 1))
+        self._owner = True
+        self._meta: Dict = {"name": self._shm.name, "kind": str(kind),
+                            "arrays": tuple(specs), **scalars}
+        # Fill before mapping views: structures rebuilt from the views
+        # (e.g. the cold store) validate their contents at construction,
+        # which a still-zeroed segment would fail.
+        buf = self._shm.buf
+        for arr, off in prepared:
+            np.frombuffer(buf, dtype=arr.dtype, count=arr.size,
+                          offset=off)[:] = arr
+        self._map_views()
+
+    @classmethod
+    def attach(cls, meta: Dict) -> "SharedArrayBundle":
+        """Attach to an existing bundle from its manifest (worker side).
+
+        Zero-copy: the returned views alias the creator's segment.  The
+        attacher never unlinks.
+        """
+        self = cls.__new__(cls)
+        # No resource-tracker unregister here: pool workers share the
+        # creator's (forked) tracker, whose registration set dedupes the
+        # attach-side registration; the creator's unlink clears it once.
+        self._shm = shared_memory.SharedMemory(name=meta["name"])
+        self._owner = False
+        self._meta = dict(meta)
+        self._map_views()
+        return self
+
+    def _map_views(self) -> None:
+        buf = self._shm.buf
+        self.kind = self._meta["kind"]
+        self.arrays: Dict[str, np.ndarray] = {}
+        for name, dtype, offset, count in self._meta["arrays"]:
+            self.arrays[name] = np.frombuffer(buf, dtype=np.dtype(dtype),
+                                              count=count, offset=offset)
+
+    # -- use ----------------------------------------------------------------------
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self.arrays[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.arrays
+
+    def get(self, name: str) -> Optional[np.ndarray]:
+        return self.arrays.get(name)
+
+    def scalar(self, key, default=None):
+        return self._meta.get(key, default)
+
+    @property
+    def scalars(self) -> Dict:
+        return {k: v for k, v in self._meta.items() if k not in _RESERVED}
+
+    def meta(self) -> Dict:
+        """Picklable attachment recipe for workers."""
+        return dict(self._meta)
+
+    def table(self):
+        """Rebuild this bundle's kernel table object (codec dispatch)."""
+        return table_from_bundle(self)
+
+    def scanner(self):
+        """Build a scanner running directly on the shared views."""
+        return scanner_from_bundle(self)
+
+    @property
+    def size_bytes(self) -> int:
+        return self._shm.size
+
+    # -- lifetime -----------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release this process's mapping; unlink too if we created it."""
+        if self._shm is None:
+            return
+        self.arrays = {}
+        self._shm.close()
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:
+                pass
+        self._shm = None
+
+    def __enter__(self) -> "SharedArrayBundle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:
+        return (f"SharedArrayBundle(kind={self._meta.get('kind')!r}, "
+                f"arrays={len(self._meta.get('arrays', ()))}, "
+                f"bytes={self._shm.size if self._shm else 0}, "
+                f"owner={self._owner})")
+
+
+# -- per-kind codecs ----------------------------------------------------------------
+
+def _hotcold_arrays(table: HotColdFusedTable):
+    arrays = [("hot_flat", table.hot_flat), ("weights", table.weights),
+              ("keys", table.cold.keys), ("vals", table.cold.vals),
+              ("default_row", table.cold.default_row),
+              ("fold_table", table.fold_table),
+              ("hot_states", table.hot_states),
+              ("cold_states", table.cold_states),
+              ("entry_cells", table.entry_cells)]
+    if table.slice_maps is not None:
+        arrays += [("slice_maps", table.slice_maps),
+                   ("slice_weights", table.slice_weights),
+                   ("slice_flags", table.slice_flags)]
+    return arrays
+
+
+def _hotcold_scalars(table: HotColdFusedTable) -> Dict:
+    return {"num_hot": int(table.num_hot),
+            "num_cold": int(table.num_cold),
+            "num_states": int(table.num_states),
+            "symbol_width": int(table.symbol_width),
+            "num_dfas": int(table.num_dfas),
+            "start": int(table.start)}
+
+
+def bundle_from_table(table, scalars: Optional[Dict] = None
+                      ) -> SharedArrayBundle:
+    """Place a kernel table in shared memory, picking the codec from
+    the table's type.  ``scalars`` are merged into the manifest."""
+    extra = dict(scalars or {})
+    if isinstance(table, FusedTable):
+        arrays = [("flat", table.flat), ("weights", table.weights),
+                  ("cell_base", np.asarray(table.cell_base,
+                                           dtype=np.int64)),
+                  ("starts", np.asarray(table.starts, dtype=np.int64)),
+                  ("num_states", np.asarray(table.num_states,
+                                            dtype=np.int64))]
+        meta = {"num_dfas": int(len(table.cell_base)),
+                "symbol_width": int(table.symbol_width), **extra}
+        return SharedArrayBundle("fused", arrays, meta)
+    if isinstance(table, HotCold2Table):
+        arrays = _hotcold_arrays(table.base) + [
+            ("hot2_flat", table.hot2_flat), ("wflat", table.wflat),
+            ("fflat", table.fflat), ("foldpair", table.foldpair),
+            ("utr", table.utr), ("order", table.order),
+            ("rank_of", table.rank_of), ("wstate", table.wstate),
+            ("fstate", table.fstate)]
+        meta = {**_hotcold_scalars(table.base),
+                "pair_budget_bytes": int(table.pair_budget_bytes),
+                "hot2_mass": (None if table.hot2_mass is None
+                              else float(table.hot2_mass)),
+                **extra}
+        return SharedArrayBundle("hotcold2", arrays, meta)
+    if isinstance(table, HotColdFusedTable):
+        return SharedArrayBundle("hotcold", _hotcold_arrays(table),
+                                 {**_hotcold_scalars(table), **extra})
+    raise BundleError(f"no shared-memory codec for {type(table).__name__}")
+
+
+def _hotcold_from(bundle: SharedArrayBundle) -> HotColdFusedTable:
+    cold = ColdRowStore(bundle["keys"], bundle["vals"],
+                        bundle["default_row"],
+                        bundle.scalar("num_cold"))
+    ndfa = bundle.scalar("num_dfas", 1)
+    slice_maps = bundle.get("slice_maps")
+    if slice_maps is not None:
+        slice_maps = slice_maps.reshape(ndfa, -1)
+    slice_weights = bundle.get("slice_weights")
+    if slice_weights is not None:
+        slice_weights = slice_weights.reshape(ndfa, -1)
+    slice_flags = bundle.get("slice_flags")
+    if slice_flags is not None:
+        slice_flags = slice_flags.reshape(ndfa, -1)
+    return HotColdFusedTable(
+        hot_flat=bundle["hot_flat"], weights=bundle["weights"], cold=cold,
+        fold_table=bundle["fold_table"], hot_states=bundle["hot_states"],
+        cold_states=bundle["cold_states"],
+        entry_cells=bundle["entry_cells"],
+        start=bundle.scalar("start"),
+        num_states=bundle.scalar("num_states"),
+        symbol_width=bundle.scalar("symbol_width"),
+        slice_maps=slice_maps, slice_weights=slice_weights,
+        slice_flags=slice_flags)
+
+
+def table_from_bundle(bundle: SharedArrayBundle):
+    """Rebuild the kernel table object a bundle carries (zero-copy —
+    the table's arrays are views into the shared segment)."""
+    kind = bundle.kind
+    if kind == "fused":
+        return FusedTable(flat=bundle["flat"], weights=bundle["weights"],
+                          cell_base=bundle["cell_base"],
+                          starts=bundle["starts"],
+                          num_states=bundle["num_states"],
+                          symbol_width=bundle.scalar("symbol_width"))
+    if kind == "hotcold":
+        return _hotcold_from(bundle)
+    if kind == "hotcold2":
+        return HotCold2Table(
+            base=_hotcold_from(bundle), hot2_flat=bundle["hot2_flat"],
+            wflat=bundle["wflat"], fflat=bundle["fflat"],
+            foldpair=bundle["foldpair"], utr=bundle["utr"],
+            order=bundle["order"], rank_of=bundle["rank_of"],
+            wstate=bundle["wstate"], fstate=bundle["fstate"],
+            pair_budget_bytes=bundle.scalar("pair_budget_bytes"),
+            hot2_mass=bundle.scalar("hot2_mass"))
+    raise BundleError(f"no table codec for bundle kind {kind!r}")
+
+
+def scanner_from_bundle(bundle: SharedArrayBundle):
+    """Build a scanner of the bundle's kind on the shared views."""
+    kind = bundle.kind
+    if kind == "flat":
+        return FlatScanner(bundle["flat"], bundle.scalar("symbol_width"),
+                           bundle.scalar("start"),
+                           bundle.scalar("num_states"))
+    if kind == "fused":
+        return FusedScanner(table_from_bundle(bundle))
+    if kind == "hotcold":
+        return HotColdFusedScanner(table_from_bundle(bundle))
+    if kind == "hotcold2":
+        return HotCold2Scanner(table_from_bundle(bundle))
+    raise BundleError(f"no scanner codec for bundle kind {kind!r}")

@@ -1,0 +1,167 @@
+"""Flag-encoded flat STT and the single-DFA lockstep scanner.
+
+The paper's §4 pointer trick on the host: two ``int32`` cells per
+symbol, bit 0 of every cell is the destination's is-final flag.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ...dfa.automaton import DFA, DFAError
+from .base import STRIP
+
+
+def build_flat_table(transitions: np.ndarray,
+                     final_mask: np.ndarray,
+                     fold_table: Optional[np.ndarray] = None
+                     ) -> Tuple[np.ndarray, int]:
+    """Flag-encoded flat STT (the paper's §4 tagged row pointers).
+
+    Row stride is ``2 × alphabet_size`` cells and every transition is
+    stored twice, at offsets ``2·symbol`` and ``2·symbol + 1`` of its row.
+    A cell holds ``dest_row_offset | is_final(dest)``: the row offset is a
+    multiple of the (even) stride, so bit 0 is free for the flag, and the
+    duplication makes ``flat[tagged_ptr + 2·symbol]`` land on the right
+    cell whether or not the flag bit is set — the hot loop never masks.
+
+    With ``fold_table`` (a 256-entry byte→symbol map) the fold is
+    *composed* into the table: each row is expanded to one column per raw
+    byte value, so the scanner gathers on unfolded input directly and the
+    per-block ``fold[raw]`` materialization disappears.  The cost is a
+    wider row (stride ``512`` instead of ``2 × alphabet``), i.e. 2 KB per
+    state — a host-memory trade the Cell's local store could never make.
+
+    Returns ``(flat, stride)`` with ``flat`` a 1-D contiguous ``int32``
+    array of ``num_states × stride`` cells.
+    """
+    table = np.asarray(transitions, dtype=np.int64)
+    if fold_table is not None:
+        fold = np.asarray(fold_table, dtype=np.int64)
+        if fold.shape != (256,):
+            raise DFAError("fold table must map all 256 byte values")
+        if fold.size and int(fold.max()) >= table.shape[1]:
+            raise DFAError("fold table maps outside the DFA alphabet")
+        table = table[:, fold]
+    num_states, alphabet = table.shape
+    stride = 2 * alphabet
+    top = (num_states - 1) * stride + 1
+    if top > np.iinfo(np.int32).max:
+        raise DFAError(
+            f"flat STT needs offsets up to {top}, beyond int32; "
+            f"{num_states} states × {alphabet} symbols is too large")
+    cells = table * stride + np.asarray(final_mask)[table]
+    flat = np.empty((num_states, stride), dtype=np.int32)
+    flat[:, 0::2] = cells
+    flat[:, 1::2] = cells
+    return np.ascontiguousarray(flat.reshape(-1)), stride
+
+
+def build_weight_table(dfa: DFA,
+                       symbol_width: Optional[int] = None) -> np.ndarray:
+    """Per-state match multiplicities, addressable by ``pointer >> 1``.
+
+    ``weight[s]`` is the number of dictionary entries recognized on
+    *entering* state ``s``: ``len(outputs[s])`` when outputs are attached,
+    else 1 for final states (the paper's counting kernels) and 0 for the
+    rest.  The table is expanded to ``num_states × symbol_width`` so that
+    a tagged pointer's high bits (``ptr >> 1 == state × symbol_width``)
+    index it directly — the "other frugal output values" the paper packs
+    next to the flag, kept in a side table here because multiplicities
+    exceed the one spare bit.  ``symbol_width`` defaults to the DFA's
+    alphabet; pass 256 when pairing with a fold-composed flat table.
+    """
+    width = dfa.alphabet_size if symbol_width is None else int(symbol_width)
+    weights = np.zeros(dfa.num_states * width + 1, dtype=np.int32)
+    for s in range(dfa.num_states):
+        if dfa.final_mask[s]:
+            weights[s * width] = len(dfa.outputs.get(s, ())) or 1
+    return weights
+
+
+class FlatScanner:
+    """Lockstep interpreter over a flag-encoded flat STT.
+
+    Decoupled from :class:`DFA` so it can run over *borrowed* memory — in
+    particular over tables living in ``multiprocessing.shared_memory``
+    segments attached by :mod:`repro.parallel` workers.
+    """
+
+    def __init__(self, flat: np.ndarray, alphabet_size: int, start: int,
+                 num_states: int) -> None:
+        self.flat = flat
+        self.alphabet_size = int(alphabet_size)
+        self.start = int(start)
+        self.num_states = int(num_states)
+        self.stride = 2 * self.alphabet_size
+
+    @classmethod
+    def from_dfa(cls, dfa: DFA) -> "FlatScanner":
+        flat, _ = build_flat_table(dfa.transitions, dfa.final_mask)
+        return cls(flat, dfa.alphabet_size, dfa.start, dfa.num_states)
+
+    # -- pointer/state conversions ----------------------------------------------
+
+    def pointer(self, state: int) -> int:
+        """Untagged row pointer of ``state``."""
+        return int(state) * self.stride
+
+    def state_of(self, ptrs):
+        """Tagged pointer(s) → state id(s); works on scalars and arrays."""
+        return (ptrs >> 1) // self.alphabet_size
+
+    # -- hot loop ----------------------------------------------------------------
+
+    def scan_cols(self, cols: np.ndarray, ptrs: np.ndarray,
+                  counts: np.ndarray,
+                  weights: Optional[np.ndarray] = None) -> np.ndarray:
+        """Lockstep scan of a position-major symbol matrix.
+
+        ``cols`` has shape ``(length, lanes)`` (row ``t`` holds every
+        lane's symbol at position ``t``), ``ptrs`` the tagged entry
+        pointers, ``counts`` an ``int64`` per-lane accumulator updated in
+        place.  With ``weights`` the accumulation is the per-state match
+        multiplicity instead of the flag bit.  Returns the tagged exit
+        pointers.
+        """
+        length, lanes = cols.shape
+        if length == 0:
+            return ptrs.astype(np.int32).copy()
+        take = self.flat.take
+        add = np.add
+        strip_len = min(STRIP, length)
+        strip = np.empty((strip_len, lanes), dtype=np.int32)
+        doubled = np.empty((strip_len, lanes), dtype=np.int32)
+        scratch = np.empty((strip_len, lanes), dtype=np.int32)
+        idx = np.empty(lanes, dtype=np.int32)
+        # Row views made once, not per step: the inner loop is dispatch-
+        # bound, so even view creation shows up.
+        strip_rows = list(strip)
+        doubled_rows = list(doubled)
+        cur = np.ascontiguousarray(ptrs, dtype=np.int32)
+        for t0 in range(0, length, strip_len):
+            b = min(strip_len, length - t0)
+            # Cast first, shift second: a fused uint8 multiply would wrap
+            # at 256 before the widening to int32.
+            doubled[:b] = cols[t0:t0 + b]
+            np.left_shift(doubled[:b], 1, out=doubled[:b])
+            for i in range(b):
+                row = strip_rows[i]
+                add(cur, doubled_rows[i], out=idx)
+                take(idx, out=row)
+                cur = row
+            if weights is None:
+                np.bitwise_and(strip[:b], 1, out=scratch[:b])
+            else:
+                np.right_shift(strip[:b], 1, out=scratch[:b])
+                weights.take(scratch[:b], out=scratch[:b])
+            counts += scratch[:b].sum(axis=0)
+        return cur.copy()
+
+    def step_scalar(self, ptr: int, symbol: int) -> int:
+        """One scalar transition on tagged pointers (remainder handling)."""
+        return int(self.flat[ptr + (int(symbol) << 1)])

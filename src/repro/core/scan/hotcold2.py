@@ -1,0 +1,728 @@
+"""Pair-symbol (two-byte stride) extension of the hot/cold scan.
+
+Squares the folded alphabet so the hot loop consumes an input *pair*
+per gather; escapes replay bytes through the one-byte union table.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ...dfa.automaton import DFA, DFAError
+from .base import (HOT_BUDGET_BYTES, MIN_PIECE, SPECULATION_WARMUP,
+                   _ragged_segments, hotcold_lanes_target,
+                   hotcold_strip_elems)
+from .driver import _chunked_scan, count_arr
+from .hotcold import HotColdFusedScanner, HotColdFusedTable
+
+
+@dataclass
+class HotCold2Table:
+    """Pair-symbol (two-byte stride) extension of a hot/cold table.
+
+    The §4 inner loop pays one gather per input *byte*; squaring the
+    folded alphabet on the hottest states halves that: the ``H2``
+    hottest union states get one row of ``width²`` cells each, indexed
+    by a *pair* of folded symbols, so the lockstep loop consumes two
+    bytes per gather — the paper's unrolling discussion taken one level
+    up, and the Hyperflex observation that a compacted hot set makes
+    the squared table affordable.
+
+    States are renumbered by *hotness rank* (the base table's
+    hottest-first visit order), and a pair cell simply stores the
+    destination's rank as an ``int16`` — so a full pair row costs
+    ``2·width²`` bytes, a quarter of the flag-doubled ``int32``
+    encoding, and whether a destination is pair-hot is one compare
+    (``rank < H2``).  The gather index is ``rank·width² + psym``; a
+    lane whose rank is not pair-hot overshoots the table and is clamped
+    by the gather's clip mode onto the final *parking cell* (value
+    ``num_states``), where it stays for the rest of the strip.
+
+    Final flags and multiplicities live in two aux tables addressed by
+    the *gather index* rather than the result — so they see the pair's
+    source state and both symbols, and can account the *middle* state
+    of the pair (the one crossed after the first byte) with no escape:
+
+    * ``fflat``: bit 0 = destination is final, bit 1 = middle state is
+      final;
+    * ``wflat``: middle multiplicity + destination multiplicity.
+
+    Both are zero on the parking cell, so parked lanes accumulate
+    nothing and the strip replay owes exactly the post-escape bytes.
+    """
+
+    base: HotColdFusedTable
+    hot2_flat: np.ndarray        # int16 (H2·W² + 1,): dest ranks + park
+    wflat: np.ndarray            # uint8/uint16/int32, same indexing
+    fflat: np.ndarray            # uint8, same indexing (2 bits)
+    foldpair: np.ndarray         # uint16 (65536,): psym per LE byte pair
+    utr: np.ndarray              # int16 (NS·W,): rank-space transitions
+    order: np.ndarray            # int64 (NS,): rank → union state id
+    rank_of: np.ndarray          # int64 (NS,): union state id → rank
+    wstate: np.ndarray           # int32 (NS + 1,): multiplicity by rank
+    fstate: np.ndarray           # int32 (NS + 1,): final flag by rank
+    pair_budget_bytes: int
+    hot2_mass: Optional[float] = None   # predicted pair-hot visit share
+
+    @property
+    def symbol_width(self) -> int:
+        return self.base.symbol_width
+
+    @property
+    def num_hot2(self) -> int:
+        w2 = self.symbol_width * self.symbol_width
+        return (len(self.hot2_flat) - 1) // w2
+
+    @property
+    def hot2_states(self) -> np.ndarray:
+        return self.order[:self.num_hot2]
+
+    @property
+    def num_states(self) -> int:
+        return self.base.num_states
+
+    @property
+    def start(self) -> int:
+        return self.base.start
+
+    @property
+    def num_dfas(self) -> int:
+        return self.base.num_dfas
+
+    @property
+    def hot2_bytes(self) -> int:
+        """Footprint of the pair transition rows (the budgeted part —
+        aux flag/weight tables ride along, like the base table's
+        weight layout)."""
+        return int(self.hot2_flat.nbytes)
+
+    @property
+    def table_bytes(self) -> int:
+        """Total footprint of everything a pair scan can touch."""
+        return int(self.hot2_flat.nbytes + self.wflat.nbytes
+                   + self.fflat.nbytes + self.foldpair.nbytes
+                   + self.utr.nbytes + self.base.table_bytes)
+
+    def scanner(self) -> "HotCold2Scanner":
+        """A fresh interpreter over this table — the sanctioned route
+        for call sites outside ``core/scan`` (scanner classes are
+        import-banned there; see the ruff ``banned-api`` rule)."""
+        return HotCold2Scanner(self)
+
+
+def pair_symbol_table(fold_table: np.ndarray, width: int) -> np.ndarray:
+    """``foldpair``: folded pair symbol per little-endian byte pair.
+
+    The staged scan path reads input byte pairs through a native
+    ``uint16`` view, so the *first* input byte is the low half on
+    little-endian hosts (and the high half otherwise)."""
+    fold = np.asarray(fold_table, dtype=np.int64)
+    pair16 = np.arange(65536, dtype=np.int64)
+    first, second = ((pair16 & 255, pair16 >> 8) if np.little_endian
+                     else (pair16 >> 8, pair16 & 255))
+    return (fold[first] * width + fold[second]).astype(np.uint16)
+
+
+def build_hot_cold2_table(transitions: np.ndarray, final_mask: np.ndarray,
+                          base: HotColdFusedTable,
+                          budget_bytes: int = HOT_BUDGET_BYTES,
+                          mass: Optional[np.ndarray] = None,
+                          foldpair: Optional[np.ndarray] = None
+                          ) -> HotCold2Table:
+    """Square the folded alphabet on the hottest states of ``base``.
+
+    ``transitions``/``final_mask`` are the same union-automaton arrays
+    ``base`` was built from (over the folded alphabet).  The pair-hot
+    set is the hottest prefix of the base table's visit order that fits
+    ``budget_bytes`` at ``2·width²`` bytes per row — the same budget
+    discipline as the base table, applied to the squared stride.
+    """
+    trans = np.asarray(transitions, dtype=np.int64)
+    n, width = trans.shape
+    if n != base.num_states or width != base.symbol_width:
+        raise DFAError("pair table must be built from the same union "
+                       "automaton as its base hot/cold table")
+    if n + 1 > np.iinfo(np.int16).max:
+        raise DFAError(
+            f"pair STT stores int16 state ranks; {n} union states "
+            f"exceed the {np.iinfo(np.int16).max - 1} limit")
+    w2 = width * width
+    order = np.concatenate([base.hot_states,
+                            base.cold_states]).astype(np.int64)
+    rank_of = np.empty(n, dtype=np.int64)
+    rank_of[order] = np.arange(n, dtype=np.int64)
+    num_hot2 = max(1, min(n, int(budget_bytes) // (w2 * 2)))
+
+    # Rank-space transition matrix: row r is the hotness-rank image of
+    # union state order[r]'s row.
+    tr_rank = rank_of[trans[order]]                  # (NS, W)
+    utr = tr_rank.astype(np.int16).ravel()
+    final = (np.asarray(final_mask) != 0)
+    f_rank = final[order].astype(np.int32)
+    slots = (base.entry_cells.astype(np.int64) >> 1)
+    w_rank = base.weights[slots[order]].astype(np.int64)
+
+    mid = tr_rank[:num_hot2]                         # (H2, W)
+    dest = tr_rank[mid]                              # (H2, W, W)
+    hot2_flat = np.empty(num_hot2 * w2 + 1, dtype=np.int16)
+    hot2_flat[:-1] = dest.reshape(num_hot2 * w2)
+    hot2_flat[-1] = n                                # parking cell
+
+    fpair = (f_rank[dest] | (f_rank[mid][:, :, None] << 1))
+    fflat = np.zeros(num_hot2 * w2 + 1, dtype=np.uint8)
+    fflat[:-1] = fpair.reshape(num_hot2 * w2)
+
+    wpair = (w_rank[mid][:, :, None] + w_rank[dest]).reshape(num_hot2 * w2)
+    wmax = int(wpair.max()) if wpair.size else 0
+    wdtype = (np.uint8 if wmax <= np.iinfo(np.uint8).max else
+              np.uint16 if wmax <= np.iinfo(np.uint16).max else np.int32)
+    wflat = np.zeros(num_hot2 * w2 + 1, dtype=wdtype)
+    wflat[:-1] = wpair
+
+    if foldpair is None:
+        foldpair = pair_symbol_table(base.fold_table, width)
+    else:
+        foldpair = np.ascontiguousarray(foldpair, dtype=np.uint16)
+        if foldpair.shape != (65536,):
+            raise DFAError("foldpair table must have 65536 entries")
+
+    wstate = np.zeros(n + 1, dtype=np.int32)
+    wstate[:n] = w_rank
+    fstate = np.zeros(n + 1, dtype=np.int32)
+    fstate[:n] = f_rank
+
+    hot2_mass = None
+    if mass is not None:
+        mass = np.asarray(mass, dtype=np.float64)
+        total = float(mass.sum())
+        if total > 0:
+            hot2_mass = float(mass[order[:num_hot2]].sum()) / total
+
+    return HotCold2Table(
+        base=base, hot2_flat=hot2_flat, wflat=wflat, fflat=fflat,
+        foldpair=foldpair, utr=utr, order=order, rank_of=rank_of,
+        wstate=wstate, fstate=fstate,
+        pair_budget_bytes=int(budget_bytes), hot2_mass=hot2_mass)
+
+
+class _StagedLanes:
+    """Staging for a pair-stride scan: the lane-major raw byte matrix
+    (kept for the byte-granular replay path) plus its pair-symbol
+    matrix in *position-major* layout ``(pairs, lanes)`` — one
+    ``foldpair`` gather per two bytes, transposed in cache-resident
+    lane blocks on the way out so the lockstep loop reads contiguous
+    rows with no per-strip copies."""
+
+    __slots__ = ("mat", "psym", "lanes", "piece", "pairs")
+
+    def __init__(self, mat: np.ndarray, psym: Optional[np.ndarray]):
+        self.mat = mat
+        self.psym = psym                  # (pairs, lanes) uint16
+        self.lanes, self.piece = mat.shape
+        self.pairs = self.piece // 2
+
+
+class HotCold2Scanner:
+    """Two-byte stride lockstep interpreter over a :class:`HotCold2Table`.
+
+    Drop-in compatible with :class:`HotColdFusedScanner` (and hence
+    :func:`count_arr` / the chunk fixpoint / ``run_streams``): pointer,
+    state_of, scan_cols and step_scalar all speak union states, with
+    ``rank·2 | is_final`` as the pointer representation.  The hot loop
+    gathers once per input *pair*; destinations outside the pair-hot
+    set park the lane (via the gather's clip mode) and the strip is
+    replayed byte-by-byte through the rank-space transition matrix.
+    Odd strip tails and odd-length inputs take single rank-space steps,
+    so chunk pieces and ragged stream segments of any parity compose
+    exactly.  Matches landing on the *middle* byte of a pair are
+    counted by the gather-indexed flag/weight tables — no escape.
+
+    ``weights`` arguments are a mode switch (matching the base
+    scanner's convention): ``None`` counts final-state entries, any
+    array selects the table's own multiplicity layout
+    (:attr:`weights`, indexed by ``pointer >> 1``).
+
+    For large scans, :func:`_chunked_scan` uses the
+    :meth:`stage_lanes` / :meth:`scan_lanes` protocol instead of
+    transposing the input to position-major byte columns: the pair
+    symbols are staged lane-major in one contiguous gather and each
+    strip transposes only a cache-resident slab.
+    """
+
+    def __init__(self, table: HotCold2Table) -> None:
+        self.table = table
+        self.base = HotColdFusedScanner(table.base)
+        b = table.base
+        self.symbol_width = int(b.symbol_width)
+        self.alphabet_size = int(b.symbol_width)
+        self.start = int(b.start)
+        self.num_states = int(b.num_states)
+        self.num_hot2 = int(table.num_hot2)
+        self._w = self.symbol_width
+        self._w2 = self._w * self._w
+        self.flat2 = table.hot2_flat
+        self.wflat = table.wflat
+        self.fflat = table.fflat
+        self.foldpair = table.foldpair
+        self.utr = table.utr
+        self.order = table.order
+        self.rank_of = table.rank_of
+        self.wstate = table.wstate
+        self.fstate = table.fstate
+        self.weights = table.wstate            # indexed by pointer >> 1
+        self.foldv = np.asarray(b.fold_table, dtype=np.int32)
+        self.foldw = (self.foldv * self._w).astype(np.int32)
+        self._rows_rank: dict = {}
+        self.reset_stats()
+
+    @property
+    def num_dfas(self) -> int:
+        return self.table.num_dfas
+
+    # -- instrumentation ---------------------------------------------------------
+
+    def reset_stats(self) -> None:
+        #: steps = raw-byte transitions covered by the scan; cold_steps
+        #: = bytes replayed outside the pair table; escapes =
+        #: lane×strip replay activations.
+        self.stats = {"steps": 0, "cold_steps": 0, "escapes": 0}
+
+    @property
+    def hot_hit_rate(self) -> float:
+        steps = self.stats["steps"]
+        if steps <= 0:
+            return 1.0
+        return 1.0 - self.stats["cold_steps"] / steps
+
+    # -- pointer/state conversions ----------------------------------------------
+
+    def pointer(self, state: int) -> int:
+        r = int(self.rank_of[int(state)])
+        return r * 2 + int(self.fstate[r])
+
+    def state_of(self, ptrs):
+        p = np.asarray(ptrs, dtype=np.int64)
+        out = self.order[p >> 1]
+        if p.ndim == 0:
+            return int(out)
+        return out
+
+    # -- scalar path -------------------------------------------------------------
+
+    def step_scalar(self, ptr: int, symbol: int) -> int:
+        r = int(ptr) >> 1
+        nr = int(self.utr[r * self._w + int(self.foldv[int(symbol)])])
+        return nr * 2 + int(self.fstate[nr])
+
+    # -- rank-space slice projections --------------------------------------------
+
+    def _slice_rows(self, flags: bool) -> np.ndarray:
+        """Per-slice accumulation rows indexed by *rank* (park = 0)."""
+        key = bool(flags)
+        rows = self._rows_rank.get(key)
+        if rows is None:
+            t = self.table.base
+            if t.slice_maps is None:
+                raise DFAError(
+                    "hot/cold table was built without slice maps")
+            src = t.slice_flags if flags else t.slice_weights
+            slots = (t.entry_cells.astype(np.int64) >> 1)[self.order]
+            rows = np.zeros((len(src), self.num_states + 1),
+                            dtype=np.int64)
+            rows[:, :self.num_states] = src[:, slots]
+            self._rows_rank[key] = rows
+        return rows
+
+    # -- staging -----------------------------------------------------------------
+
+    def stage_lanes(self, mat: np.ndarray) -> _StagedLanes:
+        """Stage a lane-major byte matrix for :meth:`scan_lanes`."""
+        lanes, piece = mat.shape
+        pairs = piece // 2
+        psym = None
+        if pairs:
+            u16 = None
+            if piece == 2 * pairs:
+                try:
+                    # One gather per byte pair on a uint16 view
+                    # (little-endian: first byte low).  The view can
+                    # fail for odd row strides; fall back below.
+                    u16 = mat.view(np.uint16)
+                except ValueError:
+                    u16 = None
+            psym = np.empty((pairs, lanes), dtype=np.uint16)
+            step = 256
+            if u16 is not None:
+                # Fused gather+transpose per lane block: each block's
+                # symbols are produced and flipped while still hot.
+                for j in range(0, lanes, step):
+                    psym[:, j:j + step] = self.foldpair.take(
+                        u16[j:j + step]).T
+            else:
+                body = mat[:, :2 * pairs]
+                for j in range(0, lanes, step):
+                    lo = np.asarray(body[j:j + step, 0::2],
+                                    dtype=np.int64)
+                    hi = np.asarray(body[j:j + step, 1::2],
+                                    dtype=np.int64)
+                    psym[:, j:j + step] = (
+                        self.foldw.take(lo)
+                        + self.foldv.take(hi)).astype(np.uint16).T
+        return _StagedLanes(mat, psym)
+
+    def scan_lanes(self, staged: _StagedLanes, sel, t0: int, t1: int,
+                   ptrs: np.ndarray, counts: np.ndarray,
+                   weights: Optional[np.ndarray] = None) -> np.ndarray:
+        """Scan bytes ``[t0, t1)`` of the selected staged lanes.
+
+        ``sel`` is ``None`` (all lanes), a slice, or an index array.
+        Pair phase is anchored at byte 0 of the staged matrix, so any
+        ``[t0, t1)`` window — including odd boundaries — scans exactly:
+        unaligned edge bytes take single rank-space steps.
+        """
+        return self._scan_span(staged, sel, int(t0), int(t1), ptrs,
+                               ((counts, weights),), None)
+
+    def scan_lanes_slices(self, staged: _StagedLanes, sel, t0: int,
+                          t1: int, ptrs: np.ndarray,
+                          counts2d: np.ndarray,
+                          weight_rows: np.ndarray) -> np.ndarray:
+        """:meth:`scan_lanes` accumulating every slice at once,
+        D-invariantly (sparse scatter at union-final hits).
+        ``weight_rows`` are rank-indexed (see :meth:`_slice_rows`)."""
+        return self._scan_span(staged, sel, int(t0), int(t1), ptrs, (),
+                               (counts2d, weight_rows))
+
+    # -- position-major compatibility --------------------------------------------
+
+    def scan_cols(self, cols: np.ndarray, ptrs: np.ndarray,
+                  counts: np.ndarray,
+                  weights: Optional[np.ndarray] = None) -> np.ndarray:
+        """:meth:`HotColdFusedScanner.scan_cols` at two bytes per
+        gather; any input length (an odd tail takes one rank step)."""
+        staged = self._stage_posmajor(cols)
+        return self._scan_span(staged, None, 0, cols.shape[0], ptrs,
+                               ((counts, weights),), None)
+
+    def scan_cols_slices(self, cols: np.ndarray, ptrs: np.ndarray,
+                         counts2d: np.ndarray,
+                         weight_rows: np.ndarray) -> np.ndarray:
+        """One pair-stride pass accumulating every slice's counts at
+        once.  ``weight_rows`` must be rank-indexed."""
+        staged = self._stage_posmajor(cols)
+        return self._scan_span(staged, None, 0, cols.shape[0], ptrs, (),
+                               (counts2d, weight_rows))
+
+    def _stage_posmajor(self, cols: np.ndarray) -> _StagedLanes:
+        """Stage position-major byte columns (transposes the small
+        window; the big-block path goes through :meth:`stage_lanes`)."""
+        mat = np.ascontiguousarray(cols.T)
+        return self.stage_lanes(mat)
+
+    # -- core --------------------------------------------------------------------
+
+    def _scan_span(self, staged: _StagedLanes, sel, t0: int, t1: int,
+                   ptrs: np.ndarray, accs, slice_accs) -> np.ndarray:
+        if sel is None:
+            sel = slice(0, staged.lanes)
+        mat = staged.mat[sel]
+        lanes = mat.shape[0]
+        cur64 = np.asarray(ptrs, dtype=np.int64) >> 1
+        cur = cur64.astype(np.int16)
+        if t1 <= t0 or not lanes:
+            return self._encode(cur)
+        self.stats["steps"] += (t1 - t0) * lanes
+        if t0 & 1:
+            cur = self._single_steps(mat, cur, t0, t0 + 1, accs,
+                                     slice_accs)
+            t0 += 1
+        p_lo, p_hi = t0 // 2, t1 // 2
+        if p_hi > p_lo:
+            psym = staged.psym[:, sel]   # slice sel: zero-copy view
+            cur = self._scan_pairs(mat, psym, p_lo, p_hi, cur, accs,
+                                   slice_accs)
+        if t1 & 1 and t1 > t0:
+            cur = self._single_steps(mat, cur, t1 - 1, t1, accs,
+                                     slice_accs)
+        return self._encode(cur)
+
+    def _encode(self, cur: np.ndarray) -> np.ndarray:
+        r = cur.astype(np.int64)
+        return (r * 2 + self.fstate[r]).astype(np.int32)
+
+    def _scan_pairs(self, mat: np.ndarray, psym: np.ndarray,
+                    p_lo: int, p_hi: int, cur: np.ndarray,
+                    accs, slice_accs) -> np.ndarray:
+        lanes = mat.shape[0]
+        w2 = self._w2
+        h2 = self.num_hot2
+        take = self.flat2.take
+        mul = np.multiply
+        add = np.add
+        strip_len = min(p_hi - p_lo,
+                        max(8, hotcold_strip_elems() // max(1, lanes)))
+        idxs = np.empty((strip_len, lanes), dtype=np.int32)
+        ids = np.empty((strip_len, lanes), dtype=np.int16)
+        idx_rows = list(idxs)
+        ids_rows = list(ids)
+        cur = cur.copy()
+        for p0 in range(p_lo, p_hi, strip_len):
+            b = min(strip_len, p_hi - p0)
+            pre = cur
+            c = cur
+            for i in range(b):
+                row = idx_rows[i]
+                mul(c, w2, out=row, dtype=np.int32, casting="unsafe")
+                add(row, psym[p0 + i], out=row)
+                c = ids_rows[i]
+                take(row, mode="clip", out=c)
+            cur = c.copy()
+            self._accumulate(idxs, ids, b, lanes, accs, slice_accs)
+            if int(cur.max()) >= h2:
+                esc = np.nonzero(cur >= h2)[0]
+                self._fix_lanes2(mat, ids, b, 2 * p0, pre, cur, esc,
+                                 accs, slice_accs)
+        return cur
+
+    def _accumulate(self, idxs: np.ndarray, ids: np.ndarray, b: int,
+                    lanes: int, accs, slice_accs) -> None:
+        fl = None
+        for acc, w in accs:
+            if w is None:
+                fl = self.fflat.take(idxs[:b], mode="clip")
+                np.bitwise_and(fl, 1, out=fl)
+                acc += fl.sum(axis=0, dtype=np.int64)
+                fl = self.fflat.take(idxs[:b], mode="clip")
+                np.right_shift(fl, 1, out=fl)
+                acc += fl.sum(axis=0, dtype=np.int64)
+            else:
+                wv = self.wflat.take(idxs[:b], mode="clip")
+                acc += wv.sum(axis=0, dtype=np.int64)
+        if slice_accs is None:
+            return
+        counts2d, rows = slice_accs
+        fl = self.fflat.take(idxs[:b], mode="clip")
+        tt, ll = np.nonzero(fl)
+        if not tt.size:
+            return
+        fv = fl[tt, ll]
+        lanes_idx = []
+        ranks = []
+        dhit = (fv & 1) != 0
+        if dhit.any():
+            lanes_idx.append(ll[dhit])
+            ranks.append(ids[tt[dhit], ll[dhit]].astype(np.int64))
+        mhit = (fv & 2) != 0
+        if mhit.any():
+            iv = idxs[tt[mhit], ll[mhit]].astype(np.int64)
+            lanes_idx.append(ll[mhit])
+            ranks.append(self.utr[iv // self._w].astype(np.int64))
+        ll_all = np.concatenate(lanes_idx)
+        rk_all = np.concatenate(ranks)
+        for d in range(len(rows)):
+            counts2d[d] += np.bincount(
+                ll_all, weights=rows[d, rk_all],
+                minlength=lanes).astype(np.int64)
+
+    def _fix_lanes2(self, mat: np.ndarray, ids: np.ndarray, b: int,
+                    byte0: int, pre: np.ndarray, cur: np.ndarray,
+                    esc: np.ndarray, accs, slice_accs) -> None:
+        """Replay escaped lanes byte-by-byte in rank space.
+
+        A lane escapes when a pair's destination leaves the pair-hot
+        set (the stored cell is the destination's rank, ``>= H2``) or
+        when it entered the strip already cold.  The escape pair itself
+        was fully accounted by the gather-indexed aux tables, so the
+        replay owes exactly the bytes after it.
+        """
+        m = int(esc.size)
+        self.stats["escapes"] += m
+        col = ids[:b, esc]
+        h2 = self.num_hot2
+        first = np.argmax(col >= h2, axis=0).astype(np.int64)
+        ranks = col[first, np.arange(m)].astype(np.int64)
+        t_start = 2 * (first + 1)
+        precold = pre[esc].astype(np.int64) >= h2
+        if precold.any():
+            ranks[precold] = pre[esc[precold]].astype(np.int64)
+            t_start[precold] = 0
+        extra = [np.zeros(m, dtype=np.int64) for _ in accs]
+        extra2d = None
+        rows = None
+        if slice_accs is not None:
+            counts2d, rows = slice_accs
+            extra2d = np.zeros((len(rows), m), dtype=np.int64)
+        w = self._w
+        utr = self.utr
+        twob = 2 * b
+        lo = int(t_start.min())
+        for t in range(lo, twob):
+            act = np.nonzero(t_start <= t)[0]
+            raw = mat[esc[act], byte0 + t].astype(np.int64)
+            nr = utr[ranks[act] * w + self.foldv[raw]].astype(np.int64)
+            ranks[act] = nr
+            for (_, wts), ex in zip(accs, extra):
+                if wts is None:
+                    ex[act] += self.fstate[nr]
+                else:
+                    ex[act] += self.wstate[nr]
+            if extra2d is not None:
+                extra2d[:, act] += rows[:, nr]
+            self.stats["cold_steps"] += int(act.size)
+        for (acc, _), ex in zip(accs, extra):
+            acc[esc] += ex
+        if extra2d is not None:
+            counts2d[:, esc] += extra2d
+        cur[esc] = ranks.astype(np.int16)
+
+    def _single_steps(self, mat: np.ndarray, cur: np.ndarray,
+                      t0: int, t1: int, accs,
+                      slice_accs) -> np.ndarray:
+        """One-byte rank-space steps (edge bytes of unaligned spans
+        and odd tails), vectorized across lanes — exact at any rank,
+        hot or cold."""
+        rows = None
+        if slice_accs is not None:
+            counts2d, rows = slice_accs
+        w = self._w
+        r = cur.astype(np.int64)
+        for t in range(t0, t1):
+            syms = self.foldv[mat[:, t].astype(np.int64)]
+            r = self.utr[r * w + syms].astype(np.int64)
+            for acc, wts in accs:
+                if wts is None:
+                    acc += self.fstate[r]
+                else:
+                    acc += self.wstate[r]
+            if rows is not None:
+                counts2d += rows[:, r]
+        return r.astype(np.int16)
+
+    # -- block scanning ----------------------------------------------------------
+
+    def count_arr_per_dfa(self, arr: np.ndarray, chunks: int,
+                          entry_states=None,
+                          weights: Optional[np.ndarray] = None
+                          ) -> Tuple[np.ndarray, np.ndarray]:
+        """Exact per-slice ``(counts, exit_states)`` from one pair-
+        stride union pass; same contract as the base scanner's.  The
+        per-slice accumulation is D-invariant: one flag gather per
+        strip plus a sparse scatter at union-final hits."""
+        t = self.table.base
+        if t.slice_maps is None:
+            raise DFAError("hot/cold table was built without slice maps")
+        ndfa = len(t.slice_maps)
+        start_imgs = t.slice_maps[:, self.start].astype(np.int64)
+        if entry_states is not None:
+            states = np.asarray(entry_states, dtype=np.int64)
+            if not np.array_equal(states, start_imgs):
+                raise DFAError(
+                    "hot/cold per-DFA scans enter at the union start "
+                    "state; arbitrary per-DFA entry states are not "
+                    "realizable in the union state space")
+        if arr.size == 0:
+            return np.zeros(ndfa, dtype=np.int64), start_imgs
+        rows = self._slice_rows(flags=weights is None)
+        totals, exit_state = self._chunked_multi(arr, chunks, rows)
+        return totals, t.slice_maps[:, exit_state].astype(np.int64)
+
+    def _chunked_multi(self, arr: np.ndarray, chunks: int,
+                       rows: np.ndarray) -> Tuple[np.ndarray, int]:
+        if chunks < 1:
+            raise DFAError("chunks must be >= 1")
+        n = int(arr.size)
+        ndfa = len(rows)
+        chunks = min(n, max(int(chunks),
+                            min(hotcold_lanes_target(), n // MIN_PIECE)))
+        piece_len = n // chunks
+        remainder = n - piece_len * chunks
+        head = np.zeros(ndfa, dtype=np.int64)
+        ptr = self.pointer(self.start)
+        for sym in arr[:remainder].tolist():
+            ptr = self.step_scalar(ptr, sym)
+            head += rows[:, ptr >> 1]
+        staged = self.stage_lanes(
+            arr[remainder:].reshape(chunks, piece_len))
+        entry = np.full(chunks, self.pointer(self.start), dtype=np.int32)
+        entry[0] = ptr
+        if chunks > 1 and piece_len >= 8 * SPECULATION_WARMUP:
+            sink = np.zeros(chunks - 1, dtype=np.int64)
+            entry[1:] = self.scan_lanes(
+                staged, slice(0, chunks - 1),
+                piece_len - SPECULATION_WARMUP, piece_len,
+                entry[1:].copy(), sink)
+        exits = np.empty(chunks, dtype=np.int32)
+        counts = np.zeros((ndfa, chunks), dtype=np.int64)
+        todo = np.arange(chunks)
+        for _ in range(chunks + 1):
+            sel = None if todo.size == chunks else todo
+            part = np.zeros((ndfa, todo.size), dtype=np.int64)
+            fin = self.scan_lanes_slices(staged, sel, 0, piece_len,
+                                         entry[todo], part, rows)
+            counts[:, todo] = part
+            exits[todo] = fin
+            wrong = np.nonzero((exits[:-1] >> 1)
+                               != (entry[1:] >> 1))[0] + 1
+            if wrong.size == 0:
+                break
+            entry[wrong] = exits[wrong - 1]
+            todo = wrong
+        else:
+            raise DFAError("pair chunk fixpoint failed to converge; "
+                           "this indicates a bug, not an input property")
+        return head + counts.sum(axis=1), int(self.state_of(exits[-1]))
+
+    # -- multi-stream scanning ---------------------------------------------------
+
+    def run_streams(self, streams: Sequence[bytes],
+                    start_states: Optional[np.ndarray] = None,
+                    weights: Optional[np.ndarray] = None
+                    ) -> Tuple[np.ndarray, np.ndarray]:
+        """:meth:`HotColdFusedScanner.run_streams` at pair stride.
+
+        Ragged segment boundaries and zero/odd-length streams are
+        exact: each lockstep segment re-aligns its own pair phase and
+        takes single rank steps at unaligned edges, and resumed
+        streams re-enter through canonical rank pointers.
+        """
+        nstreams = len(streams)
+        if not nstreams:
+            raise DFAError("at least one stream required")
+        lens = np.asarray([len(s) for s in streams], dtype=np.int64)
+        order = np.argsort(-lens, kind="stable")
+        sorted_lens = lens[order]
+        maxlen = int(sorted_lens[0])
+        if start_states is not None:
+            states = np.asarray(start_states, dtype=np.int64)
+            if states.size and (states.min() < 0
+                                or states.max() >= self.num_states):
+                raise DFAError("start state out of range")
+            ranks = self.rank_of[states[order]]
+            ptrs = (ranks * 2 + self.fstate[ranks]).astype(np.int32)
+        else:
+            ptrs = np.full(nstreams, self.pointer(self.start),
+                           dtype=np.int32)
+        counts = np.zeros(nstreams, dtype=np.int64)
+        if maxlen:
+            pad = maxlen + (maxlen & 1)
+            mat = np.zeros((nstreams, pad), dtype=np.uint8)
+            for k, oi in enumerate(order):
+                s = streams[oi]
+                if len(s):
+                    mat[k, :len(s)] = np.frombuffer(s, dtype=np.uint8)
+            staged = self.stage_lanes(mat)
+            for lo, hi, active in _ragged_segments(sorted_lens):
+                fin = self.scan_lanes(staged, slice(0, active), lo, hi,
+                                      ptrs[:active], counts[:active],
+                                      weights=weights)
+                ptrs[:active] = fin
+        out_counts = np.empty_like(counts)
+        out_ptrs = np.empty_like(ptrs)
+        out_counts[order] = counts
+        out_ptrs[order] = ptrs
+        return out_counts, np.asarray(self.state_of(out_ptrs),
+                                      dtype=np.int64)

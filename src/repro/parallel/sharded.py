@@ -42,6 +42,7 @@ from ..core.engine import (FusedTable, HotCold2Table,
                            HotColdFusedTable, ScanDetail,
                            StreamResult, count_arr, count_arr_detail,
                            repair_detail)
+from ..core.scan.bundle import SharedArrayBundle, scanner_from_bundle
 from .ring import StagingRing
 from .shared_stt import (SharedFusedTable, SharedHotCold2Table,
                          SharedHotColdTable, SharedSTT)
@@ -63,55 +64,60 @@ class ShardedScanError(Exception):
 _WORKER: Dict = {}
 
 
-def _init_worker(metas: List[Dict], ring_names: List[str],
-                 fused_meta: Optional[Dict] = None,
-                 hotcold_meta: Optional[Dict] = None,
-                 hotcold2_meta: Optional[Dict] = None) -> None:
-    """Pool initializer: attach every shared artifact exactly once.
+def _bundle_input_bound(bundle: SharedArrayBundle) -> Optional[int]:
+    """Exclusive upper bound on scannable input byte values, or
+    ``None`` when every byte is scannable (fold composed into the
+    table, or a full-byte alphabet)."""
+    if bundle.kind in ("hotcold", "hotcold2"):
+        return None
+    width = bundle.scalar("symbol_width")
+    if width == 256:
+        return None
+    if bundle.kind == "flat":
+        return bundle.scalar("alphabet_size")
+    return width
 
-    With ``fused_meta`` the worker attaches one stacked-table segment
-    instead of per-DFA segments; the per-DFA scanner list then holds
-    slice views into the shared stacked table, so every classic task
-    shape keeps working while the fused task scans all DFAs at once.
-    With ``hotcold_meta`` it attaches one hot/cold union segment whose
-    single scanner *is* the whole dictionary — every classic
-    single-chain task shape works unchanged on top of it (the hot/cold
-    scanner is :class:`FlatScanner`-compatible).  ``hotcold2_meta``
-    is the same single-chain shape over the pair-symbol two-byte-stride
-    table.
+
+def _init_worker(bundle_metas: List[Dict],
+                 ring_names: List[str]) -> None:
+    """Pool initializer: attach every shared bundle exactly once.
+
+    One manifest-driven path for every artifact layout — each bundle's
+    ``kind`` says how its scanner seats into the worker state.  Per-DFA
+    ``flat`` bundles become one classic task chain each; a ``fused``
+    bundle's scanner is kept whole (its slice views serve the classic
+    task shapes while the fused task scans all DFAs at once); a
+    ``hotcold``/``hotcold2`` bundle's single union scanner *is* the
+    whole dictionary, and every classic single-chain task shape works
+    unchanged on top of it (the union scanners are
+    :class:`FlatScanner`-compatible).
     """
-    if hotcold2_meta is not None:
-        h2stt = SharedHotCold2Table.attach(hotcold2_meta)
-        scanner = h2stt.scanner()
-        _WORKER["artifacts"] = [h2stt]
-        _WORKER["fused"] = None
-        _WORKER["scanners"] = [scanner]
-        _WORKER["weights"] = [scanner.weights]
-        _WORKER["bounds"] = [h2stt.input_bound]
-    elif hotcold_meta is not None:
-        hstt = SharedHotColdTable.attach(hotcold_meta)
-        scanner = hstt.scanner()
-        _WORKER["artifacts"] = [hstt]
-        _WORKER["fused"] = None
-        _WORKER["scanners"] = [scanner]
-        _WORKER["weights"] = [scanner.weights]
-        _WORKER["bounds"] = [hstt.input_bound]
-    elif fused_meta is not None:
-        fstt = SharedFusedTable.attach(fused_meta)
-        fused = fstt.scanner()
-        _WORKER["artifacts"] = [fstt]
-        _WORKER["fused"] = fused
-        _WORKER["scanners"] = [fused.slice_view(d)
-                               for d in range(fused.num_dfas)]
-        _WORKER["weights"] = [fused.weights] * fused.num_dfas
-        _WORKER["bounds"] = [fstt.input_bound] * fused.num_dfas
-    else:
-        stts = [SharedSTT.attach(m) for m in metas]
-        _WORKER["artifacts"] = stts
-        _WORKER["fused"] = None
-        _WORKER["scanners"] = [stt.scanner() for stt in stts]
-        _WORKER["weights"] = [stt.weights for stt in stts]
-        _WORKER["bounds"] = [stt.input_bound for stt in stts]
+    bundles = [SharedArrayBundle.attach(m) for m in bundle_metas]
+    scanners: List = []
+    weights: List = []
+    bounds: List = []
+    fused = None
+    for b in bundles:
+        sc = scanner_from_bundle(b)
+        if b.kind == "fused":
+            fused = sc
+            scanners.extend(sc.slice_view(d)
+                            for d in range(sc.num_dfas))
+            weights.extend([sc.weights] * sc.num_dfas)
+            bounds.extend([_bundle_input_bound(b)] * sc.num_dfas)
+        elif b.kind == "flat":
+            scanners.append(sc)
+            weights.append(b["weights"])
+            bounds.append(_bundle_input_bound(b))
+        else:
+            scanners.append(sc)
+            weights.append(sc.weights)
+            bounds.append(_bundle_input_bound(b))
+    _WORKER["artifacts"] = bundles
+    _WORKER["fused"] = fused
+    _WORKER["scanners"] = scanners
+    _WORKER["weights"] = weights
+    _WORKER["bounds"] = bounds
     _WORKER["ring"] = [shared_memory.SharedMemory(name=n)
                        for n in ring_names]
 
@@ -376,24 +382,18 @@ class ShardedScanner:
         self._pool = None
         self._closed = False
         try:
-            hotcold_meta = None
-            hotcold2_meta = None
             if hot_cold2_table is not None:
                 self._hc2_stt = SharedHotCold2Table(hot_cold2_table)
                 scanner = self._hc2_stt.scanner()
                 self._scanners = [scanner]
                 self._weight_tables = [scanner.weights]
-                metas = []
-                fused_meta = None
-                hotcold2_meta = self._hc2_stt.meta()
+                bundle_metas = [self._hc2_stt.meta()]
             elif hot_cold_table is not None:
                 self._hc_stt = SharedHotColdTable(hot_cold_table)
                 scanner = self._hc_stt.scanner()
                 self._scanners = [scanner]
                 self._weight_tables = [scanner.weights]
-                metas: List[Dict] = []
-                fused_meta = None
-                hotcold_meta = self._hc_stt.meta()
+                bundle_metas = [self._hc_stt.meta()]
             elif fused_table is not None:
                 self._fused_stt = SharedFusedTable(fused_table)
                 self._fused = self._fused_stt.scanner()
@@ -401,8 +401,7 @@ class ShardedScanner:
                                   for d in range(self._num_dfas)]
                 self._weight_tables = [self._fused.weights] * \
                     self._num_dfas
-                metas = []
-                fused_meta = self._fused_stt.meta()
+                bundle_metas = [self._fused_stt.meta()]
             else:
                 self._stts = [
                     SharedSTT(d, fold=fold,
@@ -411,15 +410,13 @@ class ShardedScanner:
                     for i, d in enumerate(dfas)]
                 self._scanners = [stt.scanner() for stt in self._stts]
                 self._weight_tables = [stt.weights for stt in self._stts]
-                metas = [stt.meta() for stt in self._stts]
-                fused_meta = None
+                bundle_metas = [stt.meta() for stt in self._stts]
             if self.workers > 1:
                 self._ring = StagingRing(int(ring_bytes), int(ring_depth))
                 ctx = mp.get_context(start_method)
                 self._pool = ctx.Pool(
                     self.workers, initializer=_init_worker,
-                    initargs=(metas, self._ring.names, fused_meta,
-                              hotcold_meta, hotcold2_meta))
+                    initargs=(bundle_metas, self._ring.names))
         except BaseException:
             self.close()
             raise

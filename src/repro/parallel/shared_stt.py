@@ -15,6 +15,12 @@ widened to one column per raw byte value (stride 512), so workers gather
 directly on unfolded input and never materialize a folded copy of their
 shard.  The 2 KB/state cost lands in the one shared segment, not in
 every worker.
+
+These four classes are now thin compatibility shims over the generic
+:class:`repro.core.scan.bundle.SharedArrayBundle` — one manifest-driven
+pack/attach/unlink implementation instead of four hand-rolled copies.
+New code should export bundles through a kernel's ``shared_export()``
+and attach with :func:`repro.core.scan.bundle.scanner_from_bundle`.
 """
 
 from __future__ import annotations
@@ -22,11 +28,10 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 import numpy as np
-from multiprocessing import shared_memory
 
 from ..dfa.alphabet import FoldMap
 from ..dfa.automaton import DFA
-from ..core.compressed import ColdRowStore
+from ..core.scan.bundle import SharedArrayBundle, bundle_from_table
 from ..core.engine import (FlatScanner, FusedScanner, FusedTable,
                            HotCold2Scanner, HotCold2Table,
                            HotColdFusedScanner, HotColdFusedTable,
@@ -40,11 +45,57 @@ class SharedSTTError(Exception):
     """Raised for malformed or mismatched shared artifacts."""
 
 
-def _align(offset: int, alignment: int = 8) -> int:
-    return (offset + alignment - 1) & ~(alignment - 1)
+class _SharedShim:
+    """Common lifetime plumbing: every shim wraps one bundle."""
+
+    _bundle: SharedArrayBundle
+
+    @classmethod
+    def attach(cls, meta: Dict):
+        """Attach to an existing artifact from its metadata (worker
+        side).  Zero-copy: the returned object's arrays are views into
+        the creator's segment.  The attacher never unlinks."""
+        self = cls.__new__(cls)
+        self._bundle = SharedArrayBundle.attach(meta)
+        self._map_views()
+        return self
+
+    def _map_views(self) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def meta(self) -> Dict:
+        """Picklable attachment recipe for workers."""
+        return self._bundle.meta()
+
+    @property
+    def size_bytes(self) -> int:
+        return self._bundle.size_bytes
+
+    def close(self) -> None:
+        """Release this process's mapping; unlink too if we created it."""
+        bundle = getattr(self, "_bundle", None)
+        if bundle is None:
+            return
+        self._drop_views()
+        bundle.close()
+
+    def _drop_views(self) -> None:
+        pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass
 
 
-class SharedSTT:
+class SharedSTT(_SharedShim):
     """A DFA's scan artifact placed in (or attached from) shared memory.
 
     Parameters
@@ -97,78 +148,30 @@ class SharedSTT:
             weights = build_weight_table(dfa, symbol_width)
         final = np.ascontiguousarray(dfa.final_mask, dtype=np.uint8)
 
-        off_flat = 0
-        off_weights = _align(off_flat + flat.nbytes)
-        off_final = _align(off_weights + weights.nbytes)
-        off_fold = _align(off_final + final.nbytes)
-        size = off_fold + (256 if fold_table is not None else 0)
-
-        self._shm = shared_memory.SharedMemory(create=True, size=size)
-        self._owner = True
-        self._meta: Dict = {
-            "name": self._shm.name,
+        arrays = [("flat", flat), ("weights", weights), ("final", final)]
+        if fold_table is not None:
+            arrays.append(("fold_table", fold_table))
+        self._bundle = SharedArrayBundle("flat", arrays, {
             "num_states": dfa.num_states,
             "alphabet_size": dfa.alphabet_size,
             "symbol_width": symbol_width,
             "start": dfa.start,
-            "off_flat": off_flat,
-            "flat_cells": flat.size,
-            "off_weights": off_weights,
-            "weight_cells": weights.size,
-            "off_final": off_final,
-            "off_fold": off_fold if fold_table is not None else None,
-        }
+        })
         self._map_views()
-        self.flat[:] = flat
-        self.weights[:] = weights
-        self.final[:] = final
-        if fold_table is not None:
-            self.fold_table[:] = fold_table
-
-    @classmethod
-    def attach(cls, meta: Dict) -> "SharedSTT":
-        """Attach to an existing artifact from its metadata (worker side).
-
-        Zero-copy: the returned object's arrays are views into the
-        creator's segment.  The attacher never unlinks.
-        """
-        self = cls.__new__(cls)
-        # No resource-tracker unregister here: pool workers share the
-        # creator's (forked) tracker, whose registration set dedupes the
-        # attach-side registration; the creator's unlink clears it once.
-        self._shm = shared_memory.SharedMemory(name=meta["name"])
-        self._owner = False
-        self._meta = dict(meta)
-        self._map_views()
-        return self
 
     def _map_views(self) -> None:
-        m = self._meta
-        buf = self._shm.buf
-        self.num_states = m["num_states"]
-        self.alphabet_size = m["alphabet_size"]
-        self.symbol_width = m["symbol_width"]
-        self.start = m["start"]
-        self.flat = np.frombuffer(buf, dtype=np.int32,
-                                  count=m["flat_cells"],
-                                  offset=m["off_flat"])
-        self.weights = np.frombuffer(buf, dtype=np.int32,
-                                     count=m["weight_cells"],
-                                     offset=m["off_weights"])
-        self.final = np.frombuffer(buf, dtype=np.uint8,
-                                   count=m["num_states"],
-                                   offset=m["off_final"])
-        if m["off_fold"] is not None:
-            self.fold_table = np.frombuffer(buf, dtype=np.uint8, count=256,
-                                            offset=m["off_fold"])
-        else:
-            self.fold_table = None
+        b = self._bundle
+        self.num_states = b.scalar("num_states")
+        self.alphabet_size = b.scalar("alphabet_size")
+        self.symbol_width = b.scalar("symbol_width")
+        self.start = b.scalar("start")
+        self.flat = b["flat"]
+        self.weights = b["weights"]
+        self.final = b["final"]
+        self.fold_table = b.get("fold_table")
 
-    # -- use ----------------------------------------------------------------------
-
-    def meta(self) -> Dict:
-        """Picklable attachment recipe for workers."""
-        return dict(self._meta)
+    def _drop_views(self) -> None:
+        self.flat = self.weights = self.final = self.fold_table = None
 
     def scanner(self) -> FlatScanner:
         """A :class:`FlatScanner` running directly on the shared table."""
@@ -184,48 +187,14 @@ class SharedSTT:
             return None
         return self.alphabet_size
 
-    @property
-    def size_bytes(self) -> int:
-        return self._shm.size
-
-    # -- lifetime -----------------------------------------------------------------
-
-    def _drop_views(self) -> None:
-        self.flat = self.weights = self.final = self.fold_table = None
-
-    def close(self) -> None:
-        """Release this process's mapping; unlink too if we created it."""
-        if self._shm is None:
-            return
-        self._drop_views()
-        self._shm.close()
-        if self._owner:
-            try:
-                self._shm.unlink()
-            except FileNotFoundError:
-                pass
-        self._shm = None
-
-    def __enter__(self) -> "SharedSTT":
-        return self
-
-    def __exit__(self, *exc) -> None:
-        self.close()
-
-    def __del__(self) -> None:
-        try:
-            self.close()
-        except Exception:
-            pass
-
     def __repr__(self) -> str:
         return (f"SharedSTT(states={self.num_states}, "
                 f"alphabet={self.alphabet_size}, "
-                f"bytes={self._shm.size if self._shm else 0}, "
-                f"owner={self._owner})")
+                f"bytes={self.size_bytes if self._bundle._shm else 0}, "
+                f"owner={self._bundle._owner})")
 
 
-class SharedFusedTable:
+class SharedFusedTable(_SharedShim):
     """A fused multi-DFA stacked table (see
     :func:`repro.core.engine.fuse_tables`) in one shared segment.
 
@@ -237,77 +206,16 @@ class SharedFusedTable:
     """
 
     def __init__(self, table: FusedTable) -> None:
-        flat = np.ascontiguousarray(table.flat, dtype=np.int32)
-        weights = np.ascontiguousarray(table.weights, dtype=np.int32)
-        cell_base = np.ascontiguousarray(table.cell_base, dtype=np.int64)
-        starts = np.ascontiguousarray(table.starts, dtype=np.int64)
-        num_states = np.ascontiguousarray(table.num_states,
-                                          dtype=np.int64)
-        off_flat = 0
-        off_weights = _align(off_flat + flat.nbytes)
-        off_base = _align(off_weights + weights.nbytes)
-        off_starts = _align(off_base + cell_base.nbytes)
-        off_nstates = _align(off_starts + starts.nbytes)
-        size = off_nstates + num_states.nbytes
-
-        self._shm = shared_memory.SharedMemory(create=True, size=size)
-        self._owner = True
-        self._meta: Dict = {
-            "name": self._shm.name,
-            "num_dfas": int(len(cell_base)),
-            "symbol_width": int(table.symbol_width),
-            "off_flat": off_flat,
-            "flat_cells": int(flat.size),
-            "off_weights": off_weights,
-            "weight_cells": int(weights.size),
-            "off_base": off_base,
-            "off_starts": off_starts,
-            "off_nstates": off_nstates,
-        }
+        self._bundle = bundle_from_table(table)
         self._map_views()
-        self.table.flat[:] = flat
-        self.table.weights[:] = weights
-        self.table.cell_base[:] = cell_base
-        self.table.starts[:] = starts
-        self.table.num_states[:] = num_states
-
-    @classmethod
-    def attach(cls, meta: Dict) -> "SharedFusedTable":
-        """Attach to an existing fused artifact (worker side, zero-copy;
-        the attacher never unlinks)."""
-        self = cls.__new__(cls)
-        self._shm = shared_memory.SharedMemory(name=meta["name"])
-        self._owner = False
-        self._meta = dict(meta)
-        self._map_views()
-        return self
 
     def _map_views(self) -> None:
-        m = self._meta
-        buf = self._shm.buf
-        ndfa = m["num_dfas"]
-        self.num_dfas = ndfa
-        self.symbol_width = m["symbol_width"]
-        self.table = FusedTable(
-            flat=np.frombuffer(buf, dtype=np.int32,
-                               count=m["flat_cells"],
-                               offset=m["off_flat"]),
-            weights=np.frombuffer(buf, dtype=np.int32,
-                                  count=m["weight_cells"],
-                                  offset=m["off_weights"]),
-            cell_base=np.frombuffer(buf, dtype=np.int64, count=ndfa,
-                                    offset=m["off_base"]),
-            starts=np.frombuffer(buf, dtype=np.int64, count=ndfa,
-                                 offset=m["off_starts"]),
-            num_states=np.frombuffer(buf, dtype=np.int64, count=ndfa,
-                                     offset=m["off_nstates"]),
-            symbol_width=m["symbol_width"])
+        self.num_dfas = self._bundle.scalar("num_dfas")
+        self.symbol_width = self._bundle.scalar("symbol_width")
+        self.table = self._bundle.table()
 
-    # -- use ----------------------------------------------------------------------
-
-    def meta(self) -> Dict:
-        """Picklable attachment recipe for workers."""
-        return dict(self._meta)
+    def _drop_views(self) -> None:
+        self.table = None
 
     def scanner(self) -> FusedScanner:
         """A :class:`FusedScanner` running directly on the shared table."""
@@ -319,44 +227,13 @@ class SharedFusedTable:
             return None
         return self.symbol_width
 
-    @property
-    def size_bytes(self) -> int:
-        return self._shm.size
-
-    # -- lifetime -----------------------------------------------------------------
-
-    def close(self) -> None:
-        """Release this process's mapping; unlink too if we created it."""
-        if self._shm is None:
-            return
-        self.table = None
-        self._shm.close()
-        if self._owner:
-            try:
-                self._shm.unlink()
-            except FileNotFoundError:
-                pass
-        self._shm = None
-
-    def __enter__(self) -> "SharedFusedTable":
-        return self
-
-    def __exit__(self, *exc) -> None:
-        self.close()
-
-    def __del__(self) -> None:
-        try:
-            self.close()
-        except Exception:
-            pass
-
     def __repr__(self) -> str:
         return (f"SharedFusedTable(dfas={self.num_dfas}, "
-                f"bytes={self._shm.size if self._shm else 0}, "
-                f"owner={self._owner})")
+                f"bytes={self.size_bytes if self._bundle._shm else 0}, "
+                f"owner={self._bundle._owner})")
 
 
-class SharedHotColdTable:
+class SharedHotColdTable(_SharedShim):
     """A hot/cold union table (see
     :func:`repro.core.engine.build_hot_cold_table`) in one shared
     segment.
@@ -371,120 +248,17 @@ class SharedHotColdTable:
     """
 
     def __init__(self, table: HotColdFusedTable) -> None:
-        hot_flat = np.ascontiguousarray(table.hot_flat, dtype=np.int32)
-        weights = np.ascontiguousarray(table.weights, dtype=np.int32)
-        keys = np.ascontiguousarray(table.cold.keys, dtype=np.int64)
-        vals = np.ascontiguousarray(table.cold.vals, dtype=np.int32)
-        default_row = np.ascontiguousarray(table.cold.default_row,
-                                           dtype=np.int32)
-        fold_table = np.ascontiguousarray(table.fold_table,
-                                          dtype=np.uint8)
-        if fold_table.size != 256:
+        if np.asarray(table.fold_table).size != 256:
             raise SharedSTTError("fold table must map all 256 bytes")
-        hot_states = np.ascontiguousarray(table.hot_states,
-                                          dtype=np.int64)
-        cold_states = np.ascontiguousarray(table.cold_states,
-                                           dtype=np.int64)
-        entry_cells = np.ascontiguousarray(table.entry_cells,
-                                           dtype=np.int32)
-
-        off_hot = 0
-        off_weights = _align(off_hot + hot_flat.nbytes)
-        off_keys = _align(off_weights + weights.nbytes)
-        off_vals = _align(off_keys + keys.nbytes)
-        off_default = _align(off_vals + vals.nbytes)
-        off_fold = _align(off_default + default_row.nbytes)
-        off_hs = _align(off_fold + fold_table.nbytes)
-        off_cs = _align(off_hs + hot_states.nbytes)
-        off_entry = _align(off_cs + cold_states.nbytes)
-        size = off_entry + entry_cells.nbytes
-
-        self._shm = shared_memory.SharedMemory(create=True, size=size)
-        self._owner = True
-        self._meta: Dict = {
-            "name": self._shm.name,
-            "num_hot": int(table.num_hot),
-            "num_cold": int(table.num_cold),
-            "num_states": int(table.num_states),
-            "symbol_width": int(table.symbol_width),
-            "start": int(table.start),
-            "off_hot": off_hot,
-            "hot_cells": int(hot_flat.size),
-            "off_weights": off_weights,
-            "weight_cells": int(weights.size),
-            "off_keys": off_keys,
-            "cold_entries": int(keys.size),
-            "off_vals": off_vals,
-            "off_default": off_default,
-            "off_fold": off_fold,
-            "off_hs": off_hs,
-            "off_cs": off_cs,
-            "off_entry": off_entry,
-        }
-        # Fill before mapping: the cold store validates its sorted keys
-        # at construction, which a still-zeroed segment would fail.
-        buf = self._shm.buf
-        for arr, off in ((hot_flat, off_hot), (weights, off_weights),
-                         (keys, off_keys), (vals, off_vals),
-                         (default_row, off_default),
-                         (fold_table, off_fold), (hot_states, off_hs),
-                         (cold_states, off_cs),
-                         (entry_cells, off_entry)):
-            np.frombuffer(buf, dtype=arr.dtype, count=arr.size,
-                          offset=off)[:] = arr
+        self._bundle = bundle_from_table(table)
         self._map_views()
-
-    @classmethod
-    def attach(cls, meta: Dict) -> "SharedHotColdTable":
-        """Attach to an existing hot/cold artifact (worker side,
-        zero-copy; the attacher never unlinks)."""
-        self = cls.__new__(cls)
-        self._shm = shared_memory.SharedMemory(name=meta["name"])
-        self._owner = False
-        self._meta = dict(meta)
-        self._map_views()
-        return self
 
     def _map_views(self) -> None:
-        m = self._meta
-        buf = self._shm.buf
-        self.symbol_width = m["symbol_width"]
-        cold = ColdRowStore(
-            np.frombuffer(buf, dtype=np.int64, count=m["cold_entries"],
-                          offset=m["off_keys"]),
-            np.frombuffer(buf, dtype=np.int32, count=m["cold_entries"],
-                          offset=m["off_vals"]),
-            np.frombuffer(buf, dtype=np.int32, count=m["symbol_width"],
-                          offset=m["off_default"]),
-            m["num_cold"])
-        self.table = HotColdFusedTable(
-            hot_flat=np.frombuffer(buf, dtype=np.int32,
-                                   count=m["hot_cells"],
-                                   offset=m["off_hot"]),
-            weights=np.frombuffer(buf, dtype=np.int32,
-                                  count=m["weight_cells"],
-                                  offset=m["off_weights"]),
-            cold=cold,
-            fold_table=np.frombuffer(buf, dtype=np.uint8, count=256,
-                                     offset=m["off_fold"]),
-            hot_states=np.frombuffer(buf, dtype=np.int64,
-                                     count=m["num_hot"],
-                                     offset=m["off_hs"]),
-            cold_states=np.frombuffer(buf, dtype=np.int64,
-                                      count=m["num_cold"],
-                                      offset=m["off_cs"]),
-            entry_cells=np.frombuffer(buf, dtype=np.int32,
-                                      count=m["num_states"],
-                                      offset=m["off_entry"]),
-            start=m["start"],
-            num_states=m["num_states"],
-            symbol_width=m["symbol_width"])
+        self.symbol_width = self._bundle.scalar("symbol_width")
+        self.table = self._bundle.table()
 
-    # -- use ----------------------------------------------------------------------
-
-    def meta(self) -> Dict:
-        """Picklable attachment recipe for workers."""
-        return dict(self._meta)
+    def _drop_views(self) -> None:
+        self.table = None
 
     def scanner(self) -> HotColdFusedScanner:
         """A :class:`HotColdFusedScanner` on the shared table (union
@@ -496,45 +270,15 @@ class SharedHotColdTable:
         """Scans read raw bytes — the fold is part of the table."""
         return None
 
-    @property
-    def size_bytes(self) -> int:
-        return self._shm.size
-
-    # -- lifetime -----------------------------------------------------------------
-
-    def close(self) -> None:
-        """Release this process's mapping; unlink too if we created it."""
-        if self._shm is None:
-            return
-        self.table = None
-        self._shm.close()
-        if self._owner:
-            try:
-                self._shm.unlink()
-            except FileNotFoundError:
-                pass
-        self._shm = None
-
-    def __enter__(self) -> "SharedHotColdTable":
-        return self
-
-    def __exit__(self, *exc) -> None:
-        self.close()
-
-    def __del__(self) -> None:
-        try:
-            self.close()
-        except Exception:
-            pass
-
     def __repr__(self) -> str:
-        return (f"SharedHotColdTable(states={self._meta['num_states']}, "
-                f"hot={self._meta['num_hot']}, "
-                f"bytes={self._shm.size if self._shm else 0}, "
-                f"owner={self._owner})")
+        m = self._bundle._meta
+        return (f"SharedHotColdTable(states={m['num_states']}, "
+                f"hot={m['num_hot']}, "
+                f"bytes={self.size_bytes if self._bundle._shm else 0}, "
+                f"owner={self._bundle._owner})")
 
 
-class SharedHotCold2Table:
+class SharedHotCold2Table(_SharedShim):
     """A pair-symbol two-byte-stride table (see
     :func:`repro.core.engine.build_hot_cold2_table`) plus its base
     hot/cold union table in one shared segment.
@@ -548,120 +292,18 @@ class SharedHotCold2Table:
     :class:`SharedHotColdTable`.
     """
 
-    #: ``(array name, dtype)`` in segment order; ``wflat`` is appended
-    #: separately because its dtype adapts to the multiplicity range.
-    _FIXED = (("hot_flat", np.int32), ("weights", np.int32),
-              ("keys", np.int64), ("vals", np.int32),
-              ("default_row", np.int32), ("fold_table", np.uint8),
-              ("hot_states", np.int64), ("cold_states", np.int64),
-              ("entry_cells", np.int32), ("hot2_flat", np.int16),
-              ("fflat", np.uint8), ("foldpair", np.uint16),
-              ("utr", np.int16), ("order", np.int64),
-              ("rank_of", np.int64), ("wstate", np.int32),
-              ("fstate", np.int32))
-
     def __init__(self, table: HotCold2Table) -> None:
-        b = table.base
-        src = {"hot_flat": b.hot_flat, "weights": b.weights,
-               "keys": b.cold.keys, "vals": b.cold.vals,
-               "default_row": b.cold.default_row,
-               "fold_table": b.fold_table, "hot_states": b.hot_states,
-               "cold_states": b.cold_states,
-               "entry_cells": b.entry_cells,
-               "hot2_flat": table.hot2_flat, "fflat": table.fflat,
-               "foldpair": table.foldpair, "utr": table.utr,
-               "order": table.order, "rank_of": table.rank_of,
-               "wstate": table.wstate, "fstate": table.fstate}
-        arrays = [(name, np.ascontiguousarray(src[name], dtype=dt))
-                  for name, dt in self._FIXED]
-        arrays.append(("wflat", np.ascontiguousarray(table.wflat)))
-        if src["fold_table"].size != 256:
+        if np.asarray(table.base.fold_table).size != 256:
             raise SharedSTTError("fold table must map all 256 bytes")
-        meta: Dict = {
-            "num_hot": int(b.num_hot),
-            "num_cold": int(b.num_cold),
-            "num_states": int(b.num_states),
-            "symbol_width": int(b.symbol_width),
-            "start": int(b.start),
-            "wflat_dtype": arrays[-1][1].dtype.str,
-            "pair_budget_bytes": int(table.pair_budget_bytes),
-            "hot2_mass": (None if table.hot2_mass is None
-                          else float(table.hot2_mass)),
-        }
-        offset = 0
-        for name, arr in arrays:
-            offset = _align(offset)
-            meta[f"off_{name}"] = offset
-            meta[f"n_{name}"] = int(arr.size)
-            offset += arr.nbytes
-        self._shm = shared_memory.SharedMemory(create=True,
-                                               size=max(offset, 1))
-        self._owner = True
-        meta["name"] = self._shm.name
-        self._meta = meta
-        # Fill before mapping: the cold store validates its sorted keys
-        # at construction, which a still-zeroed segment would fail.
-        buf = self._shm.buf
-        for name, arr in arrays:
-            np.frombuffer(buf, dtype=arr.dtype, count=arr.size,
-                          offset=meta[f"off_{name}"])[:] = arr
+        self._bundle = bundle_from_table(table)
         self._map_views()
-
-    @classmethod
-    def attach(cls, meta: Dict) -> "SharedHotCold2Table":
-        """Attach to an existing pair-table artifact (worker side,
-        zero-copy; the attacher never unlinks)."""
-        self = cls.__new__(cls)
-        self._shm = shared_memory.SharedMemory(name=meta["name"])
-        self._owner = False
-        self._meta = dict(meta)
-        self._map_views()
-        return self
 
     def _map_views(self) -> None:
-        m = self._meta
-        buf = self._shm.buf
+        self.symbol_width = self._bundle.scalar("symbol_width")
+        self.table = self._bundle.table()
 
-        def view(name: str, dtype) -> np.ndarray:
-            return np.frombuffer(buf, dtype=dtype,
-                                 count=m[f"n_{name}"],
-                                 offset=m[f"off_{name}"])
-
-        self.symbol_width = m["symbol_width"]
-        cold = ColdRowStore(view("keys", np.int64),
-                            view("vals", np.int32),
-                            view("default_row", np.int32),
-                            m["num_cold"])
-        base = HotColdFusedTable(
-            hot_flat=view("hot_flat", np.int32),
-            weights=view("weights", np.int32),
-            cold=cold,
-            fold_table=view("fold_table", np.uint8),
-            hot_states=view("hot_states", np.int64),
-            cold_states=view("cold_states", np.int64),
-            entry_cells=view("entry_cells", np.int32),
-            start=m["start"],
-            num_states=m["num_states"],
-            symbol_width=m["symbol_width"])
-        self.table = HotCold2Table(
-            base=base,
-            hot2_flat=view("hot2_flat", np.int16),
-            wflat=view("wflat", np.dtype(m["wflat_dtype"])),
-            fflat=view("fflat", np.uint8),
-            foldpair=view("foldpair", np.uint16),
-            utr=view("utr", np.int16),
-            order=view("order", np.int64),
-            rank_of=view("rank_of", np.int64),
-            wstate=view("wstate", np.int32),
-            fstate=view("fstate", np.int32),
-            pair_budget_bytes=m["pair_budget_bytes"],
-            hot2_mass=m["hot2_mass"])
-
-    # -- use ----------------------------------------------------------------------
-
-    def meta(self) -> Dict:
-        """Picklable attachment recipe for workers."""
-        return dict(self._meta)
+    def _drop_views(self) -> None:
+        self.table = None
 
     def scanner(self) -> HotCold2Scanner:
         """A :class:`HotCold2Scanner` on the shared table (union
@@ -673,41 +315,13 @@ class SharedHotCold2Table:
         """Scans read raw bytes — the fold is part of the table."""
         return None
 
-    @property
-    def size_bytes(self) -> int:
-        return self._shm.size
-
-    # -- lifetime -----------------------------------------------------------------
-
-    def close(self) -> None:
-        """Release this process's mapping; unlink too if we created it."""
-        if self._shm is None:
-            return
-        self.table = None
-        self._shm.close()
-        if self._owner:
-            try:
-                self._shm.unlink()
-            except FileNotFoundError:
-                pass
-        self._shm = None
-
-    def __enter__(self) -> "SharedHotCold2Table":
-        return self
-
-    def __exit__(self, *exc) -> None:
-        self.close()
-
-    def __del__(self) -> None:
-        try:
-            self.close()
-        except Exception:
-            pass
-
     def __repr__(self) -> str:
-        w2 = self._meta["symbol_width"] ** 2
-        hot2 = (self._meta["n_hot2_flat"] - 1) // w2
-        return (f"SharedHotCold2Table(states={self._meta['num_states']},"
+        m = self._bundle._meta
+        w2 = m["symbol_width"] ** 2
+        n_hot2 = next(spec[3] for spec in m["arrays"]
+                      if spec[0] == "hot2_flat")
+        hot2 = (n_hot2 - 1) // w2
+        return (f"SharedHotCold2Table(states={m['num_states']},"
                 f" hot2={hot2}, "
-                f"bytes={self._shm.size if self._shm else 0}, "
-                f"owner={self._owner})")
+                f"bytes={self.size_bytes if self._bundle._shm else 0}, "
+                f"owner={self._bundle._owner})")
