@@ -13,7 +13,12 @@ step) and then calls this script, which fails the build when
 * any prefilter density row (low/mid/high) drops more than
   ``--tolerance`` on either its bare or its screened throughput (so a
   slower screen or a slower fall-through cannot hide behind the other
-  densities).
+  densities), or
+* the policy layer's verdict overhead (``BENCH_policy.json``, measured
+  against a bare session scan over identical traffic) exceeds
+  ``--policy-overhead-max`` percent — an absolute ceiling, not a
+  baseline diff, because "verdicts ride the scan nearly for free" is
+  the subsystem's contract.
 
 The headline backend defaults to the fastest backend recorded in the
 *baseline* (so a new backend cannot promote itself past the gate by
@@ -21,7 +26,8 @@ merely existing) and can be pinned with ``--backend``.  Backends or
 sweep rows present only on one side are reported but never gated — the
 gate protects against silent slowdowns of code that already shipped,
 not against roster changes.  A missing fused baseline file skips the
-per-D gate with a note (bootstrap-friendly).
+per-D gate with a note, and a missing ``BENCH_policy.json`` skips the
+overhead gate the same way (bootstrap-friendly).
 
 Throughput is compared as MB/s, which stays comparable when the block
 size differs between runs; a block-size mismatch is still called out in
@@ -53,6 +59,7 @@ DEFAULT_BASELINE = os.path.join(HERE, "baselines", "BENCH_backends.json")
 DEFAULT_FUSED_FRESH = os.path.join(HERE, "results", "BENCH_fused.json")
 DEFAULT_FUSED_BASELINE = os.path.join(HERE, "baselines",
                                       "BENCH_fused.json")
+DEFAULT_POLICY_FRESH = os.path.join(HERE, "results", "BENCH_policy.json")
 
 
 def _load(path, section="per_backend"):
@@ -190,6 +197,27 @@ def compare_fused(baseline, fresh, tolerance=0.30):
     return ok, lines
 
 
+def compare_policy(fresh, overhead_max=15.0):
+    """Return (ok, lines) gating the policy layer's verdict overhead."""
+    overhead = float(fresh.get("verdict_overhead_pct", 0.0))
+    ok = overhead <= overhead_max
+    verdict = "pass" if ok else "FAIL"
+    lines = [f"  {verdict}: verdict overhead {overhead:+.1f}% vs raw "
+             f"session scan (ceiling {overhead_max:.0f}%)"]
+    swaps = fresh.get("hot_swap", {})
+    for name in ("acme", "beta"):
+        run = swaps.get(name)
+        if not run:
+            continue
+        errors = int(run.get("errors", 0))
+        good = errors == 0
+        ok = ok and good
+        lines.append(f"  {'pass' if good else 'FAIL'}: tenant {name} "
+                     f"{run.get('requests', 0)} requests, "
+                     f"{errors} errors under rule hot-swap")
+    return ok, lines
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         description="fail when the headline backend regresses vs the "
@@ -206,6 +234,13 @@ def main(argv=None):
     parser.add_argument("--backend", default=None,
                         help="headline backend (default: fastest in "
                              "the baseline)")
+    parser.add_argument("--policy-fresh", default=DEFAULT_POLICY_FRESH,
+                        help="freshly generated BENCH_policy.json")
+    parser.add_argument(
+        "--policy-overhead-max", type=float,
+        default=float(os.environ.get("REPRO_POLICY_OVERHEAD_MAX", "15")),
+        help="max verdict overhead over a raw session scan, in percent "
+             "(default 15, or REPRO_POLICY_OVERHEAD_MAX)")
     parser.add_argument(
         "--tolerance", type=float,
         default=float(os.environ.get("REPRO_BENCH_TOLERANCE", "0.30")),
@@ -245,6 +280,19 @@ def main(argv=None):
     else:
         print(f"[bench gate] no fused baseline at {args.fused_baseline}"
               f" — per-D gate skipped")
+
+    if os.path.exists(args.policy_fresh):
+        policy_fresh = _load(args.policy_fresh,
+                             section="verdict_overhead_pct")
+        policy_ok, policy_lines = compare_policy(
+            policy_fresh, overhead_max=args.policy_overhead_max)
+        ok = ok and policy_ok
+        print("[bench gate: policy verdict overhead]")
+        for line in policy_lines:
+            print(line)
+    else:
+        print(f"[bench gate] no policy results at {args.policy_fresh}"
+              f" — verdict-overhead gate skipped")
     return 0 if ok else 2
 
 

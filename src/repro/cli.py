@@ -161,6 +161,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--metrics-json", metavar="PATH",
                        help="write the final metrics snapshot here at "
                             "shutdown")
+    serve.add_argument("--tenants-json", metavar="PATH",
+                       help="bootstrap tenants from a JSON file mapping "
+                            'name -> {"patterns": [...], "rules": '
+                            '[...], "regex": bool}')
 
     load = sub.add_parser("bench-load",
                           help="drive a daemon with the closed-loop "
@@ -198,6 +202,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="fraction of packets with a planted pattern")
     load.add_argument("--reloads", type=int, default=0,
                       help="hot reloads to fire while the load runs")
+    load.add_argument("--tenant", metavar="NAME",
+                      help="scope the load to one tenant (created on an "
+                           "in-process daemon with the load patterns; "
+                           "must already exist on a --connect daemon)")
     load.add_argument("--seed", type=int, default=0)
     load.add_argument("--json", metavar="PATH",
                       default="BENCH_service.json",
@@ -376,8 +384,16 @@ def _cmd_serve(args) -> int:
         drain_timeout=args.drain_timeout, max_flows=args.max_flows,
         session_policy=args.session_eviction,
         batch_max=args.batch_max, batch_wait=args.batch_wait)
+    tenants = None
+    if args.tenants_json:
+        with open(args.tenants_json, "r", encoding="utf-8") as fh:
+            tenants = json.load(fh)
+        if not isinstance(tenants, dict):
+            print("error: --tenants-json must hold a JSON object "
+                  "mapping tenant name -> config", file=sys.stderr)
+            return 2
     service = ScanService(patterns, config=config, regex=args.regex,
-                          cache=args.cache)
+                          cache=args.cache, tenants=tenants)
 
     async def _run() -> None:
         await service.start()
@@ -396,6 +412,8 @@ def _cmd_serve(args) -> int:
         print(f"admission: {config.admission}, {config.max_pending} in "
               f"flight; backend: {config.backend or 'auto'}; "
               f"Ctrl-C or SHUTDOWN to drain", flush=True)
+        if tenants:
+            print(f"tenants: {', '.join(sorted(tenants))}", flush=True)
         await service.wait_stopped()
 
     try:
@@ -440,6 +458,11 @@ def _cmd_bench_load(args) -> int:
                                            config=config)).start()
         host, port = handle.host, handle.port
     try:
+        if args.tenant and handle is not None:
+            # In-process daemon: materialize the tenant with the same
+            # dictionary the load generator plants matches from.
+            with ServiceClient(host, port) as tc:
+                tc.tenant_create(args.tenant, patterns)
         reload_stop = threading.Event()
         reload_thread = None
         if args.reloads > 0:
@@ -450,7 +473,7 @@ def _cmd_bench_load(args) -> int:
                 with ServiceClient(host, port) as rc:
                     sets = [patterns + ["bench-reload-extra"], patterns]
                     for i in range(args.reloads):
-                        rc.reload(sets[i % 2])
+                        rc.reload(sets[i % 2], tenant=args.tenant)
                         if i + 1 < args.reloads \
                                 and reload_stop.wait(0.1):
                             break
@@ -466,7 +489,8 @@ def _cmd_bench_load(args) -> int:
             min_size=args.min_size, max_size=args.max_size,
             patterns=[p.encode() for p in patterns],
             match_fraction=args.match_fraction,
-            seed=args.seed)
+            seed=args.seed,
+            tenant=args.tenant)
         reload_stop.set()
         if reload_thread is not None:
             reload_thread.join(timeout=30)

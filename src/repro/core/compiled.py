@@ -236,6 +236,19 @@ class CompiledDictionary:
     def global_pattern_id(self, slice_index: int, local_id: int) -> int:
         return self.groups[slice_index][local_id]
 
+    def pattern_locations(self) -> Dict[int, Tuple[int, int]]:
+        """Invert ``groups``: global pattern id → ``(slice, local_id)``.
+
+        This is the per-DFA slice projection the policy layer's ruleset
+        compiler binds against — a rule naming a pattern resolves to the
+        slice whose DFA reports it and the local output id it carries
+        there."""
+        locations: Dict[int, Tuple[int, int]] = {}
+        for si, group in enumerate(self.groups):
+            for local, gid in enumerate(group):
+                locations[gid] = (si, local)
+        return locations
+
     @property
     def regex_slices(self) -> List[Tuple[DFA, List[int]]]:
         """Regex-mode view: ``(dfa, global pattern ids)`` per slice."""

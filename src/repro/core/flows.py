@@ -107,6 +107,13 @@ class FlowMatcher:
         ``on_full`` policy as a scan."""
         self._record(flow_id)
 
+    def peek_state(self, flow_id: Hashable) -> int:
+        """The DFA state the flow's next packet will resume from,
+        without touching recency or registering the flow (an unknown
+        flow starts at the DFA start state)."""
+        record = self._flows.get(flow_id)
+        return record.state if record is not None else self.dfa.start
+
     def close_flow(self, flow_id: Hashable) -> Tuple[int, int]:
         """Evict a flow; returns its lifetime (bytes, matches)."""
         record = self._flows.pop(flow_id, None)

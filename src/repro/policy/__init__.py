@@ -1,0 +1,36 @@
+"""Policy layer: rules, verdicts and tenants over the scan core.
+
+The paper's engine answers "how many dictionary hits?"; a deployed DPI
+pipeline must answer "so what do we do with this flow?".  This package
+is that missing layer:
+
+* :mod:`~repro.policy.rules` — the rule model and the per-generation
+  ruleset compiler (pattern → rule binding through the dictionary's
+  per-DFA slice projection);
+* :mod:`~repro.policy.verdicts` — per-flow verdict state folded from
+  packet match deltas (first-match vs accumulate, trailing byte
+  windows, rate-limit token buckets);
+* :mod:`~repro.policy.tenants` — per-tenant dictionary + policy
+  generations with atomic hot-swap on the double-buffer idiom, and the
+  manager the daemon's TENANT/POLICY verbs drive.
+"""
+
+from .rules import (ACTIONS, MODES, SEVERITY, CompiledRuleSet,
+                    PolicyError, Rule, RuleSet)
+from .tenants import Tenant, TenantError, TenantManager
+from .verdicts import PacketVerdict, VerdictEngine
+
+__all__ = [
+    "ACTIONS",
+    "MODES",
+    "SEVERITY",
+    "CompiledRuleSet",
+    "PolicyError",
+    "Rule",
+    "RuleSet",
+    "Tenant",
+    "TenantError",
+    "TenantManager",
+    "PacketVerdict",
+    "VerdictEngine",
+]

@@ -16,6 +16,10 @@ production shape of the reproduction:
 * :mod:`~repro.service.client` — the blocking client;
 * :mod:`~repro.service.loadgen` — the closed-loop load generator
   behind ``repro bench-load``.
+
+The daemon also hosts the policy layer (:mod:`repro.policy`): tenants
+with isolated dictionaries and hot-swappable rulesets, reachable via
+the ``TENANT``/``POLICY`` verbs and a ``tenant`` header on scans.
 """
 
 from .client import ServiceClient, ServiceError
@@ -26,7 +30,7 @@ from .protocol import (RELOAD_STRATEGY, VERB_SPECS, VERBS, Frame,
                        ProtocolError)
 from .registry import (DictionaryRegistry, Generation, RegistryError,
                        ReloadResult)
-from .sessions import SessionScanner
+from .sessions import PacketScan, SessionScanner
 
 __all__ = [
     "ServiceClient",
@@ -47,5 +51,6 @@ __all__ = [
     "Generation",
     "RegistryError",
     "ReloadResult",
+    "PacketScan",
     "SessionScanner",
 ]

@@ -59,6 +59,13 @@ class FlowResult:
     flow_total: int       # lifetime matches of the flow
     generation: int
     seconds: float
+    #: Policy verdict for tenant-scoped flows (``forward`` = no rule
+    #: fired; tenant-less flows always forward).
+    action: str = "forward"
+    #: Rule that determined ``action`` (None = none fired).
+    rule: Optional[str] = None
+    #: Rules newly triggered by this packet.
+    triggered: List[str] = field(default_factory=list)
 
 
 @dataclass
@@ -145,8 +152,10 @@ class ServiceClient:
 
     def scan(self, data: Union[str, bytes], backend: Optional[str] = None,
              workers: Optional[int] = None,
-             events: bool = False) -> ScanResult:
-        """One-shot stateless scan of ``data``."""
+             events: bool = False,
+             tenant: Optional[str] = None) -> ScanResult:
+        """One-shot stateless scan of ``data`` (optionally through a
+        tenant's dictionary)."""
         raw = data.encode() if isinstance(data, str) else bytes(data)
         header: Dict[str, object] = {"verb": "SCAN"}
         if backend:
@@ -155,6 +164,8 @@ class ServiceClient:
             header["workers"] = workers
         if events:
             header["events"] = True
+        if tenant:
+            header["tenant"] = tenant
         h = self.request(header, raw).header
         return ScanResult(
             matches=int(h["matches"]),
@@ -168,28 +179,46 @@ class ServiceClient:
             events_truncated=int(h.get("events_truncated", 0)))
 
     def scan_packet(self, flow_id: Union[str, int],
-                    payload: Union[str, bytes]) -> FlowResult:
+                    payload: Union[str, bytes],
+                    tenant: Optional[str] = None) -> FlowResult:
         """Sessioned scan: ``payload`` continues flow ``flow_id``'s
-        byte stream (matches may span packet boundaries)."""
+        byte stream (matches may span packet boundaries).  With
+        ``tenant``, the packet is judged by the tenant's policy and the
+        result carries the verdict."""
         raw = payload.encode() if isinstance(payload, str) \
             else bytes(payload)
-        h = self.request({"verb": "FLOW", "flow": flow_id}, raw).header
+        header: Dict[str, object] = {"verb": "FLOW", "flow": flow_id}
+        if tenant:
+            header["tenant"] = tenant
+        h = self.request(header, raw).header
         return FlowResult(
             matches=int(h["matches"]),
             flow_total=int(h["flow_total"]),
             generation=int(h["generation"]),
-            seconds=float(h.get("seconds", 0.0)))
+            seconds=float(h.get("seconds", 0.0)),
+            action=str(h.get("action", "forward")),
+            rule=h.get("rule"),
+            triggered=list(h.get("triggered", [])))
 
-    def close_flow(self, flow_id: Union[str, int]) -> Tuple[int, int]:
+    def close_flow(self, flow_id: Union[str, int],
+                   tenant: Optional[str] = None) -> Tuple[int, int]:
         """Evict one flow; returns its lifetime ``(bytes, matches)``."""
-        h = self.request({"verb": "CLOSE_FLOW", "flow": flow_id}).header
+        header: Dict[str, object] = {"verb": "CLOSE_FLOW",
+                                     "flow": flow_id}
+        if tenant:
+            header["tenant"] = tenant
+        h = self.request(header).header
         return int(h["bytes_seen"]), int(h["matches"])
 
-    def reload(self, patterns: Iterable, regex: bool = False) -> ReloadReply:
-        """Hot-swap the daemon's dictionary; returns the new generation."""
+    def reload(self, patterns: Iterable, regex: bool = False,
+               tenant: Optional[str] = None) -> ReloadReply:
+        """Hot-swap the daemon's dictionary (or one tenant's); returns
+        the new generation."""
         payload = encode_patterns(list(patterns))
-        h = self.request({"verb": "RELOAD", "regex": regex},
-                         payload).header
+        header: Dict[str, object] = {"verb": "RELOAD", "regex": regex}
+        if tenant:
+            header["tenant"] = tenant
+        h = self.request(header, payload).header
         return ReloadReply(
             generation=int(h["generation"]),
             seconds=float(h["seconds"]),
@@ -199,6 +228,48 @@ class ServiceClient:
             states=int(h["states"]),
             flows_carried=int(h["flows_carried"]),
             raw=dict(h))
+
+    # -- tenants & policy ----------------------------------------------------------
+
+    def tenant_create(self, name: str, patterns: Iterable,
+                      rules: Optional[List[Dict[str, object]]] = None,
+                      mode: str = "first-match",
+                      regex: bool = False) -> Dict[str, object]:
+        """Register a tenant with its own dictionary and (optional)
+        ruleset; returns the creation reply header."""
+        header: Dict[str, object] = {"verb": "TENANT", "op": "create",
+                                     "name": name, "regex": regex}
+        if rules:
+            header["rules"] = list(rules)
+            header["mode"] = mode
+        payload = encode_patterns(list(patterns))
+        return dict(self.request(header, payload).header)
+
+    def tenant_delete(self, name: str) -> None:
+        self.request({"verb": "TENANT", "op": "delete", "name": name})
+
+    def tenants(self) -> List[str]:
+        h = self.request({"verb": "TENANT", "op": "list"}).header
+        return list(h.get("tenants", []))
+
+    def tenant_info(self, name: str) -> Dict[str, object]:
+        h = self.request({"verb": "TENANT", "op": "info",
+                          "name": name}).header
+        return dict(h.get("info", {}))
+
+    def set_policy(self, tenant: str,
+                   rules: List[Dict[str, object]],
+                   mode: str = "first-match") -> int:
+        """Hot-swap a tenant's ruleset; returns the policy generation."""
+        h = self.request({"verb": "POLICY", "op": "set",
+                          "tenant": tenant, "rules": list(rules),
+                          "mode": mode}).header
+        return int(h["policy_generation"])
+
+    def policy(self, tenant: str) -> Dict[str, object]:
+        """The tenant's active ruleset (specs + mode + generation)."""
+        return dict(self.request({"verb": "POLICY", "op": "get",
+                                  "tenant": tenant}).header)
 
     def stats(self) -> Dict[str, object]:
         """The daemon's metrics snapshot plus registry state."""

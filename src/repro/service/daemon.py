@@ -18,7 +18,14 @@ Layering:
   build can never starve the scan pool, then promote atomically via
   :class:`~repro.service.registry.DictionaryRegistry`;
 * :class:`~repro.service.metrics.ServiceMetrics` observes everything
-  and the ``STATS`` verb serves the snapshot.
+  and the ``STATS`` verb serves the snapshot;
+* the ``TENANT``/``POLICY`` verbs drive a
+  :class:`~repro.policy.tenants.TenantManager`: each tenant gets an
+  isolated dictionary registry, ruleset generation and verdict engine,
+  and ``SCAN``/``FLOW``/``CLOSE_FLOW``/``RELOAD`` route to it when the
+  request names a ``tenant`` (tenant-less requests serve from the
+  default registry exactly as before — the differential suite pins
+  the rule-free tenant path to it bit for bit).
 
 **Admission control**: at most ``max_pending`` scan requests are in
 flight; beyond that the daemon either rejects immediately with a
@@ -53,6 +60,8 @@ from typing import Dict, Optional, Sequence, Tuple
 from ..core.backends import BackendError, ScanRequest, execute, get_backend
 from ..core.compiled import CompileError
 from ..core.flows import FlowError
+from ..policy.rules import PolicyError, RuleSet
+from ..policy.tenants import Tenant, TenantError, TenantManager
 from .metrics import ServiceMetrics
 from .protocol import (MAX_FRAME_BYTES, RELOAD_STRATEGY, Frame,
                        ProtocolError, decode_patterns, encode_frame,
@@ -198,7 +207,8 @@ class ScanService:
     def __init__(self, patterns: Sequence, *,
                  config: Optional[ServiceConfig] = None,
                  fold=None, regex: bool = False, cache=None,
-                 max_states: int = 1 << 30) -> None:
+                 max_states: int = 1 << 30,
+                 tenants: Optional[Dict[str, Dict]] = None) -> None:
         self.config = config or ServiceConfig()
         self.config.validate()
         if self.config.backend is not None:
@@ -207,6 +217,20 @@ class ScanService:
             patterns, fold=fold, regex=regex, max_states=max_states,
             cache=cache, max_flows=self.config.max_flows,
             session_policy=self.config.session_policy)
+        # Tenant-scoped dictionaries + policies; the default registry
+        # above keeps serving tenant-less requests unchanged.
+        self.tenants = TenantManager(
+            cache=cache, max_flows=self.config.max_flows,
+            session_policy=self.config.session_policy,
+            max_states=max_states)
+        for name, spec in (tenants or {}).items():
+            rules = spec.get("rules")
+            if rules is not None and not isinstance(rules, RuleSet):
+                rules = RuleSet.from_specs(
+                    rules, mode=spec.get("mode", "first-match"))
+            self.tenants.create(
+                name, spec["patterns"], rules=rules,
+                regex=bool(spec.get("regex", False)))
         self.metrics = ServiceMetrics()
         self.host: Optional[str] = None
         self.port: Optional[int] = None
@@ -225,9 +249,19 @@ class ScanService:
             "FLOW": self._verb_flow,
             "CLOSE_FLOW": self._verb_close_flow,
             "RELOAD": self._verb_reload,
+            "TENANT": self._verb_tenant,
+            "POLICY": self._verb_policy,
             "STATS": self._verb_stats,
             "SHUTDOWN": self._verb_shutdown,
         }
+
+    def _tenant_of(self, frame: Frame) -> Optional[Tenant]:
+        """Resolve the optional ``tenant`` header field (None = the
+        default, tenant-less registry)."""
+        name = frame.header.get("tenant")
+        if name is None:
+            return None
+        return self.tenants.get(str(name))
 
     # -- lifecycle -----------------------------------------------------------------
 
@@ -278,6 +312,7 @@ class ScanService:
         self._scan_pool.shutdown(wait=True)
         self._reload_pool.shutdown(wait=True)
         self.registry.close()
+        self.tenants.close()
         self._stopped.set()
 
     async def _wait_drained(self) -> None:
@@ -352,7 +387,8 @@ class ScanService:
         try:
             return await handler(rid, frame)
         except (BackendError, ProtocolError, RegistryError,
-                CompileError, ValueError) as exc:
+                CompileError, PolicyError, TenantError,
+                ValueError) as exc:
             self.metrics.record_error()
             return self._error(rid, "bad-request", str(exc))
         except FlowError as exc:
@@ -413,12 +449,13 @@ class ScanService:
                  "generation": self.registry.generation}, b"")
 
     async def _verb_scan(self, rid, frame: Frame) -> Tuple[Dict, bytes]:
+        tenant = self._tenant_of(frame)
         backend = frame.header.get("backend") or self.config.backend
         with_events = bool(frame.header.get("events"))
         workers = int(frame.header.get("workers")
                       or self.config.workers)
-        if (self._batcher is not None and not with_events
-                and workers == 1
+        if (tenant is None and self._batcher is not None
+                and not with_events and workers == 1
                 and backend in (None, "auto", "fused")):
             return await self._scan_batched(rid, frame)
         admission = await self._admit(rid)
@@ -428,7 +465,9 @@ class ScanService:
             request = ScanRequest(data=frame.payload, workers=workers,
                                   with_events=with_events)
             loop = asyncio.get_running_loop()
-            with self.registry.lease() as gen:
+            registry = tenant.registry if tenant is not None \
+                else self.registry
+            with registry.lease() as gen:
                 outcome = await loop.run_in_executor(
                     self._scan_pool,
                     partial(execute, gen.ctx, request, backend))
@@ -444,6 +483,11 @@ class ScanService:
                     "workers": outcome.workers,
                     "seconds": outcome.seconds,
                 }
+                if tenant is not None:
+                    self.metrics.record_tenant_request(
+                        tenant.name, outcome.bytes_scanned,
+                        outcome.total_matches)
+                    header["tenant"] = tenant.name
                 if with_events and outcome.events is not None:
                     cap = self.config.max_events
                     header["events"] = [[e.end, e.pattern]
@@ -484,11 +528,15 @@ class ScanService:
         if flow_id is None:
             return self._error(rid, "bad-request",
                                "FLOW needs a 'flow' id")
+        tenant = self._tenant_of(frame)
         admission = await self._admit(rid)
         if admission is not None:
             return admission
         try:
             loop = asyncio.get_running_loop()
+            if tenant is not None:
+                return await self._flow_tenant(rid, tenant, flow_id,
+                                               frame.payload, loop)
             with self.registry.lease() as gen:
                 t0 = time.perf_counter()
                 new, total, evicted = await loop.run_in_executor(
@@ -508,12 +556,56 @@ class ScanService:
         finally:
             await self._release_slot()
 
+    async def _flow_tenant(self, rid, tenant: Tenant, flow_id,
+                           payload: bytes, loop) -> Tuple[Dict, bytes]:
+        """Tenant-scoped FLOW: session scan + verdict on the tenant's
+        dictionary and policy (the admission slot is already held)."""
+        t0 = time.perf_counter()
+        verdict, gen_id, evicted = await loop.run_in_executor(
+            self._scan_pool, tenant.scan_packet, flow_id, payload)
+        seconds = time.perf_counter() - t0
+        self.metrics.record_scan("flow", seconds, len(payload),
+                                 verdict.new_matches)
+        self.metrics.record_tenant_request(tenant.name, len(payload),
+                                           verdict.new_matches)
+        self.metrics.record_verdict(tenant.name, verdict.action,
+                                    verdict.seconds)
+        self.metrics.record_flow_evictions(evicted)
+        header: Dict[str, object] = {
+            "id": rid, "ok": True,
+            "generation": gen_id,
+            "tenant": tenant.name,
+            "flow": flow_id,
+            "matches": verdict.new_matches,
+            "flow_total": verdict.flow_total,
+            "bytes": len(payload),
+            "seconds": seconds,
+            "action": verdict.action,
+        }
+        if verdict.rule is not None:
+            header["rule"] = verdict.rule
+        if verdict.triggered:
+            header["triggered"] = list(verdict.triggered)
+        return header, b""
+
     async def _verb_close_flow(self, rid,
                                frame: Frame) -> Tuple[Dict, bytes]:
         flow_id = frame.header.get("flow")
         if flow_id is None:
             return self._error(rid, "bad-request",
                                "CLOSE_FLOW needs a 'flow' id")
+        tenant = self._tenant_of(frame)
+        if tenant is not None:
+            nbytes, matches, action = tenant.close_flow(flow_id)
+            header = {"id": rid, "ok": True,
+                      "generation": tenant.registry.generation,
+                      "tenant": tenant.name,
+                      "flow": flow_id,
+                      "bytes_seen": nbytes,
+                      "matches": matches}
+            if action is not None:
+                header["action"] = action
+            return header, b""
         with self.registry.lease() as gen:
             nbytes, matches = gen.sessions.close_flow(flow_id)
             return ({"id": rid, "ok": True,
@@ -525,25 +617,99 @@ class ScanService:
     async def _verb_reload(self, rid, frame: Frame) -> Tuple[Dict, bytes]:
         patterns = decode_patterns(frame.payload)
         regex = bool(frame.header.get("regex"))
+        tenant = self._tenant_of(frame)
         loop = asyncio.get_running_loop()
-        result = await loop.run_in_executor(
-            self._reload_pool,
-            partial(self.registry.load, patterns, regex=regex))
+        if tenant is not None:
+            result = await loop.run_in_executor(
+                self._reload_pool,
+                partial(tenant.load_dictionary, patterns, regex=regex))
+        else:
+            result = await loop.run_in_executor(
+                self._reload_pool,
+                partial(self.registry.load, patterns, regex=regex))
         self.metrics.record_reload(result.seconds, result.warm)
-        return ({"id": rid, "ok": True,
-                 "generation": result.generation,
-                 "seconds": result.seconds,
-                 "warm": result.warm,
-                 "patterns": result.patterns,
-                 "slices": result.slices,
-                 "states": result.states,
-                 "flows_carried": result.flows_carried}, b"")
+        header = {"id": rid, "ok": True,
+                  "generation": result.generation,
+                  "seconds": result.seconds,
+                  "warm": result.warm,
+                  "patterns": result.patterns,
+                  "slices": result.slices,
+                  "states": result.states,
+                  "flows_carried": result.flows_carried}
+        if tenant is not None:
+            header["tenant"] = tenant.name
+        return header, b""
+
+    async def _verb_tenant(self, rid, frame: Frame) -> Tuple[Dict, bytes]:
+        op = str(frame.header.get("op", "list"))
+        if op == "list":
+            return ({"id": rid, "ok": True,
+                     "tenants": self.tenants.names()}, b"")
+        name = frame.header.get("name")
+        if not name:
+            return self._error(rid, "bad-request",
+                               f"TENANT {op} needs a 'name'")
+        name = str(name)
+        if op == "create":
+            patterns = decode_patterns(frame.payload)
+            rules = None
+            if frame.header.get("rules"):
+                rules = RuleSet.from_specs(
+                    frame.header["rules"],
+                    mode=str(frame.header.get("mode", "first-match")))
+            loop = asyncio.get_running_loop()
+            tenant = await loop.run_in_executor(
+                self._reload_pool,
+                partial(self.tenants.create, name, patterns,
+                        rules=rules,
+                        regex=bool(frame.header.get("regex"))))
+            return ({"id": rid, "ok": True, "tenant": name,
+                     "generation": tenant.registry.generation,
+                     "policy_generation": tenant.policy_generation,
+                     "rules": len(tenant.ruleset.rules),
+                     "patterns": len(patterns)}, b"")
+        if op == "delete":
+            self.tenants.drop(name)
+            self.metrics.forget_tenant(name)
+            return ({"id": rid, "ok": True, "tenant": name,
+                     "deleted": True}, b"")
+        if op == "info":
+            tenant = self.tenants.get(name)
+            return ({"id": rid, "ok": True, "tenant": name,
+                     "info": tenant.describe()}, b"")
+        return self._error(rid, "bad-request",
+                           f"unknown TENANT op {op!r} (create/delete/"
+                           f"list/info)")
+
+    async def _verb_policy(self, rid, frame: Frame) -> Tuple[Dict, bytes]:
+        name = frame.header.get("tenant")
+        if not name:
+            return self._error(rid, "bad-request",
+                               "POLICY needs a 'tenant'")
+        tenant = self.tenants.get(str(name))
+        op = str(frame.header.get("op", "get"))
+        if op == "get":
+            return ({"id": rid, "ok": True, "tenant": tenant.name,
+                     "policy_generation": tenant.policy_generation,
+                     "mode": tenant.ruleset.mode,
+                     "rules": tenant.ruleset.to_specs()}, b"")
+        if op == "set":
+            rules = RuleSet.from_specs(
+                frame.header.get("rules", []),
+                mode=str(frame.header.get("mode", "first-match")))
+            generation = tenant.set_rules(rules)
+            return ({"id": rid, "ok": True, "tenant": tenant.name,
+                     "policy_generation": generation,
+                     "rules": len(rules)}, b"")
+        return self._error(rid, "bad-request",
+                           f"unknown POLICY op {op!r} (set/get)")
 
     async def _verb_stats(self, rid, frame: Frame) -> Tuple[Dict, bytes]:
         return ({"id": rid, "ok": True,
                  "generation": self.registry.generation,
                  "metrics": self.metrics.snapshot(),
                  "registry": self.registry.describe(),
+                 "tenants": self.tenants.describe(),
                  "reload_strategy": RELOAD_STRATEGY,
                  "config": {
                      "backend": self.config.backend or "auto",

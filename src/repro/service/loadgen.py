@@ -51,6 +51,10 @@ class LoadResult:
     #: the run crossed at least one hot reload.
     generations: List[int] = field(default_factory=list)
     error_codes: Dict[str, int] = field(default_factory=dict)
+    #: Tenant the load was aimed at (None = default dictionary).
+    tenant: Optional[str] = None
+    #: Verdict actions observed in FLOW responses (tenant runs).
+    actions: Dict[str, int] = field(default_factory=dict)
 
     @property
     def gbps(self) -> float:
@@ -84,17 +88,24 @@ class LoadResult:
                 "mean": self.mean_ms,
             },
             "generations": list(self.generations),
+            "tenant": self.tenant,
+            "actions": dict(self.actions),
         }
 
     def summary(self) -> str:
         gens = ",".join(str(g) for g in self.generations)
-        return (f"{self.requests} requests on {self.connections} "
+        where = f" tenant={self.tenant}" if self.tenant else ""
+        acts = ""
+        if self.actions:
+            acts = " | verdicts " + ",".join(
+                f"{k}:{v}" for k, v in sorted(self.actions.items()))
+        return (f"{self.requests} requests{where} on {self.connections} "
                 f"connection(s) in {self.seconds:.2f}s | "
                 f"{self.gbps:.4f} Gbps, "
                 f"{self.requests_per_second:.0f} req/s | latency "
                 f"p50 {self.p50_ms:.2f} / p95 {self.p95_ms:.2f} / "
                 f"p99 {self.p99_ms:.2f} ms | errors {self.errors} | "
-                f"generation(s) {gens}")
+                f"generation(s) {gens}{acts}")
 
 
 class _Worker(threading.Thread):
@@ -102,7 +113,8 @@ class _Worker(threading.Thread):
 
     def __init__(self, host: str, port: int, packets: Sequence[bytes],
                  mode: str, flows: int, index: int,
-                 barrier: threading.Barrier) -> None:
+                 barrier: threading.Barrier,
+                 tenant: Optional[str] = None) -> None:
         super().__init__(daemon=True, name=f"loadgen-{index}")
         self.host, self.port = host, port
         self.packets = packets
@@ -110,11 +122,13 @@ class _Worker(threading.Thread):
         self.flows = flows
         self.index = index
         self.barrier = barrier
+        self.tenant = tenant
         self.latencies: List[float] = []
         self.errors: Dict[str, int] = {}
         self.bytes_sent = 0
         self.matches = 0
         self.generations: set = set()
+        self.actions: Dict[str, int] = {}
 
     def run(self) -> None:
         try:
@@ -130,9 +144,12 @@ class _Worker(threading.Thread):
                 try:
                     if self.mode == "flow":
                         flow_id = f"c{self.index}-f{j % self.flows}"
-                        reply = client.scan_packet(flow_id, packet)
+                        reply = client.scan_packet(flow_id, packet,
+                                                   tenant=self.tenant)
+                        self.actions[reply.action] = \
+                            self.actions.get(reply.action, 0) + 1
                     else:
-                        reply = client.scan(packet)
+                        reply = client.scan(packet, tenant=self.tenant)
                 except ServiceError as exc:
                     self.errors[exc.code] = \
                         self.errors.get(exc.code, 0) + 1
@@ -156,13 +173,18 @@ def run_load(host: str, port: int, *,
              alphabet_size: int = 256,
              patterns: Optional[Sequence[bytes]] = None,
              match_fraction: float = 0.2,
-             seed: int = 0) -> LoadResult:
+             seed: int = 0,
+             tenant: Optional[str] = None) -> LoadResult:
     """Drive a running daemon in closed loop and measure it.
 
     ``mode="scan"`` sends stateless one-shot scans; ``mode="flow"``
     spreads each connection's packets over ``flows_per_connection``
     session flows.  Each connection gets its own deterministic packet
-    burst (``seed + index``), optionally planted with ``patterns``.
+    burst (``seed + index``) and deterministic flow ids, so a FLOW-mode
+    run is reproducible end to end from ``seed`` alone; payloads are
+    optionally planted with ``patterns``.  With ``tenant``, every
+    request routes through that tenant's dictionary and policy, and
+    FLOW-mode results tally the verdict actions observed.
     """
     if mode not in ("scan", "flow"):
         raise ValueError(f"mode must be 'scan' or 'flow', got {mode!r}")
@@ -177,7 +199,7 @@ def run_load(host: str, port: int, *,
                               patterns=patterns,
                               match_fraction=match_fraction,
                               seed=seed + i),
-                mode, flows_per_connection, i, barrier)
+                mode, flows_per_connection, i, barrier, tenant=tenant)
         for i in range(connections)]
     for w in workers:
         w.start()
@@ -193,6 +215,10 @@ def run_load(host: str, port: int, *,
         for code, n in w.errors.items():
             error_codes[code] = error_codes.get(code, 0) + n
     generations = sorted({g for w in workers for g in w.generations})
+    actions: Dict[str, int] = {}
+    for w in workers:
+        for act, n in w.actions.items():
+            actions[act] = actions.get(act, 0) + n
     return LoadResult(
         mode=mode,
         connections=connections,
@@ -207,4 +233,6 @@ def run_load(host: str, port: int, *,
         mean_ms=(sum(latencies) / len(latencies) * 1e3)
         if latencies else 0.0,
         generations=generations,
-        error_codes=error_codes)
+        error_codes=error_codes,
+        tenant=tenant,
+        actions=actions)

@@ -9,7 +9,10 @@ tables become *live* numbers here.  :class:`ServiceMetrics` aggregates
 * reload counts, warm (artifact-cache hit) reload counts and swap
   latency;
 * admission-control outcomes (rejections, timeouts) and the pending
-  queue's depth high-water mark.
+  queue's depth high-water mark;
+* per-tenant request/byte/match counters, per-action verdict counts
+  and the verdict-path latency histogram — keyed by tenant name only,
+  so tenants can audit their own traffic without seeing anyone else's.
 
 Everything is guarded by one lock — the recording paths are a handful
 of integer updates, so contention is negligible next to a scan — and
@@ -118,6 +121,10 @@ class ServiceMetrics:
         self.batched_requests = 0
         self.batch_high_water = 0
         self._scanners: Dict[int, Dict[str, object]] = {}
+        # Per-tenant isolation: every counter below is keyed by tenant
+        # name and only ever touched by that tenant's requests, so one
+        # tenant's traffic can never leak into another's STATS view.
+        self._tenants: Dict[str, Dict[str, object]] = {}
 
     # -- recording -----------------------------------------------------------------
 
@@ -189,6 +196,38 @@ class ServiceMetrics:
             with self._lock:
                 self.flow_evictions += count
 
+    def _tenant_slot(self, tenant: str) -> Dict[str, object]:
+        slot = self._tenants.get(tenant)
+        if slot is None:
+            slot = self._tenants[tenant] = {
+                "requests": 0, "bytes_scanned": 0, "matches": 0,
+                "actions": {}, "verdict_latency": LatencyHistogram()}
+        return slot
+
+    def record_tenant_request(self, tenant: str, nbytes: int,
+                              matches: int) -> None:
+        """One tenant-scoped SCAN/FLOW served."""
+        with self._lock:
+            slot = self._tenant_slot(tenant)
+            slot["requests"] += 1
+            slot["bytes_scanned"] += nbytes
+            slot["matches"] += matches
+
+    def record_verdict(self, tenant: str, action: str,
+                       seconds: float) -> None:
+        """One packet verdict: per-action count + policy-path latency
+        (attribution + rule evaluation, excluding the scan itself)."""
+        with self._lock:
+            slot = self._tenant_slot(tenant)
+            actions = slot["actions"]
+            actions[action] = actions.get(action, 0) + 1
+            slot["verdict_latency"].record(seconds)
+
+    def forget_tenant(self, tenant: str) -> None:
+        """Drop a deleted tenant's counters (its name may be reused)."""
+        with self._lock:
+            self._tenants.pop(tenant, None)
+
     def set_queue_depth(self, depth: int) -> None:
         with self._lock:
             self.queue_depth = depth
@@ -228,6 +267,16 @@ class ServiceMetrics:
                                        if self.batches else 0.0),
                     "max_occupancy": self.batch_high_water,
                 },
+                "tenants": {
+                    name: {
+                        "requests": slot["requests"],
+                        "bytes_scanned": slot["bytes_scanned"],
+                        "matches": slot["matches"],
+                        "actions": dict(slot["actions"]),
+                        "verdict_latency":
+                            slot["verdict_latency"].snapshot(),
+                    }
+                    for name, slot in self._tenants.items()},
                 "backends": {name: hist.snapshot()
                              for name, hist in self._backends.items()},
                 "scanners": {

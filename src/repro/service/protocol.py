@@ -19,6 +19,12 @@ consume: no sentinels, no escaping, no ambiguity at chunk boundaries
 Requests carry ``{"verb": ..., "id": ...}`` plus verb-specific fields;
 responses echo ``id`` and always carry ``ok`` and — the hot-reload
 contract — the ``generation`` of the dictionary that served them.
+``SCAN``/``FLOW``/``CLOSE_FLOW``/``RELOAD`` take an optional
+``"tenant"`` header field routing them to that tenant's isolated
+dictionary and policy (absent = the daemon's default dictionary);
+``TENANT`` reuses the line-delimited pattern payload for ``create`` and
+``POLICY`` carries rule specs as a JSON list in the header (rules are
+tiny structured data, payloads are for traffic).
 
 This module is stdlib-only (no numpy, no asyncio imports) so the client
 and ``repro info`` can load it without pulling in the engines.
@@ -65,6 +71,10 @@ VERB_SPECS: List[Tuple[str, str]] = [
     ("FLOW", "sessioned scan: payload joins the flow's byte stream"),
     ("CLOSE_FLOW", "evict one flow; returns its lifetime bytes/matches"),
     ("RELOAD", "hot dictionary swap: stage, compile, promote atomically"),
+    ("TENANT", "tenant lifecycle: create/delete/list/info isolated "
+               "dictionary+policy namespaces"),
+    ("POLICY", "rule hot-swap: stage a tenant's ruleset, promote "
+               "atomically (set/get)"),
     ("STATS", "metrics snapshot: counters, latency quantiles, reloads"),
     ("SHUTDOWN", "graceful drain: finish in-flight requests, then stop"),
 ]

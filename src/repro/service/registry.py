@@ -28,7 +28,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 from ..core.backends import ScanContext
 from ..core.compiled import (COUNTERS, ArtifactCache, CompiledDictionary,
@@ -61,6 +61,10 @@ class Generation:
         self._leases = 0
         self._retired = False
         self._closed = False
+        # Runs once when the retired generation's last lease drains —
+        # the registry hooks the final session carry here so packets
+        # scanned through a surviving lease are merged, not lost.
+        self.on_drained: Optional[Callable[[], None]] = None
 
     # -- lease management ----------------------------------------------------------
 
@@ -81,7 +85,7 @@ class Generation:
             if close_now:
                 self._closed = True
         if close_now:
-            self.ctx.close()
+            self._drained()
 
     def retire(self) -> None:
         """Mark retired; resources are released once leases drain."""
@@ -93,7 +97,13 @@ class Generation:
             if close_now:
                 self._closed = True
         if close_now:
-            self.ctx.close()
+            self._drained()
+
+    def _drained(self) -> None:
+        hook, self.on_drained = self.on_drained, None
+        if hook is not None:
+            hook()
+        self.ctx.close()
 
     @property
     def leases(self) -> int:
@@ -154,8 +164,10 @@ class DictionaryRegistry:
         self._max_flows = max_flows
         self._session_policy = session_policy
         # Serializes reloads end to end (compile + stage + promote);
-        # scans never take it.
-        self._reload_lock = threading.Lock()
+        # scans never take it.  Reentrant because a retiring generation
+        # with zero leases drains inline within load(), and its drain
+        # hook re-enters to absorb leftover session totals.
+        self._reload_lock = threading.RLock()
         self._closed = False
         self.swap_count = 0
         self.last_swap_seconds = 0.0
@@ -225,8 +237,13 @@ class DictionaryRegistry:
             retired = self._buffer.promote()
             # Carry sessions *after* the flip: new flow packets already
             # route to the incoming generation, and carry_from merges
-            # with any that raced the promotion.
+            # with any that raced the promotion.  A lease taken before
+            # the flip may still scan into the retired tables after
+            # this carry — the drain hook moves that remainder over
+            # when the last lease releases, so no totals are lost.
             flows = incoming.sessions.carry_from(retired.sessions)
+            retired.on_drained = (
+                lambda old=retired.sessions: self._absorb(old))
             retired.retire()
             seconds = time.perf_counter() - t0
             self.swap_count += 1
@@ -239,6 +256,15 @@ class DictionaryRegistry:
                 slices=incoming.compiled.num_slices,
                 states=incoming.compiled.total_states,
                 flows_carried=flows)
+
+    def _absorb(self, old_sessions: SessionScanner) -> None:
+        """Drain-time carry: merge a fully retired generation's
+        leftover session totals into whatever generation is active
+        *now*.  Runs under the reload lock so a concurrent promote
+        cannot strand the totals in another retiring generation."""
+        with self._reload_lock:
+            if not self._closed:
+                self._buffer.active.sessions.carry_from(old_sessions)
 
     # -- lifecycle -----------------------------------------------------------------
 
@@ -260,6 +286,7 @@ class DictionaryRegistry:
     def describe(self) -> dict:
         """Registry state for STATS and ``repro serve`` banners."""
         active = self._buffer.active
+        sessions = active.sessions.stats()
         return {
             "generation": active.gen_id,
             "patterns": active.compiled.num_patterns,
@@ -267,7 +294,8 @@ class DictionaryRegistry:
             "states": active.compiled.total_states,
             "fingerprint": active.compiled.fingerprint[:12],
             "regex": active.compiled.regex,
-            "flows": active.sessions.num_flows,
+            "flows": sessions["flows"],
+            "sessions": sessions,
             "swaps": self.swap_count,
             "last_swap_ms": self.last_swap_seconds * 1e3,
         }

@@ -21,11 +21,32 @@ half-tile STT replacement gives the lanes it restarts.
 from __future__ import annotations
 
 import threading
+from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Tuple
 
 from ..core.flows import FlowError, FlowMatcher
 
-__all__ = ["SessionScanner", "FlowError"]
+__all__ = ["PacketScan", "SessionScanner", "FlowError"]
+
+
+@dataclass
+class PacketScan:
+    """One packet's scan, with per-slice detail for the policy layer.
+
+    ``per_slice[i]`` is the match delta slice ``i``'s DFA produced for
+    this packet and ``pre_states[i]`` the state that slice resumed from
+    — together with ``folded`` that is everything a ruleset needs to
+    attribute the delta to individual dictionary entries (the same
+    slice projection the union automaton's layout uses).
+    """
+
+    new: int                      # total new matches, all slices
+    flow_total: int               # lifetime matches of the flow
+    per_slice: List[int] = field(default_factory=list)
+    pre_states: List[int] = field(default_factory=list)
+    folded: bytes = b""
+    #: Flow ids the LRU policy dropped to admit this packet.
+    evicted: List[Hashable] = field(default_factory=list)
 
 
 class SessionScanner:
@@ -54,6 +75,13 @@ class SessionScanner:
         # carry_from, pruned when the LRU policy evicts the flow.
         self._totals: Dict[Hashable, List[int]] = {}
         self._seen_evictions = 0
+        # Evictions inherited from retired generations (carry_from), so
+        # the operator-facing counter is cumulative across reloads.
+        self._carried_evictions = 0
+        # Evictions a successor already adopted — carry_from may run
+        # twice on the same retiring scanner (once at promote, once
+        # when its last lease drains) and must not double-count.
+        self._evictions_handed_off = 0
 
     # -- introspection -------------------------------------------------------------
 
@@ -64,26 +92,36 @@ class SessionScanner:
 
     @property
     def evictions(self) -> int:
-        return self._matchers[0].evictions if self._matchers else 0
+        own = self._matchers[0].evictions if self._matchers else 0
+        return own + self._carried_evictions
 
     def flow_ids(self) -> List[Hashable]:
         with self._lock:
             return list(self._totals)
 
+    def stats(self) -> Dict[str, int]:
+        """Operator-facing session-table counters (STATS surface)."""
+        with self._lock:
+            return {
+                "flows": len(self._totals),
+                "evictions": self.evictions,
+                "max_flows": self.max_flows,
+            }
+
     # -- scanning ------------------------------------------------------------------
 
-    def _prune_evicted(self) -> int:
-        """Drop totals of flows the LRU policy evicted; returns how many
-        were dropped (only walks the table when an eviction happened)."""
+    def _prune_evicted(self) -> List[Hashable]:
+        """Drop totals of flows the LRU policy evicted; returns their
+        ids (only walks the table when an eviction happened)."""
         evictions = self._matchers[0].evictions
         if evictions == self._seen_evictions:
-            return 0
+            return []
         self._seen_evictions = evictions
         live = set(self._matchers[0].flow_ids())
         dead = [fid for fid in self._totals if fid not in live]
         for fid in dead:
             del self._totals[fid]
-        return len(dead)
+        return dead
 
     def scan_packet(self, flow_id: Hashable,
                     payload: bytes) -> Tuple[int, int, int]:
@@ -93,16 +131,33 @@ class SessionScanner:
         ``evicted`` counts flows the LRU policy dropped to admit this
         one.
         """
+        detail = self.scan_packet_detail(flow_id, payload)
+        return detail.new, detail.flow_total, len(detail.evicted)
+
+    def scan_packet_detail(self, flow_id: Hashable,
+                           payload: bytes) -> PacketScan:
+        """Scan one packet and keep the per-slice evidence.
+
+        Same totals as :meth:`scan_packet` — the policy layer's verdict
+        engine consumes the per-slice deltas and pre-packet states to
+        attribute matches to rules without a second scan of the common
+        (no-match) case.
+        """
         with self._lock:
             folded = self.compiled.fold.fold_bytes(payload)
-            new = 0
+            per_slice: List[int] = []
+            pre_states: List[int] = []
             for matcher in self._matchers:
-                new += matcher.scan_packet(flow_id, folded)
+                pre_states.append(matcher.peek_state(flow_id))
+                per_slice.append(matcher.scan_packet(flow_id, folded))
+            new = sum(per_slice)
             evicted = self._prune_evicted()
             total = self._totals.setdefault(flow_id, [0, 0])
             total[0] += len(payload)
             total[1] += new
-            return new, total[1], evicted
+            return PacketScan(new=new, flow_total=total[1],
+                              per_slice=per_slice, pre_states=pre_states,
+                              folded=folded, evicted=evicted)
 
     def close_flow(self, flow_id: Hashable) -> Tuple[int, int]:
         """Evict one flow; returns its lifetime ``(bytes, matches)``
@@ -129,21 +184,29 @@ class SessionScanner:
     def carry_from(self, old: "SessionScanner") -> int:
         """Adopt the live flows of a retiring generation's scanner.
 
-        Lifetime totals transfer; DFA states do not (restart-at-
-        generation).  Flows are re-registered in this generation's
-        matchers, in the old LRU order, so they stay first in line for
-        eviction and the tables remain consistent.  Returns the number
-        of flows carried.
+        Lifetime totals *move* (the old table is emptied); DFA states
+        do not transfer (restart-at-generation).  Flows are
+        re-registered in this generation's matchers, in the old LRU
+        order, so they stay first in line for eviction and the tables
+        remain consistent.  Move semantics make the carry idempotent-
+        by-delta: the registry runs it again when the retired
+        generation's last lease drains, so packets scanned through a
+        lease that survived the promote are merged too, not lost.
+        Returns the number of flows carried.
         """
         with old._lock:
             # Old LRU order (least-recently-scanned first) so recency
             # survives the swap.
+            self._carried_evictions += \
+                old.evictions - old._evictions_handed_off
+            old._evictions_handed_off = old.evictions
             order = old._matchers[0].flow_ids() if old._matchers else []
             totals = {fid: list(old._totals[fid]) for fid in order
                       if fid in old._totals}
             for fid, t in old._totals.items():
                 if fid not in totals:
                     totals[fid] = list(t)
+            old._totals.clear()
         with self._lock:
             carried = 0
             for fid, t in totals.items():

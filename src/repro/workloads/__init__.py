@@ -3,8 +3,9 @@
 from .corpora import english_like, http_requests, log_lines
 from .dictionary import (ascii_keywords, prefix_heavy_signatures,
                          random_signatures, signatures_for_states)
-from .traffic import (adversarial_payload, packet_stream, plant_matches,
-                      random_payload, streams_for_tile)
+from .traffic import (TrafficPacket, adversarial_payload, http_payload,
+                      packet_stream, plant_matches, random_payload,
+                      streams_for_tile, tenant_traffic)
 
 __all__ = [
     "english_like",
@@ -19,4 +20,7 @@ __all__ = [
     "plant_matches",
     "random_payload",
     "streams_for_tile",
+    "TrafficPacket",
+    "http_payload",
+    "tenant_traffic",
 ]

@@ -9,15 +9,18 @@ with the properties that matter to the engines under test:
   hits, so counting paths are exercised end to end;
 * **adversarial payloads** — inputs crafted to degrade heuristic skippers
   (Boyer–Moore/Wu–Manber), demonstrating the overload-attack argument of
-  §1 while the DFA's cost stays flat.
+  §1 while the DFA's cost stays flat;
+* **multi-tenant DPI scenarios** — protocol-shaped (HTTP-ish) packets
+  interleaved across tenants and flows with seeded attack insertions,
+  the input shape of the policy layer's verdict benchmarks.
 
 Everything is deterministic under a caller-provided seed.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -27,6 +30,9 @@ __all__ = [
     "packet_stream",
     "adversarial_payload",
     "streams_for_tile",
+    "TrafficPacket",
+    "http_payload",
+    "tenant_traffic",
 ]
 
 
@@ -110,6 +116,117 @@ def adversarial_payload(pattern: bytes, length: int,
     block[idx] = (block[idx] + 1) % 32
     reps = -(-length // len(block))
     return bytes(block * reps)[:length]
+
+
+_HTTP_METHODS = (b"GET", b"POST", b"PUT", b"HEAD")
+_HTTP_PATHS = (b"/", b"/index.html", b"/api/v1/items", b"/login",
+               b"/static/app.js", b"/search?q=test", b"/upload",
+               b"/health")
+_HTTP_AGENTS = (b"curl/8.4.0", b"Mozilla/5.0", b"python-requests/2.31",
+                b"Go-http-client/1.1")
+_BODY_MIXES = ("text", "binary", "base64ish")
+
+
+@dataclass
+class TrafficPacket:
+    """One packet of a multi-tenant DPI scenario.
+
+    ``attacks`` lists the dictionary entries planted into this payload
+    (empty for clean traffic) — ground truth for asserting that verdict
+    counts line up with what the generator injected.
+    """
+
+    tenant: str
+    flow: str
+    payload: bytes
+    attacks: List[bytes] = field(default_factory=list)
+
+
+def _http_body(rng: np.random.Generator, size: int, mix: str) -> bytes:
+    """A body of the requested content mix (all printable-ish for
+    ``text``/``base64ish``, raw bytes for ``binary``)."""
+    if mix == "text":
+        words = rng.integers(97, 123, size, dtype=np.uint8)
+        spaces = rng.random(size) < 0.15
+        words[spaces] = 0x20
+        return words.tobytes()
+    if mix == "base64ish":
+        alphabet = np.frombuffer(
+            b"ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+            b"abcdefghijklmnopqrstuvwxyz0123456789+/", dtype=np.uint8)
+        return alphabet[rng.integers(0, len(alphabet), size)].tobytes()
+    return rng.integers(0, 256, size, dtype=np.uint8).tobytes()
+
+
+def http_payload(rng: np.random.Generator, host: bytes = b"example.com",
+                 min_body: int = 64, max_body: int = 1200,
+                 mix: Optional[str] = None) -> bytes:
+    """One HTTP-ish request: request line + headers + body.
+
+    Deliberately *shaped* rather than RFC-faithful — what matters to the
+    scan core is realistic byte statistics (ASCII header prefix, mixed
+    body), not protocol correctness.
+    """
+    if not 1 <= min_body <= max_body:
+        raise ValueError("need 1 <= min_body <= max_body")
+    method = _HTTP_METHODS[int(rng.integers(0, len(_HTTP_METHODS)))]
+    path = _HTTP_PATHS[int(rng.integers(0, len(_HTTP_PATHS)))]
+    agent = _HTTP_AGENTS[int(rng.integers(0, len(_HTTP_AGENTS)))]
+    mix = mix or _BODY_MIXES[int(rng.integers(0, len(_BODY_MIXES)))]
+    body = _http_body(rng, int(rng.integers(min_body, max_body + 1)), mix)
+    return (method + b" " + path + b" HTTP/1.1\r\n"
+            b"Host: " + host + b"\r\n"
+            b"User-Agent: " + agent + b"\r\n"
+            b"Content-Length: " + str(len(body)).encode() + b"\r\n"
+            b"\r\n" + body)
+
+
+def tenant_traffic(tenants: Sequence[str], num_packets: int, *,
+                   flows_per_tenant: int = 8,
+                   attack_patterns: Optional[
+                       Dict[str, Sequence[bytes]]] = None,
+                   attack_fraction: float = 0.05,
+                   min_body: int = 64, max_body: int = 1200,
+                   seed: Optional[int] = None) -> List[TrafficPacket]:
+    """A multi-tenant DPI scenario: interleaved HTTP-ish packets.
+
+    Each packet is assigned a tenant and one of its
+    ``flows_per_tenant`` flows at random; with probability
+    ``attack_fraction`` one of that tenant's ``attack_patterns`` is
+    planted at a random offset in the body.  The returned packets carry
+    the planted entries as ground truth, and the whole scenario is a
+    pure function of ``seed`` — the reproducibility contract the policy
+    benchmarks and the CI smoke rely on.
+    """
+    if not tenants:
+        raise ValueError("at least one tenant required")
+    if num_packets <= 0:
+        raise ValueError("num_packets must be positive")
+    if flows_per_tenant < 1:
+        raise ValueError("flows_per_tenant must be positive")
+    if not 0 <= attack_fraction <= 1:
+        raise ValueError("attack_fraction must be in [0, 1]")
+    attack_patterns = attack_patterns or {}
+    rng = np.random.default_rng(seed)
+    packets: List[TrafficPacket] = []
+    for _ in range(num_packets):
+        tenant = tenants[int(rng.integers(0, len(tenants)))]
+        flow = f"{tenant}-flow-{int(rng.integers(0, flows_per_tenant))}"
+        payload = http_payload(rng, host=f"{tenant}.example".encode(),
+                               min_body=min_body, max_body=max_body)
+        attacks: List[bytes] = []
+        candidates = list(attack_patterns.get(tenant, ()))
+        if candidates and rng.random() < attack_fraction:
+            p = bytes(candidates[int(rng.integers(0, len(candidates)))])
+            if len(p) < len(payload):
+                pos = int(rng.integers(0, len(payload) - len(p) + 1))
+                buf = bytearray(payload)
+                buf[pos:pos + len(p)] = p
+                payload = bytes(buf)
+                attacks.append(p)
+        packets.append(TrafficPacket(tenant=tenant, flow=flow,
+                                     payload=payload, attacks=attacks))
+    return packets
 
 
 def streams_for_tile(length: int, patterns: Sequence[bytes],

@@ -186,6 +186,72 @@ class TestPipelineFuzz:
             assert np.array_equal(plain, screened)
 
 
+class TestPolicyPathDifferential:
+    """A rule-free tenant is a pass-through: scan counts AND DFA exit
+    states through the policy path are bit-identical to the direct
+    backend path.  The verdict engine must be attribution over the same
+    scan, never a second scan or a semantic fork."""
+
+    @pytest.mark.parametrize("max_states", [1 << 30, 40])
+    def test_rule_free_tenant_flow_path_bit_identical(self, max_states):
+        from repro.policy import Tenant
+        from repro.service.sessions import SessionScanner
+
+        tenant = Tenant("diff", WORDS, max_states=max_states,
+                        max_flows=64)
+        try:
+            with tenant.registry.lease() as gen:
+                reference = SessionScanner(gen.compiled, max_flows=64)
+            rng = random.Random(900 + max_states % 97)
+            flows = [f"f{i}" for i in range(6)]
+            for case in range(60):
+                fid = rng.choice(flows)
+                payload = _corpus(rng, rng.randrange(0, 300))
+                verdict, _, _ = tenant.scan_packet(fid, payload)
+                new, total, _ = reference.scan_packet(fid, payload)
+                assert verdict.new_matches == new, \
+                    f"counts diverged (case {case})"
+                assert verdict.flow_total == total, \
+                    f"lifetime totals diverged (case {case})"
+                assert verdict.action == "forward"
+                assert verdict.rule is None
+            # Exit states: every flow resumes from the same per-slice
+            # DFA state on both paths.
+            with tenant.registry.lease() as gen:
+                for fid in flows:
+                    got = [m.peek_state(fid)
+                           for m in gen.sessions._matchers]
+                    want = [m.peek_state(fid)
+                            for m in reference._matchers]
+                    assert got == want, f"exit states diverged for {fid}"
+        finally:
+            tenant.close()
+
+    def test_rule_free_tenant_scan_path_bit_identical(self):
+        from repro.policy import Tenant
+
+        tenant = Tenant("diff-scan", WORDS)
+        try:
+            rng = random.Random(41)
+            with tenant.registry.lease() as gen:
+                with ScanContext(gen.compiled) as direct:
+                    for case in range(10):
+                        data = _corpus(rng, rng.randrange(0, 4000))
+                        for backend in ("serial", "fused"):
+                            mine, _ = tenant.scan(
+                                ScanRequest(data=data), backend=backend)
+                            ref = execute(direct,
+                                          ScanRequest(data=data),
+                                          backend=backend)
+                            assert mine.total_matches == \
+                                ref.total_matches, \
+                                f"{backend} diverged (case {case})"
+                            assert mine.bytes_scanned == \
+                                ref.bytes_scanned
+        finally:
+            tenant.close()
+
+
 class TestConflictValidation:
     """Contradictory ScanRequest flag combos raise a BackendError
     naming the conflict — before any planning or table building."""

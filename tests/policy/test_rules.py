@@ -1,0 +1,168 @@
+"""Rule model and ruleset compilation: spec round-trips, validation,
+pure-vs-mixed slice binding, and exact per-rule attribution."""
+
+import pytest
+
+from repro.core.compiled import compile_dictionary
+from repro.policy.rules import (ACTIONS, MODES, SEVERITY, PolicyError,
+                                Rule, RuleSet)
+from repro.service.sessions import SessionScanner
+
+WORDS = [b"virus", b"worm", b"trojan", b"backdoor"]
+
+
+class TestRuleValidation:
+    def test_valid_actions_only(self):
+        for action in ACTIONS:
+            Rule(name="r", action=action)
+        with pytest.raises(PolicyError, match="action"):
+            Rule(name="r", action="explode")
+
+    def test_needs_a_name(self):
+        with pytest.raises(PolicyError, match="name"):
+            Rule(name="", action="drop")
+
+    def test_threshold_window_rate_burst_bounds(self):
+        with pytest.raises(PolicyError, match="threshold"):
+            Rule(name="r", action="drop", threshold=0)
+        with pytest.raises(PolicyError, match="window_bytes"):
+            Rule(name="r", action="drop", window_bytes=-1)
+        with pytest.raises(PolicyError, match="rate"):
+            Rule(name="r", action="rate-limit", rate=0.0)
+        with pytest.raises(PolicyError, match="burst"):
+            Rule(name="r", action="rate-limit", burst=0)
+
+    def test_patterns_coerced_to_bytes(self):
+        rule = Rule(name="r", action="alert", patterns=("virus", b"worm"))
+        assert rule.patterns == (b"virus", b"worm")
+
+    def test_severity_covers_every_action(self):
+        assert set(SEVERITY) == set(ACTIONS) | {"forward"}
+        assert SEVERITY["forward"] < min(SEVERITY[a] for a in ACTIONS)
+
+
+class TestSpecRoundTrip:
+    def test_rule_spec_round_trip(self):
+        rule = Rule(name="throttle", action="rate-limit",
+                    patterns=(b"virus",), threshold=3,
+                    window_bytes=4096, rate=2.5, burst=8)
+        assert Rule.from_spec(rule.to_spec()) == rule
+
+    def test_unknown_spec_keys_rejected(self):
+        with pytest.raises(PolicyError, match="unknown keys"):
+            Rule.from_spec({"name": "r", "action": "drop",
+                            "priority": 9})
+
+    def test_malformed_spec_values_rejected(self):
+        with pytest.raises(PolicyError, match="malformed"):
+            Rule.from_spec({"name": "r", "action": "drop",
+                            "threshold": "lots"})
+
+    def test_ruleset_spec_round_trip(self):
+        rs = RuleSet((Rule(name="a", action="drop"),
+                      Rule(name="b", action="alert",
+                           patterns=(b"worm",))), mode="accumulate")
+        again = RuleSet.from_specs(rs.to_specs(), mode="accumulate")
+        assert again == rs
+
+    def test_duplicate_rule_names_rejected(self):
+        with pytest.raises(PolicyError, match="duplicate"):
+            RuleSet((Rule(name="a", action="drop"),
+                     Rule(name="a", action="alert")))
+
+    def test_bad_mode_rejected(self):
+        assert MODES == ("first-match", "accumulate")
+        with pytest.raises(PolicyError, match="mode"):
+            RuleSet(mode="psychic")
+
+
+class TestCompilation:
+    def test_unknown_pattern_rejected_at_compile(self):
+        compiled = compile_dictionary(WORDS)
+        rs = RuleSet((Rule(name="r", action="drop",
+                           patterns=(b"not-in-dict",)),))
+        with pytest.raises(PolicyError, match="not in the dictionary"):
+            rs.compile(compiled)
+
+    def test_rule_patterns_resolve_through_the_fold(self):
+        compiled = compile_dictionary(WORDS)
+        rs = RuleSet((Rule(name="r", action="drop",
+                           patterns=(b"VIRUS",)),))
+        binding = rs.compile(compiled)   # case variant resolves
+        assert binding.rules[0].name == "r"
+
+    def test_wildcard_rule_covers_every_pattern(self):
+        compiled = compile_dictionary(WORDS)
+        binding = RuleSet((Rule(name="any", action="alert"),)) \
+            .compile(compiled)
+        # Every slice is pure: all patterns map to the same rule.
+        assert binding.pure_slices == compiled.num_slices
+
+    def _sliced(self):
+        """A dictionary forced across >1 slice so rules can mix."""
+        for max_states in range(40, 8, -1):
+            try:
+                c = compile_dictionary(WORDS, max_states=max_states)
+            except Exception:
+                continue
+            if c.num_slices > 1:
+                return c
+        pytest.skip("no budget yields multiple slices")
+
+    def test_mixed_slice_attribution_is_exact(self):
+        compiled = compile_dictionary(WORDS)
+        assert compiled.num_slices == 1
+        # Two rules splitting one slice's patterns -> the slice is
+        # mixed and attribution must resolve exactly.
+        rs = RuleSet((Rule(name="viral", action="drop",
+                           patterns=(b"virus", b"worm")),
+                      Rule(name="doors", action="alert",
+                           patterns=(b"backdoor",))))
+        binding = rs.compile(compiled)
+        assert binding.pure_slices == 0
+
+        sessions = SessionScanner(compiled)
+        detail = sessions.scan_packet_detail(
+            "f", b"a virus, a worm, a backdoor, a virus")
+        assert detail.new == 4
+        counts = binding.attribute(detail)
+        assert counts == {0: 3, 1: 1}
+
+    def test_pure_slice_attribution_uses_delta(self):
+        compiled = self._sliced()
+        # One wildcard rule: every slice pure, counts equal the delta.
+        binding = RuleSet((Rule(name="any", action="mirror"),)) \
+            .compile(compiled)
+        assert binding.pure_slices == compiled.num_slices
+        sessions = SessionScanner(compiled)
+        detail = sessions.scan_packet_detail(
+            "f", b"virus worm trojan backdoor")
+        assert detail.new == 4
+        assert binding.attribute(detail) == {0: 4}
+
+    def test_attribution_spans_packet_boundaries(self):
+        compiled = compile_dictionary(WORDS)
+        rs = RuleSet((Rule(name="viral", action="drop",
+                           patterns=(b"virus",)),
+                      Rule(name="wormy", action="alert",
+                           patterns=(b"worm",))))
+        binding = rs.compile(compiled)
+        sessions = SessionScanner(compiled)
+        first = sessions.scan_packet_detail("f", b"zz vir")
+        assert binding.attribute(first) == {}
+        second = sessions.scan_packet_detail("f", b"us zz")
+        # The straddling match resolves from the flow's pre-packet
+        # state, so the walk sees the continuation correctly.
+        assert binding.attribute(second) == {0: 1}
+
+    def test_no_match_packets_attribute_for_free(self):
+        compiled = compile_dictionary(WORDS)
+        rs = RuleSet((Rule(name="viral", action="drop",
+                           patterns=(b"virus",)),
+                      Rule(name="wormy", action="alert",
+                           patterns=(b"worm",))))
+        binding = rs.compile(compiled)
+        sessions = SessionScanner(compiled)
+        detail = sessions.scan_packet_detail("f", b"nothing to see")
+        assert detail.new == 0
+        assert binding.attribute(detail) == {}

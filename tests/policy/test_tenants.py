@@ -1,0 +1,216 @@
+"""Tenants: dictionary + policy double-buffers, verdict continuity
+across reloads, eviction interplay, and the manager table."""
+
+import threading
+
+import pytest
+
+from repro.policy import (PolicyError, Rule, RuleSet, Tenant,
+                          TenantError, TenantManager)
+
+WORDS = [b"virus", b"worm", b"trojan", b"backdoor"]
+DROP_VIRUS = RuleSet((Rule(name="viral", action="drop",
+                           patterns=(b"virus",)),))
+
+
+@pytest.fixture
+def tenant():
+    t = Tenant("t", WORDS, rules=DROP_VIRUS)
+    yield t
+    t.close()
+
+
+class TestPolicySwaps:
+    def test_set_rules_bumps_generation(self, tenant):
+        assert tenant.policy_generation == 1
+        gen = tenant.set_rules(RuleSet((
+            Rule(name="wormy", action="alert", patterns=(b"worm",)),)))
+        assert gen == 2 and tenant.policy_generation == 2
+        v, _, _ = tenant.scan_packet("f", b"a worm")
+        assert v.action == "alert"
+        # The old rule is gone: a fresh flow's virus only forwards.
+        v, _, _ = tenant.scan_packet("g", b"a virus")
+        assert v.action == "forward"
+
+    def test_set_rules_validates_against_active_dictionary(self, tenant):
+        with pytest.raises(PolicyError, match="not in the dictionary"):
+            tenant.set_rules(RuleSet((
+                Rule(name="bad", action="drop",
+                     patterns=(b"no-such-sig",)),)))
+        # Failed swap left the active policy untouched.
+        assert tenant.policy_generation == 1
+        v, _, _ = tenant.scan_packet("f", b"virus")
+        assert v.action == "drop"
+
+    def test_swap_takes_effect_mid_flow_without_losing_state(self, tenant):
+        v, _, _ = tenant.scan_packet("f", b"virus")
+        assert v.action == "drop"
+        tenant.set_rules(RuleSet((
+            Rule(name="viral", action="drop", patterns=(b"virus",)),
+            Rule(name="wormy", action="alert", patterns=(b"worm",)),)))
+        # Latched verdict survives the ruleset shape change.
+        v, _, _ = tenant.scan_packet("f", b"clean bytes")
+        assert v.action == "drop"
+
+
+class TestDictionaryReloads:
+    def test_reload_revalidates_active_rules(self, tenant):
+        # Incoming dictionary drops "virus" while a rule still names
+        # it: the reload must surface the conflict.
+        with pytest.raises(PolicyError, match="not in the dictionary"):
+            tenant.load_dictionary([b"worm", b"trojan"])
+
+    def test_verdicts_survive_dictionary_reloads(self, tenant):
+        v, _, _ = tenant.scan_packet("f", b"virus")
+        assert v.action == "drop"
+        for _ in range(3):
+            tenant.load_dictionary(WORDS + [b"extra"])
+            tenant.load_dictionary(WORDS)
+        # DFA states restarted at each generation, but the sentence
+        # and the lifetime totals carried.
+        v, _, _ = tenant.scan_packet("f", b"clean")
+        assert v.action == "drop"
+        nbytes, matches, action = tenant.close_flow("f")
+        assert matches == 1 and action == "drop"
+        assert nbytes == len(b"virus") + len(b"clean")
+
+    def test_carry_across_reloads_under_concurrent_traffic(self):
+        """N back-to-back reloads race live packet traffic: zero
+        errors, per-flow totals exact, verdicts latched throughout."""
+        tenant = Tenant("churn", WORDS, rules=DROP_VIRUS)
+        try:
+            flows = [f"f{i}" for i in range(4)]
+            for fid in flows:
+                v, _, _ = tenant.scan_packet(fid, b"virus")
+                assert v.action == "drop"
+            stop = threading.Event()
+            errors = []
+            packets = {fid: 1 for fid in flows}   # the virus packet
+
+            def pump(fid):
+                while not stop.is_set():
+                    try:
+                        v, _, _ = tenant.scan_packet(fid, b"clean ")
+                        packets[fid] += 1
+                        if v.action != "drop":
+                            errors.append((fid, v.action))
+                            return
+                    except Exception as exc:   # noqa: BLE001
+                        errors.append((fid, repr(exc)))
+                        return
+
+            pumps = [threading.Thread(target=pump, args=(fid,))
+                     for fid in flows]
+            for t in pumps:
+                t.start()
+            sets = [WORDS + [b"extra"], WORDS]
+            for i in range(8):
+                tenant.load_dictionary(sets[i % 2])
+            stop.set()
+            for t in pumps:
+                t.join(timeout=30)
+            assert not errors, errors
+
+            # Lifetime totals are exact across every carry.
+            for fid in flows:
+                nbytes, matches, action = tenant.close_flow(fid)
+                assert action == "drop"
+                assert matches == 1
+                assert nbytes == len(b"virus") + \
+                    (packets[fid] - 1) * len(b"clean ")
+            # Eviction counter is cumulative across generations.
+            with tenant.registry.lease() as gen:
+                assert gen.sessions.stats()["evictions"] == 0
+        finally:
+            tenant.close()
+
+    def test_eviction_closes_open_verdicts(self):
+        """The LRU dropping a sentenced flow clears its verdict: if the
+        flow returns it is a new flow, judged from scratch."""
+        tenant = Tenant("small", WORDS, rules=DROP_VIRUS, max_flows=2)
+        try:
+            v, _, _ = tenant.scan_packet("guilty", b"virus")
+            assert v.action == "drop"
+            assert tenant.verdicts.flow_action("guilty") == "drop"
+            tenant.scan_packet("b", b"x")
+            _, _, evicted = tenant.scan_packet("c", b"x")
+            assert evicted == 1
+            assert tenant.verdicts.flow_action("guilty") == "forward"
+            assert tenant.verdicts.num_flows <= 2
+            # The returning flow starts clean.
+            v, _, _ = tenant.scan_packet("guilty", b"no sig here")
+            assert v.action == "forward"
+        finally:
+            tenant.close()
+
+    def test_eviction_survives_reload_boundary(self):
+        """carry_from into a smaller-than-needed table evicts at the
+        boundary, and the verdict engine follows the session table."""
+        tenant = Tenant("small2", WORDS, rules=DROP_VIRUS, max_flows=3)
+        try:
+            for fid in ("a", "b", "c"):
+                tenant.scan_packet(fid, b"virus")
+            tenant.load_dictionary(WORDS + [b"extra"])
+            # All three carried; a fourth flow now evicts the LRU one.
+            _, _, evicted = tenant.scan_packet("d", b"x")
+            assert evicted == 1
+            with tenant.registry.lease() as gen:
+                stats = gen.sessions.stats()
+            assert stats["flows"] == 3
+            assert stats["evictions"] >= 1
+        finally:
+            tenant.close()
+
+
+class TestTenantManager:
+    def test_create_get_drop(self):
+        mgr = TenantManager()
+        try:
+            mgr.create("a", WORDS)
+            mgr.create("b", [b"other"], rules=DROP_VIRUS.rules and None)
+            assert mgr.names() == ["a", "b"]
+            assert "a" in mgr and len(mgr) == 2
+            assert mgr.get("a").name == "a"
+            mgr.drop("a")
+            assert "a" not in mgr
+            with pytest.raises(TenantError, match="unknown"):
+                mgr.get("a")
+            with pytest.raises(TenantError, match="unknown"):
+                mgr.drop("a")
+        finally:
+            mgr.close()
+
+    def test_duplicate_names_rejected(self):
+        mgr = TenantManager()
+        try:
+            mgr.create("a", WORDS)
+            with pytest.raises(TenantError, match="already exists"):
+                mgr.create("a", WORDS)
+        finally:
+            mgr.close()
+
+    def test_tenants_are_isolated(self):
+        mgr = TenantManager()
+        try:
+            acme = mgr.create("acme", WORDS, rules=DROP_VIRUS)
+            beta = mgr.create("beta", WORDS)
+            va, _, _ = acme.scan_packet("f", b"virus")
+            vb, _, _ = beta.scan_packet("f", b"virus")
+            assert va.action == "drop"
+            assert vb.action == "forward"
+            # Same flow id, two tenants: independent session state.
+            assert acme.verdicts.flow_action("f") == "drop"
+            assert beta.verdicts.flow_action("f") == "forward"
+        finally:
+            mgr.close()
+
+    def test_describe_reports_per_tenant_state(self):
+        mgr = TenantManager()
+        try:
+            mgr.create("acme", WORDS, rules=DROP_VIRUS)
+            desc = mgr.describe()
+            assert desc["acme"]["policy"]["rules"] == 1
+            assert desc["acme"]["registry"]["generation"] == 1
+            assert desc["acme"]["verdicts"]["flows"] == 0
+        finally:
+            mgr.close()

@@ -1,0 +1,220 @@
+"""Verdict engine: latching, accumulation, windows, token buckets and
+the flow lifecycle — all on an injected clock."""
+
+import pytest
+
+from repro.core.compiled import compile_dictionary
+from repro.policy.rules import Rule, RuleSet
+from repro.policy.verdicts import VerdictEngine
+from repro.service.sessions import SessionScanner
+
+WORDS = [b"virus", b"worm", b"trojan", b"backdoor"]
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    return compile_dictionary(WORDS)
+
+
+def judge(engine, sessions, binding, fid, payload):
+    detail = sessions.scan_packet_detail(fid, payload)
+    return engine.apply(fid, detail, binding)
+
+
+class TestFirstMatch:
+    def test_first_triggered_rule_latches_forever(self, compiled):
+        binding = RuleSet((
+            Rule(name="viral", action="alert", patterns=(b"virus",)),
+            Rule(name="doors", action="drop", patterns=(b"backdoor",)),
+        )).compile(compiled)
+        engine = VerdictEngine()
+        sessions = SessionScanner(compiled)
+        v = judge(engine, sessions, binding, "f", b"clean")
+        assert (v.action, v.rule) == ("forward", None)
+        v = judge(engine, sessions, binding, "f", b"a virus!")
+        assert (v.action, v.rule) == ("alert", "viral")
+        assert v.triggered == ["viral"]
+        # A later, more severe rule cannot displace the latch.
+        v = judge(engine, sessions, binding, "f", b"a backdoor!")
+        assert (v.action, v.rule) == ("alert", "viral")
+        assert engine.flow_action("f") == "alert"
+
+    def test_flows_judged_independently(self, compiled):
+        binding = RuleSet((
+            Rule(name="viral", action="drop", patterns=(b"virus",)),
+        )).compile(compiled)
+        engine = VerdictEngine()
+        sessions = SessionScanner(compiled)
+        assert judge(engine, sessions, binding, "a",
+                     b"virus").action == "drop"
+        assert judge(engine, sessions, binding, "b",
+                     b"clean").action == "forward"
+
+    def test_threshold_counts_across_packets(self, compiled):
+        binding = RuleSet((
+            Rule(name="three", action="drop", patterns=(b"worm",),
+                 threshold=3),
+        )).compile(compiled)
+        engine = VerdictEngine()
+        sessions = SessionScanner(compiled)
+        assert judge(engine, sessions, binding, "f",
+                     b"worm worm").action == "forward"
+        v = judge(engine, sessions, binding, "f", b"worm")
+        assert v.action == "drop"
+        assert v.triggered == ["three"]
+
+
+class TestAccumulate:
+    def test_verdict_escalates_to_most_severe(self, compiled):
+        binding = RuleSet((
+            Rule(name="loud", action="drop", patterns=(b"backdoor",)),
+            Rule(name="soft", action="alert", patterns=(b"virus",)),
+        ), mode="accumulate").compile(compiled)
+        engine = VerdictEngine()
+        sessions = SessionScanner(compiled)
+        v = judge(engine, sessions, binding, "f", b"virus")
+        assert (v.action, v.rule) == ("alert", "soft")
+        v = judge(engine, sessions, binding, "f", b"backdoor")
+        assert (v.action, v.rule) == ("drop", "loud")
+        # Severity never de-escalates.
+        v = judge(engine, sessions, binding, "f", b"virus again")
+        assert v.action == "drop"
+
+
+class TestWindows:
+    def test_window_forgets_stale_matches(self, compiled):
+        binding = RuleSet((
+            Rule(name="burst", action="drop", patterns=(b"virus",),
+                 threshold=2, window_bytes=32),
+        )).compile(compiled)
+        engine = VerdictEngine()
+        sessions = SessionScanner(compiled)
+        assert judge(engine, sessions, binding, "f",
+                     b"virus").action == "forward"
+        # 100 clean bytes push the first match out of the window.
+        judge(engine, sessions, binding, "f", b"x" * 100)
+        assert judge(engine, sessions, binding, "f",
+                     b"virus").action == "forward"
+        # Two matches inside one window trigger.
+        v = judge(engine, sessions, binding, "f", b"virus virus")
+        assert v.action == "drop"
+
+
+class TestRateLimit:
+    def _binding(self, compiled, rate=1.0, burst=2):
+        return RuleSet((
+            Rule(name="meter", action="rate-limit",
+                 patterns=(b"virus",), rate=rate, burst=burst),
+        )).compile(compiled)
+
+    def test_bucket_meters_then_drops(self, compiled):
+        clock = FakeClock()
+        engine = VerdictEngine(clock=clock)
+        sessions = SessionScanner(compiled)
+        binding = self._binding(compiled, burst=2)
+        # burst=2: two triggered packets ride, the third drops dry.
+        assert judge(engine, sessions, binding, "f",
+                     b"virus").action == "rate-limit"
+        assert judge(engine, sessions, binding, "f",
+                     b"virus").action == "rate-limit"
+        assert judge(engine, sessions, binding, "f",
+                     b"virus").action == "drop"
+
+    def test_bucket_refills_on_the_clock(self, compiled):
+        clock = FakeClock()
+        engine = VerdictEngine(clock=clock)
+        sessions = SessionScanner(compiled)
+        binding = self._binding(compiled, rate=1.0, burst=1)
+        assert judge(engine, sessions, binding, "f",
+                     b"virus").action == "rate-limit"
+        assert judge(engine, sessions, binding, "f",
+                     b"virus").action == "drop"
+        clock.now += 2.0
+        assert judge(engine, sessions, binding, "f",
+                     b"virus").action == "rate-limit"
+
+    def test_retired_latched_rule_keeps_its_verdict(self, compiled):
+        """A hot-swap that removes the latched rate-limit rule leaves
+        the flow's verdict standing — and must not crash the judge."""
+        clock = FakeClock()
+        engine = VerdictEngine(clock=clock)
+        sessions = SessionScanner(compiled)
+        binding = self._binding(compiled)
+        assert judge(engine, sessions, binding, "f",
+                     b"virus").action == "rate-limit"
+        swapped = RuleSet((
+            Rule(name="other", action="alert", patterns=(b"worm",)),
+        )).compile(compiled)
+        v = judge(engine, sessions, swapped, "f", b"clean")
+        assert (v.action, v.rule) == ("rate-limit", "meter")
+
+
+class TestLifecycle:
+    def test_close_flow_returns_final_action(self, compiled):
+        binding = RuleSet((
+            Rule(name="viral", action="drop", patterns=(b"virus",)),
+        )).compile(compiled)
+        engine = VerdictEngine()
+        sessions = SessionScanner(compiled)
+        judge(engine, sessions, binding, "f", b"virus")
+        assert engine.close_flow("f") == "drop"
+        assert engine.close_flow("f") is None
+        assert engine.flow_action("f") == "forward"
+
+    def test_evicted_flows_forget_their_verdicts(self, compiled):
+        binding = RuleSet((
+            Rule(name="viral", action="drop", patterns=(b"virus",)),
+        )).compile(compiled)
+        engine = VerdictEngine()
+        sessions = SessionScanner(compiled, max_flows=2)
+        judge(engine, sessions, binding, "a", b"virus")
+        assert engine.flow_action("a") == "drop"
+        # Two newer flows evict "a"; its verdict dies with the session.
+        judge(engine, sessions, binding, "b", b"x")
+        v = judge(engine, sessions, binding, "c", b"x")
+        assert engine.flow_action("a") == "forward"
+        assert engine.num_flows <= 2
+
+    def test_ruleset_shape_change_preserves_latched_action(self, compiled):
+        binding = RuleSet((
+            Rule(name="viral", action="drop", patterns=(b"virus",)),
+        )).compile(compiled)
+        engine = VerdictEngine()
+        sessions = SessionScanner(compiled)
+        judge(engine, sessions, binding, "f", b"virus")
+        bigger = RuleSet((
+            Rule(name="viral", action="drop", patterns=(b"virus",)),
+            Rule(name="wormy", action="alert", patterns=(b"worm",)),
+        )).compile(compiled)
+        # Counters restart (shape changed) but the sentence stands.
+        v = judge(engine, sessions, bigger, "f", b"clean")
+        assert (v.action, v.rule) == ("drop", "viral")
+
+    def test_rule_free_binding_creates_no_flow_state(self, compiled):
+        engine = VerdictEngine()
+        sessions = SessionScanner(compiled)
+        detail = sessions.scan_packet_detail("f", b"virus")
+        v = engine.apply("f", detail, None)
+        assert v.action == "forward"
+        assert v.new_matches == 1
+        assert engine.num_flows == 0
+
+    def test_action_totals_accumulate(self, compiled):
+        binding = RuleSet((
+            Rule(name="viral", action="drop", patterns=(b"virus",)),
+        )).compile(compiled)
+        engine = VerdictEngine()
+        sessions = SessionScanner(compiled)
+        judge(engine, sessions, binding, "f", b"clean")
+        judge(engine, sessions, binding, "f", b"virus")
+        judge(engine, sessions, binding, "f", b"more")
+        assert engine.action_totals == {"forward": 1, "drop": 2}
+        assert engine.describe()["actions"]["drop"] == 2

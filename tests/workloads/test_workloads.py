@@ -7,6 +7,7 @@ from repro.dfa import AhoCorasick, case_fold_32
 from repro.workloads import (
     adversarial_payload,
     ascii_keywords,
+    http_payload,
     packet_stream,
     plant_matches,
     prefix_heavy_signatures,
@@ -14,6 +15,7 @@ from repro.workloads import (
     random_signatures,
     signatures_for_states,
     streams_for_tile,
+    tenant_traffic,
 )
 from repro.dfa.partition import trie_states
 
@@ -148,3 +150,62 @@ class TestAdversarial:
             adversarial_payload(b"", 10)
         with pytest.raises(ValueError):
             adversarial_payload(b"ab", 0)
+
+
+class TestTenantTraffic:
+    TENANTS = ["acme", "beta"]
+    ATTACKS = {"acme": [b"EVILSIG", b"BADBOT"]}
+
+    def _scenario(self, seed=7, **kwargs):
+        defaults = dict(flows_per_tenant=4,
+                        attack_patterns=self.ATTACKS,
+                        attack_fraction=0.25, seed=seed)
+        defaults.update(kwargs)
+        return tenant_traffic(self.TENANTS, 120, **defaults)
+
+    def test_deterministic_under_seed(self):
+        a = self._scenario()
+        b = self._scenario()
+        assert [(p.tenant, p.flow, p.payload, p.attacks)
+                for p in a] == \
+            [(p.tenant, p.flow, p.payload, p.attacks) for p in b]
+        c = self._scenario(seed=8)
+        assert [p.payload for p in a] != [p.payload for p in c]
+
+    def test_http_shape(self):
+        rng = np.random.default_rng(3)
+        payload = http_payload(rng, host=b"t.example")
+        line, rest = payload.split(b"\r\n", 1)
+        method, path, version = line.split(b" ")
+        assert method in (b"GET", b"POST", b"PUT", b"HEAD")
+        assert version == b"HTTP/1.1"
+        assert b"Host: t.example" in rest
+        assert b"\r\n\r\n" in rest
+
+    def test_attacks_only_for_configured_tenants(self):
+        packets = self._scenario()
+        assert {p.tenant for p in packets} == set(self.TENANTS)
+        attacked = [p for p in packets if p.attacks]
+        assert attacked, "attack_fraction=0.25 planted nothing"
+        assert all(p.tenant == "acme" for p in attacked)
+
+    def test_planted_attacks_are_ground_truth(self):
+        ac = AhoCorasick(self.ATTACKS["acme"], 256)
+        for p in self._scenario():
+            found = ac.find_all(p.payload)
+            if p.attacks:
+                assert found, "planted attack not locatable"
+
+    def test_flow_ids_scoped_to_tenant(self):
+        for p in self._scenario():
+            assert p.flow.startswith(f"{p.tenant}-flow-")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            tenant_traffic([], 10)
+        with pytest.raises(ValueError):
+            tenant_traffic(["t"], 0)
+        with pytest.raises(ValueError):
+            tenant_traffic(["t"], 10, attack_fraction=1.5)
+        with pytest.raises(ValueError):
+            tenant_traffic(["t"], 10, flows_per_tenant=0)
