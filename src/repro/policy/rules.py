@@ -56,6 +56,20 @@ def _as_bytes(pattern) -> bytes:
     return pattern.encode() if isinstance(pattern, str) else bytes(pattern)
 
 
+def _spec_bytes(pattern) -> bytes:
+    """Wire-side inverse of ``to_spec``'s latin-1 decode.
+
+    Spec strings are byte images (one char per byte), so they must
+    re-encode latin-1 — UTF-8 would turn ``"\\xff"`` into two bytes and
+    silently change what the signature matches.  Code points above 255
+    cannot name a byte pattern and are rejected (UnicodeEncodeError is
+    a ValueError, mapped to PolicyError by ``from_spec``).
+    """
+    if isinstance(pattern, str):
+        return pattern.encode("latin-1")
+    return bytes(pattern)
+
+
 @dataclass(frozen=True)
 class Rule:
     """One detection rule.
@@ -126,7 +140,7 @@ class Rule:
                 name=str(spec.get("name", "")),
                 action=str(spec.get("action", "")),
                 patterns=tuple(
-                    _as_bytes(p if isinstance(p, (str, bytes)) else str(p))
+                    _spec_bytes(p if isinstance(p, (str, bytes)) else str(p))
                     for p in spec.get("patterns", ())),
                 threshold=int(spec.get("threshold", 1)),
                 window_bytes=int(spec.get("window_bytes", 0)),

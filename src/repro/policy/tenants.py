@@ -93,6 +93,11 @@ class Tenant:
         # but must not race a concurrent swap.
         self._bindings: Dict[Tuple[int, int], Optional[CompiledRuleSet]] = {}
         self._bind_lock = threading.Lock()
+        # Serializes the two swap directions against each other: a
+        # policy swap and a dictionary reload each validate the
+        # (policy, dictionary) pair before promoting, and the pair they
+        # validated must be the pair they promote.  Scans never take it.
+        self._swap_lock = threading.Lock()
 
     # -- policy swaps --------------------------------------------------------------
 
@@ -108,37 +113,50 @@ class Tenant:
         """Hot-swap the policy: stage, validate against the *active*
         dictionary (fail before promoting, like a reload compile
         failure), promote atomically.  Returns the policy generation."""
-        with self.registry.lease() as gen:
-            if rules.rules:
-                rules.compile(gen.compiled)   # surface unknown patterns now
-        incoming = _PolicyGeneration(self._policy.active.gen_id + 1, rules)
-        self._policy.stage(incoming)
-        self._policy.promote()
-        with self._bind_lock:
-            self._bindings.clear()
-        return incoming.gen_id
+        with self._swap_lock:
+            binding: Optional[CompiledRuleSet] = None
+            with self.registry.lease() as gen:
+                if rules.rules:
+                    # Surface unknown patterns now; keep the compiled
+                    # binding so the first judged packet pays nothing.
+                    binding = rules.compile(gen.compiled)
+                dict_gen = gen.gen_id
+            incoming = _PolicyGeneration(
+                self._policy.active.gen_id + 1, rules)
+            self._policy.stage(incoming)
+            self._policy.promote()
+            with self._bind_lock:
+                self._bindings.clear()
+                if binding is not None:
+                    self._bindings[(incoming.gen_id, dict_gen)] = binding
+            return incoming.gen_id
 
     def load_dictionary(self, patterns: Sequence,
                         regex: bool = False) -> ReloadResult:
-        """Hot dictionary reload.  The active ruleset must still
-        resolve against the incoming dictionary or the reload is
-        refused (policy and dictionary cannot drift apart)."""
-        result = self.registry.load(patterns, regex=regex)
-        with self.registry.lease() as gen:
+        """Hot dictionary reload.  The active ruleset must resolve
+        against the incoming dictionary *before* it is promoted; a
+        mismatch refuses the reload and leaves the old generation
+        serving (policy and dictionary cannot drift apart)."""
+        with self._swap_lock:
             active = self._policy.active
-            try:
+            compiled_binding: List[CompiledRuleSet] = []
+
+            def _validate(compiled) -> None:
+                # Runs inside registry.load, after compile but before
+                # the stage/promote flip: a PolicyError here aborts the
+                # reload with the old dictionary still active.
                 if active.ruleset.rules:
-                    binding = active.ruleset.compile(gen.compiled)
-                    with self._bind_lock:
-                        self._bindings.clear()
-                        self._bindings[(active.gen_id, gen.gen_id)] = \
-                            binding
-            except PolicyError:
-                # Dictionary and rules disagree: roll forward is not
-                # possible mid-swap, so surface it — the caller reloads
-                # with matching patterns or swaps rules first.
-                raise
-        return result
+                    compiled_binding.append(
+                        active.ruleset.compile(compiled))
+
+            result = self.registry.load(patterns, regex=regex,
+                                        validate=_validate)
+            with self._bind_lock:
+                self._bindings.clear()
+                if compiled_binding:
+                    self._bindings[(active.gen_id, result.generation)] = \
+                        compiled_binding[0]
+            return result
 
     def _binding(self, generation) -> Optional[CompiledRuleSet]:
         """The compiled ruleset for one leased dictionary generation
@@ -175,12 +193,27 @@ class Tenant:
     def scan_packet(self, flow_id: Hashable,
                     payload: bytes) -> Tuple[PacketVerdict, int, int]:
         """Sessioned scan + verdict.  Returns ``(verdict, generation,
-        evicted)``."""
-        with self.registry.lease() as gen:
-            detail = gen.sessions.scan_packet_detail(flow_id, payload)
-            binding = self._binding(gen)
-            verdict = self.verdicts.apply(flow_id, detail, binding)
-            return verdict, gen.gen_id, len(detail.evicted)
+        evicted)``.
+
+        The binding is resolved *before* the packet is scanned: both
+        swap directions validate the active (policy, dictionary) pair
+        before promoting, so a binding failure can only mean this lease
+        was overtaken by a dictionary reload *and* a policy swap since
+        it was read — re-lease the now-active pair and try again (the
+        flow's DFA state has not advanced yet, so the retry scans the
+        packet exactly once).
+        """
+        while True:
+            with self.registry.lease() as gen:
+                try:
+                    binding = self._binding(gen)
+                except PolicyError:
+                    if gen.gen_id == self.registry.generation:
+                        raise
+                    continue
+                detail = gen.sessions.scan_packet_detail(flow_id, payload)
+                verdict = self.verdicts.apply(flow_id, detail, binding)
+                return verdict, gen.gen_id, len(detail.evicted)
 
     def close_flow(self, flow_id: Hashable) -> Tuple[int, int, Optional[str]]:
         """Evict one flow; returns ``(bytes, matches, final action)``."""

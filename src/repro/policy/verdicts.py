@@ -74,10 +74,18 @@ class _Bucket:
 class _FlowVerdict:
     """Verdict state of one flow."""
 
-    __slots__ = ("counts", "events", "latched", "action", "rule",
-                 "buckets", "bytes_seen")
+    __slots__ = ("ruleset", "counts", "events", "latched", "action",
+                 "rule", "buckets", "bytes_seen")
 
-    def __init__(self, num_rules: int) -> None:
+    def __init__(self, ruleset, num_rules: int) -> None:
+        #: The RuleSet these counters accrued under.  Identity-compared
+        #: against the binding's ruleset on every packet: a policy
+        #: hot-swap installs a new RuleSet object (even one with the
+        #: same rule count), so stale counters/latches/buckets never
+        #: leak into the new rules; a dictionary reload recompiles the
+        #: binding around the *same* RuleSet object, so counters
+        #: survive it.
+        self.ruleset = ruleset
         self.counts = [0] * num_rules          # lifetime per-rule matches
         # Byte offsets of recent matches, per windowed rule (bounded at
         # threshold entries — enough to decide the window predicate).
@@ -93,9 +101,11 @@ class VerdictEngine:
     """Per-tenant verdict ledger over the flow-session table.
 
     One engine per tenant; rulesets are *arguments*, not state, so a
-    policy hot-swap (or a dictionary reload recompiling the binding)
-    takes effect on the next packet with no flow state lost.  The clock
-    is injectable for deterministic token-bucket tests.
+    swap takes effect on the next judged packet.  A dictionary reload
+    (new binding, same RuleSet) loses no flow state; a policy hot-swap
+    restarts per-rule counters/windows/buckets — the new rules start
+    from zero — while latched actions survive.  The clock is injectable
+    for deterministic token-bucket tests.
     """
 
     def __init__(self, clock: Callable[[], float] = time.monotonic) -> None:
@@ -169,10 +179,10 @@ class VerdictEngine:
                binding: CompiledRuleSet) -> PacketVerdict:
         rules = binding.rules
         flow = self._flows.get(flow_id)
-        if flow is None or len(flow.counts) != len(rules):
-            # New flow, or the ruleset changed shape under it: verdict
-            # counters restart, but a latched action survives the swap.
-            fresh = _FlowVerdict(len(rules))
+        if flow is None or flow.ruleset is not binding.ruleset:
+            # New flow, or a policy hot-swap under it: verdict counters
+            # restart, but a latched action survives the swap.
+            fresh = _FlowVerdict(binding.ruleset, len(rules))
             if flow is not None:
                 fresh.action, fresh.rule = flow.action, flow.rule
                 fresh.bytes_seen = flow.bytes_seen

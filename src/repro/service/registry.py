@@ -217,13 +217,23 @@ class DictionaryRegistry:
 
     # -- reload side ---------------------------------------------------------------
 
-    def load(self, patterns: Sequence, regex: bool = False) -> ReloadResult:
+    def load(self, patterns: Sequence, regex: bool = False,
+             validate: Optional[Callable[[CompiledDictionary], None]] = None,
+             ) -> ReloadResult:
         """Compile ``patterns`` and atomically promote them.
 
         Runs entirely off the scan path: the active generation serves
         throughout the compile, the promotion itself is a pointer flip
         inside the :class:`DoubleBuffer` lock, and in-flight scans keep
         their leased generation until they finish.
+
+        ``validate``, if given, is called with the incoming
+        :class:`~repro.core.compiled.CompiledDictionary` *before* the
+        new generation is staged.  If it raises, the reload is refused:
+        the incoming generation's resources are released and the active
+        generation keeps serving, untouched.  This is the hook policy
+        layers use to keep cross-referencing state (rule bindings) from
+        drifting apart from the dictionary.
         """
         with self._reload_lock:
             if self._closed:
@@ -233,6 +243,15 @@ class DictionaryRegistry:
             gen_id = self._buffer.generation + 1
             incoming = self._compile_generation(gen_id, patterns, regex)
             warm = COUNTERS["automaton_builds"] == builds_before
+            if validate is not None:
+                try:
+                    validate(incoming.compiled)
+                except BaseException:
+                    # Never staged: zero leases, so retire releases the
+                    # incoming pools inline and the old generation
+                    # stays active.
+                    incoming.retire()
+                    raise
             self._buffer.stage(incoming)
             retired = self._buffer.promote()
             # Carry sessions *after* the flip: new flow packets already

@@ -48,6 +48,18 @@ class TestSpecRoundTrip:
                     window_bytes=4096, rate=2.5, burst=8)
         assert Rule.from_spec(rule.to_spec()) == rule
 
+    def test_non_ascii_pattern_spec_round_trip(self):
+        # Spec strings are latin-1 byte images both ways: any byte
+        # pattern (signatures are bytes, not text) survives the wire.
+        rule = Rule(name="bin", action="drop",
+                    patterns=(b"\xff", bytes(range(256))))
+        assert Rule.from_spec(rule.to_spec()) == rule
+
+    def test_spec_pattern_above_byte_range_rejected(self):
+        with pytest.raises(PolicyError, match="malformed"):
+            Rule.from_spec({"name": "r", "action": "drop",
+                            "patterns": ["€"]})
+
     def test_unknown_spec_keys_rejected(self):
         with pytest.raises(PolicyError, match="unknown keys"):
             Rule.from_spec({"name": "r", "action": "drop",

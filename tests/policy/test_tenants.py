@@ -60,6 +60,62 @@ class TestDictionaryReloads:
         with pytest.raises(PolicyError, match="not in the dictionary"):
             tenant.load_dictionary([b"worm", b"trojan"])
 
+    def test_refused_reload_leaves_old_generation_serving(self, tenant):
+        gen_before = tenant.registry.generation
+        with pytest.raises(PolicyError, match="not in the dictionary"):
+            tenant.load_dictionary([b"worm", b"trojan"])
+        # The mismatched dictionary was never promoted: the old
+        # generation still serves and the data path still judges.
+        assert tenant.registry.generation == gen_before
+        v, gen, _ = tenant.scan_packet("f", b"a virus")
+        assert (v.action, gen) == ("drop", gen_before)
+        # A compatible reload afterwards succeeds normally.
+        result = tenant.load_dictionary(WORDS + [b"rootkit"])
+        assert result.generation == gen_before + 1
+
+    def test_swap_directions_interleave_safely_under_traffic(self):
+        """Concurrent set_rules / load_dictionary churn with scans in
+        flight: refused swaps surface at the swap call only, the scan
+        path never raises, and it always judges a validated pair."""
+        tenant = Tenant("race", WORDS, rules=DROP_VIRUS)
+        rules_worm = RuleSet((Rule(name="wormy", action="alert",
+                                   patterns=(b"worm",)),))
+        stop = threading.Event()
+        errors = []
+
+        def swapper(op):
+            i = 0
+            while not stop.is_set():
+                try:
+                    op(i)
+                except PolicyError:
+                    pass            # refused swap: the documented outcome
+                except Exception as exc:    # pragma: no cover
+                    errors.append(exc)
+                    return
+                i += 1
+
+        threads = [
+            threading.Thread(target=swapper, args=(
+                lambda i: tenant.set_rules(
+                    DROP_VIRUS if i % 2 else rules_worm),)),
+            threading.Thread(target=swapper, args=(
+                lambda i: tenant.load_dictionary(
+                    WORDS if i % 2 else [b"worm", b"trojan"]),)),
+        ]
+        for t in threads:
+            t.start()
+        try:
+            for i in range(300):
+                v, _, _ = tenant.scan_packet(f"f{i}", b"worm virus")
+                assert v.action in ("forward", "alert", "drop")
+        finally:
+            stop.set()
+            for t in threads:
+                t.join()
+            tenant.close()
+        assert not errors
+
     def test_verdicts_survive_dictionary_reloads(self, tenant):
         v, _, _ = tenant.scan_packet("f", b"virus")
         assert v.action == "drop"

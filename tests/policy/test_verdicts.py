@@ -198,6 +198,41 @@ class TestLifecycle:
         v = judge(engine, sessions, bigger, "f", b"clean")
         assert (v.action, v.rule) == ("drop", "viral")
 
+    def test_same_shape_ruleset_swap_restarts_counters(self, compiled):
+        """A hot-swap to a different ruleset with the *same* rule count
+        must not let the new rules inherit the old rules' counters."""
+        old = RuleSet((Rule(name="viral", action="alert",
+                            patterns=(b"virus",), threshold=2),))
+        new = RuleSet((Rule(name="wormy", action="drop",
+                            patterns=(b"worm",), threshold=2),))
+        engine = VerdictEngine()
+        sessions = SessionScanner(compiled)
+        # One match accrued under the old rule (1/2: no trigger).
+        v = judge(engine, sessions, old.compile(compiled), "f", b"virus")
+        assert v.action == "forward"
+        # Swap: the new rule starts from zero, so one worm is 1/2 ...
+        new_binding = new.compile(compiled)
+        v = judge(engine, sessions, new_binding, "f", b"worm")
+        assert (v.action, v.triggered) == ("forward", [])
+        # ... and the second worm is the one that triggers it.
+        v = judge(engine, sessions, new_binding, "f", b"worm")
+        assert (v.action, v.rule) == ("drop", "wormy")
+
+    def test_dictionary_rebind_preserves_counters(self, compiled):
+        """The same RuleSet recompiled (a dictionary reload's rebind)
+        keeps accrued per-rule counters — only policy swaps reset."""
+        ruleset = RuleSet((Rule(name="viral", action="drop",
+                                patterns=(b"virus",), threshold=2),))
+        engine = VerdictEngine()
+        sessions = SessionScanner(compiled)
+        v = judge(engine, sessions, ruleset.compile(compiled), "f",
+                  b"virus")
+        assert v.action == "forward"       # 1/2
+        # A fresh binding of the *same* ruleset: the count carries.
+        v = judge(engine, sessions, ruleset.compile(compiled), "f",
+                  b"virus")
+        assert (v.action, v.rule) == ("drop", "viral")
+
     def test_rule_free_binding_creates_no_flow_state(self, compiled):
         engine = VerdictEngine()
         sessions = SessionScanner(compiled)
