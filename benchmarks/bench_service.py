@@ -178,6 +178,99 @@ def test_service_load_report(report, report_json, tmp_path):
     })
 
 
+POOL_SWEEP = [1, 2] if SMOKE else [1, 2, 4]
+
+
+def test_pool_worker_sweep(report, report_json):
+    """Gateway + worker-pool mode across pool sizes.
+
+    Per-worker load is held constant (two closed-loop connections per
+    worker) so the single-worker p99 is comparable across rows; the
+    largest pool additionally takes hot reloads mid-load and must
+    finish with **zero failed requests**.  Every worker must report
+    zero automaton builds — the compile-once / attach-everywhere
+    contract of the shared-memory pool.  Scaling itself is *recorded*,
+    not asserted: the regression gate (``check_bench_regression.py``)
+    judges it against ``REPRO_BENCH_POOL_MIN`` only when the host has
+    the cores to deliver a speedup.
+    """
+    requests = max(20, REQUESTS // 2)
+    rows = []
+    for w in POOL_SWEEP:
+        config = ServiceConfig(port=0, max_pending=256,
+                               pool_workers=w)
+        service = ScanService(PATTERNS, config=config)
+        with ServiceThread(service) as handle:
+            stop = threading.Event()
+            reloader = admin = None
+            if w == POOL_SWEEP[-1]:
+                admin = ServiceClient(handle.host, handle.port)
+
+                def _reloader():
+                    sets = [ALT_PATTERNS, PATTERNS]
+                    for i in range(500):     # paced by the load below
+                        admin.reload(sets[i % 2])
+                        if stop.wait(0.02):
+                            break
+
+                reloader = threading.Thread(target=_reloader,
+                                            daemon=True)
+                reloader.start()
+            result = run_load(handle.host, handle.port,
+                              connections=2 * w,
+                              requests_per_connection=requests,
+                              patterns=[p.encode() for p in PATTERNS],
+                              match_fraction=0.3, seed=23)
+            stop.set()
+            if reloader is not None:
+                reloader.join(timeout=60)
+                admin.close()
+            with ServiceClient(handle.host, handle.port) as client:
+                stats = client.stats()
+        assert result.errors == 0, result.error_codes
+        pool = stats["pool"]
+        assert pool["size"] == w
+        assert pool["restarts"] == 0, "worker crashed during the sweep"
+        for worker in pool["workers"]:
+            assert worker["automaton_builds"] == 0, \
+                f"worker {worker['index']} built an automaton " \
+                f"(shared-memory attach contract broken)"
+        if w == POOL_SWEEP[-1]:
+            assert len(result.generations) >= 2, \
+                "no reload landed during the max-pool run"
+        rows.append({
+            "workers": w,
+            "connections": 2 * w,
+            "requests": result.requests,
+            "rps": round(result.requests_per_second, 1),
+            "p99_ms": round(result.p99_ms, 3),
+            "gbps": round(result.gbps, 4),
+        })
+    base_rps = rows[0]["rps"] or 1.0
+    for row in rows:
+        row["scaling"] = round(row["rps"] / base_rps, 3)
+        row["scaling_efficiency"] = round(
+            row["scaling"] / row["workers"], 3)
+
+    lines = [f"Worker-pool sweep, {os.cpu_count()} host core(s), "
+             f"2 connections/worker x {requests} request(s)"]
+    for row in rows:
+        lines.append(
+            f"  {row['workers']} worker(s): {row['rps']:8.0f} req/s, "
+            f"p99 {row['p99_ms']:7.2f} ms, scaling {row['scaling']:.2f}x"
+            f" (efficiency {row['scaling_efficiency']:.2f})")
+    lines.append("  (largest pool took hot reloads mid-load — "
+                 "zero failed requests asserted)")
+    report("service_pool", "\n".join(lines))
+    report_json("service", {
+        "pool_sweep": {
+            "host_cores": os.cpu_count(),
+            "requests_per_connection": requests,
+            "rows": rows,
+        },
+    }, merge=True)
+
+
 def test_benchmark_oneshot_scan_rtt(benchmark):
     """Round-trip time of one SCAN over the local socket — the
     service-layer overhead on top of the backend's scan time."""

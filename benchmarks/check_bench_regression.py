@@ -60,6 +60,10 @@ DEFAULT_FUSED_FRESH = os.path.join(HERE, "results", "BENCH_fused.json")
 DEFAULT_FUSED_BASELINE = os.path.join(HERE, "baselines",
                                       "BENCH_fused.json")
 DEFAULT_POLICY_FRESH = os.path.join(HERE, "results", "BENCH_policy.json")
+DEFAULT_SERVICE_FRESH = os.path.join(HERE, "results",
+                                     "BENCH_service.json")
+DEFAULT_SERVICE_BASELINE = os.path.join(HERE, "baselines",
+                                        "BENCH_service.json")
 
 
 def _load(path, section="per_backend"):
@@ -218,6 +222,82 @@ def compare_policy(fresh, overhead_max=15.0):
     return ok, lines
 
 
+def compare_pool(fresh, baseline=None, pool_min=1.5, tolerance=0.30):
+    """Return (ok, lines) gating the worker-pool sweep.
+
+    Three checks, all cores-aware (a host with fewer cores than the
+    largest pool cannot deliver a parallel speedup, so the scaling and
+    latency demands are skipped there with a note rather than failing
+    an honest run):
+
+    * **scaling** — req/s at the largest pool must be at least
+      ``pool_min`` times the single-worker row of the *same* run
+      (needs one core per worker plus one for the gateway/loadgen);
+    * **p99 blow-up** — the largest pool's p99 must stay within
+      ``2 x (1 + tolerance)`` of the single-worker p99 (per-worker
+      load is matched by construction: two connections per worker);
+    * **baseline throughput** — the largest pool's req/s must not drop
+      more than ``tolerance`` below the committed baseline's matching
+      row (skipped when the baseline has no pool sweep — bootstrap).
+    """
+    sweep = fresh.get("pool_sweep") or {}
+    rows = sweep.get("rows") or []
+    lines = []
+    if len(rows) < 2:
+        return True, ["  fresh run has no pool sweep rows — gate "
+                      "skipped"]
+    cores = int(sweep.get("host_cores") or 0)
+    base = rows[0]
+    top = max(rows, key=lambda r: int(r["workers"]))
+    top_workers = int(top["workers"])
+    scaling = (float(top["rps"]) / float(base["rps"])
+               if float(base["rps"]) else 0.0)
+    lines.append(f"  {top_workers} workers {float(top['rps']):8.0f} "
+                 f"req/s vs 1 worker {float(base['rps']):8.0f} req/s "
+                 f"({scaling:.2f}x) on {cores} host core(s)")
+    ok = True
+    if cores > top_workers:
+        good = scaling >= pool_min
+        ok = ok and good
+        lines.append(f"  {'pass' if good else 'FAIL'}: scaling "
+                     f"{scaling:.2f}x (floor {pool_min:.2f}x)")
+        p99_old = float(base.get("p99_ms") or 0.0)
+        p99_new = float(top.get("p99_ms") or 0.0)
+        ceiling = p99_old * 2.0 * (1.0 + tolerance)
+        good = p99_old == 0.0 or p99_new <= ceiling
+        ok = ok and good
+        lines.append(f"  {'pass' if good else 'FAIL'}: p99 "
+                     f"{p99_new:.2f} ms vs single-worker "
+                     f"{p99_old:.2f} ms (ceiling {ceiling:.2f} at "
+                     f"matched per-worker load)")
+    else:
+        lines.append(f"  note: {cores} core(s) <= {top_workers} "
+                     f"workers — scaling and p99 gates skipped (the "
+                     f"gateway and loadgen need a core of their own "
+                     f"for the speedup to be deliverable)")
+    base_rows = ((baseline or {}).get("pool_sweep") or {}).get("rows")
+    if base_rows:
+        by_workers = {int(r["workers"]): r for r in base_rows}
+        old_row = by_workers.get(top_workers)
+        if old_row is None:
+            lines.append(f"  note: baseline has no {top_workers}-worker "
+                         f"row — throughput gate skipped")
+        else:
+            old = float(old_row["rps"])
+            new = float(top["rps"])
+            floor = old * (1.0 - tolerance)
+            good = new >= floor
+            ok = ok and good
+            lines.append(f"  {'pass' if good else 'FAIL'}: "
+                         f"{top_workers}-worker throughput {new:.0f} "
+                         f"req/s vs baseline {old:.0f} req/s (floor "
+                         f"{floor:.0f})")
+    else:
+        lines.append("  note: baseline has no pool sweep — throughput "
+                     "gate skipped")
+    return ok, lines
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         description="fail when the headline backend regresses vs the "
@@ -241,6 +321,17 @@ def main(argv=None):
         default=float(os.environ.get("REPRO_POLICY_OVERHEAD_MAX", "15")),
         help="max verdict overhead over a raw session scan, in percent "
              "(default 15, or REPRO_POLICY_OVERHEAD_MAX)")
+    parser.add_argument("--service-fresh", default=DEFAULT_SERVICE_FRESH,
+                        help="freshly generated BENCH_service.json")
+    parser.add_argument("--service-baseline",
+                        default=DEFAULT_SERVICE_BASELINE,
+                        help="committed baseline BENCH_service.json")
+    parser.add_argument(
+        "--pool-min", type=float,
+        default=float(os.environ.get("REPRO_BENCH_POOL_MIN", "1.5")),
+        help="min req/s scaling of the largest worker pool over one "
+             "worker, applied when the host has at least that many "
+             "cores (default 1.5, or REPRO_BENCH_POOL_MIN)")
     parser.add_argument(
         "--tolerance", type=float,
         default=float(os.environ.get("REPRO_BENCH_TOLERANCE", "0.30")),
@@ -293,6 +384,33 @@ def main(argv=None):
     else:
         print(f"[bench gate] no policy results at {args.policy_fresh}"
               f" — verdict-overhead gate skipped")
+
+    if os.path.exists(args.service_fresh):
+        # Tolerant load: a service result predating the pool sweep
+        # (no pool_sweep section) skips the gate instead of erroring.
+        try:
+            with open(args.service_fresh) as fh:
+                service_fresh = json.load(fh)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"[bench gate] cannot read "
+                             f"{args.service_fresh}: {exc}")
+        service_base = None
+        if os.path.exists(args.service_baseline):
+            try:
+                with open(args.service_baseline) as fh:
+                    service_base = json.load(fh)
+            except (OSError, ValueError):
+                service_base = None
+        pool_ok, pool_lines = compare_pool(
+            service_fresh, baseline=service_base,
+            pool_min=args.pool_min, tolerance=args.tolerance)
+        ok = ok and pool_ok
+        print("[bench gate: worker-pool scaling]")
+        for line in pool_lines:
+            print(line)
+    else:
+        print(f"[bench gate] no service results at "
+              f"{args.service_fresh} — pool gate skipped")
     return 0 if ok else 2
 
 

@@ -130,6 +130,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="default SCAN backend (default: auto)")
     serve.add_argument("--workers", type=int, default=1,
                        help="worker processes for parallel backends")
+    serve.add_argument("--pool-workers", type=int, default=0,
+                       help="gateway mode: N worker processes attached "
+                            "to the compiled dictionary over shared "
+                            "memory, flows placed by consistent hash "
+                            "(0 = in-process daemon)")
     serve.add_argument("--max-pending", type=int, default=64,
                        help="admission control: concurrent scans in "
                             "flight (default 64)")
@@ -183,6 +188,10 @@ def build_parser() -> argparse.ArgumentParser:
                                "streaming", "cellsim"],
                       help="daemon SCAN backend (in-process daemon only)")
     load.add_argument("--workers", type=int, default=1)
+    load.add_argument("--pool-workers", type=int, default=0,
+                      help="in-process daemon: run the gateway + "
+                           "worker-pool mode with N processes (0 = "
+                           "single-process daemon)")
     load.add_argument("--batch-max", type=int, default=1,
                       help="daemon cross-request batching knob "
                            "(in-process daemon only; 1 = off)")
@@ -200,6 +209,10 @@ def build_parser() -> argparse.ArgumentParser:
     load.add_argument("--max-size", type=int, default=1500)
     load.add_argument("--match-fraction", type=float, default=0.2,
                       help="fraction of packets with a planted pattern")
+    load.add_argument("--arrival-rate", type=float, default=None,
+                      help="open-loop mode: aggregate offered request "
+                           "rate (req/s); latency is measured from the "
+                           "scheduled send time (default: closed loop)")
     load.add_argument("--reloads", type=int, default=0,
                       help="hot reloads to fire while the load runs")
     load.add_argument("--tenant", metavar="NAME",
@@ -383,7 +396,8 @@ def _cmd_serve(args) -> int:
         admission=args.admission, request_timeout=args.timeout,
         drain_timeout=args.drain_timeout, max_flows=args.max_flows,
         session_policy=args.session_eviction,
-        batch_max=args.batch_max, batch_wait=args.batch_wait)
+        batch_max=args.batch_max, batch_wait=args.batch_wait,
+        pool_workers=args.pool_workers)
     tenants = None
     if args.tenants_json:
         with open(args.tenants_json, "r", encoding="utf-8") as fh:
@@ -412,6 +426,9 @@ def _cmd_serve(args) -> int:
         print(f"admission: {config.admission}, {config.max_pending} in "
               f"flight; backend: {config.backend or 'auto'}; "
               f"Ctrl-C or SHUTDOWN to drain", flush=True)
+        if config.pool_workers > 0:
+            print(f"pool: {config.pool_workers} worker process(es) "
+                  f"attached over shared memory", flush=True)
         if tenants:
             print(f"tenants: {', '.join(sorted(tenants))}", flush=True)
         await service.wait_stopped()
@@ -453,7 +470,8 @@ def _cmd_bench_load(args) -> int:
         config = ServiceConfig(
             backend=None if args.backend == "auto" else args.backend,
             workers=args.workers, batch_max=args.batch_max,
-            batch_wait=args.batch_wait)
+            batch_wait=args.batch_wait,
+            pool_workers=args.pool_workers)
         handle = ServiceThread(ScanService(patterns,
                                            config=config)).start()
         host, port = handle.host, handle.port
@@ -490,7 +508,8 @@ def _cmd_bench_load(args) -> int:
             patterns=[p.encode() for p in patterns],
             match_fraction=args.match_fraction,
             seed=args.seed,
-            tenant=args.tenant)
+            tenant=args.tenant,
+            arrival_rate=args.arrival_rate)
         reload_stop.set()
         if reload_thread is not None:
             reload_thread.join(timeout=30)

@@ -60,12 +60,13 @@ class _PolicyGeneration:
 class Tenant:
     """One tenant's dictionary, policy and verdict state."""
 
-    def __init__(self, name: str, patterns: Sequence, *,
+    def __init__(self, name: str, patterns: Optional[Sequence] = None, *,
                  rules: Optional[RuleSet] = None,
                  fold=None, regex: bool = False,
                  max_states: int = 1 << 30, cache=None,
                  max_flows: int = 65536, session_policy: str = "lru",
-                 clock: Callable[[], float] = time.monotonic) -> None:
+                 clock: Callable[[], float] = time.monotonic,
+                 compiled=None, first_generation: int = 1) -> None:
         if not name:
             raise TenantError("tenant needs a name")
         # Imported lazily: the daemon imports this module, so a
@@ -76,7 +77,8 @@ class Tenant:
         self.registry = DictionaryRegistry(
             patterns, fold=fold, regex=regex, max_states=max_states,
             cache=cache, max_flows=max_flows,
-            session_policy=session_policy)
+            session_policy=session_policy, compiled=compiled,
+            first_generation=first_generation)
         self.verdicts = VerdictEngine(clock=clock)
         first = _PolicyGeneration(1, rules or RuleSet())
         if first.ruleset.rules:
@@ -151,6 +153,29 @@ class Tenant:
 
             result = self.registry.load(patterns, regex=regex,
                                         validate=_validate)
+            with self._bind_lock:
+                self._bindings.clear()
+                if compiled_binding:
+                    self._bindings[(active.gen_id, result.generation)] = \
+                        compiled_binding[0]
+            return result
+
+    def load_compiled(self, compiled,
+                      generation: Optional[int] = None) -> ReloadResult:
+        """Hot-swap to an externally compiled dictionary (the pool's
+        worker side of a tenant reload), with the same active-ruleset
+        validation as :meth:`load_dictionary`."""
+        with self._swap_lock:
+            active = self._policy.active
+            compiled_binding: List[CompiledRuleSet] = []
+
+            def _validate(incoming) -> None:
+                if active.ruleset.rules:
+                    compiled_binding.append(
+                        active.ruleset.compile(incoming))
+
+            result = self.registry.load_compiled(
+                compiled, generation=generation, validate=_validate)
             with self._bind_lock:
                 self._bindings.clear()
                 if compiled_binding:
@@ -267,14 +292,16 @@ class TenantManager:
         self._lock = threading.Lock()
         self._tenants: Dict[str, Tenant] = {}
 
-    def create(self, name: str, patterns: Sequence, *,
+    def create(self, name: str, patterns: Optional[Sequence] = None, *,
                rules: Optional[RuleSet] = None,
-               regex: bool = False) -> Tenant:
+               regex: bool = False, compiled=None,
+               first_generation: int = 1) -> Tenant:
         tenant = Tenant(
             name, patterns, rules=rules, regex=regex,
             max_states=self._max_states, cache=self._cache,
             max_flows=self._max_flows,
-            session_policy=self._session_policy, clock=self._clock)
+            session_policy=self._session_policy, clock=self._clock,
+            compiled=compiled, first_generation=first_generation)
         with self._lock:
             if name in self._tenants:
                 tenant.close()

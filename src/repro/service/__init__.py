@@ -13,9 +13,12 @@ production shape of the reproduction:
 * :mod:`~repro.service.metrics` — counters and latency histograms;
 * :mod:`~repro.service.daemon` — the asyncio server with admission
   control and graceful drain;
+* :mod:`~repro.service.pool` / :mod:`~repro.service.worker` — the
+  multi-process gateway mode: a worker fleet attached to the compiled
+  dictionary via shared memory, flows placed by consistent hash;
 * :mod:`~repro.service.client` — the blocking client;
-* :mod:`~repro.service.loadgen` — the closed-loop load generator
-  behind ``repro bench-load``.
+* :mod:`~repro.service.loadgen` — the closed-/open-loop load
+  generator behind ``repro bench-load``.
 
 The daemon also hosts the policy layer (:mod:`repro.policy`): tenants
 with isolated dictionaries and hot-swappable rulesets, reachable via
@@ -26,6 +29,8 @@ from .client import ServiceClient, ServiceError
 from .daemon import ScanService, ServiceConfig, ServiceThread
 from .loadgen import LoadResult, run_load
 from .metrics import LatencyHistogram, ServiceMetrics
+from .pool import (ConsistentHashRing, PoolError, WorkerCrashError,
+                   WorkerPool)
 from .protocol import (RELOAD_STRATEGY, VERB_SPECS, VERBS, Frame,
                        ProtocolError)
 from .registry import (DictionaryRegistry, Generation, RegistryError,
@@ -42,6 +47,10 @@ __all__ = [
     "run_load",
     "LatencyHistogram",
     "ServiceMetrics",
+    "ConsistentHashRing",
+    "PoolError",
+    "WorkerCrashError",
+    "WorkerPool",
     "RELOAD_STRATEGY",
     "VERB_SPECS",
     "VERBS",

@@ -45,6 +45,20 @@ applied across clients instead of within one buffer.  A batch flushes when ``bat
 first; each request still gets its own admission slot, response header
 and per-request metrics, plus batch-occupancy counters under
 ``STATS.metrics.batches``.
+
+**Pool mode** (``pool_workers > 0``): the daemon becomes a gateway in
+front of a fleet of scan worker *processes* — the paper's PPE/SPE
+split.  The gateway keeps the network, admission and compile roles;
+each worker attaches to the compiled dictionary through shared memory
+(compile once, map everywhere — workers do **zero** automaton builds,
+and STATS proves it per worker), owns the flow sessions that
+consistent-hashing places on it, and serves scans from its own
+process so the fleet scales across cores without sharing a GIL.
+Stateless ``SCAN`` stripes to the idlest worker; ``FLOW`` pins to the
+hash owner; ``RELOAD`` fans a generation swap out to every worker,
+which leases the new tables before the gateway retires the old
+segment; ``STATS`` merges per-worker histograms bucket-wise.  The
+in-process batcher is disabled — parallelism comes from the fleet.
 """
 
 from __future__ import annotations
@@ -60,9 +74,11 @@ from typing import Dict, Optional, Sequence, Tuple
 from ..core.backends import BackendError, ScanRequest, execute, get_backend
 from ..core.compiled import CompileError
 from ..core.flows import FlowError
+from ..core.scan.bundle import bundle_from_compiled
 from ..policy.rules import PolicyError, RuleSet
 from ..policy.tenants import Tenant, TenantError, TenantManager
 from .metrics import ServiceMetrics
+from .pool import WorkerCrashError, WorkerOpError, WorkerPool
 from .protocol import (MAX_FRAME_BYTES, RELOAD_STRATEGY, Frame,
                        ProtocolError, decode_patterns, encode_frame,
                        split_body)
@@ -105,6 +121,11 @@ class ServiceConfig:
     batch_max: int = 1
     #: Seconds a partial batch waits for company before flushing.
     batch_wait: float = 0.002
+    #: Worker processes behind the gateway (0 = serve in-process).
+    #: Pool mode compiles dictionaries once in the gateway and attaches
+    #: every worker to the same shared-memory tables; flows stay
+    #: worker-local by consistent hash of ``(tenant, flow_id)``.
+    pool_workers: int = 0
 
     def validate(self) -> None:
         if self.admission not in ("reject", "wait"):
@@ -121,6 +142,8 @@ class ServiceConfig:
             raise ValueError("batch_max must be positive")
         if self.batch_wait < 0:
             raise ValueError("batch_wait must be non-negative")
+        if self.pool_workers < 0:
+            raise ValueError("pool_workers must be >= 0")
 
 
 class _ScanBatcher:
@@ -243,6 +266,7 @@ class ScanService:
         self._cond: Optional[asyncio.Condition] = None
         self._stopped: Optional[asyncio.Event] = None
         self._batcher: Optional[_ScanBatcher] = None
+        self._pool: Optional[WorkerPool] = None
         self._verbs = {
             "PING": self._verb_ping,
             "SCAN": self._verb_scan,
@@ -270,7 +294,14 @@ class ScanService:
         (``self.port`` then holds the real port, even for port 0)."""
         self._cond = asyncio.Condition()
         self._stopped = asyncio.Event()
-        if self.config.batch_max > 1:
+        if self.config.pool_workers > 0:
+            # Fork the fleet before anything else: a forked child must
+            # not inherit executor threads or the listening socket.
+            # The batcher stays off — in pool mode concurrent requests
+            # parallelize across worker processes instead.
+            self._pool = WorkerPool(self)
+            await self._pool.start()
+        elif self.config.batch_max > 1:
             self._batcher = _ScanBatcher(self)
         self._scan_pool = ThreadPoolExecutor(
             max_workers=self.config.scan_threads,
@@ -309,6 +340,8 @@ class ScanService:
             pass
         for writer in list(self._connections):
             writer.close()
+        if self._pool is not None:
+            await self._pool.stop()
         self._scan_pool.shutdown(wait=True)
         self._reload_pool.shutdown(wait=True)
         self.registry.close()
@@ -333,7 +366,10 @@ class ScanService:
                 f"frame of {frame_len} bytes exceeds the "
                 f"{self.config.max_frame_bytes}-byte limit")
         body = await reader.readexactly(frame_len)
-        return split_body(body)
+        # Zero-copy ingestion: the payload stays a memoryview over the
+        # receive buffer; every scan path consumes buffers directly and
+        # the view keeps the body alive for exactly one request.
+        return split_body(body, zero_copy=True)
 
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
@@ -394,6 +430,18 @@ class ScanService:
         except FlowError as exc:
             self.metrics.record_error()
             return self._error(rid, "flow-error", str(exc))
+        except WorkerOpError as exc:
+            # A pool worker already classified the failure; echo its
+            # code so clients see the same taxonomy either mode.
+            self.metrics.record_error()
+            return self._error(rid, exc.code, str(exc))
+        except WorkerCrashError as exc:
+            # Accounted loss, never silent: the rejection counter
+            # carries it and the client gets a retryable error — the
+            # replacement worker (or a ring neighbour) takes the retry.
+            self.metrics.record_error()
+            self.metrics.record_rejected()
+            return self._error(rid, "worker-crash", str(exc))
         except Exception as exc:  # keep the daemon up, report the verb
             self.metrics.record_error()
             return self._error(rid, "internal",
@@ -442,6 +490,91 @@ class ScanService:
         async with self._cond:
             self._cond.notify_all()
 
+    # -- pool routing ---------------------------------------------------------------
+
+    async def _admit_pool(self, rid, handle
+                          ) -> Optional[Tuple[Dict, bytes]]:
+        """Per-worker admission: pool mode splits ``max_pending``
+        evenly across workers, so backpressure tracks the worker that
+        actually owns the request's hash span instead of one global
+        counter — a hot span rejects while the rest of the fleet keeps
+        absorbing load."""
+        if self._draining:
+            return self._error(rid, "draining",
+                               "service is shutting down")
+        if not self._pool.has_slot(handle):
+            if self.config.admission == "reject":
+                self.metrics.record_rejected()
+                return self._error(
+                    rid, "busy",
+                    f"worker {handle.index} queue full "
+                    f"({self._pool.per_worker_cap} in flight); retry")
+            try:
+                await asyncio.wait_for(
+                    self._pool.wait_for_slot(handle),
+                    timeout=self.config.request_timeout)
+            except asyncio.TimeoutError:
+                self.metrics.record_timeout()
+                return self._error(
+                    rid, "timeout",
+                    f"no slot on worker {handle.index} within "
+                    f"{self.config.request_timeout:.3g}s")
+            if self._draining:
+                return self._error(rid, "draining",
+                                   "service is shutting down")
+        self._pending += 1
+        self.metrics.set_queue_depth(self._pending)
+        return None
+
+    async def _pool_call(self, handle, kind: str, meta: Dict,
+                         payload=b"") -> Dict:
+        # The pipe transport pickles; a zero-copy memoryview payload
+        # materializes exactly once, here at the process boundary.
+        data = bytes(payload) if payload else b""
+        return await handle.call(kind, meta, data)
+
+    async def _scan_pooled(self, rid, frame: Frame,
+                           tenant: Optional[Tenant], backend,
+                           with_events: bool,
+                           workers: int) -> Tuple[Dict, bytes]:
+        """Stateless SCAN stripes to the idlest live worker."""
+        handle = self._pool.least_loaded()
+        admission = await self._admit_pool(rid, handle)
+        if admission is not None:
+            return admission
+        try:
+            meta: Dict[str, object] = {"backend": backend,
+                                       "workers": workers,
+                                       "events": with_events}
+            if tenant is not None:
+                meta["tenant"] = tenant.name
+            result = await self._pool_call(handle, "scan", meta,
+                                           frame.payload)
+            return dict(result, id=rid, ok=True), b""
+        finally:
+            await self._release_slot()
+
+    async def _flow_pooled(self, rid, frame: Frame,
+                           tenant: Optional[Tenant],
+                           flow_id) -> Tuple[Dict, bytes]:
+        """FLOW pins to the consistent-hash owner of
+        ``(tenant, flow_id)`` so the session's DFA state never leaves
+        its worker."""
+        handle = self._pool.place(
+            tenant.name if tenant is not None else "", flow_id)
+        admission = await self._admit_pool(rid, handle)
+        if admission is not None:
+            return admission
+        try:
+            meta: Dict[str, object] = {"flow": flow_id}
+            if tenant is not None:
+                meta["tenant"] = tenant.name
+            result = await self._pool_call(handle, "flow", meta,
+                                           frame.payload)
+            return dict(result, id=rid, ok=True), b""
+        finally:
+            await self._release_slot()
+
     # -- verbs ---------------------------------------------------------------------
 
     async def _verb_ping(self, rid, frame: Frame) -> Tuple[Dict, bytes]:
@@ -454,6 +587,9 @@ class ScanService:
         with_events = bool(frame.header.get("events"))
         workers = int(frame.header.get("workers")
                       or self.config.workers)
+        if self._pool is not None:
+            return await self._scan_pooled(rid, frame, tenant, backend,
+                                           with_events, workers)
         if (tenant is None and self._batcher is not None
                 and not with_events and workers == 1
                 and backend in (None, "auto", "fused")):
@@ -529,6 +665,8 @@ class ScanService:
             return self._error(rid, "bad-request",
                                "FLOW needs a 'flow' id")
         tenant = self._tenant_of(frame)
+        if self._pool is not None:
+            return await self._flow_pooled(rid, frame, tenant, flow_id)
         admission = await self._admit(rid)
         if admission is not None:
             return admission
@@ -595,6 +733,14 @@ class ScanService:
             return self._error(rid, "bad-request",
                                "CLOSE_FLOW needs a 'flow' id")
         tenant = self._tenant_of(frame)
+        if self._pool is not None:
+            handle = self._pool.place(
+                tenant.name if tenant is not None else "", flow_id)
+            meta: Dict[str, object] = {"flow": flow_id}
+            if tenant is not None:
+                meta["tenant"] = tenant.name
+            result = await self._pool_call(handle, "close_flow", meta)
+            return dict(result, id=rid, ok=True), b""
         if tenant is not None:
             nbytes, matches, action = tenant.close_flow(flow_id)
             header = {"id": rid, "ok": True,
@@ -619,14 +765,34 @@ class ScanService:
         regex = bool(frame.header.get("regex"))
         tenant = self._tenant_of(frame)
         loop = asyncio.get_running_loop()
-        if tenant is not None:
-            result = await loop.run_in_executor(
-                self._reload_pool,
-                partial(tenant.load_dictionary, patterns, regex=regex))
-        else:
-            result = await loop.run_in_executor(
-                self._reload_pool,
-                partial(self.registry.load, patterns, regex=regex))
+        pooled = self._pool is not None
+
+        def _compile():
+            # Compile, promote and (in pool mode) export the new
+            # generation's shared segment inside one task on the
+            # single-threaded reload executor, so a concurrent RELOAD
+            # cannot promote a different generation between the
+            # compile and the export.
+            if tenant is not None:
+                result = tenant.load_dictionary(patterns, regex=regex)
+                active = tenant.registry.active.compiled
+            else:
+                result = self.registry.load(patterns, regex=regex)
+                active = self.registry.active.compiled
+            bundle = bundle_from_compiled(active) if pooled else None
+            return result, bundle
+
+        result, bundle = await loop.run_in_executor(self._reload_pool,
+                                                    _compile)
+        flows_carried = result.flows_carried
+        if pooled:
+            # Fan the swap out: every worker attaches + promotes
+            # before acking; the gateway retires the old segment only
+            # after the last ack.  Flow sessions live in the workers,
+            # so the carried-flow count is theirs.
+            flows_carried = await self._pool.swap(
+                tenant.name if tenant is not None else "",
+                bundle, result.generation)
         self.metrics.record_reload(result.seconds, result.warm)
         header = {"id": rid, "ok": True,
                   "generation": result.generation,
@@ -635,7 +801,7 @@ class ScanService:
                   "patterns": result.patterns,
                   "slices": result.slices,
                   "states": result.states,
-                  "flows_carried": result.flows_carried}
+                  "flows_carried": flows_carried}
         if tenant is not None:
             header["tenant"] = tenant.name
         return header, b""
@@ -658,11 +824,22 @@ class ScanService:
                     frame.header["rules"],
                     mode=str(frame.header.get("mode", "first-match")))
             loop = asyncio.get_running_loop()
-            tenant = await loop.run_in_executor(
-                self._reload_pool,
-                partial(self.tenants.create, name, patterns,
-                        rules=rules,
-                        regex=bool(frame.header.get("regex"))))
+            pooled = self._pool is not None
+
+            def _create():
+                tenant = self.tenants.create(
+                    name, patterns, rules=rules,
+                    regex=bool(frame.header.get("regex")))
+                bundle = bundle_from_compiled(
+                    tenant.registry.active.compiled) if pooled else None
+                return tenant, bundle
+
+            tenant, bundle = await loop.run_in_executor(
+                self._reload_pool, _create)
+            if pooled:
+                await self._pool.tenant_create(
+                    name, bundle, tenant.registry.generation,
+                    tenant.ruleset.to_specs(), tenant.ruleset.mode)
             return ({"id": rid, "ok": True, "tenant": name,
                      "generation": tenant.registry.generation,
                      "policy_generation": tenant.policy_generation,
@@ -671,6 +848,8 @@ class ScanService:
         if op == "delete":
             self.tenants.drop(name)
             self.metrics.forget_tenant(name)
+            if self._pool is not None:
+                await self._pool.tenant_delete(name)
             return ({"id": rid, "ok": True, "tenant": name,
                      "deleted": True}, b"")
         if op == "info":
@@ -698,6 +877,14 @@ class ScanService:
                 frame.header.get("rules", []),
                 mode=str(frame.header.get("mode", "first-match")))
             generation = tenant.set_rules(rules)
+            if self._pool is not None:
+                # The gateway validated the swap; replicate the
+                # canonical specs so every worker's verdict engine
+                # promotes the same policy generation.
+                await self._pool.broadcast(
+                    "policy_set", {"tenant": tenant.name,
+                                   "rules": rules.to_specs(),
+                                   "mode": rules.mode})
             return ({"id": rid, "ok": True, "tenant": tenant.name,
                      "policy_generation": generation,
                      "rules": len(rules)}, b"")
@@ -705,22 +892,35 @@ class ScanService:
                            f"unknown POLICY op {op!r} (set/get)")
 
     async def _verb_stats(self, rid, frame: Frame) -> Tuple[Dict, bytes]:
-        return ({"id": rid, "ok": True,
-                 "generation": self.registry.generation,
-                 "metrics": self.metrics.snapshot(),
-                 "registry": self.registry.describe(),
-                 "tenants": self.tenants.describe(),
-                 "reload_strategy": RELOAD_STRATEGY,
-                 "config": {
-                     "backend": self.config.backend or "auto",
-                     "workers": self.config.workers,
-                     "max_pending": self.config.max_pending,
-                     "admission": self.config.admission,
-                     "max_flows": self.config.max_flows,
-                     "session_policy": self.config.session_policy,
-                     "batch_max": self.config.batch_max,
-                     "batch_wait": self.config.batch_wait,
-                 }}, b"")
+        header: Dict[str, object] = {
+            "id": rid, "ok": True,
+            "generation": self.registry.generation,
+            "registry": self.registry.describe(),
+            "tenants": self.tenants.describe(),
+            "reload_strategy": RELOAD_STRATEGY,
+            "config": {
+                "backend": self.config.backend or "auto",
+                "workers": self.config.workers,
+                "max_pending": self.config.max_pending,
+                "admission": self.config.admission,
+                "max_flows": self.config.max_flows,
+                "session_policy": self.config.session_policy,
+                "batch_max": self.config.batch_max,
+                "batch_wait": self.config.batch_wait,
+                "pool_workers": self.config.pool_workers,
+            }}
+        if self._pool is not None:
+            # Pool-wide view: worker histograms merge bucket-wise with
+            # the gateway's own counters, so p50/p95/p99 are computed
+            # over the union of samples, not averaged per worker.
+            acks = await self._pool.broadcast("stats")
+            header["metrics"] = ServiceMetrics.merged_snapshot(
+                [self.metrics.state()]
+                + [ack["metrics"] for _, ack in acks])
+            header["pool"] = self._pool.describe(acks)
+        else:
+            header["metrics"] = self.metrics.snapshot()
+        return header, b""
 
     async def _verb_shutdown(self, rid,
                              frame: Frame) -> Tuple[Dict, bytes]:

@@ -1,14 +1,23 @@
-"""Closed-loop load generator for the scan daemon.
+"""Load generator for the scan daemon: closed- and open-loop.
 
 ``repro bench-load`` and the service bench drive a daemon the way the
 paper's traffic generator drives the tile: synthetic packet payloads
 (:func:`repro.workloads.traffic.packet_stream`) with a controlled
-planted-match density, sent by N concurrent connections in closed loop
-(each connection has one request in flight — the classic
-latency-vs-throughput operating point).  Latencies are measured per
-request at the client; quantiles are exact (sorted samples, not
-histogram buckets), so ``BENCH_service.json`` can be compared against
-the daemon's own histogram-based ``STATS`` view.
+planted-match density, sent by N concurrent connections.  Two loops:
+
+* **closed** (default) — each connection keeps one request in flight,
+  the classic latency-vs-throughput operating point;
+* **open** (``arrival_rate``) — requests fire on a fixed schedule
+  (:func:`repro.workloads.traffic.open_loop_schedule`) regardless of
+  how fast responses come back, and latency is measured from the
+  *scheduled* send time, so a saturated service accrues queueing delay
+  instead of silently throttling the offered load (no coordinated
+  omission).  This is the honest way to compare worker-pool sizes: the
+  same offered rate hits every configuration.
+
+Latencies are measured per request at the client; quantiles are exact
+(sorted samples, not histogram buckets), so ``BENCH_service.json`` can
+be compared against the daemon's own histogram-based ``STATS`` view.
 """
 
 from __future__ import annotations
@@ -18,7 +27,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from ..workloads.traffic import packet_stream
+from ..workloads.traffic import open_loop_schedule, packet_stream
 from .client import ServiceClient, ServiceError
 
 __all__ = ["LoadResult", "run_load"]
@@ -55,6 +64,10 @@ class LoadResult:
     tenant: Optional[str] = None
     #: Verdict actions observed in FLOW responses (tenant runs).
     actions: Dict[str, int] = field(default_factory=dict)
+    #: Open-loop run (fixed arrival schedule) vs closed loop.
+    open_loop: bool = False
+    #: Offered aggregate arrival rate of an open-loop run (req/s).
+    offered_rps: float = 0.0
 
     @property
     def gbps(self) -> float:
@@ -90,11 +103,15 @@ class LoadResult:
             "generations": list(self.generations),
             "tenant": self.tenant,
             "actions": dict(self.actions),
+            "open_loop": self.open_loop,
+            "offered_rps": self.offered_rps,
         }
 
     def summary(self) -> str:
         gens = ",".join(str(g) for g in self.generations)
         where = f" tenant={self.tenant}" if self.tenant else ""
+        if self.open_loop:
+            where += f" open-loop@{self.offered_rps:.0f}rps"
         acts = ""
         if self.actions:
             acts = " | verdicts " + ",".join(
@@ -114,7 +131,8 @@ class _Worker(threading.Thread):
     def __init__(self, host: str, port: int, packets: Sequence[bytes],
                  mode: str, flows: int, index: int,
                  barrier: threading.Barrier,
-                 tenant: Optional[str] = None) -> None:
+                 tenant: Optional[str] = None,
+                 schedule: Optional[Sequence[float]] = None) -> None:
         super().__init__(daemon=True, name=f"loadgen-{index}")
         self.host, self.port = host, port
         self.packets = packets
@@ -123,6 +141,10 @@ class _Worker(threading.Thread):
         self.index = index
         self.barrier = barrier
         self.tenant = tenant
+        #: Open loop: absolute send offsets from the common start; the
+        #: connection sleeps to each slot and charges any backlog to
+        #: the measured latency rather than the arrival process.
+        self.schedule = schedule
         self.latencies: List[float] = []
         self.errors: Dict[str, int] = {}
         self.bytes_sent = 0
@@ -137,10 +159,18 @@ class _Worker(threading.Thread):
             self.errors["connect"] = len(self.packets)
             self.barrier.wait()
             return
-        self.barrier.wait()    # closed-loop: everyone starts together
+        self.barrier.wait()    # everyone starts together
+        start = time.perf_counter()
         try:
             for j, packet in enumerate(self.packets):
-                t0 = time.perf_counter()
+                if self.schedule is not None:
+                    due = start + self.schedule[j]
+                    delay = due - time.perf_counter()
+                    if delay > 0:
+                        time.sleep(delay)
+                    t0 = due        # latency from the *scheduled* time
+                else:
+                    t0 = time.perf_counter()
                 try:
                     if self.mode == "flow":
                         flow_id = f"c{self.index}-f{j % self.flows}"
@@ -174,8 +204,9 @@ def run_load(host: str, port: int, *,
              patterns: Optional[Sequence[bytes]] = None,
              match_fraction: float = 0.2,
              seed: int = 0,
-             tenant: Optional[str] = None) -> LoadResult:
-    """Drive a running daemon in closed loop and measure it.
+             tenant: Optional[str] = None,
+             arrival_rate: Optional[float] = None) -> LoadResult:
+    """Drive a running daemon and measure it.
 
     ``mode="scan"`` sends stateless one-shot scans; ``mode="flow"``
     spreads each connection's packets over ``flows_per_connection``
@@ -185,11 +216,22 @@ def run_load(host: str, port: int, *,
     optionally planted with ``patterns``.  With ``tenant``, every
     request routes through that tenant's dictionary and policy, and
     FLOW-mode results tally the verdict actions observed.
+
+    By default the run is closed-loop (one request in flight per
+    connection).  With ``arrival_rate`` (aggregate requests/second)
+    the run is **open-loop**: sends follow a fixed schedule and
+    latency includes any queueing the service accrues behind the
+    schedule — the offered load does not bend to the service.
     """
     if mode not in ("scan", "flow"):
         raise ValueError(f"mode must be 'scan' or 'flow', got {mode!r}")
     if connections < 1 or requests_per_connection < 1:
         raise ValueError("need at least one connection and one request")
+    schedules: Optional[List[List[float]]] = None
+    if arrival_rate is not None:
+        schedules = open_loop_schedule(connections,
+                                       requests_per_connection,
+                                       arrival_rate)
     barrier = threading.Barrier(connections + 1)
     workers = [
         _Worker(host, port,
@@ -199,7 +241,8 @@ def run_load(host: str, port: int, *,
                               patterns=patterns,
                               match_fraction=match_fraction,
                               seed=seed + i),
-                mode, flows_per_connection, i, barrier, tenant=tenant)
+                mode, flows_per_connection, i, barrier, tenant=tenant,
+                schedule=schedules[i] if schedules else None)
         for i in range(connections)]
     for w in workers:
         w.start()
@@ -235,4 +278,6 @@ def run_load(host: str, port: int, *,
         generations=generations,
         error_codes=error_codes,
         tenant=tenant,
-        actions=actions)
+        actions=actions,
+        open_loop=arrival_rate is not None,
+        offered_rps=float(arrival_rate or 0.0))

@@ -97,6 +97,38 @@ class LatencyHistogram:
             "max_ms": (self.max_seconds or 0.0) * 1e3,
         }
 
+    # -- pool merging --------------------------------------------------------------
+
+    def state(self) -> Dict[str, object]:
+        """Picklable raw state (bucket counts, not quantiles) so pool
+        workers can ship their histograms to the gateway losslessly —
+        merged quantiles are computed from summed buckets, which is
+        exact at bucket resolution, unlike averaging per-worker p99s."""
+        return {
+            "counts": list(self._counts),
+            "count": self.count,
+            "sum_seconds": self.sum_seconds,
+            "min_seconds": self.min_seconds,
+            "max_seconds": self.max_seconds,
+        }
+
+    def absorb(self, state: Dict[str, object]) -> None:
+        """Merge another histogram's :meth:`state` into this one."""
+        for i, c in enumerate(state.get("counts", ())):
+            if i >= self._BUCKETS:
+                break
+            self._counts[i] += int(c)
+        self.count += int(state.get("count", 0))
+        self.sum_seconds += float(state.get("sum_seconds", 0.0))
+        lo = state.get("min_seconds")
+        if lo is not None and (self.min_seconds is None
+                               or lo < self.min_seconds):
+            self.min_seconds = lo
+        hi = state.get("max_seconds")
+        if hi is not None and (self.max_seconds is None
+                               or hi > self.max_seconds):
+            self.max_seconds = hi
+
 
 class ServiceMetrics:
     """All of the daemon's counters behind one lock."""
@@ -233,6 +265,101 @@ class ServiceMetrics:
             self.queue_depth = depth
             if depth > self.queue_high_water:
                 self.queue_high_water = depth
+
+    # -- pool merging --------------------------------------------------------------
+
+    _COUNTER_FIELDS = ("requests_total", "bytes_scanned", "matches",
+                       "errors", "rejected", "timeouts", "reloads",
+                       "warm_reloads", "flow_evictions", "batches",
+                       "batched_requests")
+
+    def state(self) -> Dict[str, object]:
+        """Picklable raw state for cross-process aggregation: every
+        counter plus histogram *buckets* (see
+        :meth:`LatencyHistogram.state`).  This is what a pool worker
+        returns for STATS; the gateway merges all worker states with
+        :meth:`absorb` so pool-wide quantiles are computed over the
+        union of samples."""
+        with self._lock:
+            return {
+                "verbs": dict(self._verbs),
+                "counters": {name: getattr(self, name)
+                             for name in self._COUNTER_FIELDS},
+                "queue_depth": self.queue_depth,
+                "queue_high_water": self.queue_high_water,
+                "batch_high_water": self.batch_high_water,
+                "swap": self._swap.state(),
+                "backends": {name: hist.state()
+                             for name, hist in self._backends.items()},
+                "scanners": {gen_id: dict(agg)
+                             for gen_id, agg in self._scanners.items()},
+                "tenants": {
+                    name: {
+                        "requests": slot["requests"],
+                        "bytes_scanned": slot["bytes_scanned"],
+                        "matches": slot["matches"],
+                        "actions": dict(slot["actions"]),
+                        "verdict_latency":
+                            slot["verdict_latency"].state(),
+                    }
+                    for name, slot in self._tenants.items()},
+            }
+
+    def absorb(self, state: Dict[str, object]) -> None:
+        """Merge one :meth:`state` into this instance: counters sum,
+        histogram buckets sum, min/max extremes win, queue depth sums
+        (pool-wide pending) while high-water takes the max."""
+        with self._lock:
+            for verb, n in state.get("verbs", {}).items():
+                self._verbs[verb] = self._verbs.get(verb, 0) + int(n)
+            for name, value in state.get("counters", {}).items():
+                if name in self._COUNTER_FIELDS:
+                    setattr(self, name, getattr(self, name) + int(value))
+            self.queue_depth += int(state.get("queue_depth", 0))
+            self.queue_high_water = max(
+                self.queue_high_water,
+                int(state.get("queue_high_water", 0)))
+            self.batch_high_water = max(
+                self.batch_high_water,
+                int(state.get("batch_high_water", 0)))
+            self._swap.absorb(state.get("swap", {}))
+            for name, hist_state in state.get("backends", {}).items():
+                hist = self._backends.get(name)
+                if hist is None:
+                    hist = self._backends[name] = LatencyHistogram()
+                hist.absorb(hist_state)
+            for gen_id, stats in state.get("scanners", {}).items():
+                gen_id = int(gen_id)
+                agg = self._scanners.get(gen_id)
+                if agg is None:
+                    agg = self._scanners[gen_id] = {
+                        "scanner": stats.get("scanner", "?"),
+                        "batches": 0, "steps": 0, "cold_steps": 0,
+                        "escapes": 0}
+                agg["scanner"] = stats.get("scanner", agg["scanner"])
+                for key in ("batches", "steps", "cold_steps", "escapes"):
+                    agg[key] += int(stats.get(key, 0))
+            for name, incoming in state.get("tenants", {}).items():
+                slot = self._tenant_slot(name)
+                slot["requests"] += int(incoming.get("requests", 0))
+                slot["bytes_scanned"] += \
+                    int(incoming.get("bytes_scanned", 0))
+                slot["matches"] += int(incoming.get("matches", 0))
+                actions = slot["actions"]
+                for action, n in incoming.get("actions", {}).items():
+                    actions[action] = actions.get(action, 0) + int(n)
+                slot["verdict_latency"].absorb(
+                    incoming.get("verdict_latency", {}))
+
+    @classmethod
+    def merged_snapshot(cls, states: List[Dict[str, object]]
+                        ) -> Dict[str, object]:
+        """One pool-wide :meth:`snapshot` over many :meth:`state`
+        payloads (gateway + workers)."""
+        merged = cls()
+        for state in states:
+            merged.absorb(state)
+        return merged.snapshot()
 
     # -- reading -------------------------------------------------------------------
 

@@ -91,7 +91,12 @@ RELOAD_STRATEGY = (
 
 @dataclass
 class Frame:
-    """One decoded frame: a JSON header plus an opaque payload."""
+    """One decoded frame: a JSON header plus an opaque payload.
+
+    ``payload`` is ``bytes`` by default; a zero-copy decode
+    (``split_body(..., zero_copy=True)``) leaves it a ``memoryview``
+    slice of the receive buffer, which every scan path consumes without
+    materializing (``np.frombuffer`` accepts any buffer)."""
 
     header: Dict[str, object]
     payload: bytes = b""
@@ -113,12 +118,22 @@ def encode_frame(header: Dict[str, object], payload: bytes = b"") -> bytes:
         raise ProtocolError(
             f"frame of {frame_len} bytes exceeds the "
             f"{MAX_FRAME_BYTES}-byte limit; split the input")
-    return (_PREFIX.pack(frame_len) + _PREFIX.pack(len(header_bytes))
-            + header_bytes + payload)
+    # join() accepts any buffer, so memoryview payloads encode without
+    # an intermediate bytes() conversion.
+    return b"".join((_PREFIX.pack(frame_len),
+                     _PREFIX.pack(len(header_bytes)),
+                     header_bytes, payload))
 
 
-def split_body(body: bytes) -> Frame:
-    """Decode a frame body (everything after the ``frame_len`` prefix)."""
+def split_body(body: bytes, zero_copy: bool = False) -> Frame:
+    """Decode a frame body (everything after the ``frame_len`` prefix).
+
+    With ``zero_copy`` the returned payload is a ``memoryview`` slice
+    of ``body`` — no per-request copy of the traffic being scanned.
+    The caller owns the aliasing: the view is only valid while ``body``
+    is alive, and consumers that need real ``bytes`` (pattern decoding,
+    cross-process pickling) convert explicitly.
+    """
     if len(body) < 4:
         raise ProtocolError("truncated frame: missing header length")
     header_len = _PREFIX.unpack_from(body, 0)[0]
@@ -127,12 +142,14 @@ def split_body(body: bytes) -> Frame:
             f"truncated frame: header of {header_len} bytes does not "
             f"fit the {len(body)}-byte body")
     try:
-        header = json.loads(body[4:4 + header_len].decode())
+        header = json.loads(bytes(body[4:4 + header_len]).decode())
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise ProtocolError(f"unparseable frame header: {exc}") from exc
     if not isinstance(header, dict):
         raise ProtocolError("frame header must be a JSON object")
-    return Frame(header=header, payload=body[4 + header_len:])
+    payload = memoryview(body)[4 + header_len:] if zero_copy \
+        else body[4 + header_len:]
+    return Frame(header=header, payload=payload)
 
 
 def decode_frame(buf: bytes) -> Tuple[Optional[Frame], bytes]:
@@ -176,7 +193,13 @@ def encode_patterns(patterns) -> bytes:
 
 
 def decode_patterns(payload: bytes) -> List[bytes]:
-    """Inverse of :func:`encode_patterns`."""
+    """Inverse of :func:`encode_patterns`.
+
+    Accepts ``bytes`` or a zero-copy ``memoryview`` payload (patterns
+    are tiny next to traffic, so materializing here is fine).
+    """
+    if not isinstance(payload, bytes):
+        payload = bytes(payload)
     if not payload:
         raise ProtocolError("empty RELOAD payload")
     patterns = [line for line in payload.split(b"\n") if line]

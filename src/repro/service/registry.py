@@ -147,13 +147,15 @@ class _Lease:
 class DictionaryRegistry:
     """Active/standby dictionary slots with atomic promotion."""
 
-    def __init__(self, patterns: Sequence,
+    def __init__(self, patterns: Optional[Sequence] = None,
                  fold: Optional[FoldMap] = None,
                  regex: bool = False,
                  max_states: int = 1 << 30,
                  cache=None,
                  max_flows: int = 65536,
-                 session_policy: str = "lru") -> None:
+                 session_policy: str = "lru",
+                 compiled: Optional[CompiledDictionary] = None,
+                 first_generation: int = 1) -> None:
         if cache is True:
             cache = ArtifactCache()
         elif cache is not None and not isinstance(cache, ArtifactCache):
@@ -172,7 +174,18 @@ class DictionaryRegistry:
         self.swap_count = 0
         self.last_swap_seconds = 0.0
 
-        first = self._compile_generation(1, patterns, regex)
+        if compiled is not None:
+            # Worker side of the process pool: the gateway compiled the
+            # dictionary once; this registry merely wraps the attached
+            # artifact (zero automaton builds here).
+            self._fold = compiled.fold
+            first = Generation(int(first_generation), compiled,
+                               self._max_flows, self._session_policy)
+        elif patterns is not None:
+            first = self._compile_generation(int(first_generation),
+                                             patterns, regex)
+        else:
+            raise RegistryError("need patterns or a compiled dictionary")
         self._buffer: DoubleBuffer[Generation] = DoubleBuffer(first)
 
     # -- compile -------------------------------------------------------------------
@@ -240,41 +253,74 @@ class DictionaryRegistry:
                 raise RegistryError("registry is closed")
             t0 = time.perf_counter()
             builds_before = COUNTERS["automaton_builds"]
-            gen_id = self._buffer.generation + 1
+            gen_id = self._buffer.active.gen_id + 1
             incoming = self._compile_generation(gen_id, patterns, regex)
             warm = COUNTERS["automaton_builds"] == builds_before
-            if validate is not None:
-                try:
-                    validate(incoming.compiled)
-                except BaseException:
-                    # Never staged: zero leases, so retire releases the
-                    # incoming pools inline and the old generation
-                    # stays active.
-                    incoming.retire()
-                    raise
-            self._buffer.stage(incoming)
-            retired = self._buffer.promote()
-            # Carry sessions *after* the flip: new flow packets already
-            # route to the incoming generation, and carry_from merges
-            # with any that raced the promotion.  A lease taken before
-            # the flip may still scan into the retired tables after
-            # this carry — the drain hook moves that remainder over
-            # when the last lease releases, so no totals are lost.
-            flows = incoming.sessions.carry_from(retired.sessions)
-            retired.on_drained = (
-                lambda old=retired.sessions: self._absorb(old))
-            retired.retire()
-            seconds = time.perf_counter() - t0
-            self.swap_count += 1
-            self.last_swap_seconds = seconds
-            return ReloadResult(
-                generation=incoming.gen_id,
-                seconds=seconds,
-                warm=warm,
-                patterns=incoming.compiled.num_patterns,
-                slices=incoming.compiled.num_slices,
-                states=incoming.compiled.total_states,
-                flows_carried=flows)
+            return self._promote(incoming, warm, t0, validate)
+
+    def load_compiled(self, compiled: CompiledDictionary,
+                      generation: Optional[int] = None,
+                      validate: Optional[
+                          Callable[[CompiledDictionary], None]] = None,
+                      ) -> ReloadResult:
+        """Promote an externally compiled dictionary.
+
+        The pool's worker side of a hot reload: the gateway compiled
+        (or artifact-loaded) the dictionary once and shipped it over
+        shared memory; this registry wraps it in a fresh
+        :class:`Generation` without any compile work.  ``generation``
+        pins the new generation id so workers track the gateway's
+        numbering; the same drain/carry semantics as :meth:`load`
+        apply.
+        """
+        with self._reload_lock:
+            if self._closed:
+                raise RegistryError("registry is closed")
+            t0 = time.perf_counter()
+            gen_id = self._buffer.active.gen_id + 1 \
+                if generation is None else int(generation)
+            if self._fold is None:
+                self._fold = compiled.fold
+            incoming = Generation(gen_id, compiled, self._max_flows,
+                                  self._session_policy)
+            return self._promote(incoming, True, t0, validate)
+
+    def _promote(self, incoming: Generation, warm: bool, t0: float,
+                 validate: Optional[
+                     Callable[[CompiledDictionary], None]]) -> ReloadResult:
+        """Shared promote tail: validate, stage, flip, carry, retire."""
+        if validate is not None:
+            try:
+                validate(incoming.compiled)
+            except BaseException:
+                # Never staged: zero leases, so retire releases the
+                # incoming pools inline and the old generation
+                # stays active.
+                incoming.retire()
+                raise
+        self._buffer.stage(incoming)
+        retired = self._buffer.promote()
+        # Carry sessions *after* the flip: new flow packets already
+        # route to the incoming generation, and carry_from merges
+        # with any that raced the promotion.  A lease taken before
+        # the flip may still scan into the retired tables after
+        # this carry — the drain hook moves that remainder over
+        # when the last lease releases, so no totals are lost.
+        flows = incoming.sessions.carry_from(retired.sessions)
+        retired.on_drained = (
+            lambda old=retired.sessions: self._absorb(old))
+        retired.retire()
+        seconds = time.perf_counter() - t0
+        self.swap_count += 1
+        self.last_swap_seconds = seconds
+        return ReloadResult(
+            generation=incoming.gen_id,
+            seconds=seconds,
+            warm=warm,
+            patterns=incoming.compiled.num_patterns,
+            slices=incoming.compiled.num_slices,
+            states=incoming.compiled.total_states,
+            flows_carried=flows)
 
     def _absorb(self, old_sessions: SessionScanner) -> None:
         """Drain-time carry: merge a fully retired generation's

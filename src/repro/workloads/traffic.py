@@ -33,7 +33,31 @@ __all__ = [
     "TrafficPacket",
     "http_payload",
     "tenant_traffic",
+    "open_loop_schedule",
 ]
+
+
+def open_loop_schedule(connections: int, requests_per_connection: int,
+                       arrival_rate: float) -> List[List[float]]:
+    """Per-connection send times (seconds from start) for an open-loop
+    run at a fixed aggregate ``arrival_rate`` (requests/second).
+
+    The global arrival sequence is uniform at ``1/rate`` spacing and
+    dealt round-robin to connections, so request ``k`` of connection
+    ``i`` fires at ``(k * connections + i) / rate`` — every connection
+    sees the same offered rate and the aggregate is exactly
+    ``arrival_rate`` regardless of how fast the service responds.
+    Unlike a closed loop, a slow service does *not* slow the arrivals;
+    latency is measured from the scheduled time, so queueing delay is
+    charged to the service (no coordinated omission).
+    """
+    if connections < 1 or requests_per_connection < 1:
+        raise ValueError("need at least one connection and one request")
+    if arrival_rate <= 0:
+        raise ValueError("arrival_rate must be positive")
+    return [[(k * connections + i) / arrival_rate
+             for k in range(requests_per_connection)]
+            for i in range(connections)]
 
 
 def random_payload(length: int, alphabet_size: int = 32,

@@ -105,3 +105,85 @@ class TestServiceMetrics:
         m.record_scan("serial", 0.001, 10, 1)
         m.record_reload(0.1, warm=True)
         json.dumps(m.snapshot())
+
+
+class TestStateAbsorbMerge:
+    """Cross-process aggregation: worker ``state()`` payloads absorbed
+    into one pool-wide view (the STATS merge path of pool mode)."""
+
+    def test_histogram_absorb_sums_buckets_and_keeps_extremes(self):
+        a, b = LatencyHistogram(), LatencyHistogram()
+        for s in (0.001, 0.002, 0.004):
+            a.record(s)
+        for s in (0.008, 0.016):
+            b.record(s)
+        a.absorb(b.state())
+        assert a.count == 5
+        assert a.min_seconds == 0.001
+        assert a.max_seconds == 0.016
+        assert a.mean_seconds == pytest.approx(0.0062)
+        # Quantiles come from the merged buckets, not one side's.
+        assert a.quantile(0.99) == pytest.approx(0.016, rel=0.2)
+
+    def test_histogram_state_roundtrips_through_json(self):
+        hist = LatencyHistogram()
+        hist.record(0.003)
+        state = json.loads(json.dumps(hist.state()))
+        other = LatencyHistogram()
+        other.absorb(state)
+        assert other.count == 1
+        assert other.quantile(0.5) == pytest.approx(0.003, rel=0.2)
+
+    def test_merged_snapshot_sums_counters_across_instances(self):
+        gateway, w1, w2 = (ServiceMetrics() for _ in range(3))
+        for _ in range(3):
+            gateway.record_request("SCAN")
+        gateway.record_request("STATS")
+        gateway.record_rejected()
+        w1.record_scan("fused", 0.002, 100, 1)
+        w1.record_scan("fused", 0.004, 50, 0)
+        w2.record_scan("fused", 0.008, 25, 2)
+        w2.record_flow_evictions(4)
+        merged = ServiceMetrics.merged_snapshot(
+            [gateway.state(), w1.state(), w2.state()])
+        assert merged["requests"]["SCAN"] == 3
+        assert merged["requests"]["STATS"] == 1
+        assert merged["requests"]["total"] == 4
+        assert merged["bytes_scanned"] == 175
+        assert merged["matches"] == 3
+        assert merged["admission"]["rejected"] == 1
+        assert merged["flow_evictions"] == 4
+        assert merged["backends"]["fused"]["count"] == 3
+
+    def test_merged_snapshot_merges_tenant_slots(self):
+        w1, w2 = ServiceMetrics(), ServiceMetrics()
+        w1.record_tenant_request("acme", 100, 1)
+        w1.record_verdict("acme", "drop", 0.001)
+        w2.record_tenant_request("acme", 50, 0)
+        w2.record_verdict("acme", "forward", 0.002)
+        w2.record_tenant_request("beta", 10, 0)
+        merged = ServiceMetrics.merged_snapshot(
+            [w1.state(), w2.state()])
+        acme = merged["tenants"]["acme"]
+        assert acme["requests"] == 2
+        assert acme["bytes_scanned"] == 150
+        assert acme["actions"] == {"drop": 1, "forward": 1}
+        assert acme["verdict_latency"]["count"] == 2
+        assert merged["tenants"]["beta"]["requests"] == 1
+
+    def test_merge_identity_single_state_equals_snapshot(self):
+        m = ServiceMetrics()
+        m.record_request("SCAN")
+        m.record_scan("fused", 0.002, 64, 1)
+        m.record_reload(0.1, warm=True)
+        merged = ServiceMetrics.merged_snapshot([m.state()])
+        assert merged == m.snapshot()
+
+    def test_queue_depth_sums_but_high_water_maxes(self):
+        a, b = ServiceMetrics(), ServiceMetrics()
+        a.set_queue_depth(3)
+        b.set_queue_depth(5)
+        a.absorb(b.state())
+        snap = a.snapshot()
+        assert snap["admission"]["queue_depth"] == 8
+        assert snap["admission"]["queue_high_water"] == 5

@@ -99,3 +99,47 @@ class TestVocabulary:
         for verb, description in VERB_SPECS:
             assert verb.isupper()
             assert description
+
+
+class TestZeroCopySplit:
+    def _body(self, header, payload):
+        raw = encode_frame(header, payload)
+        return raw[4:]                   # strip the frame_len prefix
+
+    def test_zero_copy_payload_is_a_memoryview_slice(self):
+        body = self._body({"verb": "SCAN", "id": 3}, b"\x00\xffdata")
+        frame = split_body(body, zero_copy=True)
+        assert isinstance(frame.payload, memoryview)
+        assert bytes(frame.payload) == b"\x00\xffdata"
+        assert frame.header == {"verb": "SCAN", "id": 3}
+
+    def test_zero_copy_matches_copying_decode(self):
+        for payload in (b"", b"p", b"x" * 4096):
+            body = self._body({"verb": "FLOW", "id": 1,
+                               "flow": "f"}, payload)
+            copied = split_body(body)
+            zero = split_body(body, zero_copy=True)
+            assert isinstance(copied.payload, bytes)
+            assert bytes(zero.payload) == copied.payload
+            assert zero.header == copied.header
+
+    def test_zero_copy_view_aliases_the_body(self):
+        body = bytearray(self._body({"verb": "SCAN"}, b"aaaa"))
+        frame = split_body(bytes(body), zero_copy=True)
+        # The view is a window, not a copy: same length, same bytes.
+        assert len(frame.payload) == 4
+        assert frame.payload.obj is not None
+
+    def test_zero_copy_pattern_payload_decodes(self):
+        body = self._body({"verb": "RELOAD"},
+                          encode_patterns(["virus", "worm"]))
+        frame = split_body(body, zero_copy=True)
+        assert decode_patterns(frame.payload) == [b"virus", b"worm"]
+
+    def test_truncated_bodies_raise_either_way(self):
+        body = self._body({"verb": "SCAN"}, b"abc")
+        for zero_copy in (False, True):
+            with pytest.raises(ProtocolError):
+                split_body(body[:3], zero_copy=zero_copy)
+            with pytest.raises(ProtocolError):
+                split_body(b"\xff\xff\xff\xff", zero_copy=zero_copy)
